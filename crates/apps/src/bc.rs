@@ -1,0 +1,237 @@
+//! Batched betweenness centrality — the workload §5.5 names as the
+//! motivation for square × tall-skinny SpGEMM ("Many graph processing
+//! algorithms perform multiple breadth-first searches in parallel, an
+//! example being Betweenness Centrality on unweighted graphs").
+//!
+//! This is Brandes' algorithm in matrix form (after Buluç & Gilbert's
+//! Combinatorial BLAS formulation): for a batch of sources, the
+//! forward sweep advances a tall-skinny *path-count* matrix through
+//! SpGEMM over `(+, ×)`, masking to the new frontier each level; the
+//! backward sweep accumulates dependencies level by level with the
+//! transposed operator.
+
+use spgemm::{multiply_in, Algorithm, OutputOrder};
+use spgemm_par::Pool;
+use spgemm_sparse::{ops, ColIdx, Coo, Csr, PlusTimes, SparseError};
+
+/// Betweenness-centrality scores for all vertices, accumulated over a
+/// batch of sources (exact when the batch is all vertices).
+pub fn betweenness_batch(
+    graph: &Csr<f64>,
+    sources: &[usize],
+    algo: Algorithm,
+    pool: &Pool,
+) -> Result<Vec<f64>, SparseError> {
+    if graph.nrows() != graph.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            left: graph.shape(),
+            right: graph.shape(),
+            op: "betweenness_batch (square graph required)",
+        });
+    }
+    let n = graph.nrows();
+    let s = sources.len();
+    let at = ops::transpose(&graph.map(|_| 1.0f64));
+
+    // Forward sweep: frontier path counts per level.
+    // paths[v][q] = # shortest paths from sources[q] to v
+    let mut paths = vec![vec![0.0f64; s]; n];
+    let mut depth_of = vec![vec![u32::MAX; s]; n];
+    let mut frontier = {
+        let mut coo = Coo::with_capacity(n, s, s)?;
+        for (q, &v) in sources.iter().enumerate() {
+            if v >= n {
+                return Err(SparseError::ColumnOutOfBounds { row: v, col: v as u32, ncols: n });
+            }
+            coo.push(v, q as ColIdx, 1.0)?;
+            paths[v][q] = 1.0;
+            depth_of[v][q] = 0;
+        }
+        coo.into_csr_sum()
+    };
+    // frontier stacks per level, for the backward sweep
+    let mut levels: Vec<Csr<f64>> = vec![frontier.clone()];
+    let mut depth = 0u32;
+    while frontier.nnz() > 0 {
+        depth += 1;
+        let next =
+            multiply_in::<PlusTimes<f64>>(&at, &frontier, algo, OutputOrder::Sorted, pool)?;
+        // keep only (v, q) pairs not seen at an earlier level
+        let mut coo = Coo::with_capacity(n, s, next.nnz())?;
+        for v in 0..n {
+            for (&q, &cnt) in next.row_cols(v).iter().zip(next.row_vals(v)) {
+                let qi = q as usize;
+                if depth_of[v][qi] == u32::MAX {
+                    depth_of[v][qi] = depth;
+                    paths[v][qi] = cnt;
+                    coo.push(v, q, cnt)?;
+                }
+            }
+        }
+        frontier = coo.into_csr_sum();
+        if frontier.nnz() > 0 {
+            levels.push(frontier.clone());
+        }
+    }
+
+    // Backward sweep: delta[v][q] accumulates dependency; walk levels
+    // deepest-first: delta[u] += (paths[u]/paths[v]) * (1 + delta[v])
+    // for each edge u -> v with depth(v) = depth(u) + 1.
+    let a = graph.map(|_| 1.0f64);
+    let mut delta = vec![vec![0.0f64; s]; n];
+    for lvl in (1..levels.len()).rev() {
+        // For every v in level lvl: distribute to predecessors via Aᵀ?
+        // Edge u->v contributes when depth(u) = lvl - 1. Iterate rows
+        // of A (u) and look at successors v.
+        for u in 0..n {
+            for &vc in a.row_cols(u) {
+                let v = vc as usize;
+                for q in 0..s {
+                    if depth_of[u][q] == (lvl - 1) as u32 && depth_of[v][q] == lvl as u32 {
+                        let pv = paths[v][q];
+                        if pv > 0.0 {
+                            delta[u][q] += paths[u][q] / pv * (1.0 + delta[v][q]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // BC(v) = Σ_q delta[v][q], excluding the source itself
+    let mut bc = vec![0.0f64; n];
+    for v in 0..n {
+        for (q, &src) in sources.iter().enumerate() {
+            if v != src {
+                bc[v] += delta[v][q];
+            }
+        }
+    }
+    Ok(bc)
+}
+
+/// Sequential Brandes reference (unweighted), for tests.
+pub fn brandes_reference(graph: &Csr<f64>, sources: &[usize]) -> Vec<f64> {
+    let n = graph.nrows();
+    let mut bc = vec![0.0f64; n];
+    for &src in sources {
+        let mut stack = Vec::new();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![i64::MAX; n];
+        sigma[src] = 1.0;
+        dist[src] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            stack.push(u);
+            for &vc in graph.row_cols(u) {
+                let v = vc as usize;
+                if dist[v] == i64::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+                if dist[v] == dist[u] + 1 {
+                    sigma[v] += sigma[u];
+                    preds[v].push(u);
+                }
+            }
+        }
+        let mut delta = vec![0.0f64; n];
+        while let Some(v) = stack.pop() {
+            for &u in &preds[v] {
+                delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v]);
+            }
+            if v != src {
+                bc[v] += delta[v];
+            }
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr(n: usize, edges: &[(usize, usize)]) -> Csr<f64> {
+        // directed edges as given
+        let trips: Vec<(usize, u32, f64)> =
+            edges.iter().map(|&(u, v)| (u, v as u32, 1.0)).collect();
+        Csr::from_triplets(n, n, &trips).unwrap()
+    }
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Csr<f64> {
+        let mut all = Vec::new();
+        for &(u, v) in edges {
+            all.push((u, v));
+            all.push((v, u));
+        }
+        csr(n, &all)
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-9, "vertex {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn path_graph_center_is_most_between() {
+        // 0 - 1 - 2 - 3 - 4: all-sources BC peaks at vertex 2
+        let g = undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let pool = Pool::new(2);
+        let all: Vec<usize> = (0..5).collect();
+        let bc = betweenness_batch(&g, &all, Algorithm::Hash, &pool).unwrap();
+        let expect = brandes_reference(&g, &all);
+        assert_close(&bc, &expect);
+        assert!(bc[2] > bc[1] && bc[1] > bc[0]);
+    }
+
+    #[test]
+    fn star_graph_hub_carries_everything() {
+        let g = undirected(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let pool = Pool::new(1);
+        let all: Vec<usize> = (0..5).collect();
+        let bc = betweenness_batch(&g, &all, Algorithm::Hash, &pool).unwrap();
+        let expect = brandes_reference(&g, &all);
+        assert_close(&bc, &expect);
+        assert!(bc[0] > 0.0);
+        for v in 1..5 {
+            assert_eq!(bc[v], 0.0, "leaves lie on no shortest paths");
+        }
+    }
+
+    #[test]
+    fn matches_brandes_on_random_graph() {
+        let a = spgemm_gen::suite::uniform_matrix(30, 120, &mut spgemm_gen::rng(8));
+        let sym = ops::symmetrize_simple(&a).unwrap().map(|_| 1.0);
+        let pool = Pool::new(2);
+        let sources: Vec<usize> = (0..30).collect();
+        for algo in [Algorithm::Hash, Algorithm::Heap] {
+            let bc = betweenness_batch(&sym, &sources, algo, &pool).unwrap();
+            let expect = brandes_reference(&sym, &sources);
+            assert_close(&bc, &expect);
+        }
+    }
+
+    #[test]
+    fn partial_batch_is_partial_sum() {
+        let g = undirected(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 4)]);
+        let pool = Pool::new(2);
+        let b1 = betweenness_batch(&g, &[0, 1], Algorithm::Hash, &pool).unwrap();
+        let b2 = betweenness_batch(&g, &[2, 3, 4, 5], Algorithm::Hash, &pool).unwrap();
+        let all = betweenness_batch(&g, &[0, 1, 2, 3, 4, 5], Algorithm::Hash, &pool).unwrap();
+        for v in 0..6 {
+            assert!((b1[v] + b2[v] - all[v]).abs() < 1e-9, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn bad_source_rejected() {
+        let g = undirected(3, &[(0, 1)]);
+        let pool = Pool::new(1);
+        assert!(betweenness_batch(&g, &[7], Algorithm::Hash, &pool).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Multi-source BFS as repeated square × tall-skinny boolean SpGEMM.
+//!
+//! "Many graph processing algorithms perform multiple breadth-first
+//! searches in parallel … In linear algebraic terms, this corresponds
+//! to multiplying a square sparse matrix with a tall skinny one"
+//! (§5.5). The frontier stack `F` has one column per source; one
+//! SpGEMM over the `(∨, ∧)` semiring advances every frontier one
+//! level: `F' = Aᵀ · F` (for our row-major CSR and an undirected or
+//! pre-transposed graph, `A · F`).
+
+use spgemm::{multiply_in, Algorithm, OutputOrder};
+use spgemm_par::Pool;
+use spgemm_sparse::{ColIdx, Coo, Csr, OrAnd, SparseError};
+
+/// Result of a multi-source BFS: `levels[v][s]` is the BFS level of
+/// vertex `v` from source `s` (`u32::MAX` when unreachable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsLevels {
+    /// Number of vertices.
+    pub nverts: usize,
+    /// Number of sources.
+    pub nsources: usize,
+    levels: Vec<u32>,
+}
+
+/// Marker for unreachable vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+impl BfsLevels {
+    fn new(nverts: usize, nsources: usize) -> Self {
+        BfsLevels { nverts, nsources, levels: vec![UNREACHED; nverts * nsources] }
+    }
+
+    /// Level of `vertex` from `source` (`UNREACHED` if not reached).
+    #[inline]
+    pub fn level(&self, vertex: usize, source: usize) -> u32 {
+        self.levels[vertex * self.nsources + source]
+    }
+
+    #[inline]
+    fn set(&mut self, vertex: usize, source: usize, level: u32) {
+        self.levels[vertex * self.nsources + source] = level;
+    }
+
+    /// Vertices reached from `source` (including the source itself).
+    pub fn reached_count(&self, source: usize) -> usize {
+        (0..self.nverts).filter(|&v| self.level(v, source) != UNREACHED).count()
+    }
+}
+
+/// Build the initial frontier matrix: `n × s`, one true per column at
+/// the source vertex.
+fn initial_frontier(n: usize, sources: &[usize]) -> Result<Csr<bool>, SparseError> {
+    let mut coo = Coo::with_capacity(n, sources.len(), sources.len())?;
+    for (s, &v) in sources.iter().enumerate() {
+        coo.push(v, s as ColIdx, true)?;
+    }
+    Ok(coo.into_csr_sum())
+}
+
+/// Multi-source BFS by SpGEMM over the boolean semiring.
+///
+/// `graph` is interpreted as directed edges `u → v` for entry
+/// `(u, v)`; pass a symmetric matrix for undirected search. Because
+/// frontiers expand along *incoming* edges of the product's row space,
+/// the graph is transposed internally once.
+///
+/// `algo` selects the SpGEMM kernel (the paper's recipe recommends the
+/// hash family for tall-skinny operands, Table 4b).
+pub fn multi_source_bfs(
+    graph: &Csr<bool>,
+    sources: &[usize],
+    algo: Algorithm,
+    pool: &Pool,
+) -> Result<BfsLevels, SparseError> {
+    if graph.nrows() != graph.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            left: graph.shape(),
+            right: graph.shape(),
+            op: "multi_source_bfs (square graph required)",
+        });
+    }
+    let n = graph.nrows();
+    for &s in sources {
+        if s >= n {
+            return Err(SparseError::ColumnOutOfBounds { row: s, col: s as u32, ncols: n });
+        }
+    }
+    // F' = Aᵀ F: frontier at v spreads to u for each edge u → v... we
+    // want the forward direction (v receives from u when u is in the
+    // frontier), i.e. F'[v] = ∨_u A[u][v] ∧ F[u] = (Aᵀ F)[v].
+    let at = spgemm_sparse::ops::transpose(graph);
+
+    let mut levels = BfsLevels::new(n, sources.len());
+    let mut frontier = initial_frontier(n, sources)?;
+    for (s, &v) in sources.iter().enumerate() {
+        levels.set(v, s, 0);
+    }
+    let mut depth = 0u32;
+    while frontier.nnz() > 0 {
+        depth += 1;
+        let next = multiply_in::<OrAnd>(&at, &frontier, algo, OutputOrder::Unsorted, pool)?;
+        // keep only newly-discovered (vertex, source) pairs
+        let mut coo = Coo::with_capacity(n, sources.len(), next.nnz())?;
+        for v in 0..n {
+            for &s in next.row_cols(v) {
+                if levels.level(v, s as usize) == UNREACHED {
+                    levels.set(v, s as usize, depth);
+                    coo.push(v, s, true)?;
+                }
+            }
+        }
+        frontier = coo.into_csr_sum();
+    }
+    Ok(levels)
+}
+
+/// Sequential reference BFS (queue-based), for tests.
+pub fn sequential_bfs(graph: &Csr<bool>, source: usize) -> Vec<u32> {
+    let n = graph.nrows();
+    let mut level = vec![UNREACHED; n];
+    let mut queue = std::collections::VecDeque::new();
+    level[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.row_cols(u) {
+            let v = v as usize;
+            if level[v] == UNREACHED {
+                level[v] = level[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Csr<bool> {
+        // 0 -> 1 -> 2 -> ... -> n-1
+        let trips: Vec<(usize, ColIdx, bool)> =
+            (0..n - 1).map(|i| (i, (i + 1) as ColIdx, true)).collect();
+        Csr::from_triplets(n, n, &trips).unwrap()
+    }
+
+    #[test]
+    fn path_levels() {
+        let g = path_graph(6);
+        let pool = Pool::new(2);
+        let l = multi_source_bfs(&g, &[0, 3], Algorithm::Hash, &pool).unwrap();
+        for v in 0..6 {
+            assert_eq!(l.level(v, 0), v as u32, "from source 0");
+        }
+        for v in 0..3 {
+            assert_eq!(l.level(v, 1), UNREACHED, "3 cannot reach backwards");
+        }
+        for v in 3..6 {
+            assert_eq!(l.level(v, 1), (v - 3) as u32);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graph() {
+        let a = spgemm_gen::rmat::generate_kind(
+            spgemm_gen::RmatKind::G500,
+            8,
+            8,
+            &mut spgemm_gen::rng(77),
+        );
+        let g = a.map(|_| true);
+        let sources = [0usize, 5, 100, 200];
+        let pool = Pool::new(2);
+        for algo in [Algorithm::Hash, Algorithm::HashVec, Algorithm::Heap] {
+            let l = multi_source_bfs(&g, &sources, algo, &pool).unwrap();
+            for (s, &src) in sources.iter().enumerate() {
+                let seq = sequential_bfs(&g, src);
+                for v in 0..g.nrows() {
+                    assert_eq!(l.level(v, s), seq[v], "{algo} src {src} vertex {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unreached() {
+        // two disjoint edges: 0->1, 2->3
+        let g = Csr::from_triplets(4, 4, &[(0, 1, true), (2, 3, true)]).unwrap();
+        let pool = Pool::new(1);
+        let l = multi_source_bfs(&g, &[0], Algorithm::Hash, &pool).unwrap();
+        assert_eq!(l.level(1, 0), 1);
+        assert_eq!(l.level(2, 0), UNREACHED);
+        assert_eq!(l.level(3, 0), UNREACHED);
+        assert_eq!(l.reached_count(0), 2);
+    }
+
+    #[test]
+    fn self_loop_terminates() {
+        let g = Csr::from_triplets(2, 2, &[(0, 0, true), (0, 1, true)]).unwrap();
+        let pool = Pool::new(1);
+        let l = multi_source_bfs(&g, &[0], Algorithm::Hash, &pool).unwrap();
+        assert_eq!(l.level(0, 0), 0);
+        assert_eq!(l.level(1, 0), 1);
+    }
+
+    #[test]
+    fn bad_source_rejected() {
+        let g = path_graph(3);
+        let pool = Pool::new(1);
+        assert!(multi_source_bfs(&g, &[9], Algorithm::Hash, &pool).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Markov clustering (MCL) iteration — the paper's opening example of
+//! an SpGEMM-bound application ("Markov clustering … requires A² for
+//! a given doubly-stochastic similarity matrix", §5.4), after HipMCL
+//! (Azad et al., 2018).
+//!
+//! One iteration is: **expansion** (`A ← A²`, the SpGEMM), then
+//! **inflation** (elementwise power `r` and column renormalization),
+//! then **pruning** of near-zero entries to keep the matrix sparse.
+//! Iterated to convergence, columns concentrate onto "attractor" rows
+//! that identify clusters.
+
+use spgemm::{multiply_in, Algorithm, OutputOrder};
+use spgemm_par::Pool;
+use spgemm_sparse::{ops, Csr, PlusTimes, SparseError};
+
+/// MCL hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MclParams {
+    /// Inflation exponent `r` (HipMCL default: 2).
+    pub inflation: f64,
+    /// Entries below this (after renormalization) are pruned.
+    pub prune_threshold: f64,
+    /// Maximum number of expansion/inflation rounds.
+    pub max_iters: usize,
+    /// Convergence: stop when the largest entry change is below this.
+    pub tolerance: f64,
+    /// SpGEMM kernel for expansion.
+    pub algo: Algorithm,
+}
+
+impl Default for MclParams {
+    fn default() -> Self {
+        MclParams {
+            inflation: 2.0,
+            prune_threshold: 1e-4,
+            max_iters: 32,
+            tolerance: 1e-6,
+            algo: Algorithm::Hash,
+        }
+    }
+}
+
+/// Normalize columns to sum 1 (column-stochastic). Matrices here are
+/// row-major, so this transposes the problem: normalize each column's
+/// entries across rows.
+pub fn normalize_columns(a: &Csr<f64>) -> Csr<f64> {
+    let mut colsum = vec![0.0f64; a.ncols()];
+    for i in 0..a.nrows() {
+        for (&c, &v) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            colsum[c as usize] += v;
+        }
+    }
+    let (nr, nc, rpts, cols, mut vals, sorted) = a.clone().into_parts();
+    for (v, &c) in vals.iter_mut().zip(&cols) {
+        let s = colsum[c as usize];
+        if s != 0.0 {
+            *v /= s;
+        }
+    }
+    Csr::from_parts_unchecked(nr, nc, rpts, cols, vals, sorted)
+}
+
+/// Inflation: elementwise power `r`, then column renormalization.
+pub fn inflate(a: &Csr<f64>, r: f64) -> Csr<f64> {
+    normalize_columns(&a.map(|v| v.abs().powf(r)))
+}
+
+/// One MCL round: expansion, inflation, pruning. Returns the new
+/// matrix and the max absolute entry change (on the shared structure).
+pub fn mcl_step(
+    a: &Csr<f64>,
+    params: &MclParams,
+    pool: &Pool,
+) -> Result<(Csr<f64>, f64), SparseError> {
+    let expanded =
+        multiply_in::<PlusTimes<f64>>(a, a, params.algo, OutputOrder::Sorted, pool)?;
+    let inflated = inflate(&expanded, params.inflation);
+    let pruned = inflated.filter(|_, _, v| v >= params.prune_threshold);
+    let renorm = normalize_columns(&pruned);
+    // change metric: max |new - old| over the union of structures
+    let mut delta = 0.0f64;
+    for i in 0..renorm.nrows() {
+        for (&c, &v) in renorm.row_cols(i).iter().zip(renorm.row_vals(i)) {
+            let old = a.get(i, c).copied().unwrap_or(0.0);
+            delta = delta.max((v - old).abs());
+        }
+        for (&c, &v) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            if renorm.get(i, c).is_none() {
+                delta = delta.max(v.abs());
+            }
+        }
+    }
+    Ok((renorm, delta))
+}
+
+/// Run MCL to convergence; returns the cluster assignment per node.
+///
+/// The input is made symmetric, given self-loops (standard MCL
+/// regularization), and column-normalized before iterating. Clusters
+/// are extracted by assigning each column to its attractor (the row
+/// holding its maximum).
+pub fn cluster(
+    graph: &Csr<f64>,
+    params: &MclParams,
+    pool: &Pool,
+) -> Result<Vec<usize>, SparseError> {
+    let sym = ops::symmetrize_simple(graph)?;
+    // Self-loops at each column's max weight (the MCL regularization
+    // HipMCL uses): keeps loop strength proportional to the vertex's
+    // edges so inflation does not collapse pairs into singletons.
+    let n = sym.nrows();
+    let mut colmax = vec![0.0f64; n];
+    for i in 0..n {
+        for (&c, &v) in sym.row_cols(i).iter().zip(sym.row_vals(i)) {
+            let m = &mut colmax[c as usize];
+            if v.abs() > *m {
+                *m = v.abs();
+            }
+        }
+    }
+    let loop_trips: Vec<(usize, u32, f64)> =
+        (0..n).map(|i| (i, i as u32, colmax[i].max(1.0))).collect();
+    let loops = Csr::from_triplets(n, n, &loop_trips)?;
+    let with_loops = ops::add(&sym, &loops)?;
+    let mut m = normalize_columns(&with_loops);
+    for _ in 0..params.max_iters {
+        let (next, delta) = mcl_step(&m, params, pool)?;
+        m = next;
+        if delta < params.tolerance {
+            break;
+        }
+    }
+    // attractor per column = argmax row
+    let n = m.nrows();
+    let mut best = vec![(0.0f64, usize::MAX); n]; // per column: (val, row)
+    for i in 0..n {
+        for (&c, &v) in m.row_cols(i).iter().zip(m.row_vals(i)) {
+            let e = &mut best[c as usize];
+            if v > e.0 {
+                *e = (v, i);
+            }
+        }
+    }
+    // canonicalize attractor ids to 0..k
+    let mut label_of_attractor = std::collections::HashMap::new();
+    let mut labels = vec![0usize; n];
+    for (col, &(_, attractor)) in best.iter().enumerate() {
+        let a = if attractor == usize::MAX { col } else { attractor };
+        let next_id = label_of_attractor.len();
+        let id = *label_of_attractor.entry(a).or_insert(next_id);
+        labels[col] = id;
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques() -> Csr<f64> {
+        // vertices 0-2 and 3-5 each fully connected; one weak bridge 2-3
+        let mut trips = vec![];
+        for &(u, v) in &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)] {
+            trips.push((u as usize, v as u32, 1.0));
+            trips.push((v as usize, u as u32, 1.0));
+        }
+        trips.push((2, 3, 0.1));
+        trips.push((3, 2, 0.1));
+        Csr::from_triplets(6, 6, &trips).unwrap()
+    }
+
+    #[test]
+    fn normalize_columns_makes_stochastic() {
+        let m = normalize_columns(&two_cliques());
+        let mut colsum = vec![0.0; 6];
+        for i in 0..6 {
+            for (&c, &v) in m.row_cols(i).iter().zip(m.row_vals(i)) {
+                colsum[c as usize] += v;
+            }
+        }
+        for (c, s) in colsum.iter().enumerate() {
+            assert!((s - 1.0).abs() < 1e-12, "column {c} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn inflation_sharpens_columns() {
+        let m = normalize_columns(&two_cliques());
+        let inf = inflate(&m, 2.0);
+        // inflation increases the max entry of each column (or keeps
+        // it, for already-concentrated columns)
+        let col_max = |x: &Csr<f64>, c: u32| -> f64 {
+            (0..x.nrows()).filter_map(|i| x.get(i, c)).fold(0.0f64, |a, &b| a.max(b))
+        };
+        for c in 0..6u32 {
+            assert!(col_max(&inf, c) >= col_max(&m, c) - 1e-12, "column {c}");
+        }
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let pool = Pool::new(2);
+        let labels = cluster(&two_cliques(), &MclParams::default(), &pool).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3], "weakly-bridged cliques must separate");
+    }
+
+    #[test]
+    fn converges_on_disconnected_components() {
+        let g = Csr::from_triplets(4, 4, &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)])
+            .unwrap();
+        let pool = Pool::new(1);
+        let labels = cluster(&g, &MclParams::default(), &pool).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn mcl_step_keeps_matrix_stochastic_and_sparse() {
+        let pool = Pool::new(2);
+        let m = normalize_columns(
+            &ops::add(&two_cliques(), &Csr::<f64>::identity(6)).unwrap(),
+        );
+        let (next, delta) = mcl_step(&m, &MclParams::default(), &pool).unwrap();
+        assert!(delta > 0.0);
+        assert!(next.nnz() > 0);
+        let mut colsum = vec![0.0; 6];
+        for i in 0..6 {
+            for (&c, &v) in next.row_cols(i).iter().zip(next.row_vals(i)) {
+                assert!(v >= 0.0);
+                colsum[c as usize] += v;
+            }
+        }
+        for s in colsum {
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

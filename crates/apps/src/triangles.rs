@@ -1,0 +1,178 @@
+//! Triangle counting via `L · U` SpGEMM (§5.6, after Azad, Buluç &
+//! Gilbert, IPDPSW 2015).
+//!
+//! Pipeline exactly as the paper describes: make the graph simple and
+//! symmetric; reorder rows/columns by ascending degree ("For optimal
+//! performance in triangle counting, we reorder rows with increasing
+//! number of nonzeros"); split `A = L + U` into strict triangles;
+//! compute the wedge matrix `B = L · U`; count `Σ_{(i,j) ∈ A} B[i,j]`
+//! and divide by 2 (each triangle is found from two of its vertices
+//! under this orientation).
+
+use spgemm::{multiply_in, Algorithm, OutputOrder};
+use spgemm_par::Pool;
+use spgemm_sparse::{ops, Csr, PlusTimes, SparseError};
+
+/// Count triangles in an undirected simple graph.
+///
+/// The input may be any square pattern; it is symmetrized and its
+/// diagonal dropped first, so multi-edges/direction/self-loops do not
+/// affect the count. `algo` selects the SpGEMM kernel for the `L · U`
+/// step (the recipe: Heap for low compression ratios, Hash otherwise —
+/// Table 4a's `LxU` row).
+pub fn count_triangles(
+    graph: &Csr<f64>,
+    algo: Algorithm,
+    pool: &Pool,
+) -> Result<u64, SparseError> {
+    let simple = ops::symmetrize_simple(&graph.map(|_| 1.0))?;
+    let simple = simple.map(|_| 1.0f64); // weights irrelevant; count wedges
+    // degree reordering: ascending row size
+    let perm = ops::degree_ascending_permutation(&simple);
+    let reordered = ops::permute_symmetric(&simple, &perm)?;
+    let (l, u) = ops::split_lu(&reordered)?;
+    let wedges = multiply_in::<PlusTimes<f64>>(&l, &u, algo, OutputOrder::Sorted, pool)?;
+    let total = ops::masked_sum(&wedges, &reordered)?;
+    // each triangle {i<j<k} contributes L·U wedges at (j,i)?? — under
+    // the L·U orientation every triangle is counted exactly twice in
+    // the masked sum (once per wedge endpoint pair present in A).
+    Ok((total / 2.0).round() as u64)
+}
+
+/// Triangle counting through **masked** SpGEMM: wedges are only ever
+/// accumulated at positions where the graph has an edge, so the wedge
+/// matrix `L · U` is never materialized (working set `O(nnz(A))`
+/// instead of `O(flop)`). Same preprocessing and result as
+/// [`count_triangles`].
+pub fn count_triangles_masked(graph: &Csr<f64>, pool: &Pool) -> Result<u64, SparseError> {
+    let simple = ops::symmetrize_simple(&graph.map(|_| 1.0))?;
+    let simple = simple.map(|_| 1.0f64);
+    let perm = ops::degree_ascending_permutation(&simple);
+    let reordered = ops::permute_symmetric(&simple, &perm)?;
+    let (l, u) = ops::split_lu(&reordered)?;
+    let wedges_on_edges = spgemm::multiply_masked::<PlusTimes<f64>, f64>(
+        &l,
+        &u,
+        &reordered,
+        OutputOrder::Unsorted,
+        pool,
+    )?;
+    let total: f64 = wedges_on_edges.vals().iter().sum();
+    Ok((total / 2.0).round() as u64)
+}
+
+/// Brute-force reference: enumerate vertex triples on the symmetrized
+/// simple graph (tests and tiny graphs only — O(n³)).
+pub fn count_triangles_naive(graph: &Csr<f64>) -> Result<u64, SparseError> {
+    let simple = ops::symmetrize_simple(&graph.map(|_| 1.0))?;
+    let n = simple.nrows();
+    let has = |i: usize, j: usize| simple.get(i, j as u32).is_some();
+    let mut count = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !has(i, j) {
+                continue;
+            }
+            for k in (j + 1)..n {
+                if has(i, k) && has(j, k) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr(n: usize, edges: &[(usize, usize)]) -> Csr<f64> {
+        let trips: Vec<(usize, u32, f64)> =
+            edges.iter().map(|&(u, v)| (u, v as u32, 1.0)).collect();
+        Csr::from_triplets(n, n, &trips).unwrap()
+    }
+
+    #[test]
+    fn single_triangle() {
+        let g = csr(3, &[(0, 1), (1, 2), (0, 2)]);
+        let pool = Pool::new(2);
+        assert_eq!(count_triangles(&g, Algorithm::Hash, &pool).unwrap(), 1);
+        assert_eq!(count_triangles_naive(&g).unwrap(), 1);
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let g = csr(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let pool = Pool::new(2);
+        for algo in [Algorithm::Hash, Algorithm::Heap, Algorithm::HashVec] {
+            assert_eq!(count_triangles(&g, algo, &pool).unwrap(), 4, "{algo}");
+        }
+    }
+
+    #[test]
+    fn triangle_free_graph() {
+        // a 4-cycle has no triangles
+        let g = csr(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pool = Pool::new(1);
+        assert_eq!(count_triangles(&g, Algorithm::Hash, &pool).unwrap(), 0);
+    }
+
+    #[test]
+    fn directed_input_and_self_loops_normalized() {
+        // same triangle given as one-directional edges plus junk
+        let g = csr(3, &[(1, 0), (2, 1), (0, 2), (0, 0), (1, 1)]);
+        let pool = Pool::new(1);
+        assert_eq!(count_triangles(&g, Algorithm::Hash, &pool).unwrap(), 1);
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        let pool = Pool::new(2);
+        for seed in 0..4u64 {
+            let a = spgemm_gen::suite::uniform_matrix(40, 300, &mut spgemm_gen::rng(seed));
+            let expect = count_triangles_naive(&a).unwrap();
+            for algo in [Algorithm::Hash, Algorithm::Heap] {
+                let got = count_triangles(&a, algo, &pool).unwrap();
+                assert_eq!(got, expect, "seed {seed} {algo}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_path_agrees_with_materialized_path() {
+        let pool = Pool::new(2);
+        for seed in 0..3u64 {
+            let a = spgemm_gen::suite::uniform_matrix(50, 400, &mut spgemm_gen::rng(seed));
+            let full = count_triangles(&a, Algorithm::Hash, &pool).unwrap();
+            let masked = count_triangles_masked(&a, &pool).unwrap();
+            assert_eq!(full, masked, "seed {seed}");
+        }
+        let g = spgemm_gen::rmat::generate_kind(
+            spgemm_gen::RmatKind::G500,
+            7,
+            8,
+            &mut spgemm_gen::rng(9),
+        );
+        assert_eq!(
+            count_triangles(&g, Algorithm::Hash, &pool).unwrap(),
+            count_triangles_masked(&g, &pool).unwrap()
+        );
+    }
+
+    #[test]
+    fn rmat_graph_consistency_across_algorithms() {
+        let a = spgemm_gen::rmat::generate_kind(
+            spgemm_gen::RmatKind::G500,
+            7,
+            8,
+            &mut spgemm_gen::rng(3),
+        );
+        let pool = Pool::new(2);
+        let baseline = count_triangles(&a, Algorithm::Hash, &pool).unwrap();
+        assert!(baseline > 0, "a dense-ish G500 graph should contain triangles");
+        for algo in [Algorithm::Heap, Algorithm::HashVec, Algorithm::Spa, Algorithm::Merge] {
+            assert_eq!(count_triangles(&a, algo, &pool).unwrap(), baseline, "{algo}");
+        }
+    }
+}

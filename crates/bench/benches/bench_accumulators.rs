@@ -1,0 +1,92 @@
+//! Accumulator-level microbenchmarks: raw insert/extract throughput
+//! of each accumulator data structure, isolated from the kernel
+//! drivers — the direct measure of §4.2's design choices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spgemm::algos::{
+    hash::HashAccumulator, hashvec::HashVecAccumulator, kkhash::KkHashAccumulator,
+    spa::SpaAccumulator,
+};
+use spgemm_sparse::PlusTimes;
+use std::time::Duration;
+
+type P = PlusTimes<f64>;
+
+/// Pseudo-random column streams with controllable duplication (the
+/// compression-ratio analogue at accumulator level).
+fn key_stream(n: usize, distinct: usize, seed: u64) -> Vec<u32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize % distinct) as u32
+        })
+        .collect()
+}
+
+fn bench_insert_extract(c: &mut Criterion) {
+    const N: usize = 4096;
+    let ncols = 1 << 20;
+    for (label, distinct) in [("cr1", N), ("cr8", N / 8)] {
+        let keys = key_stream(N, distinct, 0x5eed);
+        let mut g = c.benchmark_group(format!("accumulate_{label}"));
+        g.sample_size(20).measurement_time(Duration::from_secs(2));
+        g.bench_with_input(BenchmarkId::new("hash", N), &keys, |b, keys| {
+            let mut acc = HashAccumulator::<P>::new(N, ncols);
+            let mut cols = vec![0u32; N];
+            let mut vals = vec![0.0f64; N];
+            b.iter(|| {
+                for &k in keys {
+                    acc.insert_numeric(k, 1.0);
+                }
+                let n = acc.len();
+                acc.extract_into(&mut cols[..n], &mut vals[..n], true);
+                n
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hashvec", N), &keys, |b, keys| {
+            let mut acc = HashVecAccumulator::<P>::new(N, ncols);
+            let mut cols = vec![0u32; N];
+            let mut vals = vec![0.0f64; N];
+            b.iter(|| {
+                for &k in keys {
+                    acc.insert_numeric(k, 1.0);
+                }
+                let n = acc.len();
+                acc.extract_into(&mut cols[..n], &mut vals[..n], true);
+                n
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("kkhash", N), &keys, |b, keys| {
+            let mut acc = KkHashAccumulator::<P>::new(N, ncols);
+            let mut cols = vec![0u32; N];
+            let mut vals = vec![0.0f64; N];
+            b.iter(|| {
+                for &k in keys {
+                    acc.insert_numeric(k, 1.0);
+                }
+                let n = acc.len();
+                acc.extract_into(&mut cols[..n], &mut vals[..n], true);
+                n
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("spa", N), &keys, |b, keys| {
+            let mut acc = SpaAccumulator::<P>::new(ncols);
+            let mut cols = vec![0u32; N];
+            let mut vals = vec![0.0f64; N];
+            b.iter(|| {
+                acc.begin_row();
+                for &k in keys {
+                    acc.insert_numeric(k, 1.0);
+                }
+                let n = acc.len();
+                acc.extract_into(&mut cols[..n], &mut vals[..n], true);
+                n
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_insert_extract);
+criterion_main!(benches);

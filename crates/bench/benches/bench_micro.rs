@@ -1,0 +1,71 @@
+//! Microbenchmarks of the runtime substrate: parallel scan, the
+//! flop-balanced partitioner, pool region overhead, and the R-MAT
+//! generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spgemm_par::{partition, scan, Pool, Schedule};
+use std::time::Duration;
+
+fn micro_scan(c: &mut Criterion) {
+    let pool = Pool::with_all_threads();
+    let base: Vec<u64> = (0..1_000_000u64).map(|i| i % 17).collect();
+    let mut g = c.benchmark_group("scan_1M");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("sequential", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut v| scan::inclusive_scan_in_place(&mut v),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("parallel", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut v| scan::parallel_inclusive_scan(&pool, &mut v),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn micro_partition(c: &mut Criterion) {
+    let pool = Pool::with_all_threads();
+    let weights: Vec<u64> = (0..1_000_000u64).map(|i| (i * 2654435761) % 1000).collect();
+    let mut g = c.benchmark_group("partition_1M");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("balanced_offsets", |b| {
+        b.iter(|| partition::balanced_offsets(&weights, 64, &pool))
+    });
+    g.finish();
+}
+
+fn micro_pool(c: &mut Criterion) {
+    let pool = Pool::with_all_threads();
+    let mut g = c.benchmark_group("pool_region");
+    g.sample_size(50).measurement_time(Duration::from_secs(2));
+    g.bench_function("empty_broadcast", |b| b.iter(|| pool.broadcast(|_| {})));
+    g.bench_function("parallel_for_4k_static", |b| {
+        b.iter(|| {
+            pool.parallel_for(4096, Schedule::Static, |i| {
+                std::hint::black_box(i);
+            })
+        })
+    });
+    g.finish();
+}
+
+fn micro_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rmat_scale10_ef8");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in [spgemm_gen::RmatKind::Er, spgemm_gen::RmatKind::G500] {
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                spgemm_gen::rmat::generate_kind(kind, 10, 8, &mut spgemm_gen::rng(1)).nnz()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, micro_scan, micro_partition, micro_pool, micro_generator);
+criterion_main!(benches);

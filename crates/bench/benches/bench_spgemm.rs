@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the full SpGEMM kernels on R-MAT inputs —
+//! the per-kernel companion to the figure binaries, with statistical
+//! rigor on a fixed small workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spgemm::{multiply_in, Algorithm, OutputOrder};
+use spgemm_par::Pool;
+use spgemm_sparse::PlusTimes;
+use std::time::Duration;
+
+fn bench_square(c: &mut Criterion) {
+    let pool = Pool::with_all_threads();
+    for kind in [spgemm_gen::RmatKind::Er, spgemm_gen::RmatKind::G500] {
+        let a = spgemm_gen::rmat::generate_kind(kind, 10, 8, &mut spgemm_gen::rng(42));
+        let mut g = c.benchmark_group(format!("square_{}", kind.name()));
+        g.sample_size(10).measurement_time(Duration::from_secs(2));
+        for algo in [
+            Algorithm::Hash,
+            Algorithm::HashVec,
+            Algorithm::Heap,
+            Algorithm::Spa,
+            Algorithm::Merge,
+            Algorithm::Inspector,
+            Algorithm::KkHash,
+        ] {
+            g.bench_with_input(BenchmarkId::new(algo.name(), "sorted"), &a, |b, a| {
+                b.iter(|| {
+                    multiply_in::<PlusTimes<f64>>(a, a, algo, OutputOrder::Sorted, &pool)
+                        .unwrap()
+                })
+            });
+            if algo.supports_sort_skip() {
+                g.bench_with_input(BenchmarkId::new(algo.name(), "unsorted"), &a, |b, a| {
+                    b.iter(|| {
+                        multiply_in::<PlusTimes<f64>>(a, a, algo, OutputOrder::Unsorted, &pool)
+                            .unwrap()
+                    })
+                });
+            }
+        }
+        g.finish();
+    }
+}
+
+fn bench_tall_skinny(c: &mut Criterion) {
+    let pool = Pool::with_all_threads();
+    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 11, 16, &mut spgemm_gen::rng(7));
+    let ts = spgemm_gen::tallskinny::tall_skinny(&a, 64, &mut spgemm_gen::rng(8)).unwrap();
+    let mut g = c.benchmark_group("tall_skinny");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for algo in [Algorithm::Hash, Algorithm::HashVec, Algorithm::Heap] {
+        g.bench_function(algo.name(), |b| {
+            b.iter(|| {
+                multiply_in::<PlusTimes<f64>>(&a, &ts, algo, OutputOrder::Sorted, &pool)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_square, bench_tall_skinny);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 4: allocation/deallocation cost, "single" vs "parallel"
+//! schemes, as a function of buffer size.
+//!
+//! The paper sweeps 2 MB – 32 GB on KNL and finds single deallocation
+//! of ≥ 1 GB buffers costing > 100 ms while the parallel scheme stays
+//! flat until per-thread shares hit the same thresholds. Defaults
+//! sweep 2 MB – 2 GB to fit container memory; `--quick` stops at 64 MB.
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin fig04_dealloc_cost [--threads N] [--quick]
+//! ```
+
+use spgemm_bench::args::BenchArgs;
+use spgemm_membench::alloc;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
+    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    println!("# fig04: allocation / touch / deallocation (milliseconds; median of 3)");
+    println!("scheme\tsize_mb\talloc_ms\ttouch_ms\tdealloc_ms");
+    let hi_mb_log2 = if args.quick { 6 } else { 11 }; // up to 2^11 MB = 2 GB
+    for s in 1..=hi_mb_log2 {
+        let mb = 1usize << s;
+        let bytes = mb << 20;
+        let single = median3(|| alloc::measure_single(bytes));
+        println!(
+            "single\t{mb}\t{:.3}\t{:.3}\t{:.3}",
+            single.alloc_ms, single.touch_ms, single.dealloc_ms
+        );
+        let par = median3(|| alloc::measure_parallel(&pool, bytes));
+        println!(
+            "parallel\t{mb}\t{:.3}\t{:.3}\t{:.3}",
+            par.alloc_ms, par.touch_ms, par.dealloc_ms
+        );
+        let pooled = alloc::measure_pooled(&pool, bytes);
+        println!(
+            "pooled\t{mb}\t{:.3}\t{:.3}\t{:.3}",
+            pooled.alloc_ms, pooled.touch_ms, pooled.dealloc_ms
+        );
+    }
+    println!("# pooled = parallel scheme + buffer reuse (our kernels' steady state)");
+}
+
+/// Median-of-3 on the dealloc field (the figure's quantity), keeping
+/// that run's full timings.
+fn median3(mut f: impl FnMut() -> alloc::AllocTimings) -> alloc::AllocTimings {
+    let mut runs = [f(), f(), f()];
+    runs.sort_by(|a, b| a.dealloc_ms.total_cmp(&b.dealloc_ms));
+    runs[1]
+}

@@ -1,0 +1,59 @@
+//! Figure 9: Heap SpGEMM performance vs input scale under five
+//! scheduling / memory-management configurations (§5.3.1).
+//!
+//! Paper series on G500, edge factor 16: static, dynamic, guided,
+//! balanced-single, balanced-parallel. "Balanced parallel" (the §4.1
+//! partition + §3.2 thread-private staging) should dominate, with
+//! plain static suffering load imbalance on the skewed G500 rows and
+//! balanced-single losing at large scales to master-side
+//! (de)allocation.
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin fig09_sched_spgemm [--scale N] [--ef N] [--reps N]
+//! ```
+
+use spgemm::tuning::{heap_multiply_tuned, MemScheme, RowSchedule};
+use spgemm_bench::args::BenchArgs;
+use spgemm_gen::{rmat, RmatKind};
+use spgemm_sparse::{stats, PlusTimes};
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
+    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    let ef = args.ef_or(16);
+    let max_scale = args.scale_or(13); // paper sweeps 6..18
+    println!("# fig09: Heap SpGEMM (G500, EF {ef}) under scheduling variants, MFLOPS");
+    println!("variant\tscale\tmflops");
+
+    let variants: [(&str, RowSchedule, MemScheme); 5] = [
+        ("static", RowSchedule::Static, MemScheme::Parallel),
+        ("dynamic", RowSchedule::Dynamic, MemScheme::Parallel),
+        ("guided", RowSchedule::Guided, MemScheme::Parallel),
+        ("balanced single", RowSchedule::FlopBalanced, MemScheme::Single),
+        ("balanced parallel", RowSchedule::FlopBalanced, MemScheme::Parallel),
+    ];
+
+    for scale in 6..=max_scale {
+        let a = rmat::generate_kind(RmatKind::G500, scale, ef, &mut spgemm_gen::rng(args.seed));
+        let flop = stats::flop(&a, &a);
+        for (name, sched, mem) in variants {
+            // warmup
+            std::hint::black_box(heap_multiply_tuned::<PlusTimes<f64>>(
+                &a, &a, &pool, sched, mem,
+            ));
+            let mut times = Vec::with_capacity(args.reps);
+            for _ in 0..args.reps.max(1) {
+                let t = Instant::now();
+                std::hint::black_box(heap_multiply_tuned::<PlusTimes<f64>>(
+                    &a, &a, &pool, sched, mem,
+                ));
+                times.push(t.elapsed().as_secs_f64());
+            }
+            times.sort_by(|x, y| x.total_cmp(y));
+            let secs = times[times.len() / 2];
+            println!("{name}\t{scale}\t{:.1}", 2.0 * flop as f64 / secs / 1e6);
+        }
+    }
+}

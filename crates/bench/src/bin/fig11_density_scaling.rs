@@ -1,0 +1,61 @@
+//! Figure 11: MFLOPS vs density (edge factor 4/8/16) at fixed scale,
+//! for ER and G500 inputs, sorted and unsorted panels.
+//!
+//! Paper panels: KNL/ER, KNL/G500, Haswell/ER, Haswell/G500 at scale
+//! 16. Here one machine, two pattern panels; the sorted panel runs
+//! {MKL~Merge, Heap, Hash, HashVec} on sorted inputs, the unsorted
+//! panel runs {MKL~SPA, MKL-inspector~1-phase, Kokkos~KkHash, Hash,
+//! HashVec} on randomly column-permuted inputs with unsorted output
+//! (the §5.1 protocol).
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin fig11_density_scaling [--scale N] [--reps N]
+//! ```
+
+use spgemm::OutputOrder;
+use spgemm_bench::{args::BenchArgs, panel_label, runner, sorted_panel, unsorted_panel};
+use spgemm_gen::{perm, rmat, RmatKind};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
+    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    let scale = args.scale_or(13); // paper: 16
+    println!("# fig11: MFLOPS vs edge factor at scale {scale}");
+    println!("pattern\tpanel\talgorithm\tedge_factor\tmflops");
+
+    for kind in [RmatKind::Er, RmatKind::G500] {
+        for ef in [4usize, 8, 16] {
+            let a = rmat::generate_kind(kind, scale, ef, &mut spgemm_gen::rng(args.seed));
+            // sorted panel
+            for algo in sorted_panel() {
+                match runner::time_multiply(&a, &a, algo, OutputOrder::Sorted, &pool, args.reps)
+                {
+                    Ok(m) => println!(
+                        "{}\tsorted\t{}\t{}\t{:.1}",
+                        kind.name(),
+                        panel_label(algo, true),
+                        ef,
+                        m.mflops()
+                    ),
+                    Err(e) => eprintln!("skip {algo} sorted: {e}"),
+                }
+            }
+            // unsorted panel: §5.1 — inputs randomly column-permuted
+            let u = perm::randomize_columns(&a, &mut spgemm_gen::rng(args.seed ^ 0xff));
+            for algo in unsorted_panel() {
+                match runner::time_multiply(&u, &u, algo, OutputOrder::Unsorted, &pool, args.reps)
+                {
+                    Ok(m) => println!(
+                        "{}\tunsorted\t{}\t{}\t{:.1}",
+                        kind.name(),
+                        panel_label(algo, false),
+                        ef,
+                        m.mflops()
+                    ),
+                    Err(e) => eprintln!("skip {algo} unsorted: {e}"),
+                }
+            }
+        }
+    }
+}

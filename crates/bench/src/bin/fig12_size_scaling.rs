@@ -1,0 +1,60 @@
+//! Figure 12: MFLOPS vs matrix scale at fixed edge factor 16, ER and
+//! G500, sorted and unsorted panels.
+//!
+//! Paper sweeps scale 8–20 (ER) / 8–17 (G500); defaults here sweep
+//! 8–13/8–12 and `--scale` raises the ceiling. The shape to look for:
+//! merge/MKL-like codes win small uniform inputs, hash-family kernels
+//! take over as scale grows, and G500's skew hurts load-oblivious
+//! codes throughout (§5.4.2).
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin fig12_size_scaling [--scale N] [--reps N]
+//! ```
+
+use spgemm::OutputOrder;
+use spgemm_bench::{args::BenchArgs, panel_label, runner, sorted_panel, unsorted_panel};
+use spgemm_gen::{perm, rmat, RmatKind};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
+    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    let ef = args.ef_or(16);
+    let max_er = args.scale_or(13);
+    let max_g500 = max_er.saturating_sub(1).max(8);
+    println!("# fig12: MFLOPS vs scale (edge factor {ef})");
+    println!("pattern\tpanel\talgorithm\tscale\tmflops");
+
+    for (kind, max_scale) in [(RmatKind::Er, max_er), (RmatKind::G500, max_g500)] {
+        for scale in 8..=max_scale {
+            let a = rmat::generate_kind(kind, scale, ef, &mut spgemm_gen::rng(args.seed));
+            for algo in sorted_panel() {
+                match runner::time_multiply(&a, &a, algo, OutputOrder::Sorted, &pool, args.reps)
+                {
+                    Ok(m) => println!(
+                        "{}\tsorted\t{}\t{}\t{:.1}",
+                        kind.name(),
+                        panel_label(algo, true),
+                        scale,
+                        m.mflops()
+                    ),
+                    Err(e) => eprintln!("skip {algo}: {e}"),
+                }
+            }
+            let u = perm::randomize_columns(&a, &mut spgemm_gen::rng(args.seed ^ 0xff));
+            for algo in unsorted_panel() {
+                match runner::time_multiply(&u, &u, algo, OutputOrder::Unsorted, &pool, args.reps)
+                {
+                    Ok(m) => println!(
+                        "{}\tunsorted\t{}\t{}\t{:.1}",
+                        kind.name(),
+                        panel_label(algo, false),
+                        scale,
+                        m.mflops()
+                    ),
+                    Err(e) => eprintln!("skip {algo}: {e}"),
+                }
+            }
+        }
+    }
+}

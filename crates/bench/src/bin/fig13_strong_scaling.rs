@@ -1,0 +1,70 @@
+//! Figure 13: strong scaling with thread count (scale 16, EF 16 in
+//! the paper; ER and G500 panels).
+//!
+//! The paper sweeps 1–272 threads on KNL including hyper-threaded
+//! oversubscription points. This machine has far fewer cores, so the
+//! sweep is 1..4× the hardware threads — the shape to check is linear
+//! scaling to the physical core count and the flattening beyond it.
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin fig13_strong_scaling [--scale N] [--reps N]
+//! ```
+
+use spgemm::OutputOrder;
+use spgemm_bench::{args::BenchArgs, panel_label, runner, sorted_panel, unsorted_panel};
+use spgemm_gen::{perm, rmat, RmatKind};
+use spgemm_par::Pool;
+
+fn main() {
+    let args = BenchArgs::parse();
+    print!("{}", spgemm_bench::envinfo::environment_banner(spgemm_par::hardware_threads()));
+    let scale = args.scale_or(12); // paper: 16
+    let ef = args.ef_or(16);
+    println!("# fig13: strong scaling (scale {scale}, EF {ef})");
+    println!("pattern\tpanel\talgorithm\tthreads\tmflops");
+
+    let hw = spgemm_par::hardware_threads();
+    let mut counts = vec![];
+    let mut t = 1usize;
+    while t <= hw * 4 {
+        counts.push(t);
+        t *= 2;
+    }
+
+    for kind in [RmatKind::Er, RmatKind::G500] {
+        let a = rmat::generate_kind(kind, scale, ef, &mut spgemm_gen::rng(args.seed));
+        let u = perm::randomize_columns(&a, &mut spgemm_gen::rng(args.seed ^ 0xff));
+        for &nt in &counts {
+            let pool = Pool::new(nt);
+            for algo in sorted_panel() {
+                if algo == spgemm::Algorithm::Merge && args.quick {
+                    continue;
+                }
+                match runner::time_multiply(&a, &a, algo, OutputOrder::Sorted, &pool, args.reps)
+                {
+                    Ok(m) => println!(
+                        "{}\tsorted\t{}\t{}\t{:.1}",
+                        kind.name(),
+                        panel_label(algo, true),
+                        nt,
+                        m.mflops()
+                    ),
+                    Err(e) => eprintln!("skip {algo}: {e}"),
+                }
+            }
+            for algo in unsorted_panel() {
+                match runner::time_multiply(&u, &u, algo, OutputOrder::Unsorted, &pool, args.reps)
+                {
+                    Ok(m) => println!(
+                        "{}\tunsorted\t{}\t{}\t{:.1}",
+                        kind.name(),
+                        panel_label(algo, false),
+                        nt,
+                        m.mflops()
+                    ),
+                    Err(e) => eprintln!("skip {algo}: {e}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 14: A² performance vs compression ratio over the Table 2
+//! suite, sorted and unsorted panels, plus the §5.4.4 harmonic-mean
+//! unsorted-over-sorted speedups.
+//!
+//! Runs on the synthetic stand-ins by default (DESIGN.md substitution
+//! S5); give `--suitesparse DIR` to use real `.mtx` files. The shape
+//! to check: Heap flat in CR; Hash high and CR-insensitive;
+//! merge-style (MKL) improving with CR; inspector-style winning at
+//! high CR in the unsorted panel. Paper's headline: unsorted beats
+//! sorted by 1.58×/1.63×/1.68× harmonic mean for MKL/Hash/HashVec.
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin fig14_compression_ratio [--divisor N] [--suitesparse DIR]
+//! ```
+
+use spgemm::{Algorithm, OutputOrder};
+use spgemm_bench::{args::BenchArgs, panel_label, runner, sorted_panel, unsorted_panel};
+use spgemm_gen::perm;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
+    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    let divisor = if args.quick { args.divisor.max(512) } else { args.divisor };
+    let suite = spgemm_bench::suites::load(args.suitesparse.as_deref(), divisor, args.seed);
+    println!("# fig14: A^2 over the Table 2 suite (divisor {divisor}); MFLOPS vs compression ratio");
+    println!("panel\talgorithm\tmatrix\tcompression_ratio\tmflops");
+
+    // per-algorithm sorted/unsorted times for the harmonic-mean stat
+    let mut speedups: std::collections::HashMap<&'static str, Vec<f64>> = Default::default();
+
+    for p in &suite {
+        let a = &p.matrix;
+        for algo in sorted_panel() {
+            match runner::time_multiply(a, a, algo, OutputOrder::Sorted, &pool, args.reps) {
+                Ok(m) => {
+                    println!(
+                        "sorted\t{}\t{}\t{:.2}\t{:.1}",
+                        panel_label(algo, true),
+                        p.name,
+                        m.compression_ratio(),
+                        m.mflops()
+                    );
+                }
+                Err(e) => eprintln!("skip {algo} on {}: {e}", p.name),
+            }
+        }
+        let u = perm::randomize_columns(a, &mut spgemm_gen::rng(args.seed ^ 0x5eed));
+        for algo in unsorted_panel() {
+            match runner::time_multiply(&u, &u, algo, OutputOrder::Unsorted, &pool, args.reps) {
+                Ok(m) => println!(
+                    "unsorted\t{}\t{}\t{:.2}\t{:.1}",
+                    panel_label(algo, false),
+                    p.name,
+                    m.compression_ratio(),
+                    m.mflops()
+                ),
+                Err(e) => eprintln!("skip {algo} on {}: {e}", p.name),
+            }
+        }
+        // §5.4.4: per-kernel sorted-vs-unsorted speedup on kernels that
+        // support both (Hash, HashVec, SPA~MKL)
+        for algo in [Algorithm::Hash, Algorithm::HashVec, Algorithm::Spa] {
+            let s = runner::time_multiply(a, a, algo, OutputOrder::Sorted, &pool, args.reps);
+            let us = runner::time_multiply(a, a, algo, OutputOrder::Unsorted, &pool, args.reps);
+            if let (Ok(s), Ok(us)) = (s, us) {
+                speedups.entry(panel_label(algo, false)).or_default().push(s.secs / us.secs);
+            }
+        }
+    }
+
+    println!("# harmonic-mean speedup of unsorted over sorted (paper: MKL 1.58x, Hash 1.63x, HashVec 1.68x):");
+    let mut keys: Vec<_> = speedups.keys().copied().collect();
+    keys.sort_unstable();
+    for k in keys {
+        let v = &speedups[k];
+        let hmean = v.len() as f64 / v.iter().map(|x| 1.0 / x).sum::<f64>();
+        println!("#   {k}: {hmean:.2}x over {} matrices", v.len());
+    }
+}

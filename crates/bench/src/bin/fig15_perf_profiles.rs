@@ -1,0 +1,61 @@
+//! Figure 15: Dolan–Moré performance profiles over the Table 2 suite,
+//! sorted and unsorted panels (§5.4.5).
+//!
+//! Paper findings to compare against: Hash best for ~70% of sorted
+//! problems and always within 1.6× of the best; for unsorted, Hash /
+//! HashVec / MKL-inspector roughly tie, Kokkos trails.
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin fig15_perf_profiles [--divisor N] [--suitesparse DIR]
+//! ```
+
+use spgemm::OutputOrder;
+use spgemm_bench::{args::BenchArgs, panel_label, profiles, runner, sorted_panel, unsorted_panel};
+use spgemm_gen::perm;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
+    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    let divisor = if args.quick { args.divisor.max(512) } else { args.divisor };
+    let suite = spgemm_bench::suites::load(args.suitesparse.as_deref(), divisor, args.seed);
+    println!("# fig15: performance profiles over {} matrices (divisor {divisor})", suite.len());
+
+    for (panel, algos, order) in [
+        ("sorted", sorted_panel(), OutputOrder::Sorted),
+        ("unsorted", unsorted_panel(), OutputOrder::Unsorted),
+    ] {
+        let labels: Vec<&str> =
+            algos.iter().map(|&a| panel_label(a, panel == "sorted")).collect();
+        let mut times: Vec<Vec<Option<f64>>> = vec![Vec::new(); algos.len()];
+        for p in &suite {
+            let m = if panel == "sorted" {
+                p.matrix.clone()
+            } else {
+                perm::randomize_columns(&p.matrix, &mut spgemm_gen::rng(args.seed ^ 0x5eed))
+            };
+            for (s, &algo) in algos.iter().enumerate() {
+                let t = runner::time_multiply(&m, &m, algo, order, &pool, args.reps)
+                    .ok()
+                    .map(|r| r.secs);
+                times[s].push(t);
+            }
+        }
+        let prof = profiles::build(&labels, &times);
+        println!("panel\talgorithm\ttheta\tfraction");
+        let thetas = profiles::default_thetas();
+        for (s, label) in labels.iter().enumerate() {
+            for &theta in &thetas {
+                println!("{panel}\t{label}\t{theta:.1}\t{:.3}", prof.fraction_within(s, theta));
+            }
+        }
+        // headline stats
+        for (s, label) in labels.iter().enumerate() {
+            println!(
+                "# {panel}: {label}: best on {:.0}% of problems, within 1.6x on {:.0}%",
+                prof.fraction_within(s, 1.0) * 100.0,
+                prof.fraction_within(s, 1.6) * 100.0
+            );
+        }
+    }
+}

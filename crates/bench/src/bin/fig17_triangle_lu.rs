@@ -1,0 +1,64 @@
+//! Figure 17: `L · U` SpGEMM performance (triangle counting) vs
+//! compression ratio over the Table 2 suite, sorted panel.
+//!
+//! The pipeline matches §5.6: symmetrize, degree-reorder, split
+//! `A = L + U`, time the `L · U` product. Paper findings: results
+//! track the A² figure, except Heap wins the low-compression-ratio
+//! inputs ("One big difference from A² is that Heap performs the best
+//! for inputs with low compression ratios").
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin fig17_triangle_lu [--divisor N] [--suitesparse DIR]
+//! ```
+
+use spgemm::OutputOrder;
+use spgemm_bench::{args::BenchArgs, panel_label, runner, sorted_panel};
+use spgemm_sparse::ops;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
+    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    let divisor = if args.quick { args.divisor.max(512) } else { args.divisor };
+    let suite = spgemm_bench::suites::load(args.suitesparse.as_deref(), divisor, args.seed);
+    println!("# fig17: L*U (triangle counting) over the suite (divisor {divisor})");
+    println!("algorithm\tmatrix\tcompression_ratio\tmflops");
+
+    for p in &suite {
+        // §5.6 preprocessing
+        let simple = match ops::symmetrize_simple(&p.matrix) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skip {} (not square?): {e}", p.name);
+                continue;
+            }
+        };
+        let perm = ops::degree_ascending_permutation(&simple);
+        let reordered = match ops::permute_symmetric(&simple, &perm) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("skip {}: {e}", p.name);
+                continue;
+            }
+        };
+        let (l, u) = match ops::split_lu(&reordered) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("skip {}: {e}", p.name);
+                continue;
+            }
+        };
+        for algo in sorted_panel() {
+            match runner::time_multiply(&l, &u, algo, OutputOrder::Sorted, &pool, args.reps) {
+                Ok(m) => println!(
+                    "{}\t{}\t{:.2}\t{:.1}",
+                    panel_label(algo, true),
+                    p.name,
+                    m.compression_ratio(),
+                    m.mflops()
+                ),
+                Err(e) => eprintln!("skip {algo} on {}: {e}", p.name),
+            }
+        }
+    }
+}

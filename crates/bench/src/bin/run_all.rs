@@ -1,0 +1,61 @@
+//! Run every figure/table binary in sequence (the full evaluation),
+//! forwarding common flags. Useful for regenerating the complete
+//! paper evaluation in one command:
+//!
+//! ```text
+//! cargo build --release -p spgemm-bench
+//! cargo run --release -p spgemm-bench --bin run_all -- --quick
+//! ```
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig02_sched_cost",
+    "fig04_dealloc_cost",
+    "fig05_stanza_bandwidth",
+    "fig09_sched_spgemm",
+    "fig10_mcdram_model",
+    "fig11_density_scaling",
+    "fig12_size_scaling",
+    "fig13_strong_scaling",
+    "fig14_compression_ratio",
+    "fig15_perf_profiles",
+    "fig16_tall_skinny",
+    "fig17_triangle_lu",
+    "table02_matrix_stats",
+    "table04_recipe",
+];
+
+fn main() {
+    let forward: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("binary directory");
+    let mut failed = Vec::new();
+    for bin in BINARIES {
+        let path = dir.join(bin);
+        if !path.exists() {
+            eprintln!("== {bin}: not built (run `cargo build --release -p spgemm-bench` first)");
+            failed.push(*bin);
+            continue;
+        }
+        println!("\n================= {bin} =================");
+        let status = Command::new(&path).args(&forward).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("== {bin} exited with {s}");
+                failed.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("== {bin} failed to launch: {e}");
+                failed.push(*bin);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} experiments completed", BINARIES.len());
+    } else {
+        eprintln!("\nfailed: {failed:?}");
+        std::process::exit(1);
+    }
+}

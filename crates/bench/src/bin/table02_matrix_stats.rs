@@ -1,0 +1,61 @@
+//! Table 2: matrix statistics — `n`, `nnz(A)`, `flop(A²)`, `nnz(A²)` —
+//! for the suite in use, alongside the paper's reported values for
+//! the originals.
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin table02_matrix_stats [--divisor N] [--suitesparse DIR]
+//! ```
+
+use spgemm::{multiply_in, Algorithm, OutputOrder};
+use spgemm_bench::args::BenchArgs;
+use spgemm_gen::suite::TABLE2;
+use spgemm_sparse::{stats, PlusTimes};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
+    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    let divisor = if args.quick { args.divisor.max(512) } else { args.divisor };
+    let suite = spgemm_bench::suites::load(args.suitesparse.as_deref(), divisor, args.seed);
+    println!("# table02: suite statistics (stand-in divisor {divisor}); paper columns in millions");
+    println!(
+        "{:<18} {:>9} {:>10} {:>12} {:>12} {:>8} | {:>7} {:>9} {:>10} {:>9}",
+        "matrix", "n", "nnz", "flop(A2)", "nnz(A2)", "CR", "paper_n", "paper_nnz", "paper_flop", "paper_CR"
+    );
+    for p in &suite {
+        let a = &p.matrix;
+        let flop = stats::flop(a, a);
+        let c = multiply_in::<PlusTimes<f64>>(a, a, Algorithm::Hash, OutputOrder::Unsorted, &pool)
+            .expect("A^2");
+        let cr = stats::compression_ratio(flop, c.nnz());
+        let paper = TABLE2.iter().find(|s| s.name == p.name);
+        match paper {
+            Some(s) => println!(
+                "{:<18} {:>9} {:>10} {:>12} {:>12} {:>8.2} | {:>7.3} {:>9.2} {:>10.2} {:>9.2}",
+                p.name,
+                a.nrows(),
+                a.nnz(),
+                flop,
+                c.nnz(),
+                cr,
+                s.n_millions,
+                s.nnz_millions,
+                s.flop_sq_millions,
+                s.paper_compression_ratio()
+            ),
+            None => println!(
+                "{:<18} {:>9} {:>10} {:>12} {:>12} {:>8.2} | {:>7} {:>9} {:>10} {:>9}",
+                p.name,
+                a.nrows(),
+                a.nnz(),
+                flop,
+                c.nnz(),
+                cr,
+                "-",
+                "-",
+                "-",
+                "-"
+            ),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Table 4: the empirical recipe — measure every scenario cell, name
+//! the winner on this machine, and print it next to the paper's
+//! recommendation.
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin table04_recipe [--scale N] [--reps N]
+//! ```
+
+use spgemm::{recipe, Algorithm, OutputOrder};
+use spgemm_bench::{args::BenchArgs, runner};
+use spgemm_gen::{perm, rmat, tallskinny, RmatKind};
+use spgemm_sparse::Csr;
+use spgemm_par::Pool;
+
+fn winner(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    order: OutputOrder,
+    pool: &Pool,
+    reps: usize,
+) -> (Algorithm, f64) {
+    let mut best = (Algorithm::Hash, f64::INFINITY);
+    for algo in [
+        Algorithm::Hash,
+        Algorithm::HashVec,
+        Algorithm::Heap,
+        Algorithm::Spa,
+        Algorithm::Merge,
+        Algorithm::Inspector,
+        Algorithm::KkHash,
+    ] {
+        if let Ok(m) = runner::time_multiply(a, b, algo, order, pool, reps) {
+            if m.secs < best.1 {
+                best = (algo, m.secs);
+            }
+        }
+    }
+    best
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
+    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    let scale = args.scale_or(12);
+    println!("# table04b analogue: synthetic scenarios at scale {scale}; winner on this machine vs paper recipe");
+    println!(
+        "{:<12} {:>8} {:>9} {:>10} {:>12} {:>12}",
+        "op", "pattern", "sparsity", "order", "measured", "paper"
+    );
+
+    for kind in [RmatKind::Er, RmatKind::G500] {
+        let pattern =
+            if kind == RmatKind::Er { recipe::Pattern::Uniform } else { recipe::Pattern::Skewed };
+        for ef in [4usize, 16] {
+            let a = rmat::generate_kind(kind, scale, ef, &mut spgemm_gen::rng(args.seed));
+            let ua = perm::randomize_columns(&a, &mut spgemm_gen::rng(args.seed ^ 1));
+            for (order, m) in
+                [(OutputOrder::Sorted, &a), (OutputOrder::Unsorted, &ua)]
+            {
+                let (w, _) = winner(m, m, order, &pool, args.reps);
+                let paper = recipe::recommend_synthetic(
+                    recipe::OpKind::Square,
+                    pattern,
+                    ef as f64,
+                    order,
+                );
+                println!(
+                    "{:<12} {:>8} {:>9} {:>10} {:>12} {:>12}",
+                    "AxA",
+                    if pattern == recipe::Pattern::Uniform { "uniform" } else { "skewed" },
+                    if ef <= 8 { "sparse" } else { "dense" },
+                    if order.is_sorted() { "sorted" } else { "unsorted" },
+                    w.name(),
+                    paper.name()
+                );
+            }
+        }
+    }
+
+    // tall-skinny rows of Table 4b (paper measured the skewed column)
+    let g = rmat::generate_kind(RmatKind::G500, scale, 16, &mut spgemm_gen::rng(args.seed));
+    let ts = tallskinny::tall_skinny(&g, 1 << (scale / 2), &mut spgemm_gen::rng(args.seed ^ 2))
+        .expect("tall-skinny");
+    for order in [OutputOrder::Sorted, OutputOrder::Unsorted] {
+        let (w, _) = winner(&g, &ts, order, &pool, args.reps);
+        let paper = recipe::recommend_synthetic(
+            recipe::OpKind::TallSkinny,
+            recipe::Pattern::Skewed,
+            16.0,
+            order,
+        );
+        println!(
+            "{:<12} {:>8} {:>9} {:>10} {:>12} {:>12}",
+            "TallSkinny",
+            "skewed",
+            "dense",
+            if order.is_sorted() { "sorted" } else { "unsorted" },
+            w.name(),
+            paper.name()
+        );
+    }
+    println!("# paper columns are Table 4's KNL recipe; winners here reflect this machine");
+}

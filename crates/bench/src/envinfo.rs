@@ -1,0 +1,56 @@
+//! Evaluation-environment banner (the paper's Table 3 analogue).
+
+use std::fmt::Write as _;
+
+/// Human-readable description of the machine this run uses.
+pub fn environment_banner(pool_threads: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# environment (paper Table 3 analogue)");
+    let _ = writeln!(s, "#   arch: {}", std::env::consts::ARCH);
+    let _ = writeln!(s, "#   os: {}", std::env::consts::OS);
+    let _ = writeln!(s, "#   hardware threads: {}", spgemm_par::hardware_threads());
+    let _ = writeln!(s, "#   pool threads: {pool_threads}");
+    let _ = writeln!(s, "#   simd probing: {}", detected_simd());
+    let _ = writeln!(s, "#   memory: {}", memory_summary());
+    s
+}
+
+/// Best SIMD level the HashVector kernel will use here.
+pub fn detected_simd() -> &'static str {
+    spgemm::algos::simd::detect().name()
+}
+
+fn memory_summary() -> String {
+    match std::fs::read_to_string("/proc/meminfo") {
+        Ok(text) => {
+            let get = |key: &str| -> Option<u64> {
+                text.lines()
+                    .find(|l| l.starts_with(key))?
+                    .split_whitespace()
+                    .nth(1)?
+                    .parse()
+                    .ok()
+            };
+            match get("MemTotal:") {
+                Some(kb) => format!("{:.1} GiB DDR (no MCDRAM: Cache mode is modeled)", kb as f64 / 1048576.0),
+                None => "unknown".to_string(),
+            }
+        }
+        Err(_) => "unknown".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banner_mentions_key_facts() {
+        let b = super::environment_banner(2);
+        assert!(b.contains("pool threads: 2"));
+        assert!(b.contains("simd probing:"));
+    }
+
+    #[test]
+    fn simd_name_is_known() {
+        assert!(["avx512", "avx2", "scalar"].contains(&super::detected_simd()));
+    }
+}

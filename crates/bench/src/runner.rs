@@ -1,0 +1,113 @@
+//! Timed multiplies and MFLOPS accounting.
+//!
+//! The paper reports MFLOPS computed from `flop`, the number of
+//! non-trivial scalar multiplications (Table 2 lists `flop(A²)`), with
+//! each multiply-add counted as two floating-point operations:
+//! `MFLOPS = 2 · flop / time / 10⁶`.
+
+use spgemm::{multiply_in, Algorithm, OutputOrder};
+use spgemm_par::Pool;
+use spgemm_sparse::{stats, Csr, PlusTimes, SparseError};
+use std::time::Instant;
+
+/// Result of one timed kernel configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Median seconds across repetitions.
+    pub secs: f64,
+    /// `flop` of the product.
+    pub flop: u64,
+    /// Output nonzeros.
+    pub nnz_out: usize,
+}
+
+impl Measurement {
+    /// `2 · flop / time`, in MFLOPS.
+    pub fn mflops(&self) -> f64 {
+        if self.secs <= 0.0 {
+            0.0
+        } else {
+            2.0 * self.flop as f64 / self.secs / 1e6
+        }
+    }
+
+    /// Compression ratio `flop / nnz(C)` of this product.
+    pub fn compression_ratio(&self) -> f64 {
+        stats::compression_ratio(self.flop, self.nnz_out)
+    }
+}
+
+/// Run `C = A · B` `reps` times (after one warmup), reporting the
+/// median. Returns `Err` for contract violations (e.g. a sorted-only
+/// kernel on unsorted input) so panels can skip invalid combinations.
+pub fn time_multiply(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    algo: Algorithm,
+    order: OutputOrder,
+    pool: &Pool,
+    reps: usize,
+) -> Result<Measurement, SparseError> {
+    let flop = stats::flop(a, b);
+    // warmup + validity check
+    let c = multiply_in::<PlusTimes<f64>>(a, b, algo, order, pool)?;
+    let nnz_out = c.nnz();
+    drop(c);
+    let reps = reps.max(1);
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let c = multiply_in::<PlusTimes<f64>>(a, b, algo, order, pool)?;
+        times.push(t.elapsed().as_secs_f64());
+        std::hint::black_box(c.nnz());
+    }
+    times.sort_by(|x, y| x.total_cmp(y));
+    Ok(Measurement { secs: times[times.len() / 2], flop, nnz_out })
+}
+
+/// Format one figure row: `series label, x, MFLOPS`.
+pub fn series_row(series: &str, x: impl std::fmt::Display, m: &Measurement) -> String {
+    format!("{series}\t{x}\t{:.1}", m.mflops())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_math() {
+        let m = Measurement { secs: 0.5, flop: 1_000_000, nnz_out: 250_000 };
+        assert!((m.mflops() - 4.0).abs() < 1e-9);
+        assert!((m.compression_ratio() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_multiply_runs_and_reports() {
+        let a = spgemm_gen::rmat::generate_kind(
+            spgemm_gen::RmatKind::Er,
+            7,
+            4,
+            &mut spgemm_gen::rng(1),
+        );
+        let pool = Pool::new(2);
+        let m = time_multiply(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool, 2).unwrap();
+        assert!(m.secs > 0.0);
+        assert_eq!(m.flop, spgemm_sparse::stats::flop(&a, &a));
+        assert!(m.nnz_out > 0);
+        assert!(m.mflops() > 0.0);
+    }
+
+    #[test]
+    fn contract_violation_surfaces_as_error() {
+        let a = spgemm_gen::rmat::generate_kind(
+            spgemm_gen::RmatKind::Er,
+            6,
+            4,
+            &mut spgemm_gen::rng(2),
+        );
+        let unsorted = spgemm_gen::perm::randomize_columns(&a, &mut spgemm_gen::rng(3));
+        let pool = Pool::new(1);
+        let r = time_multiply(&unsorted, &unsorted, Algorithm::Heap, OutputOrder::Sorted, &pool, 1);
+        assert!(r.is_err());
+    }
+}

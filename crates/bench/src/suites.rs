@@ -1,0 +1,86 @@
+//! Problem suites for the real-matrix figures (14, 15, 17): the
+//! Table 2 stand-ins by default, or real `.mtx` files from a
+//! directory.
+
+use spgemm_sparse::Csr;
+use std::path::Path;
+
+/// A named problem instance.
+pub struct Problem {
+    /// Display name (SuiteSparse matrix name or file stem).
+    pub name: String,
+    /// The matrix, rows sorted.
+    pub matrix: Csr<f64>,
+}
+
+/// Load the suite: real Matrix Market files when `dir` is given,
+/// synthetic Table 2 stand-ins otherwise.
+pub fn load(dir: Option<&Path>, divisor: usize, seed: u64) -> Vec<Problem> {
+    match dir {
+        Some(d) => load_matrix_market_dir(d),
+        None => spgemm_gen::suite::standin_suite(divisor, seed)
+            .into_iter()
+            .map(|(name, matrix)| Problem { name: name.to_string(), matrix })
+            .collect(),
+    }
+}
+
+/// Read every `*.mtx` under `dir` (non-recursive), skipping files that
+/// fail to parse (with a warning), sorted by name.
+pub fn load_matrix_market_dir(dir: &Path) -> Vec<Problem> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("warning: cannot read {}: {e}", dir.display());
+            return out;
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("mtx") {
+            continue;
+        }
+        match spgemm_sparse::io::read_matrix_market(&path) {
+            Ok(m) => out.push(Problem {
+                name: path.file_stem().unwrap_or_default().to_string_lossy().into_owned(),
+                matrix: m,
+            }),
+            Err(e) => eprintln!("warning: skipping {}: {e}", path.display()),
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standin_suite_loads() {
+        let suite = load(None, 100_000, 1);
+        assert_eq!(suite.len(), 26);
+        assert!(suite.iter().all(|p| p.matrix.nnz() > 0));
+    }
+
+    #[test]
+    fn mtx_dir_loads_and_skips_garbage() {
+        let dir = std::env::temp_dir().join(format!("spgemm-suite-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = Csr::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        spgemm_sparse::io::write_matrix_market(dir.join("good.mtx"), &m).unwrap();
+        std::fs::write(dir.join("bad.mtx"), "not a matrix").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "").unwrap();
+        let suite = load_matrix_market_dir(&dir);
+        assert_eq!(suite.len(), 1);
+        assert_eq!(suite[0].name, "good");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_dir_warns_but_returns_empty() {
+        let suite = load_matrix_market_dir(Path::new("/definitely/not/here"));
+        assert!(suite.is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! One-phase heap SpGEMM (§4.2.3, after Azad et al.).
+//!
+//! For each output row, a binary min-heap indexed by column holds one
+//! cursor per nonzero of `a_i*` into the corresponding (sorted) row of
+//! `B`. Repeatedly extracting the minimum column merges the scaled
+//! `B`-rows in ascending column order, accumulating equal columns on
+//! the fly — `O(flop · log nnz(a_i*))` per Eq (1), but only
+//! `O(nnz(a_i*))` accumulator space.
+//!
+//! Contracts (paper Table 1): inputs sorted, output sorted. One-phase:
+//! no symbolic pass — every thread stages its rows into a flop-bound
+//! private buffer, then the driver copies them into place.
+
+use crate::exec::{self, StagedKernelFactory, StagedRowKernel};
+use spgemm_par::Pool;
+use spgemm_sparse::{ColIdx, Csr, Semiring};
+
+/// One cursor in the per-row merge: the current entry `b.cols[pos]` of
+/// a `B`-row being merged, scaled by the `A` value that selected it.
+struct Cursor<V> {
+    col: ColIdx,
+    pos: usize,
+    end: usize,
+    aval: V,
+}
+
+/// The per-thread heap state, reused across rows.
+pub struct HeapKernel<S: Semiring> {
+    heap: Vec<Cursor<S::Elem>>,
+}
+
+impl<S: Semiring> HeapKernel<S> {
+    /// Empty kernel; the heap grows to `nnz(a_i*)` lazily.
+    pub fn new() -> Self {
+        HeapKernel { heap: Vec::new() }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut at: usize) {
+        let len = self.heap.len();
+        loop {
+            let l = 2 * at + 1;
+            if l >= len {
+                break;
+            }
+            let r = l + 1;
+            let smallest = if r < len && self.heap[r].col < self.heap[l].col { r } else { l };
+            if self.heap[smallest].col < self.heap[at].col {
+                self.heap.swap(at, smallest);
+                at = smallest;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heapify(&mut self) {
+        let len = self.heap.len();
+        for i in (0..len / 2).rev() {
+            self.sift_down(i);
+        }
+    }
+}
+
+impl<S: Semiring> Default for HeapKernel<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Semiring> StagedRowKernel<S> for HeapKernel<S> {
+    fn stage_row(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        i: usize,
+        cols: &mut Vec<ColIdx>,
+        vals: &mut Vec<S::Elem>,
+    ) -> usize {
+        self.heap.clear();
+        for (&k, &aval) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            let r = b.row_range(k as usize);
+            if !r.is_empty() {
+                self.heap.push(Cursor { col: b.cols()[r.start], pos: r.start, end: r.end, aval });
+            }
+        }
+        self.heapify();
+
+        let mut emitted = 0usize;
+        let mut last_col = ColIdx::MAX;
+        while let Some(top) = self.heap.first() {
+            let col = top.col;
+            let contrib = S::mul(top.aval, b.vals()[top.pos]);
+            if col == last_col {
+                // accumulate into the entry emitted for this column
+                let v = vals.last_mut().expect("last_col implies an emitted entry");
+                *v = S::add(*v, contrib);
+            } else {
+                cols.push(col);
+                vals.push(contrib);
+                last_col = col;
+                emitted += 1;
+            }
+            // advance the winning cursor
+            let next = self.heap[0].pos + 1;
+            if next < self.heap[0].end {
+                self.heap[0].pos = next;
+                self.heap[0].col = b.cols()[next];
+                self.sift_down(0);
+            } else {
+                let last = self.heap.len() - 1;
+                self.heap.swap(0, last);
+                self.heap.pop();
+                self.sift_down(0);
+            }
+        }
+        emitted
+    }
+}
+
+struct HeapFactory;
+
+impl<S: Semiring> StagedKernelFactory<S> for HeapFactory {
+    type Kernel = HeapKernel<S>;
+    fn make(&self, _max_row_flop: usize, _inner: usize, _ncols_b: usize) -> Self::Kernel {
+        HeapKernel::new()
+    }
+}
+
+/// Heap SpGEMM. Inputs must have sorted rows (checked by the caller,
+/// [`crate::multiply_in`]); output rows are sorted by construction.
+pub fn multiply<S: Semiring>(a: &Csr<S::Elem>, b: &Csr<S::Elem>, pool: &Pool) -> Csr<S::Elem> {
+    debug_assert!(a.is_sorted() && b.is_sorted(), "heap requires sorted inputs");
+    exec::one_phase_staged::<S, _>(a, b, pool, &HeapFactory, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::reference;
+    use spgemm_sparse::{approx_eq_f64, PlusTimes};
+
+    type P = PlusTimes<f64>;
+
+    fn check(a: &Csr<f64>, b: &Csr<f64>) {
+        let expect = reference::multiply::<P>(a, b);
+        for nt in [1usize, 2, 3] {
+            let pool = Pool::new(nt);
+            let got = multiply::<P>(a, b, &pool);
+            assert!(approx_eq_f64(&expect, &got, 1e-12), "nt={nt}");
+            assert!(got.is_sorted(), "heap output always sorted");
+            assert!(got.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn small_square() {
+        let a = Csr::from_triplets(
+            4,
+            4,
+            &[(0, 1, 1.0), (0, 2, 2.0), (1, 0, 3.0), (2, 3, 4.0), (3, 0, 5.0), (3, 3, 6.0)],
+        )
+        .unwrap();
+        check(&a, &a);
+    }
+
+    #[test]
+    fn accumulation_across_cursors() {
+        // two A-entries hitting the same B column must merge:
+        // A row 0 = {0, 1}; B rows 0 and 1 both have column 2.
+        let a = Csr::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, 3.0)]).unwrap();
+        let b = Csr::from_triplets(2, 3, &[(0, 2, 10.0), (1, 2, 100.0)]).unwrap();
+        let c = multiply::<P>(&a, &b, &Pool::new(1));
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 2), Some(&320.0));
+    }
+
+    #[test]
+    fn rectangular_and_empty_rows() {
+        let a = Csr::from_triplets(3, 5, &[(0, 0, 1.0), (2, 4, 2.0)]).unwrap();
+        let b = Csr::from_triplets(5, 2, &[(0, 1, 3.0), (4, 0, 4.0)]).unwrap();
+        check(&a, &b);
+        let z = Csr::<f64>::zero(3, 3);
+        check(&z, &z);
+    }
+
+    #[test]
+    fn duplicate_heavy_merge() {
+        // dense-ish 8x8 exercise: every row of A hits every B row
+        let mut trips = Vec::new();
+        for i in 0..8usize {
+            for j in 0..8usize {
+                if (i + j) % 2 == 0 {
+                    trips.push((i, j as u32, (i * 8 + j) as f64 * 0.25));
+                }
+            }
+        }
+        let a = Csr::from_triplets(8, 8, &trips).unwrap();
+        check(&a, &a);
+    }
+
+    #[test]
+    fn heap_property_maintained_under_long_rows() {
+        // one row of A with many entries → heap of that many cursors
+        let n = 64usize;
+        let mut trips: Vec<(usize, u32, f64)> = (0..n).map(|k| (0usize, k as u32, 1.0)).collect();
+        for k in 0..n {
+            trips.push((k, ((k * 7) % n) as u32, 1.0));
+            trips.push((k, ((k * 13 + 1) % n) as u32, 2.0));
+        }
+        let a = Csr::from_triplets(n, n, &trips).unwrap();
+        check(&a, &a);
+    }
+}

@@ -1,0 +1,95 @@
+//! One-phase hash SpGEMM without a symbolic pass — the MKL-inspector
+//! stand-in (Table 1: one phase, any input, *unsorted* output).
+//!
+//! MKL's inspector-executor API performs a single pass and never sorts
+//! its output; our stand-in reproduces that contract with the same
+//! hash accumulator as [`crate::algos::hash`], staging rows into
+//! thread-private flop-bound buffers instead of running symbolic
+//! first. It trades the symbolic pass for the staging memory — the
+//! same trade the paper's Figure 7 two-phase structure avoids.
+
+use crate::algos::hash::HashAccumulator;
+use crate::exec::{self, StagedKernelFactory, StagedRowKernel};
+use spgemm_par::Pool;
+use spgemm_sparse::{ColIdx, Csr, Semiring};
+
+/// Per-thread state: the shared hash accumulator driven in staged mode.
+pub struct InspectorKernel<S: Semiring> {
+    acc: HashAccumulator<S>,
+}
+
+impl<S: Semiring> StagedRowKernel<S> for InspectorKernel<S> {
+    fn stage_row(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        i: usize,
+        cols: &mut Vec<ColIdx>,
+        vals: &mut Vec<S::Elem>,
+    ) -> usize {
+        self.acc.accumulate_row(a, b, i);
+        let n = self.acc.len();
+        let start = cols.len();
+        cols.resize(start + n, 0);
+        vals.resize(start + n, S::zero());
+        self.acc.extract_into(&mut cols[start..], &mut vals[start..], false);
+        n
+    }
+}
+
+struct InspectorFactory;
+
+impl<S: Semiring> StagedKernelFactory<S> for InspectorFactory {
+    type Kernel = InspectorKernel<S>;
+    fn make(&self, max_row_flop: usize, _inner: usize, ncols_b: usize) -> Self::Kernel {
+        InspectorKernel { acc: HashAccumulator::new(max_row_flop, ncols_b) }
+    }
+}
+
+/// Inspector-style one-phase SpGEMM; output is always unsorted.
+pub fn multiply<S: Semiring>(a: &Csr<S::Elem>, b: &Csr<S::Elem>, pool: &Pool) -> Csr<S::Elem> {
+    exec::one_phase_staged::<S, _>(a, b, pool, &InspectorFactory, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::reference;
+    use spgemm_sparse::{approx_eq_f64, PlusTimes};
+
+    type P = PlusTimes<f64>;
+
+    #[test]
+    fn matches_reference_up_to_order() {
+        let a = Csr::from_triplets(
+            5,
+            5,
+            &[(0, 1, 1.0), (1, 2, 2.0), (1, 4, 3.0), (2, 0, 4.0), (3, 3, 5.0), (4, 1, 6.0)],
+        )
+        .unwrap();
+        let expect = reference::multiply::<P>(&a, &a);
+        for nt in [1usize, 2, 4] {
+            let pool = Pool::new(nt);
+            let got = multiply::<P>(&a, &a, &pool);
+            assert!(approx_eq_f64(&expect, &got, 1e-12), "nt={nt}");
+            assert!(got.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn single_pass_handles_empty_output() {
+        let z = Csr::<f64>::zero(4, 4);
+        let got = multiply::<P>(&z, &z, &Pool::new(2));
+        assert_eq!(got.nnz(), 0);
+        assert!(got.validate().is_ok());
+    }
+
+    #[test]
+    fn output_flagged_unsorted() {
+        // even if rows happen to be ascending, the kernel does not
+        // promise order, so the flag must be conservative
+        let a = Csr::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]).unwrap();
+        let got = multiply::<P>(&a, &a, &Pool::new(1));
+        assert!(!got.is_sorted());
+    }
+}

@@ -1,0 +1,228 @@
+//! Masked SpGEMM: `C = (A · B) ∘ M` computed *without materializing*
+//! `A · B`.
+//!
+//! Triangle counting (§5.6) only ever reads the wedge product `L · U`
+//! at the positions of the graph's own edges; masked SpGEMM exploits
+//! that by rejecting every intermediate product that falls outside the
+//! mask row, shrinking both the accumulator working set (≤ nnz(m_i*)
+//! instead of flop(c_i*)) and the output. This is the natural
+//! "future work" extension of the paper's kernels and matches the
+//! masked primitives of the GraphBLAS ecosystem its applications come
+//! from.
+
+use crate::exec::{self, AccumulatorFactory, RowAccumulator};
+use crate::OutputOrder;
+use spgemm_par::Pool;
+use spgemm_sparse::{ColIdx, Csr, Semiring, SparseError};
+
+/// Dense, epoch-stamped accumulator restricted to the mask row.
+struct MaskedSpa<'m, S: Semiring, M: Copy + Send + Sync> {
+    mask: &'m Csr<M>,
+    /// `allowed[j] == epoch` ⇔ `j ∈ m_i*` for the current row.
+    allowed: Vec<u32>,
+    /// `hit[j] == epoch` ⇔ column `j` accumulated a product.
+    hit: Vec<u32>,
+    epoch: u32,
+    vals: Vec<S::Elem>,
+    touched: Vec<ColIdx>,
+}
+
+impl<'m, S: Semiring, M: Copy + Send + Sync> MaskedSpa<'m, S, M> {
+    fn new(mask: &'m Csr<M>, ncols: usize) -> Self {
+        MaskedSpa {
+            mask,
+            allowed: vec![0; ncols],
+            hit: vec![0; ncols],
+            epoch: 0,
+            vals: vec![S::zero(); ncols],
+            touched: Vec::new(),
+        }
+    }
+
+    fn begin_row(&mut self, i: usize) {
+        self.touched.clear();
+        if self.epoch == u32::MAX {
+            self.allowed.fill(0);
+            self.hit.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        for &c in self.mask.row_cols(i) {
+            self.allowed[c as usize] = self.epoch;
+        }
+    }
+
+    #[inline]
+    fn accumulate(&mut self, col: ColIdx, v: S::Elem) {
+        let j = col as usize;
+        if self.allowed[j] != self.epoch {
+            return; // outside the mask: product rejected
+        }
+        if self.hit[j] == self.epoch {
+            self.vals[j] = S::add(self.vals[j], v);
+        } else {
+            self.hit[j] = self.epoch;
+            self.vals[j] = v;
+            self.touched.push(col);
+        }
+    }
+}
+
+impl<'m, S: Semiring, M: Copy + Send + Sync> RowAccumulator<S> for MaskedSpa<'m, S, M> {
+    fn symbolic_row(&mut self, a: &Csr<S::Elem>, b: &Csr<S::Elem>, i: usize) -> usize {
+        self.begin_row(i);
+        for &k in a.row_cols(i) {
+            for &j in b.row_cols(k as usize) {
+                let jj = j as usize;
+                if self.allowed[jj] == self.epoch && self.hit[jj] != self.epoch {
+                    self.hit[jj] = self.epoch;
+                    self.touched.push(j);
+                }
+            }
+        }
+        self.touched.len()
+    }
+
+    fn numeric_row(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        i: usize,
+        cols: &mut [ColIdx],
+        vals: &mut [S::Elem],
+        sorted: bool,
+    ) {
+        self.begin_row(i);
+        for (&k, &aval) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            let kr = k as usize;
+            for (&j, &bval) in b.row_cols(kr).iter().zip(b.row_vals(kr)) {
+                self.accumulate(j, S::mul(aval, bval));
+            }
+        }
+        if sorted {
+            self.touched.sort_unstable();
+        }
+        for (idx, &c) in self.touched.iter().enumerate() {
+            cols[idx] = c;
+            vals[idx] = self.vals[c as usize];
+        }
+    }
+}
+
+struct MaskedFactory<'m, M: Copy + Send + Sync> {
+    mask: &'m Csr<M>,
+}
+
+impl<'m, S: Semiring, M: Copy + Send + Sync> AccumulatorFactory<S> for MaskedFactory<'m, M> {
+    type Acc = MaskedSpa<'m, S, M>;
+    fn make(&self, _max_row_flop: usize, _inner: usize, ncols_b: usize) -> Self::Acc {
+        MaskedSpa::new(self.mask, ncols_b)
+    }
+}
+
+/// Masked SpGEMM: `C = (A · B) ∘ M` (structural mask — `M`'s values
+/// are ignored, its pattern gates the output).
+///
+/// Entries of `A · B` outside `M`'s pattern are never accumulated, so
+/// the cost is `O(flop)` probes but only `O(Σ nnz(m_i*))` accumulator
+/// space and output. The mask must be shaped like the product.
+pub fn multiply_masked<S: Semiring, M: Copy + Send + Sync>(
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    mask: &Csr<M>,
+    order: OutputOrder,
+    pool: &Pool,
+) -> Result<Csr<S::Elem>, SparseError> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "multiply_masked",
+        });
+    }
+    if mask.shape() != (a.nrows(), b.ncols()) {
+        return Err(SparseError::ShapeMismatch {
+            left: (a.nrows(), b.ncols()),
+            right: mask.shape(),
+            op: "multiply_masked (mask shape)",
+        });
+    }
+    Ok(exec::two_phase::<S, _>(a, b, order, pool, &MaskedFactory { mask }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::reference;
+    use spgemm_sparse::{approx_eq_f64, ops, PlusTimes};
+
+    type P = PlusTimes<f64>;
+
+    #[test]
+    fn equals_multiply_then_hadamard() {
+        let a = spgemm_gen::rmat::generate_kind(
+            spgemm_gen::RmatKind::G500,
+            7,
+            6,
+            &mut spgemm_gen::rng(1),
+        );
+        // mask: the matrix's own pattern (the triangle-counting shape)
+        let mask = a.map(|_| 1.0f64);
+        let pool = Pool::new(2);
+        let masked =
+            multiply_masked::<P, f64>(&a, &a, &mask, OutputOrder::Sorted, &pool).unwrap();
+        let full = reference::multiply::<P>(&a, &a);
+        let expect = ops::hadamard(&full, &mask).unwrap();
+        // hadamard multiplies values by the mask's (all-one) values
+        assert!(approx_eq_f64(&expect, &masked, 1e-9));
+        assert!(masked.nnz() <= mask.nnz());
+    }
+
+    #[test]
+    fn empty_mask_gives_empty_product() {
+        let a = Csr::from_triplets(3, 3, &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)]).unwrap();
+        let mask = Csr::<u8>::zero(3, 3);
+        let pool = Pool::new(1);
+        let c = multiply_masked::<P, u8>(&a, &a, &mask, OutputOrder::Sorted, &pool).unwrap();
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn mask_wider_than_product_is_harmless() {
+        // mask entries where the product is zero simply do not appear
+        let a = Csr::from_triplets(2, 2, &[(0, 0, 2.0)]).unwrap();
+        let mask = Csr::from_triplets(2, 2, &[(0, 0, 1u8), (1, 1, 1)]).unwrap();
+        let pool = Pool::new(1);
+        let c = multiply_masked::<P, u8>(&a, &a, &mask, OutputOrder::Sorted, &pool).unwrap();
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), Some(&4.0));
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let a = Csr::<f64>::zero(2, 3);
+        let b = Csr::<f64>::zero(3, 4);
+        let pool = Pool::new(1);
+        let bad_mask = Csr::<u8>::zero(2, 3);
+        assert!(multiply_masked::<P, u8>(&a, &b, &bad_mask, OutputOrder::Sorted, &pool).is_err());
+        let bad_b = Csr::<f64>::zero(5, 4);
+        let mask = Csr::<u8>::zero(2, 4);
+        assert!(multiply_masked::<P, u8>(&a, &bad_b, &mask, OutputOrder::Sorted, &pool).is_err());
+    }
+
+    #[test]
+    fn unsorted_output_same_content() {
+        let a = spgemm_gen::rmat::generate_kind(
+            spgemm_gen::RmatKind::Er,
+            6,
+            4,
+            &mut spgemm_gen::rng(2),
+        );
+        let mask = a.map(|_| 1u8);
+        let pool = Pool::new(2);
+        let s = multiply_masked::<P, u8>(&a, &a, &mask, OutputOrder::Sorted, &pool).unwrap();
+        let u = multiply_masked::<P, u8>(&a, &a, &mask, OutputOrder::Unsorted, &pool).unwrap();
+        assert!(approx_eq_f64(&s, &u, 1e-12));
+        assert!(s.is_sorted());
+    }
+}

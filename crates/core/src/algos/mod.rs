@@ -1,0 +1,17 @@
+//! The SpGEMM algorithm implementations.
+//!
+//! Each submodule is one accumulator strategy plugged into the shared
+//! drivers of `crate::exec`; see the crate-level table for the mapping
+//! to the paper's codes.
+
+pub mod hash;
+pub mod hashvec;
+pub mod heap;
+pub mod ikj;
+pub mod inspector;
+pub mod kkhash;
+pub mod masked;
+pub mod merge;
+pub mod reference;
+pub mod simd;
+pub mod spa;

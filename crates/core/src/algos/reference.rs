@@ -1,0 +1,102 @@
+//! Sequential `BTreeMap` oracle.
+//!
+//! The slowest, most obviously-correct Gustavson implementation:
+//! accumulate each output row in an ordered map. Every other kernel's
+//! tests compare against this one.
+
+use spgemm_sparse::{ColIdx, Csr, Semiring};
+use std::collections::BTreeMap;
+
+/// Sequential reference SpGEMM; output rows sorted.
+pub fn multiply<S: Semiring>(a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Csr<S::Elem> {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
+    let n = a.nrows();
+    let mut rpts = Vec::with_capacity(n + 1);
+    rpts.push(0usize);
+    let mut cols: Vec<ColIdx> = Vec::new();
+    let mut vals: Vec<S::Elem> = Vec::new();
+    let mut row: BTreeMap<ColIdx, S::Elem> = BTreeMap::new();
+    for i in 0..n {
+        row.clear();
+        for (&k, &aval) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            let kr = k as usize;
+            for (&j, &bval) in b.row_cols(kr).iter().zip(b.row_vals(kr)) {
+                let prod = S::mul(aval, bval);
+                row.entry(j)
+                    .and_modify(|acc| *acc = S::add(*acc, prod))
+                    .or_insert(prod);
+            }
+        }
+        for (&c, &v) in &row {
+            cols.push(c);
+            vals.push(v);
+        }
+        rpts.push(cols.len());
+    }
+    Csr::from_parts_unchecked(n, b.ncols(), rpts, cols, vals, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spgemm_sparse::{OrAnd, PlusTimes};
+
+    #[test]
+    fn two_by_two_by_hand() {
+        // A = [1 2; 0 3], B = [4 0; 5 6]  =>  C = [14 12; 15 18]
+        let a = Csr::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]).unwrap();
+        let b = Csr::from_triplets(2, 2, &[(0, 0, 4.0), (1, 0, 5.0), (1, 1, 6.0)]).unwrap();
+        let c = multiply::<PlusTimes<f64>>(&a, &b);
+        assert_eq!(c.get(0, 0), Some(&14.0));
+        assert_eq!(c.get(0, 1), Some(&12.0));
+        assert_eq!(c.get(1, 0), Some(&15.0));
+        assert_eq!(c.get(1, 1), Some(&18.0));
+        assert!(c.is_sorted());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Csr::from_triplets(3, 3, &[(0, 2, 5.0), (2, 0, -1.0), (1, 1, 2.0)]).unwrap();
+        let i = Csr::<f64>::identity(3);
+        let ai = multiply::<PlusTimes<f64>>(&a, &i);
+        let ia = multiply::<PlusTimes<f64>>(&i, &a);
+        assert!(spgemm_sparse::approx_eq_f64(&a, &ai, 0.0));
+        assert!(spgemm_sparse::approx_eq_f64(&a, &ia, 0.0));
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Csr::from_triplets(2, 3, &[(0, 0, 1.0), (1, 2, 2.0)]).unwrap();
+        let b = Csr::from_triplets(3, 4, &[(0, 3, 3.0), (2, 1, 4.0)]).unwrap();
+        let c = multiply::<PlusTimes<f64>>(&a, &b);
+        assert_eq!(c.shape(), (2, 4));
+        assert_eq!(c.get(0, 3), Some(&3.0));
+        assert_eq!(c.get(1, 1), Some(&8.0));
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn boolean_semiring_reachability() {
+        // path graph 0 -> 1 -> 2: A² gives the 2-hop edge 0 -> 2
+        let a = Csr::from_triplets(3, 3, &[(0, 1, true), (1, 2, true)]).unwrap();
+        let c = multiply::<OrAnd>(&a, &a);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 2), Some(&true));
+    }
+
+    #[test]
+    fn zero_times_anything_is_empty() {
+        let z = Csr::<f64>::zero(3, 3);
+        let a = Csr::from_triplets(3, 3, &[(1, 1, 2.0)]).unwrap();
+        assert_eq!(multiply::<PlusTimes<f64>>(&z, &a).nnz(), 0);
+        assert_eq!(multiply::<PlusTimes<f64>>(&a, &z).nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn shape_mismatch_panics() {
+        let a = Csr::<f64>::zero(2, 3);
+        let b = Csr::<f64>::zero(2, 3);
+        let _ = multiply::<PlusTimes<f64>>(&a, &b);
+    }
+}

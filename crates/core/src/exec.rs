@@ -1,0 +1,299 @@
+//! Shared execution drivers for all row-wise kernels.
+//!
+//! Every algorithm in this crate is a Gustavson row-wise SpGEMM
+//! (Figure 1 of the paper) differing only in its per-row accumulator.
+//! The orchestration around the accumulator is identical and lives
+//! here:
+//!
+//! 1. **Plan** — per-row flop counts, then the flop-balanced
+//!    contiguous row partition of §4.1 (`RowsToThreads`).
+//! 2. **Two-phase** (Hash/HashVec/SPA/Merge/KkHash/IKJ): a symbolic
+//!    pass counts each output row, a parallel scan turns counts into
+//!    row pointers, and a numeric pass fills pre-sliced output —
+//!    exactly Figure 7.
+//! 3. **One-phase** (Heap/Inspector): each thread stages its rows into
+//!    a thread-private buffer sized by its flop upper bound (the
+//!    "parallel" memory scheme of §3.2), then copies into place once
+//!    row pointers are known.
+
+use crate::OutputOrder;
+use spgemm_par::{partition, scan, unsync::SharedMutSlice, Pool};
+use spgemm_sparse::{ColIdx, Csr, Semiring};
+
+/// Work analysis for one multiply: per-row flop, the total, and the
+/// balanced per-thread row ranges derived from them.
+#[derive(Clone, Debug)]
+pub struct MultiplyStats {
+    /// `flop(c_i*)` for every output row.
+    pub row_flops: Vec<u64>,
+    /// Total scalar multiplications.
+    pub total_flop: u64,
+    /// `nthreads + 1` balanced row offsets (§4.1).
+    pub offsets: Vec<usize>,
+}
+
+/// Compute [`MultiplyStats`] for `A · B` on the given pool.
+pub fn plan<A: Copy + Send + Sync, B: Copy + Send + Sync>(
+    a: &Csr<A>,
+    b: &Csr<B>,
+    pool: &Pool,
+) -> MultiplyStats {
+    let n = a.nrows();
+    let mut row_flops = vec![0u64; n];
+    scan::parallel_fill(pool, &mut row_flops, |i| {
+        a.row_cols(i).iter().map(|&k| b.row_nnz(k as usize) as u64).sum()
+    });
+    let mut prefix = row_flops.clone();
+    let offsets = partition::balanced_offsets_in_place(&mut prefix, pool.nthreads(), pool);
+    let total_flop = prefix.last().copied().unwrap_or(0);
+    MultiplyStats { row_flops, total_flop, offsets }
+}
+
+/// A per-thread accumulator driving one output row at a time.
+///
+/// `symbolic_row` returns the row's output nnz; `numeric_row` fills
+/// the pre-sliced output arrays (whose length equals the symbolic
+/// count) in sorted or accumulator order.
+pub(crate) trait RowAccumulator<S: Semiring> {
+    /// Count `nnz(c_i*)`.
+    fn symbolic_row(&mut self, a: &Csr<S::Elem>, b: &Csr<S::Elem>, i: usize) -> usize;
+    /// Compute row `i` into `cols`/`vals` (pre-sliced to the symbolic
+    /// count), honouring `sorted`.
+    fn numeric_row(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        i: usize,
+        cols: &mut [ColIdx],
+        vals: &mut [S::Elem],
+        sorted: bool,
+    );
+}
+
+/// Builds one [`RowAccumulator`] per worker thread, inside the
+/// parallel region, sized from that thread's largest row (§4.2.1:
+/// "The upper limit of any thread's local hash table size is the
+/// maximum number of flop per row within the rows assigned to it").
+pub(crate) trait AccumulatorFactory<S: Semiring>: Sync {
+    /// The per-thread accumulator type.
+    type Acc: RowAccumulator<S>;
+    /// `max_row_flop`: largest `flop(c_i*)` among the thread's rows;
+    /// `inner_dim`: `ncols(A) == nrows(B)`; `ncols_b`: output width.
+    fn make(&self, max_row_flop: usize, inner_dim: usize, ncols_b: usize) -> Self::Acc;
+}
+
+/// Largest per-row flop within `range`.
+fn max_flop_in(row_flops: &[u64], range: std::ops::Range<usize>) -> usize {
+    row_flops[range].iter().copied().max().unwrap_or(0) as usize
+}
+
+/// The two-phase driver (symbolic → scan → numeric); Figure 7 of the
+/// paper with the accumulator abstracted out.
+pub(crate) fn two_phase<S: Semiring, F: AccumulatorFactory<S>>(
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    order: OutputOrder,
+    pool: &Pool,
+    factory: &F,
+) -> Csr<S::Elem> {
+    let n = a.nrows();
+    let stats = plan(a, b, pool);
+    let inner = a.ncols();
+    let width = b.ncols();
+
+    // --- symbolic phase: counts into rpts[i + 1] ---
+    let mut rpts64 = vec![0u64; n + 1];
+    {
+        let rp = SharedMutSlice::new(&mut rpts64[..]);
+        pool.parallel_ranges(&stats.offsets, |_wid, range| {
+            if range.is_empty() {
+                return;
+            }
+            let mut acc =
+                factory.make(max_flop_in(&stats.row_flops, range.clone()), inner, width);
+            for i in range {
+                let cnt = acc.symbolic_row(a, b, i) as u64;
+                // SAFETY: row `i` belongs to exactly one thread's range.
+                unsafe { rp.write(i + 1, cnt) };
+            }
+        });
+    }
+
+    // --- row pointers ---
+    let total = scan::parallel_inclusive_scan(pool, &mut rpts64) as usize;
+    let rpts: Vec<usize> = rpts64.iter().map(|&x| x as usize).collect();
+
+    // --- numeric phase into pre-sliced output ---
+    let mut cols = vec![0 as ColIdx; total];
+    let mut vals = vec![S::zero(); total];
+    {
+        let cols_s = SharedMutSlice::new(&mut cols[..]);
+        let vals_s = SharedMutSlice::new(&mut vals[..]);
+        let rpts_ref = &rpts;
+        pool.parallel_ranges(&stats.offsets, |_wid, range| {
+            if range.is_empty() {
+                return;
+            }
+            let mut acc =
+                factory.make(max_flop_in(&stats.row_flops, range.clone()), inner, width);
+            for i in range {
+                let span = rpts_ref[i]..rpts_ref[i + 1];
+                // SAFETY: row spans are disjoint across threads by
+                // construction of `rpts` and the contiguous partition.
+                let (c, v) =
+                    unsafe { (cols_s.slice_mut(span.clone()), vals_s.slice_mut(span)) };
+                acc.numeric_row(a, b, i, c, v, order.is_sorted());
+            }
+        });
+    }
+    Csr::from_parts_unchecked(n, width, rpts, cols, vals, order.is_sorted())
+}
+
+/// A per-thread kernel for one-phase algorithms: rows are appended to
+/// thread-private staging vectors (no symbolic pass sizes them —
+/// capacity is the thread's flop upper bound).
+pub(crate) trait StagedRowKernel<S: Semiring> {
+    /// Append row `i`'s entries to the staging buffers; return how many
+    /// were appended.
+    fn stage_row(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        i: usize,
+        cols: &mut Vec<ColIdx>,
+        vals: &mut Vec<S::Elem>,
+    ) -> usize;
+}
+
+/// Factory for [`StagedRowKernel`]s (same contract as
+/// [`AccumulatorFactory`]).
+pub(crate) trait StagedKernelFactory<S: Semiring>: Sync {
+    /// The per-thread kernel type.
+    type Kernel: StagedRowKernel<S>;
+    /// See [`AccumulatorFactory::make`].
+    fn make(&self, max_row_flop: usize, inner_dim: usize, ncols_b: usize) -> Self::Kernel;
+}
+
+/// The one-phase driver: stage per thread, scan the realized counts,
+/// then copy each thread's staging block into place (§4.2.3's
+/// "parallel approach for memory management" — the temporary lives
+/// and dies inside the owning worker).
+///
+/// `sorted_output` describes what the kernel emits (Heap: true,
+/// Inspector: false) and is recorded on the result.
+pub(crate) fn one_phase_staged<S: Semiring, F: StagedKernelFactory<S>>(
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    pool: &Pool,
+    factory: &F,
+    sorted_output: bool,
+) -> Csr<S::Elem> {
+    let n = a.nrows();
+    let stats = plan(a, b, pool);
+    let inner = a.ncols();
+    let width = b.ncols();
+    let nt = pool.nthreads();
+
+    // Thread-private staging, allocated and filled inside the region.
+    let staged: Vec<parking_lot::Mutex<(Vec<ColIdx>, Vec<S::Elem>)>> =
+        (0..nt).map(|_| parking_lot::Mutex::new((Vec::new(), Vec::new()))).collect();
+    let mut counts64 = vec![0u64; n + 1];
+    {
+        let cnt = SharedMutSlice::new(&mut counts64[..]);
+        pool.parallel_ranges(&stats.offsets, |wid, range| {
+            if range.is_empty() {
+                return;
+            }
+            let flop_bound: u64 = stats.row_flops[range.clone()].iter().sum();
+            let mut kernel =
+                factory.make(max_flop_in(&stats.row_flops, range.clone()), inner, width);
+            let mut slot = staged[wid].lock();
+            let (cols, vals) = &mut *slot;
+            cols.clear();
+            vals.clear();
+            cols.reserve(flop_bound as usize);
+            vals.reserve(flop_bound as usize);
+            for i in range {
+                let emitted = kernel.stage_row(a, b, i, cols, vals) as u64;
+                // SAFETY: each row is staged by exactly one thread.
+                unsafe { cnt.write(i + 1, emitted) };
+            }
+        });
+    }
+
+    let total = scan::parallel_inclusive_scan(pool, &mut counts64) as usize;
+    let rpts: Vec<usize> = counts64.iter().map(|&x| x as usize).collect();
+
+    let mut cols = vec![0 as ColIdx; total];
+    let mut vals = vec![S::zero(); total];
+    {
+        let cols_s = SharedMutSlice::new(&mut cols[..]);
+        let vals_s = SharedMutSlice::new(&mut vals[..]);
+        let rpts_ref = &rpts;
+        pool.parallel_ranges(&stats.offsets, |wid, range| {
+            if range.is_empty() {
+                return;
+            }
+            let slot = staged[wid].lock();
+            let (scols, svals) = &*slot;
+            let dst = rpts_ref[range.start]..rpts_ref[range.end];
+            debug_assert_eq!(dst.len(), scols.len());
+            // SAFETY: each thread's destination block is disjoint (the
+            // row partition is contiguous and rpts is monotone).
+            unsafe {
+                cols_s.slice_mut(dst.clone()).copy_from_slice(scols);
+                vals_s.slice_mut(dst).copy_from_slice(svals);
+            }
+            // Staging is dropped (deallocated) inside the owning
+            // worker on the next multiply's clear; `shrink` here would
+            // free eagerly but give up reuse.
+        });
+    }
+    Csr::from_parts_unchecked(n, width, rpts, cols, vals, sorted_output)
+}
+
+/// `lowest_p2` from Figure 7: the smallest power of two *strictly
+/// greater* than `x` (so a hash table sized this way always keeps at
+/// least one empty slot).
+#[inline]
+pub(crate) fn lowest_p2_above(x: usize) -> usize {
+    1usize << (usize::BITS - x.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spgemm_sparse::PlusTimes;
+
+    #[test]
+    fn lowest_p2_above_is_strictly_greater() {
+        assert_eq!(lowest_p2_above(0), 1);
+        assert_eq!(lowest_p2_above(1), 2);
+        assert_eq!(lowest_p2_above(2), 4);
+        assert_eq!(lowest_p2_above(3), 4);
+        assert_eq!(lowest_p2_above(4), 8);
+        assert_eq!(lowest_p2_above(1023), 1024);
+        assert_eq!(lowest_p2_above(1024), 2048);
+        for x in 0..500usize {
+            let p = lowest_p2_above(x);
+            assert!(p.is_power_of_two() && p > x);
+            assert!(p / 2 <= x.max(1));
+        }
+    }
+
+    #[test]
+    fn plan_flop_matches_stats_crate() {
+        let a = Csr::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)],
+        )
+        .unwrap();
+        let pool = Pool::new(2);
+        let st = plan(&a, &a, &pool);
+        assert_eq!(st.total_flop, spgemm_sparse::stats::flop(&a, &a));
+        assert_eq!(st.offsets.len(), 3);
+        assert_eq!(*st.offsets.last().unwrap(), 3);
+        let _ = PlusTimes::<f64>::zero();
+    }
+}

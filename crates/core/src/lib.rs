@@ -1,0 +1,166 @@
+//! SpGEMM kernels for multicore x86, reproducing Nagasaka, Matsuoka,
+//! Azad & Buluç, *"High-performance sparse matrix-matrix products on
+//! Intel KNL and multicore architectures"* (ICPP 2018).
+//!
+//! The crate provides every algorithm the paper develops or compares
+//! against, behind one entry point:
+//!
+//! ```
+//! use spgemm::{multiply_f64, Algorithm, OutputOrder};
+//! use spgemm_sparse::Csr;
+//!
+//! let a = Csr::<f64>::identity(4);
+//! let c = multiply_f64(&a, &a, Algorithm::Hash, OutputOrder::Sorted).unwrap();
+//! assert_eq!(c.nnz(), 4);
+//! ```
+//!
+//! # Algorithms
+//!
+//! | [`Algorithm`] | paper code | phases | accumulator | input / output order |
+//! |---------------|-----------|--------|-------------|----------------------|
+//! | `Hash`        | Hash (§4.2.1) | 2 | linear-probing hash table | any / selectable |
+//! | `HashVec`     | HashVector (§4.2.2) | 2 | SIMD-probed chunked hash table | any / selectable |
+//! | `Heap`        | Heap (§4.2.3) | 1 | column-indexed binary heap | sorted / sorted |
+//! | `Spa`         | MKL stand-in (unsorted runs) | 2 | dense sparse accumulator | any / selectable |
+//! | `Merge`       | MKL stand-in (sorted runs) | 2 | iterative sorted-row merging | sorted / sorted |
+//! | `Inspector`   | MKL-inspector stand-in | 1 | hash table, no symbolic phase | any / unsorted |
+//! | `KkHash`      | KokkosKernels `kkmem` stand-in | 2 | chained (linked-list) hash map | any / selectable |
+//! | `Ikj`         | Sulatycke–Ghose IKJ (§2) | 2 | dense row scan + SPA | any / selectable |
+//! | `Reference`   | correctness oracle | 1 | `BTreeMap`, sequential | any / sorted |
+//!
+//! All kernels share the architecture-specific machinery the paper
+//! identifies as decisive (§3–4): the flop-balanced static row
+//! partition (`RowsToThreads`), thread-private hash/heap/scratch
+//! storage allocated inside the parallel region, and output buffers
+//! written through pre-computed disjoint slices.
+//!
+//! Kernels are generic over a [`spgemm_sparse::Semiring`], so boolean
+//! BFS and counting workloads run through the identical code paths as
+//! `f64` arithmetic (see `spgemm-apps`).
+
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod cost;
+mod exec;
+mod options;
+pub mod recipe;
+pub mod tuning;
+
+pub use exec::{plan as exec_plan, MultiplyStats};
+pub use options::{Algorithm, OutputOrder};
+
+use spgemm_par::Pool;
+use spgemm_sparse::{Csr, PlusTimes, Semiring, SparseError};
+
+/// Multiply `C = A · B` over semiring `S` with an explicit pool.
+///
+/// Validates shapes and each algorithm's input-sortedness contract
+/// (see the table in the crate docs); `Algorithm::Auto` consults
+/// [`recipe`].
+pub fn multiply_in<S: Semiring>(
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    algo: Algorithm,
+    order: OutputOrder,
+    pool: &Pool,
+) -> Result<Csr<S::Elem>, SparseError> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "multiply",
+        });
+    }
+    let algo = match algo {
+        Algorithm::Auto => recipe::auto_select(a, b, order),
+        other => other,
+    };
+    match algo {
+        Algorithm::Hash => Ok(algos::hash::multiply::<S>(a, b, order, pool)),
+        Algorithm::HashVec => Ok(algos::hashvec::multiply::<S>(a, b, order, pool)),
+        Algorithm::Heap => {
+            if !b.is_sorted() || !a.is_sorted() {
+                return Err(SparseError::Unsorted { op: "Heap SpGEMM" });
+            }
+            Ok(algos::heap::multiply::<S>(a, b, pool))
+        }
+        Algorithm::Spa => Ok(algos::spa::multiply::<S>(a, b, order, pool)),
+        Algorithm::Merge => {
+            if !b.is_sorted() || !a.is_sorted() {
+                return Err(SparseError::Unsorted { op: "Merge SpGEMM" });
+            }
+            Ok(algos::merge::multiply::<S>(a, b, pool))
+        }
+        Algorithm::Inspector => Ok(algos::inspector::multiply::<S>(a, b, pool)),
+        Algorithm::KkHash => Ok(algos::kkhash::multiply::<S>(a, b, order, pool)),
+        Algorithm::Ikj => Ok(algos::ikj::multiply::<S>(a, b, order, pool)),
+        Algorithm::Reference => Ok(algos::reference::multiply::<S>(a, b)),
+        Algorithm::Auto => unreachable!("Auto resolved above"),
+    }
+}
+
+/// [`multiply_in`] on the process-global pool.
+pub fn multiply<S: Semiring>(
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    algo: Algorithm,
+    order: OutputOrder,
+) -> Result<Csr<S::Elem>, SparseError> {
+    multiply_in::<S>(a, b, algo, order, spgemm_par::global_pool())
+}
+
+/// Convenience wrapper: `f64` matrices over the ordinary `(+, ×)`
+/// arithmetic — the configuration every figure of the paper measures.
+pub fn multiply_f64(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    algo: Algorithm,
+    order: OutputOrder,
+) -> Result<Csr<f64>, SparseError> {
+    multiply::<PlusTimes<f64>>(a, b, algo, order)
+}
+
+/// Masked SpGEMM `C = (A · B) ∘ M` without materializing `A · B` —
+/// see [`algos::masked::multiply_masked`].
+pub use algos::masked::multiply_masked;
+
+/// Count `nnz(A · B)` without computing values: the symbolic phase
+/// alone, parallelized with the same flop-balanced partition the full
+/// kernels use. Useful for sizing outputs and for the compression
+/// ratio `flop / nnz(C)` without a full multiply.
+pub fn product_nnz<A, B>(a: &Csr<A>, b: &Csr<B>, pool: &Pool) -> usize
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+{
+    use spgemm_par::unsync::SharedMutSlice;
+    assert_eq!(a.ncols(), b.nrows(), "product_nnz: inner dimension mismatch");
+    let stats = exec_plan(a, b, pool);
+    let n = a.nrows();
+    let mut counts = vec![0u64; n];
+    {
+        let cnt = SharedMutSlice::new(&mut counts[..]);
+        let row_flops = &stats.row_flops;
+        pool.parallel_ranges(&stats.offsets, |_wid, range| {
+            if range.is_empty() {
+                return;
+            }
+            let max_flop =
+                row_flops[range.clone()].iter().copied().max().unwrap_or(0) as usize;
+            let mut acc =
+                algos::hash::HashAccumulator::<PlusTimes<f64>>::new(max_flop, b.ncols());
+            for i in range {
+                for &k in a.row_cols(i) {
+                    for &j in b.row_cols(k as usize) {
+                        acc.insert_symbolic(j);
+                    }
+                }
+                // SAFETY: each row is counted by exactly one thread.
+                unsafe { cnt.write(i, acc.len() as u64) };
+                acc.reset();
+            }
+        });
+    }
+    counts.iter().map(|&x| x as usize).sum()
+}

@@ -1,0 +1,206 @@
+//! The paper's recipe: which SpGEMM algorithm to use when (§5.7,
+//! Table 4), plus the automatic selector behind
+//! [`crate::Algorithm::Auto`].
+//!
+//! Table 4a (real data, keyed on compression ratio CR = flop/nnz(C)):
+//!
+//! |            | high CR (> 2)   | low CR (≤ 2) |
+//! |------------|-----------------|---------------|
+//! | A·A sorted | Hash            | Hash          |
+//! | A·A unsorted | MKL-inspector | Hash          |
+//! | L·U sorted | Hash            | Heap          |
+//!
+//! Table 4b (synthetic data, keyed on edge factor EF and skew):
+//!
+//! |                    | sparse (EF ≤ 8) |         | dense (EF > 8) |        |
+//! |--------------------|---------|--------|---------|--------|
+//! |                    | uniform | skewed | uniform | skewed |
+//! | A·A sorted         | Heap    | Heap   | Heap    | Hash   |
+//! | A·A unsorted       | HashVec | HashVec| HashVec | Hash   |
+//! | tall-skinny sorted | —       | Hash   | —       | HashVec|
+//! | tall-skinny unsorted | —     | Hash   | —       | Hash   |
+//!
+//! (Dashes: combinations the paper did not measure; we fall back to
+//! the skewed column, which its tall-skinny experiments used.)
+
+use crate::{Algorithm, OutputOrder};
+use spgemm_sparse::{stats, Csr};
+
+/// The multiplication scenario, following the paper's use cases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Squaring / general square × square (§5.4).
+    Square,
+    /// Triangle-counting `L · U` (§5.6).
+    LxU,
+    /// Square × tall-skinny (§5.5).
+    TallSkinny,
+}
+
+/// Non-zero pattern class of Table 4b.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// ER-like: row sizes concentrated around the mean.
+    Uniform,
+    /// G500-like: power-law row sizes.
+    Skewed,
+}
+
+/// Edge-factor threshold separating Table 4b's "sparse" and "dense"
+/// columns.
+pub const DENSE_EDGE_FACTOR: f64 = 8.0;
+
+/// Compression-ratio threshold separating Table 4a's regimes.
+pub const HIGH_CR: f64 = 2.0;
+
+/// Row-size coefficient-of-variation above which we call a structure
+/// skewed (G500 matrices measure ≳ 2; ER and FEM matrices ≲ 0.5).
+pub const SKEW_CV: f64 = 1.0;
+
+/// Table 4b: recommendation for synthetic/structural inputs.
+pub fn recommend_synthetic(
+    op: OpKind,
+    pattern: Pattern,
+    edge_factor: f64,
+    order: OutputOrder,
+) -> Algorithm {
+    let dense = edge_factor > DENSE_EDGE_FACTOR;
+    match (op, order) {
+        (OpKind::Square | OpKind::LxU, OutputOrder::Sorted) => {
+            if dense && pattern == Pattern::Skewed {
+                Algorithm::Hash
+            } else {
+                Algorithm::Heap
+            }
+        }
+        (OpKind::Square | OpKind::LxU, OutputOrder::Unsorted) => {
+            if dense && pattern == Pattern::Skewed {
+                Algorithm::Hash
+            } else {
+                Algorithm::HashVec
+            }
+        }
+        (OpKind::TallSkinny, OutputOrder::Sorted) => {
+            if dense {
+                Algorithm::HashVec
+            } else {
+                Algorithm::Hash
+            }
+        }
+        (OpKind::TallSkinny, OutputOrder::Unsorted) => Algorithm::Hash,
+    }
+}
+
+/// Table 4a: recommendation for real-world inputs with a known (or
+/// estimated) compression ratio.
+pub fn recommend_real(op: OpKind, compression_ratio: f64, order: OutputOrder) -> Algorithm {
+    match (op, order) {
+        (OpKind::LxU, OutputOrder::Sorted) if compression_ratio <= HIGH_CR => Algorithm::Heap,
+        (_, OutputOrder::Unsorted) if compression_ratio > HIGH_CR => Algorithm::Inspector,
+        _ => Algorithm::Hash,
+    }
+}
+
+/// Classify a matrix's pattern by row-size skew.
+pub fn classify_pattern<T: Copy + Send + Sync>(a: &Csr<T>) -> Pattern {
+    if stats::structure_stats(a).row_cv > SKEW_CV {
+        Pattern::Skewed
+    } else {
+        Pattern::Uniform
+    }
+}
+
+/// The automatic selector used by [`crate::Algorithm::Auto`]: infer
+/// the scenario from the operand shapes and structure, then apply
+/// Table 4b (cheap to evaluate — it needs only row statistics, not a
+/// symbolic pass).
+pub fn auto_select<T: Copy + Send + Sync>(
+    a: &Csr<T>,
+    b: &Csr<T>,
+    order: OutputOrder,
+) -> Algorithm {
+    let op = if b.ncols() * 4 <= a.nrows() {
+        OpKind::TallSkinny
+    } else {
+        OpKind::Square
+    };
+    let pattern = classify_pattern(a);
+    let ef = a.avg_row_nnz();
+    let mut rec = recommend_synthetic(op, pattern, ef, order);
+    // Heap requires sorted inputs; fall back to the hash family when
+    // the recipe picks it but the inputs do not qualify.
+    if rec.requires_sorted_inputs() && !(a.is_sorted() && b.is_sorted()) {
+        rec = match order {
+            OutputOrder::Sorted => Algorithm::Hash,
+            OutputOrder::Unsorted => Algorithm::HashVec,
+        };
+    }
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spgemm_gen::{rmat, RmatKind};
+
+    #[test]
+    fn table_4b_spot_checks() {
+        use Algorithm::*;
+        use OutputOrder::*;
+        // dense skewed A·A: Hash both ways (paper: "Hash / Hash")
+        assert_eq!(recommend_synthetic(OpKind::Square, Pattern::Skewed, 16.0, Sorted), Hash);
+        assert_eq!(recommend_synthetic(OpKind::Square, Pattern::Skewed, 16.0, Unsorted), Hash);
+        // sparse uniform A·A sorted: Heap
+        assert_eq!(recommend_synthetic(OpKind::Square, Pattern::Uniform, 4.0, Sorted), Heap);
+        // sparse anything unsorted: HashVec
+        assert_eq!(
+            recommend_synthetic(OpKind::Square, Pattern::Uniform, 4.0, Unsorted),
+            HashVec
+        );
+        // tall-skinny dense sorted: HashVec; unsorted: Hash
+        assert_eq!(
+            recommend_synthetic(OpKind::TallSkinny, Pattern::Skewed, 16.0, Sorted),
+            HashVec
+        );
+        assert_eq!(
+            recommend_synthetic(OpKind::TallSkinny, Pattern::Skewed, 16.0, Unsorted),
+            Hash
+        );
+    }
+
+    #[test]
+    fn table_4a_spot_checks() {
+        use Algorithm::*;
+        use OutputOrder::*;
+        assert_eq!(recommend_real(OpKind::Square, 10.0, Sorted), Hash);
+        assert_eq!(recommend_real(OpKind::Square, 1.5, Sorted), Hash);
+        assert_eq!(recommend_real(OpKind::Square, 10.0, Unsorted), Inspector);
+        assert_eq!(recommend_real(OpKind::Square, 1.5, Unsorted), Hash);
+        assert_eq!(recommend_real(OpKind::LxU, 1.5, Sorted), Heap);
+        assert_eq!(recommend_real(OpKind::LxU, 10.0, Sorted), Hash);
+    }
+
+    #[test]
+    fn pattern_classification_separates_er_from_g500() {
+        let er = rmat::generate_kind(RmatKind::Er, 10, 16, &mut spgemm_gen::rng(1));
+        let g = rmat::generate_kind(RmatKind::G500, 10, 16, &mut spgemm_gen::rng(1));
+        assert_eq!(classify_pattern(&er), Pattern::Uniform);
+        assert_eq!(classify_pattern(&g), Pattern::Skewed);
+    }
+
+    #[test]
+    fn auto_select_never_picks_sorted_only_kernel_for_unsorted_input() {
+        let er = rmat::generate_kind(RmatKind::Er, 8, 4, &mut spgemm_gen::rng(2));
+        let unsorted = spgemm_gen::perm::randomize_columns(&er, &mut spgemm_gen::rng(3));
+        let pick = auto_select(&unsorted, &unsorted, OutputOrder::Sorted);
+        assert!(!pick.requires_sorted_inputs(), "picked {pick}");
+    }
+
+    #[test]
+    fn auto_select_detects_tall_skinny() {
+        let g = rmat::generate_kind(RmatKind::G500, 9, 16, &mut spgemm_gen::rng(4));
+        let ts = spgemm_gen::tallskinny::tall_skinny(&g, 16, &mut spgemm_gen::rng(5)).unwrap();
+        let pick = auto_select(&g, &ts, OutputOrder::Unsorted);
+        assert_eq!(pick, Algorithm::Hash, "Table 4b tall-skinny unsorted row");
+    }
+}

@@ -1,0 +1,168 @@
+//! Stress and failure-injection tests for the kernel stack: repeated
+//! multiplies on shared pools, degenerate shapes, adversarial
+//! structures, and contract violations.
+
+use spgemm::{multiply_in, Algorithm, OutputOrder};
+use spgemm_par::Pool;
+use spgemm_sparse::{approx_eq_f64, ColIdx, Coo, Csr, PlusTimes, SparseError};
+
+type P = PlusTimes<f64>;
+
+#[test]
+fn repeated_multiplies_on_one_pool_are_stable() {
+    let pool = Pool::new(3);
+    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 8, &mut spgemm_gen::rng(1));
+    let first = multiply_in::<P>(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+    for round in 0..50 {
+        let again = multiply_in::<P>(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+        assert_eq!(first, again, "round {round}: nondeterminism detected");
+    }
+}
+
+#[test]
+fn alternating_algorithms_share_a_pool() {
+    let pool = Pool::new(2);
+    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::Er, 8, 6, &mut spgemm_gen::rng(2));
+    let oracle = spgemm::algos::reference::multiply::<P>(&a, &a);
+    for round in 0..30 {
+        let algo = [Algorithm::Hash, Algorithm::Heap, Algorithm::Merge, Algorithm::KkHash]
+            [round % 4];
+        let c = multiply_in::<P>(&a, &a, algo, OutputOrder::Sorted, &pool).unwrap();
+        assert!(approx_eq_f64(&oracle, &c, 1e-9), "round {round} ({algo})");
+    }
+}
+
+#[test]
+fn degenerate_shapes() {
+    let pool = Pool::new(2);
+    // 1x1
+    let one = Csr::from_triplets(1, 1, &[(0, 0, 3.0)]).unwrap();
+    for algo in [Algorithm::Hash, Algorithm::Heap, Algorithm::Spa] {
+        let c = multiply_in::<P>(&one, &one, algo, OutputOrder::Sorted, &pool).unwrap();
+        assert_eq!(c.get(0, 0), Some(&9.0), "{algo}");
+    }
+    // 0xN and Nx0
+    let tall = Csr::<f64>::zero(5, 0);
+    let wide = Csr::<f64>::zero(0, 5);
+    let c = multiply_in::<P>(&tall, &wide, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+    assert_eq!(c.shape(), (5, 5));
+    assert_eq!(c.nnz(), 0);
+    // inner dimension zero but outer nonzero
+    let c = multiply_in::<P>(&wide, &tall, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+    assert_eq!(c.shape(), (0, 0));
+}
+
+#[test]
+fn single_dense_row_into_dense_column() {
+    // one row of A containing every column; B a dense column — the
+    // maximal-fan-in accumulation with a single output entry
+    let n = 512usize;
+    let a_trips: Vec<(usize, ColIdx, f64)> = (0..n).map(|k| (0, k as u32, 1.0)).collect();
+    let a = Csr::from_triplets(1, n, &a_trips).unwrap();
+    let b_trips: Vec<(usize, ColIdx, f64)> = (0..n).map(|k| (k, 0, 2.0)).collect();
+    let b = Csr::from_triplets(n, 1, &b_trips).unwrap();
+    let pool = Pool::new(2);
+    for algo in [
+        Algorithm::Hash,
+        Algorithm::HashVec,
+        Algorithm::Heap,
+        Algorithm::Spa,
+        Algorithm::Merge,
+        Algorithm::KkHash,
+        Algorithm::Inspector,
+    ] {
+        let c = multiply_in::<P>(&a, &b, algo, OutputOrder::Sorted, &pool).unwrap();
+        assert_eq!(c.nnz(), 1, "{algo}");
+        assert_eq!(c.get(0, 0), Some(&(2.0 * n as f64)), "{algo}");
+    }
+}
+
+#[test]
+fn pathological_hash_keys_still_correct() {
+    // columns spaced by large powers of two cluster in low-bit-masked
+    // hash tables — correctness must survive worst-case probing
+    let n = 1 << 14;
+    let stride = 1 << 9;
+    let cols: Vec<ColIdx> = (0..24u32).map(|k| k * stride).collect();
+    let mut coo = Coo::new(4, n).unwrap();
+    for (i, &c) in cols.iter().enumerate() {
+        coo.push(i % 4, c, 1.0).unwrap();
+    }
+    // B maps every clustered column back onto the same few outputs
+    let mut bcoo = Coo::new(n, 8).unwrap();
+    for &c in &cols {
+        bcoo.push(c as usize, (c % 8) as u32, 1.0).unwrap();
+    }
+    let a = coo.into_csr_sum();
+    let b = bcoo.into_csr_sum();
+    let oracle = spgemm::algos::reference::multiply::<P>(&a, &b);
+    let pool = Pool::new(2);
+    for algo in [Algorithm::Hash, Algorithm::HashVec, Algorithm::KkHash] {
+        let c = multiply_in::<P>(&a, &b, algo, OutputOrder::Sorted, &pool).unwrap();
+        assert!(approx_eq_f64(&oracle, &c, 1e-12), "{algo}");
+    }
+}
+
+#[test]
+fn contract_violations_reported_not_panicked() {
+    let pool = Pool::new(1);
+    let a = Csr::<f64>::zero(3, 4);
+    let b = Csr::<f64>::zero(5, 3);
+    let r = multiply_in::<P>(&a, &b, Algorithm::Hash, OutputOrder::Sorted, &pool);
+    assert!(matches!(r, Err(SparseError::ShapeMismatch { .. })));
+
+    // a multi-entry row is required: single-entry rows remain sorted
+    // under any column relabelling
+    let sorted =
+        Csr::from_triplets(3, 3, &[(0, 0, 1.0), (0, 1, 2.0), (1, 2, 1.0)]).unwrap();
+    let unsorted = spgemm_sparse::ops::permute_cols(&sorted, &[2, 1, 0]).unwrap();
+    assert!(!unsorted.is_sorted());
+    for algo in [Algorithm::Heap, Algorithm::Merge] {
+        let r = multiply_in::<P>(&unsorted, &unsorted, algo, OutputOrder::Sorted, &pool);
+        assert!(matches!(r, Err(SparseError::Unsorted { .. })), "{algo}");
+    }
+}
+
+#[test]
+fn oversubscribed_pool_correctness() {
+    // many more workers than cores: scheduling still covers all rows
+    let pool = Pool::new(16);
+    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 9, 8, &mut spgemm_gen::rng(4));
+    let oracle = spgemm::algos::reference::multiply::<P>(&a, &a);
+    for algo in [Algorithm::Hash, Algorithm::Heap, Algorithm::Inspector] {
+        let c = multiply_in::<P>(&a, &a, algo, OutputOrder::Sorted, &pool).unwrap();
+        assert!(approx_eq_f64(&oracle, &c, 1e-9), "{algo}");
+    }
+}
+
+#[test]
+fn wide_value_types_and_semirings() {
+    use spgemm_sparse::MaxTimes;
+    // max-times over probabilities: widest-path one step
+    let a = Csr::from_triplets(
+        3,
+        3,
+        &[(0, 1, 0.5), (0, 2, 0.9), (1, 2, 0.8), (2, 0, 1.0)],
+    )
+    .unwrap();
+    let pool = Pool::new(2);
+    let c = multiply_in::<MaxTimes>(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+    let oracle = spgemm::algos::reference::multiply::<MaxTimes>(&a, &a);
+    assert!(c.eq_unordered_by(&oracle, |x, y| (x - y).abs() < 1e-12));
+    // path 0->2->0 gives (0,0) = max over k of a0k * ak0 = 0.9 * 1.0
+    assert_eq!(c.get(0, 0), Some(&0.9));
+}
+
+#[test]
+fn u64_counting_semiring_exact() {
+    use spgemm_sparse::PlusTimes;
+    // counting walks of length 2 in a small functional graph: exact
+    // integer arithmetic end-to-end
+    let a = Csr::from_triplets(4, 4, &[(0, 1, 1u64), (1, 2, 1), (2, 3, 1), (3, 0, 1)]).unwrap();
+    let pool = Pool::new(2);
+    let c =
+        multiply_in::<PlusTimes<u64>>(&a, &a, Algorithm::Heap, OutputOrder::Sorted, &pool).unwrap();
+    assert_eq!(c.nnz(), 4);
+    assert_eq!(c.get(0, 2), Some(&1));
+    assert_eq!(c.get(3, 1), Some(&1));
+}

@@ -1,0 +1,42 @@
+//! Synthetic sparse-matrix generators for the SpGEMM evaluation.
+//!
+//! The paper's synthetic experiments (§5.1) draw inputs from the R-MAT
+//! recursive generator [Chakrabarti et al. 2004] with two seed presets:
+//!
+//! * **ER** (`a = b = c = d = 0.25`) — Erdős–Rényi-like uniform
+//!   matrices ("Uniform" in Table 4b);
+//! * **G500** (`a = 0.57, b = c = 0.19, d = 0.05`) — the Graph500
+//!   power-law preset ("Skewed" in Table 4b).
+//!
+//! A *scale* `s` matrix is `2^s × 2^s`; the *edge factor* is the target
+//! average number of stored entries per row.
+//!
+//! Beyond R-MAT this crate provides the rest of the evaluation's input
+//! zoo: random column permutations (the unsorted-input protocol of
+//! §5.1), tall-skinny frontier matrices (§5.5), a 2-D Poisson stencil
+//! (the AMG application), and [`suite`] — synthetic stand-ins for the
+//! 26 SuiteSparse matrices of Table 2, used when the real collection
+//! is not on disk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod perm;
+pub mod poisson;
+pub mod rmat;
+pub mod suite;
+pub mod tallskinny;
+
+pub use rmat::{RmatKind, RmatParams};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The project-wide deterministic RNG (a small, fast PRNG seeded
+/// explicitly everywhere so experiments are reproducible run-to-run).
+pub type Rng = SmallRng;
+
+/// Construct the deterministic RNG from a seed.
+pub fn rng(seed: u64) -> Rng {
+    SmallRng::seed_from_u64(seed)
+}

@@ -1,0 +1,77 @@
+//! Random permutations and the unsorted-input protocol of §5.1
+//! ("For the evaluation of unsorted output, the column indices of
+//! input matrices are randomly permuted").
+
+use crate::Rng;
+use rand::Rng as _;
+use spgemm_sparse::{ops, ColIdx, Csr};
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates).
+pub fn random_permutation(n: usize, rng: &mut Rng) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+/// [`random_permutation`] cast to column-index width.
+pub fn random_col_permutation(n: usize, rng: &mut Rng) -> Vec<ColIdx> {
+    random_permutation(n, rng).into_iter().map(|x| x as ColIdx).collect()
+}
+
+/// Produce the unsorted twin of a matrix by randomly relabelling its
+/// columns (per the paper's protocol). Structure is isomorphic to the
+/// input but rows are no longer ascending, which is what exercises the
+/// `Any`-input kernels.
+pub fn randomize_columns(a: &Csr<f64>, rng: &mut Rng) -> Csr<f64> {
+    let perm = random_col_permutation(a.ncols(), rng);
+    ops::permute_cols(a, &perm).expect("permutation has the right length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_bijection() {
+        let mut r = crate::rng(9);
+        for n in [0usize, 1, 2, 17, 256] {
+            let p = random_permutation(n, &mut r);
+            let mut seen = vec![false; n];
+            for &x in &p {
+                assert!(!seen[x]);
+                seen[x] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn permutation_deterministic_per_seed() {
+        assert_eq!(
+            random_permutation(100, &mut crate::rng(3)),
+            random_permutation(100, &mut crate::rng(3))
+        );
+    }
+
+    #[test]
+    fn randomize_columns_unsorts_but_preserves_structure() {
+        let a = crate::rmat::generate_kind(crate::RmatKind::Er, 8, 8, &mut crate::rng(11));
+        let u = randomize_columns(&a, &mut crate::rng(12));
+        assert_eq!(u.nnz(), a.nnz());
+        assert_eq!(u.shape(), a.shape());
+        assert!(!u.is_sorted(), "a 256-column random relabelling is unsorted w.h.p.");
+        // row sizes unchanged — only labels moved
+        for i in 0..a.nrows() {
+            assert_eq!(u.row_nnz(i), a.row_nnz(i));
+        }
+        // sorting it back yields a matrix with identical value multiset
+        let mut vs: Vec<u64> = a.vals().iter().map(|v| v.to_bits()).collect();
+        let mut vu: Vec<u64> = u.vals().iter().map(|v| v.to_bits()).collect();
+        vs.sort_unstable();
+        vu.sort_unstable();
+        assert_eq!(vs, vu);
+    }
+}

@@ -1,0 +1,80 @@
+//! 2-D Poisson five-point stencil matrices.
+//!
+//! The Algebraic Multigrid use case from the paper's introduction
+//! needs a PDE-like operator; the standard 5-point Laplacian on a
+//! `k × k` grid is the canonical choice (symmetric positive definite,
+//! regular structure, high SpGEMM compression ratio — the regime where
+//! Table 4 recommends hash-based kernels).
+
+use spgemm_sparse::{ColIdx, Coo, Csr};
+
+/// The 5-point finite-difference Laplacian on a `k × k` grid:
+/// `4` on the diagonal, `-1` to each of the (up to) four neighbours.
+/// The matrix is `k² × k²`, symmetric, with at most 5 entries per row.
+pub fn poisson2d(k: usize) -> Csr<f64> {
+    let n = k * k;
+    let mut coo = Coo::with_capacity(n, n, 5 * n).expect("grid dimensions in range");
+    let idx = |x: usize, y: usize| -> usize { x * k + y };
+    for x in 0..k {
+        for y in 0..k {
+            let i = idx(x, y);
+            coo.push(i, i as ColIdx, 4.0).unwrap();
+            if x > 0 {
+                coo.push(i, idx(x - 1, y) as ColIdx, -1.0).unwrap();
+            }
+            if x + 1 < k {
+                coo.push(i, idx(x + 1, y) as ColIdx, -1.0).unwrap();
+            }
+            if y > 0 {
+                coo.push(i, idx(x, y - 1) as ColIdx, -1.0).unwrap();
+            }
+            if y + 1 < k {
+                coo.push(i, idx(x, y + 1) as ColIdx, -1.0).unwrap();
+            }
+        }
+    }
+    coo.into_csr_sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spgemm_sparse::ops;
+
+    #[test]
+    fn shape_and_bandwidth() {
+        let a = poisson2d(4);
+        assert_eq!(a.shape(), (16, 16));
+        assert_eq!(a.nnz(), 16 * 5 - 4 * 4); // 4 boundary entries missing per side pair
+        assert!(a.is_sorted());
+        assert!(a.validate().is_ok());
+        assert!(a.max_row_nnz() <= 5);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = poisson2d(5);
+        let at = ops::transpose(&a);
+        assert!(spgemm_sparse::approx_eq_f64(&a, &at, 0.0));
+    }
+
+    #[test]
+    fn row_sums_zero_in_interior() {
+        let k = 6;
+        let a = poisson2d(k);
+        // interior nodes: 4 - 1 - 1 - 1 - 1 = 0
+        let interior = (k + 1) * 1 + 1; // node (1,1)
+        let s: f64 = a.row_vals(interior).iter().sum();
+        assert_eq!(s, 0.0);
+        // corner node (0,0): 4 - 1 - 1 = 2
+        let s0: f64 = a.row_vals(0).iter().sum();
+        assert_eq!(s0, 2.0);
+    }
+
+    #[test]
+    fn tiny_grid() {
+        let a = poisson2d(1);
+        assert_eq!(a.shape(), (1, 1));
+        assert_eq!(a.get(0, 0), Some(&4.0));
+    }
+}

@@ -1,0 +1,208 @@
+//! R-MAT recursive matrix generator (Chakrabarti, Zhan & Faloutsos,
+//! SDM 2004), with the paper's two seed presets.
+
+use crate::Rng;
+use rand::Rng as _;
+use spgemm_sparse::{ColIdx, Coo, Csr};
+
+/// R-MAT quadrant probabilities `(a, b, c, d)`, `a + b + c + d = 1`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// Erdős–Rényi-like preset: `a = b = c = d = 0.25` (§5.1).
+    pub const ER: RmatParams = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+
+    /// Graph500 power-law preset: `a = 0.57, b = c = 0.19, d = 0.05`
+    /// (§5.1).
+    pub const G500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+
+    /// Validate that the probabilities are non-negative and sum to 1
+    /// (within floating-point slack).
+    pub fn is_valid(&self) -> bool {
+        let s = self.a + self.b + self.c + self.d;
+        self.a >= 0.0
+            && self.b >= 0.0
+            && self.c >= 0.0
+            && self.d >= 0.0
+            && (s - 1.0).abs() < 1e-9
+    }
+}
+
+/// Convenience selector between the two presets used throughout the
+/// evaluation harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmatKind {
+    /// Uniform non-zero pattern ([`RmatParams::ER`]).
+    Er,
+    /// Skewed, power-law pattern ([`RmatParams::G500`]).
+    G500,
+}
+
+impl RmatKind {
+    /// The corresponding quadrant probabilities.
+    pub fn params(self) -> RmatParams {
+        match self {
+            RmatKind::Er => RmatParams::ER,
+            RmatKind::G500 => RmatParams::G500,
+        }
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            RmatKind::Er => "ER",
+            RmatKind::G500 => "G500",
+        }
+    }
+}
+
+/// Sample one R-MAT edge in a `2^scale × 2^scale` matrix.
+fn sample_edge(params: &RmatParams, scale: u32, rng: &mut Rng) -> (usize, usize) {
+    let mut row = 0usize;
+    let mut col = 0usize;
+    // At each level, pick a quadrant with (a, b, c, d), perturbing the
+    // probabilities slightly per level as the reference implementation
+    // does to avoid exact self-similarity artifacts; we keep the exact
+    // probabilities for reproducibility of the degree distribution.
+    for _ in 0..scale {
+        row <<= 1;
+        col <<= 1;
+        let r: f64 = rng.random();
+        if r < params.a {
+            // top-left: nothing to add
+        } else if r < params.a + params.b {
+            col |= 1;
+        } else if r < params.a + params.b + params.c {
+            row |= 1;
+        } else {
+            row |= 1;
+            col |= 1;
+        }
+    }
+    (row, col)
+}
+
+/// Generate a `2^scale × 2^scale` R-MAT matrix with
+/// `edge_factor · 2^scale` sampled entries.
+///
+/// Duplicate coordinates are merged additively (so the realized
+/// `nnz` is slightly below `edge_factor · n`, more so for the skewed
+/// G500 preset — the same convention as the Graph500 generator the
+/// paper uses). Values are uniform in `(0, 1]`; rows come out sorted.
+pub fn generate(params: RmatParams, scale: u32, edge_factor: usize, rng: &mut Rng) -> Csr<f64> {
+    assert!(params.is_valid(), "invalid R-MAT probabilities {params:?}");
+    assert!(scale < 31, "scale {scale} would overflow the i32 index space");
+    let n = 1usize << scale;
+    let m = edge_factor.saturating_mul(n);
+    let mut coo = Coo::with_capacity(n, n, m).expect("dimensions validated above");
+    for _ in 0..m {
+        let (r, c) = sample_edge(&params, scale, rng);
+        let v: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE); // (0, 1]
+        coo.push(r, c as ColIdx, v).expect("edge in range by construction");
+    }
+    // Graph500 merges duplicate edges; additive merge keeps values in a
+    // reasonable range and the structure identical to dedup.
+    coo.into_csr_sum()
+}
+
+/// [`generate`] with the preset selected by `kind`.
+pub fn generate_kind(kind: RmatKind, scale: u32, edge_factor: usize, rng: &mut Rng) -> Csr<f64> {
+    generate(kind.params(), scale, edge_factor, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spgemm_sparse::stats;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(RmatParams::ER.is_valid());
+        assert!(RmatParams::G500.is_valid());
+        assert!(!RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }.is_valid());
+        assert!(!RmatParams { a: -0.1, b: 0.6, c: 0.3, d: 0.2 }.is_valid());
+    }
+
+    #[test]
+    fn shape_and_nnz_budget() {
+        let mut r = crate::rng(42);
+        let m = generate_kind(RmatKind::Er, 8, 8, &mut r);
+        assert_eq!(m.shape(), (256, 256));
+        // Dedup only removes a few percent at this density.
+        assert!(m.nnz() <= 8 * 256);
+        assert!(m.nnz() > 6 * 256, "nnz {} unexpectedly low", m.nnz());
+        assert!(m.is_sorted());
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate_kind(RmatKind::G500, 7, 4, &mut crate::rng(7));
+        let b = generate_kind(RmatKind::G500, 7, 4, &mut crate::rng(7));
+        assert_eq!(a, b);
+        let c = generate_kind(RmatKind::G500, 7, 4, &mut crate::rng(8));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn g500_is_more_skewed_than_er() {
+        let mut r = crate::rng(123);
+        let er = generate_kind(RmatKind::Er, 10, 16, &mut r);
+        let g = generate_kind(RmatKind::G500, 10, 16, &mut r);
+        let cv_er = stats::structure_stats(&er).row_cv;
+        let cv_g = stats::structure_stats(&g).row_cv;
+        assert!(
+            cv_g > 2.0 * cv_er,
+            "G500 row-size CV {cv_g:.3} should dwarf ER's {cv_er:.3}"
+        );
+    }
+
+    #[test]
+    fn er_hits_every_quadrant() {
+        let mut r = crate::rng(5);
+        let m = generate_kind(RmatKind::Er, 6, 16, &mut r);
+        let n = m.nrows();
+        let (mut tl, mut tr, mut bl, mut br) = (0usize, 0, 0, 0);
+        for i in 0..n {
+            for &c in m.row_cols(i) {
+                match (i < n / 2, (c as usize) < n / 2) {
+                    (true, true) => tl += 1,
+                    (true, false) => tr += 1,
+                    (false, true) => bl += 1,
+                    (false, false) => br += 1,
+                }
+            }
+        }
+        for (q, cnt) in [("tl", tl), ("tr", tr), ("bl", bl), ("br", br)] {
+            assert!(cnt > 0, "quadrant {q} empty");
+        }
+        // Uniform preset: quadrants within a loose factor of each other.
+        let max = tl.max(tr).max(bl).max(br) as f64;
+        let min = tl.min(tr).min(bl).min(br) as f64;
+        assert!(max / min < 2.0, "ER quadrants {tl}/{tr}/{bl}/{br} too skewed");
+    }
+
+    #[test]
+    fn values_in_unit_interval() {
+        let m = generate_kind(RmatKind::Er, 6, 4, &mut crate::rng(1));
+        // additive duplicate merge can push a few values slightly
+        // above 1, but never to 0 or negative.
+        assert!(m.vals().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn oversized_scale_rejected() {
+        let _ = generate_kind(RmatKind::Er, 31, 1, &mut crate::rng(0));
+    }
+}

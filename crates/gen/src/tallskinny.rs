@@ -1,0 +1,66 @@
+//! Tall-skinny right-hand operands (§5.5).
+//!
+//! "In our evaluations, we generate the tall-skinny matrix by randomly
+//! selecting columns from the graph itself": the result stands for a
+//! stack of BFS frontiers or a column subset in memory-efficient
+//! Markov clustering.
+
+use crate::Rng;
+use spgemm_sparse::{ops, ColIdx, Csr, SparseError};
+
+/// Pick `k` distinct column indices of `a` uniformly at random, in
+/// ascending order (partial Fisher–Yates over the index set).
+pub fn sample_columns(ncols: usize, k: usize, rng: &mut Rng) -> Vec<ColIdx> {
+    assert!(k <= ncols, "cannot sample {k} of {ncols} columns");
+    let perm = crate::perm::random_permutation(ncols, rng);
+    let mut sel: Vec<ColIdx> = perm[..k].iter().map(|&x| x as ColIdx).collect();
+    sel.sort_unstable();
+    sel
+}
+
+/// Build the tall-skinny operand: `a` restricted to `k` random columns
+/// (relabelled `0..k`). For a scale-`s` graph and short-side scale
+/// `t`, the paper uses `k = 2^t`.
+pub fn tall_skinny(a: &Csr<f64>, k: usize, rng: &mut Rng) -> Result<Csr<f64>, SparseError> {
+    let sel = sample_columns(a.ncols(), k, rng);
+    ops::select_columns(a, &sel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rmat, RmatKind};
+
+    #[test]
+    fn sampled_columns_distinct_ascending() {
+        let mut r = crate::rng(21);
+        let s = sample_columns(100, 20, &mut r);
+        assert_eq!(s.len(), 20);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.iter().all(|&c| c < 100));
+    }
+
+    #[test]
+    fn sample_all_is_identity_set() {
+        let s = sample_columns(10, 10, &mut crate::rng(1));
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversample_panics() {
+        let _ = sample_columns(5, 6, &mut crate::rng(1));
+    }
+
+    #[test]
+    fn tall_skinny_shape_and_content() {
+        let g = rmat::generate_kind(RmatKind::G500, 9, 16, &mut crate::rng(2));
+        let ts = tall_skinny(&g, 64, &mut crate::rng(3)).unwrap();
+        assert_eq!(ts.nrows(), g.nrows());
+        assert_eq!(ts.ncols(), 64);
+        assert!(ts.nnz() < g.nnz());
+        assert!(ts.nnz() > 0);
+        assert!(ts.is_sorted());
+        assert!(ts.validate().is_ok());
+    }
+}

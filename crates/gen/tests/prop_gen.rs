@@ -1,0 +1,110 @@
+//! Property tests for the generators: structural validity, seed
+//! determinism, and the statistical contracts the evaluation relies
+//! on (ER uniformity vs G500 skew; stand-in class behaviour).
+
+use proptest::prelude::*;
+use spgemm_gen::{perm, rmat, suite, tallskinny, RmatKind};
+use spgemm_sparse::stats;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rmat_always_valid_and_in_budget(
+        scale in 4u32..10,
+        ef in 1usize..17,
+        seed in 0u64..10_000,
+        skewed in prop::bool::ANY,
+    ) {
+        let kind = if skewed { RmatKind::G500 } else { RmatKind::Er };
+        let m = rmat::generate_kind(kind, scale, ef, &mut spgemm_gen::rng(seed));
+        let n = 1usize << scale;
+        prop_assert_eq!(m.shape(), (n, n));
+        prop_assert!(m.validate().is_ok());
+        prop_assert!(m.is_sorted());
+        prop_assert!(m.nnz() <= ef * n, "dedup can only shrink");
+    }
+
+    #[test]
+    fn rmat_seed_determinism(scale in 4u32..9, seed in 0u64..1000) {
+        let a = rmat::generate_kind(RmatKind::G500, scale, 8, &mut spgemm_gen::rng(seed));
+        let b = rmat::generate_kind(RmatKind::G500, scale, 8, &mut spgemm_gen::rng(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permutations_are_bijections(n in 0usize..300, seed in 0u64..1000) {
+        let p = perm::random_permutation(n, &mut spgemm_gen::rng(seed));
+        let mut seen = vec![false; n];
+        for &x in &p {
+            prop_assert!(!seen[x]);
+            seen[x] = true;
+        }
+    }
+
+    #[test]
+    fn tall_skinny_columns_are_a_subset(
+        scale in 5u32..9,
+        seed in 0u64..1000,
+        k_frac in 1usize..8,
+    ) {
+        let g = rmat::generate_kind(RmatKind::Er, scale, 8, &mut spgemm_gen::rng(seed));
+        let k = (g.ncols() / (k_frac + 1)).max(1);
+        let ts = tallskinny::tall_skinny(&g, k, &mut spgemm_gen::rng(seed ^ 1)).unwrap();
+        prop_assert_eq!(ts.nrows(), g.nrows());
+        prop_assert_eq!(ts.ncols(), k);
+        prop_assert!(ts.nnz() <= g.nnz());
+        prop_assert!(ts.validate().is_ok());
+        // every row of the tall-skinny operand is no larger than the
+        // original row (column selection only removes entries)
+        for i in 0..g.nrows() {
+            prop_assert!(ts.row_nnz(i) <= g.row_nnz(i));
+        }
+    }
+
+    #[test]
+    fn band_matrices_have_exact_rows(n in 8usize..200, w in 1usize..12) {
+        let m = suite::band_matrix(n, w, &mut spgemm_gen::rng(1));
+        let w = w.min(n);
+        for i in 0..n {
+            prop_assert_eq!(m.row_nnz(i), w, "row {}", i);
+        }
+        prop_assert!(m.is_sorted());
+    }
+
+    #[test]
+    fn uniform_matrices_hit_budget_within_dedup(n in 16usize..300, mult in 1usize..8) {
+        let target = n * mult;
+        let m = suite::uniform_matrix(n, target, &mut spgemm_gen::rng(2));
+        prop_assert!(m.nnz() <= target);
+        // birthday-bound slack: with density ≤ 8/n of n² cells, dedup
+        // removes only a few percent
+        prop_assert!(m.nnz() * 10 >= target * 8, "{} of {}", m.nnz(), target);
+    }
+}
+
+#[test]
+fn g500_skew_exceeds_er_skew_across_seeds() {
+    // the Table 4b uniform/skewed split must be robust, not a lucky seed
+    for seed in 0..5u64 {
+        let er = rmat::generate_kind(RmatKind::Er, 10, 16, &mut spgemm_gen::rng(seed));
+        let g = rmat::generate_kind(RmatKind::G500, 10, 16, &mut spgemm_gen::rng(seed));
+        let cv_er = stats::structure_stats(&er).row_cv;
+        let cv_g = stats::structure_stats(&g).row_cv;
+        assert!(cv_g > cv_er, "seed {seed}: {cv_g} vs {cv_er}");
+    }
+}
+
+#[test]
+fn standin_suite_covers_compression_spectrum() {
+    // the Figure 14/15/17 x-axis needs both low- and high-CR matrices;
+    // verify via the flop/nnz proxy (cheap, no multiply)
+    let suite = suite::standin_suite(100_000, 3);
+    let mut proxies: Vec<f64> = suite
+        .iter()
+        .map(|(_, m)| stats::flop(m, m) as f64 / m.nnz().max(1) as f64)
+        .collect();
+    proxies.sort_by(|a, b| a.total_cmp(b));
+    assert!(proxies.first().unwrap() < &16.0, "suite lacks low-CR members");
+    assert!(proxies.last().unwrap() > &40.0, "suite lacks high-CR members");
+}

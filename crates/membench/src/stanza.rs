@@ -1,0 +1,147 @@
+//! Stanza access-pattern bandwidth (Figure 5).
+//!
+//! "…a custom microbenchmark that provides stanza-like memory access
+//! patterns (read or update) with spatial locality varying from 8
+//! bytes (random access) to the size of the array (i.e. asymptotically
+//! the STREAM benchmark)". Row-wise SpGEMM reads rows of `B` exactly
+//! this way: small contiguous blocks from effectively random
+//! locations, so this curve predicts when high-bandwidth memory can
+//! help SpGEMM at all.
+
+use spgemm_par::Pool;
+use std::time::Instant;
+
+/// Access mode of the benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Sum the stanza (read-only traffic).
+    Read,
+    /// Increment the stanza in place (read+write traffic).
+    Update,
+}
+
+/// One measured point: stanza length and achieved bandwidth.
+#[derive(Clone, Copy, Debug)]
+pub struct StanzaPoint {
+    /// Contiguous bytes per access.
+    pub stanza_bytes: usize,
+    /// Achieved GB/s over the whole sweep.
+    pub gbytes_per_sec: f64,
+}
+
+const WORD: usize = std::mem::size_of::<u64>();
+
+/// Measure stanza bandwidth over an array of `total_bytes`, reading
+/// (or updating) `stanza_bytes` contiguous bytes from pseudo-random
+/// aligned offsets until every worker has moved its share of
+/// `traffic_bytes`.
+pub fn stanza_bandwidth(
+    pool: &Pool,
+    total_bytes: usize,
+    stanza_bytes: usize,
+    traffic_bytes: usize,
+    mode: Mode,
+) -> f64 {
+    let words_total = (total_bytes / WORD).max(1);
+    let words_stanza = (stanza_bytes / WORD).max(1).min(words_total);
+    let nt = pool.nthreads();
+    let per_thread_stanzas = (traffic_bytes / nt.max(1) / (words_stanza * WORD)).max(1);
+
+    let mut array = vec![1u64; words_total];
+    // pre-touch so page faults are not measured
+    for (i, x) in array.iter_mut().enumerate() {
+        *x = i as u64;
+    }
+    let array_cell = spgemm_par::unsync::SharedMutSlice::new(&mut array[..]);
+    let nstanzas_in_array = (words_total / words_stanza).max(1);
+
+    let t0 = Instant::now();
+    pool.broadcast(|wid| {
+        // per-worker LCG for offset selection
+        let mut state = 0x9E3779B97F4A7C15u64 ^ (wid as u64);
+        let mut acc = 0u64;
+        for _ in 0..per_thread_stanzas {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let s = (state >> 17) as usize % nstanzas_in_array;
+            let start = s * words_stanza;
+            match mode {
+                Mode::Read => {
+                    // SAFETY: read-only overlap between workers is
+                    // benign for bandwidth measurement; values unused.
+                    let block = unsafe { array_cell.slice_mut(start..start + words_stanza) };
+                    for &w in block.iter() {
+                        acc = acc.wrapping_add(w);
+                    }
+                }
+                Mode::Update => {
+                    // SAFETY: racy increments are acceptable — the
+                    // benchmark measures traffic, not values.
+                    let block = unsafe { array_cell.slice_mut(start..start + words_stanza) };
+                    for w in block.iter_mut() {
+                        *w = w.wrapping_add(1);
+                    }
+                }
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let bytes_moved = per_thread_stanzas * words_stanza * WORD * nt;
+    bytes_moved as f64 / secs / 1e9
+}
+
+/// The Figure 5 sweep: stanza length `2^lo..2^hi` bytes.
+pub fn sweep(
+    pool: &Pool,
+    total_bytes: usize,
+    traffic_bytes: usize,
+    lo: u32,
+    hi: u32,
+    mode: Mode,
+) -> Vec<StanzaPoint> {
+    (lo..=hi)
+        .map(|s| {
+            let stanza = 1usize << s;
+            StanzaPoint {
+                stanza_bytes: stanza,
+                gbytes_per_sec: stanza_bandwidth(pool, total_bytes, stanza, traffic_bytes, mode),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_positive_and_finite() {
+        let pool = Pool::new(2);
+        for mode in [Mode::Read, Mode::Update] {
+            let g = stanza_bandwidth(&pool, 1 << 22, 64, 1 << 22, mode);
+            assert!(g.is_finite() && g > 0.0, "{mode:?}: {g}");
+        }
+    }
+
+    #[test]
+    fn wide_stanzas_not_slower_than_tiny_ones() {
+        // the qualitative Figure 5 claim on any real memory system;
+        // allow generous slack for virtualized CI
+        let pool = Pool::new(2);
+        let tiny = stanza_bandwidth(&pool, 1 << 24, 8, 1 << 24, Mode::Read);
+        let wide = stanza_bandwidth(&pool, 1 << 24, 1 << 16, 1 << 24, Mode::Read);
+        assert!(
+            wide > tiny * 0.8,
+            "wide-stanza bandwidth {wide} should not fall below tiny-stanza {tiny}"
+        );
+    }
+
+    #[test]
+    fn sweep_has_expected_points() {
+        let pool = Pool::new(1);
+        let pts = sweep(&pool, 1 << 20, 1 << 20, 3, 6, Mode::Read);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].stanza_bytes, 8);
+        assert_eq!(pts[3].stanza_bytes, 64);
+    }
+}

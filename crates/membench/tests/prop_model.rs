@@ -1,0 +1,78 @@
+//! Property tests for the MCDRAM memory model: the substitution's
+//! validity rests on these invariants holding for *every* input, not
+//! just the calibration points.
+
+use proptest::prelude::*;
+use spgemm_membench::memmodel::{AccessProfile, MemoryModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ratio_bounded_and_monotone(s1 in 8.0f64..1e6, s2 in 8.0f64..1e6) {
+        let m = MemoryModel::default();
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let r_lo = m.cache_mode_ratio(lo);
+        let r_hi = m.cache_mode_ratio(hi);
+        prop_assert!((1.0..=m.mcdram_ratio + 1e-9).contains(&r_lo));
+        prop_assert!((1.0..=m.mcdram_ratio + 1e-9).contains(&r_hi));
+        prop_assert!(r_hi >= r_lo - 1e-12, "ratio must not decrease with stanza length");
+    }
+
+    #[test]
+    fn bandwidth_never_exceeds_peak(s in 8.0f64..1e9) {
+        let m = MemoryModel::default();
+        prop_assert!(m.ddr_bandwidth(s) <= m.ddr_peak_gbs + 1e-9);
+        prop_assert!(m.mcdram_bandwidth(s) <= m.ddr_peak_gbs * m.mcdram_ratio + 1e-9);
+        prop_assert!(m.ddr_bandwidth(s) > 0.0);
+    }
+
+    #[test]
+    fn speedup_bounded_by_model_ratio(
+        stanzas in proptest::collection::vec((3u32..20, 1u64..1_000_000_000), 1..8),
+        compute_mult in 0.0f64..10.0,
+    ) {
+        let m = MemoryModel::default();
+        let mut p = AccessProfile::default();
+        for (s, b) in stanzas {
+            p.add(1usize << s, b);
+        }
+        let t_mem = m.ddr_time(&p);
+        prop_assume!(t_mem > 0.0);
+        let measured = t_mem * (1.0 + compute_mult);
+        let sp = m.predict_speedup(measured, &p);
+        prop_assert!(sp >= 0.99, "cache mode must never predict slowdown from the bw model: {sp}");
+        prop_assert!(
+            sp <= m.mcdram_ratio + 1e-9,
+            "speedup cannot exceed the bandwidth ratio: {sp}"
+        );
+        // more compute -> less speedup
+        let sp2 = m.predict_speedup(measured * 2.0, &p);
+        prop_assert!(sp2 <= sp + 1e-9);
+    }
+
+    #[test]
+    fn profile_total_is_sum_of_adds(
+        adds in proptest::collection::vec((8usize..100_000, 1u64..1_000_000), 0..50),
+    ) {
+        let mut p = AccessProfile::default();
+        let mut expect = 0u64;
+        for (s, b) in adds {
+            p.add(s, b);
+            expect += b;
+        }
+        prop_assert_eq!(p.total_bytes(), expect);
+        // buckets stay sorted and deduplicated
+        prop_assert!(p.buckets.windows(2).all(|w| w[0].stanza_bytes < w[1].stanza_bytes));
+    }
+
+    #[test]
+    fn calibration_scales_times_inversely(peak in 1.0f64..500.0) {
+        let base = MemoryModel::default();
+        let cal = MemoryModel::default().with_measured_ddr(peak);
+        let mut p = AccessProfile::default();
+        p.add(4096, 1 << 30);
+        let ratio = base.ddr_time(&p) / cal.ddr_time(&p);
+        prop_assert!((ratio - peak / base.ddr_peak_gbs).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,149 @@
+//! Thread-private memory management (§3.2, Figure 3 of the paper).
+//!
+//! The paper's KNL measurements show "single" deallocation of large
+//! buffers costing >100 ms, while per-thread ("parallel")
+//! allocation/deallocation of the same total is far cheaper; its
+//! kernels therefore (a) compute each thread's requirement up front,
+//! (b) allocate inside the parallel region, and (c) *reuse* the buffer
+//! across rows. [`ThreadScratch`] packages (a)–(c); the raw
+//! single-vs-parallel experiment itself lives in `spgemm-membench`.
+
+use crate::Pool;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+
+/// Per-worker reusable buffers, allocated lazily on first use by each
+/// worker and kept (capacity preserved) across parallel regions.
+///
+/// Indexed by worker id: each worker may only take its own slot during
+/// a region, which makes the `Mutex` always uncontended — it exists to
+/// keep the container `Sync` without `unsafe`.
+pub struct ThreadScratch<T> {
+    slots: Vec<crossbeam_utils::CachePadded<Mutex<Vec<T>>>>,
+}
+
+impl<T> ThreadScratch<T> {
+    /// Scratch for every worker of `pool`.
+    pub fn for_pool(pool: &Pool) -> Self {
+        Self::with_threads(pool.nthreads())
+    }
+
+    /// Scratch for `nthreads` workers.
+    pub fn with_threads(nthreads: usize) -> Self {
+        ThreadScratch {
+            slots: (0..nthreads)
+                .map(|_| crossbeam_utils::CachePadded::new(Mutex::new(Vec::new())))
+                .collect(),
+        }
+    }
+
+    /// Number of worker slots.
+    pub fn nthreads(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Borrow worker `wid`'s buffer for the duration of a closure.
+    /// Panics if the slot is already borrowed (which would mean two
+    /// workers shared a `wid` — a pool bug).
+    pub fn with<R>(&self, wid: usize, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+        let mut guard = self.slots[wid]
+            .try_lock()
+            .expect("ThreadScratch slot borrowed by two workers at once");
+        f(&mut guard)
+    }
+
+    /// Drop every buffer's contents, keeping the slots.
+    pub fn clear_all(&mut self) {
+        for s in &mut self.slots {
+            s.get_mut().clear();
+            s.get_mut().shrink_to_fit();
+        }
+    }
+}
+
+thread_local! {
+    /// Bytes of thread-local scratch allocated via [`with_thread_buffer`]
+    /// on this thread (for tests / instrumentation).
+    static LOCAL_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a thread-local byte buffer of at least `bytes`
+/// capacity. This is the purest form of the paper's "parallel"
+/// allocation: the buffer belongs to the calling OS thread, is reused
+/// across calls, and is freed when the thread exits.
+pub fn with_thread_buffer<R>(bytes: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
+    LOCAL_BUF.with(|b| {
+        let mut buf = b.borrow_mut();
+        if buf.len() < bytes {
+            buf.resize(bytes, 0);
+        }
+        f(&mut buf[..bytes])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schedule;
+
+    #[test]
+    fn scratch_is_private_per_worker() {
+        let pool = Pool::new(4);
+        let scratch = ThreadScratch::<u64>::for_pool(&pool);
+        assert_eq!(scratch.nthreads(), 4);
+        pool.broadcast(|wid| {
+            scratch.with(wid, |buf| {
+                buf.clear();
+                buf.extend(std::iter::repeat_n(wid as u64, 100));
+            });
+        });
+        for wid in 0..4 {
+            scratch.with(wid, |buf| {
+                assert_eq!(buf.len(), 100);
+                assert!(buf.iter().all(|&x| x == wid as u64));
+            });
+        }
+    }
+
+    #[test]
+    fn scratch_capacity_survives_regions() {
+        let pool = Pool::new(2);
+        let scratch = ThreadScratch::<u8>::for_pool(&pool);
+        pool.broadcast(|wid| {
+            scratch.with(wid, |buf| buf.resize(1 << 16, 0));
+        });
+        let caps: Vec<usize> = (0..2).map(|w| scratch.with(w, |b| b.capacity())).collect();
+        pool.broadcast(|wid| {
+            scratch.with(wid, |buf| buf.clear());
+        });
+        for (w, &cap) in caps.iter().enumerate() {
+            scratch.with(w, |b| assert!(b.capacity() >= cap.min(1 << 16), "worker {w}"));
+        }
+    }
+
+    #[test]
+    fn clear_all_releases() {
+        let mut scratch = ThreadScratch::<u32>::with_threads(2);
+        scratch.with(0, |b| b.resize(1000, 7));
+        scratch.clear_all();
+        scratch.with(0, |b| assert!(b.is_empty()));
+    }
+
+    #[test]
+    fn thread_buffer_reused_within_thread() {
+        let p1 = with_thread_buffer(64, |b| b.as_ptr() as usize);
+        let p2 = with_thread_buffer(64, |b| b.as_ptr() as usize);
+        assert_eq!(p1, p2, "same thread reuses its buffer");
+    }
+
+    #[test]
+    fn thread_buffer_usable_inside_pool() {
+        let pool = Pool::new(3);
+        pool.parallel_for(64, Schedule::Static, |i| {
+            with_thread_buffer(128, |b| {
+                b[0] = i as u8;
+                assert_eq!(b.len(), 128);
+            });
+        });
+    }
+}

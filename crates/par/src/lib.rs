@@ -1,0 +1,50 @@
+//! Parallel runtime for the SpGEMM reproduction.
+//!
+//! The paper's architecture work (§3, §4.1) is about *how* the loop
+//! over output rows is scheduled and *where* temporary memory is
+//! allocated, not about the arithmetic. Rust has no OpenMP, and rayon's
+//! work-stealing matches none of the three OpenMP policies the paper
+//! measures, so this crate implements the runtime the paper assumes:
+//!
+//! * [`Pool`] — a persistent pool of parked worker threads executing
+//!   *parallel regions* ([`Pool::broadcast`]) and *scheduled loops*
+//!   ([`Pool::parallel_for`]) under [`Schedule::Static`],
+//!   [`Schedule::Dynamic`] or [`Schedule::Guided`] — the subjects of
+//!   the paper's Figure 2 and Figure 9.
+//! * [`partition`] — the flop-balanced row partitioner of §4.1
+//!   (Figure 6): per-row work estimates, a prefix sum, and a
+//!   lower-bound binary search give each thread an equal-work block of
+//!   *contiguous* rows, keeping static scheduling's low overhead.
+//! * [`scan`] — sequential and pool-parallel prefix sums (used both by
+//!   the partitioner and to build output row pointers).
+//! * [`alloc`] — thread-private scratch buffers implementing the
+//!   "parallel" memory-management scheme of §3.2 (Figure 3): each
+//!   worker allocates, reuses, and frees only its own memory.
+//! * [`unsync`] — a guarded escape hatch ([`unsync::SharedMutSlice`])
+//!   for the disjoint-writes idiom every CSR-producing kernel needs
+//!   (each thread fills its own precomputed slice of the output).
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod partition;
+mod pool;
+pub mod scan;
+mod schedule;
+pub mod unsync;
+
+pub use pool::Pool;
+pub use schedule::Schedule;
+
+/// Number of hardware threads available to this process.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A lazily-created process-wide pool using every hardware thread.
+/// Regions on it are serialized, so it is safe (if not maximally
+/// efficient) to share across caller threads.
+pub fn global_pool() -> &'static Pool {
+    static GLOBAL: std::sync::OnceLock<Pool> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(Pool::with_all_threads)
+}

@@ -1,0 +1,372 @@
+//! Persistent worker pool executing parallel regions.
+//!
+//! The pool mirrors the OpenMP execution model the paper's kernels are
+//! written against: a fixed team of threads that all enter the same
+//! *parallel region* (here a closure receiving the worker id), with
+//! the calling thread participating as worker 0. Workers park between
+//! regions, so repeated regions pay only a wake/notify — this is what
+//! lets Figure 2's scheduling-cost measurements see the scheduler, not
+//! thread spawning.
+
+use crate::schedule::{static_block, Schedule};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A fixed-size team of worker threads executing parallel regions.
+///
+/// Dropping the pool shuts the workers down and joins them.
+pub struct Pool {
+    shared: Option<Arc<Shared>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    nthreads: usize,
+    /// Serializes whole regions so a pool shared between caller threads
+    /// (e.g. [`crate::global_pool`]) is safe: one region at a time.
+    region: Mutex<()>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+struct State {
+    /// Type-erased pointer to the current region body (valid for the
+    /// duration of the owning `broadcast` call only).
+    job: Option<JobRef>,
+    /// Incremented for every published region so parked workers can
+    /// tell "new job" from spurious wakeups.
+    epoch: u64,
+    /// Workers (excluding the caller) still inside the current region.
+    active: usize,
+    shutdown: bool,
+}
+
+/// Lifetime-erased reference to the region body. See the SAFETY
+/// discussion in [`Pool::broadcast`] for why sending it across threads
+/// and calling it there is sound.
+#[derive(Clone, Copy)]
+struct JobRef(&'static (dyn Fn(usize) + Sync));
+
+impl Pool {
+    /// Create a pool running regions on `nthreads` threads (the
+    /// calling thread plus `nthreads - 1` spawned workers).
+    ///
+    /// `nthreads == 1` degenerates to inline execution with no spawned
+    /// threads and no synchronization, so single-thread baselines in
+    /// the benchmarks measure pure kernel time.
+    pub fn new(nthreads: usize) -> Self {
+        let nthreads = nthreads.max(1);
+        if nthreads == 1 {
+            return Pool { shared: None, handles: Vec::new(), nthreads, region: Mutex::new(()) };
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { job: None, epoch: 0, active: 0, shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(nthreads - 1);
+        for wid in 1..nthreads {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("spgemm-worker-{wid}"))
+                    .spawn(move || worker_loop(&shared, wid))
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+        Pool { shared: Some(shared), handles, nthreads, region: Mutex::new(()) }
+    }
+
+    /// A pool using every hardware thread.
+    pub fn with_all_threads() -> Self {
+        Pool::new(crate::hardware_threads())
+    }
+
+    /// Number of workers (including the calling thread).
+    #[inline]
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Execute `body(wid)` once on every worker, `wid ∈ 0..nthreads`,
+    /// with the caller participating as worker 0. Returns after *all*
+    /// workers finish — a full OpenMP-style parallel region with
+    /// implicit barrier.
+    pub fn broadcast(&self, body: impl Fn(usize) + Sync) {
+        let Some(shared) = &self.shared else {
+            body(0);
+            return;
+        };
+        let _region = self.region.lock();
+        // Erase the closure's lifetime for the workers. SAFETY: we
+        // block below until `active == 0`, i.e. every worker has
+        // finished calling through this reference, before `body` can be
+        // dropped; the pointee is `Sync` so concurrent calls are fine.
+        let wide: &(dyn Fn(usize) + Sync) = &body;
+        let job = JobRef(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
+                wide,
+            )
+        });
+        {
+            let mut st = shared.state.lock();
+            debug_assert!(st.job.is_none(), "nested broadcast on the same pool");
+            st.job = Some(job);
+            st.epoch += 1;
+            st.active = self.nthreads - 1;
+            shared.work_cv.notify_all();
+        }
+        // The caller is worker 0.
+        body(0);
+        let mut st = shared.state.lock();
+        while st.active > 0 {
+            shared.done_cv.wait(&mut st);
+        }
+        st.job = None;
+    }
+
+    /// Run `body(i)` for every `i in 0..n` under the given
+    /// [`Schedule`]. This is the `#pragma omp parallel for
+    /// schedule(...)` of the paper's Figures 2 and 9.
+    pub fn parallel_for(&self, n: usize, sched: Schedule, body: impl Fn(usize) + Sync) {
+        match sched {
+            Schedule::Static => {
+                let nt = self.nthreads;
+                self.broadcast(|wid| {
+                    for i in static_block(n, wid, nt) {
+                        body(i);
+                    }
+                });
+            }
+            Schedule::Dynamic { chunk } => {
+                let chunk = chunk.max(1);
+                let next = AtomicUsize::new(0);
+                self.broadcast(|_| loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        body(i);
+                    }
+                });
+            }
+            Schedule::Guided { min_chunk } => {
+                let min_chunk = min_chunk.max(1);
+                let nt = self.nthreads;
+                let next = AtomicUsize::new(0);
+                self.broadcast(|_| loop {
+                    // Claim `max(min_chunk, remaining / nthreads)`
+                    // iterations with a CAS so the shrinking chunk size
+                    // is computed against a consistent `remaining`.
+                    let mut cur = next.load(Ordering::Relaxed);
+                    let (start, end) = loop {
+                        if cur >= n {
+                            break (n, n);
+                        }
+                        let chunk = ((n - cur) / nt).max(min_chunk);
+                        match next.compare_exchange_weak(
+                            cur,
+                            cur + chunk,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break (cur, (cur + chunk).min(n)),
+                            Err(seen) => cur = seen,
+                        }
+                    };
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..end {
+                        body(i);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Run `body(t, offsets[t]..offsets[t+1])` on each worker `t`:
+    /// static scheduling with *caller-chosen* block boundaries. This is
+    /// how kernels consume the flop-balanced partition of §4.1.
+    ///
+    /// `offsets` must have `nthreads() + 1` non-decreasing entries.
+    pub fn parallel_ranges(
+        &self,
+        offsets: &[usize],
+        body: impl Fn(usize, std::ops::Range<usize>) + Sync,
+    ) {
+        assert_eq!(
+            offsets.len(),
+            self.nthreads + 1,
+            "offsets must have nthreads + 1 entries"
+        );
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        self.broadcast(|wid| body(wid, offsets[wid]..offsets[wid + 1]));
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            {
+                let mut st = shared.state.lock();
+                st.shutdown = true;
+                shared.work_cv.notify_all();
+            }
+            for h in self.handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, wid: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(job) = st.job {
+                        seen_epoch = st.epoch;
+                        break job;
+                    }
+                }
+                shared.work_cv.wait(&mut st);
+            }
+        };
+        // `broadcast` keeps the pointee alive until `active` reaches 0,
+        // which happens strictly after this call returns.
+        (job.0)(wid);
+        let mut st = shared.state.lock();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn broadcast_runs_every_worker_once() {
+        for nt in [1usize, 2, 4] {
+            let pool = Pool::new(nt);
+            let hits = AtomicUsize::new(0);
+            let wid_mask = AtomicUsize::new(0);
+            pool.broadcast(|wid| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                wid_mask.fetch_or(1 << wid, Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), nt);
+            assert_eq!(wid_mask.load(Ordering::SeqCst), (1 << nt) - 1);
+        }
+    }
+
+    #[test]
+    fn broadcast_reusable_many_times() {
+        let pool = Pool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.broadcast(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 300);
+    }
+
+    fn check_cover(nt: usize, n: usize, sched: Schedule) {
+        let pool = Pool::new(nt);
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(n, sched, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "iteration {i} under {sched:?} x{nt}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_covers_every_iteration_exactly_once() {
+        for nt in [1usize, 2, 4] {
+            for n in [0usize, 1, 7, 64, 1000] {
+                check_cover(nt, n, Schedule::Static);
+                check_cover(nt, n, Schedule::Dynamic { chunk: 1 });
+                check_cover(nt, n, Schedule::Dynamic { chunk: 8 });
+                check_cover(nt, n, Schedule::Guided { min_chunk: 1 });
+                check_cover(nt, n, Schedule::Guided { min_chunk: 4 });
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_sums_correctly() {
+        let pool = Pool::new(4);
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(1000, Schedule::GUIDED, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn parallel_ranges_passes_exact_blocks() {
+        let pool = Pool::new(3);
+        let offsets = vec![0usize, 5, 5, 12];
+        let seen = Mutex::new(vec![None; 3]);
+        pool.parallel_ranges(&offsets, |wid, r| {
+            seen.lock()[wid] = Some(r);
+        });
+        let seen = seen.lock();
+        assert_eq!(seen[0], Some(0..5));
+        assert_eq!(seen[1], Some(5..5));
+        assert_eq!(seen[2], Some(5..12));
+    }
+
+    #[test]
+    #[should_panic(expected = "nthreads + 1")]
+    fn parallel_ranges_rejects_bad_offsets() {
+        let pool = Pool::new(2);
+        pool.parallel_ranges(&[0, 1], |_, _| {});
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.nthreads(), 1);
+        let tid = std::thread::current().id();
+        pool.broadcast(|wid| {
+            assert_eq!(wid, 0);
+            assert_eq!(std::thread::current().id(), tid);
+        });
+    }
+
+    #[test]
+    fn pool_drop_joins_cleanly() {
+        for _ in 0..10 {
+            let pool = Pool::new(4);
+            pool.broadcast(|_| {});
+            drop(pool);
+        }
+    }
+
+    #[test]
+    fn mutation_through_mutex_is_visible_after_region() {
+        let pool = Pool::new(4);
+        let data = Mutex::new(vec![0u32; 16]);
+        pool.parallel_for(16, Schedule::Static, |i| {
+            data.lock()[i] = i as u32 * 2;
+        });
+        let d = data.lock();
+        assert!(d.iter().enumerate().all(|(i, &v)| v == i as u32 * 2));
+    }
+}

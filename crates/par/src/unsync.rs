@@ -1,0 +1,129 @@
+//! Disjoint-writes primitive for filling shared output buffers.
+//!
+//! Every CSR-producing kernel in the paper follows the same pattern:
+//! row pointers decide, ahead of time, which disjoint slice of the
+//! output arrays each thread fills. Rust's borrow checker cannot see
+//! that the ranges are disjoint across a `Fn` closure shared by the
+//! pool workers, so this module provides a minimal, well-documented
+//! unsafe cell for exactly that idiom (the same role rayon's internal
+//! `SendPtr` plays).
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A shareable pointer to a mutable slice whose regions are written by
+/// multiple threads under a caller-guaranteed disjointness contract.
+///
+/// # Safety contract
+///
+/// * Each index may be written by at most one thread between two
+///   synchronization points (the pool's region barrier).
+/// * No reads may overlap writes to the same index within a region.
+///
+/// Both [`SharedMutSlice::write`] and [`SharedMutSlice::slice_mut`] are
+/// `unsafe` to keep the contract at every use site.
+pub struct SharedMutSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _borrow: PhantomData<&'a UnsafeCell<[T]>>,
+}
+
+// SAFETY: the pointer is only dereferenced through the `unsafe`
+// methods, whose contracts require disjoint access; `T: Send` makes
+// moving values across threads sound and the barrier in
+// `Pool::broadcast` provides the necessary happens-before edges for
+// subsequent reads by the caller.
+unsafe impl<'a, T: Send> Send for SharedMutSlice<'a, T> {}
+unsafe impl<'a, T: Send> Sync for SharedMutSlice<'a, T> {}
+
+impl<'a, T> SharedMutSlice<'a, T> {
+    /// Wrap a mutable slice for disjoint multi-threaded writing.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedMutSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _borrow: PhantomData }
+    }
+
+    /// Length of the underlying slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write one element.
+    ///
+    /// # Safety
+    /// `idx < len()`, and no other thread reads or writes `idx` within
+    /// the current parallel region.
+    #[inline]
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        debug_assert!(idx < self.len);
+        unsafe { self.ptr.add(idx).write(value) };
+    }
+
+    /// Reborrow a subrange as a mutable slice.
+    ///
+    /// # Safety
+    /// `range` is in bounds, and no other thread accesses any index in
+    /// `range` within the current parallel region.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the whole point, guarded by the contract
+    pub unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        unsafe {
+            std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pool, Schedule};
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let pool = Pool::new(4);
+        let mut v = vec![0u32; 4096];
+        {
+            let s = SharedMutSlice::new(&mut v);
+            pool.parallel_for(4096, Schedule::Dynamic { chunk: 64 }, |i| unsafe {
+                s.write(i, i as u32 + 1);
+            });
+        }
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+    }
+
+    #[test]
+    fn disjoint_subslices_are_independent() {
+        let pool = Pool::new(3);
+        let mut v = vec![0u8; 300];
+        let offsets = [0usize, 100, 200, 300];
+        {
+            let s = SharedMutSlice::new(&mut v);
+            pool.parallel_ranges(&offsets, |wid, r| {
+                let sub = unsafe { s.slice_mut(r) };
+                sub.fill(wid as u8 + 1);
+            });
+        }
+        assert!(v[..100].iter().all(|&x| x == 1));
+        assert!(v[100..200].iter().all(|&x| x == 2));
+        assert!(v[200..].iter().all(|&x| x == 3));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut v = vec![1, 2, 3];
+        let s = SharedMutSlice::new(&mut v);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let mut e: Vec<i32> = vec![];
+        let s = SharedMutSlice::new(&mut e);
+        assert!(s.is_empty());
+    }
+}

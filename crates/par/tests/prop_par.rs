@@ -1,0 +1,124 @@
+//! Property tests for the parallel runtime: every scheduling policy
+//! covers every iteration exactly once, the balanced partitioner is
+//! correct for arbitrary weight vectors, and scans agree with their
+//! sequential definitions.
+
+use proptest::prelude::*;
+use spgemm_par::{partition, scan, Pool, Schedule};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_schedule_covers_exactly_once(
+        n in 0usize..500,
+        nt in 1usize..5,
+        chunk in 1usize..9,
+        which in 0u8..3,
+    ) {
+        let sched = match which {
+            0 => Schedule::Static,
+            1 => Schedule::Dynamic { chunk },
+            _ => Schedule::Guided { min_chunk: chunk },
+        };
+        let pool = Pool::new(nt);
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(n, sched, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "iteration {} under {:?}", i, sched);
+        }
+    }
+
+    #[test]
+    fn balanced_offsets_invariants(
+        weights in proptest::collection::vec(0u64..1000, 0..400),
+        nparts in 1usize..9,
+    ) {
+        let pool = Pool::new(2);
+        let off = partition::balanced_offsets(&weights, nparts, &pool);
+        prop_assert_eq!(off.len(), nparts + 1);
+        prop_assert_eq!(off[0], 0);
+        prop_assert_eq!(*off.last().unwrap(), weights.len());
+        prop_assert!(off.windows(2).all(|w| w[0] <= w[1]));
+        // no part may exceed total/nparts by more than the single
+        // heaviest row (rows are indivisible)
+        let total: u64 = weights.iter().sum();
+        let heaviest = weights.iter().copied().max().unwrap_or(0);
+        let bound = total / nparts as u64 + heaviest + 1;
+        prop_assert!(
+            partition::max_part_weight(&weights, &off) <= bound,
+            "imbalance exceeds indivisibility bound"
+        );
+    }
+
+    #[test]
+    fn parallel_scan_equals_sequential(
+        v in proptest::collection::vec(0u64..10_000, 0..50_000),
+        nt in 1usize..5,
+    ) {
+        let pool = Pool::new(nt);
+        let mut seq = v.clone();
+        let ts = scan::inclusive_scan_in_place(&mut seq);
+        let mut par = v.clone();
+        let tp = scan::parallel_inclusive_scan(&pool, &mut par);
+        prop_assert_eq!(ts, tp);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn lower_bound_is_partition_point(
+        mut v in proptest::collection::vec(0u64..1000, 0..100),
+        target in 0u64..1100,
+    ) {
+        v.sort_unstable();
+        prop_assert_eq!(
+            partition::lower_bound(&v, target),
+            v.partition_point(|&x| x < target)
+        );
+    }
+
+    #[test]
+    fn counts_to_offsets_matches_scan(counts in proptest::collection::vec(0usize..50, 0..200)) {
+        let off = scan::counts_to_offsets(&counts);
+        prop_assert_eq!(off.len(), counts.len() + 1);
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(off[i + 1] - off[i], c);
+        }
+    }
+}
+
+#[test]
+fn pool_survives_many_mixed_regions() {
+    // stress: alternating broadcast / parallel_for shapes on one pool
+    let pool = Pool::new(4);
+    let total = AtomicUsize::new(0);
+    for round in 0..200 {
+        if round % 2 == 0 {
+            pool.broadcast(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        } else {
+            pool.parallel_for(round, Schedule::Dynamic { chunk: 3 }, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    }
+    // 100 broadcasts x 4 workers + sum of odd rounds 1..199
+    let expect = 100 * 4 + (0..200).filter(|r| r % 2 == 1).sum::<usize>();
+    assert_eq!(total.load(Ordering::Relaxed), expect);
+}
+
+#[test]
+fn pools_of_many_sizes_coexist() {
+    let pools: Vec<Pool> = (1..=6).map(Pool::new).collect();
+    for (k, p) in pools.iter().enumerate() {
+        let c = AtomicUsize::new(0);
+        p.parallel_for(1000, Schedule::Static, |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 1000, "pool {k}");
+    }
+}

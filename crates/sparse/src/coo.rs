@@ -1,0 +1,226 @@
+//! Coordinate (triplet) storage, used for construction and Matrix
+//! Market I/O.
+
+use crate::{ColIdx, Csr, SparseError, MAX_DIM};
+
+/// A sparse matrix as a list of `(row, col, value)` triplets.
+///
+/// `Coo` is the staging format: generators and parsers append triplets
+/// in arbitrary order (possibly with duplicates), then convert to
+/// [`Csr`] with either additive or last-write-wins duplicate handling.
+#[derive(Clone, Debug)]
+pub struct Coo<T> {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<ColIdx>,
+    vals: Vec<T>,
+}
+
+impl<T: Copy + Send + Sync> Coo<T> {
+    /// An empty triplet list for an `nrows x ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Result<Self, SparseError> {
+        Self::with_capacity(nrows, ncols, 0)
+    }
+
+    /// Like [`Coo::new`] with pre-reserved capacity.
+    pub fn with_capacity(
+        nrows: usize,
+        ncols: usize,
+        cap: usize,
+    ) -> Result<Self, SparseError> {
+        if nrows > MAX_DIM || ncols > MAX_DIM {
+            return Err(SparseError::DimensionTooLarge { dim: nrows.max(ncols) });
+        }
+        Ok(Coo {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no triplets are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append one triplet, bounds-checked.
+    pub fn push(&mut self, row: usize, col: ColIdx, val: T) -> Result<(), SparseError> {
+        if row >= self.nrows {
+            return Err(SparseError::BadRowPointers {
+                detail: format!("row {row} out of bounds for {} rows", self.nrows),
+            });
+        }
+        if col as usize >= self.ncols {
+            return Err(SparseError::ColumnOutOfBounds { row, col, ncols: self.ncols });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Iterate stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, ColIdx, T)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Convert to CSR, combining duplicate coordinates with `combine`.
+    /// Rows of the result are sorted.
+    pub fn into_csr_with(self, combine: impl Fn(T, T) -> T) -> Csr<T> {
+        let Coo { nrows, ncols, rows, cols, vals } = self;
+        // Counting sort by row: stable, O(nnz + nrows).
+        let mut rpts = vec![0usize; nrows + 1];
+        for &r in &rows {
+            rpts[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            rpts[i + 1] += rpts[i];
+        }
+        let nnz = rows.len();
+        // Scatter triplet *indices* into row order (avoids needing a
+        // placeholder value for `T`).
+        let mut order = vec![0usize; nnz];
+        let mut cursor = rpts.clone();
+        for (idx, &r) in rows.iter().enumerate() {
+            order[cursor[r]] = idx;
+            cursor[r] += 1;
+        }
+        // Sort within each row, then combine duplicates in place.
+        let mut w_cols: Vec<ColIdx> = Vec::with_capacity(nnz);
+        let mut w_vals: Vec<T> = Vec::with_capacity(nnz);
+        let mut new_rpts = vec![0usize; nrows + 1];
+        let mut scratch: Vec<(ColIdx, T)> = Vec::new();
+        for i in 0..nrows {
+            scratch.clear();
+            scratch.extend(
+                order[rpts[i]..rpts[i + 1]].iter().map(|&idx| (cols[idx], vals[idx])),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut iter = scratch.iter().copied();
+            if let Some((mut cur_c, mut cur_v)) = iter.next() {
+                for (c, v) in iter {
+                    if c == cur_c {
+                        cur_v = combine(cur_v, v);
+                    } else {
+                        w_cols.push(cur_c);
+                        w_vals.push(cur_v);
+                        cur_c = c;
+                        cur_v = v;
+                    }
+                }
+                w_cols.push(cur_c);
+                w_vals.push(cur_v);
+            }
+            new_rpts[i + 1] = w_cols.len();
+        }
+        Csr::from_parts_unchecked(nrows, ncols, new_rpts, w_cols, w_vals, true)
+    }
+
+    /// Convert to CSR adding values of duplicate coordinates (the
+    /// Matrix Market convention and what the R-MAT generator wants when
+    /// it keeps multi-edges as weights).
+    pub fn into_csr_sum(self) -> Csr<T>
+    where
+        T: crate::Scalar,
+    {
+        self.into_csr_with(|a, b| a.add(b))
+    }
+
+    /// Convert to CSR keeping the last-pushed value of duplicate
+    /// coordinates.
+    pub fn into_csr_last_wins(self) -> Csr<T> {
+        self.into_csr_with(|_, b| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_bounds_checked() {
+        let mut c = Coo::<f64>::new(2, 2).unwrap();
+        assert!(c.push(0, 0, 1.0).is_ok());
+        assert!(c.push(2, 0, 1.0).is_err());
+        assert!(c.push(0, 2, 1.0).is_err());
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn duplicates_sum() {
+        let mut c = Coo::<f64>::new(2, 3).unwrap();
+        c.push(0, 1, 1.0).unwrap();
+        c.push(0, 1, 2.5).unwrap();
+        c.push(1, 2, 4.0).unwrap();
+        let m = c.into_csr_sum();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), Some(&3.5));
+        assert!(m.is_sorted());
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicates_last_wins() {
+        let mut c = Coo::<u64>::new(1, 4).unwrap();
+        c.push(0, 3, 7).unwrap();
+        c.push(0, 3, 9).unwrap();
+        let m = c.into_csr_last_wins();
+        assert_eq!(m.get(0, 3), Some(&9));
+    }
+
+    #[test]
+    fn rows_emerge_sorted_from_random_order() {
+        let mut c = Coo::<f64>::new(1, 10).unwrap();
+        for &col in &[7u32, 2, 9, 0, 4] {
+            c.push(0, col, col as f64).unwrap();
+        }
+        let m = c.into_csr_sum();
+        assert_eq!(m.row_cols(0), &[0, 2, 4, 7, 9]);
+        assert!(m.is_sorted());
+    }
+
+    #[test]
+    fn empty_conversion() {
+        let c = Coo::<f64>::new(3, 3).unwrap();
+        let m = c.into_csr_sum();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.shape(), (3, 3));
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn iterates_in_push_order() {
+        let mut c = Coo::<i64>::new(2, 2).unwrap();
+        c.push(1, 0, -1).unwrap();
+        c.push(0, 1, 5).unwrap();
+        let v: Vec<_> = c.iter().collect();
+        assert_eq!(v, vec![(1, 0, -1), (0, 1, 5)]);
+    }
+}

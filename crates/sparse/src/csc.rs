@@ -1,0 +1,192 @@
+//! Compressed Sparse Column storage.
+//!
+//! The paper's algorithms are row-wise, but several of the workloads
+//! around them want column access: MCL normalizes columns, AMG
+//! restriction is the transpose of prolongation, and SPA blocking à la
+//! Patwary et al. partitions `B` by columns. `Csc` provides the
+//! column-major view with cheap, loss-less conversion to and from
+//! [`Csr`] (a structural transpose).
+
+use crate::{ColIdx, Csr, SparseError};
+
+/// A sparse matrix in Compressed Sparse Column format: `cpts` of
+/// length `ncols + 1`, row indices `rows`, and values, with the same
+/// invariants as [`Csr`] transposed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csc<T> {
+    nrows: usize,
+    ncols: usize,
+    cpts: Vec<usize>,
+    rows: Vec<ColIdx>,
+    vals: Vec<T>,
+    sorted: bool,
+}
+
+impl<T: Copy + Send + Sync> Csc<T> {
+    /// Build from a CSR matrix (O(nnz + ncols) counting transpose;
+    /// columns come out with ascending row indices).
+    pub fn from_csr(a: &Csr<T>) -> Self {
+        let t = crate::ops::transpose(a);
+        let (ncols, nrows, cpts, rows, vals, sorted) = t.into_parts();
+        Csc { nrows, ncols, cpts, rows, vals, sorted }
+    }
+
+    /// Convert back to CSR (exact inverse of [`Csc::from_csr`]).
+    pub fn to_csr(&self) -> Csr<T> {
+        // The CSC arrays are exactly the CSR arrays of Aᵀ.
+        let t = Csr::from_parts_unchecked(
+            self.ncols,
+            self.nrows,
+            self.cpts.clone(),
+            self.rows.clone(),
+            self.vals.clone(),
+            self.sorted,
+        );
+        crate::ops::transpose(&t)
+    }
+
+    /// Validated construction from raw arrays.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        cpts: Vec<usize>,
+        rows: Vec<ColIdx>,
+        vals: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        // Reuse CSR validation on the transposed view.
+        let t = Csr::from_parts(ncols, nrows, cpts, rows, vals)?;
+        let (ncols, nrows, cpts, rows, vals, sorted) = t.into_parts();
+        Ok(Csc { nrows, ncols, cpts, rows, vals, sorted })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether every column's row indices are strictly ascending.
+    #[inline]
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Column-pointer array (`ncols + 1` entries).
+    #[inline]
+    pub fn cpts(&self) -> &[usize] {
+        &self.cpts
+    }
+
+    /// Entries stored in column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.cpts[j + 1] - self.cpts[j]
+    }
+
+    /// Row indices of column `j`.
+    #[inline]
+    pub fn col_rows(&self, j: usize) -> &[ColIdx] {
+        &self.rows[self.cpts[j]..self.cpts[j + 1]]
+    }
+
+    /// Values of column `j`.
+    #[inline]
+    pub fn col_vals(&self, j: usize) -> &[T] {
+        &self.vals[self.cpts[j]..self.cpts[j + 1]]
+    }
+
+    /// Sum of each column's values (the MCL column-normalization
+    /// denominator), computed directly on the column-major layout.
+    pub fn col_sums(&self) -> Vec<T>
+    where
+        T: crate::Scalar,
+    {
+        (0..self.ncols)
+            .map(|j| self.col_vals(j).iter().fold(T::ZERO, |acc, &v| acc.add(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> Csr<f64> {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        Csr::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let a = sample_csr();
+        let c = Csc::from_csr(&a);
+        assert_eq!(c.nnz(), a.nnz());
+        assert_eq!((c.nrows(), c.ncols()), a.shape());
+        let back = c.to_csr();
+        assert!(crate::approx_eq_f64(&a, &back, 0.0));
+    }
+
+    #[test]
+    fn column_access() {
+        let c = Csc::from_csr(&sample_csr());
+        assert_eq!(c.col_nnz(0), 2);
+        assert_eq!(c.col_rows(0), &[0, 2]);
+        assert_eq!(c.col_vals(0), &[1.0, 4.0]);
+        assert_eq!(c.col_nnz(1), 1);
+        assert_eq!(c.col_rows(2), &[0, 2]);
+        assert!(c.is_sorted());
+    }
+
+    #[test]
+    fn col_sums_match_manual() {
+        let c = Csc::from_csr(&sample_csr());
+        assert_eq!(c.col_sums(), vec![5.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        // bad column pointer
+        let e = Csc::<f64>::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]);
+        assert!(e.is_err());
+        // good
+        let c = Csc::<f64>::from_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).unwrap();
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.to_csr().get(1, 1), Some(&2.0));
+    }
+
+    #[test]
+    fn rectangular_round_trip() {
+        let a = Csr::from_triplets(2, 5, &[(0, 4, 1.0), (1, 0, 2.0), (1, 4, 3.0)]).unwrap();
+        let c = Csc::from_csr(&a);
+        assert_eq!(c.ncols(), 5);
+        assert_eq!(c.col_nnz(4), 2);
+        assert!(crate::approx_eq_f64(&a, &c.to_csr(), 0.0));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Csr::<f64>::zero(3, 4);
+        let c = Csc::from_csr(&a);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.cpts(), &[0, 0, 0, 0, 0]);
+    }
+}

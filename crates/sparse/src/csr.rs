@@ -1,0 +1,675 @@
+//! Compressed Sparse Row storage.
+//!
+//! The CSR format is the lingua franca of the paper (§2): row pointers
+//! `rpts` of length `nrows + 1`, column indices `cols` of length `nnz`,
+//! and values `vals` of length `nnz`. Whether the column indices within
+//! each row are sorted is *not* part of the format — the paper shows
+//! large performance differences between the two conventions — so
+//! [`Csr`] carries an explicit, verified `sorted` flag.
+
+use crate::{ColIdx, SparseError, MAX_DIM};
+use rayon::prelude::*;
+use std::fmt::Debug;
+
+/// A sparse matrix in Compressed Sparse Row format.
+///
+/// Invariants (checked by [`Csr::from_parts`] and [`Csr::validate`]):
+///
+/// * `rpts.len() == nrows + 1`, `rpts[0] == 0`, `rpts` is
+///   non-decreasing, and `rpts[nrows] == cols.len() == vals.len()`;
+/// * every column index is `< ncols`;
+/// * if `sorted` is true, the indices within each row are strictly
+///   increasing (which also implies no duplicate entries per row).
+///
+/// Unsorted matrices may still contain at most one entry per
+/// `(row, col)` pair; all constructors in this crate guarantee that and
+/// the SpGEMM kernels preserve it.
+#[derive(Clone, PartialEq)]
+pub struct Csr<T> {
+    nrows: usize,
+    ncols: usize,
+    rpts: Vec<usize>,
+    cols: Vec<ColIdx>,
+    vals: Vec<T>,
+    sorted: bool,
+}
+
+impl<T: Debug> Debug for Csr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Csr {}x{} nnz={} ({})",
+            self.nrows,
+            self.ncols,
+            self.nnz(),
+            if self.sorted { "sorted" } else { "unsorted" }
+        )?;
+        // Print at most the first few rows to keep assertion output usable.
+        for i in 0..self.nrows.min(8) {
+            write!(f, "  row {i}:")?;
+            for (c, v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                write!(f, " ({c}, {v:?})")?;
+            }
+            writeln!(f)?;
+        }
+        if self.nrows > 8 {
+            writeln!(f, "  ... ({} more rows)", self.nrows - 8)?;
+        }
+        Ok(())
+    }
+}
+
+/// A borrowed view of one matrix row: parallel slices of column indices
+/// and values.
+#[derive(Clone, Copy, Debug)]
+pub struct RowView<'a, T> {
+    /// Column indices of the row's stored entries.
+    pub cols: &'a [ColIdx],
+    /// Values of the row's stored entries, parallel to `cols`.
+    pub vals: &'a [T],
+}
+
+impl<'a, T> RowView<'a, T> {
+    /// Number of stored entries in the row.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Iterate `(column, &value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ColIdx, &'a T)> + '_ {
+        self.cols.iter().copied().zip(self.vals.iter())
+    }
+}
+
+impl<T> Csr<T> {
+    /// An empty (all-zero) matrix of the given shape.
+    pub fn zero(nrows: usize, ncols: usize) -> Self {
+        Csr {
+            nrows,
+            ncols,
+            rpts: vec![0; nrows + 1],
+            cols: Vec::new(),
+            vals: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Build from raw CSR arrays, validating every invariant.
+    ///
+    /// `sorted` is detected, not trusted: the flag on the result is set
+    /// iff every row is strictly increasing.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        rpts: Vec<usize>,
+        cols: Vec<ColIdx>,
+        vals: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        if ncols > MAX_DIM || nrows > MAX_DIM {
+            return Err(SparseError::DimensionTooLarge { dim: ncols.max(nrows) });
+        }
+        if cols.len() != vals.len() {
+            return Err(SparseError::LengthMismatch { cols: cols.len(), vals: vals.len() });
+        }
+        if rpts.len() != nrows + 1 {
+            return Err(SparseError::BadRowPointers {
+                detail: format!("rpts.len() = {} but nrows + 1 = {}", rpts.len(), nrows + 1),
+            });
+        }
+        if rpts[0] != 0 {
+            return Err(SparseError::BadRowPointers {
+                detail: format!("rpts[0] = {} (must be 0)", rpts[0]),
+            });
+        }
+        if *rpts.last().unwrap() != cols.len() {
+            return Err(SparseError::BadRowPointers {
+                detail: format!(
+                    "rpts[nrows] = {} but nnz = {}",
+                    rpts.last().unwrap(),
+                    cols.len()
+                ),
+            });
+        }
+        for w in rpts.windows(2) {
+            if w[1] < w[0] {
+                return Err(SparseError::BadRowPointers {
+                    detail: "row pointers decrease".to_string(),
+                });
+            }
+        }
+        for i in 0..nrows {
+            for &c in &cols[rpts[i]..rpts[i + 1]] {
+                if (c as usize) >= ncols {
+                    return Err(SparseError::ColumnOutOfBounds { row: i, col: c, ncols });
+                }
+            }
+        }
+        let mut m = Csr { nrows, ncols, rpts, cols, vals, sorted: false };
+        m.sorted = m.detect_sorted();
+        Ok(m)
+    }
+
+    /// Build from raw CSR arrays without validation.
+    ///
+    /// The caller asserts all [`Csr`] invariants, including the
+    /// correctness of `sorted`. Intended for kernel output paths where
+    /// the invariants hold by construction; `debug_assert`s re-check in
+    /// debug builds.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        rpts: Vec<usize>,
+        cols: Vec<ColIdx>,
+        vals: Vec<T>,
+        sorted: bool,
+    ) -> Self {
+        let m = Csr { nrows, ncols, rpts, cols, vals, sorted };
+        debug_assert!(m.validate().is_ok(), "from_parts_unchecked: invalid CSR");
+        debug_assert!(!sorted || m.detect_sorted(), "from_parts_unchecked: sorted flag wrong");
+        m
+    }
+
+    /// Build from `(row, col, value)` triplets. Duplicate coordinates
+    /// are combined by *last write wins*; use [`crate::Coo`] for
+    /// additive combination. Rows come out sorted.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, ColIdx, T)],
+    ) -> Result<Self, SparseError>
+    where
+        T: Copy + Send + Sync + PartialEq,
+    {
+        let mut coo = crate::Coo::with_capacity(nrows, ncols, triplets.len())?;
+        for &(r, c, v) in triplets {
+            coo.push(r, c, v)?;
+        }
+        Ok(coo.into_csr_last_wins())
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self
+    where
+        T: crate::Scalar,
+    {
+        let rpts = (0..=n).collect();
+        let cols = (0..n as ColIdx).collect();
+        let vals = vec![T::ONE; n];
+        Csr { nrows: n, ncols: n, rpts, cols, vals, sorted: true }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Whether every row is strictly increasing in column index.
+    /// This is the *verified* flag, not a hint.
+    #[inline]
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Row-pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn rpts(&self) -> &[usize] {
+        &self.rpts
+    }
+
+    /// Column-index array (`nnz` entries).
+    #[inline]
+    pub fn cols(&self) -> &[ColIdx] {
+        &self.cols
+    }
+
+    /// Value array (`nnz` entries).
+    #[inline]
+    pub fn vals(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Half-open range of entry positions of row `i`.
+    #[inline]
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.rpts[i]..self.rpts[i + 1]
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.rpts[i + 1] - self.rpts[i]
+    }
+
+    /// Column indices of row `i`.
+    #[inline]
+    pub fn row_cols(&self, i: usize) -> &[ColIdx] {
+        &self.cols[self.row_range(i)]
+    }
+
+    /// Values of row `i`.
+    #[inline]
+    pub fn row_vals(&self, i: usize) -> &[T] {
+        &self.vals[self.row_range(i)]
+    }
+
+    /// Borrowed view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> RowView<'_, T> {
+        let r = self.row_range(i);
+        RowView { cols: &self.cols[r.clone()], vals: &self.vals[r] }
+    }
+
+    /// Iterate over all rows as [`RowView`]s.
+    pub fn iter_rows(&self) -> impl Iterator<Item = RowView<'_, T>> + '_ {
+        (0..self.nrows).map(move |i| self.row(i))
+    }
+
+    /// Look up the value at `(row, col)`, or `None` if absent. Uses
+    /// binary search on sorted rows, linear scan otherwise.
+    pub fn get(&self, row: usize, col: ColIdx) -> Option<&T> {
+        let r = self.row_range(row);
+        let cols = &self.cols[r.clone()];
+        let off = if self.sorted {
+            cols.binary_search(&col).ok()?
+        } else {
+            cols.iter().position(|&c| c == col)?
+        };
+        Some(&self.vals[r.start + off])
+    }
+
+    /// Fraction of entries stored: `nnz / (nrows * ncols)`.
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.nrows as f64 * self.ncols as f64)
+        }
+    }
+
+    /// Average number of stored entries per row (the generators' "edge
+    /// factor" measured on the realized matrix).
+    pub fn avg_row_nnz(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows as f64
+        }
+    }
+
+    /// Largest number of stored entries in any row.
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.nrows).map(|i| self.row_nnz(i)).max().unwrap_or(0)
+    }
+
+    /// Re-check every structural invariant; see the type-level docs.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        if self.rpts.len() != self.nrows + 1 {
+            return Err(SparseError::BadRowPointers {
+                detail: format!("rpts.len() = {}, nrows = {}", self.rpts.len(), self.nrows),
+            });
+        }
+        if self.rpts[0] != 0 || *self.rpts.last().unwrap() != self.cols.len() {
+            return Err(SparseError::BadRowPointers {
+                detail: "endpoints do not bracket nnz".to_string(),
+            });
+        }
+        if self.cols.len() != self.vals.len() {
+            return Err(SparseError::LengthMismatch {
+                cols: self.cols.len(),
+                vals: self.vals.len(),
+            });
+        }
+        for w in self.rpts.windows(2) {
+            if w[1] < w[0] {
+                return Err(SparseError::BadRowPointers {
+                    detail: "row pointers decrease".to_string(),
+                });
+            }
+        }
+        for i in 0..self.nrows {
+            for &c in self.row_cols(i) {
+                if (c as usize) >= self.ncols {
+                    return Err(SparseError::ColumnOutOfBounds { row: i, col: c, ncols: self.ncols });
+                }
+            }
+        }
+        if self.sorted && !self.detect_sorted() {
+            return Err(SparseError::Unsorted { op: "validate (sorted flag set)" });
+        }
+        Ok(())
+    }
+
+    fn detect_sorted(&self) -> bool {
+        (0..self.nrows).all(|i| self.row_cols(i).windows(2).all(|w| w[0] < w[1]))
+    }
+
+    /// Sort each row by column index (values carried along), in
+    /// parallel across rows. No-op when already sorted.
+    pub fn sort_rows(&mut self)
+    where
+        T: Copy + Send,
+    {
+        if self.sorted {
+            return;
+        }
+        let rpts = &self.rpts;
+        // Sort each row independently: zip the two row slices through a
+        // permutation computed per row.
+        let nrows = self.nrows;
+        let cols_ptr = std::mem::take(&mut self.cols);
+        let vals_ptr = std::mem::take(&mut self.vals);
+        let mut paired: Vec<(ColIdx, T)> =
+            cols_ptr.into_iter().zip(vals_ptr).collect();
+        // Per-row unstable sort; rows are disjoint slices of `paired`.
+        {
+            let mut rest: &mut [(ColIdx, T)] = &mut paired;
+            let mut consumed = 0usize;
+            let mut row_slices: Vec<&mut [(ColIdx, T)]> = Vec::with_capacity(nrows);
+            for i in 0..nrows {
+                let len = rpts[i + 1] - rpts[i];
+                debug_assert_eq!(rpts[i], consumed);
+                let (head, tail) = rest.split_at_mut(len);
+                row_slices.push(head);
+                rest = tail;
+                consumed += len;
+            }
+            row_slices
+                .into_par_iter()
+                .for_each(|s| s.sort_unstable_by_key(|&(c, _)| c));
+        }
+        self.cols = paired.iter().map(|&(c, _)| c).collect();
+        self.vals = paired.into_iter().map(|(_, v)| v).collect();
+        self.sorted = true;
+        debug_assert!(self.detect_sorted());
+    }
+
+    /// A sorted copy (cheap clone of the flag when already sorted).
+    pub fn to_sorted(&self) -> Self
+    where
+        T: Copy + Send,
+    {
+        let mut c = self.clone();
+        c.sort_rows();
+        c
+    }
+
+    /// Apply `f` to every stored value, preserving structure.
+    pub fn map<U>(&self, f: impl Fn(T) -> U) -> Csr<U>
+    where
+        T: Copy,
+    {
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rpts: self.rpts.clone(),
+            cols: self.cols.clone(),
+            vals: self.vals.iter().map(|&v| f(v)).collect(),
+            sorted: self.sorted,
+        }
+    }
+
+    /// Drop stored entries failing the predicate (structure changes,
+    /// sortedness preserved). Used by MCL-style pruning.
+    pub fn filter(&self, keep: impl Fn(usize, ColIdx, T) -> bool) -> Csr<T>
+    where
+        T: Copy,
+    {
+        let mut rpts = Vec::with_capacity(self.nrows + 1);
+        rpts.push(0usize);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..self.nrows {
+            for (&c, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                if keep(i, c, v) {
+                    cols.push(c);
+                    vals.push(v);
+                }
+            }
+            rpts.push(cols.len());
+        }
+        Csr { nrows: self.nrows, ncols: self.ncols, rpts, cols, vals, sorted: self.sorted }
+    }
+
+    /// Structural + numeric equality ignoring within-row entry order.
+    /// This is the right comparison between sorted and unsorted kernel
+    /// outputs.
+    pub fn eq_unordered(&self, other: &Csr<T>) -> bool
+    where
+        T: PartialEq + Ord,
+    {
+        self.eq_unordered_by(other, |a, b| a == b)
+    }
+
+    /// Like [`Csr::eq_unordered`] but with a custom value comparison
+    /// (e.g. approximate float equality).
+    pub fn eq_unordered_by(&self, other: &Csr<T>, eq: impl Fn(&T, &T) -> bool) -> bool {
+        if self.shape() != other.shape() || self.nnz() != other.nnz() {
+            return false;
+        }
+        for i in 0..self.nrows {
+            let mut a: Vec<(ColIdx, &T)> =
+                self.row_cols(i).iter().copied().zip(self.row_vals(i)).collect();
+            let mut b: Vec<(ColIdx, &T)> =
+                other.row_cols(i).iter().copied().zip(other.row_vals(i)).collect();
+            if a.len() != b.len() {
+                return false;
+            }
+            a.sort_unstable_by_key(|&(c, _)| c);
+            b.sort_unstable_by_key(|&(c, _)| c);
+            for ((ca, va), (cb, vb)) in a.iter().zip(&b) {
+                if ca != cb || !eq(va, vb) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Consume into raw parts `(nrows, ncols, rpts, cols, vals, sorted)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<ColIdx>, Vec<T>, bool) {
+        (self.nrows, self.ncols, self.rpts, self.cols, self.vals, self.sorted)
+    }
+
+    /// Dense representation, for tests and tiny examples only.
+    pub fn to_dense(&self) -> Vec<Vec<T>>
+    where
+        T: crate::Scalar,
+    {
+        let mut d = vec![vec![T::ZERO; self.ncols]; self.nrows];
+        for i in 0..self.nrows {
+            for (&c, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                d[i][c as usize] = v;
+            }
+        }
+        d
+    }
+}
+
+/// Approximate comparison of two `f64` matrices up to entry order, with
+/// relative tolerance `rel` — SpGEMM kernels accumulate in
+/// data-dependent order, so exact float equality across algorithms is
+/// not guaranteed.
+pub fn approx_eq_f64(a: &Csr<f64>, b: &Csr<f64>, rel: f64) -> bool {
+    a.eq_unordered_by(b, |x, y| {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        (x - y).abs() <= rel * scale
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<f64> {
+        Csr::from_parts(
+            3,
+            4,
+            vec![0, 2, 2, 5],
+            vec![1, 3, 0, 2, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nnz(), 5);
+        assert!(m.is_sorted());
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_cols(2), &[0, 2, 3]);
+        assert_eq!(m.row_vals(0), &[1.0, 2.0]);
+        assert_eq!(m.get(0, 3), Some(&2.0));
+        assert_eq!(m.get(1, 0), None);
+        assert_eq!(m.row(2).nnz(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_row_pointers() {
+        let e = Csr::<f64>::from_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert!(matches!(e, Err(SparseError::BadRowPointers { .. })));
+
+        let e = Csr::<f64>::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
+        assert!(matches!(e, Err(SparseError::BadRowPointers { .. })));
+
+        let e = Csr::<f64>::from_parts(1, 2, vec![1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert!(matches!(e, Err(SparseError::BadRowPointers { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_column() {
+        let e = Csr::<f64>::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::ColumnOutOfBounds { col: 5, .. })));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let e = Csr::<f64>::from_parts(1, 2, vec![0, 1], vec![0], vec![]);
+        assert!(matches!(e, Err(SparseError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_unsorted_rows() {
+        let m =
+            Csr::from_parts(1, 4, vec![0, 3], vec![2, 0, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(!m.is_sorted());
+        let mut s = m.clone();
+        s.sort_rows();
+        assert!(s.is_sorted());
+        assert_eq!(s.row_cols(0), &[0, 2, 3]);
+        assert_eq!(s.row_vals(0), &[2.0, 1.0, 3.0]);
+        assert!(approx_eq_f64(&m, &s, 0.0));
+    }
+
+    #[test]
+    fn zero_and_identity() {
+        let z = Csr::<f64>::zero(3, 5);
+        assert_eq!(z.nnz(), 0);
+        assert!(z.validate().is_ok());
+        let i = Csr::<f64>::identity(4);
+        assert_eq!(i.nnz(), 4);
+        assert_eq!(i.get(2, 2), Some(&1.0));
+        assert_eq!(i.get(2, 3), None);
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_last_wins() {
+        let m = Csr::from_triplets(
+            2,
+            3,
+            &[(0, 2, 1.0), (0, 0, 2.0), (1, 1, 3.0), (0, 2, 9.0)],
+        )
+        .unwrap();
+        assert!(m.is_sorted());
+        assert_eq!(m.get(0, 2), Some(&9.0), "last write wins");
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn map_and_filter() {
+        let m = sample();
+        let doubled = m.map(|v| v * 2.0);
+        assert_eq!(doubled.get(0, 1), Some(&2.0));
+        assert_eq!(doubled.nnz(), m.nnz());
+
+        let big = m.filter(|_, _, v| v >= 3.0);
+        assert_eq!(big.nnz(), 3);
+        assert!(big.validate().is_ok());
+        assert!(big.is_sorted());
+    }
+
+    #[test]
+    fn eq_unordered_ignores_order_only() {
+        let a =
+            Csr::from_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).unwrap();
+        let b =
+            Csr::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![2.0, 1.0]).unwrap();
+        assert!(approx_eq_f64(&a, &b, 0.0));
+        let c =
+            Csr::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![2.0, 1.5]).unwrap();
+        assert!(!approx_eq_f64(&a, &c, 1e-12));
+    }
+
+    #[test]
+    fn to_dense_round_trip() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(d[0][1], 1.0);
+        assert_eq!(d[1], vec![0.0; 4]);
+        assert_eq!(d[2][3], 5.0);
+    }
+
+    #[test]
+    fn density_and_degree_stats() {
+        let m = sample();
+        assert!((m.density() - 5.0 / 12.0).abs() < 1e-12);
+        assert!((m.avg_row_nnz() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.max_row_nnz(), 3);
+    }
+
+    #[test]
+    fn validate_catches_lying_sorted_flag() {
+        let m = Csr {
+            nrows: 1,
+            ncols: 4,
+            rpts: vec![0, 2],
+            cols: vec![3, 1],
+            vals: vec![1.0, 2.0],
+            sorted: true,
+        };
+        assert!(matches!(m.validate(), Err(SparseError::Unsorted { .. })));
+    }
+
+    #[test]
+    fn empty_matrix_edge_cases() {
+        let m = Csr::<f64>::zero(0, 0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.density(), 0.0);
+        assert_eq!(m.avg_row_nnz(), 0.0);
+        assert_eq!(m.max_row_nnz(), 0);
+        assert!(m.validate().is_ok());
+        assert_eq!(m.iter_rows().count(), 0);
+    }
+}

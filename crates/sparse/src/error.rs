@@ -1,0 +1,121 @@
+//! Error type for sparse-matrix construction and I/O.
+
+use std::fmt;
+
+/// Errors produced when constructing, validating, or parsing sparse
+/// matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A dimension exceeds [`crate::MAX_DIM`] (indices must fit `i32`).
+    DimensionTooLarge {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// The row-pointer array is malformed (wrong length, non-monotone,
+    /// or inconsistent with the index array length).
+    BadRowPointers {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// A column index is out of bounds for the matrix width.
+    ColumnOutOfBounds {
+        /// Row in which the bad index appears.
+        row: usize,
+        /// The offending column index.
+        col: u32,
+        /// Number of columns in the matrix.
+        ncols: usize,
+    },
+    /// Mismatched array lengths (`cols` vs `vals`).
+    LengthMismatch {
+        /// Length of the column-index array.
+        cols: usize,
+        /// Length of the value array.
+        vals: usize,
+    },
+    /// Dimension mismatch between operands of a binary operation.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A matrix that must have sorted rows does not.
+    Unsorted {
+        /// Name of the operation that required sorted input.
+        op: &'static str,
+    },
+    /// Matrix Market parse failure.
+    Parse {
+        /// 1-based line number, when known.
+        line: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// Underlying I/O failure (message only, to keep the error `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionTooLarge { dim } => {
+                write!(f, "dimension {dim} exceeds the i32 index limit")
+            }
+            SparseError::BadRowPointers { detail } => {
+                write!(f, "malformed row pointers: {detail}")
+            }
+            SparseError::ColumnOutOfBounds { row, col, ncols } => {
+                write!(f, "column index {col} in row {row} out of bounds for {ncols} columns")
+            }
+            SparseError::LengthMismatch { cols, vals } => {
+                write!(f, "cols has {cols} entries but vals has {vals}")
+            }
+            SparseError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::Unsorted { op } => {
+                write!(f, "{op} requires rows sorted by column index")
+            }
+            SparseError::Parse { line, detail } => {
+                write!(f, "parse error at line {line}: {detail}")
+            }
+            SparseError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        let e = SparseError::ColumnOutOfBounds { row: 3, col: 9, ncols: 5 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('9') && s.contains('5'), "{s}");
+
+        let e = SparseError::ShapeMismatch { left: (2, 3), right: (4, 5), op: "multiply" };
+        assert!(e.to_string().contains("multiply"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

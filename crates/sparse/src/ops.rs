@@ -1,0 +1,669 @@
+//! Structural operations on CSR matrices.
+//!
+//! These are the substrate operations the paper's workloads need around
+//! the SpGEMM kernel itself: transposition (AMG's `Pᵀ A P`), random
+//! column permutation (the unsorted-input experiments of §5.1 permute
+//! column indices), degree reordering and triangular splitting (the
+//! triangle-counting pipeline of §5.6), column selection (tall-skinny
+//! frontier matrices of §5.5), element-wise addition, and masked
+//! reduction.
+
+use crate::{ColIdx, Csr, Scalar, SparseError};
+
+/// Transpose via per-column counting sort: `O(nnz + ncols)`, output
+/// rows sorted when the scatter visits source rows in order (it does).
+pub fn transpose<T: Copy + Send + Sync>(a: &Csr<T>) -> Csr<T> {
+    let (nrows, ncols) = a.shape();
+    let mut rpts = vec![0usize; ncols + 1];
+    for &c in a.cols() {
+        rpts[c as usize + 1] += 1;
+    }
+    for i in 0..ncols {
+        rpts[i + 1] += rpts[i];
+    }
+    let nnz = a.nnz();
+    let mut cols = vec![0 as ColIdx; nnz];
+    let mut val_order = vec![0usize; nnz];
+    let mut cursor = rpts.clone();
+    for i in 0..nrows {
+        let r = a.row_range(i);
+        for (off, &c) in a.cols()[r.clone()].iter().enumerate() {
+            let p = cursor[c as usize];
+            cols[p] = i as ColIdx;
+            val_order[p] = r.start + off;
+            cursor[c as usize] += 1;
+        }
+    }
+    let avals = a.vals();
+    let vals: Vec<T> = val_order.iter().map(|&idx| avals[idx]).collect();
+    // Source rows are visited in increasing order, so each output row's
+    // column indices (= source row ids) are strictly increasing,
+    // provided the input had at most one entry per (row, col) — which
+    // is a `Csr` invariant.
+    Csr::from_parts_unchecked(ncols, nrows, rpts, cols, vals, true)
+}
+
+/// Apply a column permutation: entry `(i, j)` moves to `(i, perm[j])`.
+///
+/// This is how the paper produces unsorted inputs ("the column indices
+/// of input matrices are randomly permuted", §5.1): the structure is
+/// relabelled in place and rows are intentionally **not** re-sorted.
+/// The result's sorted flag reflects the actual post-permutation order.
+pub fn permute_cols<T: Copy + Send + Sync>(
+    a: &Csr<T>,
+    perm: &[ColIdx],
+) -> Result<Csr<T>, SparseError> {
+    if perm.len() != a.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: (perm.len(), 0),
+            op: "permute_cols",
+        });
+    }
+    debug_assert!(is_permutation(perm));
+    let cols: Vec<ColIdx> = a.cols().iter().map(|&c| perm[c as usize]).collect();
+    Csr::from_parts(a.nrows(), a.ncols(), a.rpts().to_vec(), cols, a.vals().to_vec())
+}
+
+/// Apply a row permutation: row `i` of the input becomes row
+/// `perm[i]` of the output. Sortedness of rows is preserved.
+pub fn permute_rows<T: Copy + Send + Sync>(
+    a: &Csr<T>,
+    perm: &[usize],
+) -> Result<Csr<T>, SparseError> {
+    if perm.len() != a.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: (perm.len(), 0),
+            op: "permute_rows",
+        });
+    }
+    // inverse: output row r comes from input row inv[r]
+    let mut inv = vec![usize::MAX; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    debug_assert!(inv.iter().all(|&x| x != usize::MAX), "perm is not a permutation");
+    let mut rpts = Vec::with_capacity(a.nrows() + 1);
+    rpts.push(0usize);
+    let mut cols = Vec::with_capacity(a.nnz());
+    let mut vals = Vec::with_capacity(a.nnz());
+    for r in 0..a.nrows() {
+        let src = inv[r];
+        cols.extend_from_slice(a.row_cols(src));
+        vals.extend_from_slice(a.row_vals(src));
+        rpts.push(cols.len());
+    }
+    Ok(Csr::from_parts_unchecked(a.nrows(), a.ncols(), rpts, cols, vals, a.is_sorted()))
+}
+
+/// Symmetric permutation `P A Pᵀ`: vertex `i` is relabelled to
+/// `perm[i]` on both axes. Used by the triangle-counting preprocessing
+/// (rows reordered by increasing degree, §5.6). Rows of the result are
+/// re-sorted.
+pub fn permute_symmetric<T: Copy + Send + Sync>(
+    a: &Csr<T>,
+    perm: &[usize],
+) -> Result<Csr<T>, SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: a.shape(),
+            op: "permute_symmetric (square required)",
+        });
+    }
+    let col_perm: Vec<ColIdx> = perm.iter().map(|&p| p as ColIdx).collect();
+    let mut m = permute_cols(a, &col_perm)?;
+    m = permute_rows(&m, perm)?;
+    m.sort_rows();
+    Ok(m)
+}
+
+/// Permutation ordering rows by ascending stored-entry count (degree),
+/// ties broken by original index for determinism. Returns `perm` with
+/// the meaning of [`permute_rows`]: `perm[i]` is the new id of old row
+/// `i`.
+pub fn degree_ascending_permutation<T: Copy + Send + Sync>(a: &Csr<T>) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..a.nrows()).collect();
+    order.sort_by_key(|&i| (a.row_nnz(i), i));
+    let mut perm = vec![0usize; a.nrows()];
+    for (new_id, &old_id) in order.iter().enumerate() {
+        perm[old_id] = new_id;
+    }
+    perm
+}
+
+/// Split a square matrix into strictly-lower and strictly-upper
+/// triangular parts, `A = L + D + U` with the diagonal discarded.
+/// The triangle-counting pipeline computes `L · U` (§5.6).
+pub fn split_lu<T: Copy + Send + Sync>(a: &Csr<T>) -> Result<(Csr<T>, Csr<T>), SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: a.shape(),
+            op: "split_lu (square required)",
+        });
+    }
+    let n = a.nrows();
+    let mut l_rpts = Vec::with_capacity(n + 1);
+    let mut u_rpts = Vec::with_capacity(n + 1);
+    l_rpts.push(0usize);
+    u_rpts.push(0usize);
+    let mut l_cols = Vec::new();
+    let mut l_vals = Vec::new();
+    let mut u_cols = Vec::new();
+    let mut u_vals = Vec::new();
+    for i in 0..n {
+        for (&c, &v) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            use std::cmp::Ordering::*;
+            match (c as usize).cmp(&i) {
+                Less => {
+                    l_cols.push(c);
+                    l_vals.push(v);
+                }
+                Greater => {
+                    u_cols.push(c);
+                    u_vals.push(v);
+                }
+                Equal => {}
+            }
+        }
+        l_rpts.push(l_cols.len());
+        u_rpts.push(u_cols.len());
+    }
+    let sorted = a.is_sorted();
+    Ok((
+        Csr::from_parts_unchecked(n, n, l_rpts, l_cols, l_vals, sorted),
+        Csr::from_parts_unchecked(n, n, u_rpts, u_cols, u_vals, sorted),
+    ))
+}
+
+/// Restrict to a subset of columns, relabelling them `0..k` in the
+/// order given by the (deduplicated, ascending) `selection`. Produces
+/// the tall-skinny right-hand operand of §5.5 when applied to a graph's
+/// own columns. Requires sorted input so the output stays sorted.
+pub fn select_columns<T: Copy + Send + Sync>(
+    a: &Csr<T>,
+    selection: &[ColIdx],
+) -> Result<Csr<T>, SparseError> {
+    if !a.is_sorted() {
+        return Err(SparseError::Unsorted { op: "select_columns" });
+    }
+    debug_assert!(selection.windows(2).all(|w| w[0] < w[1]), "selection must be ascending");
+    let mut map = vec![ColIdx::MAX; a.ncols()];
+    for (new_id, &old) in selection.iter().enumerate() {
+        if old as usize >= a.ncols() {
+            return Err(SparseError::ColumnOutOfBounds { row: 0, col: old, ncols: a.ncols() });
+        }
+        map[old as usize] = new_id as ColIdx;
+    }
+    let mut rpts = Vec::with_capacity(a.nrows() + 1);
+    rpts.push(0usize);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..a.nrows() {
+        for (&c, &v) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            let m = map[c as usize];
+            if m != ColIdx::MAX {
+                cols.push(m);
+                vals.push(v);
+            }
+        }
+        rpts.push(cols.len());
+    }
+    Ok(Csr::from_parts_unchecked(a.nrows(), selection.len(), rpts, cols, vals, true))
+}
+
+/// Element-wise sum `A + B` of equal-shaped, sorted matrices by
+/// per-row merging. Entries summing to the additive identity are kept
+/// (structural union), matching the convention of the SpGEMM kernels.
+pub fn add<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>, SparseError> {
+    if a.shape() != b.shape() {
+        return Err(SparseError::ShapeMismatch { left: a.shape(), right: b.shape(), op: "add" });
+    }
+    if !a.is_sorted() || !b.is_sorted() {
+        return Err(SparseError::Unsorted { op: "add" });
+    }
+    let mut rpts = Vec::with_capacity(a.nrows() + 1);
+    rpts.push(0usize);
+    let mut cols = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut vals = Vec::with_capacity(a.nnz() + b.nnz());
+    for i in 0..a.nrows() {
+        let (ac, av) = (a.row_cols(i), a.row_vals(i));
+        let (bc, bv) = (b.row_cols(i), b.row_vals(i));
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < ac.len() && q < bc.len() {
+            use std::cmp::Ordering::*;
+            match ac[p].cmp(&bc[q]) {
+                Less => {
+                    cols.push(ac[p]);
+                    vals.push(av[p]);
+                    p += 1;
+                }
+                Greater => {
+                    cols.push(bc[q]);
+                    vals.push(bv[q]);
+                    q += 1;
+                }
+                Equal => {
+                    cols.push(ac[p]);
+                    vals.push(av[p].add(bv[q]));
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        cols.extend_from_slice(&ac[p..]);
+        vals.extend_from_slice(&av[p..]);
+        cols.extend_from_slice(&bc[q..]);
+        vals.extend_from_slice(&bv[q..]);
+        rpts.push(cols.len());
+    }
+    Ok(Csr::from_parts_unchecked(a.nrows(), a.ncols(), rpts, cols, vals, true))
+}
+
+/// Sum the values of `b` at the coordinates present in `mask`
+/// (`Σ_{(i,j) ∈ mask} b[i][j]`). Both operands must be sorted. This is
+/// the final reduction of triangle counting: wedges `L·U` summed over
+/// the edges of `A`.
+pub fn masked_sum<T: Scalar, M: Copy + Send + Sync>(
+    b: &Csr<T>,
+    mask: &Csr<M>,
+) -> Result<T, SparseError> {
+    if b.shape() != mask.shape() {
+        return Err(SparseError::ShapeMismatch {
+            left: b.shape(),
+            right: mask.shape(),
+            op: "masked_sum",
+        });
+    }
+    if !b.is_sorted() || !mask.is_sorted() {
+        return Err(SparseError::Unsorted { op: "masked_sum" });
+    }
+    let mut total = T::ZERO;
+    for i in 0..b.nrows() {
+        let bc = b.row_cols(i);
+        let bv = b.row_vals(i);
+        let mc = mask.row_cols(i);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < bc.len() && q < mc.len() {
+            use std::cmp::Ordering::*;
+            match bc[p].cmp(&mc[q]) {
+                Less => p += 1,
+                Greater => q += 1,
+                Equal => {
+                    total = total.add(bv[p]);
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// Make a pattern symmetric: `A ∨ Aᵀ` structurally, values combined by
+/// [`Scalar::add`] where both sides are present. Diagonal entries are
+/// removed (simple-graph convention used by the triangle counter).
+pub fn symmetrize_simple<T: Scalar>(a: &Csr<T>) -> Result<Csr<T>, SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: a.shape(),
+            op: "symmetrize_simple (square required)",
+        });
+    }
+    let at = transpose(&a.to_sorted());
+    let sum = add(&a.to_sorted(), &at)?;
+    Ok(sum.filter(|i, c, _| i != c as usize))
+}
+
+/// Sparse matrix–dense vector product `y = A x`.
+///
+/// The downstream sanity check for every SpGEMM identity in the tests:
+/// `(A·B)x == A(Bx)` holds for exact arithmetic and approximately for
+/// floats.
+pub fn spmv<T: Scalar>(a: &Csr<T>, x: &[T]) -> Result<Vec<T>, SparseError> {
+    if x.len() != a.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: (x.len(), 1),
+            op: "spmv",
+        });
+    }
+    Ok((0..a.nrows())
+        .map(|i| {
+            a.row_cols(i)
+                .iter()
+                .zip(a.row_vals(i))
+                .fold(T::ZERO, |acc, (&c, &v)| acc.add(v.mul(x[c as usize])))
+        })
+        .collect())
+}
+
+/// Scale row `i` by `factors[i]` (diagonal left-multiplication
+/// `D · A`).
+pub fn scale_rows<T: Scalar>(a: &Csr<T>, factors: &[T]) -> Result<Csr<T>, SparseError> {
+    if factors.len() != a.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: (factors.len(), 0),
+            op: "scale_rows",
+        });
+    }
+    let (nr, nc, rpts, cols, mut vals, sorted) = a.clone().into_parts();
+    for i in 0..nr {
+        let f = factors[i];
+        for v in &mut vals[rpts[i]..rpts[i + 1]] {
+            *v = v.mul(f);
+        }
+    }
+    Ok(Csr::from_parts_unchecked(nr, nc, rpts, cols, vals, sorted))
+}
+
+/// Scale column `j` by `factors[j]` (diagonal right-multiplication
+/// `A · D`).
+pub fn scale_cols<T: Scalar>(a: &Csr<T>, factors: &[T]) -> Result<Csr<T>, SparseError> {
+    if factors.len() != a.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: (factors.len(), 0),
+            op: "scale_cols",
+        });
+    }
+    let (nr, nc, rpts, cols, mut vals, sorted) = a.clone().into_parts();
+    for (v, &c) in vals.iter_mut().zip(&cols) {
+        *v = v.mul(factors[c as usize]);
+    }
+    Ok(Csr::from_parts_unchecked(nr, nc, rpts, cols, vals, sorted))
+}
+
+/// The main diagonal as a dense vector (absent entries are zero).
+pub fn diagonal<T: Scalar>(a: &Csr<T>) -> Vec<T> {
+    (0..a.nrows().min(a.ncols()))
+        .map(|i| a.get(i, i as ColIdx).copied().unwrap_or(T::ZERO))
+        .collect()
+}
+
+/// Element-wise (Hadamard) product `A ∘ B`: entries present in both
+/// operands, multiplied. Both inputs sorted; output sorted. Triangle
+/// counting's masked reduction is `sum(hadamard(B, mask))`.
+pub fn hadamard<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>, SparseError> {
+    if a.shape() != b.shape() {
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "hadamard",
+        });
+    }
+    if !a.is_sorted() || !b.is_sorted() {
+        return Err(SparseError::Unsorted { op: "hadamard" });
+    }
+    let mut rpts = Vec::with_capacity(a.nrows() + 1);
+    rpts.push(0usize);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..a.nrows() {
+        let (ac, av) = (a.row_cols(i), a.row_vals(i));
+        let (bc, bv) = (b.row_cols(i), b.row_vals(i));
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < ac.len() && q < bc.len() {
+            use std::cmp::Ordering::*;
+            match ac[p].cmp(&bc[q]) {
+                Less => p += 1,
+                Greater => q += 1,
+                Equal => {
+                    cols.push(ac[p]);
+                    vals.push(av[p].mul(bv[q]));
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        rpts.push(cols.len());
+    }
+    Ok(Csr::from_parts_unchecked(a.nrows(), a.ncols(), rpts, cols, vals, true))
+}
+
+fn is_permutation(perm: &[ColIdx]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p as usize >= perm.len() || seen[p as usize] {
+            return false;
+        }
+        seen[p as usize] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::approx_eq_f64;
+
+    fn sample() -> Csr<f64> {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 5 6 ]
+        Csr::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 1, 5.0), (2, 2, 6.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = sample();
+        let at = transpose(&a);
+        assert!(at.is_sorted());
+        assert_eq!(at.get(0, 2), Some(&4.0));
+        assert_eq!(at.get(2, 0), Some(&2.0));
+        let att = transpose(&at);
+        assert!(approx_eq_f64(&a, &att, 0.0));
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        let a = Csr::from_triplets(2, 4, &[(0, 3, 1.0), (1, 0, 2.0)]).unwrap();
+        let at = transpose(&a);
+        assert_eq!(at.shape(), (4, 2));
+        assert_eq!(at.get(3, 0), Some(&1.0));
+        assert_eq!(at.get(0, 1), Some(&2.0));
+        assert!(at.validate().is_ok());
+    }
+
+    #[test]
+    fn permute_cols_relabels_without_sorting() {
+        let a = sample();
+        // reverse the columns
+        let perm = vec![2u32, 1, 0];
+        let p = permute_cols(&a, &perm).unwrap();
+        assert_eq!(p.get(0, 2), Some(&1.0));
+        assert_eq!(p.get(0, 0), Some(&2.0));
+        // row 0 was [0, 2] -> [2, 0]: no longer ascending
+        assert!(!p.is_sorted());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn permute_rows_moves_rows() {
+        let a = sample();
+        let perm = vec![1usize, 2, 0]; // old row 0 -> new row 1, etc.
+        let p = permute_rows(&a, &perm).unwrap();
+        assert_eq!(p.get(1, 0), Some(&1.0));
+        assert_eq!(p.get(2, 1), Some(&3.0));
+        assert_eq!(p.get(0, 2), Some(&6.0));
+        assert!(p.is_sorted());
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_graph() {
+        let a = sample();
+        let perm = vec![2usize, 0, 1];
+        let p = permute_symmetric(&a, &perm).unwrap();
+        // entry (i, j) must appear at (perm[i], perm[j])
+        for i in 0..3 {
+            for (&c, &v) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+                assert_eq!(p.get(perm[i], perm[c as usize] as u32), Some(&v));
+            }
+        }
+        assert_eq!(p.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn degree_permutation_orders_by_row_nnz() {
+        let a = sample(); // degrees: 2, 1, 3
+        let perm = degree_ascending_permutation(&a);
+        // old row 1 (degree 1) must become new row 0, old row 2 -> last.
+        assert_eq!(perm[1], 0);
+        assert_eq!(perm[2], 2);
+        assert_eq!(perm[0], 1);
+        let p = permute_symmetric(&a, &perm).unwrap();
+        let degs: Vec<usize> = (0..3).map(|i| p.row_nnz(i)).collect();
+        assert!(degs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn split_lu_excludes_diagonal() {
+        let a = sample();
+        let (l, u) = split_lu(&a).unwrap();
+        assert_eq!(l.nnz(), 2); // (2,0), (2,1)
+        assert_eq!(u.nnz(), 1); // (0,2)
+        assert_eq!(l.get(2, 0), Some(&4.0));
+        assert_eq!(u.get(0, 2), Some(&2.0));
+        for i in 0..3 {
+            assert!(l.row_cols(i).iter().all(|&c| (c as usize) < i));
+            assert!(u.row_cols(i).iter().all(|&c| (c as usize) > i));
+        }
+    }
+
+    #[test]
+    fn select_columns_relabels() {
+        let a = sample();
+        let s = select_columns(&a, &[0, 2]).unwrap();
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.get(0, 0), Some(&1.0));
+        assert_eq!(s.get(0, 1), Some(&2.0));
+        assert_eq!(s.get(1, 0), None); // column 1 dropped
+        assert_eq!(s.get(2, 1), Some(&6.0));
+        assert!(s.is_sorted());
+    }
+
+    #[test]
+    fn add_merges_rows() {
+        let a = sample();
+        let i = Csr::<f64>::identity(3);
+        let s = add(&a, &i).unwrap();
+        assert_eq!(s.get(0, 0), Some(&2.0));
+        assert_eq!(s.get(1, 1), Some(&4.0));
+        assert_eq!(s.get(2, 2), Some(&7.0));
+        assert_eq!(s.get(0, 2), Some(&2.0));
+        // union structure: row0 {0,2}, row1 {1}, row2 {0,1,2}
+        assert_eq!(s.nnz(), 6);
+        assert!(s.is_sorted());
+    }
+
+    #[test]
+    fn add_shape_mismatch_rejected() {
+        let a = sample();
+        let b = Csr::<f64>::zero(2, 3);
+        assert!(matches!(add(&a, &b), Err(SparseError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn masked_sum_counts_matches() {
+        let b = sample();
+        let mask =
+            Csr::<u8>::from_triplets(3, 3, &[(0, 2, 1u8), (2, 0, 1), (1, 0, 1)]).unwrap();
+        // matches: (0,2)=2.0 and (2,0)=4.0 present in b; (1,0) absent.
+        let s = masked_sum(&b, &mask).unwrap();
+        assert_eq!(s, 6.0);
+    }
+
+    #[test]
+    fn symmetrize_simple_produces_symmetric_hollow() {
+        let a = Csr::from_triplets(3, 3, &[(0, 1, 1.0), (1, 1, 9.0), (2, 0, 2.0)]).unwrap();
+        let s = symmetrize_simple(&a).unwrap();
+        assert_eq!(s.get(0, 1), Some(&1.0));
+        assert_eq!(s.get(1, 0), Some(&1.0));
+        assert_eq!(s.get(2, 0), Some(&2.0));
+        assert_eq!(s.get(0, 2), Some(&2.0));
+        assert_eq!(s.get(1, 1), None, "diagonal removed");
+        assert_eq!(s.nnz(), 4);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let y = spmv(&a, &x).unwrap();
+        assert_eq!(y, vec![1.0 + 6.0, 6.0, 4.0 + 10.0 + 18.0]);
+        assert!(spmv(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn scaling_rows_and_cols() {
+        let a = sample();
+        let r = scale_rows(&a, &[2.0, 3.0, 0.5]).unwrap();
+        assert_eq!(r.get(0, 0), Some(&2.0));
+        assert_eq!(r.get(1, 1), Some(&9.0));
+        assert_eq!(r.get(2, 2), Some(&3.0));
+        let c = scale_cols(&a, &[0.0, 1.0, 10.0]).unwrap();
+        assert_eq!(c.get(0, 0), Some(&0.0));
+        assert_eq!(c.get(0, 2), Some(&20.0));
+        assert_eq!(c.get(2, 1), Some(&5.0));
+        assert!(scale_rows(&a, &[1.0]).is_err());
+        assert!(scale_cols(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = sample();
+        assert_eq!(diagonal(&a), vec![1.0, 3.0, 6.0]);
+        let r = Csr::from_triplets(2, 4, &[(1, 1, 7.0)]).unwrap();
+        assert_eq!(diagonal(&r), vec![0.0, 7.0]);
+    }
+
+    #[test]
+    fn hadamard_intersects_structures() {
+        let a = sample();
+        let i = Csr::<f64>::identity(3);
+        let h = hadamard(&a, &i).unwrap();
+        assert_eq!(h.nnz(), 3, "only the diagonal survives");
+        assert_eq!(h.get(0, 0), Some(&1.0));
+        assert_eq!(h.get(1, 1), Some(&3.0));
+        assert_eq!(h.get(0, 2), None);
+        // consistency with masked_sum
+        let ms = masked_sum(&a, &i).unwrap();
+        let hs: f64 = h.vals().iter().sum();
+        assert_eq!(ms, hs);
+    }
+
+    #[test]
+    fn spmv_distributes_over_spgemm_structure() {
+        // (A + I) x == A x + x, a pure-ops identity
+        let a = sample();
+        let i = Csr::<f64>::identity(3);
+        let s = add(&a, &i).unwrap();
+        let x = vec![0.5, -1.0, 2.0];
+        let lhs = spmv(&s, &x).unwrap();
+        let ax = spmv(&a, &x).unwrap();
+        for k in 0..3 {
+            assert!((lhs[k] - (ax[k] + x[k])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unsorted_inputs_rejected_where_required() {
+        let a = sample();
+        let perm = vec![2u32, 1, 0];
+        let unsorted = permute_cols(&a, &perm).unwrap();
+        assert!(matches!(add(&unsorted, &unsorted), Err(SparseError::Unsorted { .. })));
+        assert!(matches!(
+            select_columns(&unsorted, &[0]),
+            Err(SparseError::Unsorted { .. })
+        ));
+    }
+}

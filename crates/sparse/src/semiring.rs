@@ -1,0 +1,127 @@
+//! Semiring abstraction over matrix elements.
+//!
+//! The paper evaluates SpGEMM both as a numeric kernel (A², AMG) and as
+//! a graph primitive (multi-source BFS, triangle counting). Those
+//! workloads differ only in the element algebra, so every kernel in the
+//! `spgemm` crate is generic over a [`Semiring`]; this module provides
+//! the three algebras the evaluation needs.
+
+use crate::Scalar;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// An algebraic semiring `(Elem, add, mul, zero)` driving SpGEMM.
+///
+/// `add` must be commutative and associative with identity `zero`, and
+/// `mul(zero, x) == zero` — the kernels rely on both to reorder the
+/// accumulation of intermediate products freely (Gustavson's algorithm
+/// produces them in data-dependent order).
+pub trait Semiring: Send + Sync + 'static {
+    /// Element type stored in the matrices.
+    type Elem: Copy + Send + Sync + PartialEq + Debug + 'static;
+
+    /// Additive identity (the implicit value of absent entries).
+    fn zero() -> Self::Elem;
+
+    /// Semiring addition (accumulation of intermediate products).
+    fn add(a: Self::Elem, b: Self::Elem) -> Self::Elem;
+
+    /// Semiring multiplication (scalar product of matched entries).
+    fn mul(a: Self::Elem, b: Self::Elem) -> Self::Elem;
+}
+
+/// The conventional arithmetic semiring `(+, ×)` over a [`Scalar`].
+///
+/// `PlusTimes<f64>` is what the paper benchmarks; all numeric figures
+/// (11–14, 16, 17) use it.
+pub struct PlusTimes<T>(PhantomData<T>);
+
+impl<T: Scalar> Semiring for PlusTimes<T> {
+    type Elem = T;
+    #[inline]
+    fn zero() -> T {
+        T::ZERO
+    }
+    #[inline]
+    fn add(a: T, b: T) -> T {
+        a.add(b)
+    }
+    #[inline]
+    fn mul(a: T, b: T) -> T {
+        a.mul(b)
+    }
+}
+
+/// The boolean semiring `(∨, ∧)` used for reachability: one SpGEMM step
+/// over `OrAnd` advances every BFS frontier of a multi-source search
+/// (§5.5 of the paper frames this as square × tall-skinny).
+pub struct OrAnd;
+
+impl Semiring for OrAnd {
+    type Elem = bool;
+    #[inline]
+    fn zero() -> bool {
+        false
+    }
+    #[inline]
+    fn add(a: bool, b: bool) -> bool {
+        a | b
+    }
+    #[inline]
+    fn mul(a: bool, b: bool) -> bool {
+        a & b
+    }
+}
+
+/// The `(max, ×)` semiring over non-negative reals; useful for
+/// best-path / peer-pressure-style clustering workloads cited in the
+/// paper's introduction. Included to exercise non-standard `add` in
+/// tests (it is idempotent but not invertible).
+pub struct MaxTimes;
+
+impl Semiring for MaxTimes {
+    type Elem = f64;
+    #[inline]
+    fn zero() -> f64 {
+        0.0
+    }
+    #[inline]
+    fn add(a: f64, b: f64) -> f64 {
+        if a >= b {
+            a
+        } else {
+            b
+        }
+    }
+    #[inline]
+    fn mul(a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_times_matches_scalar() {
+        assert_eq!(<PlusTimes<f64>>::add(2.0, 3.0), 5.0);
+        assert_eq!(<PlusTimes<f64>>::mul(2.0, 3.0), 6.0);
+        assert_eq!(<PlusTimes<u64>>::zero(), 0);
+    }
+
+    #[test]
+    fn or_and_absorbs() {
+        assert!(!OrAnd::mul(OrAnd::zero(), true));
+        assert!(OrAnd::add(true, false));
+        // idempotent addition: a + a == a
+        assert_eq!(OrAnd::add(true, true), true);
+    }
+
+    #[test]
+    fn max_times_identities() {
+        assert_eq!(MaxTimes::add(MaxTimes::zero(), 3.5), 3.5);
+        assert_eq!(MaxTimes::mul(0.0, 7.0), 0.0);
+        assert_eq!(MaxTimes::add(2.0, 9.0), 9.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Helper utilities shared by the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only hosts
+//! small fixtures used by several of them.
+
+use spgemm_sparse::Csr;
+
+/// Deterministic tiny matrix used as a smoke fixture across integration
+/// tests: the 4x4 arrow matrix
+/// ```text
+/// [ 1 2 0 3 ]
+/// [ 4 5 0 0 ]
+/// [ 0 0 6 0 ]
+/// [ 7 0 0 8 ]
+/// ```
+pub fn arrow4() -> Csr<f64> {
+    Csr::from_triplets(
+        4,
+        4,
+        &[
+            (0, 0, 1.0),
+            (0, 1, 2.0),
+            (0, 3, 3.0),
+            (1, 0, 4.0),
+            (1, 1, 5.0),
+            (2, 2, 6.0),
+            (3, 0, 7.0),
+            (3, 3, 8.0),
+        ],
+    )
+    .expect("valid triplets")
+}

@@ -1,0 +1,86 @@
+//! Integration tests of the application pipelines on generated data —
+//! the workloads from the paper's §1/§5.5/§5.6 running on the real
+//! kernel stack.
+
+use spgemm::Algorithm;
+use spgemm_apps::{amg, bfs, mcl, triangles};
+use spgemm_gen::poisson::poisson2d;
+use spgemm_par::Pool;
+
+#[test]
+fn bfs_agrees_across_kernels_and_threads() {
+    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 8, &mut spgemm_gen::rng(1));
+    let g = a.map(|_| true);
+    let sources = [0usize, 17, 99];
+    let seq: Vec<Vec<u32>> = sources.iter().map(|&s| bfs::sequential_bfs(&g, s)).collect();
+    for nt in [1usize, 3] {
+        let pool = Pool::new(nt);
+        for algo in [Algorithm::Hash, Algorithm::Spa, Algorithm::KkHash] {
+            let l = bfs::multi_source_bfs(&g, &sources, algo, &pool).unwrap();
+            for (si, lv) in seq.iter().enumerate() {
+                for v in 0..g.nrows() {
+                    assert_eq!(l.level(v, si), lv[v], "{algo} nt={nt} v={v}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn triangle_counts_invariant_to_relabelling() {
+    // counting must be invariant under symmetric permutation
+    let a = spgemm_gen::suite::uniform_matrix(60, 500, &mut spgemm_gen::rng(2));
+    let pool = Pool::new(2);
+    let base = triangles::count_triangles(&a, Algorithm::Hash, &pool).unwrap();
+    let perm = spgemm_gen::perm::random_permutation(60, &mut spgemm_gen::rng(3));
+    let pa = spgemm_sparse::ops::permute_symmetric(&a, &perm).unwrap();
+    let relabelled = triangles::count_triangles(&pa, Algorithm::Hash, &pool).unwrap();
+    assert_eq!(base, relabelled);
+}
+
+#[test]
+fn mcl_separates_rmat_components() {
+    // two disjoint planted cliques must land in different clusters
+    let mut trips = Vec::new();
+    for block in 0..2usize {
+        let base = block * 8;
+        for u in 0..8usize {
+            for v in 0..8usize {
+                if u != v {
+                    trips.push((base + u, (base + v) as u32, 1.0));
+                }
+            }
+        }
+    }
+    let g = spgemm_sparse::Csr::from_triplets(16, 16, &trips).unwrap();
+    let pool = Pool::new(2);
+    let labels = mcl::cluster(&g, &mcl::MclParams::default(), &pool).unwrap();
+    for u in 0..8 {
+        assert_eq!(labels[u], labels[0]);
+        assert_eq!(labels[8 + u], labels[8]);
+    }
+    assert_ne!(labels[0], labels[8]);
+}
+
+#[test]
+fn amg_hierarchy_consistent_across_kernels() {
+    let a = poisson2d(10);
+    let pool = Pool::new(2);
+    let h_hash = amg::setup_hierarchy(a.clone(), 8, 8, Algorithm::Hash, &pool).unwrap();
+    let h_heap = amg::setup_hierarchy(a, 8, 8, Algorithm::Heap, &pool).unwrap();
+    assert_eq!(h_hash.len(), h_heap.len());
+    for (x, y) in h_hash.iter().zip(&h_heap) {
+        assert!(spgemm_sparse::approx_eq_f64(x, &y.to_sorted(), 1e-9));
+    }
+}
+
+#[test]
+fn bfs_on_tall_skinny_matches_recipe_pick() {
+    // the recipe's tall-skinny pick must produce identical BFS levels
+    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 16, &mut spgemm_gen::rng(4));
+    let g = a.map(|_| true);
+    let pool = Pool::new(2);
+    let auto = bfs::multi_source_bfs(&g, &[1, 2], Algorithm::Auto, &pool).unwrap();
+    let hash = bfs::multi_source_bfs(&g, &[1, 2], Algorithm::Hash, &pool).unwrap();
+    assert_eq!(auto, hash);
+}

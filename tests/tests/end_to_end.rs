@@ -1,0 +1,153 @@
+//! End-to-end integration: generators → kernels → verification,
+//! across crates exactly as the bench harness wires them.
+
+use spgemm::{multiply_in, Algorithm, OutputOrder};
+use spgemm_integration::arrow4;
+use spgemm_par::Pool;
+use spgemm_sparse::{approx_eq_f64, ops, stats, PlusTimes};
+
+type P = PlusTimes<f64>;
+
+fn all_concrete() -> [Algorithm; 8] {
+    [
+        Algorithm::Hash,
+        Algorithm::HashVec,
+        Algorithm::Heap,
+        Algorithm::Spa,
+        Algorithm::Merge,
+        Algorithm::Inspector,
+        Algorithm::KkHash,
+        Algorithm::Ikj,
+    ]
+}
+
+#[test]
+fn fixture_squares_consistently() {
+    let a = arrow4();
+    let pool = Pool::new(2);
+    let oracle = spgemm::algos::reference::multiply::<P>(&a, &a);
+    for algo in all_concrete() {
+        let c = multiply_in::<P>(&a, &a, algo, OutputOrder::Sorted, &pool).unwrap();
+        assert!(approx_eq_f64(&oracle, &c, 1e-12), "{algo}");
+    }
+}
+
+#[test]
+fn rmat_pipeline_all_algorithms_all_threads() {
+    for kind in [spgemm_gen::RmatKind::Er, spgemm_gen::RmatKind::G500] {
+        let a = spgemm_gen::rmat::generate_kind(kind, 9, 8, &mut spgemm_gen::rng(11));
+        let oracle = spgemm::algos::reference::multiply::<P>(&a, &a);
+        for nt in [1usize, 2, 4] {
+            let pool = Pool::new(nt);
+            for algo in all_concrete() {
+                let c = multiply_in::<P>(&a, &a, algo, OutputOrder::Sorted, &pool).unwrap();
+                assert!(
+                    approx_eq_f64(&oracle, &c, 1e-9),
+                    "{algo} nt={nt} {kind:?} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unsorted_protocol_matches_sorted_results() {
+    // the §5.1 protocol: randomly permute columns, multiply unsorted,
+    // then verify the result is the permuted version of the sorted one
+    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 8, &mut spgemm_gen::rng(3));
+    let perm = spgemm_gen::perm::random_col_permutation(a.ncols(), &mut spgemm_gen::rng(4));
+    let pa = ops::permute_cols(&a, &perm).unwrap();
+    let pool = Pool::new(2);
+    // C' = A · (P A) where both operands consistent: permute rows of
+    // the right operand by the same permutation to keep the product
+    // related: (A P)(Pᵀ A P) ... simpler identity: (P-permuted A)
+    // squared equals P applied to rows and columns appropriately only
+    // for symmetric permutation — so here just verify unsorted kernels
+    // agree with each other on the permuted operand.
+    let baseline = multiply_in::<P>(&pa, &pa, Algorithm::Hash, OutputOrder::Unsorted, &pool).unwrap();
+    for algo in [Algorithm::HashVec, Algorithm::Spa, Algorithm::KkHash, Algorithm::Inspector] {
+        let c = multiply_in::<P>(&pa, &pa, algo, OutputOrder::Unsorted, &pool).unwrap();
+        assert!(approx_eq_f64(&baseline, &c, 1e-9), "{algo}");
+    }
+}
+
+#[test]
+fn tall_skinny_pipeline() {
+    let g = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 9, 16, &mut spgemm_gen::rng(5));
+    let ts = spgemm_gen::tallskinny::tall_skinny(&g, 32, &mut spgemm_gen::rng(6)).unwrap();
+    let pool = Pool::new(2);
+    let oracle = spgemm::algos::reference::multiply::<P>(&g, &ts);
+    for algo in all_concrete() {
+        let c = multiply_in::<P>(&g, &ts, algo, OutputOrder::Sorted, &pool).unwrap();
+        assert!(approx_eq_f64(&oracle, &c, 1e-9), "{algo}");
+        assert_eq!(c.ncols(), 32);
+    }
+}
+
+#[test]
+fn suite_standins_multiply_cleanly() {
+    // every Table 2 stand-in class squares without error and all
+    // kernels agree (tiny divisor keeps this fast)
+    let suite = spgemm_gen::suite::standin_suite(100_000, 9);
+    let pool = Pool::new(2);
+    for (name, m) in suite.iter().take(8) {
+        let baseline =
+            multiply_in::<P>(m, m, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+        for algo in [Algorithm::Heap, Algorithm::Merge, Algorithm::KkHash] {
+            let c = multiply_in::<P>(m, m, algo, OutputOrder::Sorted, &pool).unwrap();
+            assert!(approx_eq_f64(&baseline, &c, 1e-9), "{algo} on {name}");
+        }
+    }
+}
+
+#[test]
+fn flop_accounting_consistent_across_crates() {
+    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::Er, 9, 8, &mut spgemm_gen::rng(7));
+    let pool = Pool::new(2);
+    let plan = spgemm::exec_plan(&a, &a, &pool);
+    assert_eq!(plan.total_flop, stats::flop(&a, &a));
+    assert_eq!(plan.row_flops, stats::row_flops(&a, &a));
+}
+
+#[test]
+fn symbolic_nnz_matches_numeric_everywhere() {
+    for kind in [spgemm_gen::RmatKind::Er, spgemm_gen::RmatKind::G500] {
+        let a = spgemm_gen::rmat::generate_kind(kind, 8, 6, &mut spgemm_gen::rng(13));
+        for nt in [1usize, 2, 4] {
+            let pool = Pool::new(nt);
+            let symbolic = spgemm::product_nnz(&a, &a, &pool);
+            let numeric =
+                multiply_in::<P>(&a, &a, Algorithm::Hash, OutputOrder::Unsorted, &pool)
+                    .unwrap()
+                    .nnz();
+            assert_eq!(symbolic, numeric, "{kind:?} nt={nt}");
+        }
+    }
+}
+
+#[test]
+fn masked_multiply_integrates_with_generators() {
+    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 8, &mut spgemm_gen::rng(21));
+    let mask = a.map(|_| 1u8);
+    let pool = Pool::new(2);
+    let masked = spgemm::multiply_masked::<P, u8>(&a, &a, &mask, OutputOrder::Sorted, &pool)
+        .unwrap();
+    let full = multiply_in::<P>(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+    let expect = ops::hadamard(&full, &a.map(|_| 1.0f64)).unwrap();
+    assert!(approx_eq_f64(&expect, &masked, 1e-9));
+}
+
+#[test]
+fn matrix_market_round_trip_through_kernels() {
+    let a = arrow4();
+    let dir = std::env::temp_dir().join(format!("spgemm-int-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("arrow4.mtx");
+    spgemm_sparse::io::write_matrix_market(&path, &a).unwrap();
+    let back = spgemm_sparse::io::read_matrix_market(&path).unwrap();
+    let pool = Pool::new(1);
+    let c1 = multiply_in::<P>(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+    let c2 = multiply_in::<P>(&back, &back, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+    assert!(approx_eq_f64(&c1, &c2, 0.0));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,76 @@
+//! Cross-crate property tests: generator-produced inputs through the
+//! full kernel roster, checking semantic invariants rather than
+//! oracle equality (covered in the core crate's own proptests).
+
+use proptest::prelude::*;
+use spgemm::{multiply_in, Algorithm, OutputOrder};
+use spgemm_par::Pool;
+use spgemm_sparse::{stats, PlusTimes};
+
+type P = PlusTimes<f64>;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn nnz_bounded_by_flop_and_dims(
+        scale in 5u32..8,
+        ef in 1usize..8,
+        seed in 0u64..1000,
+        skew in prop::bool::ANY,
+    ) {
+        let kind = if skew { spgemm_gen::RmatKind::G500 } else { spgemm_gen::RmatKind::Er };
+        let a = spgemm_gen::rmat::generate_kind(kind, scale, ef, &mut spgemm_gen::rng(seed));
+        let flop = stats::flop(&a, &a);
+        let pool = Pool::new(2);
+        let c = multiply_in::<P>(&a, &a, Algorithm::Hash, OutputOrder::Unsorted, &pool).unwrap();
+        // structural upper bounds from first principles
+        prop_assert!(c.nnz() as u64 <= flop, "nnz(C) cannot exceed flop");
+        prop_assert!(c.nnz() <= a.nrows() * a.ncols());
+        for i in 0..c.nrows() {
+            prop_assert!(c.row_nnz(i) <= a.ncols());
+            prop_assert!(c.row_nnz(i) as u64 <= stats::row_flops(&a, &a)[i]);
+        }
+    }
+
+    #[test]
+    fn sorted_and_unsorted_outputs_have_identical_structure(
+        scale in 5u32..8,
+        seed in 0u64..1000,
+    ) {
+        let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, scale, 4, &mut spgemm_gen::rng(seed));
+        let pool = Pool::new(2);
+        let s = multiply_in::<P>(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+        let u = multiply_in::<P>(&a, &a, Algorithm::Hash, OutputOrder::Unsorted, &pool).unwrap();
+        prop_assert_eq!(s.nnz(), u.nnz());
+        prop_assert_eq!(s.rpts(), u.rpts());
+        prop_assert!(spgemm_sparse::approx_eq_f64(&s, &u, 1e-12));
+    }
+
+    #[test]
+    fn thread_count_never_changes_results(
+        scale in 5u32..8,
+        seed in 0u64..500,
+    ) {
+        let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::Er, scale, 6, &mut spgemm_gen::rng(seed));
+        let c1 = multiply_in::<P>(&a, &a, Algorithm::Heap, OutputOrder::Sorted, &Pool::new(1)).unwrap();
+        let c4 = multiply_in::<P>(&a, &a, Algorithm::Heap, OutputOrder::Sorted, &Pool::new(4)).unwrap();
+        // heap merges in deterministic column order, so even float
+        // results are bitwise equal across thread counts
+        prop_assert_eq!(c1, c4);
+    }
+
+    #[test]
+    fn associativity_with_identity_chain(
+        scale in 5u32..7,
+        seed in 0u64..500,
+    ) {
+        let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::Er, scale, 4, &mut spgemm_gen::rng(seed));
+        let i = spgemm_sparse::Csr::<f64>::identity(a.nrows());
+        let pool = Pool::new(2);
+        let ai = multiply_in::<P>(&a, &i, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+        let ia = multiply_in::<P>(&i, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+        prop_assert!(spgemm_sparse::approx_eq_f64(&a, &ai, 0.0));
+        prop_assert!(spgemm_sparse::approx_eq_f64(&a, &ia, 0.0));
+    }
+}
