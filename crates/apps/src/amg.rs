@@ -121,7 +121,10 @@ mod tests {
         assert!(agg.iter().all(|&x| x != usize::MAX));
         let nagg = agg.iter().copied().max().unwrap() + 1;
         assert!(nagg < a.nrows(), "aggregation must coarsen");
-        assert!(nagg >= a.nrows() / 6, "5-point stencil aggregates are ≤ 5+1 points");
+        assert!(
+            nagg >= a.nrows() / 6,
+            "5-point stencil aggregates are ≤ 5+1 points"
+        );
     }
 
     #[test]
@@ -141,12 +144,12 @@ mod tests {
         for i in 0..a.nrows() {
             fine_sums[agg[i]] += row_sum(&a, i);
         }
-        for c in 0..nc {
+        for (c, &fine) in fine_sums.iter().enumerate() {
             assert!(
-                (row_sum(&ac, c) - fine_sums[c]).abs() < 1e-9,
+                (row_sum(&ac, c) - fine).abs() < 1e-9,
                 "aggregate {c}: {} vs {}",
                 row_sum(&ac, c),
-                fine_sums[c]
+                fine
             );
         }
     }
@@ -157,7 +160,10 @@ mod tests {
         let pool = Pool::new(2);
         let (_, ac) = coarsen_level(&a, Algorithm::Hash, &pool).unwrap();
         let act = ops::transpose(&ac);
-        assert!(spgemm_sparse::approx_eq_f64(&ac, &act, 1e-12), "A_c must stay symmetric");
+        assert!(
+            spgemm_sparse::approx_eq_f64(&ac, &act, 1e-12),
+            "A_c must stay symmetric"
+        );
     }
 
     #[test]
@@ -165,7 +171,10 @@ mod tests {
         let a = poisson2d(12);
         let pool = Pool::new(2);
         let levels = setup_hierarchy(a, 8, 10, Algorithm::Hash, &pool).unwrap();
-        assert!(levels.len() >= 3, "144 points should coarsen at least twice");
+        assert!(
+            levels.len() >= 3,
+            "144 points should coarsen at least twice"
+        );
         for w in levels.windows(2) {
             assert!(w[1].nrows() < w[0].nrows());
         }

@@ -41,7 +41,11 @@ pub fn betweenness_batch(
         let mut coo = Coo::with_capacity(n, s, s)?;
         for (q, &v) in sources.iter().enumerate() {
             if v >= n {
-                return Err(SparseError::ColumnOutOfBounds { row: v, col: v as u32, ncols: n });
+                return Err(SparseError::ColumnOutOfBounds {
+                    row: v,
+                    col: v as u32,
+                    ncols: n,
+                });
             }
             coo.push(v, q as ColIdx, 1.0)?;
             paths[v][q] = 1.0;
@@ -54,8 +58,7 @@ pub fn betweenness_batch(
     let mut depth = 0u32;
     while frontier.nnz() > 0 {
         depth += 1;
-        let next =
-            multiply_in::<PlusTimes<f64>>(&at, &frontier, algo, OutputOrder::Sorted, pool)?;
+        let next = multiply_in::<PlusTimes<f64>>(&at, &frontier, algo, OutputOrder::Sorted, pool)?;
         // keep only (v, q) pairs not seen at an earlier level
         let mut coo = Coo::with_capacity(n, s, next.nnz())?;
         for v in 0..n {
@@ -198,8 +201,8 @@ mod tests {
         let expect = brandes_reference(&g, &all);
         assert_close(&bc, &expect);
         assert!(bc[0] > 0.0);
-        for v in 1..5 {
-            assert_eq!(bc[v], 0.0, "leaves lie on no shortest paths");
+        for (v, &score) in bc.iter().enumerate().skip(1) {
+            assert_eq!(score, 0.0, "leaf {v} lies on no shortest paths");
         }
     }
 

@@ -28,7 +28,11 @@ pub const UNREACHED: u32 = u32::MAX;
 
 impl BfsLevels {
     fn new(nverts: usize, nsources: usize) -> Self {
-        BfsLevels { nverts, nsources, levels: vec![UNREACHED; nverts * nsources] }
+        BfsLevels {
+            nverts,
+            nsources,
+            levels: vec![UNREACHED; nverts * nsources],
+        }
     }
 
     /// Level of `vertex` from `source` (`UNREACHED` if not reached).
@@ -44,7 +48,9 @@ impl BfsLevels {
 
     /// Vertices reached from `source` (including the source itself).
     pub fn reached_count(&self, source: usize) -> usize {
-        (0..self.nverts).filter(|&v| self.level(v, source) != UNREACHED).count()
+        (0..self.nverts)
+            .filter(|&v| self.level(v, source) != UNREACHED)
+            .count()
     }
 }
 
@@ -83,7 +89,11 @@ pub fn multi_source_bfs(
     let n = graph.nrows();
     for &s in sources {
         if s >= n {
-            return Err(SparseError::ColumnOutOfBounds { row: s, col: s as u32, ncols: n });
+            return Err(SparseError::ColumnOutOfBounds {
+                row: s,
+                col: s as u32,
+                ncols: n,
+            });
         }
     }
     // F' = Aᵀ F: frontier at v spreads to u for each edge u → v... we
@@ -176,8 +186,8 @@ mod tests {
             let l = multi_source_bfs(&g, &sources, algo, &pool).unwrap();
             for (s, &src) in sources.iter().enumerate() {
                 let seq = sequential_bfs(&g, src);
-                for v in 0..g.nrows() {
-                    assert_eq!(l.level(v, s), seq[v], "{algo} src {src} vertex {v}");
+                for (v, &lvl) in seq.iter().enumerate() {
+                    assert_eq!(l.level(v, s), lvl, "{algo} src {src} vertex {v}");
                 }
             }
         }

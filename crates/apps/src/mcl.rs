@@ -72,8 +72,7 @@ pub fn mcl_step(
     params: &MclParams,
     pool: &Pool,
 ) -> Result<(Csr<f64>, f64), SparseError> {
-    let expanded =
-        multiply_in::<PlusTimes<f64>>(a, a, params.algo, OutputOrder::Sorted, pool)?;
+    let expanded = multiply_in::<PlusTimes<f64>>(a, a, params.algo, OutputOrder::Sorted, pool)?;
     let inflated = inflate(&expanded, params.inflation);
     let pruned = inflated.filter(|_, _, v| v >= params.prune_threshold);
     let renorm = normalize_columns(&pruned);
@@ -145,7 +144,11 @@ pub fn cluster(
     let mut label_of_attractor = std::collections::HashMap::new();
     let mut labels = vec![0usize; n];
     for (col, &(_, attractor)) in best.iter().enumerate() {
-        let a = if attractor == usize::MAX { col } else { attractor };
+        let a = if attractor == usize::MAX {
+            col
+        } else {
+            attractor
+        };
         let next_id = label_of_attractor.len();
         let id = *label_of_attractor.entry(a).or_insert(next_id);
         labels[col] = id;
@@ -172,7 +175,7 @@ mod tests {
     #[test]
     fn normalize_columns_makes_stochastic() {
         let m = normalize_columns(&two_cliques());
-        let mut colsum = vec![0.0; 6];
+        let mut colsum = [0.0; 6];
         for i in 0..6 {
             for (&c, &v) in m.row_cols(i).iter().zip(m.row_vals(i)) {
                 colsum[c as usize] += v;
@@ -190,7 +193,9 @@ mod tests {
         // inflation increases the max entry of each column (or keeps
         // it, for already-concentrated columns)
         let col_max = |x: &Csr<f64>, c: u32| -> f64 {
-            (0..x.nrows()).filter_map(|i| x.get(i, c)).fold(0.0f64, |a, &b| a.max(b))
+            (0..x.nrows())
+                .filter_map(|i| x.get(i, c))
+                .fold(0.0f64, |a, &b| a.max(b))
         };
         for c in 0..6u32 {
             assert!(col_max(&inf, c) >= col_max(&m, c) - 1e-12, "column {c}");
@@ -222,9 +227,7 @@ mod tests {
     #[test]
     fn mcl_step_keeps_matrix_stochastic_and_sparse() {
         let pool = Pool::new(2);
-        let m = normalize_columns(
-            &ops::add(&two_cliques(), &Csr::<f64>::identity(6)).unwrap(),
-        );
+        let m = normalize_columns(&ops::add(&two_cliques(), &Csr::<f64>::identity(6)).unwrap());
         let (next, delta) = mcl_step(&m, &MclParams::default(), &pool).unwrap();
         assert!(delta > 0.0);
         assert!(next.nnz() > 0);

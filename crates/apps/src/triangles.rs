@@ -20,13 +20,10 @@ use spgemm_sparse::{ops, Csr, PlusTimes, SparseError};
 /// affect the count. `algo` selects the SpGEMM kernel for the `L · U`
 /// step (the recipe: Heap for low compression ratios, Hash otherwise —
 /// Table 4a's `LxU` row).
-pub fn count_triangles(
-    graph: &Csr<f64>,
-    algo: Algorithm,
-    pool: &Pool,
-) -> Result<u64, SparseError> {
+pub fn count_triangles(graph: &Csr<f64>, algo: Algorithm, pool: &Pool) -> Result<u64, SparseError> {
     let simple = ops::symmetrize_simple(&graph.map(|_| 1.0))?;
-    let simple = simple.map(|_| 1.0f64); // weights irrelevant; count wedges
+    // weights irrelevant; count wedges
+    let simple = simple.map(|_| 1.0f64);
     // degree reordering: ascending row size
     let perm = ops::degree_ascending_permutation(&simple);
     let reordered = ops::permute_symmetric(&simple, &perm)?;
@@ -170,9 +167,21 @@ mod tests {
         );
         let pool = Pool::new(2);
         let baseline = count_triangles(&a, Algorithm::Hash, &pool).unwrap();
-        assert!(baseline > 0, "a dense-ish G500 graph should contain triangles");
-        for algo in [Algorithm::Heap, Algorithm::HashVec, Algorithm::Spa, Algorithm::Merge] {
-            assert_eq!(count_triangles(&a, algo, &pool).unwrap(), baseline, "{algo}");
+        assert!(
+            baseline > 0,
+            "a dense-ish G500 graph should contain triangles"
+        );
+        for algo in [
+            Algorithm::Heap,
+            Algorithm::HashVec,
+            Algorithm::Spa,
+            Algorithm::Merge,
+        ] {
+            assert_eq!(
+                count_triangles(&a, algo, &pool).unwrap(),
+                baseline,
+                "{algo}"
+            );
         }
     }
 }

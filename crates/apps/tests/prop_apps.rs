@@ -29,8 +29,8 @@ proptest! {
         let pool = Pool::new(2);
         let l = bfs::multi_source_bfs(&g, &[src], Algorithm::Hash, &pool).unwrap();
         let seq = bfs::sequential_bfs(&g, src);
-        for v in 0..g.nrows() {
-            prop_assert_eq!(l.level(v, 0), seq[v], "vertex {}", v);
+        for (v, &lvl) in seq.iter().enumerate() {
+            prop_assert_eq!(l.level(v, 0), lvl, "vertex {}", v);
         }
     }
 

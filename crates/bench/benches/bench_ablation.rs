@@ -17,7 +17,12 @@ type P = PlusTimes<f64>;
 
 fn ablation_sort_skip(c: &mut Criterion) {
     let pool = Pool::with_all_threads();
-    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 10, 16, &mut spgemm_gen::rng(1));
+    let a = spgemm_gen::rmat::generate_kind(
+        spgemm_gen::RmatKind::G500,
+        10,
+        16,
+        &mut spgemm_gen::rng(1),
+    );
     let mut g = c.benchmark_group("ablation_sort_skip");
     g.sample_size(10).measurement_time(Duration::from_secs(2));
     for order in [OutputOrder::Sorted, OutputOrder::Unsorted] {
@@ -30,7 +35,12 @@ fn ablation_sort_skip(c: &mut Criterion) {
 
 fn ablation_simd_level(c: &mut Criterion) {
     let pool = Pool::with_all_threads();
-    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 10, 16, &mut spgemm_gen::rng(2));
+    let a = spgemm_gen::rmat::generate_kind(
+        spgemm_gen::RmatKind::G500,
+        10,
+        16,
+        &mut spgemm_gen::rng(2),
+    );
     let mut levels = vec![SimdLevel::Scalar];
     #[cfg(target_arch = "x86_64")]
     {
@@ -62,7 +72,8 @@ fn ablation_simd_level(c: &mut Criterion) {
 
 fn ablation_phases(c: &mut Criterion) {
     let pool = Pool::with_all_threads();
-    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::Er, 10, 16, &mut spgemm_gen::rng(3));
+    let a =
+        spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::Er, 10, 16, &mut spgemm_gen::rng(3));
     let mut g = c.benchmark_group("ablation_phases");
     g.sample_size(10).measurement_time(Duration::from_secs(2));
     g.bench_function("two_phase_hash_unsorted", |b| {
@@ -79,7 +90,12 @@ fn ablation_phases(c: &mut Criterion) {
 fn ablation_partition(c: &mut Criterion) {
     let pool = Pool::with_all_threads();
     // skewed input makes the partition matter
-    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 10, 16, &mut spgemm_gen::rng(4));
+    let a = spgemm_gen::rmat::generate_kind(
+        spgemm_gen::RmatKind::G500,
+        10,
+        16,
+        &mut spgemm_gen::rng(4),
+    );
     let mut g = c.benchmark_group("ablation_partition");
     g.sample_size(10).measurement_time(Duration::from_secs(2));
     g.bench_function("heap_equal_rows", |b| {
@@ -87,7 +103,13 @@ fn ablation_partition(c: &mut Criterion) {
     });
     g.bench_function("heap_flop_balanced", |b| {
         b.iter(|| {
-            heap_multiply_tuned::<P>(&a, &a, &pool, RowSchedule::FlopBalanced, MemScheme::Parallel)
+            heap_multiply_tuned::<P>(
+                &a,
+                &a,
+                &pool,
+                RowSchedule::FlopBalanced,
+                MemScheme::Parallel,
+            )
         })
     });
     g.finish();

@@ -18,7 +18,9 @@ fn key_stream(n: usize, distinct: usize, seed: u64) -> Vec<u32> {
     let mut state = seed | 1;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize % distinct) as u32
         })
         .collect()

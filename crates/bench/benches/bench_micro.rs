@@ -59,13 +59,17 @@ fn micro_generator(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(2));
     for kind in [spgemm_gen::RmatKind::Er, spgemm_gen::RmatKind::G500] {
         g.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                spgemm_gen::rmat::generate_kind(kind, 10, 8, &mut spgemm_gen::rng(1)).nnz()
-            })
+            b.iter(|| spgemm_gen::rmat::generate_kind(kind, 10, 8, &mut spgemm_gen::rng(1)).nnz())
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, micro_scan, micro_partition, micro_pool, micro_generator);
+criterion_group!(
+    benches,
+    micro_scan,
+    micro_partition,
+    micro_pool,
+    micro_generator
+);
 criterion_main!(benches);

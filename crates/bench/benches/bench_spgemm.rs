@@ -25,8 +25,7 @@ fn bench_square(c: &mut Criterion) {
         ] {
             g.bench_with_input(BenchmarkId::new(algo.name(), "sorted"), &a, |b, a| {
                 b.iter(|| {
-                    multiply_in::<PlusTimes<f64>>(a, a, algo, OutputOrder::Sorted, &pool)
-                        .unwrap()
+                    multiply_in::<PlusTimes<f64>>(a, a, algo, OutputOrder::Sorted, &pool).unwrap()
                 })
             });
             if algo.supports_sort_skip() {
@@ -44,15 +43,19 @@ fn bench_square(c: &mut Criterion) {
 
 fn bench_tall_skinny(c: &mut Criterion) {
     let pool = Pool::with_all_threads();
-    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 11, 16, &mut spgemm_gen::rng(7));
+    let a = spgemm_gen::rmat::generate_kind(
+        spgemm_gen::RmatKind::G500,
+        11,
+        16,
+        &mut spgemm_gen::rng(7),
+    );
     let ts = spgemm_gen::tallskinny::tall_skinny(&a, 64, &mut spgemm_gen::rng(8)).unwrap();
     let mut g = c.benchmark_group("tall_skinny");
     g.sample_size(10).measurement_time(Duration::from_secs(2));
     for algo in [Algorithm::Hash, Algorithm::HashVec, Algorithm::Heap] {
         g.bench_function(algo.name(), |b| {
             b.iter(|| {
-                multiply_in::<PlusTimes<f64>>(&a, &ts, algo, OutputOrder::Sorted, &pool)
-                    .unwrap()
+                multiply_in::<PlusTimes<f64>>(&a, &ts, algo, OutputOrder::Sorted, &pool).unwrap()
             })
         });
     }

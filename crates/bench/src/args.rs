@@ -48,6 +48,9 @@ impl BenchArgs {
     }
 
     /// Parse from an explicit iterator (tests).
+    // Not the std trait: this is fallible-by-exit CLI parsing, and every
+    // call site names it explicitly.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Self {
         let mut out = BenchArgs::default();
         let mut it = iter.into_iter();

@@ -14,8 +14,14 @@ use spgemm_membench::sched;
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
-    println!("# fig02: empty-loop scheduling cost (milliseconds, median of {} reps)", args.reps);
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
+    println!(
+        "# fig02: empty-loop scheduling cost (milliseconds, median of {} reps)",
+        args.reps
+    );
     let (lo, hi) = if args.quick { (5, 10) } else { (5, 19) }; // paper: 2^5..2^19
     let series = sched::sweep(&pool, lo, hi, args.reps);
     println!("policy\titerations\tmillis");

@@ -16,7 +16,10 @@ use spgemm_membench::alloc;
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
     println!("# fig04: allocation / touch / deallocation (milliseconds; median of 3)");
     println!("scheme\tsize_mb\talloc_ms\ttouch_ms\tdealloc_ms");
     let hi_mb_log2 = if args.quick { 6 } else { 11 }; // up to 2^11 MB = 2 GB

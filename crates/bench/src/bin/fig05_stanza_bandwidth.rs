@@ -17,7 +17,10 @@ use spgemm_membench::{memmodel::MemoryModel, stanza};
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
     let (array, traffic, hi) = if args.quick {
         (1usize << 22, 1usize << 22, 10)
     } else {
@@ -30,12 +33,18 @@ fn main() {
     let peak = pts.last().map(|p| p.gbytes_per_sec).unwrap_or(10.0);
     let model = MemoryModel::default().with_measured_ddr(peak);
     for p in &pts {
-        println!("DDR-only(measured)\t{}\t{:.2}", p.stanza_bytes, p.gbytes_per_sec);
+        println!(
+            "DDR-only(measured)\t{}\t{:.2}",
+            p.stanza_bytes, p.gbytes_per_sec
+        );
     }
     for p in &pts {
         // modeled curve = measured DDR point × paper ratio at that stanza
         let modeled = p.gbytes_per_sec * model.cache_mode_ratio(p.stanza_bytes as f64);
-        println!("MCDRAM-as-cache(modeled)\t{}\t{:.2}", p.stanza_bytes, modeled);
+        println!(
+            "MCDRAM-as-cache(modeled)\t{}\t{:.2}",
+            p.stanza_bytes, modeled
+        );
     }
     println!(
         "# model endpoints: ratio(64B) = {:.2}, ratio(8KiB) = {:.2} (paper: 1.0 / 3.4)",

@@ -21,7 +21,10 @@ use std::time::Instant;
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
     let ef = args.ef_or(16);
     let max_scale = args.scale_or(13); // paper sweeps 6..18
     println!("# fig09: Heap SpGEMM (G500, EF {ef}) under scheduling variants, MFLOPS");
@@ -31,8 +34,16 @@ fn main() {
         ("static", RowSchedule::Static, MemScheme::Parallel),
         ("dynamic", RowSchedule::Dynamic, MemScheme::Parallel),
         ("guided", RowSchedule::Guided, MemScheme::Parallel),
-        ("balanced single", RowSchedule::FlopBalanced, MemScheme::Single),
-        ("balanced parallel", RowSchedule::FlopBalanced, MemScheme::Parallel),
+        (
+            "balanced single",
+            RowSchedule::FlopBalanced,
+            MemScheme::Single,
+        ),
+        (
+            "balanced parallel",
+            RowSchedule::FlopBalanced,
+            MemScheme::Parallel,
+        ),
     ];
 
     for scale in 6..=max_scale {

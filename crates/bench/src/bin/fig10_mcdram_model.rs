@@ -26,7 +26,10 @@ const CACHE_BYTES: usize = 1 << 20;
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
     let scale = args.scale_or(12); // paper: 15
     println!("# fig10: modeled Cache-mode speedup vs edge factor (G500 scale {scale})");
     println!("series\tedge_factor\tspeedup");
@@ -47,7 +50,11 @@ fn main() {
         ("Hash", Algorithm::Hash, OutputOrder::Sorted),
         ("HashVec", Algorithm::HashVec, OutputOrder::Sorted),
         ("Hash (unsorted)", Algorithm::Hash, OutputOrder::Unsorted),
-        ("HashVec (unsorted)", Algorithm::HashVec, OutputOrder::Unsorted),
+        (
+            "HashVec (unsorted)",
+            Algorithm::HashVec,
+            OutputOrder::Unsorted,
+        ),
     ];
 
     for ef_log in 2..=6 {

@@ -19,7 +19,10 @@ use spgemm_gen::{perm, rmat, RmatKind};
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
     let scale = args.scale_or(13); // paper: 16
     println!("# fig11: MFLOPS vs edge factor at scale {scale}");
     println!("pattern\tpanel\talgorithm\tedge_factor\tmflops");
@@ -29,8 +32,7 @@ fn main() {
             let a = rmat::generate_kind(kind, scale, ef, &mut spgemm_gen::rng(args.seed));
             // sorted panel
             for algo in sorted_panel() {
-                match runner::time_multiply(&a, &a, algo, OutputOrder::Sorted, &pool, args.reps)
-                {
+                match runner::time_multiply(&a, &a, algo, OutputOrder::Sorted, &pool, args.reps) {
                     Ok(m) => println!(
                         "{}\tsorted\t{}\t{}\t{:.1}",
                         kind.name(),
@@ -44,8 +46,7 @@ fn main() {
             // unsorted panel: §5.1 — inputs randomly column-permuted
             let u = perm::randomize_columns(&a, &mut spgemm_gen::rng(args.seed ^ 0xff));
             for algo in unsorted_panel() {
-                match runner::time_multiply(&u, &u, algo, OutputOrder::Unsorted, &pool, args.reps)
-                {
+                match runner::time_multiply(&u, &u, algo, OutputOrder::Unsorted, &pool, args.reps) {
                     Ok(m) => println!(
                         "{}\tunsorted\t{}\t{}\t{:.1}",
                         kind.name(),

@@ -18,7 +18,10 @@ use spgemm_gen::{perm, rmat, RmatKind};
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
     let ef = args.ef_or(16);
     let max_er = args.scale_or(13);
     let max_g500 = max_er.saturating_sub(1).max(8);
@@ -29,8 +32,7 @@ fn main() {
         for scale in 8..=max_scale {
             let a = rmat::generate_kind(kind, scale, ef, &mut spgemm_gen::rng(args.seed));
             for algo in sorted_panel() {
-                match runner::time_multiply(&a, &a, algo, OutputOrder::Sorted, &pool, args.reps)
-                {
+                match runner::time_multiply(&a, &a, algo, OutputOrder::Sorted, &pool, args.reps) {
                     Ok(m) => println!(
                         "{}\tsorted\t{}\t{}\t{:.1}",
                         kind.name(),
@@ -43,8 +45,7 @@ fn main() {
             }
             let u = perm::randomize_columns(&a, &mut spgemm_gen::rng(args.seed ^ 0xff));
             for algo in unsorted_panel() {
-                match runner::time_multiply(&u, &u, algo, OutputOrder::Unsorted, &pool, args.reps)
-                {
+                match runner::time_multiply(&u, &u, algo, OutputOrder::Unsorted, &pool, args.reps) {
                     Ok(m) => println!(
                         "{}\tunsorted\t{}\t{}\t{:.1}",
                         kind.name(),

@@ -17,7 +17,10 @@ use spgemm_par::Pool;
 
 fn main() {
     let args = BenchArgs::parse();
-    print!("{}", spgemm_bench::envinfo::environment_banner(spgemm_par::hardware_threads()));
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(spgemm_par::hardware_threads())
+    );
     let scale = args.scale_or(12); // paper: 16
     let ef = args.ef_or(16);
     println!("# fig13: strong scaling (scale {scale}, EF {ef})");
@@ -40,8 +43,7 @@ fn main() {
                 if algo == spgemm::Algorithm::Merge && args.quick {
                     continue;
                 }
-                match runner::time_multiply(&a, &a, algo, OutputOrder::Sorted, &pool, args.reps)
-                {
+                match runner::time_multiply(&a, &a, algo, OutputOrder::Sorted, &pool, args.reps) {
                     Ok(m) => println!(
                         "{}\tsorted\t{}\t{}\t{:.1}",
                         kind.name(),
@@ -53,8 +55,7 @@ fn main() {
                 }
             }
             for algo in unsorted_panel() {
-                match runner::time_multiply(&u, &u, algo, OutputOrder::Unsorted, &pool, args.reps)
-                {
+                match runner::time_multiply(&u, &u, algo, OutputOrder::Unsorted, &pool, args.reps) {
                     Ok(m) => println!(
                         "{}\tunsorted\t{}\t{}\t{:.1}",
                         kind.name(),

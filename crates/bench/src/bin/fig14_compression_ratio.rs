@@ -20,10 +20,19 @@ use spgemm_gen::perm;
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
-    let divisor = if args.quick { args.divisor.max(512) } else { args.divisor };
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
+    let divisor = if args.quick {
+        args.divisor.max(512)
+    } else {
+        args.divisor
+    };
     let suite = spgemm_bench::suites::load(args.suitesparse.as_deref(), divisor, args.seed);
-    println!("# fig14: A^2 over the Table 2 suite (divisor {divisor}); MFLOPS vs compression ratio");
+    println!(
+        "# fig14: A^2 over the Table 2 suite (divisor {divisor}); MFLOPS vs compression ratio"
+    );
     println!("panel\talgorithm\tmatrix\tcompression_ratio\tmflops");
 
     // per-algorithm sorted/unsorted times for the harmonic-mean stat
@@ -64,7 +73,10 @@ fn main() {
             let s = runner::time_multiply(a, a, algo, OutputOrder::Sorted, &pool, args.reps);
             let us = runner::time_multiply(a, a, algo, OutputOrder::Unsorted, &pool, args.reps);
             if let (Ok(s), Ok(us)) = (s, us) {
-                speedups.entry(panel_label(algo, false)).or_default().push(s.secs / us.secs);
+                speedups
+                    .entry(panel_label(algo, false))
+                    .or_default()
+                    .push(s.secs / us.secs);
             }
         }
     }

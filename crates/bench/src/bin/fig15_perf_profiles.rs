@@ -16,17 +16,29 @@ use spgemm_gen::perm;
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
-    let divisor = if args.quick { args.divisor.max(512) } else { args.divisor };
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
+    let divisor = if args.quick {
+        args.divisor.max(512)
+    } else {
+        args.divisor
+    };
     let suite = spgemm_bench::suites::load(args.suitesparse.as_deref(), divisor, args.seed);
-    println!("# fig15: performance profiles over {} matrices (divisor {divisor})", suite.len());
+    println!(
+        "# fig15: performance profiles over {} matrices (divisor {divisor})",
+        suite.len()
+    );
 
     for (panel, algos, order) in [
         ("sorted", sorted_panel(), OutputOrder::Sorted),
         ("unsorted", unsorted_panel(), OutputOrder::Unsorted),
     ] {
-        let labels: Vec<&str> =
-            algos.iter().map(|&a| panel_label(a, panel == "sorted")).collect();
+        let labels: Vec<&str> = algos
+            .iter()
+            .map(|&a| panel_label(a, panel == "sorted"))
+            .collect();
         let mut times: Vec<Vec<Option<f64>>> = vec![Vec::new(); algos.len()];
         for p in &suite {
             let m = if panel == "sorted" {
@@ -46,7 +58,10 @@ fn main() {
         let thetas = profiles::default_thetas();
         for (s, label) in labels.iter().enumerate() {
             for &theta in &thetas {
-                println!("{panel}\t{label}\t{theta:.1}\t{:.3}", prof.fraction_within(s, theta));
+                println!(
+                    "{panel}\t{label}\t{theta:.1}\t{:.3}",
+                    prof.fraction_within(s, theta)
+                );
             }
         }
         // headline stats

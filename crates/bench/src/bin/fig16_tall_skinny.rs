@@ -18,14 +18,22 @@ use spgemm_gen::{perm, rmat, tallskinny, RmatKind};
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
     let long_max = args.scale_or(13); // paper: 18..20
     let ef = args.ef_or(16);
     println!("# fig16: square x tall-skinny (G500, EF {ef})");
     println!("long_scale\tpanel\talgorithm\tshort_scale\tmflops");
 
     for long_scale in [long_max.saturating_sub(1), long_max] {
-        let a = rmat::generate_kind(RmatKind::G500, long_scale, ef, &mut spgemm_gen::rng(args.seed));
+        let a = rmat::generate_kind(
+            RmatKind::G500,
+            long_scale,
+            ef,
+            &mut spgemm_gen::rng(args.seed),
+        );
         // paper: short scales 10/12/14/16 under long 18..20 — i.e. the
         // four even scales below long-2; same spacing here.
         let mut shorts: Vec<u32> = (4..=long_scale.saturating_sub(2)).step_by(2).collect();
@@ -37,8 +45,7 @@ fn main() {
             let ts = tallskinny::tall_skinny(&a, k, &mut spgemm_gen::rng(args.seed ^ short as u64))
                 .expect("tall-skinny sample");
             for algo in sorted_panel() {
-                match runner::time_multiply(&a, &ts, algo, OutputOrder::Sorted, &pool, args.reps)
-                {
+                match runner::time_multiply(&a, &ts, algo, OutputOrder::Sorted, &pool, args.reps) {
                     Ok(m) => println!(
                         "{long_scale}\tsorted\t{}\t{short}\t{:.1}",
                         panel_label(algo, true),
@@ -56,13 +63,20 @@ fn main() {
             // requires permuting B's rows to keep the product equal.
             let row_perm: Vec<usize> = {
                 // reconstruct the same permutation used above
-                let p = perm::random_col_permutation(a.ncols(), &mut spgemm_gen::rng(args.seed ^ 0xff));
+                let p =
+                    perm::random_col_permutation(a.ncols(), &mut spgemm_gen::rng(args.seed ^ 0xff));
                 p.into_iter().map(|x| x as usize).collect()
             };
             let uts = spgemm_sparse::ops::permute_rows(&ts, &row_perm).expect("permute rows");
             for algo in unsorted_panel() {
-                match runner::time_multiply(&ua, &uts, algo, OutputOrder::Unsorted, &pool, args.reps)
-                {
+                match runner::time_multiply(
+                    &ua,
+                    &uts,
+                    algo,
+                    OutputOrder::Unsorted,
+                    &pool,
+                    args.reps,
+                ) {
                     Ok(m) => println!(
                         "{long_scale}\tunsorted\t{}\t{short}\t{:.1}",
                         panel_label(algo, false),

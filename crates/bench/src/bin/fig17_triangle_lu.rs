@@ -18,8 +18,15 @@ use spgemm_sparse::ops;
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
-    let divisor = if args.quick { args.divisor.max(512) } else { args.divisor };
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
+    let divisor = if args.quick {
+        args.divisor.max(512)
+    } else {
+        args.divisor
+    };
     let suite = spgemm_bench::suites::load(args.suitesparse.as_deref(), divisor, args.seed);
     println!("# fig17: L*U (triangle counting) over the suite (divisor {divisor})");
     println!("algorithm\tmatrix\tcompression_ratio\tmflops");

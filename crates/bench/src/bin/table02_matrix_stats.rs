@@ -14,13 +14,29 @@ use spgemm_sparse::{stats, PlusTimes};
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
-    let divisor = if args.quick { args.divisor.max(512) } else { args.divisor };
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
+    let divisor = if args.quick {
+        args.divisor.max(512)
+    } else {
+        args.divisor
+    };
     let suite = spgemm_bench::suites::load(args.suitesparse.as_deref(), divisor, args.seed);
     println!("# table02: suite statistics (stand-in divisor {divisor}); paper columns in millions");
     println!(
         "{:<18} {:>9} {:>10} {:>12} {:>12} {:>8} | {:>7} {:>9} {:>10} {:>9}",
-        "matrix", "n", "nnz", "flop(A2)", "nnz(A2)", "CR", "paper_n", "paper_nnz", "paper_flop", "paper_CR"
+        "matrix",
+        "n",
+        "nnz",
+        "flop(A2)",
+        "nnz(A2)",
+        "CR",
+        "paper_n",
+        "paper_nnz",
+        "paper_flop",
+        "paper_CR"
     );
     for p in &suite {
         let a = &p.matrix;

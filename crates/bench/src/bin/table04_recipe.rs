@@ -9,8 +9,8 @@
 use spgemm::{recipe, Algorithm, OutputOrder};
 use spgemm_bench::{args::BenchArgs, runner};
 use spgemm_gen::{perm, rmat, tallskinny, RmatKind};
-use spgemm_sparse::Csr;
 use spgemm_par::Pool;
+use spgemm_sparse::Csr;
 
 fn winner(
     a: &Csr<f64>,
@@ -41,7 +41,10 @@ fn winner(
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    print!("{}", spgemm_bench::envinfo::environment_banner(pool.nthreads()));
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
     let scale = args.scale_or(12);
     println!("# table04b analogue: synthetic scenarios at scale {scale}; winner on this machine vs paper recipe");
     println!(
@@ -50,27 +53,32 @@ fn main() {
     );
 
     for kind in [RmatKind::Er, RmatKind::G500] {
-        let pattern =
-            if kind == RmatKind::Er { recipe::Pattern::Uniform } else { recipe::Pattern::Skewed };
+        let pattern = if kind == RmatKind::Er {
+            recipe::Pattern::Uniform
+        } else {
+            recipe::Pattern::Skewed
+        };
         for ef in [4usize, 16] {
             let a = rmat::generate_kind(kind, scale, ef, &mut spgemm_gen::rng(args.seed));
             let ua = perm::randomize_columns(&a, &mut spgemm_gen::rng(args.seed ^ 1));
-            for (order, m) in
-                [(OutputOrder::Sorted, &a), (OutputOrder::Unsorted, &ua)]
-            {
+            for (order, m) in [(OutputOrder::Sorted, &a), (OutputOrder::Unsorted, &ua)] {
                 let (w, _) = winner(m, m, order, &pool, args.reps);
-                let paper = recipe::recommend_synthetic(
-                    recipe::OpKind::Square,
-                    pattern,
-                    ef as f64,
-                    order,
-                );
+                let paper =
+                    recipe::recommend_synthetic(recipe::OpKind::Square, pattern, ef as f64, order);
                 println!(
                     "{:<12} {:>8} {:>9} {:>10} {:>12} {:>12}",
                     "AxA",
-                    if pattern == recipe::Pattern::Uniform { "uniform" } else { "skewed" },
+                    if pattern == recipe::Pattern::Uniform {
+                        "uniform"
+                    } else {
+                        "skewed"
+                    },
                     if ef <= 8 { "sparse" } else { "dense" },
-                    if order.is_sorted() { "sorted" } else { "unsorted" },
+                    if order.is_sorted() {
+                        "sorted"
+                    } else {
+                        "unsorted"
+                    },
                     w.name(),
                     paper.name()
                 );
@@ -95,7 +103,11 @@ fn main() {
             "TallSkinny",
             "skewed",
             "dense",
-            if order.is_sorted() { "sorted" } else { "unsorted" },
+            if order.is_sorted() {
+                "sorted"
+            } else {
+                "unsorted"
+            },
             w.name(),
             paper.name()
         );

@@ -1,0 +1,164 @@
+//! Calibrate this machine's SpGEMM algorithm selection and persist
+//! the profile `Algorithm::Auto` will use.
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin tune [--scale N] [--reps N]
+//!     [--threads N] [--seed N] [--quick] [--report] [--suite] [--no-save]
+//! ```
+//!
+//! Default mode runs the calibration sweep, prints each cell's winner,
+//! and saves the profile (under `SPGEMM_TUNE_DIR` or the user cache
+//! directory, keyed by hostname and thread count). Extra modes:
+//!
+//! * `--report` — skip the sweep; load and pretty-print the saved
+//!   profile for this host/thread-count;
+//! * `--suite` — after obtaining a profile (fresh or saved), run the
+//!   static vs tuned vs oracle comparison on freshly drawn inputs;
+//! * `--no-save` — calibrate without touching the profile store.
+
+use spgemm_bench::{args::BenchArgs, envinfo, tunesuite};
+use spgemm_tune::{CalibrationConfig, MachineProfile, SweepRecord, TunedSelector};
+
+fn main() {
+    // Split our flags from the common BenchArgs ones.
+    let mut report_only = false;
+    let mut run_suite = false;
+    let mut no_save = false;
+    let reps_given = std::env::args().any(|a| a == "--reps");
+    let rest: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|arg| match arg.as_str() {
+            "--report" => {
+                report_only = true;
+                false
+            }
+            "--suite" => {
+                run_suite = true;
+                false
+            }
+            "--no-save" => {
+                no_save = true;
+                false
+            }
+            _ => true,
+        })
+        .collect();
+    let args = BenchArgs::from_iter(rest);
+    let pool = args.pool();
+    println!("{}", envinfo::environment_banner(pool.nthreads()));
+
+    let profile: MachineProfile = if report_only {
+        match spgemm_tune::store::load(pool.nthreads()) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!(
+                    "no profile for {} at {} threads: {e}\nrun without --report to calibrate",
+                    spgemm_tune::store::hostname(),
+                    pool.nthreads()
+                );
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let mut cfg = if args.quick {
+            CalibrationConfig::quick()
+        } else {
+            CalibrationConfig::default()
+        };
+        if let Some(scale) = args.scale {
+            cfg.scale = scale;
+        }
+        // Respect --reps when given; otherwise keep the mode's own
+        // default (quick() uses 1 rep, the full sweep 3).
+        if reps_given {
+            cfg.reps = args.reps;
+        }
+        cfg.seed = args.seed;
+        println!(
+            "calibrating: scale {} (2^{} rows), edge factors {:?}, {} reps\n",
+            cfg.scale, cfg.scale, cfg.edge_factors, cfg.reps
+        );
+        let (profile, records) = spgemm_tune::calibrate_with_report(&cfg, &pool);
+        print_records(&records);
+        if no_save {
+            println!("(not saved: --no-save)");
+        } else {
+            match spgemm_tune::store::save(&profile) {
+                Ok(path) => println!("profile saved to {}", path.display()),
+                Err(e) => eprintln!("could not save profile: {e}"),
+            }
+        }
+        profile
+    };
+
+    print_profile(&profile);
+
+    if run_suite {
+        println!("\n=== static vs tuned vs oracle (fresh inputs) ===");
+        let selector = TunedSelector::new(profile);
+        let scale = args.scale_or(if args.quick { 6 } else { 9 });
+        let inputs = tunesuite::default_inputs(scale, args.seed ^ 0x5u64);
+        let rows = tunesuite::compare(&inputs, Some(&selector), &pool, args.reps);
+        print!("{}", tunesuite::render(&rows));
+    }
+}
+
+fn print_records(records: &[SweepRecord]) {
+    for rec in records {
+        let mut line = format!("{:<40}", rec.label);
+        let best = rec
+            .timings
+            .iter()
+            .min_by(|(_, x), (_, y)| x.total_cmp(y))
+            .map(|&(a, s)| (a, s));
+        if let Some((algo, secs)) = best {
+            line.push_str(&format!(
+                " fastest {:<10} {:>9.3} ms",
+                algo.name(),
+                secs * 1e3
+            ));
+        }
+        println!("{line}");
+    }
+    println!();
+}
+
+fn print_profile(profile: &MachineProfile) {
+    println!(
+        "profile: host {}, {} threads, collision factor c = {:.4}, rows {}..{}",
+        profile.hostname,
+        profile.threads,
+        profile.collision_factor,
+        profile.bounds.nrows_min,
+        profile.bounds.nrows_max
+    );
+    println!(
+        "{:<12} {:<8} {:<4} {:<9} {:<9} winner (runner-up)",
+        "op", "pattern", "ef", "inputs", "output"
+    );
+    for cell in &profile.cells {
+        let runner_up = cell
+            .ranking
+            .get(1)
+            .map(|s| format!(" ({} {:.2}x)", s.algo.name(), s.rel_slowdown))
+            .unwrap_or_default();
+        println!(
+            "{:<12} {:<8} 2^{:<2} {:<9} {:<9} {}{}",
+            spgemm_tune::op_name(cell.key.op),
+            spgemm_tune::pattern_name(cell.key.pattern),
+            cell.key.ef_bucket,
+            if cell.key.sorted_inputs {
+                "sorted"
+            } else {
+                "shuffled"
+            },
+            if cell.key.order.is_sorted() {
+                "sorted"
+            } else {
+                "unsorted"
+            },
+            cell.winner.name(),
+            runner_up
+        );
+    }
+}

@@ -8,7 +8,11 @@ pub fn environment_banner(pool_threads: usize) -> String {
     let _ = writeln!(s, "# environment (paper Table 3 analogue)");
     let _ = writeln!(s, "#   arch: {}", std::env::consts::ARCH);
     let _ = writeln!(s, "#   os: {}", std::env::consts::OS);
-    let _ = writeln!(s, "#   hardware threads: {}", spgemm_par::hardware_threads());
+    let _ = writeln!(
+        s,
+        "#   hardware threads: {}",
+        spgemm_par::hardware_threads()
+    );
     let _ = writeln!(s, "#   pool threads: {pool_threads}");
     let _ = writeln!(s, "#   simd probing: {}", detected_simd());
     let _ = writeln!(s, "#   memory: {}", memory_summary());
@@ -32,7 +36,10 @@ fn memory_summary() -> String {
                     .ok()
             };
             match get("MemTotal:") {
-                Some(kb) => format!("{:.1} GiB DDR (no MCDRAM: Cache mode is modeled)", kb as f64 / 1048576.0),
+                Some(kb) => format!(
+                    "{:.1} GiB DDR (no MCDRAM: Cache mode is modeled)",
+                    kb as f64 / 1048576.0
+                ),
                 None => "unknown".to_string(),
             }
         }

@@ -8,7 +8,9 @@
 //! * [`runner`] — timed multiplies and MFLOPS accounting;
 //! * [`profiles`] — Dolan–Moré performance profiles (Figure 15);
 //! * [`suites`] — the SuiteSparse stand-in catalog (or real `.mtx`
-//!   files when `--suitesparse DIR` is given).
+//!   files when `--suitesparse DIR` is given);
+//! * [`tunesuite`] — the static-recipe vs tuned-selector vs
+//!   best-oracle comparison behind `tune --suite`.
 //!
 //! Defaults are scaled to finish on a small container; every binary
 //! accepts overrides to approach the paper's full sizes on bigger
@@ -22,6 +24,7 @@ pub mod envinfo;
 pub mod profiles;
 pub mod runner;
 pub mod suites;
+pub mod tunesuite;
 
 /// The algorithm roster of a "sorted" comparison panel, in the order
 /// the paper's figures list them: MKL(≈Merge), Heap, Hash, HashVector.

@@ -36,7 +36,10 @@ pub fn build(solvers: &[&str], times: &[Vec<Option<f64>>]) -> Profile {
             }
         }
     }
-    Profile { solvers: solvers.iter().map(|s| s.to_string()).collect(), ratios }
+    Profile {
+        solvers: solvers.iter().map(|s| s.to_string()).collect(),
+        ratios,
+    }
 }
 
 impl Profile {

@@ -62,7 +62,11 @@ pub fn time_multiply(
         std::hint::black_box(c.nnz());
     }
     times.sort_by(|x, y| x.total_cmp(y));
-    Ok(Measurement { secs: times[times.len() / 2], flop, nnz_out })
+    Ok(Measurement {
+        secs: times[times.len() / 2],
+        flop,
+        nnz_out,
+    })
 }
 
 /// Format one figure row: `series label, x, MFLOPS`.
@@ -76,7 +80,11 @@ mod tests {
 
     #[test]
     fn measurement_math() {
-        let m = Measurement { secs: 0.5, flop: 1_000_000, nnz_out: 250_000 };
+        let m = Measurement {
+            secs: 0.5,
+            flop: 1_000_000,
+            nnz_out: 250_000,
+        };
         assert!((m.mflops() - 4.0).abs() < 1e-9);
         assert!((m.compression_ratio() - 4.0).abs() < 1e-9);
     }
@@ -107,7 +115,14 @@ mod tests {
         );
         let unsorted = spgemm_gen::perm::randomize_columns(&a, &mut spgemm_gen::rng(3));
         let pool = Pool::new(1);
-        let r = time_multiply(&unsorted, &unsorted, Algorithm::Heap, OutputOrder::Sorted, &pool, 1);
+        let r = time_multiply(
+            &unsorted,
+            &unsorted,
+            Algorithm::Heap,
+            OutputOrder::Sorted,
+            &pool,
+            1,
+        );
         assert!(r.is_err());
     }
 }

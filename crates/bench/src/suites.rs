@@ -20,7 +20,10 @@ pub fn load(dir: Option<&Path>, divisor: usize, seed: u64) -> Vec<Problem> {
         Some(d) => load_matrix_market_dir(d),
         None => spgemm_gen::suite::standin_suite(divisor, seed)
             .into_iter()
-            .map(|(name, matrix)| Problem { name: name.to_string(), matrix })
+            .map(|(name, matrix)| Problem {
+                name: name.to_string(),
+                matrix,
+            })
             .collect(),
     }
 }
@@ -43,7 +46,11 @@ pub fn load_matrix_market_dir(dir: &Path) -> Vec<Problem> {
         }
         match spgemm_sparse::io::read_matrix_market(&path) {
             Ok(m) => out.push(Problem {
-                name: path.file_stem().unwrap_or_default().to_string_lossy().into_owned(),
+                name: path
+                    .file_stem()
+                    .unwrap_or_default()
+                    .to_string_lossy()
+                    .into_owned(),
                 matrix: m,
             }),
             Err(e) => eprintln!("warning: skipping {}: {e}", path.display()),

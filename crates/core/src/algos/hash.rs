@@ -128,7 +128,11 @@ impl<S: Semiring> HashAccumulator<S> {
     #[inline]
     pub fn insert_numeric(&mut self, col: ColIdx, value: S::Elem) {
         let (slot, inserted) = self.probe_insert(col);
-        self.vals[slot] = if inserted { value } else { S::add(self.vals[slot], value) };
+        self.vals[slot] = if inserted {
+            value
+        } else {
+            S::add(self.vals[slot], value)
+        };
     }
 
     /// Clear only the slots used by the current row, keeping the
@@ -345,7 +349,14 @@ mod tests {
         let a = Csr::from_triplets(
             4,
             4,
-            &[(0, 0, 2.0), (0, 3, 1.0), (1, 1, -1.0), (2, 0, 4.0), (2, 2, 0.5), (3, 3, 3.0)],
+            &[
+                (0, 0, 2.0),
+                (0, 3, 1.0),
+                (1, 1, -1.0),
+                (2, 0, 4.0),
+                (2, 2, 0.5),
+                (3, 3, 3.0),
+            ],
         )
         .unwrap();
         check_against_reference(&a, &a);

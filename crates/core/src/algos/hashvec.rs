@@ -107,7 +107,11 @@ impl<S: Semiring> HashVecAccumulator<S> {
     #[inline]
     pub fn insert_numeric(&mut self, col: ColIdx, value: S::Elem) {
         let (slot, inserted) = self.probe_insert(col);
-        self.vals[slot] = if inserted { value } else { S::add(self.vals[slot], value) };
+        self.vals[slot] = if inserted {
+            value
+        } else {
+            S::add(self.vals[slot], value)
+        };
     }
 
     /// Clear the current row's slots, keeping the allocation.

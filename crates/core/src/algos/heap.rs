@@ -44,7 +44,11 @@ impl<S: Semiring> HeapKernel<S> {
                 break;
             }
             let r = l + 1;
-            let smallest = if r < len && self.heap[r].col < self.heap[l].col { r } else { l };
+            let smallest = if r < len && self.heap[r].col < self.heap[l].col {
+                r
+            } else {
+                l
+            };
             if self.heap[smallest].col < self.heap[at].col {
                 self.heap.swap(at, smallest);
                 at = smallest;
@@ -81,7 +85,12 @@ impl<S: Semiring> StagedRowKernel<S> for HeapKernel<S> {
         for (&k, &aval) in a.row_cols(i).iter().zip(a.row_vals(i)) {
             let r = b.row_range(k as usize);
             if !r.is_empty() {
-                self.heap.push(Cursor { col: b.cols()[r.start], pos: r.start, end: r.end, aval });
+                self.heap.push(Cursor {
+                    col: b.cols()[r.start],
+                    pos: r.start,
+                    end: r.end,
+                    aval,
+                });
             }
         }
         self.heapify();
@@ -130,7 +139,10 @@ impl<S: Semiring> StagedKernelFactory<S> for HeapFactory {
 /// Heap SpGEMM. Inputs must have sorted rows (checked by the caller,
 /// [`crate::multiply_in`]); output rows are sorted by construction.
 pub fn multiply<S: Semiring>(a: &Csr<S::Elem>, b: &Csr<S::Elem>, pool: &Pool) -> Csr<S::Elem> {
-    debug_assert!(a.is_sorted() && b.is_sorted(), "heap requires sorted inputs");
+    debug_assert!(
+        a.is_sorted() && b.is_sorted(),
+        "heap requires sorted inputs"
+    );
     exec::one_phase_staged::<S, _>(a, b, pool, &HeapFactory, true)
 }
 
@@ -158,7 +170,14 @@ mod tests {
         let a = Csr::from_triplets(
             4,
             4,
-            &[(0, 1, 1.0), (0, 2, 2.0), (1, 0, 3.0), (2, 3, 4.0), (3, 0, 5.0), (3, 3, 6.0)],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 0, 3.0),
+                (2, 3, 4.0),
+                (3, 0, 5.0),
+                (3, 3, 6.0),
+            ],
         )
         .unwrap();
         check(&a, &a);

@@ -118,7 +118,13 @@ mod tests {
         let a = Csr::from_triplets(
             4,
             4,
-            &[(0, 3, 1.0), (1, 0, 2.0), (1, 2, 3.0), (2, 2, 4.0), (3, 1, 5.0)],
+            &[
+                (0, 3, 1.0),
+                (1, 0, 2.0),
+                (1, 2, 3.0),
+                (2, 2, 4.0),
+                (3, 1, 5.0),
+            ],
         )
         .unwrap();
         let expect = reference::multiply::<P>(&a, &a);

@@ -32,7 +32,8 @@ impl<S: Semiring> StagedRowKernel<S> for InspectorKernel<S> {
         let start = cols.len();
         cols.resize(start + n, 0);
         vals.resize(start + n, S::zero());
-        self.acc.extract_into(&mut cols[start..], &mut vals[start..], false);
+        self.acc
+            .extract_into(&mut cols[start..], &mut vals[start..], false);
         n
     }
 }
@@ -42,7 +43,9 @@ struct InspectorFactory;
 impl<S: Semiring> StagedKernelFactory<S> for InspectorFactory {
     type Kernel = InspectorKernel<S>;
     fn make(&self, max_row_flop: usize, _inner: usize, ncols_b: usize) -> Self::Kernel {
-        InspectorKernel { acc: HashAccumulator::new(max_row_flop, ncols_b) }
+        InspectorKernel {
+            acc: HashAccumulator::new(max_row_flop, ncols_b),
+        }
     }
 }
 
@@ -64,7 +67,14 @@ mod tests {
         let a = Csr::from_triplets(
             5,
             5,
-            &[(0, 1, 1.0), (1, 2, 2.0), (1, 4, 3.0), (2, 0, 4.0), (3, 3, 5.0), (4, 1, 6.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (1, 4, 3.0),
+                (2, 0, 4.0),
+                (3, 3, 5.0),
+                (4, 1, 6.0),
+            ],
         )
         .unwrap();
         let expect = reference::multiply::<P>(&a, &a);

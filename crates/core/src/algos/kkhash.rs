@@ -95,7 +95,11 @@ impl<S: Semiring> KkHashAccumulator<S> {
     #[inline]
     pub fn insert_numeric(&mut self, col: ColIdx, value: S::Elem) {
         let (idx, inserted) = self.probe_insert(col);
-        self.vals[idx] = if inserted { value } else { S::add(self.vals[idx], value) };
+        self.vals[idx] = if inserted {
+            value
+        } else {
+            S::add(self.vals[idx], value)
+        };
     }
 
     /// O(touched) reset keeping all allocations.
@@ -112,8 +116,12 @@ impl<S: Semiring> KkHashAccumulator<S> {
         debug_assert_eq!(cols.len(), self.used);
         if sorted {
             self.sort_buf.clear();
-            self.sort_buf
-                .extend(self.keys[..self.used].iter().copied().zip(self.vals[..self.used].iter().copied()));
+            self.sort_buf.extend(
+                self.keys[..self.used]
+                    .iter()
+                    .copied()
+                    .zip(self.vals[..self.used].iter().copied()),
+            );
             self.sort_buf.sort_unstable_by_key(|&(c, _)| c);
             for (idx, &(c, v)) in self.sort_buf.iter().enumerate() {
                 cols[idx] = c;
@@ -224,7 +232,14 @@ mod tests {
         let a = Csr::from_triplets(
             5,
             5,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 4, 3.0), (2, 1, 4.0), (3, 3, 5.0), (4, 0, 6.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 4, 3.0),
+                (2, 1, 4.0),
+                (3, 3, 5.0),
+                (4, 0, 6.0),
+            ],
         )
         .unwrap();
         let expect = reference::multiply::<P>(&a, &a);

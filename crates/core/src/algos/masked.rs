@@ -147,7 +147,13 @@ pub fn multiply_masked<S: Semiring, M: Copy + Send + Sync>(
             op: "multiply_masked (mask shape)",
         });
     }
-    Ok(exec::two_phase::<S, _>(a, b, order, pool, &MaskedFactory { mask }))
+    Ok(exec::two_phase::<S, _>(
+        a,
+        b,
+        order,
+        pool,
+        &MaskedFactory { mask },
+    ))
 }
 
 #[cfg(test)]
@@ -169,8 +175,7 @@ mod tests {
         // mask: the matrix's own pattern (the triangle-counting shape)
         let mask = a.map(|_| 1.0f64);
         let pool = Pool::new(2);
-        let masked =
-            multiply_masked::<P, f64>(&a, &a, &mask, OutputOrder::Sorted, &pool).unwrap();
+        let masked = multiply_masked::<P, f64>(&a, &a, &mask, OutputOrder::Sorted, &pool).unwrap();
         let full = reference::multiply::<P>(&a, &a);
         let expect = ops::hadamard(&full, &mask).unwrap();
         // hadamard multiplies values by the mask's (all-one) values

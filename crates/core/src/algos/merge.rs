@@ -68,7 +68,8 @@ impl<S: Semiring> MergeAccumulator<S> {
             }
             if s + 1 < self.segs.len() {
                 // odd segment carried to the next round
-                self.pong.extend_from_slice(&self.ping[self.segs[s]..self.segs[s + 1]]);
+                self.pong
+                    .extend_from_slice(&self.ping[self.segs[s]..self.segs[s + 1]]);
                 self.segs_next.push(self.pong.len());
             }
             std::mem::swap(&mut self.ping, &mut self.pong);
@@ -145,7 +146,10 @@ impl<S: Semiring> AccumulatorFactory<S> for MergeFactory {
 /// Merge SpGEMM. Inputs must be sorted (checked by
 /// [`crate::multiply_in`]); output is sorted by construction.
 pub fn multiply<S: Semiring>(a: &Csr<S::Elem>, b: &Csr<S::Elem>, pool: &Pool) -> Csr<S::Elem> {
-    debug_assert!(a.is_sorted() && b.is_sorted(), "merge requires sorted inputs");
+    debug_assert!(
+        a.is_sorted() && b.is_sorted(),
+        "merge requires sorted inputs"
+    );
     exec::two_phase::<S, _>(a, b, OutputOrder::Sorted, pool, &MergeFactory)
 }
 
@@ -191,7 +195,14 @@ mod tests {
         let a = Csr::from_triplets(
             4,
             4,
-            &[(0, 0, 1.0), (0, 1, 2.0), (0, 3, 3.0), (1, 2, 4.0), (2, 0, 5.0), (3, 1, 6.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 1, 2.0),
+                (0, 3, 3.0),
+                (1, 2, 4.0),
+                (2, 0, 5.0),
+                (3, 1, 6.0),
+            ],
         )
         .unwrap();
         check(&a, &a);

@@ -207,7 +207,11 @@ mod tests {
         for level in levels_available() {
             let w = level.width();
             let full: Vec<i32> = (0..w as i32).collect();
-            assert_eq!(probe_chunk(level, &full, 999), ChunkProbe::Full, "{level:?}");
+            assert_eq!(
+                probe_chunk(level, &full, 999),
+                ChunkProbe::Full,
+                "{level:?}"
+            );
         }
     }
 
@@ -216,7 +220,9 @@ mod tests {
         // exhaustive-ish cross-validation on random chunks
         let mut seed = 0x12345678u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as i32
         };
         for level in levels_available() {

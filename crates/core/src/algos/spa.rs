@@ -189,7 +189,14 @@ mod tests {
         let a = Csr::from_triplets(
             4,
             4,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 1, 4.0), (3, 0, 5.0), (3, 2, 6.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 3, 3.0),
+                (2, 1, 4.0),
+                (3, 0, 5.0),
+                (3, 2, 6.0),
+            ],
         )
         .unwrap();
         let expect = reference::multiply::<P>(&a, &a);

@@ -30,7 +30,11 @@ pub struct CostEstimate {
 impl CostEstimate {
     /// The cheaper of heap vs hash for the requested output order.
     pub fn prefers_hash(&self, sorted_output: bool) -> bool {
-        let hash = if sorted_output { self.hash_sorted } else { self.hash_unsorted };
+        let hash = if sorted_output {
+            self.hash_sorted
+        } else {
+            self.hash_unsorted
+        };
         hash <= self.heap
     }
 }
@@ -62,13 +66,18 @@ where
     let flop: u64 = row_flops.iter().sum();
     let mut heap = 0.0f64;
     let mut sort = 0.0f64;
-    for i in 0..a.nrows() {
-        heap += row_flops[i] as f64 * log2_ceil(a.row_nnz(i) as u64);
+    for (i, &rf) in row_flops.iter().enumerate() {
+        heap += rf as f64 * log2_ceil(a.row_nnz(i) as u64);
         let nnz_ci = c.row_nnz(i) as u64;
         sort += nnz_ci as f64 * log2_ceil(nnz_ci);
     }
     let probe = flop as f64 * collision_factor;
-    CostEstimate { heap, hash_sorted: probe + sort, hash_unsorted: probe, flop }
+    CostEstimate {
+        heap,
+        hash_sorted: probe + sort,
+        hash_unsorted: probe,
+        flop,
+    }
 }
 
 /// Evaluate Eqs (1)–(2) *a priori*, before the output structure is
@@ -83,13 +92,18 @@ where
     let flop: u64 = row_flops.iter().sum();
     let mut heap = 0.0f64;
     let mut sort = 0.0f64;
-    for i in 0..a.nrows() {
-        heap += row_flops[i] as f64 * log2_ceil(a.row_nnz(i) as u64);
-        let est_nnz = ((row_flops[i] / 2).min(b.ncols() as u64)).max(u64::from(row_flops[i] > 0));
+    for (i, &rf) in row_flops.iter().enumerate() {
+        heap += rf as f64 * log2_ceil(a.row_nnz(i) as u64);
+        let est_nnz = ((rf / 2).min(b.ncols() as u64)).max(u64::from(rf > 0));
         sort += est_nnz as f64 * log2_ceil(est_nnz);
     }
     let probe = flop as f64 * collision_factor;
-    CostEstimate { heap, hash_sorted: probe + sort, hash_unsorted: probe, flop }
+    CostEstimate {
+        heap,
+        hash_sorted: probe + sort,
+        hash_unsorted: probe,
+        flop,
+    }
 }
 
 /// Empirically measure the collision factor `c` of Eq (2) for

@@ -41,12 +41,19 @@ pub fn plan<A: Copy + Send + Sync, B: Copy + Send + Sync>(
     let n = a.nrows();
     let mut row_flops = vec![0u64; n];
     scan::parallel_fill(pool, &mut row_flops, |i| {
-        a.row_cols(i).iter().map(|&k| b.row_nnz(k as usize) as u64).sum()
+        a.row_cols(i)
+            .iter()
+            .map(|&k| b.row_nnz(k as usize) as u64)
+            .sum()
     });
     let mut prefix = row_flops.clone();
     let offsets = partition::balanced_offsets_in_place(&mut prefix, pool.nthreads(), pool);
     let total_flop = prefix.last().copied().unwrap_or(0);
-    MultiplyStats { row_flops, total_flop, offsets }
+    MultiplyStats {
+        row_flops,
+        total_flop,
+        offsets,
+    }
 }
 
 /// A per-thread accumulator driving one output row at a time.
@@ -109,8 +116,7 @@ pub(crate) fn two_phase<S: Semiring, F: AccumulatorFactory<S>>(
             if range.is_empty() {
                 return;
             }
-            let mut acc =
-                factory.make(max_flop_in(&stats.row_flops, range.clone()), inner, width);
+            let mut acc = factory.make(max_flop_in(&stats.row_flops, range.clone()), inner, width);
             for i in range {
                 let cnt = acc.symbolic_row(a, b, i) as u64;
                 // SAFETY: row `i` belongs to exactly one thread's range.
@@ -134,14 +140,12 @@ pub(crate) fn two_phase<S: Semiring, F: AccumulatorFactory<S>>(
             if range.is_empty() {
                 return;
             }
-            let mut acc =
-                factory.make(max_flop_in(&stats.row_flops, range.clone()), inner, width);
+            let mut acc = factory.make(max_flop_in(&stats.row_flops, range.clone()), inner, width);
             for i in range {
                 let span = rpts_ref[i]..rpts_ref[i + 1];
                 // SAFETY: row spans are disjoint across threads by
                 // construction of `rpts` and the contiguous partition.
-                let (c, v) =
-                    unsafe { (cols_s.slice_mut(span.clone()), vals_s.slice_mut(span)) };
+                let (c, v) = unsafe { (cols_s.slice_mut(span.clone()), vals_s.slice_mut(span)) };
                 acc.numeric_row(a, b, i, c, v, order.is_sorted());
             }
         });
@@ -195,8 +199,10 @@ pub(crate) fn one_phase_staged<S: Semiring, F: StagedKernelFactory<S>>(
     let nt = pool.nthreads();
 
     // Thread-private staging, allocated and filled inside the region.
-    let staged: Vec<parking_lot::Mutex<(Vec<ColIdx>, Vec<S::Elem>)>> =
-        (0..nt).map(|_| parking_lot::Mutex::new((Vec::new(), Vec::new()))).collect();
+    type Staged<E> = Vec<parking_lot::Mutex<(Vec<ColIdx>, Vec<E>)>>;
+    let staged: Staged<S::Elem> = (0..nt)
+        .map(|_| parking_lot::Mutex::new((Vec::new(), Vec::new())))
+        .collect();
     let mut counts64 = vec![0u64; n + 1];
     {
         let cnt = SharedMutSlice::new(&mut counts64[..]);
@@ -283,12 +289,8 @@ mod tests {
 
     #[test]
     fn plan_flop_matches_stats_crate() {
-        let a = Csr::from_triplets(
-            3,
-            3,
-            &[(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)],
-        )
-        .unwrap();
+        let a = Csr::from_triplets(3, 3, &[(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+            .unwrap();
         let pool = Pool::new(2);
         let st = plan(&a, &a, &pool);
         assert_eq!(st.total_flop, spgemm_sparse::stats::flop(&a, &a));

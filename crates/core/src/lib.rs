@@ -23,7 +23,7 @@
 //! | `Heap`        | Heap (§4.2.3) | 1 | column-indexed binary heap | sorted / sorted |
 //! | `Spa`         | MKL stand-in (unsorted runs) | 2 | dense sparse accumulator | any / selectable |
 //! | `Merge`       | MKL stand-in (sorted runs) | 2 | iterative sorted-row merging | sorted / sorted |
-//! | `Inspector`   | MKL-inspector stand-in | 1 | hash table, no symbolic phase | any / unsorted |
+//! | `Inspector`   | MKL-inspector stand-in | 1 | hash table, no symbolic phase | any / unsorted natively, sorted via post-sort |
 //! | `KkHash`      | KokkosKernels `kkmem` stand-in | 2 | chained (linked-list) hash map | any / selectable |
 //! | `Ikj`         | Sulatycke–Ghose IKJ (§2) | 2 | dense row scan + SPA | any / selectable |
 //! | `Reference`   | correctness oracle | 1 | `BTreeMap`, sequential | any / sorted |
@@ -57,7 +57,9 @@ use spgemm_sparse::{Csr, PlusTimes, Semiring, SparseError};
 ///
 /// Validates shapes and each algorithm's input-sortedness contract
 /// (see the table in the crate docs); `Algorithm::Auto` consults
-/// [`recipe`].
+/// [`recipe`] — first the tuned-selector hook if one is installed
+/// (see [`recipe::set_auto_hook`] and the `spgemm-tune` crate), then
+/// the static Table-4 recipe.
 pub fn multiply_in<S: Semiring>(
     a: &Csr<S::Elem>,
     b: &Csr<S::Elem>,
@@ -92,7 +94,19 @@ pub fn multiply_in<S: Semiring>(
             }
             Ok(algos::merge::multiply::<S>(a, b, pool))
         }
-        Algorithm::Inspector => Ok(algos::inspector::multiply::<S>(a, b, pool)),
+        Algorithm::Inspector => {
+            let mut c = algos::inspector::multiply::<S>(a, b, pool);
+            // Inspector's one-phase kernel is inherently unsorted;
+            // honour an explicit Sorted request by paying the sort
+            // here instead of silently returning unsorted rows. (The
+            // Auto paths never pick Inspector for sorted output — see
+            // `recipe::pick_admissible` — precisely because the extra
+            // sort forfeits its advantage.)
+            if order.is_sorted() {
+                c.sort_rows();
+            }
+            Ok(c)
+        }
         Algorithm::KkHash => Ok(algos::kkhash::multiply::<S>(a, b, order, pool)),
         Algorithm::Ikj => Ok(algos::ikj::multiply::<S>(a, b, order, pool)),
         Algorithm::Reference => Ok(algos::reference::multiply::<S>(a, b)),
@@ -135,7 +149,11 @@ where
     B: Copy + Send + Sync,
 {
     use spgemm_par::unsync::SharedMutSlice;
-    assert_eq!(a.ncols(), b.nrows(), "product_nnz: inner dimension mismatch");
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "product_nnz: inner dimension mismatch"
+    );
     let stats = exec_plan(a, b, pool);
     let n = a.nrows();
     let mut counts = vec![0u64; n];
@@ -146,10 +164,8 @@ where
             if range.is_empty() {
                 return;
             }
-            let max_flop =
-                row_flops[range.clone()].iter().copied().max().unwrap_or(0) as usize;
-            let mut acc =
-                algos::hash::HashAccumulator::<PlusTimes<f64>>::new(max_flop, b.ncols());
+            let max_flop = row_flops[range.clone()].iter().copied().max().unwrap_or(0) as usize;
+            let mut acc = algos::hash::HashAccumulator::<PlusTimes<f64>>::new(max_flop, b.ncols());
             for i in range {
                 for &k in a.row_cols(i) {
                     for &j in b.row_cols(k as usize) {

@@ -27,7 +27,10 @@ pub enum Algorithm {
     Ikj,
     /// Sequential `BTreeMap` oracle (tests, tiny inputs).
     Reference,
-    /// Pick via [`crate::recipe`] from the input structure (Table 4).
+    /// Pick from the input structure: a tuned per-machine selector if
+    /// one is installed ([`crate::recipe::set_auto_hook`], see the
+    /// `spgemm-tune` crate), otherwise the paper's static Table-4
+    /// recipe via [`crate::recipe`].
     Auto,
 }
 
@@ -65,6 +68,18 @@ impl Algorithm {
     /// Whether the algorithm needs both inputs sorted by column.
     pub fn requires_sorted_inputs(self) -> bool {
         matches!(self, Algorithm::Heap | Algorithm::Merge)
+    }
+
+    /// Whether the algorithm's kernel produces sorted rows natively
+    /// when asked. Inspector does not: its single pass always emits
+    /// rows in accumulator order, which is why Table 4a only
+    /// recommends it for unsorted outputs. An explicit
+    /// `Inspector`+`Sorted` request is still honoured by
+    /// `multiply_in` via a post-sort, but selectors (static recipe,
+    /// tuned profile) never pick it for sorted output — the extra
+    /// sort forfeits exactly the work its one-phase design skips.
+    pub fn honours_sorted_output(self) -> bool {
+        !matches!(self, Algorithm::Inspector)
     }
 
     /// Whether the algorithm can honour `OutputOrder::Unsorted` with a
@@ -129,6 +144,9 @@ mod tests {
         assert!(Algorithm::Heap.requires_sorted_inputs());
         assert!(Algorithm::Merge.requires_sorted_inputs());
         assert!(!Algorithm::Hash.requires_sorted_inputs());
+        assert!(!Algorithm::Inspector.honours_sorted_output());
+        assert!(Algorithm::Hash.honours_sorted_output());
+        assert!(Algorithm::Heap.honours_sorted_output());
         assert!(Algorithm::Hash.supports_sort_skip());
         assert!(!Algorithm::Heap.supports_sort_skip());
         assert!(OutputOrder::Sorted.is_sorted());

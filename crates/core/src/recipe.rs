@@ -2,6 +2,16 @@
 //! Table 4), plus the automatic selector behind
 //! [`crate::Algorithm::Auto`].
 //!
+//! The selector consults two sources, in order:
+//!
+//! 1. an optional **tuned-selector hook** ([`set_auto_hook`]) —
+//!    installed by `spgemm-tune` from a per-machine calibration
+//!    profile; it may decline (return `None`) for inputs outside its
+//!    calibrated grid;
+//! 2. the **static recipe** below — Table 4 exactly as the paper
+//!    measured it on KNL and Haswell, used whenever no hook is
+//!    installed or the hook declines.
+//!
 //! Table 4a (real data, keyed on compression ratio CR = flop/nnz(C)):
 //!
 //! |            | high CR (> 2)   | low CR (≤ 2) |
@@ -101,41 +111,157 @@ pub fn recommend_real(op: OpKind, compression_ratio: f64, order: OutputOrder) ->
     }
 }
 
-/// Classify a matrix's pattern by row-size skew.
-pub fn classify_pattern<T: Copy + Send + Sync>(a: &Csr<T>) -> Pattern {
-    if stats::structure_stats(a).row_cv > SKEW_CV {
+/// Classify a row-size coefficient of variation against [`SKEW_CV`] —
+/// the single place the uniform/skewed rule lives.
+pub fn classify_row_cv(row_cv: f64) -> Pattern {
+    if row_cv > SKEW_CV {
         Pattern::Skewed
     } else {
         Pattern::Uniform
     }
 }
 
-/// The automatic selector used by [`crate::Algorithm::Auto`]: infer
-/// the scenario from the operand shapes and structure, then apply
-/// Table 4b (cheap to evaluate — it needs only row statistics, not a
-/// symbolic pass).
-pub fn auto_select<T: Copy + Send + Sync>(
+/// Classify a matrix's pattern by row-size skew.
+pub fn classify_pattern<T: Copy + Send + Sync>(a: &Csr<T>) -> Pattern {
+    classify_row_cv(stats::structure_stats(a).row_cv)
+}
+
+/// The structural summary of one multiply that algorithm selection
+/// keys on — everything both the static recipe and a tuned-selector
+/// hook need, and nothing that requires a symbolic pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AutoContext {
+    /// Inferred scenario (square vs tall-skinny; `L · U` cannot be
+    /// inferred from shapes and is available via [`recommend_real`]).
+    pub op: OpKind,
+    /// Row-skew class of `A`.
+    pub pattern: Pattern,
+    /// Rows of `A`.
+    pub nrows: usize,
+    /// Columns of `A` (= rows of `B`).
+    pub ncols_a: usize,
+    /// Columns of `B`.
+    pub ncols_b: usize,
+    /// Stored entries of `A`.
+    pub nnz_a: usize,
+    /// Mean entries per row of `A` (the edge factor of Table 4b).
+    pub edge_factor: f64,
+    /// Coefficient of variation of `A`'s row sizes.
+    pub row_cv: f64,
+    /// Whether both operands are column-sorted.
+    pub sorted_inputs: bool,
+    /// Requested output order.
+    pub order: OutputOrder,
+}
+
+/// Build the [`AutoContext`] for `A · B` from row statistics only.
+pub fn auto_context<T: Copy + Send + Sync>(
     a: &Csr<T>,
     b: &Csr<T>,
     order: OutputOrder,
-) -> Algorithm {
+) -> AutoContext {
     let op = if b.ncols() * 4 <= a.nrows() {
         OpKind::TallSkinny
     } else {
         OpKind::Square
     };
-    let pattern = classify_pattern(a);
-    let ef = a.avg_row_nnz();
-    let mut rec = recommend_synthetic(op, pattern, ef, order);
+    let ss = stats::structure_stats(a);
+    let pattern = classify_row_cv(ss.row_cv);
+    AutoContext {
+        op,
+        pattern,
+        nrows: ss.nrows,
+        ncols_a: ss.ncols,
+        ncols_b: b.ncols(),
+        nnz_a: ss.nnz,
+        edge_factor: ss.avg_row_nnz,
+        row_cv: ss.row_cv,
+        sorted_inputs: a.is_sorted() && b.is_sorted(),
+        order,
+    }
+}
+
+/// The static Table-4b selection as a pure function of the context —
+/// exactly the paper's recipe, with the sorted-input fallback. This is
+/// the path [`auto_select`] takes when no tuned hook is installed, and
+/// what a tuned selector falls back to outside its calibrated grid.
+pub fn static_select(ctx: &AutoContext) -> Algorithm {
+    let mut rec = recommend_synthetic(ctx.op, ctx.pattern, ctx.edge_factor, ctx.order);
     // Heap requires sorted inputs; fall back to the hash family when
     // the recipe picks it but the inputs do not qualify.
-    if rec.requires_sorted_inputs() && !(a.is_sorted() && b.is_sorted()) {
-        rec = match order {
+    if rec.requires_sorted_inputs() && !ctx.sorted_inputs {
+        rec = match ctx.order {
             OutputOrder::Sorted => Algorithm::Hash,
             OutputOrder::Unsorted => Algorithm::HashVec,
         };
     }
     rec
+}
+
+/// A tuned-selector callback: maps a context to a concrete algorithm,
+/// or `None` to decline (input outside the calibrated grid).
+pub type AutoHook = std::sync::Arc<dyn Fn(&AutoContext) -> Option<Algorithm> + Send + Sync>;
+
+static AUTO_HOOK: std::sync::RwLock<Option<AutoHook>> = std::sync::RwLock::new(None);
+
+/// Install `hook` as the first consultation of [`auto_select`]
+/// process-wide, replacing any previous hook. `spgemm-tune` calls this
+/// when a machine profile is loaded; installing a hook never makes
+/// `Auto` unsound — a pick violating an input contract is discarded in
+/// favour of the static recipe.
+pub fn set_auto_hook(hook: AutoHook) {
+    *AUTO_HOOK
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(hook);
+}
+
+/// Remove the tuned-selector hook, restoring pure Table-4 behaviour.
+pub fn clear_auto_hook() {
+    *AUTO_HOOK
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+}
+
+/// Whether a tuned-selector hook is currently installed.
+pub fn auto_hook_installed() -> bool {
+    AUTO_HOOK
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .is_some()
+}
+
+/// Whether `pick` may be used for the multiply `ctx` describes: it
+/// must not demand sorted inputs the operands lack, and it must be
+/// able to deliver the requested output order.
+pub fn pick_admissible(ctx: &AutoContext, pick: Algorithm) -> bool {
+    if pick == Algorithm::Auto {
+        return false;
+    }
+    let inputs_ok = ctx.sorted_inputs || !pick.requires_sorted_inputs();
+    let output_ok = !ctx.order.is_sorted() || pick.honours_sorted_output();
+    inputs_ok && output_ok
+}
+
+/// The automatic selector used by [`crate::Algorithm::Auto`]: build
+/// the [`AutoContext`] from row statistics, offer it to the tuned
+/// hook if one is installed, and otherwise (or if the hook declines
+/// or picks an algorithm the context rules out — see
+/// [`pick_admissible`]) apply the static Table-4b recipe via
+/// [`static_select`].
+pub fn auto_select<T: Copy + Send + Sync>(a: &Csr<T>, b: &Csr<T>, order: OutputOrder) -> Algorithm {
+    let ctx = auto_context(a, b, order);
+    let hook = AUTO_HOOK
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    if let Some(hook) = hook {
+        if let Some(pick) = hook(&ctx) {
+            if pick_admissible(&ctx, pick) {
+                return pick;
+            }
+        }
+    }
+    static_select(&ctx)
 }
 
 #[cfg(test)]
@@ -148,10 +274,19 @@ mod tests {
         use Algorithm::*;
         use OutputOrder::*;
         // dense skewed A·A: Hash both ways (paper: "Hash / Hash")
-        assert_eq!(recommend_synthetic(OpKind::Square, Pattern::Skewed, 16.0, Sorted), Hash);
-        assert_eq!(recommend_synthetic(OpKind::Square, Pattern::Skewed, 16.0, Unsorted), Hash);
+        assert_eq!(
+            recommend_synthetic(OpKind::Square, Pattern::Skewed, 16.0, Sorted),
+            Hash
+        );
+        assert_eq!(
+            recommend_synthetic(OpKind::Square, Pattern::Skewed, 16.0, Unsorted),
+            Hash
+        );
         // sparse uniform A·A sorted: Heap
-        assert_eq!(recommend_synthetic(OpKind::Square, Pattern::Uniform, 4.0, Sorted), Heap);
+        assert_eq!(
+            recommend_synthetic(OpKind::Square, Pattern::Uniform, 4.0, Sorted),
+            Heap
+        );
         // sparse anything unsorted: HashVec
         assert_eq!(
             recommend_synthetic(OpKind::Square, Pattern::Uniform, 4.0, Unsorted),
@@ -188,8 +323,16 @@ mod tests {
         assert_eq!(classify_pattern(&g), Pattern::Skewed);
     }
 
+    /// Serializes tests that read or write the process-global hook.
+    fn hook_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn auto_select_never_picks_sorted_only_kernel_for_unsorted_input() {
+        let _guard = hook_lock();
         let er = rmat::generate_kind(RmatKind::Er, 8, 4, &mut spgemm_gen::rng(2));
         let unsorted = spgemm_gen::perm::randomize_columns(&er, &mut spgemm_gen::rng(3));
         let pick = auto_select(&unsorted, &unsorted, OutputOrder::Sorted);
@@ -198,9 +341,73 @@ mod tests {
 
     #[test]
     fn auto_select_detects_tall_skinny() {
+        let _guard = hook_lock();
         let g = rmat::generate_kind(RmatKind::G500, 9, 16, &mut spgemm_gen::rng(4));
         let ts = spgemm_gen::tallskinny::tall_skinny(&g, 16, &mut spgemm_gen::rng(5)).unwrap();
         let pick = auto_select(&g, &ts, OutputOrder::Unsorted);
         assert_eq!(pick, Algorithm::Hash, "Table 4b tall-skinny unsorted row");
+    }
+
+    #[test]
+    fn auto_select_matches_static_select_without_hook() {
+        let _guard = hook_lock();
+        clear_auto_hook();
+        for (kind, ef) in [
+            (RmatKind::Er, 4),
+            (RmatKind::G500, 4),
+            (RmatKind::Er, 16),
+            (RmatKind::G500, 16),
+        ] {
+            let a = rmat::generate_kind(kind, 8, ef, &mut spgemm_gen::rng(6));
+            for order in [OutputOrder::Sorted, OutputOrder::Unsorted] {
+                let ctx = auto_context(&a, &a, order);
+                assert_eq!(auto_select(&a, &a, order), static_select(&ctx));
+            }
+        }
+    }
+
+    #[test]
+    fn hook_overrides_and_clears() {
+        let _guard = hook_lock();
+        let a = rmat::generate_kind(RmatKind::Er, 8, 4, &mut spgemm_gen::rng(7));
+        let ctx = auto_context(&a, &a, OutputOrder::Sorted);
+        let static_pick = static_select(&ctx);
+        assert_ne!(
+            static_pick,
+            Algorithm::KkHash,
+            "fixture must disagree with the hook"
+        );
+        set_auto_hook(std::sync::Arc::new(|_| Some(Algorithm::KkHash)));
+        assert!(auto_hook_installed());
+        assert_eq!(auto_select(&a, &a, OutputOrder::Sorted), Algorithm::KkHash);
+        clear_auto_hook();
+        assert!(!auto_hook_installed());
+        assert_eq!(auto_select(&a, &a, OutputOrder::Sorted), static_pick);
+    }
+
+    #[test]
+    fn declining_hook_falls_back_to_static() {
+        let _guard = hook_lock();
+        set_auto_hook(std::sync::Arc::new(|_| None));
+        let a = rmat::generate_kind(RmatKind::G500, 8, 16, &mut spgemm_gen::rng(8));
+        let ctx = auto_context(&a, &a, OutputOrder::Unsorted);
+        assert_eq!(
+            auto_select(&a, &a, OutputOrder::Unsorted),
+            static_select(&ctx)
+        );
+        clear_auto_hook();
+    }
+
+    #[test]
+    fn contract_violating_hook_pick_is_discarded() {
+        let _guard = hook_lock();
+        // Hook insists on Heap, but the inputs are unsorted: Auto must
+        // refuse and fall back to the static recipe.
+        set_auto_hook(std::sync::Arc::new(|_| Some(Algorithm::Heap)));
+        let er = rmat::generate_kind(RmatKind::Er, 8, 4, &mut spgemm_gen::rng(9));
+        let unsorted = spgemm_gen::perm::randomize_columns(&er, &mut spgemm_gen::rng(10));
+        let pick = auto_select(&unsorted, &unsorted, OutputOrder::Sorted);
+        assert!(!pick.requires_sorted_inputs(), "picked {pick}");
+        clear_auto_hook();
     }
 }

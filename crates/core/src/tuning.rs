@@ -79,14 +79,15 @@ pub fn heap_multiply_tuned<S: Semiring>(
     sched: RowSchedule,
     mem: MemScheme,
 ) -> Csr<S::Elem> {
-    assert!(a.is_sorted() && b.is_sorted(), "heap requires sorted inputs");
+    assert!(
+        a.is_sorted() && b.is_sorted(),
+        "heap requires sorted inputs"
+    );
     match sched {
         RowSchedule::Static | RowSchedule::FlopBalanced => {
             contiguous_heap::<S>(a, b, pool, sched, mem)
         }
-        RowSchedule::Dynamic => {
-            claimed_heap::<S>(a, b, pool, Schedule::Dynamic { chunk: 1 })
-        }
+        RowSchedule::Dynamic => claimed_heap::<S>(a, b, pool, Schedule::Dynamic { chunk: 1 }),
         RowSchedule::Guided => claimed_heap::<S>(a, b, pool, Schedule::Guided { min_chunk: 1 }),
     }
 }
@@ -115,8 +116,10 @@ fn contiguous_heap<S: Semiring>(
 
     let mut counts64 = vec![0u64; n + 1];
     // staging for Parallel: per-worker vectors; for Single: one buffer
-    let staged: Vec<parking_lot::Mutex<(Vec<ColIdx>, Vec<S::Elem>)>> =
-        (0..nt).map(|_| parking_lot::Mutex::new((Vec::new(), Vec::new()))).collect();
+    type Staged<E> = Vec<parking_lot::Mutex<(Vec<ColIdx>, Vec<E>)>>;
+    let staged: Staged<S::Elem> = (0..nt)
+        .map(|_| parking_lot::Mutex::new((Vec::new(), Vec::new())))
+        .collect();
     let mut single_cols: Vec<ColIdx> = Vec::new();
     let mut single_vals: Vec<S::Elem> = Vec::new();
     if mem == MemScheme::Single {
@@ -137,8 +140,7 @@ fn contiguous_heap<S: Semiring>(
             let mut kernel = HeapKernel::<S>::new();
             match mem {
                 MemScheme::Parallel => {
-                    let bound =
-                        (flop_prefix[range.end] - flop_prefix[range.start]) as usize;
+                    let bound = (flop_prefix[range.end] - flop_prefix[range.start]) as usize;
                     let mut slot = staged[wid].lock();
                     let (cols, vals) = &mut *slot;
                     cols.clear();
@@ -235,8 +237,9 @@ fn claimed_heap<S: Semiring>(
     let mut counts64 = vec![0u64; n + 1];
     // (staging cols, staging vals, log of (row, len))
     type Slot<E> = (Vec<ColIdx>, Vec<E>, Vec<(u32, u32)>);
-    let staged: Vec<parking_lot::Mutex<Slot<S::Elem>>> =
-        (0..nt).map(|_| parking_lot::Mutex::new((Vec::new(), Vec::new(), Vec::new()))).collect();
+    let staged: Vec<parking_lot::Mutex<Slot<S::Elem>>> = (0..nt)
+        .map(|_| parking_lot::Mutex::new((Vec::new(), Vec::new(), Vec::new())))
+        .collect();
     {
         let cnt = SharedMutSlice::new(&mut counts64[..]);
         let next = std::sync::atomic::AtomicUsize::new(0);
@@ -274,8 +277,12 @@ fn claimed_heap<S: Semiring>(
                 let dst = rpts_ref[row as usize]..rpts_ref[row as usize] + len;
                 // SAFETY: rows are uniquely owned by their claiming worker.
                 unsafe {
-                    cols_s.slice_mut(dst.clone()).copy_from_slice(&scols[src..src + len]);
-                    vals_s.slice_mut(dst).copy_from_slice(&svals[src..src + len]);
+                    cols_s
+                        .slice_mut(dst.clone())
+                        .copy_from_slice(&scols[src..src + len]);
+                    vals_s
+                        .slice_mut(dst)
+                        .copy_from_slice(&svals[src..src + len]);
                 }
                 src += len;
             }

@@ -12,15 +12,13 @@ type P = PlusTimes<f64>;
 
 fn arb_square(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr<f64>> {
     (2..=max_dim).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, -3.0f64..3.0), 0..=max_nnz).prop_map(
-            move |trips| {
-                let mut coo = Coo::new(n, n).unwrap();
-                for (r, c, v) in trips {
-                    coo.push(r, c as ColIdx, v).unwrap();
-                }
-                coo.into_csr_sum()
-            },
-        )
+        proptest::collection::vec((0..n, 0..n, -3.0f64..3.0), 0..=max_nnz).prop_map(move |trips| {
+            let mut coo = Coo::new(n, n).unwrap();
+            for (r, c, v) in trips {
+                coo.push(r, c as ColIdx, v).unwrap();
+            }
+            coo.into_csr_sum()
+        })
     })
 }
 

@@ -11,7 +11,8 @@ type P = PlusTimes<f64>;
 #[test]
 fn repeated_multiplies_on_one_pool_are_stable() {
     let pool = Pool::new(3);
-    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 8, &mut spgemm_gen::rng(1));
+    let a =
+        spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 8, &mut spgemm_gen::rng(1));
     let first = multiply_in::<P>(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
     for round in 0..50 {
         let again = multiply_in::<P>(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
@@ -22,11 +23,16 @@ fn repeated_multiplies_on_one_pool_are_stable() {
 #[test]
 fn alternating_algorithms_share_a_pool() {
     let pool = Pool::new(2);
-    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::Er, 8, 6, &mut spgemm_gen::rng(2));
+    let a =
+        spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::Er, 8, 6, &mut spgemm_gen::rng(2));
     let oracle = spgemm::algos::reference::multiply::<P>(&a, &a);
     for round in 0..30 {
-        let algo = [Algorithm::Hash, Algorithm::Heap, Algorithm::Merge, Algorithm::KkHash]
-            [round % 4];
+        let algo = [
+            Algorithm::Hash,
+            Algorithm::Heap,
+            Algorithm::Merge,
+            Algorithm::KkHash,
+        ][round % 4];
         let c = multiply_in::<P>(&a, &a, algo, OutputOrder::Sorted, &pool).unwrap();
         assert!(approx_eq_f64(&oracle, &c, 1e-9), "round {round} ({algo})");
     }
@@ -91,7 +97,7 @@ fn pathological_hash_keys_still_correct() {
     // B maps every clustered column back onto the same few outputs
     let mut bcoo = Coo::new(n, 8).unwrap();
     for &c in &cols {
-        bcoo.push(c as usize, (c % 8) as u32, 1.0).unwrap();
+        bcoo.push(c as usize, c % 8, 1.0).unwrap();
     }
     let a = coo.into_csr_sum();
     let b = bcoo.into_csr_sum();
@@ -113,8 +119,7 @@ fn contract_violations_reported_not_panicked() {
 
     // a multi-entry row is required: single-entry rows remain sorted
     // under any column relabelling
-    let sorted =
-        Csr::from_triplets(3, 3, &[(0, 0, 1.0), (0, 1, 2.0), (1, 2, 1.0)]).unwrap();
+    let sorted = Csr::from_triplets(3, 3, &[(0, 0, 1.0), (0, 1, 2.0), (1, 2, 1.0)]).unwrap();
     let unsorted = spgemm_sparse::ops::permute_cols(&sorted, &[2, 1, 0]).unwrap();
     assert!(!unsorted.is_sorted());
     for algo in [Algorithm::Heap, Algorithm::Merge] {
@@ -127,7 +132,8 @@ fn contract_violations_reported_not_panicked() {
 fn oversubscribed_pool_correctness() {
     // many more workers than cores: scheduling still covers all rows
     let pool = Pool::new(16);
-    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 9, 8, &mut spgemm_gen::rng(4));
+    let a =
+        spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 9, 8, &mut spgemm_gen::rng(4));
     let oracle = spgemm::algos::reference::multiply::<P>(&a, &a);
     for algo in [Algorithm::Hash, Algorithm::Heap, Algorithm::Inspector] {
         let c = multiply_in::<P>(&a, &a, algo, OutputOrder::Sorted, &pool).unwrap();
@@ -139,12 +145,8 @@ fn oversubscribed_pool_correctness() {
 fn wide_value_types_and_semirings() {
     use spgemm_sparse::MaxTimes;
     // max-times over probabilities: widest-path one step
-    let a = Csr::from_triplets(
-        3,
-        3,
-        &[(0, 1, 0.5), (0, 2, 0.9), (1, 2, 0.8), (2, 0, 1.0)],
-    )
-    .unwrap();
+    let a =
+        Csr::from_triplets(3, 3, &[(0, 1, 0.5), (0, 2, 0.9), (1, 2, 0.8), (2, 0, 1.0)]).unwrap();
     let pool = Pool::new(2);
     let c = multiply_in::<MaxTimes>(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
     let oracle = spgemm::algos::reference::multiply::<MaxTimes>(&a, &a);

@@ -18,7 +18,10 @@ pub fn random_permutation(n: usize, rng: &mut Rng) -> Vec<usize> {
 
 /// [`random_permutation`] cast to column-index width.
 pub fn random_col_permutation(n: usize, rng: &mut Rng) -> Vec<ColIdx> {
-    random_permutation(n, rng).into_iter().map(|x| x as ColIdx).collect()
+    random_permutation(n, rng)
+        .into_iter()
+        .map(|x| x as ColIdx)
+        .collect()
 }
 
 /// Produce the unsorted twin of a matrix by randomly relabelling its
@@ -62,7 +65,10 @@ mod tests {
         let u = randomize_columns(&a, &mut crate::rng(12));
         assert_eq!(u.nnz(), a.nnz());
         assert_eq!(u.shape(), a.shape());
-        assert!(!u.is_sorted(), "a 256-column random relabelling is unsorted w.h.p.");
+        assert!(
+            !u.is_sorted(),
+            "a 256-column random relabelling is unsorted w.h.p."
+        );
         // row sizes unchanged — only labels moved
         for i in 0..a.nrows() {
             assert_eq!(u.row_nnz(i), a.row_nnz(i));

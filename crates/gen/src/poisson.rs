@@ -63,7 +63,7 @@ mod tests {
         let k = 6;
         let a = poisson2d(k);
         // interior nodes: 4 - 1 - 1 - 1 - 1 = 0
-        let interior = (k + 1) * 1 + 1; // node (1,1)
+        let interior = (k + 1) + 1; // node (1,1)
         let s: f64 = a.row_vals(interior).iter().sum();
         assert_eq!(s, 0.0);
         // corner node (0,0): 4 - 1 - 1 = 2

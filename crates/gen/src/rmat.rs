@@ -20,21 +20,27 @@ pub struct RmatParams {
 
 impl RmatParams {
     /// Erdős–Rényi-like preset: `a = b = c = d = 0.25` (§5.1).
-    pub const ER: RmatParams = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+    pub const ER: RmatParams = RmatParams {
+        a: 0.25,
+        b: 0.25,
+        c: 0.25,
+        d: 0.25,
+    };
 
     /// Graph500 power-law preset: `a = 0.57, b = c = 0.19, d = 0.05`
     /// (§5.1).
-    pub const G500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+    pub const G500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
 
     /// Validate that the probabilities are non-negative and sum to 1
     /// (within floating-point slack).
     pub fn is_valid(&self) -> bool {
         let s = self.a + self.b + self.c + self.d;
-        self.a >= 0.0
-            && self.b >= 0.0
-            && self.c >= 0.0
-            && self.d >= 0.0
-            && (s - 1.0).abs() < 1e-9
+        self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0 && (s - 1.0).abs() < 1e-9
     }
 }
 
@@ -101,14 +107,18 @@ fn sample_edge(params: &RmatParams, scale: u32, rng: &mut Rng) -> (usize, usize)
 /// paper uses). Values are uniform in `(0, 1]`; rows come out sorted.
 pub fn generate(params: RmatParams, scale: u32, edge_factor: usize, rng: &mut Rng) -> Csr<f64> {
     assert!(params.is_valid(), "invalid R-MAT probabilities {params:?}");
-    assert!(scale < 31, "scale {scale} would overflow the i32 index space");
+    assert!(
+        scale < 31,
+        "scale {scale} would overflow the i32 index space"
+    );
     let n = 1usize << scale;
     let m = edge_factor.saturating_mul(n);
     let mut coo = Coo::with_capacity(n, n, m).expect("dimensions validated above");
     for _ in 0..m {
         let (r, c) = sample_edge(&params, scale, rng);
         let v: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE); // (0, 1]
-        coo.push(r, c as ColIdx, v).expect("edge in range by construction");
+        coo.push(r, c as ColIdx, v)
+            .expect("edge in range by construction");
     }
     // Graph500 merges duplicate edges; additive merge keeps values in a
     // reasonable range and the structure identical to dedup.
@@ -129,8 +139,20 @@ mod tests {
     fn presets_are_valid() {
         assert!(RmatParams::ER.is_valid());
         assert!(RmatParams::G500.is_valid());
-        assert!(!RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }.is_valid());
-        assert!(!RmatParams { a: -0.1, b: 0.6, c: 0.3, d: 0.2 }.is_valid());
+        assert!(!RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5
+        }
+        .is_valid());
+        assert!(!RmatParams {
+            a: -0.1,
+            b: 0.6,
+            c: 0.3,
+            d: 0.2
+        }
+        .is_valid());
     }
 
     #[test]
@@ -189,7 +211,10 @@ mod tests {
         // Uniform preset: quadrants within a loose factor of each other.
         let max = tl.max(tr).max(bl).max(br) as f64;
         let min = tl.min(tr).min(bl).min(br) as f64;
-        assert!(max / min < 2.0, "ER quadrants {tl}/{tr}/{bl}/{br} too skewed");
+        assert!(
+            max / min < 2.0,
+            "ER quadrants {tl}/{tr}/{bl}/{br} too skewed"
+        );
     }
 
     #[test]

@@ -63,32 +63,214 @@ pub struct StandinSpec {
 
 /// The 26 matrices of Table 2 with their paper-reported statistics.
 pub const TABLE2: [StandinSpec; 26] = [
-    StandinSpec { name: "2cubes_sphere", n_millions: 0.101, nnz_millions: 1.65, flop_sq_millions: 27.45, nnz_sq_millions: 8.97, class: MatrixClass::Band },
-    StandinSpec { name: "cage12", n_millions: 0.130, nnz_millions: 2.03, flop_sq_millions: 34.61, nnz_sq_millions: 15.23, class: MatrixClass::Uniform },
-    StandinSpec { name: "cage15", n_millions: 5.155, nnz_millions: 99.20, flop_sq_millions: 2078.63, nnz_sq_millions: 929.02, class: MatrixClass::Uniform },
-    StandinSpec { name: "cant", n_millions: 0.062, nnz_millions: 4.01, flop_sq_millions: 269.49, nnz_sq_millions: 17.44, class: MatrixClass::Band },
-    StandinSpec { name: "conf5_4-8x8-05", n_millions: 0.049, nnz_millions: 1.92, flop_sq_millions: 74.76, nnz_sq_millions: 10.91, class: MatrixClass::Band },
-    StandinSpec { name: "consph", n_millions: 0.083, nnz_millions: 6.01, flop_sq_millions: 463.85, nnz_sq_millions: 26.54, class: MatrixClass::Band },
-    StandinSpec { name: "cop20k_A", n_millions: 0.121, nnz_millions: 2.62, flop_sq_millions: 79.88, nnz_sq_millions: 18.71, class: MatrixClass::Band },
-    StandinSpec { name: "delaunay_n24", n_millions: 16.777, nnz_millions: 100.66, flop_sq_millions: 633.91, nnz_sq_millions: 347.32, class: MatrixClass::Grid },
-    StandinSpec { name: "filter3D", n_millions: 0.106, nnz_millions: 2.71, flop_sq_millions: 85.96, nnz_sq_millions: 20.16, class: MatrixClass::Band },
-    StandinSpec { name: "hood", n_millions: 0.221, nnz_millions: 10.77, flop_sq_millions: 562.03, nnz_sq_millions: 34.24, class: MatrixClass::Band },
-    StandinSpec { name: "m133-b3", n_millions: 0.200, nnz_millions: 0.80, flop_sq_millions: 3.20, nnz_sq_millions: 3.18, class: MatrixClass::Uniform },
-    StandinSpec { name: "mac_econ_fwd500", n_millions: 0.207, nnz_millions: 1.27, flop_sq_millions: 7.56, nnz_sq_millions: 6.70, class: MatrixClass::Uniform },
-    StandinSpec { name: "majorbasis", n_millions: 0.160, nnz_millions: 1.75, flop_sq_millions: 19.18, nnz_sq_millions: 8.24, class: MatrixClass::Grid },
-    StandinSpec { name: "mario002", n_millions: 0.390, nnz_millions: 2.10, flop_sq_millions: 12.83, nnz_sq_millions: 6.45, class: MatrixClass::Grid },
-    StandinSpec { name: "mc2depi", n_millions: 0.526, nnz_millions: 2.10, flop_sq_millions: 8.39, nnz_sq_millions: 5.25, class: MatrixClass::Grid },
-    StandinSpec { name: "mono_500Hz", n_millions: 0.169, nnz_millions: 5.04, flop_sq_millions: 204.03, nnz_sq_millions: 41.38, class: MatrixClass::Band },
-    StandinSpec { name: "offshore", n_millions: 0.260, nnz_millions: 4.24, flop_sq_millions: 71.34, nnz_sq_millions: 23.36, class: MatrixClass::Band },
-    StandinSpec { name: "patents_main", n_millions: 0.241, nnz_millions: 0.56, flop_sq_millions: 2.60, nnz_sq_millions: 2.28, class: MatrixClass::PowerLaw },
-    StandinSpec { name: "pdb1HYS", n_millions: 0.036, nnz_millions: 4.34, flop_sq_millions: 555.32, nnz_sq_millions: 19.59, class: MatrixClass::Band },
-    StandinSpec { name: "poisson3Da", n_millions: 0.014, nnz_millions: 0.35, flop_sq_millions: 11.77, nnz_sq_millions: 2.96, class: MatrixClass::Band },
-    StandinSpec { name: "pwtk", n_millions: 0.218, nnz_millions: 11.63, flop_sq_millions: 626.05, nnz_sq_millions: 32.77, class: MatrixClass::Band },
-    StandinSpec { name: "rma10", n_millions: 0.047, nnz_millions: 2.37, flop_sq_millions: 156.48, nnz_sq_millions: 7.90, class: MatrixClass::Band },
-    StandinSpec { name: "scircuit", n_millions: 0.171, nnz_millions: 0.96, flop_sq_millions: 8.68, nnz_sq_millions: 5.22, class: MatrixClass::PowerLaw },
-    StandinSpec { name: "shipsec1", n_millions: 0.141, nnz_millions: 7.81, flop_sq_millions: 450.64, nnz_sq_millions: 24.09, class: MatrixClass::Band },
-    StandinSpec { name: "wb-edu", n_millions: 9.846, nnz_millions: 57.16, flop_sq_millions: 1559.58, nnz_sq_millions: 630.08, class: MatrixClass::PowerLaw },
-    StandinSpec { name: "webbase-1M", n_millions: 1.000, nnz_millions: 3.11, flop_sq_millions: 69.52, nnz_sq_millions: 51.11, class: MatrixClass::PowerLaw },
+    StandinSpec {
+        name: "2cubes_sphere",
+        n_millions: 0.101,
+        nnz_millions: 1.65,
+        flop_sq_millions: 27.45,
+        nnz_sq_millions: 8.97,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "cage12",
+        n_millions: 0.130,
+        nnz_millions: 2.03,
+        flop_sq_millions: 34.61,
+        nnz_sq_millions: 15.23,
+        class: MatrixClass::Uniform,
+    },
+    StandinSpec {
+        name: "cage15",
+        n_millions: 5.155,
+        nnz_millions: 99.20,
+        flop_sq_millions: 2078.63,
+        nnz_sq_millions: 929.02,
+        class: MatrixClass::Uniform,
+    },
+    StandinSpec {
+        name: "cant",
+        n_millions: 0.062,
+        nnz_millions: 4.01,
+        flop_sq_millions: 269.49,
+        nnz_sq_millions: 17.44,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "conf5_4-8x8-05",
+        n_millions: 0.049,
+        nnz_millions: 1.92,
+        flop_sq_millions: 74.76,
+        nnz_sq_millions: 10.91,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "consph",
+        n_millions: 0.083,
+        nnz_millions: 6.01,
+        flop_sq_millions: 463.85,
+        nnz_sq_millions: 26.54,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "cop20k_A",
+        n_millions: 0.121,
+        nnz_millions: 2.62,
+        flop_sq_millions: 79.88,
+        nnz_sq_millions: 18.71,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "delaunay_n24",
+        n_millions: 16.777,
+        nnz_millions: 100.66,
+        flop_sq_millions: 633.91,
+        nnz_sq_millions: 347.32,
+        class: MatrixClass::Grid,
+    },
+    StandinSpec {
+        name: "filter3D",
+        n_millions: 0.106,
+        nnz_millions: 2.71,
+        flop_sq_millions: 85.96,
+        nnz_sq_millions: 20.16,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "hood",
+        n_millions: 0.221,
+        nnz_millions: 10.77,
+        flop_sq_millions: 562.03,
+        nnz_sq_millions: 34.24,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "m133-b3",
+        n_millions: 0.200,
+        nnz_millions: 0.80,
+        flop_sq_millions: 3.20,
+        nnz_sq_millions: 3.18,
+        class: MatrixClass::Uniform,
+    },
+    StandinSpec {
+        name: "mac_econ_fwd500",
+        n_millions: 0.207,
+        nnz_millions: 1.27,
+        flop_sq_millions: 7.56,
+        nnz_sq_millions: 6.70,
+        class: MatrixClass::Uniform,
+    },
+    StandinSpec {
+        name: "majorbasis",
+        n_millions: 0.160,
+        nnz_millions: 1.75,
+        flop_sq_millions: 19.18,
+        nnz_sq_millions: 8.24,
+        class: MatrixClass::Grid,
+    },
+    StandinSpec {
+        name: "mario002",
+        n_millions: 0.390,
+        nnz_millions: 2.10,
+        flop_sq_millions: 12.83,
+        nnz_sq_millions: 6.45,
+        class: MatrixClass::Grid,
+    },
+    StandinSpec {
+        name: "mc2depi",
+        n_millions: 0.526,
+        nnz_millions: 2.10,
+        flop_sq_millions: 8.39,
+        nnz_sq_millions: 5.25,
+        class: MatrixClass::Grid,
+    },
+    StandinSpec {
+        name: "mono_500Hz",
+        n_millions: 0.169,
+        nnz_millions: 5.04,
+        flop_sq_millions: 204.03,
+        nnz_sq_millions: 41.38,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "offshore",
+        n_millions: 0.260,
+        nnz_millions: 4.24,
+        flop_sq_millions: 71.34,
+        nnz_sq_millions: 23.36,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "patents_main",
+        n_millions: 0.241,
+        nnz_millions: 0.56,
+        flop_sq_millions: 2.60,
+        nnz_sq_millions: 2.28,
+        class: MatrixClass::PowerLaw,
+    },
+    StandinSpec {
+        name: "pdb1HYS",
+        n_millions: 0.036,
+        nnz_millions: 4.34,
+        flop_sq_millions: 555.32,
+        nnz_sq_millions: 19.59,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "poisson3Da",
+        n_millions: 0.014,
+        nnz_millions: 0.35,
+        flop_sq_millions: 11.77,
+        nnz_sq_millions: 2.96,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "pwtk",
+        n_millions: 0.218,
+        nnz_millions: 11.63,
+        flop_sq_millions: 626.05,
+        nnz_sq_millions: 32.77,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "rma10",
+        n_millions: 0.047,
+        nnz_millions: 2.37,
+        flop_sq_millions: 156.48,
+        nnz_sq_millions: 7.90,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "scircuit",
+        n_millions: 0.171,
+        nnz_millions: 0.96,
+        flop_sq_millions: 8.68,
+        nnz_sq_millions: 5.22,
+        class: MatrixClass::PowerLaw,
+    },
+    StandinSpec {
+        name: "shipsec1",
+        n_millions: 0.141,
+        nnz_millions: 7.81,
+        flop_sq_millions: 450.64,
+        nnz_sq_millions: 24.09,
+        class: MatrixClass::Band,
+    },
+    StandinSpec {
+        name: "wb-edu",
+        n_millions: 9.846,
+        nnz_millions: 57.16,
+        flop_sq_millions: 1559.58,
+        nnz_sq_millions: 630.08,
+        class: MatrixClass::PowerLaw,
+    },
+    StandinSpec {
+        name: "webbase-1M",
+        n_millions: 1.000,
+        nnz_millions: 3.11,
+        flop_sq_millions: 69.52,
+        nnz_sq_millions: 51.11,
+        class: MatrixClass::PowerLaw,
+    },
 ];
 
 impl StandinSpec {
@@ -146,7 +328,8 @@ pub fn band_matrix(n: usize, width: usize, rng: &mut Rng) -> Csr<f64> {
     for i in 0..n {
         let lo = i.saturating_sub(width / 2).min(n - width);
         for c in lo..lo + width {
-            coo.push(i, c as ColIdx, rng.random::<f64>().max(f64::MIN_POSITIVE)).unwrap();
+            coo.push(i, c as ColIdx, rng.random::<f64>().max(f64::MIN_POSITIVE))
+                .unwrap();
         }
     }
     coo.into_csr_sum()
@@ -159,7 +342,8 @@ pub fn uniform_matrix(n: usize, m: usize, rng: &mut Rng) -> Csr<f64> {
     for _ in 0..m {
         let r = rng.random_range(0..n);
         let c = rng.random_range(0..n) as ColIdx;
-        coo.push(r, c, rng.random::<f64>().max(f64::MIN_POSITIVE)).unwrap();
+        coo.push(r, c, rng.random::<f64>().max(f64::MIN_POSITIVE))
+            .unwrap();
     }
     coo.into_csr_sum()
 }
@@ -229,13 +413,15 @@ mod tests {
         // Band: high CR proxy (flop per nnz of A); PowerLaw: skewed.
         let band = band_matrix(2000, 40, &mut r);
         let pl = rmat::generate_kind(rmat::RmatKind::G500, 11, 8, &mut r);
-        let band_cr_proxy =
-            stats::flop(&band, &band) as f64 / band.nnz() as f64;
+        let band_cr_proxy = stats::flop(&band, &band) as f64 / band.nnz() as f64;
         let pl_cr_proxy = stats::flop(&pl, &pl) as f64 / pl.nnz() as f64;
         assert!(band_cr_proxy > 30.0, "band flop/nnz {band_cr_proxy}");
         let band_cv = stats::structure_stats(&band).row_cv;
         let pl_cv = stats::structure_stats(&pl).row_cv;
-        assert!(pl_cv > 5.0 * band_cv.max(0.01), "powerlaw skew {pl_cv} vs band {band_cv}");
+        assert!(
+            pl_cv > 5.0 * band_cv.max(0.01),
+            "powerlaw skew {pl_cv} vs band {band_cv}"
+        );
         let _ = pl_cr_proxy;
     }
 

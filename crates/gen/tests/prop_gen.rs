@@ -105,6 +105,12 @@ fn standin_suite_covers_compression_spectrum() {
         .map(|(_, m)| stats::flop(m, m) as f64 / m.nnz().max(1) as f64)
         .collect();
     proxies.sort_by(|a, b| a.total_cmp(b));
-    assert!(proxies.first().unwrap() < &16.0, "suite lacks low-CR members");
-    assert!(proxies.last().unwrap() > &40.0, "suite lacks high-CR members");
+    assert!(
+        proxies.first().unwrap() < &16.0,
+        "suite lacks low-CR members"
+    );
+    assert!(
+        proxies.last().unwrap() > &40.0,
+        "suite lacks high-CR members"
+    );
 }

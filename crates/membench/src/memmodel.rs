@@ -140,9 +140,18 @@ impl AccessProfile {
     /// to the nearest power of two).
     pub fn add(&mut self, stanza_bytes: usize, bytes: u64) {
         let bucket = stanza_bytes.max(8).next_power_of_two();
-        match self.buckets.binary_search_by_key(&bucket, |b| b.stanza_bytes) {
+        match self
+            .buckets
+            .binary_search_by_key(&bucket, |b| b.stanza_bytes)
+        {
             Ok(i) => self.buckets[i].bytes += bytes,
-            Err(i) => self.buckets.insert(i, Bucket { stanza_bytes: bucket, bytes }),
+            Err(i) => self.buckets.insert(
+                i,
+                Bucket {
+                    stanza_bytes: bucket,
+                    bytes,
+                },
+            ),
         }
     }
 }
@@ -197,9 +206,16 @@ mod tests {
     #[test]
     fn ratio_matches_paper_endpoints() {
         let m = MemoryModel::default();
-        assert_eq!(m.cache_mode_ratio(8.0), 1.0, "8 B random access: no benefit");
+        assert_eq!(
+            m.cache_mode_ratio(8.0),
+            1.0,
+            "8 B random access: no benefit"
+        );
         assert_eq!(m.cache_mode_ratio(64.0), 1.0);
-        assert!((m.cache_mode_ratio(8192.0) - 3.4).abs() < 1e-9, "saturated at 3.4x");
+        assert!(
+            (m.cache_mode_ratio(8192.0) - 3.4).abs() < 1e-9,
+            "saturated at 3.4x"
+        );
         let mid = m.cache_mode_ratio(512.0);
         assert!(mid > 1.0 && mid < 3.4, "transition region: {mid}");
     }
@@ -223,7 +239,10 @@ mod tests {
         p.add(8, 64);
         assert_eq!(p.buckets.len(), 2);
         assert_eq!(p.total_bytes(), 1564);
-        assert!(p.buckets.windows(2).all(|w| w[0].stanza_bytes < w[1].stanza_bytes));
+        assert!(p
+            .buckets
+            .windows(2)
+            .all(|w| w[0].stanza_bytes < w[1].stanza_bytes));
     }
 
     #[test]

@@ -29,12 +29,7 @@ pub fn scheduling_cost(pool: &Pool, iterations: usize, sched: Schedule, reps: us
 
 /// The full Figure 2 sweep: `iterations = 2^lo .. 2^hi` for the three
 /// policies. Returns `(policy name, points)` series.
-pub fn sweep(
-    pool: &Pool,
-    lo: u32,
-    hi: u32,
-    reps: usize,
-) -> Vec<(&'static str, Vec<SchedPoint>)> {
+pub fn sweep(pool: &Pool, lo: u32, hi: u32, reps: usize) -> Vec<(&'static str, Vec<SchedPoint>)> {
     let policies: [(&'static str, Schedule); 3] = [
         ("static", Schedule::Static),
         ("dynamic", Schedule::DYNAMIC),
@@ -46,7 +41,10 @@ pub fn sweep(
             let pts = (lo..=hi)
                 .map(|s| {
                     let iters = 1usize << s;
-                    SchedPoint { iterations: iters, millis: scheduling_cost(pool, iters, sched, reps) }
+                    SchedPoint {
+                        iterations: iters,
+                        millis: scheduling_cost(pool, iters, sched, reps),
+                    }
                 })
                 .collect();
             (name, pts)

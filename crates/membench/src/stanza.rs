@@ -61,7 +61,9 @@ pub fn stanza_bandwidth(
         let mut state = 0x9E3779B97F4A7C15u64 ^ (wid as u64);
         let mut acc = 0u64;
         for _ in 0..per_thread_stanzas {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let s = (state >> 17) as usize % nstanzas_in_array;
             let start = s * words_stanza;
             match mode {

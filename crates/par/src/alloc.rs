@@ -117,7 +117,9 @@ mod tests {
             scratch.with(wid, |buf| buf.clear());
         });
         for (w, &cap) in caps.iter().enumerate() {
-            scratch.with(w, |b| assert!(b.capacity() >= cap.min(1 << 16), "worker {w}"));
+            scratch.with(w, |b| {
+                assert!(b.capacity() >= cap.min(1 << 16), "worker {w}")
+            });
         }
     }
 

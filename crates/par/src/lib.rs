@@ -38,7 +38,9 @@ pub use schedule::Schedule;
 
 /// Number of hardware threads available to this process.
 pub fn hardware_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// A lazily-created process-wide pool using every hardware thread.

@@ -59,10 +59,20 @@ impl Pool {
     pub fn new(nthreads: usize) -> Self {
         let nthreads = nthreads.max(1);
         if nthreads == 1 {
-            return Pool { shared: None, handles: Vec::new(), nthreads, region: Mutex::new(()) };
+            return Pool {
+                shared: None,
+                handles: Vec::new(),
+                nthreads,
+                region: Mutex::new(()),
+            };
         }
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { job: None, epoch: 0, active: 0, shutdown: false }),
+            state: Mutex::new(State {
+                job: None,
+                epoch: 0,
+                active: 0,
+                shutdown: false,
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
@@ -76,7 +86,12 @@ impl Pool {
                     .expect("failed to spawn pool worker"),
             );
         }
-        Pool { shared: Some(shared), handles, nthreads, region: Mutex::new(()) }
+        Pool {
+            shared: Some(shared),
+            handles,
+            nthreads,
+            region: Mutex::new(()),
+        }
     }
 
     /// A pool using every hardware thread.
@@ -106,9 +121,7 @@ impl Pool {
         // dropped; the pointee is `Sync` so concurrent calls are fine.
         let wide: &(dyn Fn(usize) + Sync) = &body;
         let job = JobRef(unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
-                wide,
-            )
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(wide)
         });
         {
             let mut st = shared.state.lock();
@@ -291,7 +304,11 @@ mod tests {
             counts[i].fetch_add(1, Ordering::Relaxed);
         });
         for (i, c) in counts.iter().enumerate() {
-            assert_eq!(c.load(Ordering::SeqCst), 1, "iteration {i} under {sched:?} x{nt}");
+            assert_eq!(
+                c.load(Ordering::SeqCst),
+                1,
+                "iteration {i} under {sched:?} x{nt}"
+            );
         }
     }
 

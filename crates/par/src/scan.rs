@@ -93,11 +93,7 @@ pub fn parallel_inclusive_scan(pool: &Pool, v: &mut [u64]) -> u64 {
 
 /// Pool-parallel element-wise fill of `out[i] = f(i)`; a convenience
 /// used when building per-row work estimates.
-pub fn parallel_fill<T: Send + Sync>(
-    pool: &Pool,
-    out: &mut [T],
-    f: impl Fn(usize) -> T + Sync,
-) {
+pub fn parallel_fill<T: Send + Sync>(pool: &Pool, out: &mut [T], f: impl Fn(usize) -> T + Sync) {
     let n = out.len();
     let slice = crate::unsync::SharedMutSlice::new(out);
     pool.parallel_for(n, Schedule::Static, |i| {

@@ -40,7 +40,11 @@ unsafe impl<'a, T: Send> Sync for SharedMutSlice<'a, T> {}
 impl<'a, T> SharedMutSlice<'a, T> {
     /// Wrap a mutable slice for disjoint multi-threaded writing.
     pub fn new(slice: &'a mut [T]) -> Self {
-        SharedMutSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _borrow: PhantomData }
+        SharedMutSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _borrow: PhantomData,
+        }
     }
 
     /// Length of the underlying slice.

@@ -24,13 +24,11 @@ impl<T: Copy + Send + Sync> Coo<T> {
     }
 
     /// Like [`Coo::new`] with pre-reserved capacity.
-    pub fn with_capacity(
-        nrows: usize,
-        ncols: usize,
-        cap: usize,
-    ) -> Result<Self, SparseError> {
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Result<Self, SparseError> {
         if nrows > MAX_DIM || ncols > MAX_DIM {
-            return Err(SparseError::DimensionTooLarge { dim: nrows.max(ncols) });
+            return Err(SparseError::DimensionTooLarge {
+                dim: nrows.max(ncols),
+            });
         }
         Ok(Coo {
             nrows,
@@ -73,7 +71,11 @@ impl<T: Copy + Send + Sync> Coo<T> {
             });
         }
         if col as usize >= self.ncols {
-            return Err(SparseError::ColumnOutOfBounds { row, col, ncols: self.ncols });
+            return Err(SparseError::ColumnOutOfBounds {
+                row,
+                col,
+                ncols: self.ncols,
+            });
         }
         self.rows.push(row);
         self.cols.push(col);
@@ -93,7 +95,13 @@ impl<T: Copy + Send + Sync> Coo<T> {
     /// Convert to CSR, combining duplicate coordinates with `combine`.
     /// Rows of the result are sorted.
     pub fn into_csr_with(self, combine: impl Fn(T, T) -> T) -> Csr<T> {
-        let Coo { nrows, ncols, rows, cols, vals } = self;
+        let Coo {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            vals,
+        } = self;
         // Counting sort by row: stable, O(nnz + nrows).
         let mut rpts = vec![0usize; nrows + 1];
         for &r in &rows {
@@ -119,7 +127,9 @@ impl<T: Copy + Send + Sync> Coo<T> {
         for i in 0..nrows {
             scratch.clear();
             scratch.extend(
-                order[rpts[i]..rpts[i + 1]].iter().map(|&idx| (cols[idx], vals[idx])),
+                order[rpts[i]..rpts[i + 1]]
+                    .iter()
+                    .map(|&idx| (cols[idx], vals[idx])),
             );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut iter = scratch.iter().copied();

@@ -28,7 +28,14 @@ impl<T: Copy + Send + Sync> Csc<T> {
     pub fn from_csr(a: &Csr<T>) -> Self {
         let t = crate::ops::transpose(a);
         let (ncols, nrows, cpts, rows, vals, sorted) = t.into_parts();
-        Csc { nrows, ncols, cpts, rows, vals, sorted }
+        Csc {
+            nrows,
+            ncols,
+            cpts,
+            rows,
+            vals,
+            sorted,
+        }
     }
 
     /// Convert back to CSR (exact inverse of [`Csc::from_csr`]).
@@ -56,7 +63,14 @@ impl<T: Copy + Send + Sync> Csc<T> {
         // Reuse CSR validation on the transposed view.
         let t = Csr::from_parts(ncols, nrows, cpts, rows, vals)?;
         let (ncols, nrows, cpts, rows, vals, sorted) = t.into_parts();
-        Ok(Csc { nrows, ncols, cpts, rows, vals, sorted })
+        Ok(Csc {
+            nrows,
+            ncols,
+            cpts,
+            rows,
+            vals,
+            sorted,
+        })
     }
 
     /// Number of rows.
@@ -130,7 +144,13 @@ mod tests {
         Csr::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
     }

@@ -107,10 +107,15 @@ impl<T> Csr<T> {
         vals: Vec<T>,
     ) -> Result<Self, SparseError> {
         if ncols > MAX_DIM || nrows > MAX_DIM {
-            return Err(SparseError::DimensionTooLarge { dim: ncols.max(nrows) });
+            return Err(SparseError::DimensionTooLarge {
+                dim: ncols.max(nrows),
+            });
         }
         if cols.len() != vals.len() {
-            return Err(SparseError::LengthMismatch { cols: cols.len(), vals: vals.len() });
+            return Err(SparseError::LengthMismatch {
+                cols: cols.len(),
+                vals: vals.len(),
+            });
         }
         if rpts.len() != nrows + 1 {
             return Err(SparseError::BadRowPointers {
@@ -141,11 +146,22 @@ impl<T> Csr<T> {
         for i in 0..nrows {
             for &c in &cols[rpts[i]..rpts[i + 1]] {
                 if (c as usize) >= ncols {
-                    return Err(SparseError::ColumnOutOfBounds { row: i, col: c, ncols });
+                    return Err(SparseError::ColumnOutOfBounds {
+                        row: i,
+                        col: c,
+                        ncols,
+                    });
                 }
             }
         }
-        let mut m = Csr { nrows, ncols, rpts, cols, vals, sorted: false };
+        let mut m = Csr {
+            nrows,
+            ncols,
+            rpts,
+            cols,
+            vals,
+            sorted: false,
+        };
         m.sorted = m.detect_sorted();
         Ok(m)
     }
@@ -164,9 +180,19 @@ impl<T> Csr<T> {
         vals: Vec<T>,
         sorted: bool,
     ) -> Self {
-        let m = Csr { nrows, ncols, rpts, cols, vals, sorted };
+        let m = Csr {
+            nrows,
+            ncols,
+            rpts,
+            cols,
+            vals,
+            sorted,
+        };
         debug_assert!(m.validate().is_ok(), "from_parts_unchecked: invalid CSR");
-        debug_assert!(!sorted || m.detect_sorted(), "from_parts_unchecked: sorted flag wrong");
+        debug_assert!(
+            !sorted || m.detect_sorted(),
+            "from_parts_unchecked: sorted flag wrong"
+        );
         m
     }
 
@@ -196,7 +222,14 @@ impl<T> Csr<T> {
         let rpts = (0..=n).collect();
         let cols = (0..n as ColIdx).collect();
         let vals = vec![T::ONE; n];
-        Csr { nrows: n, ncols: n, rpts, cols, vals, sorted: true }
+        Csr {
+            nrows: n,
+            ncols: n,
+            rpts,
+            cols,
+            vals,
+            sorted: true,
+        }
     }
 
     /// Number of rows.
@@ -276,7 +309,10 @@ impl<T> Csr<T> {
     #[inline]
     pub fn row(&self, i: usize) -> RowView<'_, T> {
         let r = self.row_range(i);
-        RowView { cols: &self.cols[r.clone()], vals: &self.vals[r] }
+        RowView {
+            cols: &self.cols[r.clone()],
+            vals: &self.vals[r],
+        }
     }
 
     /// Iterate over all rows as [`RowView`]s.
@@ -349,12 +385,18 @@ impl<T> Csr<T> {
         for i in 0..self.nrows {
             for &c in self.row_cols(i) {
                 if (c as usize) >= self.ncols {
-                    return Err(SparseError::ColumnOutOfBounds { row: i, col: c, ncols: self.ncols });
+                    return Err(SparseError::ColumnOutOfBounds {
+                        row: i,
+                        col: c,
+                        ncols: self.ncols,
+                    });
                 }
             }
         }
         if self.sorted && !self.detect_sorted() {
-            return Err(SparseError::Unsorted { op: "validate (sorted flag set)" });
+            return Err(SparseError::Unsorted {
+                op: "validate (sorted flag set)",
+            });
         }
         Ok(())
     }
@@ -378,8 +420,7 @@ impl<T> Csr<T> {
         let nrows = self.nrows;
         let cols_ptr = std::mem::take(&mut self.cols);
         let vals_ptr = std::mem::take(&mut self.vals);
-        let mut paired: Vec<(ColIdx, T)> =
-            cols_ptr.into_iter().zip(vals_ptr).collect();
+        let mut paired: Vec<(ColIdx, T)> = cols_ptr.into_iter().zip(vals_ptr).collect();
         // Per-row unstable sort; rows are disjoint slices of `paired`.
         {
             let mut rest: &mut [(ColIdx, T)] = &mut paired;
@@ -447,7 +488,14 @@ impl<T> Csr<T> {
             }
             rpts.push(cols.len());
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, rpts, cols, vals, sorted: self.sorted }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rpts,
+            cols,
+            vals,
+            sorted: self.sorted,
+        }
     }
 
     /// Structural + numeric equality ignoring within-row entry order.
@@ -467,10 +515,18 @@ impl<T> Csr<T> {
             return false;
         }
         for i in 0..self.nrows {
-            let mut a: Vec<(ColIdx, &T)> =
-                self.row_cols(i).iter().copied().zip(self.row_vals(i)).collect();
-            let mut b: Vec<(ColIdx, &T)> =
-                other.row_cols(i).iter().copied().zip(other.row_vals(i)).collect();
+            let mut a: Vec<(ColIdx, &T)> = self
+                .row_cols(i)
+                .iter()
+                .copied()
+                .zip(self.row_vals(i))
+                .collect();
+            let mut b: Vec<(ColIdx, &T)> = other
+                .row_cols(i)
+                .iter()
+                .copied()
+                .zip(other.row_vals(i))
+                .collect();
             if a.len() != b.len() {
                 return false;
             }
@@ -487,7 +543,14 @@ impl<T> Csr<T> {
 
     /// Consume into raw parts `(nrows, ncols, rpts, cols, vals, sorted)`.
     pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<ColIdx>, Vec<T>, bool) {
-        (self.nrows, self.ncols, self.rpts, self.cols, self.vals, self.sorted)
+        (
+            self.nrows,
+            self.ncols,
+            self.rpts,
+            self.cols,
+            self.vals,
+            self.sorted,
+        )
     }
 
     /// Dense representation, for tests and tiny examples only.
@@ -496,9 +559,9 @@ impl<T> Csr<T> {
         T: crate::Scalar,
     {
         let mut d = vec![vec![T::ZERO; self.ncols]; self.nrows];
-        for i in 0..self.nrows {
+        for (i, row) in d.iter_mut().enumerate() {
             for (&c, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
-                d[i][c as usize] = v;
+                row[c as usize] = v;
             }
         }
         d
@@ -561,7 +624,10 @@ mod tests {
     #[test]
     fn rejects_out_of_bounds_column() {
         let e = Csr::<f64>::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
-        assert!(matches!(e, Err(SparseError::ColumnOutOfBounds { col: 5, .. })));
+        assert!(matches!(
+            e,
+            Err(SparseError::ColumnOutOfBounds { col: 5, .. })
+        ));
     }
 
     #[test]
@@ -572,8 +638,7 @@ mod tests {
 
     #[test]
     fn detects_unsorted_rows() {
-        let m =
-            Csr::from_parts(1, 4, vec![0, 3], vec![2, 0, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let m = Csr::from_parts(1, 4, vec![0, 3], vec![2, 0, 3], vec![1.0, 2.0, 3.0]).unwrap();
         assert!(!m.is_sorted());
         let mut s = m.clone();
         s.sort_rows();
@@ -596,12 +661,8 @@ mod tests {
 
     #[test]
     fn from_triplets_sorts_and_last_wins() {
-        let m = Csr::from_triplets(
-            2,
-            3,
-            &[(0, 2, 1.0), (0, 0, 2.0), (1, 1, 3.0), (0, 2, 9.0)],
-        )
-        .unwrap();
+        let m = Csr::from_triplets(2, 3, &[(0, 2, 1.0), (0, 0, 2.0), (1, 1, 3.0), (0, 2, 9.0)])
+            .unwrap();
         assert!(m.is_sorted());
         assert_eq!(m.get(0, 2), Some(&9.0), "last write wins");
         assert_eq!(m.nnz(), 3);
@@ -622,13 +683,10 @@ mod tests {
 
     #[test]
     fn eq_unordered_ignores_order_only() {
-        let a =
-            Csr::from_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).unwrap();
-        let b =
-            Csr::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![2.0, 1.0]).unwrap();
+        let a = Csr::from_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).unwrap();
+        let b = Csr::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![2.0, 1.0]).unwrap();
         assert!(approx_eq_f64(&a, &b, 0.0));
-        let c =
-            Csr::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![2.0, 1.5]).unwrap();
+        let c = Csr::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![2.0, 1.5]).unwrap();
         assert!(!approx_eq_f64(&a, &c, 1e-12));
     }
 

@@ -68,7 +68,10 @@ impl fmt::Display for SparseError {
                 write!(f, "malformed row pointers: {detail}")
             }
             SparseError::ColumnOutOfBounds { row, col, ncols } => {
-                write!(f, "column index {col} in row {row} out of bounds for {ncols} columns")
+                write!(
+                    f,
+                    "column index {col} in row {row} out of bounds for {ncols} columns"
+                )
             }
             SparseError::LengthMismatch { cols, vals } => {
                 write!(f, "cols has {cols} entries but vals has {vals}")
@@ -103,11 +106,19 @@ mod tests {
 
     #[test]
     fn display_messages_mention_key_fields() {
-        let e = SparseError::ColumnOutOfBounds { row: 3, col: 9, ncols: 5 };
+        let e = SparseError::ColumnOutOfBounds {
+            row: 3,
+            col: 9,
+            ncols: 5,
+        };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('9') && s.contains('5'), "{s}");
 
-        let e = SparseError::ShapeMismatch { left: (2, 3), right: (4, 5), op: "multiply" };
+        let e = SparseError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "multiply",
+        };
         assert!(e.to_string().contains("multiply"));
     }
 

@@ -46,7 +46,10 @@ pub fn read_matrix_market_from(reader: impl Read) -> Result<Csr<f64>, SparseErro
                 }
             }
             None => {
-                return Err(SparseError::Parse { line: 0, detail: "empty file".into() })
+                return Err(SparseError::Parse {
+                    line: 0,
+                    detail: "empty file".into(),
+                })
             }
         }
     };
@@ -98,7 +101,10 @@ pub fn read_matrix_market_from(reader: impl Read) -> Result<Csr<f64>, SparseErro
                 break line;
             }
             None => {
-                return Err(SparseError::Parse { line: lineno, detail: "missing size line".into() })
+                return Err(SparseError::Parse {
+                    line: lineno,
+                    detail: "missing size line".into(),
+                })
             }
         }
     };
@@ -133,14 +139,20 @@ pub fn read_matrix_market_from(reader: impl Read) -> Result<Csr<f64>, SparseErro
         }
         let lineno = n + 1;
         let mut it = t.split_whitespace();
-        let r: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| SparseError::Parse { line: lineno, detail: "bad row index".into() })?;
-        let c: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| SparseError::Parse { line: lineno, detail: "bad col index".into() })?;
+        let r: usize =
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| SparseError::Parse {
+                    line: lineno,
+                    detail: "bad row index".into(),
+                })?;
+        let c: usize =
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| SparseError::Parse {
+                    line: lineno,
+                    detail: "bad col index".into(),
+                })?;
         if r == 0 || c == 0 {
             return Err(SparseError::Parse {
                 line: lineno,
@@ -149,10 +161,14 @@ pub fn read_matrix_market_from(reader: impl Read) -> Result<Csr<f64>, SparseErro
         }
         let v: f64 = match field {
             Field::Pattern => 1.0,
-            Field::Real | Field::Integer => it
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| SparseError::Parse { line: lineno, detail: "bad value".into() })?,
+            Field::Real | Field::Integer => {
+                it.next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| SparseError::Parse {
+                        line: lineno,
+                        detail: "bad value".into(),
+                    })?
+            }
         };
         let (r0, c0) = (r - 1, (c - 1) as ColIdx);
         coo.push(r0, c0, v)?;
@@ -171,10 +187,7 @@ pub fn read_matrix_market_from(reader: impl Read) -> Result<Csr<f64>, SparseErro
 }
 
 /// Write a CSR matrix as `matrix coordinate real general`.
-pub fn write_matrix_market(
-    path: impl AsRef<Path>,
-    m: &Csr<f64>,
-) -> Result<(), SparseError> {
+pub fn write_matrix_market(path: impl AsRef<Path>, m: &Csr<f64>) -> Result<(), SparseError> {
     let f = std::fs::File::create(path)?;
     write_matrix_market_to(BufWriter::new(f), m)
 }
@@ -267,12 +280,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let m = Csr::from_triplets(
-            3,
-            4,
-            &[(0, 1, 1.5), (1, 0, -2.0), (2, 3, 7.25)],
-        )
-        .unwrap();
+        let m = Csr::from_triplets(3, 4, &[(0, 1, 1.5), (1, 0, -2.0), (2, 3, 7.25)]).unwrap();
         let mut buf = Vec::new();
         write_matrix_market_to(&mut buf, &m).unwrap();
         let back = read_matrix_market_from(buf.as_slice()).unwrap();

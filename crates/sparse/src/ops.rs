@@ -62,7 +62,13 @@ pub fn permute_cols<T: Copy + Send + Sync>(
     }
     debug_assert!(is_permutation(perm));
     let cols: Vec<ColIdx> = a.cols().iter().map(|&c| perm[c as usize]).collect();
-    Csr::from_parts(a.nrows(), a.ncols(), a.rpts().to_vec(), cols, a.vals().to_vec())
+    Csr::from_parts(
+        a.nrows(),
+        a.ncols(),
+        a.rpts().to_vec(),
+        cols,
+        a.vals().to_vec(),
+    )
 }
 
 /// Apply a row permutation: row `i` of the input becomes row
@@ -83,18 +89,27 @@ pub fn permute_rows<T: Copy + Send + Sync>(
     for (i, &p) in perm.iter().enumerate() {
         inv[p] = i;
     }
-    debug_assert!(inv.iter().all(|&x| x != usize::MAX), "perm is not a permutation");
+    debug_assert!(
+        inv.iter().all(|&x| x != usize::MAX),
+        "perm is not a permutation"
+    );
     let mut rpts = Vec::with_capacity(a.nrows() + 1);
     rpts.push(0usize);
     let mut cols = Vec::with_capacity(a.nnz());
     let mut vals = Vec::with_capacity(a.nnz());
-    for r in 0..a.nrows() {
-        let src = inv[r];
+    for &src in inv.iter().take(a.nrows()) {
         cols.extend_from_slice(a.row_cols(src));
         vals.extend_from_slice(a.row_vals(src));
         rpts.push(cols.len());
     }
-    Ok(Csr::from_parts_unchecked(a.nrows(), a.ncols(), rpts, cols, vals, a.is_sorted()))
+    Ok(Csr::from_parts_unchecked(
+        a.nrows(),
+        a.ncols(),
+        rpts,
+        cols,
+        vals,
+        a.is_sorted(),
+    ))
 }
 
 /// Symmetric permutation `P A Pᵀ`: vertex `i` is relabelled to
@@ -187,13 +202,22 @@ pub fn select_columns<T: Copy + Send + Sync>(
     selection: &[ColIdx],
 ) -> Result<Csr<T>, SparseError> {
     if !a.is_sorted() {
-        return Err(SparseError::Unsorted { op: "select_columns" });
+        return Err(SparseError::Unsorted {
+            op: "select_columns",
+        });
     }
-    debug_assert!(selection.windows(2).all(|w| w[0] < w[1]), "selection must be ascending");
+    debug_assert!(
+        selection.windows(2).all(|w| w[0] < w[1]),
+        "selection must be ascending"
+    );
     let mut map = vec![ColIdx::MAX; a.ncols()];
     for (new_id, &old) in selection.iter().enumerate() {
         if old as usize >= a.ncols() {
-            return Err(SparseError::ColumnOutOfBounds { row: 0, col: old, ncols: a.ncols() });
+            return Err(SparseError::ColumnOutOfBounds {
+                row: 0,
+                col: old,
+                ncols: a.ncols(),
+            });
         }
         map[old as usize] = new_id as ColIdx;
     }
@@ -211,7 +235,14 @@ pub fn select_columns<T: Copy + Send + Sync>(
         }
         rpts.push(cols.len());
     }
-    Ok(Csr::from_parts_unchecked(a.nrows(), selection.len(), rpts, cols, vals, true))
+    Ok(Csr::from_parts_unchecked(
+        a.nrows(),
+        selection.len(),
+        rpts,
+        cols,
+        vals,
+        true,
+    ))
 }
 
 /// Element-wise sum `A + B` of equal-shaped, sorted matrices by
@@ -219,7 +250,11 @@ pub fn select_columns<T: Copy + Send + Sync>(
 /// (structural union), matching the convention of the SpGEMM kernels.
 pub fn add<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>, SparseError> {
     if a.shape() != b.shape() {
-        return Err(SparseError::ShapeMismatch { left: a.shape(), right: b.shape(), op: "add" });
+        return Err(SparseError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "add",
+        });
     }
     if !a.is_sorted() || !b.is_sorted() {
         return Err(SparseError::Unsorted { op: "add" });
@@ -259,7 +294,14 @@ pub fn add<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>, SparseError> {
         vals.extend_from_slice(&bv[q..]);
         rpts.push(cols.len());
     }
-    Ok(Csr::from_parts_unchecked(a.nrows(), a.ncols(), rpts, cols, vals, true))
+    Ok(Csr::from_parts_unchecked(
+        a.nrows(),
+        a.ncols(),
+        rpts,
+        cols,
+        vals,
+        true,
+    ))
 }
 
 /// Sum the values of `b` at the coordinates present in `mask`
@@ -422,7 +464,14 @@ pub fn hadamard<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>, SparseError
         }
         rpts.push(cols.len());
     }
-    Ok(Csr::from_parts_unchecked(a.nrows(), a.ncols(), rpts, cols, vals, true))
+    Ok(Csr::from_parts_unchecked(
+        a.nrows(),
+        a.ncols(),
+        rpts,
+        cols,
+        vals,
+        true,
+    ))
 }
 
 fn is_permutation(perm: &[ColIdx]) -> bool {
@@ -448,7 +497,14 @@ mod tests {
         Csr::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 1, 5.0), (2, 2, 6.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+                (2, 2, 6.0),
+            ],
         )
         .unwrap()
     }
@@ -569,14 +625,16 @@ mod tests {
     fn add_shape_mismatch_rejected() {
         let a = sample();
         let b = Csr::<f64>::zero(2, 3);
-        assert!(matches!(add(&a, &b), Err(SparseError::ShapeMismatch { .. })));
+        assert!(matches!(
+            add(&a, &b),
+            Err(SparseError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
     fn masked_sum_counts_matches() {
         let b = sample();
-        let mask =
-            Csr::<u8>::from_triplets(3, 3, &[(0, 2, 1u8), (2, 0, 1), (1, 0, 1)]).unwrap();
+        let mask = Csr::<u8>::from_triplets(3, 3, &[(0, 2, 1u8), (2, 0, 1), (1, 0, 1)]).unwrap();
         // matches: (0,2)=2.0 and (2,0)=4.0 present in b; (1,0) absent.
         let s = masked_sum(&b, &mask).unwrap();
         assert_eq!(s, 6.0);
@@ -660,7 +718,10 @@ mod tests {
         let a = sample();
         let perm = vec![2u32, 1, 0];
         let unsorted = permute_cols(&a, &perm).unwrap();
-        assert!(matches!(add(&unsorted, &unsorted), Err(SparseError::Unsorted { .. })));
+        assert!(matches!(
+            add(&unsorted, &unsorted),
+            Err(SparseError::Unsorted { .. })
+        ));
         assert!(matches!(
             select_columns(&unsorted, &[0]),
             Err(SparseError::Unsorted { .. })

@@ -15,10 +15,7 @@ use rayon::prelude::*;
 ///
 /// Panics if the inner dimensions disagree (programmer error — callers
 /// validate shapes at the API boundary).
-pub fn row_flops<T: Copy + Send + Sync, U: Copy + Send + Sync>(
-    a: &Csr<T>,
-    b: &Csr<U>,
-) -> Vec<u64> {
+pub fn row_flops<T: Copy + Send + Sync, U: Copy + Send + Sync>(a: &Csr<T>, b: &Csr<U>) -> Vec<u64> {
     assert_eq!(
         a.ncols(),
         b.nrows(),
@@ -92,15 +89,29 @@ pub fn structure_stats<T: Copy + Send + Sync>(a: &Csr<T>) -> StructureStats {
         let diff = d as f64 - mean;
         var += diff * diff;
     }
-    let row_cv = if n == 0 || mean == 0.0 { 0.0 } else { (var / n as f64).sqrt() / mean };
-    StructureStats { nrows: n, ncols: a.ncols(), nnz, avg_row_nnz: mean, max_row_nnz: max, row_cv }
+    let row_cv = if n == 0 || mean == 0.0 {
+        0.0
+    } else {
+        (var / n as f64).sqrt() / mean
+    };
+    StructureStats {
+        nrows: n,
+        ncols: a.ncols(),
+        nnz,
+        avg_row_nnz: mean,
+        max_row_nnz: max,
+        row_cv,
+    }
 }
 
 /// Per-row upper bound for `nnz(c_i*)`: `min(flop(c_i*), ncols(B))`.
 /// Used to size hash tables (§4.2.1: "Required maximum hash table size
 /// is Ncol").
 pub fn row_nnz_upper_bounds(row_flops: &[u64], ncols_b: usize) -> Vec<usize> {
-    row_flops.iter().map(|&f| (f as usize).min(ncols_b)).collect()
+    row_flops
+        .iter()
+        .map(|&f| (f as usize).min(ncols_b))
+        .collect()
 }
 
 #[cfg(test)]
@@ -117,8 +128,7 @@ mod tests {
         // [ x . ]
         // [ x x ]
         // [ . x ]
-        Csr::from_triplets(3, 2, &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0), (2, 1, 1.0)])
-            .unwrap()
+        Csr::from_triplets(3, 2, &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0), (2, 1, 1.0)]).unwrap()
     }
 
     #[test]

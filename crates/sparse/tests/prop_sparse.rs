@@ -9,32 +9,28 @@ use spgemm_sparse::{approx_eq_f64, ops, stats, ColIdx, Coo, Csr};
 /// bounded number of (possibly duplicate) triplets.
 fn arb_csr(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr<f64>> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(move |(nr, nc)| {
-        proptest::collection::vec(
-            (0..nr, 0..nc, -4.0f64..4.0),
-            0..=max_nnz,
-        )
-        .prop_map(move |trips| {
-            let mut coo = Coo::new(nr, nc).unwrap();
-            for (r, c, v) in trips {
-                coo.push(r, c as ColIdx, v).unwrap();
-            }
-            coo.into_csr_sum()
-        })
-    })
-}
-
-/// Strategy: a random square matrix.
-fn arb_square(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr<f64>> {
-    (2..=max_dim).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, -4.0f64..4.0), 0..=max_nnz).prop_map(
+        proptest::collection::vec((0..nr, 0..nc, -4.0f64..4.0), 0..=max_nnz).prop_map(
             move |trips| {
-                let mut coo = Coo::new(n, n).unwrap();
+                let mut coo = Coo::new(nr, nc).unwrap();
                 for (r, c, v) in trips {
                     coo.push(r, c as ColIdx, v).unwrap();
                 }
                 coo.into_csr_sum()
             },
         )
+    })
+}
+
+/// Strategy: a random square matrix.
+fn arb_square(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr<f64>> {
+    (2..=max_dim).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, -4.0f64..4.0), 0..=max_nnz).prop_map(move |trips| {
+            let mut coo = Coo::new(n, n).unwrap();
+            for (r, c, v) in trips {
+                coo.push(r, c as ColIdx, v).unwrap();
+            }
+            coo.into_csr_sum()
+        })
     })
 }
 
@@ -131,9 +127,9 @@ proptest! {
     fn flop_matches_naive(m in arb_square(24, 120)) {
         let rf = stats::row_flops(&m, &m);
         let mut naive = vec![0u64; m.nrows()];
-        for i in 0..m.nrows() {
+        for (i, n) in naive.iter_mut().enumerate() {
             for &k in m.row_cols(i) {
-                naive[i] += m.row_nnz(k as usize) as u64;
+                *n += m.row_nnz(k as usize) as u64;
             }
         }
         prop_assert_eq!(rf, naive);

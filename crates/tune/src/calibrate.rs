@@ -1,0 +1,352 @@
+//! The one-time calibration sweep: time every algorithm over a small
+//! grid of generated inputs and distill a [`MachineProfile`].
+//!
+//! The grid crosses the axes of the paper's Table 4 — generator
+//! family (R-MAT ER = uniform, R-MAT G500 = skewed, 2-D Poisson),
+//! edge factor (sparse vs dense), operand shape (square vs
+//! tall-skinny), input sortedness, and requested output order — so
+//! every cell the static recipe distinguishes gets an empirical
+//! winner on *this* machine. The sweep also measures the hash
+//! collision factor `c`, the free parameter of `spgemm::cost` Eq (2)
+//! the paper says must be measured per machine.
+
+use crate::profile::{AlgoScore, CellEntry, CellKey, GridBounds, MachineProfile, PROFILE_VERSION};
+use spgemm::recipe::auto_context;
+use spgemm::{cost, multiply_in, Algorithm, OutputOrder};
+use spgemm_gen::{perm, poisson, rmat, tallskinny, RmatKind};
+use spgemm_par::Pool;
+use spgemm_sparse::{Csr, PlusTimes};
+use std::time::Instant;
+
+/// Knobs of one sweep. Defaults finish in seconds on a laptop-class
+/// container; raise `scale` (and accept a longer sweep) to calibrate
+/// closer to production problem sizes.
+#[derive(Clone, Debug)]
+pub struct CalibrationConfig {
+    /// R-MAT scale: square inputs are `2^scale` rows.
+    pub scale: u32,
+    /// Edge factors to sweep (mean nnz/row); each lands in its own
+    /// profile bucket. The defaults straddle the paper's
+    /// sparse/dense boundary of 8.
+    pub edge_factors: Vec<usize>,
+    /// Timing repetitions per (input, algorithm, order); median kept.
+    pub reps: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Also sweep the 2-D Poisson stencil (a uniform, FEM-like row
+    /// pattern distinct from R-MAT ER).
+    pub include_poisson: bool,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            scale: 9,
+            edge_factors: vec![4, 16],
+            reps: 3,
+            seed: 20180804,
+            include_poisson: true,
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// A sweep small enough for tests and smoke runs (< ~1 s).
+    pub fn quick() -> Self {
+        CalibrationConfig {
+            scale: 6,
+            reps: 1,
+            ..Default::default()
+        }
+    }
+}
+
+/// Raw timings for one (input, output-order) scenario of the sweep.
+#[derive(Clone, Debug)]
+pub struct SweepRecord {
+    /// Human-readable input description (generator, size, sortedness).
+    pub label: String,
+    /// The profile cell this scenario feeds.
+    pub key: CellKey,
+    /// Median seconds per algorithm (contract-violating algorithms
+    /// are absent).
+    pub timings: Vec<(Algorithm, f64)>,
+}
+
+/// Run the sweep and build the profile; also returns the raw records
+/// for reporting.
+pub fn calibrate_with_report(
+    cfg: &CalibrationConfig,
+    pool: &Pool,
+) -> (MachineProfile, Vec<SweepRecord>) {
+    let mut records = Vec::new();
+    let mut nrows_seen: Vec<usize> = Vec::new();
+    let mut collision_samples: Vec<f64> = Vec::new();
+    let mut rng = spgemm_gen::rng(cfg.seed);
+
+    // --- assemble the input grid -----------------------------------
+    // (label, A, B, A is B [square case])
+    let mut pairs: Vec<(String, Csr<f64>, Csr<f64>)> = Vec::new();
+    for kind in [RmatKind::Er, RmatKind::G500] {
+        for &ef in &cfg.edge_factors {
+            let a = rmat::generate_kind(kind, cfg.scale, ef, &mut rng);
+            let au = perm::randomize_columns(&a, &mut rng);
+            let k = (a.nrows() / 16).max(1);
+            let ts = tallskinny::tall_skinny(&a, k, &mut rng)
+                .expect("tall-skinny columns within bounds");
+            let tsu = perm::randomize_columns(&ts, &mut rng);
+            let base = format!("{}-s{}-ef{}", kind.name(), cfg.scale, ef);
+            collision_samples.push(cost::measure_collision_factor::<PlusTimes<f64>>(&a, &a));
+            pairs.push((format!("{base}-sq-sorted"), a.clone(), a.clone()));
+            pairs.push((format!("{base}-sq-unsorted"), au.clone(), au.clone()));
+            pairs.push((format!("{base}-ts-sorted"), a, ts));
+            pairs.push((format!("{base}-ts-unsorted"), au, tsu));
+        }
+    }
+    if cfg.include_poisson {
+        // grid side ≈ sqrt(2^scale) gives ~2^scale rows, matching the
+        // R-MAT sizes (the stencil's ef is ~5, uniform); rounding —
+        // rather than truncating the exponent — keeps odd scales from
+        // halving the row count and widening the profile's size
+        // bounds.
+        let side = (2f64.powi(cfg.scale as i32)).sqrt().round() as usize;
+        let p = poisson::poisson2d(side);
+        let pu = perm::randomize_columns(&p, &mut rng);
+        pairs.push((format!("poisson-{side}x{side}-sorted"), p.clone(), p));
+        pairs.push((format!("poisson-{side}x{side}-unsorted"), pu.clone(), pu));
+    }
+
+    // --- time the roster over the grid -----------------------------
+    for (label, a, b) in &pairs {
+        nrows_seen.push(a.nrows());
+        for order in [OutputOrder::Sorted, OutputOrder::Unsorted] {
+            let ctx = auto_context(a, b, order);
+            let key = CellKey::of(&ctx);
+            let mut timings = Vec::new();
+            for algo in Algorithm::ALL {
+                // Only time algorithms whose result would be valid for
+                // this cell: sorted-input kernels need sorted operands,
+                // and a sorted-output cell excludes Inspector (which
+                // would "win" only by skipping the required sort).
+                if !spgemm::recipe::pick_admissible(&ctx, algo) {
+                    continue;
+                }
+                if let Some(secs) = time_multiply(a, b, algo, order, pool, cfg.reps) {
+                    timings.push((algo, secs));
+                }
+            }
+            records.push(SweepRecord {
+                label: format!(
+                    "{label}-{}",
+                    if order.is_sorted() {
+                        "out_sorted"
+                    } else {
+                        "out_unsorted"
+                    }
+                ),
+                key,
+                timings,
+            });
+        }
+    }
+
+    // --- distill records into cells --------------------------------
+    let cells = build_cells(&records);
+    let collision_factor = if collision_samples.is_empty() {
+        1.0
+    } else {
+        collision_samples.iter().sum::<f64>() / collision_samples.len() as f64
+    };
+    let profile = MachineProfile {
+        version: PROFILE_VERSION,
+        hostname: crate::store::hostname(),
+        threads: pool.nthreads(),
+        collision_factor,
+        bounds: GridBounds {
+            nrows_min: nrows_seen.iter().copied().min().unwrap_or(0),
+            nrows_max: nrows_seen.iter().copied().max().unwrap_or(0),
+        },
+        cells,
+    };
+    (profile, records)
+}
+
+/// Run the sweep and build the profile.
+pub fn calibrate(cfg: &CalibrationConfig, pool: &Pool) -> MachineProfile {
+    calibrate_with_report(cfg, pool).0
+}
+
+/// Whether an algorithm may be *served* by the tuned selector.
+///
+/// Reference (the sequential `BTreeMap` test oracle) and IKJ (the
+/// quadratic background baseline) are timed during the sweep — their
+/// numbers appear in the [`SweepRecord`]s and the `tune` binary's
+/// report — but are never eligible cell winners: at calibration sizes
+/// they can out-time the parallel kernels on startup overhead alone,
+/// and extrapolating that to the ×4 size margin the selector admits
+/// would route production multiplies through a test kernel.
+pub fn selectable(algo: Algorithm) -> bool {
+    !matches!(algo, Algorithm::Reference | Algorithm::Ikj)
+}
+
+/// Median wall-clock seconds for `reps` multiplies (after one warmup
+/// that doubles as the contract check); `None` when the combination
+/// is invalid.
+fn time_multiply(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    algo: Algorithm,
+    order: OutputOrder,
+    pool: &Pool,
+    reps: usize,
+) -> Option<f64> {
+    multiply_in::<PlusTimes<f64>>(a, b, algo, order, pool).ok()?;
+    let reps = reps.max(1);
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let c = multiply_in::<PlusTimes<f64>>(a, b, algo, order, pool).ok()?;
+        times.push(t.elapsed().as_secs_f64());
+        std::hint::black_box(c.nnz());
+    }
+    times.sort_by(|x, y| x.total_cmp(y));
+    Some(times[times.len() / 2])
+}
+
+/// Group records by cell and rank algorithms by mean slowdown
+/// relative to each record's fastest (so differently-sized inputs in
+/// one cell weigh equally).
+fn build_cells(records: &[SweepRecord]) -> Vec<CellEntry> {
+    // per cell: (algorithm, relative slowdowns seen, total seconds)
+    type Accum = Vec<(Algorithm, Vec<f64>, f64)>;
+    let mut cells: Vec<(CellKey, Accum)> = Vec::new();
+    for rec in records {
+        // Rank only algorithms the selector may serve (see
+        // [`selectable`]); the baselines stay in the raw records.
+        let timings: Vec<(Algorithm, f64)> = rec
+            .timings
+            .iter()
+            .copied()
+            .filter(|&(a, _)| selectable(a))
+            .collect();
+        let Some(&(_, best)) = timings.iter().min_by(|(_, x), (_, y)| x.total_cmp(y)) else {
+            continue;
+        };
+        let slot = match cells.iter_mut().find(|(k, _)| *k == rec.key) {
+            Some((_, v)) => v,
+            None => {
+                cells.push((rec.key, Vec::new()));
+                &mut cells.last_mut().unwrap().1
+            }
+        };
+        for &(algo, secs) in &timings {
+            let rel = if best > 0.0 { secs / best } else { 1.0 };
+            match slot.iter_mut().find(|(a, _, _)| *a == algo) {
+                Some((_, rels, total)) => {
+                    rels.push(rel);
+                    *total += secs;
+                }
+                None => slot.push((algo, vec![rel], secs)),
+            }
+        }
+    }
+    cells
+        .into_iter()
+        .filter_map(|(key, algos)| {
+            let mut ranking: Vec<AlgoScore> = algos
+                .into_iter()
+                .map(|(algo, rels, total_secs)| AlgoScore {
+                    algo,
+                    rel_slowdown: rels.iter().sum::<f64>() / rels.len() as f64,
+                    total_secs,
+                })
+                .collect();
+            ranking.sort_by(|x, y| x.rel_slowdown.total_cmp(&y.rel_slowdown));
+            let winner = ranking.first()?.algo;
+            Some(CellEntry {
+                key,
+                winner,
+                ranking,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_a_usable_profile() {
+        let pool = Pool::new(2);
+        let cfg = CalibrationConfig::quick();
+        let (profile, records) = calibrate_with_report(&cfg, &pool);
+        assert!(!profile.cells.is_empty());
+        assert!(!records.is_empty());
+        assert!(profile.collision_factor >= 1.0);
+        assert_eq!(profile.threads, 2);
+        assert_eq!(profile.bounds.nrows_min, 64);
+        assert_eq!(profile.bounds.nrows_max, 64);
+        // every cell's winner heads its own ranking and respects the
+        // cell's sortedness
+        for cell in &profile.cells {
+            assert_eq!(cell.winner, cell.ranking[0].algo);
+            assert!((cell.ranking[0].rel_slowdown - 1.0).abs() < 0.5);
+            if !cell.key.sorted_inputs {
+                assert!(!cell.winner.requires_sorted_inputs());
+            }
+            // a sorted-output cell may not even rank Inspector: it
+            // cannot deliver sorted rows natively
+            if cell.key.order.is_sorted() {
+                assert!(cell.ranking.iter().all(|s| s.algo.honours_sorted_output()));
+            }
+            // test-only baselines are timed but never ranked
+            assert!(cell.ranking.iter().all(|s| selectable(s.algo)));
+        }
+        // both orders and both sortedness classes were swept
+        assert!(profile.cells.iter().any(|c| c.key.order.is_sorted()));
+        assert!(profile.cells.iter().any(|c| !c.key.order.is_sorted()));
+        assert!(profile.cells.iter().any(|c| c.key.sorted_inputs));
+        assert!(profile.cells.iter().any(|c| !c.key.sorted_inputs));
+    }
+
+    #[test]
+    fn sweep_covers_square_and_tall_skinny() {
+        let pool = Pool::new(1);
+        let profile = calibrate(&CalibrationConfig::quick(), &pool);
+        use spgemm::recipe::OpKind;
+        assert!(profile.cells.iter().any(|c| c.key.op == OpKind::Square));
+        assert!(profile.cells.iter().any(|c| c.key.op == OpKind::TallSkinny));
+    }
+
+    #[test]
+    fn build_cells_ranks_relative_not_absolute() {
+        use spgemm::recipe::{OpKind, Pattern};
+        let key = CellKey {
+            op: OpKind::Square,
+            pattern: Pattern::Uniform,
+            ef_bucket: 2,
+            sorted_inputs: true,
+            order: OutputOrder::Sorted,
+        };
+        // Input 1 is 100x slower overall but prefers Hash; input 2
+        // prefers Heap mildly. Relative scoring must not let input
+        // 1's absolute magnitude drown input 2.
+        let records = vec![
+            SweepRecord {
+                label: "big".into(),
+                key,
+                timings: vec![(Algorithm::Hash, 1.0), (Algorithm::Heap, 3.0)],
+            },
+            SweepRecord {
+                label: "small".into(),
+                key,
+                timings: vec![(Algorithm::Hash, 0.012), (Algorithm::Heap, 0.01)],
+            },
+        ];
+        let cells = build_cells(&records);
+        assert_eq!(cells.len(), 1);
+        // Hash: mean(1.0, 1.2) = 1.1; Heap: mean(3.0, 1.0) = 2.0
+        assert_eq!(cells[0].winner, Algorithm::Hash);
+    }
+}

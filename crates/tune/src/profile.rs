@@ -1,0 +1,512 @@
+//! The versioned machine profile: what one calibration sweep learned
+//! about this host, in a form that serializes to JSON and answers
+//! selector queries deterministically.
+
+use crate::json::{ParseError, Value};
+use spgemm::recipe::{OpKind, Pattern};
+use spgemm::{Algorithm, OutputOrder};
+use std::collections::BTreeMap;
+
+/// Schema version; bump on incompatible changes so stale profiles are
+/// ignored rather than misread.
+pub const PROFILE_VERSION: u64 = 1;
+
+/// How far outside the calibrated row-count range the selector still
+/// trusts its cells (×/÷ this factor), before declining to the static
+/// recipe.
+pub const SIZE_MARGIN: usize = 4;
+
+/// Map an edge factor (mean nnz per row) to its calibration bucket:
+/// `floor(log2(ef))`, clamped to `[0, 15]`. Neighbouring real inputs
+/// land in the same bucket as the calibration input that represents
+/// them.
+pub fn ef_bucket(edge_factor: f64) -> u8 {
+    if edge_factor < 1.0 {
+        return 0;
+    }
+    (edge_factor.log2().floor() as i64).clamp(0, 15) as u8
+}
+
+/// The discrete coordinates of one calibrated scenario.
+///
+/// Mirrors the features [`spgemm::recipe::AutoContext`] derives from
+/// the operands, so a lookup at multiply time hits exactly the cell
+/// whose generated input it resembles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellKey {
+    /// Square or tall-skinny (shape-inferred, as in `AutoContext`).
+    pub op: OpKind,
+    /// Uniform or skewed row distribution.
+    pub pattern: Pattern,
+    /// [`ef_bucket`] of the edge factor.
+    pub ef_bucket: u8,
+    /// Whether both operands were column-sorted.
+    pub sorted_inputs: bool,
+    /// Requested output order.
+    pub order: OutputOrder,
+}
+
+impl CellKey {
+    /// The key a given multiply context falls into.
+    pub fn of(ctx: &spgemm::recipe::AutoContext) -> CellKey {
+        CellKey {
+            op: ctx.op,
+            pattern: ctx.pattern,
+            ef_bucket: ef_bucket(ctx.edge_factor),
+            sorted_inputs: ctx.sorted_inputs,
+            order: ctx.order,
+        }
+    }
+}
+
+/// One algorithm's aggregate standing within a cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlgoScore {
+    /// The algorithm.
+    pub algo: Algorithm,
+    /// Mean slowdown relative to the best algorithm on each calibrated
+    /// input that mapped to this cell (1.0 = always fastest).
+    pub rel_slowdown: f64,
+    /// Total measured seconds across those inputs (diagnostic).
+    pub total_secs: f64,
+}
+
+/// One calibrated scenario with its measured ranking.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellEntry {
+    /// Where in the feature space this cell sits.
+    pub key: CellKey,
+    /// The fastest algorithm (lowest mean relative slowdown).
+    pub winner: Algorithm,
+    /// Every measured algorithm, best first.
+    pub ranking: Vec<AlgoScore>,
+}
+
+/// The row-count extent of the calibration sweep; queries outside
+/// `[nrows_min / SIZE_MARGIN, nrows_max * SIZE_MARGIN]` are declined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridBounds {
+    /// Smallest calibrated row count.
+    pub nrows_min: usize,
+    /// Largest calibrated row count.
+    pub nrows_max: usize,
+}
+
+impl GridBounds {
+    /// Whether `nrows` is close enough to the calibrated sizes.
+    pub fn admits(&self, nrows: usize) -> bool {
+        nrows >= self.nrows_min / SIZE_MARGIN && nrows <= self.nrows_max.saturating_mul(SIZE_MARGIN)
+    }
+}
+
+/// Everything one calibration sweep learned about a machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineProfile {
+    /// Schema version ([`PROFILE_VERSION`]).
+    pub version: u64,
+    /// Host the sweep ran on.
+    pub hostname: String,
+    /// Worker threads the sweep used (profiles are per thread-count:
+    /// crossover points move with parallelism).
+    pub threads: usize,
+    /// Measured hash collision factor `c` for `cost.rs` Eq (2).
+    pub collision_factor: f64,
+    /// Row-count extent of the sweep.
+    pub bounds: GridBounds,
+    /// Calibrated cells (order irrelevant; lookups scan).
+    pub cells: Vec<CellEntry>,
+}
+
+impl MachineProfile {
+    /// The entry for `key`, if that scenario was calibrated.
+    pub fn cell(&self, key: &CellKey) -> Option<&CellEntry> {
+        self.cells.iter().find(|c| c.key == *key)
+    }
+
+    /// Serialize to the canonical JSON text.
+    pub fn to_json(&self) -> String {
+        let mut root = BTreeMap::new();
+        root.insert("version".into(), Value::Num(self.version as f64));
+        root.insert("hostname".into(), Value::Str(self.hostname.clone()));
+        root.insert("threads".into(), Value::Num(self.threads as f64));
+        root.insert("collision_factor".into(), Value::Num(self.collision_factor));
+        let mut bounds = BTreeMap::new();
+        bounds.insert("nrows_min".into(), Value::Num(self.bounds.nrows_min as f64));
+        bounds.insert("nrows_max".into(), Value::Num(self.bounds.nrows_max as f64));
+        root.insert("bounds".into(), Value::Obj(bounds));
+        root.insert(
+            "cells".into(),
+            Value::Arr(self.cells.iter().map(cell_to_json).collect()),
+        );
+        Value::Obj(root).emit()
+    }
+
+    /// Parse a profile from JSON text, validating the schema version.
+    pub fn from_json(text: &str) -> Result<MachineProfile, ProfileError> {
+        let doc = crate::json::parse(text)?;
+        let version = doc
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or(ProfileError::missing("version"))?;
+        if version != PROFILE_VERSION {
+            return Err(ProfileError::Version {
+                found: version,
+                expected: PROFILE_VERSION,
+            });
+        }
+        let hostname = doc
+            .get("hostname")
+            .and_then(Value::as_str)
+            .ok_or(ProfileError::missing("hostname"))?
+            .to_owned();
+        let threads = doc
+            .get("threads")
+            .and_then(Value::as_u64)
+            .ok_or(ProfileError::missing("threads"))? as usize;
+        let collision_factor = doc
+            .get("collision_factor")
+            .and_then(Value::as_f64)
+            .ok_or(ProfileError::missing("collision_factor"))?;
+        let bounds_v = doc.get("bounds").ok_or(ProfileError::missing("bounds"))?;
+        let bounds = GridBounds {
+            nrows_min: bounds_v
+                .get("nrows_min")
+                .and_then(Value::as_u64)
+                .ok_or(ProfileError::missing("nrows_min"))? as usize,
+            nrows_max: bounds_v
+                .get("nrows_max")
+                .and_then(Value::as_u64)
+                .ok_or(ProfileError::missing("nrows_max"))? as usize,
+        };
+        let cells = doc
+            .get("cells")
+            .and_then(Value::as_arr)
+            .ok_or(ProfileError::missing("cells"))?
+            .iter()
+            .map(cell_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MachineProfile {
+            version,
+            hostname,
+            threads,
+            collision_factor,
+            bounds,
+            cells,
+        })
+    }
+}
+
+fn cell_to_json(cell: &CellEntry) -> Value {
+    let mut m = BTreeMap::new();
+    m.insert("op".into(), Value::Str(op_name(cell.key.op).into()));
+    m.insert(
+        "pattern".into(),
+        Value::Str(pattern_name(cell.key.pattern).into()),
+    );
+    m.insert("ef_bucket".into(), Value::Num(cell.key.ef_bucket as f64));
+    m.insert("sorted_inputs".into(), Value::Bool(cell.key.sorted_inputs));
+    m.insert(
+        "order".into(),
+        Value::Str(
+            if cell.key.order.is_sorted() {
+                "sorted"
+            } else {
+                "unsorted"
+            }
+            .into(),
+        ),
+    );
+    m.insert("winner".into(), Value::Str(cell.winner.name().into()));
+    m.insert(
+        "ranking".into(),
+        Value::Arr(
+            cell.ranking
+                .iter()
+                .map(|s| {
+                    Value::Arr(vec![
+                        Value::Str(s.algo.name().into()),
+                        Value::Num(s.rel_slowdown),
+                        Value::Num(s.total_secs),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    Value::Obj(m)
+}
+
+fn cell_from_json(v: &Value) -> Result<CellEntry, ProfileError> {
+    let op = parse_op(
+        v.get("op")
+            .and_then(Value::as_str)
+            .ok_or(ProfileError::missing("op"))?,
+    )?;
+    let pattern = parse_pattern(
+        v.get("pattern")
+            .and_then(Value::as_str)
+            .ok_or(ProfileError::missing("pattern"))?,
+    )?;
+    let ef_bucket = v
+        .get("ef_bucket")
+        .and_then(Value::as_u64)
+        .ok_or(ProfileError::missing("ef_bucket"))? as u8;
+    let sorted_inputs = v
+        .get("sorted_inputs")
+        .and_then(Value::as_bool)
+        .ok_or(ProfileError::missing("sorted_inputs"))?;
+    let order = match v.get("order").and_then(Value::as_str) {
+        Some("sorted") => OutputOrder::Sorted,
+        Some("unsorted") => OutputOrder::Unsorted,
+        other => return Err(ProfileError::Field(format!("bad order {other:?}"))),
+    };
+    let winner = parse_algorithm(
+        v.get("winner")
+            .and_then(Value::as_str)
+            .ok_or(ProfileError::missing("winner"))?,
+    )?;
+    let ranking = v
+        .get("ranking")
+        .and_then(Value::as_arr)
+        .ok_or(ProfileError::missing("ranking"))?
+        .iter()
+        .map(|row| {
+            let row = row.as_arr().filter(|r| r.len() == 3).ok_or_else(|| {
+                ProfileError::Field("ranking rows must be [algo, rel, secs]".into())
+            })?;
+            Ok(AlgoScore {
+                algo: parse_algorithm(
+                    row[0]
+                        .as_str()
+                        .ok_or(ProfileError::missing("ranking algo"))?,
+                )?,
+                rel_slowdown: row[1]
+                    .as_f64()
+                    .ok_or(ProfileError::missing("ranking rel"))?,
+                total_secs: row[2]
+                    .as_f64()
+                    .ok_or(ProfileError::missing("ranking secs"))?,
+            })
+        })
+        .collect::<Result<Vec<_>, ProfileError>>()?;
+    Ok(CellEntry {
+        key: CellKey {
+            op,
+            pattern,
+            ef_bucket,
+            sorted_inputs,
+            order,
+        },
+        winner,
+        ranking,
+    })
+}
+
+/// Profile decode failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProfileError {
+    /// The JSON text itself was malformed.
+    Json(ParseError),
+    /// Schema version mismatch.
+    Version {
+        /// Version in the file.
+        found: u64,
+        /// Version this build reads.
+        expected: u64,
+    },
+    /// A required field was missing or of the wrong shape.
+    Field(String),
+}
+
+impl ProfileError {
+    fn missing(name: &str) -> Self {
+        ProfileError::Field(format!("missing or invalid field '{name}'"))
+    }
+}
+
+impl From<ParseError> for ProfileError {
+    fn from(e: ParseError) -> Self {
+        ProfileError::Json(e)
+    }
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::Json(e) => write!(f, "{e}"),
+            ProfileError::Version { found, expected } => {
+                write!(f, "profile version {found}, this build reads {expected}")
+            }
+            ProfileError::Field(msg) => write!(f, "profile schema: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Canonical lowercase name of an op kind.
+pub fn op_name(op: OpKind) -> &'static str {
+    match op {
+        OpKind::Square => "square",
+        OpKind::LxU => "lxu",
+        OpKind::TallSkinny => "tall_skinny",
+    }
+}
+
+fn parse_op(s: &str) -> Result<OpKind, ProfileError> {
+    match s {
+        "square" => Ok(OpKind::Square),
+        "lxu" => Ok(OpKind::LxU),
+        "tall_skinny" => Ok(OpKind::TallSkinny),
+        other => Err(ProfileError::Field(format!("unknown op '{other}'"))),
+    }
+}
+
+/// Canonical lowercase name of a pattern class.
+pub fn pattern_name(p: Pattern) -> &'static str {
+    match p {
+        Pattern::Uniform => "uniform",
+        Pattern::Skewed => "skewed",
+    }
+}
+
+fn parse_pattern(s: &str) -> Result<Pattern, ProfileError> {
+    match s {
+        "uniform" => Ok(Pattern::Uniform),
+        "skewed" => Ok(Pattern::Skewed),
+        other => Err(ProfileError::Field(format!("unknown pattern '{other}'"))),
+    }
+}
+
+/// Inverse of [`Algorithm::name`].
+pub fn parse_algorithm(s: &str) -> Result<Algorithm, ProfileError> {
+    Algorithm::ALL
+        .into_iter()
+        .find(|a| a.name() == s)
+        .ok_or_else(|| ProfileError::Field(format!("unknown algorithm '{s}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_profile() -> MachineProfile {
+        MachineProfile {
+            version: PROFILE_VERSION,
+            hostname: "test-host".into(),
+            threads: 4,
+            collision_factor: 1.03125,
+            bounds: GridBounds {
+                nrows_min: 256,
+                nrows_max: 1024,
+            },
+            cells: vec![
+                CellEntry {
+                    key: CellKey {
+                        op: OpKind::Square,
+                        pattern: Pattern::Uniform,
+                        ef_bucket: 2,
+                        sorted_inputs: true,
+                        order: OutputOrder::Sorted,
+                    },
+                    winner: Algorithm::Heap,
+                    ranking: vec![
+                        AlgoScore {
+                            algo: Algorithm::Heap,
+                            rel_slowdown: 1.0,
+                            total_secs: 0.01,
+                        },
+                        AlgoScore {
+                            algo: Algorithm::Hash,
+                            rel_slowdown: 1.2,
+                            total_secs: 0.012,
+                        },
+                    ],
+                },
+                CellEntry {
+                    key: CellKey {
+                        op: OpKind::TallSkinny,
+                        pattern: Pattern::Skewed,
+                        ef_bucket: 4,
+                        sorted_inputs: false,
+                        order: OutputOrder::Unsorted,
+                    },
+                    winner: Algorithm::HashVec,
+                    ranking: vec![AlgoScore {
+                        algo: Algorithm::HashVec,
+                        rel_slowdown: 1.0,
+                        total_secs: 0.002,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let p = sample_profile();
+        let back = MachineProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, back);
+        // and stable: re-serialization is byte-identical
+        assert_eq!(p.to_json(), back.to_json());
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let text = sample_profile()
+            .to_json()
+            .replace("\"version\":1", "\"version\":999");
+        match MachineProfile::from_json(&text) {
+            Err(ProfileError::Version {
+                found: 999,
+                expected,
+            }) => {
+                assert_eq!(expected, PROFILE_VERSION)
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ef_buckets_separate_the_calibrated_edge_factors() {
+        assert_eq!(ef_bucket(0.5), 0);
+        assert_eq!(ef_bucket(1.0), 0);
+        assert_eq!(ef_bucket(4.0), 2);
+        assert_eq!(ef_bucket(6.0), 2);
+        assert_eq!(ef_bucket(16.0), 4);
+        assert_eq!(ef_bucket(1e9), 15);
+        assert!(ef_bucket(4.0) != ef_bucket(16.0));
+    }
+
+    #[test]
+    fn bounds_margin() {
+        let b = GridBounds {
+            nrows_min: 256,
+            nrows_max: 1024,
+        };
+        assert!(b.admits(256));
+        assert!(b.admits(64));
+        assert!(!b.admits(63));
+        assert!(b.admits(4096));
+        assert!(!b.admits(4097));
+    }
+
+    #[test]
+    fn unknown_algorithm_rejected() {
+        let text = sample_profile()
+            .to_json()
+            .replace("\"Heap\"", "\"Quantum\"");
+        assert!(MachineProfile::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn missing_fields_are_errors_not_defaults() {
+        // Every top-level field is load-bearing: a profile that lost
+        // one must be rejected, not silently patched with a default.
+        for field in ["threads", "collision_factor", "bounds", "cells", "hostname"] {
+            let text = sample_profile()
+                .to_json()
+                .replace(&format!("\"{field}\""), "\"gone\"");
+            assert!(MachineProfile::from_json(&text).is_err(), "field {field}");
+        }
+    }
+}

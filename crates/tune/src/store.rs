@@ -1,0 +1,182 @@
+//! Where machine profiles live on disk and how they are found.
+//!
+//! Layout: one JSON file per (hostname, thread-count) pair inside the
+//! profile directory —
+//!
+//! ```text
+//! $SPGEMM_TUNE_DIR/                  # or ~/.cache/spgemm-tune
+//!   profile-v1-<hostname>-t<threads>.json
+//! ```
+//!
+//! The directory is resolved, in order, from `SPGEMM_TUNE_DIR`,
+//! `$XDG_CACHE_HOME/spgemm-tune`, `$HOME/.cache/spgemm-tune`, and
+//! finally `./.spgemm-tune`.
+
+use crate::profile::{MachineProfile, ProfileError, PROFILE_VERSION};
+use std::path::{Path, PathBuf};
+
+/// Environment variable overriding the profile directory.
+pub const TUNE_DIR_ENV: &str = "SPGEMM_TUNE_DIR";
+
+/// The directory profiles are saved to and loaded from.
+pub fn profile_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os(TUNE_DIR_ENV).filter(|v| !v.is_empty()) {
+        return PathBuf::from(dir);
+    }
+    if let Some(xdg) = std::env::var_os("XDG_CACHE_HOME").filter(|v| !v.is_empty()) {
+        return Path::new(&xdg).join("spgemm-tune");
+    }
+    if let Some(home) = std::env::var_os("HOME").filter(|v| !v.is_empty()) {
+        return Path::new(&home).join(".cache").join("spgemm-tune");
+    }
+    PathBuf::from(".spgemm-tune")
+}
+
+/// This machine's name, sanitized for use in a file name.
+pub fn hostname() -> String {
+    let raw = std::env::var("HOSTNAME")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .or_else(|| std::fs::read_to_string("/proc/sys/kernel/hostname").ok())
+        .unwrap_or_default();
+    let cleaned: String = raw
+        .trim()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "unknown-host".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+/// File path for a (hostname, threads) profile.
+pub fn profile_path(host: &str, threads: usize) -> PathBuf {
+    profile_dir().join(format!("profile-v{PROFILE_VERSION}-{host}-t{threads}.json"))
+}
+
+/// Persist `profile` under its own hostname/threads key, creating the
+/// directory if needed. Returns the path written.
+pub fn save(profile: &MachineProfile) -> std::io::Result<PathBuf> {
+    let path = profile_path(&profile.hostname, profile.threads);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    // Write-then-rename so a crashed sweep never leaves a torn file
+    // where `load` would find it; the tmp name carries the pid so
+    // concurrent savers never publish each other's half-written bytes.
+    let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, profile.to_json())?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Load the profile for this host at `threads` workers, if one exists
+/// and decodes cleanly. Any failure (missing file, old schema,
+/// corruption) is reported as `None`-with-reason so callers can fall
+/// back to the static recipe.
+pub fn load(threads: usize) -> Result<MachineProfile, LoadError> {
+    load_from(&profile_path(&hostname(), threads))
+}
+
+/// [`load`] from an explicit path.
+pub fn load_from(path: &Path) -> Result<MachineProfile, LoadError> {
+    let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
+    let profile = MachineProfile::from_json(&text).map_err(LoadError::Decode)?;
+    Ok(profile)
+}
+
+/// Why a profile could not be loaded.
+#[derive(Debug)]
+pub enum LoadError {
+    /// File missing or unreadable.
+    Io(std::io::Error),
+    /// File present but not a valid current-version profile.
+    Decode(ProfileError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "profile unreadable: {e}"),
+            LoadError::Decode(e) => write!(f, "profile invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{GridBounds, MachineProfile};
+
+    fn tiny(host: &str, threads: usize) -> MachineProfile {
+        MachineProfile {
+            version: PROFILE_VERSION,
+            hostname: host.into(),
+            threads,
+            collision_factor: 1.0,
+            bounds: GridBounds {
+                nrows_min: 1,
+                nrows_max: 2,
+            },
+            cells: vec![],
+        }
+    }
+
+    #[test]
+    fn save_then_load_from_round_trips() {
+        let dir = std::env::temp_dir().join(format!("spgemm-tune-test-{}", std::process::id()));
+        let p = tiny("round-trip-host", 3);
+        // Avoid racing sibling tests on the env var: drive the paths
+        // directly rather than through profile_dir().
+        let path = dir.join(format!(
+            "profile-v{PROFILE_VERSION}-round-trip-host-t3.json"
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, p.to_json()).unwrap();
+        let back = load_from(&path).unwrap();
+        assert_eq!(back, p);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match load_from(Path::new("/nonexistent/spgemm-profile.json")) {
+            Err(LoadError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_file_is_decode_error() {
+        let dir = std::env::temp_dir().join(format!("spgemm-tune-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        match load_from(&path) {
+            Err(LoadError::Decode(_)) => {}
+            other => panic!("expected Decode error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hostname_is_filename_safe() {
+        let h = hostname();
+        assert!(!h.is_empty());
+        assert!(
+            h.chars()
+                .all(|c| c.is_ascii_alphanumeric() || "-._".contains(c)),
+            "{h}"
+        );
+    }
+}

@@ -60,5 +60,8 @@ fn main() {
             }
         }
     }
-    println!("Rand index vs planted truth: {:.4}", agree as f64 / total as f64);
+    println!(
+        "Rand index vs planted truth: {:.4}",
+        agree as f64 / total as f64
+    );
 }

@@ -22,18 +22,20 @@ fn main() {
     println!("graph: {} vertices, {} edges", graph.nrows(), graph.nnz());
 
     // sources spread across the vertex id space
-    let sources: Vec<usize> =
-        (0..nsources).map(|s| (s * graph.nrows()) / nsources).collect();
+    let sources: Vec<usize> = (0..nsources)
+        .map(|s| (s * graph.nrows()) / nsources)
+        .collect();
 
     let pool = spgemm_par::global_pool();
     let t = std::time::Instant::now();
     // Table 4b: tall-skinny workloads want the hash family.
-    let levels =
-        bfs::multi_source_bfs(&graph, &sources, Algorithm::Hash, pool).expect("bfs");
+    let levels = bfs::multi_source_bfs(&graph, &sources, Algorithm::Hash, pool).expect("bfs");
     let secs = t.elapsed().as_secs_f64();
 
     println!("ran {} simultaneous BFS in {:.3}s", sources.len(), secs);
-    let mut reach: Vec<usize> = (0..sources.len()).map(|s| levels.reached_count(s)).collect();
+    let mut reach: Vec<usize> = (0..sources.len())
+        .map(|s| levels.reached_count(s))
+        .collect();
     reach.sort_unstable();
     println!(
         "reachability: min {} / median {} / max {} of {} vertices",

@@ -61,5 +61,8 @@ fn main() {
 
     // Auto selection consults the paper's recipe (Table 4).
     let auto = multiply_f64(&a, &a, Algorithm::Auto, OutputOrder::Unsorted).expect("multiply");
-    println!("\nAuto-selected kernel produced {} nnz (unsorted output)", auto.nnz());
+    println!(
+        "\nAuto-selected kernel produced {} nnz (unsorted output)",
+        auto.nnz()
+    );
 }

@@ -23,11 +23,19 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(11);
 
-    let contenders =
-        [Algorithm::Hash, Algorithm::HashVec, Algorithm::Heap, Algorithm::Spa, Algorithm::Merge];
+    let contenders = [
+        Algorithm::Hash,
+        Algorithm::HashVec,
+        Algorithm::Heap,
+        Algorithm::Spa,
+        Algorithm::Merge,
+    ];
 
     println!("scenario grid at scale {scale} (see Table 4b of the paper)\n");
-    println!("{:<28} {:>9} {:>10} {:>10}", "scenario", "recipe", "fastest", "agree?");
+    println!(
+        "{:<28} {:>9} {:>10} {:>10}",
+        "scenario", "recipe", "fastest", "agree?"
+    );
 
     for kind in [RmatKind::Er, RmatKind::G500] {
         for ef in [4usize, 16] {
@@ -52,7 +60,11 @@ fn main() {
                     "A²/{}/EF{}/{}",
                     kind.name(),
                     ef,
-                    if order.is_sorted() { "sorted" } else { "unsorted" }
+                    if order.is_sorted() {
+                        "sorted"
+                    } else {
+                        "unsorted"
+                    }
                 );
                 println!(
                     "{:<28} {:>9} {:>10} {:>10}",

@@ -33,8 +33,8 @@ fn main() {
     let simple = spgemm_sparse::ops::symmetrize_simple(&g).expect("symmetrize");
     let (l, u) = spgemm_sparse::ops::split_lu(&simple).expect("split");
     let flop = stats::flop(&l, &u);
-    let wedges = spgemm::multiply_f64(&l, &u, Algorithm::Hash, spgemm::OutputOrder::Sorted)
-        .expect("wedges");
+    let wedges =
+        spgemm::multiply_f64(&l, &u, Algorithm::Hash, spgemm::OutputOrder::Sorted).expect("wedges");
     println!(
         "L·U: flop {} / nnz {} -> compression ratio {:.2}",
         flop,

@@ -9,17 +9,21 @@ use spgemm_par::Pool;
 
 #[test]
 fn bfs_agrees_across_kernels_and_threads() {
-    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 8, &mut spgemm_gen::rng(1));
+    let a =
+        spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 8, &mut spgemm_gen::rng(1));
     let g = a.map(|_| true);
     let sources = [0usize, 17, 99];
-    let seq: Vec<Vec<u32>> = sources.iter().map(|&s| bfs::sequential_bfs(&g, s)).collect();
+    let seq: Vec<Vec<u32>> = sources
+        .iter()
+        .map(|&s| bfs::sequential_bfs(&g, s))
+        .collect();
     for nt in [1usize, 3] {
         let pool = Pool::new(nt);
         for algo in [Algorithm::Hash, Algorithm::Spa, Algorithm::KkHash] {
             let l = bfs::multi_source_bfs(&g, &sources, algo, &pool).unwrap();
             for (si, lv) in seq.iter().enumerate() {
-                for v in 0..g.nrows() {
-                    assert_eq!(l.level(v, si), lv[v], "{algo} nt={nt} v={v}");
+                for (v, &lvl) in lv.iter().enumerate() {
+                    assert_eq!(l.level(v, si), lvl, "{algo} nt={nt} v={v}");
                 }
             }
         }
@@ -77,7 +81,8 @@ fn amg_hierarchy_consistent_across_kernels() {
 #[test]
 fn bfs_on_tall_skinny_matches_recipe_pick() {
     // the recipe's tall-skinny pick must produce identical BFS levels
-    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 16, &mut spgemm_gen::rng(4));
+    let a =
+        spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 16, &mut spgemm_gen::rng(4));
     let g = a.map(|_| true);
     let pool = Pool::new(2);
     let auto = bfs::multi_source_bfs(&g, &[1, 2], Algorithm::Auto, &pool).unwrap();

@@ -54,7 +54,8 @@ fn rmat_pipeline_all_algorithms_all_threads() {
 fn unsorted_protocol_matches_sorted_results() {
     // the §5.1 protocol: randomly permute columns, multiply unsorted,
     // then verify the result is the permuted version of the sorted one
-    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 8, &mut spgemm_gen::rng(3));
+    let a =
+        spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 8, &mut spgemm_gen::rng(3));
     let perm = spgemm_gen::perm::random_col_permutation(a.ncols(), &mut spgemm_gen::rng(4));
     let pa = ops::permute_cols(&a, &perm).unwrap();
     let pool = Pool::new(2);
@@ -64,8 +65,14 @@ fn unsorted_protocol_matches_sorted_results() {
     // squared equals P applied to rows and columns appropriately only
     // for symmetric permutation — so here just verify unsorted kernels
     // agree with each other on the permuted operand.
-    let baseline = multiply_in::<P>(&pa, &pa, Algorithm::Hash, OutputOrder::Unsorted, &pool).unwrap();
-    for algo in [Algorithm::HashVec, Algorithm::Spa, Algorithm::KkHash, Algorithm::Inspector] {
+    let baseline =
+        multiply_in::<P>(&pa, &pa, Algorithm::Hash, OutputOrder::Unsorted, &pool).unwrap();
+    for algo in [
+        Algorithm::HashVec,
+        Algorithm::Spa,
+        Algorithm::KkHash,
+        Algorithm::Inspector,
+    ] {
         let c = multiply_in::<P>(&pa, &pa, algo, OutputOrder::Unsorted, &pool).unwrap();
         assert!(approx_eq_f64(&baseline, &c, 1e-9), "{algo}");
     }
@@ -73,7 +80,8 @@ fn unsorted_protocol_matches_sorted_results() {
 
 #[test]
 fn tall_skinny_pipeline() {
-    let g = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 9, 16, &mut spgemm_gen::rng(5));
+    let g =
+        spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 9, 16, &mut spgemm_gen::rng(5));
     let ts = spgemm_gen::tallskinny::tall_skinny(&g, 32, &mut spgemm_gen::rng(6)).unwrap();
     let pool = Pool::new(2);
     let oracle = spgemm::algos::reference::multiply::<P>(&g, &ts);
@@ -91,8 +99,7 @@ fn suite_standins_multiply_cleanly() {
     let suite = spgemm_gen::suite::standin_suite(100_000, 9);
     let pool = Pool::new(2);
     for (name, m) in suite.iter().take(8) {
-        let baseline =
-            multiply_in::<P>(m, m, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+        let baseline = multiply_in::<P>(m, m, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
         for algo in [Algorithm::Heap, Algorithm::Merge, Algorithm::KkHash] {
             let c = multiply_in::<P>(m, m, algo, OutputOrder::Sorted, &pool).unwrap();
             assert!(approx_eq_f64(&baseline, &c, 1e-9), "{algo} on {name}");
@@ -102,7 +109,8 @@ fn suite_standins_multiply_cleanly() {
 
 #[test]
 fn flop_accounting_consistent_across_crates() {
-    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::Er, 9, 8, &mut spgemm_gen::rng(7));
+    let a =
+        spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::Er, 9, 8, &mut spgemm_gen::rng(7));
     let pool = Pool::new(2);
     let plan = spgemm::exec_plan(&a, &a, &pool);
     assert_eq!(plan.total_flop, stats::flop(&a, &a));
@@ -116,10 +124,9 @@ fn symbolic_nnz_matches_numeric_everywhere() {
         for nt in [1usize, 2, 4] {
             let pool = Pool::new(nt);
             let symbolic = spgemm::product_nnz(&a, &a, &pool);
-            let numeric =
-                multiply_in::<P>(&a, &a, Algorithm::Hash, OutputOrder::Unsorted, &pool)
-                    .unwrap()
-                    .nnz();
+            let numeric = multiply_in::<P>(&a, &a, Algorithm::Hash, OutputOrder::Unsorted, &pool)
+                .unwrap()
+                .nnz();
             assert_eq!(symbolic, numeric, "{kind:?} nt={nt}");
         }
     }
@@ -127,11 +134,12 @@ fn symbolic_nnz_matches_numeric_everywhere() {
 
 #[test]
 fn masked_multiply_integrates_with_generators() {
-    let a = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 8, &mut spgemm_gen::rng(21));
+    let a =
+        spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 8, 8, &mut spgemm_gen::rng(21));
     let mask = a.map(|_| 1u8);
     let pool = Pool::new(2);
-    let masked = spgemm::multiply_masked::<P, u8>(&a, &a, &mask, OutputOrder::Sorted, &pool)
-        .unwrap();
+    let masked =
+        spgemm::multiply_masked::<P, u8>(&a, &a, &mask, OutputOrder::Sorted, &pool).unwrap();
     let full = multiply_in::<P>(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
     let expect = ops::hadamard(&full, &a.map(|_| 1.0f64)).unwrap();
     assert!(approx_eq_f64(&expect, &masked, 1e-9));

@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored
+//! crate provides the API subset the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`]
+//! / [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! simple wall-clock loop: a warmup pass, then timed iterations until
+//! the measurement budget (or an iteration cap) is reached, reporting
+//! mean / min / max per benchmark id.
+//!
+//! No statistics, plots, or baselines; for rigorous numbers use the
+//! figure binaries in `spgemm-bench`, which do their own timing.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; only a hint here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup dominates; fewer batches).
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// A hierarchical benchmark identifier (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter display.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// The per-benchmark timing loop driver.
+pub struct Bencher {
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Collected per-iteration seconds.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // warmup
+        std::hint::black_box(routine());
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed().as_secs_f64());
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed().as_secs_f64());
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    parent: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, &id.0, &b.samples);
+        self
+    }
+
+    /// Run one benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (report flushing happens per-benchmark).
+    pub fn finish(&mut self) {
+        let _ = &self.parent;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            parent: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("").bench_function(id, f);
+        self
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[f64]) {
+    let full = if group.is_empty() {
+        id.to_owned()
+    } else {
+        format!("{group}/{id}")
+    };
+    if samples.is_empty() {
+        println!("{full:<48} (no samples)");
+        return;
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{full:<48} mean {:>12} min {:>12} max {:>12} ({n} samples)",
+        fmt_secs(mean),
+        fmt_secs(min),
+        fmt_secs(max)
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Re-export so `criterion::black_box` call sites work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        let mut runs = 0u32;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(
+            runs >= 2,
+            "warmup + at least one timed iteration, got {runs}"
+        );
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("batched");
+        g.sample_size(2).measurement_time(Duration::from_millis(50));
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter_batched(
+                || (0..n).collect::<Vec<_>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for the `crossbeam-utils` crate, providing the one
+//! item the workspace uses: [`CachePadded`].
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to (at least) a cache-line boundary so that
+/// adjacent elements of a `Vec<CachePadded<T>>` never share a line
+/// (128 bytes covers the common 64-byte line and the 128-byte
+/// spatial-prefetcher pairing on recent x86).
+#[derive(Clone, Copy, Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in padding.
+    pub const fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+
+    /// Unwrap, discarding the padding.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_elements_do_not_share_lines() {
+        let v: Vec<CachePadded<u8>> = vec![CachePadded::new(1), CachePadded::new(2)];
+        let a = &*v[0] as *const u8 as usize;
+        let b = &*v[1] as *const u8 as usize;
+        assert!(b - a >= 128);
+        assert_eq!(*v[0], 1);
+    }
+
+    #[test]
+    fn deref_mut_reaches_inner() {
+        let mut p = CachePadded::new(vec![1, 2]);
+        p.push(3);
+        assert_eq!(p.into_inner(), vec![1, 2, 3]);
+    }
+}

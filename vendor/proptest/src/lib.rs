@@ -1,0 +1,221 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored
+//! crate implements the subset of proptest the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`
+//! / `prop_perturb` / `prop_filter`, range and tuple strategies,
+//! [`collection::vec`], [`strategy::Just`], `prop::bool::ANY`, the
+//! [`proptest!`] macro, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its case index and seed;
+//!   re-running is deterministic (see below), so the failure
+//!   reproduces exactly, just without minimization.
+//! * **Deterministic by default.** Case `i` of every test derives its
+//!   RNG from a fixed base seed (overridable with `PROPTEST_SEED`),
+//!   so CI failures reproduce locally without a persistence file.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over `bool`.
+pub mod bool {
+    /// Strategy producing uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical boolean strategy (`prop::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            rng.random::<bool>()
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Create a strategy generating vectors of `element` values with
+    /// lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{
+        ProptestConfig, TestCaseError, TestCaseResult, TestRng, TestRunner,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias so `prop::bool::ANY` etc. resolve after a glob
+    /// import, as with real proptest.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a [`proptest!`] body, failing the current
+/// case (not the whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// [`prop_assert!`] for equality, printing both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)*), l, r),
+            ));
+        }
+    }};
+}
+
+/// [`prop_assert!`] for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case (drawing a replacement) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...)` becomes
+/// a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strat = ($($strat,)+);
+            $crate::test_runner::TestRunner::new(config).run(
+                stringify!($name),
+                &strat,
+                |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

@@ -1,0 +1,196 @@
+//! The case loop: deterministic RNG, config, and failure reporting.
+
+use crate::strategy::Strategy;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`) cases tolerated before the
+    /// test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case failed; the whole test fails.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; a replacement is drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies, with the rand-0.9 method names the
+/// workspace's `prop_perturb` callbacks use.
+#[derive(Clone, Debug)]
+pub struct TestRng(rand::rngs::SmallRng);
+
+impl TestRng {
+    /// Derive a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        use rand::SeedableRng as _;
+        TestRng(rand::rngs::SmallRng::seed_from_u64(seed))
+    }
+
+    /// A uniform value of type `T`.
+    pub fn random<T: rand::Standard>(&mut self) -> T {
+        rand::Rng::random(&mut self.0)
+    }
+
+    /// A uniform value from `range`.
+    pub fn random_range<T, S: rand::SampleRange<T>>(&mut self, range: S) -> T {
+        rand::Rng::random_range(&mut self.0, range)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.0)
+    }
+}
+
+/// Runs the case loop for one `proptest!`-defined test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Create a runner. The base seed is fixed (so failures reproduce)
+    /// unless `PROPTEST_SEED` overrides it.
+    pub fn new(config: ProptestConfig) -> Self {
+        let base_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x5eed_cafe_f00d_0001);
+        TestRunner { config, base_seed }
+    }
+
+    /// Run `body` over `config.cases` generated inputs, panicking on
+    /// the first failing case with enough context to reproduce it.
+    pub fn run<S: Strategy, F>(&mut self, name: &str, strategy: &S, body: F)
+    where
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case = 0u64;
+        while passed < self.config.cases {
+            // Mix name hash, base seed, and case index so distinct
+            // tests and cases draw independent streams.
+            let seed = self
+                .base_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(hash_name(name))
+                .wrapping_add(case);
+            let mut rng = TestRng::from_seed(seed);
+            let value = strategy.generate(&mut rng);
+            match body(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest {name}: too many prop_assume! rejections \
+                             ({rejected}) — weaken the assumption or the strategy"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {name}: case #{case} failed (seed {seed:#x}, \
+                         rerun with PROPTEST_SEED={base}):\n{msg}",
+                        base = self.base_seed,
+                    );
+                }
+            }
+            case += 1;
+        }
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, good enough to decorrelate test names.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_is_deterministic() {
+        let collect = |runs: &mut Vec<u64>| {
+            let mut r = TestRunner::new(ProptestConfig::with_cases(16));
+            let runs = std::cell::RefCell::new(runs);
+            r.run("det", &(0u64..1_000_000), |v| {
+                runs.borrow_mut().push(v);
+                Ok(())
+            });
+        };
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        collect(&mut a);
+        collect(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "case #")]
+    fn failure_panics_with_context() {
+        let mut r = TestRunner::new(ProptestConfig::with_cases(8));
+        r.run("fail", &(0u64..10), |_| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    fn rejects_draw_replacements() {
+        let mut r = TestRunner::new(ProptestConfig::with_cases(8));
+        let seen = std::cell::Cell::new(0u32);
+        r.run("rej", &(0u64..10), |v| {
+            if v % 2 == 0 {
+                return Err(TestCaseError::reject("odd only"));
+            }
+            seen.set(seen.get() + 1);
+            Ok(())
+        });
+        assert_eq!(seen.get(), 8);
+    }
+}

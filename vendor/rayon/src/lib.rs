@@ -1,0 +1,66 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this vendored
+//! crate provides `par_iter` / `into_par_iter` entry points that
+//! return ordinary **sequential** iterators. Every adaptor the
+//! workspace chains afterwards (`map`, `sum`, `collect`, `for_each`)
+//! is then the std one, so call sites compile unchanged.
+//!
+//! The workspace's hot loops do not go through rayon at all — they run
+//! on `spgemm_par::Pool`, which is a real thread pool. Rayon appears
+//! only in a few statistics helpers, where sequential execution is an
+//! acceptable (and on this container, often faster) fallback.
+
+pub mod prelude {
+    /// `into_par_iter()` for owning collections and ranges; resolves
+    /// to the std `IntoIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's parallel iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` for borrowed collections; resolves to the std
+    /// by-reference `IntoIterator`.
+    pub trait IntoParallelRefIterator {
+        /// Sequential stand-in for rayon's borrowing parallel iterator.
+        fn par_iter<'a>(&'a self) -> <&'a Self as IntoIterator>::IntoIter
+        where
+            &'a Self: IntoIterator,
+        {
+            self.into_iter()
+        }
+    }
+
+    impl<C: ?Sized> IntoParallelRefIterator for C {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_matches_sequential() {
+        let s: u64 = (0..100u64).into_par_iter().map(|i| i * 2).sum();
+        assert_eq!(s, 9900);
+    }
+
+    #[test]
+    fn slice_par_iter_matches_sequential() {
+        let v = vec![1u64, 2, 3];
+        let s: u64 = v.par_iter().sum();
+        assert_eq!(s, 6);
+        let w: Vec<u64> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(w, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let mut out = Vec::new();
+        vec![5, 6, 7].into_par_iter().for_each(|x| out.push(x));
+        assert_eq!(out, vec![5, 6, 7]);
+    }
+}
