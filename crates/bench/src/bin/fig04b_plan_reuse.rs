@@ -1,0 +1,97 @@
+//! Figure 4 companion: what plan + workspace reuse buys on *repeated*
+//! products — the MCL/AMG/BFS iteration pattern the paper's Figure 4
+//! allocation-cost measurement motivates.
+//!
+//! For each kernel, times `iters` multiplies of the same R-MAT product
+//! three ways:
+//!
+//! * **one-shot** — `multiply_in` per iteration (symbolic + numeric +
+//!   fresh accumulators + fresh output every time);
+//! * **plan + execute** — one `SpgemmPlan`, `execute` per iteration
+//!   (numeric-only, pooled accumulators, fresh output);
+//! * **plan + execute_into** — one `SpgemmPlan`, `execute_into` into a
+//!   reused output (numeric-only, zero steady-state allocation).
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin fig04b_plan_reuse \
+//!     [--threads N] [--scale N] [--ef N] [--reps N] [--quick]
+//! ```
+
+use spgemm::{Algorithm, OutputOrder, SpgemmPlan};
+use spgemm_bench::args::BenchArgs;
+use spgemm_gen::{rmat, RmatKind};
+use spgemm_sparse::PlusTimes;
+use std::time::Instant;
+
+type P = PlusTimes<f64>;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
+    print!(
+        "{}",
+        spgemm_bench::envinfo::environment_banner(pool.nthreads())
+    );
+    let scale = args.scale_or(if args.quick { 10 } else { 13 });
+    let ef = args.ef_or(8);
+    let iters = args.reps.max(1) * 10;
+    let mut rng = spgemm_gen::rng(args.seed);
+    let a = rmat::generate_kind(RmatKind::G500, scale, ef, &mut rng);
+    println!(
+        "# fig04b: repeated A*A (G500 scale {scale}, ef {ef}, nnz {}), {iters} iterations",
+        a.nnz()
+    );
+    println!("# per-iteration milliseconds; speedup = one-shot / plan+into");
+    println!("algo\toneshot_ms\tplan_ms\tplan_into_ms\tspeedup");
+
+    for algo in [
+        Algorithm::Hash,
+        Algorithm::HashVec,
+        Algorithm::Heap,
+        Algorithm::Spa,
+        Algorithm::KkHash,
+    ] {
+        let order = OutputOrder::Sorted;
+        // warm-up + validity check
+        let Ok(expect) = spgemm::multiply_in::<P>(&a, &a, algo, order, &pool) else {
+            continue;
+        };
+
+        let t = Instant::now();
+        for _ in 0..iters {
+            let c = spgemm::multiply_in::<P>(&a, &a, algo, order, &pool).unwrap();
+            std::hint::black_box(c.nnz());
+        }
+        let oneshot = t.elapsed().as_secs_f64() / iters as f64;
+
+        let plan = SpgemmPlan::<P>::new_in(&a, &a, algo, order, &pool).unwrap();
+        let _ = plan.execute_in(&a, &a, &pool).unwrap(); // capture deferred symbolic
+        let t = Instant::now();
+        for _ in 0..iters {
+            let c = plan.execute_in(&a, &a, &pool).unwrap();
+            std::hint::black_box(c.nnz());
+        }
+        let plan_fresh = t.elapsed().as_secs_f64() / iters as f64;
+
+        let mut c = plan.execute_in(&a, &a, &pool).unwrap();
+        let t = Instant::now();
+        for _ in 0..iters {
+            plan.execute_into_in(&a, &a, &mut c, &pool).unwrap();
+            std::hint::black_box(c.nnz());
+        }
+        let plan_into = t.elapsed().as_secs_f64() / iters as f64;
+
+        assert_eq!(c.nnz(), expect.nnz(), "{algo}: plan result drifted");
+        println!(
+            "{}\t{:.3}\t{:.3}\t{:.3}\t{:.2}x",
+            algo.name(),
+            oneshot * 1e3,
+            plan_fresh * 1e3,
+            plan_into * 1e3,
+            oneshot / plan_into
+        );
+    }
+    println!(
+        "# plan+into amortizes the symbolic phase, accumulator allocation, and output allocation"
+    );
+}

@@ -12,6 +12,7 @@ use std::process::Command;
 const BINARIES: &[&str] = &[
     "fig02_sched_cost",
     "fig04_dealloc_cost",
+    "fig04b_plan_reuse",
     "fig05_stanza_bandwidth",
     "fig09_sched_spgemm",
     "fig10_mcdram_model",

@@ -118,6 +118,18 @@ fn print_records(records: &[SweepRecord]) {
                 secs * 1e3
             ));
         }
+        let plan_best = rec
+            .plan_timings
+            .iter()
+            .min_by(|(_, x), (_, y)| x.total_cmp(y))
+            .map(|&(a, s)| (a, s));
+        if let Some((algo, secs)) = plan_best {
+            line.push_str(&format!(
+                " | planned {:<10} {:>9.3} ms",
+                algo.name(),
+                secs * 1e3
+            ));
+        }
         println!("{line}");
     }
     println!();
@@ -133,15 +145,18 @@ fn print_profile(profile: &MachineProfile) {
         profile.bounds.nrows_max
     );
     println!(
-        "{:<12} {:<8} {:<4} {:<9} {:<9} winner (runner-up)",
+        "{:<12} {:<8} {:<4} {:<9} {:<9} winner (runner-up) [plan winner]",
         "op", "pattern", "ef", "inputs", "output"
     );
     for cell in &profile.cells {
-        let runner_up = cell
+        let mut runner_up = cell
             .ranking
             .get(1)
             .map(|s| format!(" ({} {:.2}x)", s.algo.name(), s.rel_slowdown))
             .unwrap_or_default();
+        if let Some(pw) = cell.plan_winner {
+            runner_up.push_str(&format!(" [plan: {}]", pw.name()));
+        }
         println!(
             "{:<12} {:<8} 2^{:<2} {:<9} {:<9} {}{}",
             spgemm_tune::op_name(cell.key.op),

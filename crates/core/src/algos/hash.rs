@@ -13,7 +13,7 @@
 //!   values and finally emits the row — sorted by column on request,
 //!   in insertion order otherwise (the §5.4.4 sort-skip).
 
-use crate::exec::{self, AccumulatorFactory, RowAccumulator};
+use crate::exec::{self, AccumReq, AccumulatorFactory, ReusableAccumulator, RowAccumulator};
 use crate::OutputOrder;
 use spgemm_par::Pool;
 use spgemm_sparse::{ColIdx, Csr, Semiring};
@@ -180,6 +180,27 @@ impl<S: Semiring> HashAccumulator<S> {
                 self.insert_numeric(j, S::mul(aval, bval));
             }
         }
+    }
+}
+
+impl<S: Semiring> ReusableAccumulator<S> for HashAccumulator<S> {
+    fn ensure(&mut self, req: &AccumReq) {
+        let size_t = req.max_row_flop.min(req.ncols_b);
+        let cap = exec::lowest_p2_above(size_t);
+        if cap > self.keys.len() {
+            // Rebuild at the larger size (never shrink: a bigger table
+            // stays correct and keeps the allocation amortized).
+            self.keys.clear();
+            self.keys.resize(cap, EMPTY);
+            self.vals.clear();
+            self.vals.resize(cap, S::zero());
+            self.mask = (cap - 1) as u32;
+            self.occupied.clear();
+        }
+    }
+
+    fn scrub(&mut self) {
+        self.reset();
     }
 }
 

@@ -10,7 +10,7 @@
 //! instructions per step — the paper's Haswell/KNL trade-off.
 
 use crate::algos::simd::{self, ChunkProbe, SimdLevel};
-use crate::exec::{self, AccumulatorFactory, RowAccumulator};
+use crate::exec::{self, AccumReq, AccumulatorFactory, ReusableAccumulator, RowAccumulator};
 use crate::OutputOrder;
 use spgemm_par::Pool;
 use spgemm_sparse::{ColIdx, Csr, Semiring};
@@ -144,6 +144,25 @@ impl<S: Semiring> HashVecAccumulator<S> {
                 vals[idx] = self.vals[s as usize];
             }
         }
+        self.reset();
+    }
+}
+
+impl<S: Semiring> ReusableAccumulator<S> for HashVecAccumulator<S> {
+    fn ensure(&mut self, req: &AccumReq) {
+        let size_t = req.max_row_flop.min(req.ncols_b);
+        let cap = exec::lowest_p2_above(size_t).max(self.width);
+        if cap > self.keys.len() {
+            self.keys.clear();
+            self.keys.resize(cap, -1);
+            self.vals.clear();
+            self.vals.resize(cap, S::zero());
+            self.chunk_mask = (cap / self.width - 1) as u32;
+            self.occupied.clear();
+        }
+    }
+
+    fn scrub(&mut self) {
         self.reset();
     }
 }

@@ -11,7 +11,9 @@
 //! no symbolic pass — every thread stages its rows into a flop-bound
 //! private buffer, then the driver copies them into place.
 
-use crate::exec::{self, StagedKernelFactory, StagedRowKernel};
+use crate::exec::{
+    self, AccumReq, ReusableAccumulator, RowAccumulator, StagedKernelFactory, StagedRowKernel,
+};
 use spgemm_par::Pool;
 use spgemm_sparse::{ColIdx, Csr, Semiring};
 
@@ -64,6 +66,40 @@ impl<S: Semiring> HeapKernel<S> {
             self.sift_down(i);
         }
     }
+
+    /// Fill the heap with one cursor per non-empty scaled `B`-row
+    /// selected by row `i` of `A`.
+    fn load_row(&mut self, a: &Csr<S::Elem>, b: &Csr<S::Elem>, i: usize) {
+        self.heap.clear();
+        for (&k, &aval) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+            let r = b.row_range(k as usize);
+            if !r.is_empty() {
+                self.heap.push(Cursor {
+                    col: b.cols()[r.start],
+                    pos: r.start,
+                    end: r.end,
+                    aval,
+                });
+            }
+        }
+        self.heapify();
+    }
+
+    /// Pop the minimum-column cursor's current entry and advance it.
+    #[inline]
+    fn advance_top(&mut self, b: &Csr<S::Elem>) {
+        let next = self.heap[0].pos + 1;
+        if next < self.heap[0].end {
+            self.heap[0].pos = next;
+            self.heap[0].col = b.cols()[next];
+            self.sift_down(0);
+        } else {
+            let last = self.heap.len() - 1;
+            self.heap.swap(0, last);
+            self.heap.pop();
+            self.sift_down(0);
+        }
+    }
 }
 
 impl<S: Semiring> Default for HeapKernel<S> {
@@ -81,20 +117,7 @@ impl<S: Semiring> StagedRowKernel<S> for HeapKernel<S> {
         cols: &mut Vec<ColIdx>,
         vals: &mut Vec<S::Elem>,
     ) -> usize {
-        self.heap.clear();
-        for (&k, &aval) in a.row_cols(i).iter().zip(a.row_vals(i)) {
-            let r = b.row_range(k as usize);
-            if !r.is_empty() {
-                self.heap.push(Cursor {
-                    col: b.cols()[r.start],
-                    pos: r.start,
-                    end: r.end,
-                    aval,
-                });
-            }
-        }
-        self.heapify();
-
+        self.load_row(a, b, i);
         let mut emitted = 0usize;
         let mut last_col = ColIdx::MAX;
         while let Some(top) = self.heap.first() {
@@ -110,20 +133,65 @@ impl<S: Semiring> StagedRowKernel<S> for HeapKernel<S> {
                 last_col = col;
                 emitted += 1;
             }
-            // advance the winning cursor
-            let next = self.heap[0].pos + 1;
-            if next < self.heap[0].end {
-                self.heap[0].pos = next;
-                self.heap[0].col = b.cols()[next];
-                self.sift_down(0);
-            } else {
-                let last = self.heap.len() - 1;
-                self.heap.swap(0, last);
-                self.heap.pop();
-                self.sift_down(0);
-            }
+            self.advance_top(b);
         }
         emitted
+    }
+}
+
+impl<S: Semiring> RowAccumulator<S> for HeapKernel<S> {
+    fn symbolic_row(&mut self, a: &Csr<S::Elem>, b: &Csr<S::Elem>, i: usize) -> usize {
+        self.load_row(a, b, i);
+        let mut count = 0usize;
+        let mut last_col = ColIdx::MAX;
+        while let Some(top) = self.heap.first() {
+            if top.col != last_col {
+                last_col = top.col;
+                count += 1;
+            }
+            self.advance_top(b);
+        }
+        count
+    }
+
+    /// The heap merge emits ascending columns by construction, so
+    /// `sorted` is ignored (the output is always sorted — Table 1).
+    fn numeric_row(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        i: usize,
+        cols: &mut [ColIdx],
+        vals: &mut [S::Elem],
+        _sorted: bool,
+    ) {
+        self.load_row(a, b, i);
+        let mut pos = 0usize;
+        let mut last_col = ColIdx::MAX;
+        while let Some(top) = self.heap.first() {
+            let col = top.col;
+            let contrib = S::mul(top.aval, b.vals()[top.pos]);
+            if col == last_col {
+                vals[pos - 1] = S::add(vals[pos - 1], contrib);
+            } else {
+                cols[pos] = col;
+                vals[pos] = contrib;
+                last_col = col;
+                pos += 1;
+            }
+            self.advance_top(b);
+        }
+        debug_assert_eq!(pos, cols.len(), "row {i}: symbolic/numeric count mismatch");
+    }
+}
+
+impl<S: Semiring> ReusableAccumulator<S> for HeapKernel<S> {
+    fn ensure(&mut self, _req: &AccumReq) {
+        // The heap grows to nnz(a_i*) lazily; nothing to pre-size.
+    }
+
+    fn scrub(&mut self) {
+        self.heap.clear();
     }
 }
 

@@ -8,7 +8,7 @@
 //! reproducing that crossover is the point of keeping the dense scan.
 
 use crate::algos::spa::SpaAccumulator;
-use crate::exec::{self, AccumulatorFactory, RowAccumulator};
+use crate::exec::{self, AccumReq, AccumulatorFactory, ReusableAccumulator, RowAccumulator};
 use crate::OutputOrder;
 use spgemm_par::Pool;
 use spgemm_sparse::{ColIdx, Csr, Semiring};
@@ -45,6 +45,22 @@ impl<S: Semiring> IkjKernel<S> {
             self.a_stamp[k as usize] = self.epoch;
             self.a_dense[k as usize] = v;
         }
+    }
+}
+
+impl<S: Semiring> ReusableAccumulator<S> for IkjKernel<S> {
+    fn ensure(&mut self, req: &AccumReq) {
+        if req.inner_dim > self.a_stamp.len() {
+            // New slots stamped 0 read as empty (epoch ≥ 1 after the
+            // first `densify_a_row`).
+            self.a_stamp.resize(req.inner_dim, 0);
+            self.a_dense.resize(req.inner_dim, S::zero());
+        }
+        self.spa.ensure(req);
+    }
+
+    fn scrub(&mut self) {
+        self.spa.scrub();
     }
 }
 

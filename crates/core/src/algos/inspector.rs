@@ -9,13 +9,53 @@
 //! same trade the paper's Figure 7 two-phase structure avoids.
 
 use crate::algos::hash::HashAccumulator;
-use crate::exec::{self, StagedKernelFactory, StagedRowKernel};
+use crate::exec::{
+    self, AccumReq, ReusableAccumulator, RowAccumulator, StagedKernelFactory, StagedRowKernel,
+};
 use spgemm_par::Pool;
 use spgemm_sparse::{ColIdx, Csr, Semiring};
 
 /// Per-thread state: the shared hash accumulator driven in staged mode.
 pub struct InspectorKernel<S: Semiring> {
     acc: HashAccumulator<S>,
+}
+
+impl<S: Semiring> InspectorKernel<S> {
+    /// Kernel whose table holds rows of at most `max_row_flop`
+    /// products into `ncols_b` output columns.
+    pub fn new(max_row_flop: usize, ncols_b: usize) -> Self {
+        InspectorKernel {
+            acc: HashAccumulator::new(max_row_flop, ncols_b),
+        }
+    }
+}
+
+impl<S: Semiring> RowAccumulator<S> for InspectorKernel<S> {
+    fn symbolic_row(&mut self, a: &Csr<S::Elem>, b: &Csr<S::Elem>, i: usize) -> usize {
+        self.acc.symbolic_row(a, b, i)
+    }
+
+    fn numeric_row(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        i: usize,
+        cols: &mut [ColIdx],
+        vals: &mut [S::Elem],
+        sorted: bool,
+    ) {
+        self.acc.numeric_row(a, b, i, cols, vals, sorted);
+    }
+}
+
+impl<S: Semiring> ReusableAccumulator<S> for InspectorKernel<S> {
+    fn ensure(&mut self, req: &AccumReq) {
+        self.acc.ensure(req);
+    }
+
+    fn scrub(&mut self) {
+        self.acc.scrub();
+    }
 }
 
 impl<S: Semiring> StagedRowKernel<S> for InspectorKernel<S> {
@@ -43,9 +83,7 @@ struct InspectorFactory;
 impl<S: Semiring> StagedKernelFactory<S> for InspectorFactory {
     type Kernel = InspectorKernel<S>;
     fn make(&self, max_row_flop: usize, _inner: usize, ncols_b: usize) -> Self::Kernel {
-        InspectorKernel {
-            acc: HashAccumulator::new(max_row_flop, ncols_b),
-        }
+        InspectorKernel::new(max_row_flop, ncols_b)
     }
 }
 

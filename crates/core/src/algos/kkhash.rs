@@ -1,6 +1,6 @@
 //! Chained-hash-map SpGEMM modeled on KokkosKernels' `kkmem`
 //! accumulator (Deveci, Trott & Rajamanickam, IPDPSW 2017 — reference
-//! [14] of the paper; evaluated with the `kkmem` option in §5).
+//! \[14\] of the paper; evaluated with the `kkmem` option in §5).
 //!
 //! Unlike the open-addressing table of [`crate::algos::hash`], `kkmem`
 //! resolves collisions by *separate chaining* into preallocated
@@ -9,7 +9,7 @@
 //! which is why KokkosKernels naturally emits unsorted output
 //! (Table 1: Any/Unsorted).
 
-use crate::exec::{self, AccumulatorFactory, RowAccumulator};
+use crate::exec::{self, AccumReq, AccumulatorFactory, ReusableAccumulator, RowAccumulator};
 use crate::OutputOrder;
 use spgemm_par::Pool;
 use spgemm_sparse::{ColIdx, Csr, Semiring};
@@ -131,6 +131,32 @@ impl<S: Semiring> KkHashAccumulator<S> {
             cols.copy_from_slice(&self.keys[..self.used]);
             vals.copy_from_slice(&self.vals[..self.used]);
         }
+        self.reset();
+    }
+}
+
+impl<S: Semiring> ReusableAccumulator<S> for KkHashAccumulator<S> {
+    fn ensure(&mut self, req: &AccumReq) {
+        let cap = req.max_row_flop.min(req.ncols_b).max(1);
+        let bins = exec::lowest_p2_above(cap / 2);
+        if cap > self.keys.len() || bins > self.begins.len() {
+            let cap = cap.max(self.keys.len());
+            let bins = bins.max(self.begins.len());
+            self.begins.clear();
+            self.begins.resize(bins, NIL);
+            self.nexts.clear();
+            self.nexts.resize(cap, NIL);
+            self.keys.clear();
+            self.keys.resize(cap, 0);
+            self.vals.clear();
+            self.vals.resize(cap, S::zero());
+            self.bin_mask = (bins - 1) as u32;
+            self.used_bins.clear();
+            self.used = 0;
+        }
+    }
+
+    fn scrub(&mut self) {
         self.reset();
     }
 }

@@ -9,7 +9,7 @@
 //! is two flop-bound ping-pong buffers — allocated per thread inside
 //! the region, per the paper's "parallel" memory scheme.
 
-use crate::exec::{self, AccumulatorFactory, RowAccumulator};
+use crate::exec::{self, AccumReq, AccumulatorFactory, ReusableAccumulator, RowAccumulator};
 use crate::OutputOrder;
 use spgemm_par::Pool;
 use spgemm_sparse::{ColIdx, Csr, Semiring};
@@ -105,6 +105,27 @@ fn merge_two<S: Semiring>(
     }
     out.extend_from_slice(&x[p..]);
     out.extend_from_slice(&y[q..]);
+}
+
+impl<S: Semiring> ReusableAccumulator<S> for MergeAccumulator<S> {
+    fn ensure(&mut self, req: &AccumReq) {
+        // The ping/pong buffers grow on demand (`Vec::extend`), so
+        // reuse is always *correct*; reserving up front just keeps the
+        // steady state allocation-free.
+        if self.ping.capacity() < req.max_row_flop {
+            self.ping.reserve(req.max_row_flop - self.ping.len());
+        }
+        if self.pong.capacity() < req.max_row_flop {
+            self.pong.reserve(req.max_row_flop - self.pong.len());
+        }
+    }
+
+    fn scrub(&mut self) {
+        self.ping.clear();
+        self.pong.clear();
+        self.segs.clear();
+        self.segs_next.clear();
+    }
 }
 
 impl<S: Semiring> RowAccumulator<S> for MergeAccumulator<S> {

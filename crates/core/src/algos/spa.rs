@@ -7,7 +7,7 @@
 //! heap (`O(nnz(a_i*))`) accumulators. Rows reset in `O(touched)` by
 //! bumping the epoch. Stands in for MKL in the unsorted comparisons.
 
-use crate::exec::{self, AccumulatorFactory, RowAccumulator};
+use crate::exec::{self, AccumReq, AccumulatorFactory, ReusableAccumulator, RowAccumulator};
 use crate::OutputOrder;
 use spgemm_par::Pool;
 use spgemm_sparse::{ColIdx, Csr, Semiring};
@@ -87,6 +87,21 @@ impl<S: Semiring> SpaAccumulator<S> {
             cols[idx] = c;
             vals[idx] = self.vals[c as usize];
         }
+    }
+}
+
+impl<S: Semiring> ReusableAccumulator<S> for SpaAccumulator<S> {
+    fn ensure(&mut self, req: &AccumReq) {
+        if req.ncols_b > self.stamp.len() {
+            // Fresh slots stamped 0 read as unoccupied (epoch ≥ 1
+            // after the first `begin_row`), so growth needs no rescan.
+            self.stamp.resize(req.ncols_b, 0);
+            self.vals.resize(req.ncols_b, S::zero());
+        }
+    }
+
+    fn scrub(&mut self) {
+        self.touched.clear();
     }
 }
 

@@ -77,6 +77,46 @@ pub(crate) trait RowAccumulator<S: Semiring> {
     );
 }
 
+/// Capacity requirements a pooled accumulator must satisfy before it
+/// may run rows of a (re)planned product: the same three quantities
+/// [`AccumulatorFactory::make`] sizes fresh accumulators from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct AccumReq {
+    /// Largest `flop(c_i*)` among the rows the accumulator will run.
+    pub max_row_flop: usize,
+    /// `ncols(A) == nrows(B)`.
+    pub inner_dim: usize,
+    /// Output width `ncols(B)`.
+    pub ncols_b: usize,
+}
+
+/// A [`RowAccumulator`] that can be parked in a
+/// [`spgemm_par::WorkspacePool`] and safely reused across executions —
+/// including executions of *different* products after a plan rebind.
+///
+/// The pool's contract is clear-on-**acquire** (see
+/// `spgemm_par::workspace`): whatever a previous execution left behind
+/// — stale keys, a dirty touched-list, a table sized for a smaller
+/// problem — must be repaired here, not trusted to have been cleaned
+/// on release. Callers invoke both methods, in order, on every reused
+/// acquisition:
+///
+/// 1. [`ReusableAccumulator::ensure`] grows internal storage to meet
+///    `req` (never shrinks). Skipping this is the latent reuse bug
+///    this trait exists to fix: a hash table sized for the old
+///    problem's rows livelocks (no empty slot) or indexes out of
+///    bounds on a denser rebind.
+/// 2. [`ReusableAccumulator::scrub`] clears any per-row or per-matrix
+///    state a previous (possibly panicked) execution may have left.
+pub(crate) trait ReusableAccumulator<S: Semiring>: RowAccumulator<S> + Send {
+    /// Grow internal storage to satisfy `req`; must be callable any
+    /// number of times and never shrink.
+    fn ensure(&mut self, req: &AccumReq);
+    /// Drop all state left by previous rows/executions, keeping the
+    /// allocations.
+    fn scrub(&mut self);
+}
+
 /// Builds one [`RowAccumulator`] per worker thread, inside the
 /// parallel region, sized from that thread's largest row (§4.2.1:
 /// "The upper limit of any thread's local hash table size is the
@@ -90,7 +130,7 @@ pub(crate) trait AccumulatorFactory<S: Semiring>: Sync {
 }
 
 /// Largest per-row flop within `range`.
-fn max_flop_in(row_flops: &[u64], range: std::ops::Range<usize>) -> usize {
+pub(crate) fn max_flop_in(row_flops: &[u64], range: std::ops::Range<usize>) -> usize {
     row_flops[range].iter().copied().max().unwrap_or(0) as usize
 }
 

@@ -44,11 +44,13 @@ pub mod algos;
 pub mod cost;
 mod exec;
 mod options;
+pub mod plan;
 pub mod recipe;
 pub mod tuning;
 
 pub use exec::{plan as exec_plan, MultiplyStats};
 pub use options::{Algorithm, OutputOrder};
+pub use plan::{PlanCache, PlanCacheStats, SpgemmPlan};
 
 use spgemm_par::Pool;
 use spgemm_sparse::{Csr, PlusTimes, Semiring, SparseError};
@@ -60,6 +62,13 @@ use spgemm_sparse::{Csr, PlusTimes, Semiring, SparseError};
 /// [`recipe`] — first the tuned-selector hook if one is installed
 /// (see [`recipe::set_auto_hook`] and the `spgemm-tune` crate), then
 /// the static Table-4 recipe.
+///
+/// Internally this is exactly [`SpgemmPlan::new_in`] followed by one
+/// [`SpgemmPlan::execute_in`] — the inspector–executor split with the
+/// plan thrown away. Callers that repeat a product over a fixed (or
+/// slowly drifting) sparsity structure should hold the plan (or a
+/// [`PlanCache`]) instead and amortize the symbolic phase and all
+/// accumulator allocations across executions.
 pub fn multiply_in<S: Semiring>(
     a: &Csr<S::Elem>,
     b: &Csr<S::Elem>,
@@ -67,51 +76,7 @@ pub fn multiply_in<S: Semiring>(
     order: OutputOrder,
     pool: &Pool,
 ) -> Result<Csr<S::Elem>, SparseError> {
-    if a.ncols() != b.nrows() {
-        return Err(SparseError::ShapeMismatch {
-            left: a.shape(),
-            right: b.shape(),
-            op: "multiply",
-        });
-    }
-    let algo = match algo {
-        Algorithm::Auto => recipe::auto_select(a, b, order),
-        other => other,
-    };
-    match algo {
-        Algorithm::Hash => Ok(algos::hash::multiply::<S>(a, b, order, pool)),
-        Algorithm::HashVec => Ok(algos::hashvec::multiply::<S>(a, b, order, pool)),
-        Algorithm::Heap => {
-            if !b.is_sorted() || !a.is_sorted() {
-                return Err(SparseError::Unsorted { op: "Heap SpGEMM" });
-            }
-            Ok(algos::heap::multiply::<S>(a, b, pool))
-        }
-        Algorithm::Spa => Ok(algos::spa::multiply::<S>(a, b, order, pool)),
-        Algorithm::Merge => {
-            if !b.is_sorted() || !a.is_sorted() {
-                return Err(SparseError::Unsorted { op: "Merge SpGEMM" });
-            }
-            Ok(algos::merge::multiply::<S>(a, b, pool))
-        }
-        Algorithm::Inspector => {
-            let mut c = algos::inspector::multiply::<S>(a, b, pool);
-            // Inspector's one-phase kernel is inherently unsorted;
-            // honour an explicit Sorted request by paying the sort
-            // here instead of silently returning unsorted rows. (The
-            // Auto paths never pick Inspector for sorted output — see
-            // `recipe::pick_admissible` — precisely because the extra
-            // sort forfeits its advantage.)
-            if order.is_sorted() {
-                c.sort_rows();
-            }
-            Ok(c)
-        }
-        Algorithm::KkHash => Ok(algos::kkhash::multiply::<S>(a, b, order, pool)),
-        Algorithm::Ikj => Ok(algos::ikj::multiply::<S>(a, b, order, pool)),
-        Algorithm::Reference => Ok(algos::reference::multiply::<S>(a, b)),
-        Algorithm::Auto => unreachable!("Auto resolved above"),
-    }
+    SpgemmPlan::<S>::new_oneshot(a, b, algo, order, pool)?.execute_in(a, b, pool)
 }
 
 /// [`multiply_in`] on the process-global pool.

@@ -1,0 +1,1133 @@
+//! Inspector–executor SpGEMM: [`SpgemmPlan`] and [`PlanCache`].
+//!
+//! The paper's fastest kernels are two-phase — a symbolic pass sizes
+//! each output row, a numeric pass fills exactly-allocated storage —
+//! and its Figure 4 shows allocation/deallocation dominating runtime
+//! when products repeat, as they do in MCL expansion, AMG re-setup
+//! and multi-round graph algorithms. A [`SpgemmPlan`] factors a
+//! multiply accordingly:
+//!
+//! * **Plan once** (`SpgemmPlan::new`): per-row flop counts, the
+//!   flop-balanced row partition of §4.1, the resolved algorithm, and
+//!   — for two-phase kernels — the symbolic pass producing the output
+//!   row pointers.
+//! * **Execute many** (`execute` / `execute_into`): numeric-only
+//!   passes over matrices with the *same sparsity structure*. All
+//!   per-thread accumulators live in a
+//!   [`spgemm_par::WorkspacePool`] owned by the plan, so the steady
+//!   state performs **zero heap allocations** when writing into a
+//!   reused output via [`SpgemmPlan::execute_into`].
+//!
+//! One-phase kernels (`Heap`, `Inspector`) have no symbolic pass to
+//! front-load; their first execution runs the original staged
+//! one-phase driver and *captures* the row pointers it discovers, so
+//! one-shot use costs exactly what it always did while later
+//! executions become numeric-only like everyone else's.
+//!
+//! [`PlanCache`] layers structure fingerprinting on top for workloads
+//! whose pattern *drifts* (MCL prunes entries every round): it reuses
+//! the plan verbatim while the pattern matches and rebinds — keeping
+//! the pooled accumulators — when it changes.
+//!
+//! The one-shot [`crate::multiply_in`] is itself `Plan::new` +
+//! `execute`, so the two paths cannot diverge.
+
+use crate::algos::hash::HashAccumulator;
+use crate::algos::hashvec::HashVecAccumulator;
+use crate::algos::heap::HeapKernel;
+use crate::algos::ikj::IkjKernel;
+use crate::algos::inspector::InspectorKernel;
+use crate::algos::kkhash::KkHashAccumulator;
+use crate::algos::merge::MergeAccumulator;
+use crate::algos::simd::{self, SimdLevel};
+use crate::algos::spa::SpaAccumulator;
+use crate::exec::{self, AccumReq, MultiplyStats, ReusableAccumulator, StagedRowKernel};
+use crate::{recipe, Algorithm, OutputOrder};
+use parking_lot::Mutex;
+use spgemm_par::{scan, unsync::SharedMutSlice, Pool, WorkspacePool, WorkspaceStats};
+use spgemm_sparse::{ColIdx, Csr, Semiring, SparseError};
+use std::sync::Arc;
+
+/// FNV-1a fingerprint of a matrix's sparsity structure (shape, row
+/// pointers, column indices — values excluded). Two matrices with the
+/// same signature share a structure for planning purposes; used by
+/// [`SpgemmPlan::matches_structure`] and [`PlanCache`].
+pub fn structure_signature<T>(m: &Csr<T>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0100_0000_01b3;
+    let mut h = OFFSET;
+    let mix = |h: u64, x: u64| (h ^ x).wrapping_mul(PRIME);
+    h = mix(h, m.nrows() as u64);
+    h = mix(h, m.ncols() as u64);
+    h = mix(h, m.nnz() as u64);
+    for &r in m.rpts() {
+        h = mix(h, r as u64);
+    }
+    for &c in m.cols() {
+        h = mix(h, c as u64);
+    }
+    h
+}
+
+/// Signatures of both operands, hashing the shared structure only
+/// once when `a` and `b` are the same matrix (the `A · A` case of
+/// MCL expansion and squaring benchmarks).
+fn signatures<T>(a: &Csr<T>, b: &Csr<T>) -> (u64, u64) {
+    let a_sig = structure_signature(a);
+    let b_sig = if std::ptr::eq(a, b) {
+        a_sig
+    } else {
+        structure_signature(b)
+    };
+    (a_sig, b_sig)
+}
+
+/// The symbolic phase's result: output row pointers and total nnz.
+struct SymbolicPlan {
+    rpts: Vec<usize>,
+    nnz: usize,
+}
+
+/// Per-algorithm pooled workspaces. Each variant owns one
+/// [`WorkspacePool`] whose slots hold that kernel's per-thread
+/// accumulator, created lazily inside the first parallel region and
+/// reused (clear-on-acquire) by every later phase and execution.
+enum PlanKernel<S: Semiring> {
+    Hash(WorkspacePool<HashAccumulator<S>>),
+    HashVec {
+        ws: WorkspacePool<HashVecAccumulator<S>>,
+        level: SimdLevel,
+    },
+    Heap(WorkspacePool<HeapKernel<S>>),
+    Spa(WorkspacePool<SpaAccumulator<S>>),
+    Merge(WorkspacePool<MergeAccumulator<S>>),
+    Inspector(WorkspacePool<InspectorKernel<S>>),
+    KkHash(WorkspacePool<KkHashAccumulator<S>>),
+    Ikj(WorkspacePool<IkjKernel<S>>),
+    Reference,
+}
+
+impl<S: Semiring> PlanKernel<S> {
+    fn new(algo: Algorithm, nthreads: usize) -> Self {
+        match algo {
+            Algorithm::Hash => PlanKernel::Hash(WorkspacePool::with_threads(nthreads)),
+            Algorithm::HashVec => PlanKernel::HashVec {
+                ws: WorkspacePool::with_threads(nthreads),
+                level: simd::detect(),
+            },
+            Algorithm::Heap => PlanKernel::Heap(WorkspacePool::with_threads(nthreads)),
+            Algorithm::Spa => PlanKernel::Spa(WorkspacePool::with_threads(nthreads)),
+            Algorithm::Merge => PlanKernel::Merge(WorkspacePool::with_threads(nthreads)),
+            Algorithm::Inspector => PlanKernel::Inspector(WorkspacePool::with_threads(nthreads)),
+            Algorithm::KkHash => PlanKernel::KkHash(WorkspacePool::with_threads(nthreads)),
+            Algorithm::Ikj => PlanKernel::Ikj(WorkspacePool::with_threads(nthreads)),
+            Algorithm::Reference => PlanKernel::Reference,
+            Algorithm::Auto => unreachable!("Auto resolved before kernel construction"),
+        }
+    }
+}
+
+/// Dispatch over the kernel variants, binding the workspace pool and
+/// the accumulator factory **once** so the symbolic and numeric passes
+/// cannot drift in their sizing: each variant's constructor closure
+/// exists in exactly one place, and `$body` receives it as `$make`
+/// alongside the pool as `$ws`. (`Reference` is handled by the execute
+/// paths before any kernel dispatch; the staged first run has its own
+/// two-variant match because only Heap/Inspector implement
+/// `StagedRowKernel`.)
+macro_rules! with_kernel {
+    ($plan:expr, $a:expr, $b:expr, |$ws:ident, $make:ident| $body:expr) => {{
+        let (a_ref, b_ref) = ($a, $b);
+        match &$plan.kernel {
+            PlanKernel::Hash($ws) => {
+                let $make = |mf: usize| HashAccumulator::new(mf, b_ref.ncols());
+                $body
+            }
+            PlanKernel::HashVec { ws: $ws, level } => {
+                let level = *level;
+                let $make =
+                    move |mf: usize| HashVecAccumulator::with_level(mf, b_ref.ncols(), level);
+                $body
+            }
+            PlanKernel::Heap($ws) => {
+                let $make = |_mf: usize| HeapKernel::new();
+                $body
+            }
+            PlanKernel::Spa($ws) => {
+                let $make = |_mf: usize| SpaAccumulator::new(b_ref.ncols());
+                $body
+            }
+            PlanKernel::Merge($ws) => {
+                let $make = MergeAccumulator::new;
+                $body
+            }
+            PlanKernel::Inspector($ws) => {
+                let $make = |mf: usize| InspectorKernel::new(mf, b_ref.ncols());
+                $body
+            }
+            PlanKernel::KkHash($ws) => {
+                let $make = |mf: usize| KkHashAccumulator::new(mf, b_ref.ncols());
+                $body
+            }
+            PlanKernel::Ikj($ws) => {
+                let $make = |_mf: usize| IkjKernel::new(a_ref.ncols(), b_ref.ncols());
+                $body
+            }
+            PlanKernel::Reference => unreachable!("Reference handled before kernel dispatch"),
+        }
+    }};
+}
+
+/// Outcome of resolving the symbolic state for one execution.
+enum FirstRun<E> {
+    /// A deferred (one-phase) plan ran its staged first execution; the
+    /// product is already materialized.
+    Done(Csr<E>),
+    /// Row pointers are known; run the numeric pass.
+    Ready(Arc<SymbolicPlan>),
+}
+
+/// A reusable two-phase execution plan for `C = A · B` over a fixed
+/// sparsity structure.
+///
+/// Create once from the operands' structure, then run
+/// [`SpgemmPlan::execute`] (fresh output) or
+/// [`SpgemmPlan::execute_into`] (reused output, allocation-free in
+/// steady state) any number of times with matrices whose *values* may
+/// change but whose *structure* must match the planned one. Use
+/// [`SpgemmPlan::rebind`] or a [`PlanCache`] when the structure
+/// changes.
+///
+/// ```
+/// use spgemm::{Algorithm, OutputOrder, SpgemmPlan};
+/// use spgemm_sparse::{Csr, PlusTimes};
+///
+/// let a = Csr::<f64>::identity(8);
+/// let plan = SpgemmPlan::<PlusTimes<f64>>::new(&a, &a, Algorithm::Hash, OutputOrder::Sorted)?;
+/// assert_eq!(plan.symbolic_nnz(), Some(8));
+///
+/// let mut c = plan.execute(&a, &a)?;
+/// for _ in 0..10 {
+///     plan.execute_into(&a, &a, &mut c)?; // numeric-only re-multiplies
+/// }
+/// assert_eq!(c.nnz(), 8);
+/// # Ok::<(), spgemm_sparse::SparseError>(())
+/// ```
+pub struct SpgemmPlan<S: Semiring> {
+    /// What the caller asked for (kept so [`SpgemmPlan::rebind`] can
+    /// re-resolve `Auto` against the new structure).
+    requested: Algorithm,
+    /// The resolved, concrete algorithm.
+    algo: Algorithm,
+    order: OutputOrder,
+    /// `(nrows(A), ncols(A) == nrows(B), ncols(B))`.
+    dims: (usize, usize, usize),
+    a_nnz: usize,
+    b_nnz: usize,
+    /// `(signature(A), signature(B))` of the planned structure.
+    /// `None` for throwaway plans built by the one-shot `multiply_in`
+    /// path, which never fingerprint-checks — computing the `O(nnz)`
+    /// hashes there would tax every ordinary multiply.
+    sigs: Option<(u64, u64)>,
+    stats: MultiplyStats,
+    nthreads: usize,
+    /// `None` while a one-phase plan's symbolic structure is still
+    /// deferred to its first execution.
+    symbolic: Mutex<Option<Arc<SymbolicPlan>>>,
+    kernel: PlanKernel<S>,
+}
+
+impl<S: Semiring> SpgemmPlan<S> {
+    /// Plan `A · B` on the process-global pool.
+    pub fn new(
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        algo: Algorithm,
+        order: OutputOrder,
+    ) -> Result<Self, SparseError> {
+        Self::new_in(a, b, algo, order, spgemm_par::global_pool())
+    }
+
+    /// Plan `A · B` on an explicit pool. The plan is bound to the
+    /// pool's thread count; executions must use a pool of the same
+    /// width (usually the same pool).
+    pub fn new_in(
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        algo: Algorithm,
+        order: OutputOrder,
+        pool: &Pool,
+    ) -> Result<Self, SparseError> {
+        Self::build(a, b, algo, order, pool, true)
+    }
+
+    /// A plan for exactly one execution: skips the structure
+    /// fingerprint ([`SpgemmPlan::matches_structure`] will always
+    /// report `false`). This is what the one-shot [`crate::multiply_in`]
+    /// uses internally.
+    pub(crate) fn new_oneshot(
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        algo: Algorithm,
+        order: OutputOrder,
+        pool: &Pool,
+    ) -> Result<Self, SparseError> {
+        Self::build(a, b, algo, order, pool, false)
+    }
+
+    fn build(
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        algo: Algorithm,
+        order: OutputOrder,
+        pool: &Pool,
+        fingerprint: bool,
+    ) -> Result<Self, SparseError> {
+        let (resolved, stats) = Self::analyze(a, b, algo, order, pool)?;
+        let mut plan = SpgemmPlan {
+            requested: algo,
+            algo: resolved,
+            order,
+            dims: (a.nrows(), a.ncols(), b.ncols()),
+            a_nnz: a.nnz(),
+            b_nnz: b.nnz(),
+            sigs: fingerprint.then(|| signatures(a, b)),
+            stats,
+            nthreads: pool.nthreads(),
+            symbolic: Mutex::new(None),
+            kernel: PlanKernel::new(resolved, pool.nthreads()),
+        };
+        if !plan.symbolic_is_deferred() {
+            let sym = plan.run_symbolic(a, b, pool);
+            *plan.symbolic.get_mut() = Some(Arc::new(sym));
+        }
+        Ok(plan)
+    }
+
+    /// Validate shapes/contracts and resolve `Auto`; shared by
+    /// [`SpgemmPlan::new_in`] and [`SpgemmPlan::rebind_in`].
+    fn analyze(
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        algo: Algorithm,
+        order: OutputOrder,
+        pool: &Pool,
+    ) -> Result<(Algorithm, MultiplyStats), SparseError> {
+        if a.ncols() != b.nrows() {
+            return Err(SparseError::ShapeMismatch {
+                left: a.shape(),
+                right: b.shape(),
+                op: "multiply",
+            });
+        }
+        let resolved = match algo {
+            Algorithm::Auto => recipe::auto_select(a, b, order),
+            other => other,
+        };
+        if resolved.requires_sorted_inputs() && (!a.is_sorted() || !b.is_sorted()) {
+            return Err(SparseError::Unsorted {
+                op: match resolved {
+                    Algorithm::Heap => "Heap SpGEMM",
+                    _ => "Merge SpGEMM",
+                },
+            });
+        }
+        // The sequential Reference oracle never consults the work
+        // analysis; skip the parallel flop-counting pass it would pay
+        // on every oracle multiply.
+        let stats = if resolved == Algorithm::Reference {
+            MultiplyStats {
+                row_flops: Vec::new(),
+                total_flop: 0,
+                offsets: vec![0; pool.nthreads() + 1],
+            }
+        } else {
+            exec::plan(a, b, pool)
+        };
+        Ok((resolved, stats))
+    }
+
+    /// Re-plan for a *different* structure while keeping the pooled
+    /// per-thread workspaces (which re-validate and grow on their next
+    /// acquisition — see `exec::ReusableAccumulator`). This is the
+    /// allocation-amortizing path for workloads whose pattern drifts
+    /// between products; [`PlanCache`] calls it automatically.
+    pub fn rebind(&mut self, a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Result<(), SparseError> {
+        self.rebind_in(a, b, spgemm_par::global_pool())
+    }
+
+    /// [`SpgemmPlan::rebind`] on an explicit pool.
+    pub fn rebind_in(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        pool: &Pool,
+    ) -> Result<(), SparseError> {
+        let (resolved, stats) = Self::analyze(a, b, self.requested, self.order, pool)?;
+        if resolved != self.algo || pool.nthreads() != self.nthreads {
+            // The workspace pool holds the wrong accumulator type (or
+            // the wrong number of slots); rebuild it.
+            self.kernel = PlanKernel::new(resolved, pool.nthreads());
+            self.algo = resolved;
+            self.nthreads = pool.nthreads();
+        }
+        self.stats = stats;
+        self.dims = (a.nrows(), a.ncols(), b.ncols());
+        self.a_nnz = a.nnz();
+        self.b_nnz = b.nnz();
+        // Rebinding implies reuse intent: always fingerprint.
+        self.sigs = Some(signatures(a, b));
+        *self.symbolic.get_mut() = None;
+        if !self.symbolic_is_deferred() {
+            let sym = self.run_symbolic(a, b, pool);
+            *self.symbolic.get_mut() = Some(Arc::new(sym));
+        }
+        Ok(())
+    }
+
+    /// Whether this plan's symbolic structure is computed lazily by
+    /// the first execution (the one-phase kernels, which would
+    /// otherwise pay a second pass they are designed to skip).
+    fn symbolic_is_deferred(&self) -> bool {
+        matches!(
+            self.kernel,
+            PlanKernel::Heap(_) | PlanKernel::Inspector(_) | PlanKernel::Reference
+        )
+    }
+
+    /// The resolved, concrete algorithm this plan runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algo
+    }
+
+    /// The requested output order.
+    pub fn output_order(&self) -> OutputOrder {
+        self.order
+    }
+
+    /// The work analysis backing the plan's row partition (empty for
+    /// the sequential `Reference` oracle, which has no partition).
+    pub fn stats(&self) -> &MultiplyStats {
+        &self.stats
+    }
+
+    /// Worker-thread count the plan (and its workspaces) is sized for.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// `nnz(C)` once known: immediately for two-phase algorithms,
+    /// after the first execution for one-phase ones (`None` before).
+    pub fn symbolic_nnz(&self) -> Option<usize> {
+        self.symbolic.lock().as_ref().map(|s| s.nnz)
+    }
+
+    /// Reuse counters of the pooled per-thread accumulators. In steady
+    /// state `created` stays at the number of workers that ran while
+    /// `reused` grows with every phase — the pool-level statement of
+    /// "zero allocations per execute".
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        match &self.kernel {
+            PlanKernel::Hash(ws) => ws.stats(),
+            PlanKernel::HashVec { ws, .. } => ws.stats(),
+            PlanKernel::Heap(ws) => ws.stats(),
+            PlanKernel::Spa(ws) => ws.stats(),
+            PlanKernel::Merge(ws) => ws.stats(),
+            PlanKernel::Inspector(ws) => ws.stats(),
+            PlanKernel::KkHash(ws) => ws.stats(),
+            PlanKernel::Ikj(ws) => ws.stats(),
+            PlanKernel::Reference => WorkspaceStats::default(),
+        }
+    }
+
+    /// Whether `(a, b)` share the exact sparsity structure this plan
+    /// was built for (shape, nnz and FNV fingerprint of row pointers +
+    /// column indices — values are free to differ). Always `false` for
+    /// plans built without a fingerprint (the internal one-shot path).
+    pub fn matches_structure(&self, a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> bool {
+        let Some((planned_a, planned_b)) = self.sigs else {
+            return false;
+        };
+        if self.dims != (a.nrows(), a.ncols(), b.ncols())
+            || self.a_nnz != a.nnz()
+            || self.b_nnz != b.nnz()
+        {
+            return false;
+        }
+        let (a_sig, b_sig) = signatures(a, b);
+        planned_a == a_sig && planned_b == b_sig
+    }
+
+    /// Cheap per-execute guards: shapes, nnz, input-sortedness
+    /// contracts, pool width. The full structural fingerprint is *not*
+    /// recomputed here (that would cost `O(nnz)` per execute and eat
+    /// the amortization the plan exists to provide); callers that
+    /// substitute operands between executes should gate on
+    /// [`SpgemmPlan::matches_structure`] or use a [`PlanCache`].
+    fn check(&self, a: &Csr<S::Elem>, b: &Csr<S::Elem>, pool: &Pool) -> Result<(), SparseError> {
+        if self.dims != (a.nrows(), a.ncols(), b.ncols()) || a.ncols() != b.nrows() {
+            return Err(SparseError::ShapeMismatch {
+                left: a.shape(),
+                right: b.shape(),
+                op: "plan execute",
+            });
+        }
+        if self.a_nnz != a.nnz() || self.b_nnz != b.nnz() {
+            return Err(SparseError::PlanMismatch {
+                detail: format!(
+                    "operand nnz ({}, {}) differ from planned ({}, {}); rebind the plan",
+                    a.nnz(),
+                    b.nnz(),
+                    self.a_nnz,
+                    self.b_nnz
+                ),
+            });
+        }
+        if self.algo.requires_sorted_inputs() && (!a.is_sorted() || !b.is_sorted()) {
+            return Err(SparseError::Unsorted {
+                op: match self.algo {
+                    Algorithm::Heap => "Heap SpGEMM",
+                    _ => "Merge SpGEMM",
+                },
+            });
+        }
+        if pool.nthreads() != self.nthreads {
+            return Err(SparseError::PlanMismatch {
+                detail: format!(
+                    "plan sized for {} threads but pool has {}",
+                    self.nthreads,
+                    pool.nthreads()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The sorted-flag (and per-row extraction order) of this plan's
+    /// outputs: kernels with inherently sorted output ignore the
+    /// request, everyone else honours it.
+    fn output_is_sorted(&self) -> bool {
+        match self.algo {
+            Algorithm::Heap | Algorithm::Merge | Algorithm::Reference => true,
+            _ => self.order.is_sorted(),
+        }
+    }
+
+    /// Numeric-only multiply into a fresh output matrix (global pool).
+    pub fn execute(&self, a: &Csr<S::Elem>, b: &Csr<S::Elem>) -> Result<Csr<S::Elem>, SparseError> {
+        self.execute_in(a, b, spgemm_par::global_pool())
+    }
+
+    /// [`SpgemmPlan::execute`] on an explicit pool.
+    pub fn execute_in(
+        &self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        pool: &Pool,
+    ) -> Result<Csr<S::Elem>, SparseError> {
+        self.check(a, b, pool)?;
+        if matches!(self.kernel, PlanKernel::Reference) {
+            return Ok(crate::algos::reference::multiply::<S>(a, b));
+        }
+        match self.symbolic_state(a, b, pool) {
+            FirstRun::Done(c) => Ok(self.finish_first(c)),
+            FirstRun::Ready(sym) => {
+                let (m, _, n) = self.dims;
+                let mut cols = vec![0 as ColIdx; sym.nnz];
+                let mut vals = vec![S::zero(); sym.nnz];
+                self.run_numeric(a, b, &sym.rpts, pool, &mut cols, &mut vals);
+                Ok(Csr::from_parts_unchecked(
+                    m,
+                    n,
+                    sym.rpts.clone(),
+                    cols,
+                    vals,
+                    self.output_is_sorted(),
+                ))
+            }
+        }
+    }
+
+    /// Numeric-only multiply into a reused output matrix (global
+    /// pool). See [`SpgemmPlan::execute_into_in`].
+    pub fn execute_into(
+        &self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        c: &mut Csr<S::Elem>,
+    ) -> Result<(), SparseError> {
+        self.execute_into_in(a, b, c, spgemm_par::global_pool())
+    }
+
+    /// Numeric-only multiply overwriting `c` in place, reusing its
+    /// allocations. After a warm-up execution has sized `c`'s buffers
+    /// (and the pooled accumulators), this path performs **zero heap
+    /// allocations** for every two-phase algorithm — the steady state
+    /// of the paper's Figure 4 "parallel + reuse" scheme.
+    pub fn execute_into_in(
+        &self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        c: &mut Csr<S::Elem>,
+        pool: &Pool,
+    ) -> Result<(), SparseError> {
+        self.check(a, b, pool)?;
+        if matches!(self.kernel, PlanKernel::Reference) {
+            *c = crate::algos::reference::multiply::<S>(a, b);
+            return Ok(());
+        }
+        match self.symbolic_state(a, b, pool) {
+            FirstRun::Done(done) => {
+                *c = self.finish_first(done);
+            }
+            FirstRun::Ready(sym) => {
+                let (m, _, n) = self.dims;
+                let sorted = self.output_is_sorted();
+                c.prepare_overwrite(m, n, sym.nnz, S::zero(), sorted);
+                let (rpts_mut, cols_mut, vals_mut) = c.raw_parts_mut();
+                rpts_mut.copy_from_slice(&sym.rpts);
+                self.run_numeric(a, b, &sym.rpts, pool, cols_mut, vals_mut);
+                debug_assert!(c.validate().is_ok(), "planned numeric pass built bad CSR");
+            }
+        }
+        Ok(())
+    }
+
+    /// Get the symbolic structure, running the deferred staged first
+    /// execution if this is a one-phase plan's first use.
+    fn symbolic_state(&self, a: &Csr<S::Elem>, b: &Csr<S::Elem>, pool: &Pool) -> FirstRun<S::Elem> {
+        let mut guard = self.symbolic.lock();
+        if let Some(sym) = guard.as_ref() {
+            return FirstRun::Ready(Arc::clone(sym));
+        }
+        let c = self.run_staged(a, b, pool);
+        *guard = Some(Arc::new(SymbolicPlan {
+            rpts: c.rpts().to_vec(),
+            nnz: c.nnz(),
+        }));
+        FirstRun::Done(c)
+    }
+
+    /// Post-process a staged first run: Inspector's one-phase kernel
+    /// is inherently unsorted, so honour an explicit `Sorted` request
+    /// by paying the sort, exactly as the one-shot path always has.
+    fn finish_first(&self, mut c: Csr<S::Elem>) -> Csr<S::Elem> {
+        if matches!(self.algo, Algorithm::Inspector) && self.order.is_sorted() {
+            c.sort_rows();
+        }
+        c
+    }
+
+    /// The symbolic pass over the planned partition, with pooled
+    /// accumulators.
+    fn run_symbolic(&self, a: &Csr<S::Elem>, b: &Csr<S::Elem>, pool: &Pool) -> SymbolicPlan {
+        with_kernel!(self, a, b, |ws, make| symbolic_pass::<S, _, _>(
+            ws,
+            make,
+            a,
+            b,
+            &self.stats,
+            pool
+        ))
+    }
+
+    /// The numeric pass into pre-sliced output, with pooled
+    /// accumulators.
+    fn run_numeric(
+        &self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        rpts: &[usize],
+        pool: &Pool,
+        cols: &mut [ColIdx],
+        vals: &mut [S::Elem],
+    ) {
+        let sorted = self.output_is_sorted();
+        with_kernel!(self, a, b, |ws, make| numeric_pass::<S, _, _>(
+            ws,
+            make,
+            a,
+            b,
+            &self.stats,
+            rpts,
+            sorted,
+            pool,
+            cols,
+            vals
+        ))
+    }
+
+    /// One-phase staged first execution (Heap / Inspector), byte-for-
+    /// byte the driver `exec::one_phase_staged` runs for one-shot
+    /// multiplies, but drawing its per-thread kernels from the plan's
+    /// workspace pool so later numeric passes reuse them.
+    fn run_staged(&self, a: &Csr<S::Elem>, b: &Csr<S::Elem>, pool: &Pool) -> Csr<S::Elem> {
+        match &self.kernel {
+            PlanKernel::Heap(ws) => {
+                staged_pass::<S, _, _>(ws, |_| HeapKernel::new(), a, b, &self.stats, pool, true)
+            }
+            PlanKernel::Inspector(ws) => staged_pass::<S, _, _>(
+                ws,
+                |mf| InspectorKernel::new(mf, b.ncols()),
+                a,
+                b,
+                &self.stats,
+                pool,
+                false,
+            ),
+            _ => unreachable!("only one-phase kernels defer their first run"),
+        }
+    }
+}
+
+/// Requirements for the accumulator of the worker owning `range`.
+fn req_for(
+    stats: &MultiplyStats,
+    range: &std::ops::Range<usize>,
+    inner: usize,
+    width: usize,
+) -> AccumReq {
+    AccumReq {
+        max_row_flop: exec::max_flop_in(&stats.row_flops, range.clone()),
+        inner_dim: inner,
+        ncols_b: width,
+    }
+}
+
+/// Symbolic phase: per-row counts with pooled accumulators, then a
+/// scan into row pointers (Figure 7 lines 1–8, accumulators reused).
+fn symbolic_pass<S, A, M>(
+    ws: &WorkspacePool<A>,
+    make: M,
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    stats: &MultiplyStats,
+    pool: &Pool,
+) -> SymbolicPlan
+where
+    S: Semiring,
+    A: ReusableAccumulator<S>,
+    M: Fn(usize) -> A + Sync,
+{
+    let n = a.nrows();
+    let (inner, width) = (a.ncols(), b.ncols());
+    let mut rpts64 = vec![0u64; n + 1];
+    {
+        let rp = SharedMutSlice::new(&mut rpts64[..]);
+        pool.parallel_ranges(&stats.offsets, |wid, range| {
+            if range.is_empty() {
+                return;
+            }
+            let req = req_for(stats, &range, inner, width);
+            ws.with(
+                wid,
+                || make(req.max_row_flop),
+                |acc, reused| {
+                    if reused {
+                        acc.ensure(&req);
+                        acc.scrub();
+                    }
+                    for i in range {
+                        let cnt = acc.symbolic_row(a, b, i) as u64;
+                        // SAFETY: row `i` belongs to exactly one thread's range.
+                        unsafe { rp.write(i + 1, cnt) };
+                    }
+                },
+            );
+        });
+    }
+    let total = scan::parallel_inclusive_scan(pool, &mut rpts64) as usize;
+    let rpts: Vec<usize> = rpts64.iter().map(|&x| x as usize).collect();
+    SymbolicPlan { rpts, nnz: total }
+}
+
+/// Numeric phase into pre-sliced output with pooled accumulators
+/// (Figure 7 lines 9–21, accumulators reused).
+#[allow(clippy::too_many_arguments)]
+fn numeric_pass<S, A, M>(
+    ws: &WorkspacePool<A>,
+    make: M,
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    stats: &MultiplyStats,
+    rpts: &[usize],
+    sorted: bool,
+    pool: &Pool,
+    cols: &mut [ColIdx],
+    vals: &mut [S::Elem],
+) where
+    S: Semiring,
+    A: ReusableAccumulator<S>,
+    M: Fn(usize) -> A + Sync,
+{
+    let (inner, width) = (a.ncols(), b.ncols());
+    let cols_s = SharedMutSlice::new(cols);
+    let vals_s = SharedMutSlice::new(vals);
+    pool.parallel_ranges(&stats.offsets, |wid, range| {
+        if range.is_empty() {
+            return;
+        }
+        let req = req_for(stats, &range, inner, width);
+        ws.with(
+            wid,
+            || make(req.max_row_flop),
+            |acc, reused| {
+                if reused {
+                    acc.ensure(&req);
+                    acc.scrub();
+                }
+                for i in range {
+                    let span = rpts[i]..rpts[i + 1];
+                    // SAFETY: row spans are disjoint across threads by
+                    // construction of `rpts` and the contiguous partition.
+                    let (c, v) =
+                        unsafe { (cols_s.slice_mut(span.clone()), vals_s.slice_mut(span)) };
+                    acc.numeric_row(a, b, i, c, v, sorted);
+                }
+            },
+        );
+    });
+}
+
+/// One-phase staged driver with pooled kernels: stage per thread, scan
+/// the realized counts, copy each thread's block into place — the
+/// logic of `exec::one_phase_staged` with the kernel lifetime extended
+/// to the plan.
+fn staged_pass<S, K, M>(
+    ws: &WorkspacePool<K>,
+    make: M,
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    stats: &MultiplyStats,
+    pool: &Pool,
+    sorted_output: bool,
+) -> Csr<S::Elem>
+where
+    S: Semiring,
+    K: ReusableAccumulator<S> + StagedRowKernel<S>,
+    M: Fn(usize) -> K + Sync,
+{
+    let n = a.nrows();
+    let (inner, width) = (a.ncols(), b.ncols());
+    let nt = pool.nthreads();
+
+    type Staged<E> = Vec<parking_lot::Mutex<(Vec<ColIdx>, Vec<E>)>>;
+    let staged: Staged<S::Elem> = (0..nt)
+        .map(|_| parking_lot::Mutex::new((Vec::new(), Vec::new())))
+        .collect();
+    let mut counts64 = vec![0u64; n + 1];
+    {
+        let cnt = SharedMutSlice::new(&mut counts64[..]);
+        pool.parallel_ranges(&stats.offsets, |wid, range| {
+            if range.is_empty() {
+                return;
+            }
+            let flop_bound: u64 = stats.row_flops[range.clone()].iter().sum();
+            let req = req_for(stats, &range, inner, width);
+            ws.with(
+                wid,
+                || make(req.max_row_flop),
+                |kernel, reused| {
+                    if reused {
+                        kernel.ensure(&req);
+                        kernel.scrub();
+                    }
+                    let mut slot = staged[wid].lock();
+                    let (cols, vals) = &mut *slot;
+                    cols.clear();
+                    vals.clear();
+                    cols.reserve(flop_bound as usize);
+                    vals.reserve(flop_bound as usize);
+                    for i in range {
+                        let emitted = kernel.stage_row(a, b, i, cols, vals) as u64;
+                        // SAFETY: each row is staged by exactly one thread.
+                        unsafe { cnt.write(i + 1, emitted) };
+                    }
+                },
+            );
+        });
+    }
+
+    let total = scan::parallel_inclusive_scan(pool, &mut counts64) as usize;
+    let rpts: Vec<usize> = counts64.iter().map(|&x| x as usize).collect();
+
+    let mut cols = vec![0 as ColIdx; total];
+    let mut vals = vec![S::zero(); total];
+    {
+        let cols_s = SharedMutSlice::new(&mut cols[..]);
+        let vals_s = SharedMutSlice::new(&mut vals[..]);
+        let rpts_ref = &rpts;
+        pool.parallel_ranges(&stats.offsets, |wid, range| {
+            if range.is_empty() {
+                return;
+            }
+            let slot = staged[wid].lock();
+            let (scols, svals) = &*slot;
+            let dst = rpts_ref[range.start]..rpts_ref[range.end];
+            debug_assert_eq!(dst.len(), scols.len());
+            // SAFETY: each thread's destination block is disjoint (the
+            // row partition is contiguous and rpts is monotone).
+            unsafe {
+                cols_s.slice_mut(dst.clone()).copy_from_slice(scols);
+                vals_s.slice_mut(dst).copy_from_slice(svals);
+            }
+        });
+    }
+    Csr::from_parts_unchecked(n, width, rpts, cols, vals, sorted_output)
+}
+
+/// Counters of one [`PlanCache`]'s reuse behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Multiplies served by the cached plan unchanged (structure
+    /// matched: numeric-only execution).
+    pub hits: u64,
+    /// Multiplies that had to (re)build the symbolic plan — the first
+    /// call plus every structure change. Pooled accumulators survive
+    /// rebuilds.
+    pub rebuilds: u64,
+}
+
+/// A single-entry plan cache for iterative workloads whose operand
+/// structure *may* change between products (MCL pruning, adaptive
+/// methods). Each multiply fingerprints the operands: a match executes
+/// the cached plan numeric-only; a miss rebinds the plan — keeping its
+/// pooled per-thread accumulators — and re-runs symbolic once.
+///
+/// ```
+/// use spgemm::{Algorithm, OutputOrder, PlanCache};
+/// use spgemm_sparse::{Csr, PlusTimes};
+///
+/// let a = Csr::<f64>::identity(6);
+/// let mut cache = PlanCache::<PlusTimes<f64>>::new(Algorithm::Hash, OutputOrder::Sorted);
+/// for _ in 0..3 {
+///     let c = cache.multiply(&a, &a)?;
+///     assert_eq!(c.nnz(), 6);
+/// }
+/// assert_eq!(cache.stats().rebuilds, 1);
+/// assert_eq!(cache.stats().hits, 2);
+/// # Ok::<(), spgemm_sparse::SparseError>(())
+/// ```
+pub struct PlanCache<S: Semiring> {
+    algo: Algorithm,
+    order: OutputOrder,
+    plan: Option<SpgemmPlan<S>>,
+    stats: PlanCacheStats,
+}
+
+impl<S: Semiring> PlanCache<S> {
+    /// An empty cache that will plan with `algo` / `order`.
+    pub fn new(algo: Algorithm, order: OutputOrder) -> Self {
+        PlanCache {
+            algo,
+            order,
+            plan: None,
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    /// The plan for `(a, b)`: the cached one when the structure
+    /// matches, otherwise a rebind (or first build).
+    pub fn plan_for(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        pool: &Pool,
+    ) -> Result<&SpgemmPlan<S>, SparseError> {
+        let reusable = self
+            .plan
+            .as_ref()
+            .is_some_and(|p| p.nthreads() == pool.nthreads() && p.matches_structure(a, b));
+        if reusable {
+            self.stats.hits += 1;
+        } else {
+            self.stats.rebuilds += 1;
+            match self.plan.as_mut() {
+                Some(p) => p.rebind_in(a, b, pool)?,
+                None => self.plan = Some(SpgemmPlan::new_in(a, b, self.algo, self.order, pool)?),
+            }
+        }
+        Ok(self.plan.as_ref().expect("plan installed above"))
+    }
+
+    /// Multiply through the cache on an explicit pool.
+    pub fn multiply_in(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        pool: &Pool,
+    ) -> Result<Csr<S::Elem>, SparseError> {
+        self.plan_for(a, b, pool)?.execute_in(a, b, pool)
+    }
+
+    /// Multiply through the cache on the process-global pool.
+    pub fn multiply(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+    ) -> Result<Csr<S::Elem>, SparseError> {
+        self.multiply_in(a, b, spgemm_par::global_pool())
+    }
+
+    /// Hit/rebuild counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::reference;
+    use spgemm_sparse::{approx_eq_f64, PlusTimes};
+
+    type P = PlusTimes<f64>;
+
+    fn sample() -> Csr<f64> {
+        Csr::from_triplets(
+            5,
+            5,
+            &[
+                (0, 0, 2.0),
+                (0, 3, 1.0),
+                (1, 1, -1.0),
+                (2, 0, 4.0),
+                (2, 2, 0.5),
+                (3, 4, 3.0),
+                (4, 1, 6.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_matches_oneshot_for_every_algorithm() {
+        let a = sample();
+        let pool = Pool::new(2);
+        for algo in Algorithm::ALL {
+            for order in [OutputOrder::Sorted, OutputOrder::Unsorted] {
+                let plan = SpgemmPlan::<P>::new_in(&a, &a, algo, order, &pool).unwrap();
+                let expect = crate::multiply_in::<P>(&a, &a, algo, order, &pool).unwrap();
+                for round in 0..3 {
+                    let got = plan.execute_in(&a, &a, &pool).unwrap();
+                    assert_eq!(expect, got, "{algo} {order:?} round {round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn execute_into_reuses_and_stays_correct() {
+        let a = sample();
+        let pool = Pool::new(3);
+        let plan =
+            SpgemmPlan::<P>::new_in(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+        let expect = reference::multiply::<P>(&a, &a);
+        let mut c = Csr::<f64>::zero(0, 0);
+        for _ in 0..4 {
+            plan.execute_into_in(&a, &a, &mut c, &pool).unwrap();
+            assert!(approx_eq_f64(&expect, &c, 1e-12));
+            assert!(c.validate().is_ok());
+        }
+        let st = plan.workspace_stats();
+        assert!(st.created <= 3, "one accumulator per worker: {st:?}");
+        assert!(st.reused >= 3, "later passes must reuse: {st:?}");
+    }
+
+    #[test]
+    fn symbolic_nnz_eager_vs_deferred() {
+        let a = sample();
+        let pool = Pool::new(2);
+        let two_phase =
+            SpgemmPlan::<P>::new_in(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+        assert!(two_phase.symbolic_nnz().is_some());
+        let one_phase =
+            SpgemmPlan::<P>::new_in(&a, &a, Algorithm::Heap, OutputOrder::Sorted, &pool).unwrap();
+        assert_eq!(one_phase.symbolic_nnz(), None, "deferred until first run");
+        let c = one_phase.execute_in(&a, &a, &pool).unwrap();
+        assert_eq!(one_phase.symbolic_nnz(), Some(c.nnz()));
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_operands() {
+        let a = sample();
+        let pool = Pool::new(2);
+        let plan =
+            SpgemmPlan::<P>::new_in(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+        let wrong_shape = Csr::<f64>::identity(4);
+        assert!(matches!(
+            plan.execute_in(&wrong_shape, &wrong_shape, &pool),
+            Err(SparseError::ShapeMismatch { .. })
+        ));
+        let wrong_nnz = Csr::<f64>::identity(5);
+        assert!(matches!(
+            plan.execute_in(&wrong_nnz, &wrong_nnz, &pool),
+            Err(SparseError::PlanMismatch { .. })
+        ));
+        let other_pool = Pool::new(4);
+        assert!(matches!(
+            plan.execute_in(&a, &a, &other_pool),
+            Err(SparseError::PlanMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn values_may_change_under_fixed_structure() {
+        let a = sample();
+        let pool = Pool::new(2);
+        let plan =
+            SpgemmPlan::<P>::new_in(&a, &a, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+        let scaled = a.map(|v| v * -2.5);
+        let got = plan.execute_in(&scaled, &scaled, &pool).unwrap();
+        let expect = reference::multiply::<P>(&scaled, &scaled);
+        assert!(approx_eq_f64(&expect, &got, 1e-12));
+    }
+
+    #[test]
+    fn structure_signature_ignores_values_only() {
+        let a = sample();
+        assert_eq!(
+            structure_signature(&a),
+            structure_signature(&a.map(|v| v * 2.0))
+        );
+        let b = a.filter(|_, _, v| v > 0.0);
+        assert_ne!(structure_signature(&a), structure_signature(&b));
+    }
+
+    #[test]
+    fn cache_hits_on_stable_structure_and_rebinds_on_change() {
+        let pool = Pool::new(2);
+        let mut cache = PlanCache::<P>::new(Algorithm::Hash, OutputOrder::Sorted);
+        let a = sample();
+        for _ in 0..3 {
+            let got = cache.multiply_in(&a, &a, &pool).unwrap();
+            assert!(approx_eq_f64(
+                &reference::multiply::<P>(&a, &a),
+                &got,
+                1e-12
+            ));
+        }
+        assert_eq!(
+            cache.stats(),
+            PlanCacheStats {
+                hits: 2,
+                rebuilds: 1
+            }
+        );
+        // disjoint pattern: forces a rebind, workspaces carry over
+        let b = Csr::from_triplets(5, 5, &[(0, 4, 1.0), (4, 0, 1.0), (2, 3, 7.0)]).unwrap();
+        let got = cache.multiply_in(&b, &b, &pool).unwrap();
+        assert!(approx_eq_f64(
+            &reference::multiply::<P>(&b, &b),
+            &got,
+            1e-12
+        ));
+        assert_eq!(
+            cache.stats(),
+            PlanCacheStats {
+                hits: 2,
+                rebuilds: 2
+            }
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Plan-path equivalence properties: `SpgemmPlan::new + execute` must
+//! be indistinguishable from the pre-plan one-shot kernel drivers for
+//! every algorithm and output order — byte for byte, not just up to
+//! tolerance — and repeated executions must be deterministic.
+
+use proptest::prelude::*;
+use spgemm::{algos, Algorithm, OutputOrder, PlanCache, SpgemmPlan};
+use spgemm_par::Pool;
+use spgemm_sparse::{ColIdx, Coo, Csr, PlusTimes};
+
+type P = PlusTimes<f64>;
+
+/// The pre-plan one-shot dispatch: each algorithm's raw kernel driver
+/// exactly as `multiply_in` called them before the inspector–executor
+/// refactor. The plan path must reproduce these outputs bit-for-bit.
+fn oneshot_direct(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    algo: Algorithm,
+    order: OutputOrder,
+    pool: &Pool,
+) -> Csr<f64> {
+    match algo {
+        Algorithm::Hash => algos::hash::multiply::<P>(a, b, order, pool),
+        Algorithm::HashVec => algos::hashvec::multiply::<P>(a, b, order, pool),
+        Algorithm::Heap => algos::heap::multiply::<P>(a, b, pool),
+        Algorithm::Spa => algos::spa::multiply::<P>(a, b, order, pool),
+        Algorithm::Merge => algos::merge::multiply::<P>(a, b, pool),
+        Algorithm::Inspector => {
+            let mut c = algos::inspector::multiply::<P>(a, b, pool);
+            if order.is_sorted() {
+                c.sort_rows();
+            }
+            c
+        }
+        Algorithm::KkHash => algos::kkhash::multiply::<P>(a, b, order, pool),
+        Algorithm::Ikj => algos::ikj::multiply::<P>(a, b, order, pool),
+        Algorithm::Reference => algos::reference::multiply::<P>(a, b),
+        Algorithm::Auto => unreachable!("test enumerates concrete algorithms"),
+    }
+}
+
+fn arb_square(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr<f64>> {
+    (2..=max_dim).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, -3.0f64..3.0), 0..=max_nnz).prop_map(move |trips| {
+            let mut coo = Coo::new(n, n).unwrap();
+            for (r, c, v) in trips {
+                coo.push(r, c as ColIdx, v).unwrap();
+            }
+            coo.into_csr_sum()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn plan_execute_equals_oneshot_byte_for_byte(a in arb_square(24, 140)) {
+        for nt in [1usize, 3] {
+            let pool = Pool::new(nt);
+            for algo in Algorithm::ALL {
+                for order in [OutputOrder::Sorted, OutputOrder::Unsorted] {
+                    let expect = oneshot_direct(&a, &a, algo, order, &pool);
+                    let plan = SpgemmPlan::<P>::new_in(&a, &a, algo, order, &pool).unwrap();
+                    // first execution (staged for one-phase algorithms)
+                    let first = plan.execute_in(&a, &a, &pool).unwrap();
+                    prop_assert_eq!(&expect, &first, "{} {:?} nt={} (first)", algo, order, nt);
+                    // steady-state numeric-only execution
+                    let second = plan.execute_in(&a, &a, &pool).unwrap();
+                    prop_assert_eq!(&expect, &second, "{} {:?} nt={} (second)", algo, order, nt);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_execute_into_is_deterministic(a in arb_square(20, 120)) {
+        let pool = Pool::new(2);
+        for algo in Algorithm::ALL {
+            for order in [OutputOrder::Sorted, OutputOrder::Unsorted] {
+                let plan = SpgemmPlan::<P>::new_in(&a, &a, algo, order, &pool).unwrap();
+                let mut c = Csr::<f64>::zero(0, 0);
+                plan.execute_into_in(&a, &a, &mut c, &pool).unwrap();
+                let baseline = c.clone();
+                for round in 0..3 {
+                    plan.execute_into_in(&a, &a, &mut c, &pool).unwrap();
+                    prop_assert_eq!(&baseline, &c, "{} {:?} round {}", algo, order, round);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_tracks_multiply_across_structure_drift(
+        a in arb_square(16, 60),
+        b in arb_square(16, 60),
+    ) {
+        // A cache fed a sequence of differently-structured operands
+        // must agree with the one-shot path on every step.
+        let pool = Pool::new(2);
+        let mut cache = PlanCache::<P>::new(Algorithm::Hash, OutputOrder::Sorted);
+        for m in [&a, &a, &b, &a, &b, &b] {
+            let expect = spgemm::multiply_in::<P>(m, m, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+            let got = cache.multiply_in(m, m, &pool).unwrap();
+            prop_assert_eq!(&expect, &got);
+        }
+        let st = cache.stats();
+        prop_assert_eq!(st.hits + st.rebuilds, 6);
+        prop_assert!(st.rebuilds <= 4, "at most one rebuild per structure change: {:?}", st);
+    }
+}
+
+/// The latent-reuse-bug regression: one plan rebound across matrices
+/// with *disjoint* patterns (and growing dimensions/densities) must
+/// keep producing correct results. Before accumulators re-validated
+/// their capacity on acquisition, a pooled hash table sized for the
+/// first (sparse) operand would livelock or index out of bounds on the
+/// denser rebind, and stale accumulator state could leak entries of
+/// the first product into the second.
+#[test]
+fn rebind_across_disjoint_patterns_regression() {
+    // Matrix 1: tiny rows in the lower-left corner of a 12x12.
+    let m1 = Csr::from_triplets(12, 12, &[(9, 0, 1.0), (10, 1, 2.0), (11, 2, 3.0)]).unwrap();
+    // Matrix 2: disjoint, much denser pattern in the upper-right of a
+    // larger 40x40 — per-row flop far above anything planned for m1.
+    let mut trips = Vec::new();
+    for i in 0..20usize {
+        for j in 20..40u32 {
+            if (i + j as usize).is_multiple_of(2) {
+                trips.push((i, j, (i as f64 + 1.0) * 0.5));
+            }
+        }
+        for j in 0..20u32 {
+            trips.push((20 + i, j, 1.0 + j as f64 * 0.25));
+        }
+    }
+    let m2 = Csr::from_triplets(40, 40, &trips).unwrap();
+
+    for nt in [1usize, 2, 4] {
+        let pool = Pool::new(nt);
+        for algo in Algorithm::ALL {
+            for order in [OutputOrder::Sorted, OutputOrder::Unsorted] {
+                let mut plan = SpgemmPlan::<P>::new_in(&m1, &m1, algo, order, &pool).unwrap();
+                let got1 = plan.execute_in(&m1, &m1, &pool).unwrap();
+                assert_eq!(
+                    got1,
+                    oneshot_direct(&m1, &m1, algo, order, &pool),
+                    "{algo} {order:?} pre-rebind"
+                );
+
+                plan.rebind_in(&m2, &m2, &pool).unwrap();
+                let got2 = plan.execute_in(&m2, &m2, &pool).unwrap();
+                assert_eq!(
+                    got2,
+                    oneshot_direct(&m2, &m2, algo, order, &pool),
+                    "{algo} {order:?} post-rebind nt={nt}"
+                );
+
+                // and back down: shrinking must also stay correct
+                plan.rebind_in(&m1, &m1, &pool).unwrap();
+                let got3 = plan.execute_in(&m1, &m1, &pool).unwrap();
+                assert_eq!(got3, got1, "{algo} {order:?} rebind back");
+            }
+        }
+    }
+}
+
+/// Rebinding a rectangular plan to wider outputs grows the dense
+/// accumulators (SPA / IKJ) and the chained hash arrays.
+#[test]
+fn rebind_grows_output_width() {
+    let a1 = Csr::from_triplets(3, 4, &[(0, 0, 1.0), (1, 3, 2.0), (2, 1, 3.0)]).unwrap();
+    let b1 = Csr::from_triplets(4, 5, &[(0, 4, 1.0), (1, 0, 2.0), (3, 2, 3.0)]).unwrap();
+    let a2 =
+        Csr::from_triplets(6, 8, &[(0, 7, 1.0), (2, 0, 2.0), (3, 4, 1.5), (5, 1, -1.0)]).unwrap();
+    let mut trips = Vec::new();
+    for i in 0..8usize {
+        for j in 0..30u32 {
+            if (i * 31 + j as usize).is_multiple_of(3) {
+                trips.push((i, j, 0.5 + j as f64));
+            }
+        }
+    }
+    let b2 = Csr::from_triplets(8, 30, &trips).unwrap();
+
+    let pool = Pool::new(2);
+    for algo in Algorithm::ALL {
+        let mut plan = SpgemmPlan::<P>::new_in(&a1, &b1, algo, OutputOrder::Sorted, &pool).unwrap();
+        let got1 = plan.execute_in(&a1, &b1, &pool).unwrap();
+        assert_eq!(
+            got1,
+            oneshot_direct(&a1, &b1, algo, OutputOrder::Sorted, &pool),
+            "{algo} narrow"
+        );
+        plan.rebind_in(&a2, &b2, &pool).unwrap();
+        let got2 = plan.execute_in(&a2, &b2, &pool).unwrap();
+        assert_eq!(
+            got2,
+            oneshot_direct(&a2, &b2, algo, OutputOrder::Sorted, &pool),
+            "{algo} wide"
+        );
+    }
+}

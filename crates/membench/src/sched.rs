@@ -1,6 +1,6 @@
 //! Scheduling-cost microbenchmark (Figure 2).
 //!
-//! "…running [a] simple program, which only repeats loop iterations
+//! "…running \[a\] simple program, which only repeats loop iterations
 //! without doing anything in the loop. We measure the time during loop
 //! iterations" — the loop body is an opaque no-op, so the measured
 //! time is the scheduler's bookkeeping: block arithmetic for static,

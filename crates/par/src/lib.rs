@@ -20,6 +20,10 @@
 //! * [`alloc`] — thread-private scratch buffers implementing the
 //!   "parallel" memory-management scheme of §3.2 (Figure 3): each
 //!   worker allocates, reuses, and frees only its own memory.
+//! * [`workspace`] — [`WorkspacePool`], pooled per-worker workspaces
+//!   with reuse instrumentation: the steady-state (allocation-free)
+//!   form of the same §3.2 scheme, used by the SpGEMM plan layer to
+//!   reuse accumulators across repeated products (the Figure 4 cost).
 //! * [`unsync`] — a guarded escape hatch ([`unsync::SharedMutSlice`])
 //!   for the disjoint-writes idiom every CSR-producing kernel needs
 //!   (each thread fills its own precomputed slice of the output).
@@ -32,9 +36,11 @@ mod pool;
 pub mod scan;
 mod schedule;
 pub mod unsync;
+pub mod workspace;
 
 pub use pool::Pool;
 pub use schedule::Schedule;
+pub use workspace::{WorkspacePool, WorkspaceStats};
 
 /// Number of hardware threads available to this process.
 pub fn hardware_threads() -> usize {

@@ -541,6 +541,64 @@ impl<T> Csr<T> {
         true
     }
 
+    /// Reshape this matrix in place for a full overwrite, reusing the
+    /// existing allocations (buffers only grow, never reallocate when
+    /// capacity suffices).
+    ///
+    /// After the call the matrix has the requested shape, `nnz` stored
+    /// entries (columns zeroed, values set to `fill`), an all-zero
+    /// row-pointer array, and the given `sorted` flag — i.e. it is
+    /// *structurally invalid* until the caller rewrites `rpts`, `cols`
+    /// and `vals` through [`Csr::raw_parts_mut`]. This is the
+    /// output-reuse path of kernels that know their exact output
+    /// structure in advance (`spgemm`'s plan executor); everyone else
+    /// should build matrices through the checked constructors.
+    ///
+    /// ```
+    /// let mut c = spgemm_sparse::Csr::<f64>::zero(2, 2);
+    /// c.prepare_overwrite(1, 3, 2, 0.0, true);
+    /// {
+    ///     let (rpts, cols, vals) = c.raw_parts_mut();
+    ///     rpts.copy_from_slice(&[0, 2]);
+    ///     cols.copy_from_slice(&[0, 2]);
+    ///     vals.copy_from_slice(&[1.0, 2.0]);
+    /// }
+    /// assert!(c.validate().is_ok());
+    /// assert_eq!(c.get(0, 2), Some(&2.0));
+    /// ```
+    pub fn prepare_overwrite(
+        &mut self,
+        nrows: usize,
+        ncols: usize,
+        nnz: usize,
+        fill: T,
+        sorted: bool,
+    ) where
+        T: Copy,
+    {
+        self.nrows = nrows;
+        self.ncols = ncols;
+        self.sorted = sorted;
+        self.rpts.clear();
+        self.rpts.resize(nrows + 1, 0);
+        self.cols.clear();
+        self.cols.resize(nnz, 0);
+        self.vals.clear();
+        self.vals.resize(nnz, fill);
+    }
+
+    /// Mutable views of the raw CSR arrays `(rpts, cols, vals)`, for
+    /// in-place rewriting after [`Csr::prepare_overwrite`].
+    ///
+    /// Lengths are fixed (`nrows + 1` / `nnz` / `nnz`); the *contents*
+    /// are the caller's responsibility — writing an inconsistent
+    /// structure leaves the matrix invalid (no undefined behaviour,
+    /// but reads will be wrong). [`Csr::validate`] re-checks every
+    /// invariant.
+    pub fn raw_parts_mut(&mut self) -> (&mut [usize], &mut [ColIdx], &mut [T]) {
+        (&mut self.rpts, &mut self.cols, &mut self.vals)
+    }
+
     /// Consume into raw parts `(nrows, ncols, rpts, cols, vals, sorted)`.
     pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<ColIdx>, Vec<T>, bool) {
         (
@@ -718,6 +776,34 @@ mod tests {
             sorted: true,
         };
         assert!(matches!(m.validate(), Err(SparseError::Unsorted { .. })));
+    }
+
+    #[test]
+    fn prepare_overwrite_reuses_capacity() {
+        let mut c = sample();
+        // Grow once to establish capacity, then shrink: no realloc.
+        c.prepare_overwrite(4, 4, 8, 0.0, false);
+        let (rp, cp, vp) = {
+            let (r, cl, v) = c.raw_parts_mut();
+            (
+                r.as_ptr() as usize,
+                cl.as_ptr() as usize,
+                v.as_ptr() as usize,
+            )
+        };
+        c.prepare_overwrite(2, 3, 3, 0.0, true);
+        {
+            let (rpts, cols, vals) = c.raw_parts_mut();
+            assert_eq!((rpts.as_ptr() as usize, rpts.len()), (rp, 3));
+            assert_eq!((cols.as_ptr() as usize, cols.len()), (cp, 3));
+            assert_eq!((vals.as_ptr() as usize, vals.len()), (vp, 3));
+            rpts.copy_from_slice(&[0, 1, 3]);
+            cols.copy_from_slice(&[2, 0, 1]);
+            vals.copy_from_slice(&[1.0, 2.0, 3.0]);
+        }
+        assert!(c.validate().is_ok());
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.get(1, 1), Some(&3.0));
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub enum SparseError {
         /// Name of the operation that required sorted input.
         op: &'static str,
     },
+    /// A precomputed execution plan was run against operands (or a
+    /// thread pool) it was not built for.
+    PlanMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
     /// Matrix Market parse failure.
     Parse {
         /// 1-based line number, when known.
@@ -83,6 +89,9 @@ impl fmt::Display for SparseError {
             ),
             SparseError::Unsorted { op } => {
                 write!(f, "{op} requires rows sorted by column index")
+            }
+            SparseError::PlanMismatch { detail } => {
+                write!(f, "plan/operand mismatch: {detail}")
             }
             SparseError::Parse { line, detail } => {
                 write!(f, "parse error at line {line}: {detail}")

@@ -12,7 +12,7 @@
 
 use crate::profile::{AlgoScore, CellEntry, CellKey, GridBounds, MachineProfile, PROFILE_VERSION};
 use spgemm::recipe::auto_context;
-use spgemm::{cost, multiply_in, Algorithm, OutputOrder};
+use spgemm::{cost, multiply_in, Algorithm, OutputOrder, SpgemmPlan};
 use spgemm_gen::{perm, poisson, rmat, tallskinny, RmatKind};
 use spgemm_par::Pool;
 use spgemm_sparse::{Csr, PlusTimes};
@@ -71,6 +71,12 @@ pub struct SweepRecord {
     /// Median seconds per algorithm (contract-violating algorithms
     /// are absent).
     pub timings: Vec<(Algorithm, f64)>,
+    /// Median seconds per *plan-amortized* multiply: one
+    /// [`SpgemmPlan`] built up front, then repeated
+    /// `execute_into` calls — the steady state of MCL/AMG-style
+    /// iteration, with the symbolic phase and all accumulator
+    /// allocations amortized away.
+    pub plan_timings: Vec<(Algorithm, f64)>,
 }
 
 /// Run the sweep and build the profile; also returns the raw records
@@ -123,6 +129,7 @@ pub fn calibrate_with_report(
             let ctx = auto_context(a, b, order);
             let key = CellKey::of(&ctx);
             let mut timings = Vec::new();
+            let mut plan_timings = Vec::new();
             for algo in Algorithm::ALL {
                 // Only time algorithms whose result would be valid for
                 // this cell: sorted-input kernels need sorted operands,
@@ -133,6 +140,9 @@ pub fn calibrate_with_report(
                 }
                 if let Some(secs) = time_multiply(a, b, algo, order, pool, cfg.reps) {
                     timings.push((algo, secs));
+                }
+                if let Some(secs) = time_plan_amortized(a, b, algo, order, pool, cfg.reps) {
+                    plan_timings.push((algo, secs));
                 }
             }
             records.push(SweepRecord {
@@ -146,6 +156,7 @@ pub fn calibrate_with_report(
                 ),
                 key,
                 timings,
+                plan_timings,
             });
         }
     }
@@ -213,12 +224,47 @@ fn time_multiply(
     Some(times[times.len() / 2])
 }
 
+/// Median wall-clock seconds per *plan-amortized* multiply: build the
+/// [`SpgemmPlan`] once, warm it (first execution also captures the
+/// deferred symbolic structure of one-phase kernels and sizes the
+/// reused output), then time repeated numeric-only `execute_into`
+/// calls. `None` when the combination is invalid.
+fn time_plan_amortized(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    algo: Algorithm,
+    order: OutputOrder,
+    pool: &Pool,
+    reps: usize,
+) -> Option<f64> {
+    let plan = SpgemmPlan::<PlusTimes<f64>>::new_in(a, b, algo, order, pool).ok()?;
+    let mut c = plan.execute_in(a, b, pool).ok()?;
+    plan.execute_into_in(a, b, &mut c, pool).ok()?;
+    let reps = reps.max(1);
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        plan.execute_into_in(a, b, &mut c, pool).ok()?;
+        times.push(t.elapsed().as_secs_f64());
+        std::hint::black_box(c.nnz());
+    }
+    times.sort_by(|x, y| x.total_cmp(y));
+    Some(times[times.len() / 2])
+}
+
 /// Group records by cell and rank algorithms by mean slowdown
 /// relative to each record's fastest (so differently-sized inputs in
-/// one cell weigh equally).
+/// one cell weigh equally). The plan-amortized timings are aggregated
+/// the same way — relative to each record's fastest *amortized*
+/// algorithm — into `plan_rel_slowdown` and the cell's `plan_winner`.
 fn build_cells(records: &[SweepRecord]) -> Vec<CellEntry> {
-    // per cell: (algorithm, relative slowdowns seen, total seconds)
-    type Accum = Vec<(Algorithm, Vec<f64>, f64)>;
+    #[derive(Default)]
+    struct Agg {
+        rels: Vec<f64>,
+        total_secs: f64,
+        plan_rels: Vec<f64>,
+    }
+    type Accum = Vec<(Algorithm, Agg)>;
     let mut cells: Vec<(CellKey, Accum)> = Vec::new();
     for rec in records {
         // Rank only algorithms the selector may serve (see
@@ -232,6 +278,16 @@ fn build_cells(records: &[SweepRecord]) -> Vec<CellEntry> {
         let Some(&(_, best)) = timings.iter().min_by(|(_, x), (_, y)| x.total_cmp(y)) else {
             continue;
         };
+        let plan_timings: Vec<(Algorithm, f64)> = rec
+            .plan_timings
+            .iter()
+            .copied()
+            .filter(|&(a, _)| selectable(a))
+            .collect();
+        let plan_best = plan_timings
+            .iter()
+            .map(|&(_, s)| s)
+            .min_by(|x, y| x.total_cmp(y));
         let slot = match cells.iter_mut().find(|(k, _)| *k == rec.key) {
             Some((_, v)) => v,
             None => {
@@ -239,14 +295,26 @@ fn build_cells(records: &[SweepRecord]) -> Vec<CellEntry> {
                 &mut cells.last_mut().unwrap().1
             }
         };
+        let entry = |slot: &mut Accum, algo: Algorithm| -> usize {
+            match slot.iter().position(|(a, _)| *a == algo) {
+                Some(i) => i,
+                None => {
+                    slot.push((algo, Agg::default()));
+                    slot.len() - 1
+                }
+            }
+        };
         for &(algo, secs) in &timings {
             let rel = if best > 0.0 { secs / best } else { 1.0 };
-            match slot.iter_mut().find(|(a, _, _)| *a == algo) {
-                Some((_, rels, total)) => {
-                    rels.push(rel);
-                    *total += secs;
-                }
-                None => slot.push((algo, vec![rel], secs)),
+            let i = entry(slot, algo);
+            slot[i].1.rels.push(rel);
+            slot[i].1.total_secs += secs;
+        }
+        if let Some(pbest) = plan_best {
+            for &(algo, secs) in &plan_timings {
+                let rel = if pbest > 0.0 { secs / pbest } else { 1.0 };
+                let i = entry(slot, algo);
+                slot[i].1.plan_rels.push(rel);
             }
         }
     }
@@ -255,17 +323,33 @@ fn build_cells(records: &[SweepRecord]) -> Vec<CellEntry> {
         .filter_map(|(key, algos)| {
             let mut ranking: Vec<AlgoScore> = algos
                 .into_iter()
-                .map(|(algo, rels, total_secs)| AlgoScore {
+                .filter(|(_, agg)| !agg.rels.is_empty())
+                .map(|(algo, agg)| AlgoScore {
                     algo,
-                    rel_slowdown: rels.iter().sum::<f64>() / rels.len() as f64,
-                    total_secs,
+                    rel_slowdown: agg.rels.iter().sum::<f64>() / agg.rels.len() as f64,
+                    total_secs: agg.total_secs,
+                    plan_rel_slowdown: if agg.plan_rels.is_empty() {
+                        None
+                    } else {
+                        Some(agg.plan_rels.iter().sum::<f64>() / agg.plan_rels.len() as f64)
+                    },
                 })
                 .collect();
             ranking.sort_by(|x, y| x.rel_slowdown.total_cmp(&y.rel_slowdown));
             let winner = ranking.first()?.algo;
+            let plan_winner = ranking
+                .iter()
+                .filter(|s| s.plan_rel_slowdown.is_some())
+                .min_by(|x, y| {
+                    x.plan_rel_slowdown
+                        .unwrap()
+                        .total_cmp(&y.plan_rel_slowdown.unwrap())
+                })
+                .map(|s| s.algo);
             Some(CellEntry {
                 key,
                 winner,
+                plan_winner,
                 ranking,
             })
         })
@@ -291,6 +375,14 @@ mod tests {
         // cell's sortedness
         for cell in &profile.cells {
             assert_eq!(cell.winner, cell.ranking[0].algo);
+            // the plan path was measured for every serveable cell, and
+            // its winner is one of the ranked algorithms
+            let pw = cell.plan_winner.expect("plan path swept");
+            assert!(cell.ranking.iter().any(|s| s.algo == pw));
+            assert!(cell
+                .ranking
+                .iter()
+                .all(|s| s.plan_rel_slowdown.unwrap_or(1.0) >= 1.0 - 1e-12));
             assert!((cell.ranking[0].rel_slowdown - 1.0).abs() < 0.5);
             if !cell.key.sorted_inputs {
                 assert!(!cell.winner.requires_sorted_inputs());
@@ -337,16 +429,44 @@ mod tests {
                 label: "big".into(),
                 key,
                 timings: vec![(Algorithm::Hash, 1.0), (Algorithm::Heap, 3.0)],
+                plan_timings: vec![(Algorithm::Hash, 0.9), (Algorithm::Heap, 2.7)],
             },
             SweepRecord {
                 label: "small".into(),
                 key,
                 timings: vec![(Algorithm::Hash, 0.012), (Algorithm::Heap, 0.01)],
+                plan_timings: vec![(Algorithm::Hash, 0.011), (Algorithm::Heap, 0.009)],
             },
         ];
         let cells = build_cells(&records);
         assert_eq!(cells.len(), 1);
         // Hash: mean(1.0, 1.2) = 1.1; Heap: mean(3.0, 1.0) = 2.0
         assert_eq!(cells[0].winner, Algorithm::Hash);
+        // Amortized: Hash mean(1.0, 1.22) ≈ 1.11; Heap mean(3.0, 1.0) = 2.0
+        assert_eq!(cells[0].plan_winner, Some(Algorithm::Hash));
+        for score in &cells[0].ranking {
+            assert!(score.plan_rel_slowdown.is_some());
+        }
+    }
+
+    #[test]
+    fn build_cells_tolerates_missing_plan_timings() {
+        use spgemm::recipe::{OpKind, Pattern};
+        let key = CellKey {
+            op: OpKind::Square,
+            pattern: Pattern::Uniform,
+            ef_bucket: 2,
+            sorted_inputs: true,
+            order: OutputOrder::Sorted,
+        };
+        let records = vec![SweepRecord {
+            label: "no-plan".into(),
+            key,
+            timings: vec![(Algorithm::Hash, 1.0)],
+            plan_timings: vec![],
+        }];
+        let cells = build_cells(&records);
+        assert_eq!(cells[0].plan_winner, None);
+        assert_eq!(cells[0].ranking[0].plan_rel_slowdown, None);
     }
 }

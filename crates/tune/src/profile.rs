@@ -9,7 +9,11 @@ use std::collections::BTreeMap;
 
 /// Schema version; bump on incompatible changes so stale profiles are
 /// ignored rather than misread.
-pub const PROFILE_VERSION: u64 = 1;
+///
+/// v2 added the plan-amortized timings (`AlgoScore::plan_rel_slowdown`,
+/// `CellEntry::plan_winner`) measured through `spgemm::SpgemmPlan`
+/// reuse; v1 profiles are recalibrated on first use.
+pub const PROFILE_VERSION: u64 = 2;
 
 /// How far outside the calibrated row-count range the selector still
 /// trusts its cells (×/÷ this factor), before declining to the static
@@ -69,6 +73,12 @@ pub struct AlgoScore {
     pub rel_slowdown: f64,
     /// Total measured seconds across those inputs (diagnostic).
     pub total_secs: f64,
+    /// Mean *plan-amortized* slowdown relative to the best amortized
+    /// algorithm in the cell: per-multiply time when a
+    /// `spgemm::SpgemmPlan` is reused across repeated products, so the
+    /// symbolic phase and accumulator allocations are amortized away.
+    /// `None` when the sweep did not measure the plan path.
+    pub plan_rel_slowdown: Option<f64>,
 }
 
 /// One calibrated scenario with its measured ranking.
@@ -78,6 +88,11 @@ pub struct CellEntry {
     pub key: CellKey,
     /// The fastest algorithm (lowest mean relative slowdown).
     pub winner: Algorithm,
+    /// The fastest algorithm *under plan reuse* — what an iterative
+    /// caller holding a `SpgemmPlan`/`PlanCache` should run. Often the
+    /// one-shot winner, but two-phase kernels gain relative to
+    /// one-phase ones once their symbolic pass is amortized.
+    pub plan_winner: Option<Algorithm>,
     /// Every measured algorithm, best first.
     pub ranking: Vec<AlgoScore>,
 }
@@ -121,6 +136,12 @@ impl MachineProfile {
     /// The entry for `key`, if that scenario was calibrated.
     pub fn cell(&self, key: &CellKey) -> Option<&CellEntry> {
         self.cells.iter().find(|c| c.key == *key)
+    }
+
+    /// The calibrated winner for `key` under plan reuse (repeated
+    /// products amortizing one `spgemm::SpgemmPlan`), when measured.
+    pub fn plan_winner(&self, key: &CellKey) -> Option<Algorithm> {
+        self.cell(key).and_then(|c| c.plan_winner)
     }
 
     /// Serialize to the canonical JSON text.
@@ -218,6 +239,13 @@ fn cell_to_json(cell: &CellEntry) -> Value {
     );
     m.insert("winner".into(), Value::Str(cell.winner.name().into()));
     m.insert(
+        "plan_winner".into(),
+        match cell.plan_winner {
+            Some(a) => Value::Str(a.name().into()),
+            None => Value::Null,
+        },
+    );
+    m.insert(
         "ranking".into(),
         Value::Arr(
             cell.ranking
@@ -227,6 +255,10 @@ fn cell_to_json(cell: &CellEntry) -> Value {
                         Value::Str(s.algo.name().into()),
                         Value::Num(s.rel_slowdown),
                         Value::Num(s.total_secs),
+                        match s.plan_rel_slowdown {
+                            Some(r) => Value::Num(r),
+                            None => Value::Null,
+                        },
                     ])
                 })
                 .collect(),
@@ -264,14 +296,20 @@ fn cell_from_json(v: &Value) -> Result<CellEntry, ProfileError> {
             .and_then(Value::as_str)
             .ok_or(ProfileError::missing("winner"))?,
     )?;
+    let plan_winner = match v.get("plan_winner") {
+        None | Some(Value::Null) => None,
+        Some(w) => Some(parse_algorithm(
+            w.as_str().ok_or(ProfileError::missing("plan_winner"))?,
+        )?),
+    };
     let ranking = v
         .get("ranking")
         .and_then(Value::as_arr)
         .ok_or(ProfileError::missing("ranking"))?
         .iter()
         .map(|row| {
-            let row = row.as_arr().filter(|r| r.len() == 3).ok_or_else(|| {
-                ProfileError::Field("ranking rows must be [algo, rel, secs]".into())
+            let row = row.as_arr().filter(|r| r.len() == 4).ok_or_else(|| {
+                ProfileError::Field("ranking rows must be [algo, rel, secs, plan_rel]".into())
             })?;
             Ok(AlgoScore {
                 algo: parse_algorithm(
@@ -285,6 +323,14 @@ fn cell_from_json(v: &Value) -> Result<CellEntry, ProfileError> {
                 total_secs: row[2]
                     .as_f64()
                     .ok_or(ProfileError::missing("ranking secs"))?,
+                plan_rel_slowdown: match &row[3] {
+                    Value::Null => None,
+                    other => Some(
+                        other
+                            .as_f64()
+                            .ok_or(ProfileError::missing("ranking plan_rel"))?,
+                    ),
+                },
             })
         })
         .collect::<Result<Vec<_>, ProfileError>>()?;
@@ -297,6 +343,7 @@ fn cell_from_json(v: &Value) -> Result<CellEntry, ProfileError> {
             order,
         },
         winner,
+        plan_winner,
         ranking,
     })
 }
@@ -409,16 +456,19 @@ mod tests {
                         order: OutputOrder::Sorted,
                     },
                     winner: Algorithm::Heap,
+                    plan_winner: Some(Algorithm::Hash),
                     ranking: vec![
                         AlgoScore {
                             algo: Algorithm::Heap,
                             rel_slowdown: 1.0,
                             total_secs: 0.01,
+                            plan_rel_slowdown: Some(1.1),
                         },
                         AlgoScore {
                             algo: Algorithm::Hash,
                             rel_slowdown: 1.2,
                             total_secs: 0.012,
+                            plan_rel_slowdown: Some(1.0),
                         },
                     ],
                 },
@@ -431,10 +481,12 @@ mod tests {
                         order: OutputOrder::Unsorted,
                     },
                     winner: Algorithm::HashVec,
+                    plan_winner: None,
                     ranking: vec![AlgoScore {
                         algo: Algorithm::HashVec,
                         rel_slowdown: 1.0,
                         total_secs: 0.002,
+                        plan_rel_slowdown: None,
                     }],
                 },
             ],
@@ -454,7 +506,7 @@ mod tests {
     fn version_mismatch_rejected() {
         let text = sample_profile()
             .to_json()
-            .replace("\"version\":1", "\"version\":999");
+            .replace(&format!("\"version\":{PROFILE_VERSION}"), "\"version\":999");
         match MachineProfile::from_json(&text) {
             Err(ProfileError::Version {
                 found: 999,

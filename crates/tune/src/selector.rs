@@ -115,6 +115,7 @@ mod tests {
                     order: OutputOrder::Sorted,
                 },
                 winner,
+                plan_winner: None,
                 ranking,
             }],
         }
@@ -160,11 +161,13 @@ mod tests {
                     algo: Algorithm::Heap,
                     rel_slowdown: 1.0,
                     total_secs: 0.1,
+                    plan_rel_slowdown: None,
                 },
                 AlgoScore {
                     algo: Algorithm::Hash,
                     rel_slowdown: 1.1,
                     total_secs: 0.11,
+                    plan_rel_slowdown: None,
                 },
             ],
         );

@@ -35,6 +35,9 @@ fn arb_profile() -> impl Strategy<Value = MachineProfile> {
                         algo: algo_from_index(ai),
                         rel_slowdown: rel,
                         total_secs: secs,
+                        // exercise both the measured and unmeasured
+                        // plan-path encodings
+                        plan_rel_slowdown: if secs > 1e-3 { Some(rel * 1.5) } else { None },
                     })
                     .collect();
                 // dedupe algorithms, keep first occurrence, rank ascending
@@ -66,6 +69,15 @@ fn arb_profile() -> impl Strategy<Value = MachineProfile> {
                         },
                     },
                     winner,
+                    plan_winner: ranking
+                        .iter()
+                        .filter(|s| s.plan_rel_slowdown.is_some())
+                        .min_by(|x, y| {
+                            x.plan_rel_slowdown
+                                .unwrap()
+                                .total_cmp(&y.plan_rel_slowdown.unwrap())
+                        })
+                        .map(|s| s.algo),
                     ranking,
                 }
             },

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no registry access, so this vendored
 //! crate implements the subset of proptest the workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`
+//! tests use: the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`
 //! / `prop_perturb` / `prop_filter`, range and tuple strategies,
 //! [`collection::vec`], [`strategy::Just`], `prop::bool::ANY`, the
 //! [`proptest!`] macro, and the `prop_assert*` / `prop_assume!`
