@@ -48,25 +48,14 @@ use spgemm_par::{scan, unsync::SharedMutSlice, Pool, WorkspacePool, WorkspaceSta
 use spgemm_sparse::{ColIdx, Csr, Semiring, SparseError};
 use std::sync::Arc;
 
-/// FNV-1a fingerprint of a matrix's sparsity structure (shape, row
-/// pointers, column indices — values excluded). Two matrices with the
-/// same signature share a structure for planning purposes; used by
-/// [`SpgemmPlan::matches_structure`] and [`PlanCache`].
+/// Fingerprint of a matrix's sparsity structure (shape, row pointers,
+/// column indices — values excluded). Two matrices with the same
+/// signature share a structure for planning purposes; used by
+/// [`SpgemmPlan::matches_structure`] and [`PlanCache`]. This is
+/// [`Csr::structure_fingerprint`]; kept as a free function for callers
+/// that predate the method.
 pub fn structure_signature<T>(m: &Csr<T>) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0100_0000_01b3;
-    let mut h = OFFSET;
-    let mix = |h: u64, x: u64| (h ^ x).wrapping_mul(PRIME);
-    h = mix(h, m.nrows() as u64);
-    h = mix(h, m.ncols() as u64);
-    h = mix(h, m.nnz() as u64);
-    for &r in m.rpts() {
-        h = mix(h, r as u64);
-    }
-    for &c in m.cols() {
-        h = mix(h, c as u64);
-    }
-    h
+    m.structure_fingerprint()
 }
 
 /// Signatures of both operands, hashing the shared structure only

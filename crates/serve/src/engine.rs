@@ -1,0 +1,365 @@
+//! The serving engine: worker threads draining the queue through the
+//! shared plan cache.
+
+use crate::error::ServeError;
+use crate::job::{JobCore, JobHandle, ProductRequest};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::plan_cache::{PlanKey, SharedPlanCache, S};
+use crate::queue::{JobQueue, QueuedJob};
+use crate::store::MatrixStore;
+use spgemm::SpgemmPlan;
+use spgemm_par::Pool;
+use spgemm_sparse::{Csr, SparseError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine sizing and policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue (each executes one batch at a
+    /// time). Clamped to ≥ 1.
+    pub workers: usize,
+    /// Width of each worker's execution [`Pool`]. All workers use the
+    /// same width so cached plans are interchangeable between them.
+    pub threads_per_worker: usize,
+    /// Submission queue capacity; `try_submit` returns
+    /// [`ServeError::Overloaded`] beyond it.
+    pub queue_capacity: usize,
+    /// Most jobs one worker coalesces under a single plan per pop.
+    pub max_batch: usize,
+    /// Shared plan cache budget in **keys** (distinct operand
+    /// structures × options); LRU beyond it. Each hot key retains up
+    /// to one plan *instance* per worker that demanded it
+    /// concurrently, so worst-case retained plans are
+    /// `plan_cache_plans × workers`. **0 disables the cache**, making
+    /// every job a cold one-shot multiply (the baseline the
+    /// `spgemm-serve --compare` bench measures against).
+    pub plan_cache_plans: usize,
+    /// Install this host's calibrated tuning profile for
+    /// `threads_per_worker` workers at startup (nearest calibrated
+    /// thread count when the exact one is missing), so `Auto` requests
+    /// resolve through measured data.
+    ///
+    /// The installed selector is **process-global**
+    /// (`spgemm::recipe`'s auto hook): it also affects `Auto`
+    /// resolution outside this engine, the last installer wins, and
+    /// dropping the engine does not uninstall it. Leave this off when
+    /// the process manages the hook itself.
+    pub use_tuned_profile: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            threads_per_worker: 1,
+            queue_capacity: 1024,
+            max_batch: 16,
+            plan_cache_plans: 64,
+            use_tuned_profile: false,
+        }
+    }
+}
+
+struct EngineShared {
+    store: MatrixStore,
+    queue: JobQueue,
+    cache: SharedPlanCache,
+    metrics: Arc<Metrics>,
+    next_job: AtomicU64,
+    max_batch: usize,
+    started: Instant,
+}
+
+/// The in-process SpGEMM service: register matrices, submit products,
+/// hold [`JobHandle`]s.
+///
+/// ```
+/// use spgemm_serve::{ProductRequest, ServeConfig, ServeEngine};
+/// use spgemm_sparse::Csr;
+///
+/// let engine = ServeEngine::new(ServeConfig::default());
+/// engine.store().insert("a", Csr::<f64>::identity(16));
+/// let job = engine.try_submit(ProductRequest::new("a", "a")).unwrap();
+/// let c = job.wait().unwrap();
+/// assert_eq!(c.nnz(), 16);
+/// let m = engine.shutdown();
+/// assert_eq!(m.completed, 1);
+/// ```
+pub struct ServeEngine {
+    shared: Arc<EngineShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    tuned_profile_threads: Option<usize>,
+}
+
+impl ServeEngine {
+    /// Start the engine: spawns `cfg.workers` worker threads, each
+    /// owning an execution pool of `cfg.threads_per_worker` threads.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let tuned_profile_threads = if cfg.use_tuned_profile {
+            spgemm_tune::init_from_saved_at(cfg.threads_per_worker.max(1))
+        } else {
+            None
+        };
+        let shared = Arc::new(EngineShared {
+            store: MatrixStore::new(),
+            queue: JobQueue::new(cfg.queue_capacity),
+            cache: SharedPlanCache::new(cfg.plan_cache_plans),
+            metrics: Arc::new(Metrics::default()),
+            next_job: AtomicU64::new(0),
+            max_batch: cfg.max_batch.max(1),
+            started: Instant::now(),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let width = cfg.threads_per_worker.max(1);
+                std::thread::Builder::new()
+                    .name(format!("spgemm-serve-{i}"))
+                    .spawn(move || {
+                        let pool = Pool::new(width);
+                        worker_loop(&shared, &pool);
+                    })
+                    .expect("failed to spawn serve worker")
+            })
+            .collect();
+        ServeEngine {
+            shared,
+            workers,
+            tuned_profile_threads,
+        }
+    }
+
+    /// The matrix registry.
+    pub fn store(&self) -> &MatrixStore {
+        &self.shared.store
+    }
+
+    /// Submit a product without blocking. A full queue is reported as
+    /// [`ServeError::Overloaded`] — the caller sheds or retries; the
+    /// engine never blocks a submitter.
+    pub fn try_submit(&self, req: ProductRequest) -> Result<JobHandle, ServeError> {
+        let result = self.submit_inner(&req);
+        match &result {
+            Ok(_) => self.shared.metrics.accepted.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    fn submit_inner(&self, req: &ProductRequest) -> Result<JobHandle, ServeError> {
+        let a = self
+            .shared
+            .store
+            .get(&req.a)
+            .ok_or_else(|| ServeError::UnknownMatrix {
+                name: req.a.clone(),
+            })?;
+        let b = self
+            .shared
+            .store
+            .get(&req.b)
+            .ok_or_else(|| ServeError::UnknownMatrix {
+                name: req.b.clone(),
+            })?;
+        if a.csr().ncols() != b.csr().nrows() {
+            return Err(ServeError::Sparse(SparseError::ShapeMismatch {
+                left: a.csr().shape(),
+                right: b.csr().shape(),
+                op: "serve submit",
+            }));
+        }
+        let id = self.shared.next_job.fetch_add(1, Ordering::Relaxed);
+        let core = JobCore::new(id, req.tenant.clone(), Arc::clone(&self.shared.metrics));
+        let job = QueuedJob {
+            core: Arc::clone(&core),
+            key: PlanKey::for_product(&a, &b, req.algo, req.order),
+            a,
+            b,
+        };
+        self.shared.queue.try_push(req.priority, job)?;
+        Ok(JobHandle::new(core))
+    }
+
+    /// Jobs currently queued (excludes running ones).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// The submission queue's capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue.capacity()
+    }
+
+    /// Thread count of the tuning profile installed at startup, if
+    /// [`ServeConfig::use_tuned_profile`] found one (may differ from
+    /// `threads_per_worker` after the nearest-count fallback).
+    pub fn tuned_profile_threads(&self) -> Option<usize> {
+        self.tuned_profile_threads
+    }
+
+    /// Current counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(
+            self.shared.queue.depth(),
+            self.shared.cache.stats(),
+            self.shared.started,
+        )
+    }
+
+    /// Stop accepting, drain every accepted job, join the workers and
+    /// return the final counters. Every job accepted before the call
+    /// still reaches its handle exactly once.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.close_and_join();
+        self.metrics()
+    }
+
+    fn close_and_join(&mut self) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(shared: &EngineShared, pool: &Pool) {
+    loop {
+        let batch = shared.queue.pop_batch(shared.max_batch);
+        if batch.is_empty() {
+            return; // closed and drained
+        }
+        // Per-job panics are contained inside execute_batch; this
+        // outer net catches panics in the batch *bookkeeping* (plan
+        // checkout, metrics, ...) so a popped job can never be
+        // orphaned with its waiters blocked forever — the worker
+        // fails whatever is still unresolved and keeps serving.
+        let cores: Vec<_> = batch.iter().map(|j| Arc::clone(&j.core)).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute_batch(shared, pool, batch)));
+        if let Err(payload) = outcome {
+            let detail = panic_text(payload);
+            for core in &cores {
+                core.fail_if_unresolved(ServeError::Internal {
+                    detail: detail.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Execute one same-key batch: skip jobs cancelled while queued, then
+/// run the rest numeric-only under the cached plan (building it once
+/// on miss), or as cold one-shot multiplies when the cache is
+/// disabled.
+fn execute_batch(shared: &EngineShared, pool: &Pool, batch: Vec<QueuedJob>) {
+    let runnable: Vec<QueuedJob> = batch.into_iter().filter(|j| j.core.start()).collect();
+    let Some(first) = runnable.first() else {
+        return; // whole batch was cancelled while queued
+    };
+    shared.metrics.note_batch(runnable.len());
+    let key = first.key;
+    let n = runnable.len() as u64;
+    if !shared.cache.enabled() {
+        for job in &runnable {
+            job.core.complete(run_cold(job, pool));
+        }
+        return;
+    }
+    // Check a plan instance out of the shared slot so same-key batches
+    // on other workers keep executing in parallel on their own
+    // instances; no slot lock is held during execution.
+    let slot = shared.cache.slot(key);
+    let plan = match slot.checkout(pool.nthreads()) {
+        Some(plan) => {
+            shared.cache.note_hits(n);
+            plan
+        }
+        None => match build_plan(first.a.csr(), first.b.csr(), key, pool) {
+            Ok(plan) => {
+                // The builder pays the symbolic phase; its batch-mates
+                // already reuse it numeric-only.
+                shared.cache.note_misses(1);
+                shared.cache.note_hits(n - 1);
+                plan
+            }
+            Err(e) => {
+                shared.cache.note_misses(n);
+                for job in &runnable {
+                    job.core.complete(Err(e.clone()));
+                }
+                return;
+            }
+        },
+    };
+    // Execute everything first and return the instance *before*
+    // delivering results: a waiter woken by its result may submit the
+    // next same-key job immediately, and it should find the instance
+    // already pooled.
+    let results: Vec<_> = runnable
+        .iter()
+        .map(|job| run_planned(&plan, job, pool))
+        .collect();
+    slot.checkin(plan);
+    for (job, result) in runnable.iter().zip(results) {
+        job.core.complete(result);
+    }
+}
+
+fn build_plan(
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    key: PlanKey,
+    pool: &Pool,
+) -> Result<SpgemmPlan<S>, ServeError> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        SpgemmPlan::<S>::new_in(a, b, key.algo, key.order, pool)
+    })) {
+        Ok(Ok(plan)) => Ok(plan),
+        Ok(Err(e)) => Err(ServeError::Sparse(e)),
+        Err(payload) => Err(ServeError::Internal {
+            detail: panic_text(payload),
+        }),
+    }
+}
+
+fn run_planned(plan: &SpgemmPlan<S>, job: &QueuedJob, pool: &Pool) -> crate::job::JobResult {
+    match catch_unwind(AssertUnwindSafe(|| {
+        plan.execute_in(job.a.csr(), job.b.csr(), pool)
+    })) {
+        Ok(Ok(c)) => Ok(Arc::new(c)),
+        Ok(Err(e)) => Err(ServeError::Sparse(e)),
+        Err(payload) => Err(ServeError::Internal {
+            detail: panic_text(payload),
+        }),
+    }
+}
+
+fn run_cold(job: &QueuedJob, pool: &Pool) -> crate::job::JobResult {
+    match catch_unwind(AssertUnwindSafe(|| {
+        spgemm::multiply_in::<S>(job.a.csr(), job.b.csr(), job.key.algo, job.key.order, pool)
+    })) {
+        Ok(Ok(c)) => Ok(Arc::new(c)),
+        Ok(Err(e)) => Err(ServeError::Sparse(e)),
+        Err(payload) => Err(ServeError::Internal {
+            detail: panic_text(payload),
+        }),
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

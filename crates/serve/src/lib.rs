@@ -1,0 +1,85 @@
+//! In-process multi-tenant SpGEMM serving.
+//!
+//! Everything below `spgemm-serve` is a *library for one caller*: the
+//! inspector–executor plan ([`spgemm::SpgemmPlan`]) and its pooled
+//! workspaces amortize symbolic work and allocations — the paper's
+//! Figure 4 insight — only within a single driver loop. This crate
+//! turns that amortization into a shared, concurrent resource, the
+//! way kernel-handle libraries (Deveci et al.'s multi-threaded SpGEMM
+//! handles) and block-product engines (DBCSR) separate reusable
+//! preparation from execution:
+//!
+//! * a [`MatrixStore`] of named, fingerprinted, immutable matrices —
+//!   the `O(nnz)` structure fingerprint is paid **once at
+//!   registration**, never per request;
+//! * a bounded, prioritized submission queue whose
+//!   [`ServeEngine::try_submit`] never blocks: a full queue is the
+//!   backpressure signal ([`ServeError::Overloaded`]);
+//! * worker threads that **batch** same-structure requests popped
+//!   from the queue and execute them numeric-only under one plan;
+//! * a shared, concurrency-safe **plan cache** keyed by operand
+//!   fingerprints + kernel options, so repeated products — across
+//!   tenants and across workers — reuse symbolic phases and pooled
+//!   accumulators;
+//! * [`JobHandle`]s (wait / poll / cancel) and [`MetricsSnapshot`]
+//!   (p50/p99 latency, throughput, plan-cache hit rate, queue depth).
+//!
+//! The `spgemm-serve` binary in `spgemm-bench` drives the engine with
+//! an open-loop synthetic traffic generator (MCL-style A² chains, AMG
+//! triple products, one-shot products) and reports latency and
+//! throughput against worker count and plan-cache policy.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use spgemm_serve::{Priority, ProductRequest, ServeConfig, ServeEngine};
+//! use spgemm_sparse::Csr;
+//!
+//! let engine = ServeEngine::new(ServeConfig {
+//!     workers: 2,
+//!     ..ServeConfig::default()
+//! });
+//!
+//! // Tenants register matrices once...
+//! engine.store().insert("mcl/graph", Csr::<f64>::identity(64));
+//!
+//! // ...then submit products against them by name.
+//! let job = engine
+//!     .try_submit(
+//!         ProductRequest::new("mcl/graph", "mcl/graph")
+//!             .priority(Priority::High)
+//!             .tenant("mcl"),
+//!     )
+//!     .unwrap();
+//! let c = job.wait().unwrap();
+//! assert_eq!(c.nnz(), 64);
+//!
+//! // Repeated same-structure products hit the shared plan cache.
+//! for _ in 0..8 {
+//!     engine
+//!         .try_submit(ProductRequest::new("mcl/graph", "mcl/graph"))
+//!         .unwrap()
+//!         .wait()
+//!         .unwrap();
+//! }
+//! let m = engine.shutdown();
+//! assert_eq!(m.completed, 9);
+//! assert!(m.plan_cache.hit_rate() > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod job;
+mod metrics;
+mod plan_cache;
+mod queue;
+mod store;
+
+pub use engine::{ServeConfig, ServeEngine};
+pub use error::ServeError;
+pub use job::{JobHandle, JobOutput, JobResult, Priority, ProductRequest};
+pub use metrics::{LatencySummary, MetricsSnapshot};
+pub use plan_cache::{PlanCacheStats, PlanKey};
+pub use store::{MatrixStore, StoredMatrix};

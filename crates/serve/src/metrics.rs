@@ -1,0 +1,184 @@
+//! Serving metrics: per-job latency, aggregate counters, and the
+//! snapshot the `spgemm-serve` bench prints.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::plan_cache::PlanCacheStats;
+
+/// Hard cap on retained latency samples; beyond it new samples are
+/// counted but not stored (`LatencySummary::dropped`). At the serving
+/// rates this workspace benches, the cap is never approached.
+const MAX_SAMPLES: usize = 1 << 20;
+
+/// Shared counters, written by submitters, workers and job handles.
+#[derive(Default)]
+pub(crate) struct Metrics {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+    /// Second completions of one job — must stay 0; counted instead of
+    /// panicking so the smoke harness can assert on it.
+    pub(crate) duplicate_completions: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_jobs: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+    dropped_samples: AtomicU64,
+}
+
+impl Metrics {
+    pub(crate) fn record_latency(&self, since_submit: Duration) {
+        let mut samples = self.latencies_us.lock();
+        if samples.len() < MAX_SAMPLES {
+            samples.push(since_submit.as_micros() as u64);
+        } else {
+            self.dropped_samples.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn note_batch(&self, jobs: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_jobs.fetch_add(jobs as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        queue_depth: usize,
+        plan_cache: PlanCacheStats,
+        since: Instant,
+    ) -> MetricsSnapshot {
+        let latency = {
+            let samples = self.latencies_us.lock();
+            LatencySummary::from_us(&samples, self.dropped_samples.load(Ordering::Relaxed))
+        };
+        let completed = self.completed.load(Ordering::Relaxed);
+        let elapsed = since.elapsed();
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            duplicate_completions: self.duplicate_completions.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
+            queue_depth,
+            plan_cache,
+            elapsed,
+            throughput_jps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+            latency,
+        }
+    }
+}
+
+/// Order statistics over completed-job latencies (submit → done, i.e.
+/// queue wait + execution).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Retained samples.
+    pub count: usize,
+    /// Samples beyond the retention cap (counted, not stored).
+    pub dropped: u64,
+    /// Arithmetic mean, milliseconds.
+    pub mean_ms: f64,
+    /// Median, milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// Maximum, milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    fn from_us(samples: &[u64], dropped: u64) -> Self {
+        if samples.is_empty() {
+            return LatencySummary {
+                dropped,
+                ..Default::default()
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let pct = |q: f64| -> f64 {
+            let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx] as f64 / 1e3
+        };
+        LatencySummary {
+            count: sorted.len(),
+            dropped,
+            mean_ms: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64 / 1e3,
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+            max_ms: *sorted.last().unwrap() as f64 / 1e3,
+        }
+    }
+}
+
+/// A point-in-time view of the engine's counters.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Jobs accepted into the queue.
+    pub accepted: u64,
+    /// Submissions rejected (overload, unknown matrix, shape mismatch,
+    /// shutdown).
+    pub rejected: u64,
+    /// Jobs that produced a product.
+    pub completed: u64,
+    /// Jobs whose execution failed.
+    pub failed: u64,
+    /// Jobs cancelled while queued.
+    pub cancelled: u64,
+    /// Jobs that reached a terminal state twice — always 0 unless the
+    /// exactly-once delivery invariant is broken.
+    pub duplicate_completions: u64,
+    /// Worker batch count (a batch is ≥ 1 job under one plan).
+    pub batches: u64,
+    /// Jobs executed through batches (`batched_jobs / batches` is the
+    /// mean batch size).
+    pub batched_jobs: u64,
+    /// Queued jobs at snapshot time.
+    pub queue_depth: usize,
+    /// Shared plan cache counters.
+    pub plan_cache: PlanCacheStats,
+    /// Time since the engine started.
+    pub elapsed: Duration,
+    /// `completed / elapsed`, jobs per second.
+    pub throughput_jps: f64,
+    /// Latency order statistics over completed jobs.
+    pub latency: LatencySummary,
+}
+
+impl MetricsSnapshot {
+    /// Terminal outcomes delivered (completed + failed + cancelled) —
+    /// the number the exactly-once smoke check compares to accepted.
+    pub fn delivered(&self) -> u64 {
+        self.completed + self.failed + self.cancelled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_percentiles() {
+        let us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        let s = LatencySummary::from_us(&us, 0);
+        assert_eq!(s.count, 100);
+        assert!((s.p50_ms - 50.0).abs() <= 1.0, "{}", s.p50_ms);
+        assert!((s.p99_ms - 99.0).abs() <= 1.0, "{}", s.p99_ms);
+        assert!((s.max_ms - 100.0).abs() < 1e-9);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = LatencySummary::from_us(&[], 3);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.dropped, 3);
+        assert_eq!(s.p99_ms, 0.0);
+    }
+}

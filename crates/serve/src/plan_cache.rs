@@ -1,0 +1,266 @@
+//! The shared, concurrency-safe plan cache.
+//!
+//! [`spgemm::PlanCache`] amortizes symbolic work for *one* caller;
+//! this cache turns the same amortization into a cross-tenant,
+//! cross-worker resource. It maps a [`PlanKey`] — the operands'
+//! structure fingerprints (computed once at registration, see
+//! [`crate::MatrixStore`]) plus the kernel options — to a slot holding
+//! one [`SpgemmPlan`]. Repeated products over stable structures, from
+//! any tenant on any worker, reuse the symbolic phase and the plan's
+//! pooled per-thread accumulators.
+//!
+//! # Concurrency model
+//!
+//! A plan's workspace pool is indexed by worker id within one
+//! execution pool, so a single plan instance must not run on two
+//! worker teams at once. Serializing a hot key on one instance would
+//! throttle the dominant tenant to one worker, so each slot holds a
+//! small **pool of plan instances**: a worker checks an instance out
+//! ([`PlanSlot::checkout`]), executes its whole batch without holding
+//! any slot lock, and returns it ([`PlanSlot::checkin`]). A hot key
+//! thus fans out to as many instances as there are workers demanding
+//! it — each instance pays its own symbolic build once (a miss) and
+//! is reused ever after (hits) — while cold keys cost exactly one
+//! instance.
+//!
+//! Eviction is least-recently-used over a fixed entry budget. An
+//! evicted slot still held by a worker stays alive (the map holds
+//! `Arc`s); checked-out instances are simply returned to the orphaned
+//! slot and dropped with it.
+
+use parking_lot::Mutex;
+use spgemm::{Algorithm, OutputOrder, SpgemmPlan};
+use spgemm_sparse::PlusTimes;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::store::StoredMatrix;
+
+/// The semiring the serving layer runs (the paper's numeric setting).
+pub(crate) type S = PlusTimes<f64>;
+
+/// Cache key: operand structures + kernel options. Two requests with
+/// the same key can share one plan verbatim.
+///
+/// # Trust model
+///
+/// Structure identity is decided by the 64-bit FNV-1a
+/// [`spgemm_sparse::Csr::structure_fingerprint`], which is fast but
+/// not collision-resistant: the engine assumes *cooperating* tenants.
+/// A plan's per-execute checks still reject any shape or nnz
+/// disagreement with an error, so only a full fingerprint collision
+/// between equal-shape, equal-nnz, structurally different matrices —
+/// vanishingly unlikely by accident, constructible by a hostile
+/// tenant — could route a job through the wrong symbolic structure.
+/// Serving mutually untrusted tenants would need a keyed or
+/// cryptographic structure hash (or per-tenant cache partitions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// [`spgemm_sparse::Csr::structure_fingerprint`] of `A`.
+    pub fp_a: u64,
+    /// Fingerprint of `B`.
+    pub fp_b: u64,
+    /// Requested kernel (pre-`Auto`-resolution; resolution happens
+    /// once inside the plan).
+    pub algo: Algorithm,
+    /// Output ordering contract.
+    pub order: OutputOrder,
+}
+
+impl PlanKey {
+    /// The key of `a · b` under the given options.
+    pub fn for_product(
+        a: &StoredMatrix,
+        b: &StoredMatrix,
+        algo: Algorithm,
+        order: OutputOrder,
+    ) -> Self {
+        PlanKey {
+            fp_a: a.fingerprint(),
+            fp_b: b.fingerprint(),
+            algo,
+            order,
+        }
+    }
+}
+
+/// One cache entry: a pool of interchangeable plan instances for the
+/// key (built lazily by executors as concurrency demands) and an LRU
+/// stamp.
+pub(crate) struct PlanSlot {
+    instances: Mutex<Vec<SpgemmPlan<S>>>,
+    last_used: AtomicU64,
+}
+
+impl PlanSlot {
+    /// Take an idle plan instance sized for `nthreads`-wide execution,
+    /// if one is pooled. Instances of a different width (possible only
+    /// after a reconfiguration) are discarded on sight.
+    pub(crate) fn checkout(&self, nthreads: usize) -> Option<SpgemmPlan<S>> {
+        let mut pool = self.instances.lock();
+        while let Some(plan) = pool.pop() {
+            if plan.nthreads() == nthreads {
+                return Some(plan);
+            }
+        }
+        None
+    }
+
+    /// Return an instance for the next executor.
+    pub(crate) fn checkin(&self, plan: SpgemmPlan<S>) {
+        self.instances.lock().push(plan);
+    }
+}
+
+/// Counters of the shared cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Jobs that executed numeric-only under an already-built plan
+    /// (including batch-mates of the job that built it).
+    pub hits: u64,
+    /// Jobs that paid a symbolic build.
+    pub misses: u64,
+    /// Entries evicted to stay within the budget.
+    pub evictions: u64,
+    /// Live cache **keys** (each may pool several plan instances —
+    /// see [`crate::ServeConfig::plan_cache_plans`]).
+    pub entries: usize,
+}
+
+impl PlanCacheStats {
+    /// `hits / (hits + misses)`, 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+pub(crate) struct SharedPlanCache {
+    map: Mutex<HashMap<PlanKey, Arc<PlanSlot>>>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    capacity: usize,
+}
+
+impl SharedPlanCache {
+    /// A cache holding at most `capacity` plans; 0 disables caching
+    /// (the engine then runs every job as a cold one-shot — the
+    /// baseline the `spgemm-serve --compare` bench measures against).
+    pub(crate) fn new(capacity: usize) -> Self {
+        SharedPlanCache {
+            map: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The slot for `key`, creating (and LRU-evicting) as needed.
+    pub(crate) fn slot(&self, key: PlanKey) -> Arc<PlanSlot> {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut map = self.map.lock();
+        if let Some(slot) = map.get(&key) {
+            slot.last_used.store(stamp, Ordering::Relaxed);
+            return Arc::clone(slot);
+        }
+        if map.len() >= self.capacity {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let slot = Arc::new(PlanSlot {
+            instances: Mutex::new(Vec::new()),
+            last_used: AtomicU64::new(stamp),
+        });
+        map.insert(key, Arc::clone(&slot));
+        slot
+    }
+
+    /// Record `n` jobs served numeric-only by a cached plan.
+    pub(crate) fn note_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` jobs that paid (or shared) a symbolic build.
+    pub(crate) fn note_misses(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.map.lock().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(fp: u64) -> PlanKey {
+        PlanKey {
+            fp_a: fp,
+            fp_b: fp,
+            algo: Algorithm::Hash,
+            order: OutputOrder::Sorted,
+        }
+    }
+
+    #[test]
+    fn slot_is_stable_per_key() {
+        let cache = SharedPlanCache::new(4);
+        let s1 = cache.slot(key(1));
+        let s2 = cache.slot(key(1));
+        assert!(Arc::ptr_eq(&s1, &s2));
+        let other = cache.slot(key(2));
+        assert!(!Arc::ptr_eq(&s1, &other));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let cache = SharedPlanCache::new(2);
+        let s1 = cache.slot(key(1));
+        let _s2 = cache.slot(key(2));
+        let _s1_again = cache.slot(key(1)); // refresh 1; 2 is now coldest
+        let _s3 = cache.slot(key(3)); // evicts 2
+        let st = cache.stats();
+        assert_eq!(st.entries, 2);
+        assert_eq!(st.evictions, 1);
+        assert!(Arc::ptr_eq(&s1, &cache.slot(key(1))), "1 survived");
+        // 2 was evicted: a fresh, empty slot comes back.
+        let s2_new = cache.slot(key(2));
+        assert!(s2_new.checkout(1).is_none());
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let cache = SharedPlanCache::new(2);
+        cache.note_misses(1);
+        cache.note_hits(3);
+        let st = cache.stats();
+        assert!((st.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(PlanCacheStats::default().hit_rate(), 0.0);
+    }
+}

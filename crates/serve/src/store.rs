@@ -1,0 +1,176 @@
+//! Named, fingerprinted, shared matrices — the serving layer's data
+//! plane.
+//!
+//! Tenants register matrices once under a name; jobs reference them by
+//! name and capture an [`Arc`] snapshot at submission, so a tenant
+//! re-registering a name (new values, possibly new structure) never
+//! races in-flight jobs. The store computes each matrix's `O(nnz)`
+//! [`Csr::structure_fingerprint`] **once at registration**, which is
+//! what lets the plan cache key products by structure without paying a
+//! per-request fingerprint pass.
+
+use parking_lot::Mutex;
+use spgemm_sparse::Csr;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An immutable registered matrix: the payload plus the metadata the
+/// scheduler keys on.
+pub struct StoredMatrix {
+    name: String,
+    /// Monotone per-store registration counter. Two registrations of
+    /// the same name get different versions, so result deduplication
+    /// (same operands ⇒ same product) can use `(name, version)` as an
+    /// identity without comparing values.
+    version: u64,
+    fingerprint: u64,
+    matrix: Arc<Csr<f64>>,
+}
+
+impl StoredMatrix {
+    /// The name this matrix is registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registration counter value (unique within one store).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The structure fingerprint computed at registration
+    /// ([`Csr::structure_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The matrix itself.
+    pub fn csr(&self) -> &Csr<f64> {
+        &self.matrix
+    }
+
+    /// Shared handle to the matrix.
+    pub fn csr_arc(&self) -> Arc<Csr<f64>> {
+        Arc::clone(&self.matrix)
+    }
+}
+
+impl std::fmt::Debug for StoredMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "StoredMatrix({:?} v{} {}x{} nnz={} fp={:#018x})",
+            self.name,
+            self.version,
+            self.matrix.nrows(),
+            self.matrix.ncols(),
+            self.matrix.nnz(),
+            self.fingerprint
+        )
+    }
+}
+
+/// Concurrent name → matrix registry.
+///
+/// ```
+/// use spgemm_serve::MatrixStore;
+/// use spgemm_sparse::Csr;
+///
+/// let store = MatrixStore::new();
+/// let a = store.insert("a", Csr::<f64>::identity(4));
+/// assert_eq!(store.get("a").unwrap().version(), a.version());
+/// assert_eq!(store.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct MatrixStore {
+    inner: Mutex<HashMap<String, Arc<StoredMatrix>>>,
+    next_version: AtomicU64,
+}
+
+impl MatrixStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `matrix` under `name`, replacing any previous
+    /// registration. Jobs that captured the previous registration keep
+    /// using it (snapshot semantics). Computes the structure
+    /// fingerprint once, here.
+    pub fn insert(&self, name: impl Into<String>, matrix: Csr<f64>) -> Arc<StoredMatrix> {
+        let name = name.into();
+        let stored = Arc::new(StoredMatrix {
+            fingerprint: matrix.structure_fingerprint(),
+            version: self.next_version.fetch_add(1, Ordering::Relaxed),
+            matrix: Arc::new(matrix),
+            name: name.clone(),
+        });
+        self.inner.lock().insert(name, Arc::clone(&stored));
+        stored
+    }
+
+    /// The current registration of `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<StoredMatrix>> {
+        self.inner.lock().get(name).cloned()
+    }
+
+    /// Remove `name`; returns whether it was present. In-flight jobs
+    /// holding the matrix are unaffected.
+    pub fn remove(&self, name: &str) -> bool {
+        self.inner.lock().remove(name).is_some()
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registered names, unordered.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.lock().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reregistration_bumps_version_and_keeps_snapshots() {
+        let store = MatrixStore::new();
+        let first = store.insert("m", Csr::<f64>::identity(3));
+        let second = store.insert("m", Csr::<f64>::identity(5));
+        assert!(second.version() > first.version());
+        assert_eq!(first.csr().nrows(), 3, "snapshot unaffected by replace");
+        assert_eq!(store.get("m").unwrap().csr().nrows(), 5);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_matches_csr_method() {
+        let store = MatrixStore::new();
+        let m = Csr::<f64>::identity(7);
+        let fp = m.structure_fingerprint();
+        let stored = store.insert("id", m);
+        assert_eq!(stored.fingerprint(), fp);
+    }
+
+    #[test]
+    fn remove_and_names() {
+        let store = MatrixStore::new();
+        store.insert("x", Csr::<f64>::identity(2));
+        store.insert("y", Csr::<f64>::identity(2));
+        let mut names = store.names();
+        names.sort();
+        assert_eq!(names, ["x", "y"]);
+        assert!(store.remove("x"));
+        assert!(!store.remove("x"));
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! End-to-end tests of the serving engine: correctness under
+//! concurrency, queue semantics observable from outside, plan-cache
+//! behaviour, and the exactly-once delivery invariant.
+
+use spgemm::{Algorithm, OutputOrder};
+use spgemm_serve::{Priority, ProductRequest, ServeConfig, ServeEngine, ServeError};
+use spgemm_sparse::{approx_eq_f64, Csr, PlusTimes};
+
+type P = PlusTimes<f64>;
+
+fn rmat(scale: u32, ef: usize, seed: u64) -> Csr<f64> {
+    let mut rng = spgemm_gen::rng(seed);
+    spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::Er, scale, ef, &mut rng)
+}
+
+#[test]
+fn products_match_reference_across_algorithms() {
+    let engine = ServeEngine::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let a = rmat(6, 4, 1);
+    let expect = spgemm::algos::reference::multiply::<P>(&a, &a);
+    engine.store().insert("a", a);
+    let mut handles = Vec::new();
+    for algo in [
+        Algorithm::Auto,
+        Algorithm::Hash,
+        Algorithm::HashVec,
+        Algorithm::Heap,
+        Algorithm::Spa,
+        Algorithm::KkHash,
+    ] {
+        for order in [OutputOrder::Sorted, OutputOrder::Unsorted] {
+            handles.push((
+                algo,
+                order,
+                engine
+                    .try_submit(ProductRequest::new("a", "a").algo(algo).order(order))
+                    .unwrap(),
+            ));
+        }
+    }
+    for (algo, order, h) in handles {
+        let mut c = (*h.wait().unwrap_or_else(|e| panic!("{algo} {order:?}: {e}"))).clone();
+        if !c.is_sorted() {
+            c.sort_rows();
+        }
+        assert!(approx_eq_f64(&expect, &c, 1e-12), "{algo} {order:?}");
+    }
+    let m = engine.shutdown();
+    assert_eq!(m.completed, 12);
+    assert_eq!(m.failed + m.cancelled + m.duplicate_completions, 0);
+}
+
+#[test]
+fn submit_rejects_unknown_names_and_bad_shapes() {
+    let engine = ServeEngine::new(ServeConfig::default());
+    engine.store().insert("sq", Csr::<f64>::identity(4));
+    engine.store().insert("wide", Csr::<f64>::zero(4, 7));
+    match engine.try_submit(ProductRequest::new("sq", "missing")) {
+        Err(ServeError::UnknownMatrix { name }) => assert_eq!(name, "missing"),
+        other => panic!("expected UnknownMatrix, got {other:?}"),
+    }
+    assert!(matches!(
+        engine.try_submit(ProductRequest::new("wide", "sq")),
+        Err(ServeError::Sparse(_))
+    ));
+    let m = engine.shutdown();
+    assert_eq!(m.rejected, 2);
+    assert_eq!(m.accepted, 0);
+}
+
+#[test]
+fn sortedness_contract_fails_the_job_not_the_engine() {
+    // Heap requires sorted inputs; an unsorted operand must fail that
+    // job cleanly and leave the engine serving.
+    let engine = ServeEngine::new(ServeConfig::default());
+    let mut rng = spgemm_gen::rng(7);
+    let a = spgemm_gen::perm::randomize_columns(&rmat(5, 4, 3), &mut rng);
+    assert!(!a.is_sorted());
+    engine.store().insert("a", a);
+    let bad = engine
+        .try_submit(ProductRequest::new("a", "a").algo(Algorithm::Heap))
+        .unwrap();
+    assert!(matches!(bad.wait(), Err(ServeError::Sparse(_))));
+    let ok = engine
+        .try_submit(ProductRequest::new("a", "a").algo(Algorithm::Hash))
+        .unwrap();
+    assert!(ok.wait().is_ok());
+    let m = engine.shutdown();
+    assert_eq!((m.failed, m.completed), (1, 1));
+}
+
+#[test]
+fn repeated_pattern_hits_shared_cache_and_tracks_new_values() {
+    let engine = ServeEngine::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let a = rmat(6, 4, 11);
+    engine.store().insert("a", a.clone());
+    for _ in 0..10 {
+        engine
+            .try_submit(ProductRequest::new("a", "a").algo(Algorithm::Hash))
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+    // Same structure, new values: fingerprint unchanged, so the plan
+    // is reused numeric-only — and the numbers must be the new ones.
+    let scaled = a.map(|v| v * -2.0);
+    let expect = spgemm::algos::reference::multiply::<P>(&scaled, &scaled);
+    engine.store().insert("a", scaled);
+    let c = engine
+        .try_submit(ProductRequest::new("a", "a").algo(Algorithm::Hash))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(approx_eq_f64(&expect, &c, 1e-12));
+    let m = engine.shutdown();
+    assert_eq!(m.completed, 11);
+    assert!(
+        m.plan_cache.hit_rate() > 0.5,
+        "stable pattern must mostly hit: {:?}",
+        m.plan_cache
+    );
+    assert_eq!(m.plan_cache.misses, 1, "one symbolic build total");
+}
+
+#[test]
+fn cancellation_and_shutdown_deliver_every_job_exactly_once() {
+    let engine = ServeEngine::new(ServeConfig {
+        workers: 2,
+        queue_capacity: 4096,
+        ..ServeConfig::default()
+    });
+    engine.store().insert("a", rmat(7, 8, 5));
+    let handles: Vec<_> = (0..300)
+        .map(|i| {
+            engine
+                .try_submit(
+                    ProductRequest::new("a", "a")
+                        .algo(Algorithm::Hash)
+                        .priority(if i % 3 == 0 {
+                            Priority::High
+                        } else {
+                            Priority::Low
+                        }),
+                )
+                .unwrap()
+        })
+        .collect();
+    // Cancel every third job; some are already running or done — for
+    // those cancel() reports false and the normal result stands.
+    let mut cancelled_won = 0u64;
+    for h in handles.iter().skip(1).step_by(3) {
+        if h.cancel() {
+            cancelled_won += 1;
+        }
+    }
+    let mut ok = 0u64;
+    let mut cancelled_seen = 0u64;
+    for h in &handles {
+        match h.wait() {
+            Ok(c) => {
+                assert!(c.nnz() > 0);
+                ok += 1;
+            }
+            Err(ServeError::Cancelled) => cancelled_seen += 1,
+            Err(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+    assert_eq!(cancelled_seen, cancelled_won, "cancel() wins iff Cancelled");
+    let m = engine.shutdown();
+    assert_eq!(m.accepted, 300);
+    assert_eq!(m.delivered(), 300, "every accepted job resolved");
+    assert_eq!(m.completed, ok);
+    assert_eq!(m.cancelled, cancelled_seen);
+    assert_eq!(m.duplicate_completions, 0);
+    assert_eq!(m.queue_depth, 0, "drained");
+}
+
+#[test]
+fn overload_sheds_rather_than_blocks() {
+    let engine = ServeEngine::new(ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..ServeConfig::default()
+    });
+    engine.store().insert("a", rmat(8, 8, 9));
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..200 {
+        match engine.try_submit(ProductRequest::new("a", "a").algo(Algorithm::Hash)) {
+            Ok(h) => accepted.push(h),
+            Err(ServeError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 2);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert!(rejected > 0, "a 1-worker engine cannot absorb 200 bursts");
+    for h in &accepted {
+        h.wait().unwrap();
+    }
+    let m = engine.shutdown();
+    assert_eq!(m.accepted as usize, accepted.len());
+    assert_eq!(m.rejected, rejected);
+    assert_eq!(m.delivered(), m.accepted);
+}
+
+#[test]
+fn disabled_cache_still_serves_correctly() {
+    let engine = ServeEngine::new(ServeConfig {
+        workers: 2,
+        plan_cache_plans: 0,
+        ..ServeConfig::default()
+    });
+    let a = rmat(5, 4, 21);
+    let expect = spgemm::algos::reference::multiply::<P>(&a, &a);
+    engine.store().insert("a", a);
+    for _ in 0..6 {
+        let c = engine
+            .try_submit(ProductRequest::new("a", "a").algo(Algorithm::Hash))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(approx_eq_f64(&expect, &c, 1e-12));
+    }
+    let m = engine.shutdown();
+    assert_eq!(m.completed, 6);
+    assert_eq!(m.plan_cache.hits, 0, "cache disabled");
+}
+
+#[test]
+fn multi_worker_parallel_execution_pools() {
+    // Workers with 2-thread pools share plans (same width) and stay
+    // correct.
+    let engine = ServeEngine::new(ServeConfig {
+        workers: 3,
+        threads_per_worker: 2,
+        ..ServeConfig::default()
+    });
+    let a = rmat(6, 6, 31);
+    let expect = spgemm::algos::reference::multiply::<P>(&a, &a);
+    engine.store().insert("a", a);
+    let handles: Vec<_> = (0..60)
+        .map(|_| {
+            engine
+                .try_submit(ProductRequest::new("a", "a").algo(Algorithm::Hash))
+                .unwrap()
+        })
+        .collect();
+    for h in handles {
+        assert!(approx_eq_f64(&expect, &h.wait().unwrap(), 1e-12));
+    }
+    let m = engine.shutdown();
+    assert_eq!(m.completed, 60);
+    assert!(m.plan_cache.hit_rate() > 0.9, "{:?}", m.plan_cache);
+}

@@ -281,6 +281,30 @@ impl<T> Csr<T> {
         &self.vals
     }
 
+    /// FNV-1a fingerprint of the matrix's sparsity *structure*: shape,
+    /// nnz, row pointers and column indices — values excluded. Two
+    /// matrices with the same fingerprint share a structure for
+    /// planning purposes (`spgemm`'s plan cache keys on it), so a
+    /// matrix whose values change but whose pattern is stable keeps its
+    /// fingerprint. `O(nnz)`: compute once and remember when keying
+    /// long-lived caches (as the serving layer's matrix store does).
+    pub fn structure_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0100_0000_01b3;
+        let mix = |h: u64, x: u64| (h ^ x).wrapping_mul(PRIME);
+        let mut h = OFFSET;
+        h = mix(h, self.nrows as u64);
+        h = mix(h, self.ncols as u64);
+        h = mix(h, self.nnz() as u64);
+        for &r in &self.rpts {
+            h = mix(h, r as u64);
+        }
+        for &c in &self.cols {
+            h = mix(h, c as u64);
+        }
+        h
+    }
+
     /// Half-open range of entry positions of row `i`.
     #[inline]
     pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
@@ -650,6 +674,27 @@ mod tests {
             vec![1.0, 2.0, 3.0, 4.0, 5.0],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn structure_fingerprint_tracks_pattern_not_values() {
+        let m = sample();
+        let scaled = m.map(|v| v * -3.0);
+        assert_eq!(m.structure_fingerprint(), scaled.structure_fingerprint());
+        // Moving one entry to a different column changes the pattern.
+        let moved = Csr::from_parts(
+            3,
+            4,
+            vec![0, 2, 2, 5],
+            vec![1, 3, 0, 2, 1],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap();
+        assert_ne!(m.structure_fingerprint(), moved.structure_fingerprint());
+        // Same nnz spread across different rows changes it too.
+        let shifted =
+            Csr::from_parts(3, 4, vec![0, 3, 3, 5], vec![0, 1, 3, 2, 3], vec![1.0; 5]).unwrap();
+        assert_ne!(m.structure_fingerprint(), shifted.structure_fingerprint());
     }
 
     #[test]

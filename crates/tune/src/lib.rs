@@ -66,13 +66,26 @@ pub use selector::{installed, uninstall, TunedSelector};
 /// a valid profile was found and installed; on `false` the static
 /// recipe stays in effect (this is never an error — it is the
 /// designed fallback).
+///
+/// When no profile exists for the *exact* thread count the nearest
+/// calibrated count is used instead ([`store::load_nearest`]) — a
+/// worker pool sized between two calibrations still benefits from the
+/// closer one rather than silently reverting to the static recipe.
+/// Use [`init_from_saved_at`] to learn which count matched.
 pub fn init_from_saved(threads: usize) -> bool {
-    match store::load(threads) {
-        Ok(profile) => {
+    init_from_saved_at(threads).is_some()
+}
+
+/// [`init_from_saved`] reporting the thread count of the installed
+/// profile (`Some(threads)` on an exact match, `Some(other)` after the
+/// nearest-count fallback, `None` when nothing usable was found).
+pub fn init_from_saved_at(threads: usize) -> Option<usize> {
+    match store::load_nearest(threads) {
+        Ok((profile, at)) => {
             TunedSelector::new(profile).install();
-            true
+            Some(at)
         }
-        Err(_) => false,
+        Err(_) => None,
     }
 }
 

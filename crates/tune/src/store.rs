@@ -57,9 +57,20 @@ pub fn hostname() -> String {
     }
 }
 
+/// File name prefix shared by all of `host`'s current-version
+/// profiles (the thread count and `.json` suffix follow).
+fn profile_file_prefix(host: &str) -> String {
+    format!("profile-v{PROFILE_VERSION}-{host}-t")
+}
+
+/// File name of a (hostname, threads) profile.
+fn profile_file_name(host: &str, threads: usize) -> String {
+    format!("{}{threads}.json", profile_file_prefix(host))
+}
+
 /// File path for a (hostname, threads) profile.
 pub fn profile_path(host: &str, threads: usize) -> PathBuf {
-    profile_dir().join(format!("profile-v{PROFILE_VERSION}-{host}-t{threads}.json"))
+    profile_dir().join(profile_file_name(host, threads))
 }
 
 /// Persist `profile` under its own hostname/threads key, creating the
@@ -84,6 +95,92 @@ pub fn save(profile: &MachineProfile) -> std::io::Result<PathBuf> {
 /// back to the static recipe.
 pub fn load(threads: usize) -> Result<MachineProfile, LoadError> {
     load_from(&profile_path(&hostname(), threads))
+}
+
+/// Thread counts this host has calibrated profiles for, ascending.
+///
+/// Scans the profile directory for current-version files belonging to
+/// `host`; unreadable directories simply yield an empty list.
+pub fn calibrated_thread_counts(host: &str) -> Vec<usize> {
+    calibrated_thread_counts_in(&profile_dir(), host)
+}
+
+/// [`calibrated_thread_counts`] against an explicit directory.
+pub fn calibrated_thread_counts_in(dir: &Path, host: &str) -> Vec<usize> {
+    let prefix = profile_file_prefix(host);
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut counts: Vec<usize> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter_map(|name| {
+            let rest = name.strip_prefix(&prefix)?;
+            let digits = rest.strip_suffix(".json")?;
+            digits.parse::<usize>().ok()
+        })
+        .collect();
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// The calibrated thread count closest to `want`, or `None` if nothing
+/// is calibrated. Ties (equidistant above and below) resolve to the
+/// **larger** count: a profile measured with more parallelism is the
+/// better stand-in for a pool that sits between two calibrations,
+/// since contention effects grow with threads.
+pub fn nearest_thread_count(available: &[usize], want: usize) -> Option<usize> {
+    available.iter().copied().min_by_key(|&t| {
+        let dist = t.abs_diff(want);
+        // Smaller distance wins; on equal distance the larger count
+        // wins (encoded by preferring the key with the *smaller*
+        // negated value second).
+        (dist, usize::MAX - t)
+    })
+}
+
+/// Load the best available profile for this host at `threads` workers:
+/// the exact thread count when calibrated, otherwise the nearest
+/// calibrated count (see [`nearest_thread_count`]), walking outward
+/// past unreadable/corrupt files until something loads. Returns the
+/// profile together with the thread count it was calibrated at so
+/// callers can tell whether the match was exact.
+///
+/// This is the lookup worker pools should use: a serving engine sized
+/// at, say, 3 threads per worker on a host calibrated at 2 and 4
+/// gets the 4-thread profile instead of silently reverting to the
+/// static Table-4 recipe.
+pub fn load_nearest(threads: usize) -> Result<(MachineProfile, usize), LoadError> {
+    load_nearest_in(&profile_dir(), &hostname(), threads)
+}
+
+/// [`load_nearest`] against an explicit directory and host.
+pub fn load_nearest_in(
+    dir: &Path,
+    host: &str,
+    threads: usize,
+) -> Result<(MachineProfile, usize), LoadError> {
+    let path_for = |t: usize| dir.join(profile_file_name(host, t));
+    let exact_err = match load_from(&path_for(threads)) {
+        Ok(p) => return Ok((p, threads)),
+        Err(e) => e,
+    };
+    // Every calibrated count, closest first (ties prefer larger, as
+    // in `nearest_thread_count`); a count whose file turns out
+    // unreadable or corrupt is skipped, not fatal — the next-nearest
+    // calibration still beats the static recipe.
+    let mut counts = calibrated_thread_counts_in(dir, host);
+    counts.sort_by_key(|&t| (t.abs_diff(threads), usize::MAX - t));
+    for t in counts {
+        if t == threads {
+            continue; // already failed above
+        }
+        if let Ok(p) = load_from(&path_for(t)) {
+            return Ok((p, t));
+        }
+    }
+    Err(exact_err)
 }
 
 /// [`load`] from an explicit path.
@@ -167,6 +264,71 @@ mod tests {
             other => panic!("expected Decode error, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn nearest_thread_count_picks_closest_and_breaks_ties_up() {
+        assert_eq!(nearest_thread_count(&[], 4), None);
+        assert_eq!(nearest_thread_count(&[2, 8], 2), Some(2));
+        assert_eq!(nearest_thread_count(&[2, 8], 3), Some(2));
+        assert_eq!(nearest_thread_count(&[2, 8], 6), Some(8));
+        // Equidistant: prefer the larger calibration.
+        assert_eq!(nearest_thread_count(&[2, 8], 5), Some(8));
+        assert_eq!(nearest_thread_count(&[1, 2, 4, 16], 9), Some(4));
+        assert_eq!(nearest_thread_count(&[4], 1000), Some(4));
+    }
+
+    #[test]
+    fn calibrated_counts_scan_finds_only_matching_profiles() {
+        let dir = std::env::temp_dir().join(format!("spgemm-tune-scan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let host = "scan-host";
+        for t in [8usize, 2] {
+            let p = tiny(host, t);
+            let path = dir.join(format!("profile-v{PROFILE_VERSION}-{host}-t{t}.json"));
+            std::fs::write(&path, p.to_json()).unwrap();
+        }
+        // Distractors: other host, stale version, junk suffix.
+        std::fs::write(
+            dir.join(format!("profile-v{PROFILE_VERSION}-other-host-t4.json")),
+            "{}",
+        )
+        .unwrap();
+        std::fs::write(dir.join(format!("profile-v0-{host}-t4.json")), "{}").unwrap();
+        std::fs::write(
+            dir.join(format!("profile-v{PROFILE_VERSION}-{host}-tXX.json")),
+            "{}",
+        )
+        .unwrap();
+        let counts = calibrated_thread_counts_in(&dir, host);
+        assert_eq!(counts, vec![2, 8]);
+        // The worker-pool lookup: no exact t3 profile, nearest is t2.
+        let (back, at) = load_nearest_in(&dir, host, 3).unwrap();
+        assert_eq!((back.threads, at), (2, 2));
+        // Exact match wins when present.
+        let (back, at) = load_nearest_in(&dir, host, 8).unwrap();
+        assert_eq!((back.threads, at), (8, 8));
+        // A corrupt nearest candidate is walked past, not fatal: for
+        // want=6 the tie-break order is t8 then t2; truncate t8 and
+        // the lookup must still land on t2 (and for want=8, where the
+        // exact file itself is the corrupt one, likewise fall to t2).
+        std::fs::write(
+            dir.join(format!("profile-v{PROFILE_VERSION}-{host}-t8.json")),
+            "{truncated",
+        )
+        .unwrap();
+        let (back, at) = load_nearest_in(&dir, host, 6).unwrap();
+        assert_eq!((back.threads, at), (2, 2));
+        let (back, at) = load_nearest_in(&dir, host, 8).unwrap();
+        assert_eq!((back.threads, at), (2, 2));
+        // Nothing loadable at all: the exact error surfaces.
+        assert!(load_nearest_in(&dir, "other", 4).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn calibrated_counts_missing_dir_is_empty() {
+        assert!(calibrated_thread_counts_in(Path::new("/nonexistent/spgemm"), "h").is_empty());
     }
 
     #[test]

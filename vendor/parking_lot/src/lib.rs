@@ -102,6 +102,25 @@ impl Condvar {
         guard.0 = Some(inner);
     }
 
+    /// [`Condvar::wait`] with a timeout: blocks until notified or
+    /// until `timeout` elapses, whichever comes first. The mutex is
+    /// re-acquired before returning either way; inspect the returned
+    /// [`WaitTimeoutResult`] to tell the cases apart (subject to the
+    /// usual spurious wakeups, so always re-check the predicate).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("nested Condvar::wait on one guard");
+        let (inner, res) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     /// Wake one blocked waiter.
     pub fn notify_one(&self) -> bool {
         self.0.notify_one();
@@ -112,6 +131,18 @@ impl Condvar {
     pub fn notify_all(&self) -> usize {
         self.0.notify_all();
         0
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because its timeout
+/// elapsed (as opposed to a notification or spurious wakeup).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -144,6 +175,15 @@ mod tests {
             cv.notify_all();
         }
         h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notify() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(res.timed_out());
     }
 
     #[test]
