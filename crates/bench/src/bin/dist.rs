@@ -1,0 +1,301 @@
+//! `spgemm-dist` — sharded vs monolithic SpGEMM: shard-count ×
+//! partition-shape sweep over R-MAT / Poisson / block-diagonal
+//! inputs, reporting steady-state speedup and peak per-shard partial
+//! memory against the monolithic kernel.
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin spgemm-dist -- \
+//!     [--grids 1x1,2x1,4x1,2x2] [--threads-per-shard N] [--scale N] \
+//!     [--ef N] [--reps N] [--seed N] [--quick]
+//!     [--smoke]   # CI assertion run: sharded == monolithic, 2x2 peak
+//!                 # partial memory < monolithic workspace footprint
+//! ```
+//!
+//! The **monolithic workspace footprint** is accounted as the bytes of
+//! the product's output arrays (`rpts`/`cols`/`vals`) — the storage
+//! the single-node kernel must hold in one memory domain while
+//! building `C`, and a deliberate *lower bound* (per-thread
+//! accumulators come on top). Peak per-shard partial memory counts a
+//! shard's live stage partials plus its merged block while both
+//! coexist. On a 1-CPU container shard threads time-slice, so the
+//! speedup column mostly shows overhead; the memory columns are the
+//! point — each shard's peak stays a grid-factor below the monolithic
+//! footprint, which is what lets a sharded fleet serve products no
+//! single workspace could.
+
+use spgemm::{Algorithm, OutputOrder, SpgemmPlan};
+use spgemm_dist::{csr_bytes, DistConfig, GridSpec, ShardRuntime};
+use spgemm_par::Pool;
+use spgemm_sparse::{approx_eq_f64, Csr, PlusTimes};
+use std::time::Instant;
+
+type P = PlusTimes<f64>;
+
+struct Args {
+    grids: Vec<GridSpec>,
+    threads_per_shard: usize,
+    scale: u32,
+    ef: usize,
+    reps: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+fn num(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad number {s:?}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        grids: Vec::new(),
+        threads_per_shard: 1,
+        scale: 0,
+        ef: 8,
+        reps: 3,
+        seed: 20180804,
+        smoke: false,
+    };
+    let mut quick = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |what: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--grids" => {
+                out.grids = take("--grids")
+                    .split(',')
+                    .map(|s| {
+                        GridSpec::parse(s.trim()).unwrap_or_else(|| {
+                            eprintln!("bad grid {s:?} (expected RxC, e.g. 2x2)");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--threads-per-shard" => out.threads_per_shard = num(&take("--threads-per-shard")),
+            "--scale" => out.scale = num(&take("--scale")) as u32,
+            "--ef" => out.ef = num(&take("--ef")),
+            "--reps" => out.reps = num(&take("--reps")).max(1),
+            "--seed" => out.seed = num(&take("--seed")) as u64,
+            "--smoke" => out.smoke = true,
+            "--quick" => quick = true,
+            // Accepted for run_all flag forwarding; not used here.
+            "--threads" | "--divisor" | "--suitesparse" => {
+                let _ = take(flag.as_str());
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --grids LIST --threads-per-shard N --scale N --ef N \
+                     --reps N --seed N --smoke --quick"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if out.grids.is_empty() {
+        out.grids = ["1x1", "2x1", "4x1", "2x2"]
+            .iter()
+            .map(|s| GridSpec::parse(s).expect("static grids parse"))
+            .collect();
+    }
+    if out.scale == 0 {
+        out.scale = if quick || out.smoke { 8 } else { 11 };
+    }
+    if quick {
+        out.reps = out.reps.min(2);
+    }
+    out
+}
+
+/// The bench inputs: one high-skew graph, one regular stencil, one
+/// shard-hostile block-diagonal (see `gen::suite::BlockSkew`).
+fn inputs(scale: u32, ef: usize, seed: u64) -> Vec<(&'static str, Csr<f64>)> {
+    let mut r = spgemm_gen::rng(seed);
+    let n = 1usize << scale;
+    vec![
+        (
+            "rmat-g500",
+            spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, scale, ef, &mut r),
+        ),
+        (
+            "poisson2d",
+            spgemm_gen::poisson::poisson2d((n as f64).sqrt() as usize),
+        ),
+        (
+            "blockdiag-skew",
+            spgemm_gen::suite::block_diagonal(
+                n,
+                8,
+                ef,
+                spgemm_gen::suite::BlockSkew::HeadHeavy,
+                &mut r,
+            ),
+        ),
+    ]
+}
+
+/// Median wall time of `reps` runs of `f`.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut ts: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    ts.sort_by(|a, b| a.total_cmp(b));
+    ts[ts.len() / 2]
+}
+
+struct MonoBaseline {
+    c: Csr<f64>,
+    steady_s: f64,
+    /// Output-array bytes: the single-domain allocation the monolithic
+    /// kernel cannot avoid (a lower bound on its true footprint).
+    footprint_bytes: u64,
+}
+
+/// Monolithic baseline: plan once, execute `reps` times on a pool as
+/// wide as the whole shard fleet (fair total parallelism).
+fn monolithic(a: &Csr<f64>, threads: usize, reps: usize) -> MonoBaseline {
+    let pool = Pool::new(threads.max(1));
+    let plan = SpgemmPlan::<P>::new_in(a, a, Algorithm::Hash, OutputOrder::Sorted, &pool)
+        .expect("monolithic plan");
+    let mut c = plan.execute_in(a, a, &pool).expect("monolithic execute");
+    let steady_s = time_median(reps, || {
+        plan.execute_into_in(a, a, &mut c, &pool)
+            .expect("monolithic steady execute");
+    });
+    let footprint_bytes = csr_bytes(&c);
+    MonoBaseline {
+        c,
+        steady_s,
+        footprint_bytes,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.smoke {
+        smoke(&args);
+        return;
+    }
+    println!(
+        "# spgemm-dist: scale {} ef {} reps {} threads/shard {}",
+        args.scale, args.ef, args.reps, args.threads_per_shard
+    );
+    println!(
+        "{:<16} {:<6} {:>10} {:>10} {:>8} {:>14} {:>14} {:>7}",
+        "matrix",
+        "grid",
+        "mono_ms",
+        "dist_ms",
+        "speedup",
+        "mono_foot_KiB",
+        "peak_shard_KiB",
+        "ratio"
+    );
+    for (name, a) in inputs(args.scale, args.ef, args.seed) {
+        for &grid in &args.grids {
+            let mono = monolithic(&a, grid.shards() * args.threads_per_shard, args.reps);
+            let rt = ShardRuntime::new(DistConfig {
+                grid,
+                threads_per_shard: args.threads_per_shard,
+                ..DistConfig::default()
+            });
+            // Warm the per-stage plan caches, check the result once.
+            let (c, _) = rt.multiply_with_stats(&a, &a).expect("sharded product");
+            assert!(
+                approx_eq_f64(&c, &mono.c, 1e-12),
+                "{name} {grid}: sharded result diverged from monolithic"
+            );
+            let mut last_peak = 0u64;
+            let dist_s = time_median(args.reps, || {
+                let (_, s) = rt.multiply_with_stats(&a, &a).expect("steady product");
+                last_peak = s.max_peak_partial_bytes();
+            });
+            println!(
+                "{:<16} {:<6} {:>10.2} {:>10.2} {:>8.2} {:>14.1} {:>14.1} {:>7.2}",
+                name,
+                grid.to_string(),
+                mono.steady_s * 1e3,
+                dist_s * 1e3,
+                mono.steady_s / dist_s,
+                mono.footprint_bytes as f64 / 1024.0,
+                last_peak as f64 / 1024.0,
+                last_peak as f64 / mono.footprint_bytes.max(1) as f64,
+            );
+        }
+    }
+}
+
+/// CI smoke: a small R-MAT product on every grid must equal the
+/// monolithic kernel, steady-state re-execution must be numeric-only
+/// per shard, and on the 2×2 grid every shard's peak partial memory
+/// must stay below the monolithic workspace footprint.
+fn smoke(args: &Args) {
+    let a = spgemm_gen::rmat::generate_kind(
+        spgemm_gen::RmatKind::G500,
+        args.scale,
+        args.ef,
+        &mut spgemm_gen::rng(args.seed),
+    );
+    let mono = monolithic(&a, 2, 1);
+    for grid in [
+        GridSpec::new(1, 1),
+        GridSpec::new(2, 1),
+        GridSpec::new(2, 2),
+    ] {
+        let rt = ShardRuntime::new(DistConfig {
+            grid,
+            ..DistConfig::default()
+        });
+        let (c1, s1) = rt.multiply_with_stats(&a, &a).expect("sharded product");
+        assert!(
+            approx_eq_f64(&c1, &mono.c, 1e-12),
+            "{grid}: sharded != monolithic"
+        );
+        let (c2, s2) = rt.multiply_with_stats(&a, &a).expect("steady product");
+        assert!(
+            approx_eq_f64(&c2, &mono.c, 1e-12),
+            "{grid}: steady run diverged"
+        );
+        assert_eq!(
+            s2.plan_rebuilds, s1.plan_rebuilds,
+            "{grid}: steady-state re-execution recomputed symbolic work"
+        );
+        assert_eq!(
+            s2.plan_hits - s1.plan_hits,
+            (grid.shards() * grid.stages()) as u64,
+            "{grid}: every shard-stage should hit its plan"
+        );
+        if grid == GridSpec::new(2, 2) {
+            let peak = s2.max_peak_partial_bytes();
+            assert!(
+                peak < mono.footprint_bytes,
+                "2x2 peak shard partial {peak} B not below monolithic footprint {} B",
+                mono.footprint_bytes
+            );
+            println!(
+                "smoke 2x2: peak shard partial {:.1} KiB < monolithic footprint {:.1} KiB ({:.2}x)",
+                peak as f64 / 1024.0,
+                mono.footprint_bytes as f64 / 1024.0,
+                peak as f64 / mono.footprint_bytes as f64
+            );
+        }
+    }
+    println!(
+        "smoke ok: sharded gather equals monolithic on 1x1, 2x1, 2x2; steady state numeric-only"
+    );
+}

@@ -25,6 +25,7 @@ const BINARIES: &[&str] = &[
     "fig17_triangle_lu",
     "table02_matrix_stats",
     "table04_recipe",
+    "spgemm-dist",
 ];
 
 fn main() {

@@ -1,0 +1,60 @@
+//! Sharded SpGEMM over block-partitioned matrices.
+//!
+//! Everything below this crate executes `C = A · B` as one monolithic
+//! product: one CSR per operand, one workspace pool, one output
+//! allocation. That bounds the largest product the stack can serve by
+//! a single memory domain — the scaling wall the ROADMAP's sharding
+//! axis removes. DBCSR (Bethune et al.) shows blocked/distributed
+//! storage is the standard route past it, and Deveci et al.'s
+//! multilevel-memory work shows partition-wise execution pays off even
+//! on a single node by keeping each tile's accumulators cache- (or
+//! HBM-) resident.
+//!
+//! [`ShardRuntime`] runs the classic row-wise distributed SpGEMM over
+//! an `R × C` shard grid (see [`GridSpec`]):
+//!
+//! * `A` and `C` are split into `R` flop-balanced row blocks
+//!   ([`spgemm_sparse::PartitionedCsr`]); shard `(r, c)` owns row
+//!   block `r` and the column slice `c` of `C`;
+//! * `B` is split into `R` row blocks × `C` column blocks; at stage
+//!   `s` the coordinator broadcasts `B`'s row block `s` (sliced per
+//!   shard column) over vendored-crossbeam channels while shards are
+//!   still multiplying earlier stages — communication overlaps local
+//!   compute, the pipeline of the crate's title;
+//! * each shard's stage product `A[r, s] · B[s, c]` goes through a
+//!   per-stage [`spgemm::PlanCache`], so iterative workloads (MCL A²
+//!   chains, AMG `PᵀAP`) re-execute **numeric-only per shard** once
+//!   their structure stabilizes ([`DistStats::plan_hits`] counts it);
+//! * a parallel k-way merge reduces the per-stage partials into the
+//!   shard's final block, and the gather path
+//!   ([`spgemm_sparse::PartitionedCsr::from_blocks`] + `assemble`)
+//!   returns a plain [`spgemm_sparse::Csr`] — proptested
+//!   byte-for-byte against the single-node `Reference` kernel.
+//!
+//! `spgemm-serve` routes oversized jobs here (see its
+//! `ServeConfig::dist`), and the `spgemm-dist` bench binary sweeps
+//! shard counts × partition shapes reporting speedup and peak
+//! per-shard partial memory against the monolithic kernel.
+//!
+//! ```
+//! use spgemm_dist::{DistConfig, GridSpec, ShardRuntime};
+//! use spgemm_sparse::Csr;
+//!
+//! let rt = ShardRuntime::new(DistConfig {
+//!     grid: GridSpec::new(2, 2),
+//!     ..DistConfig::default()
+//! });
+//! let a = Csr::<f64>::identity(64);
+//! let c = rt.multiply(&a, &a).unwrap();
+//! assert_eq!(c.nnz(), 64);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod merge;
+mod runtime;
+
+pub use error::DistError;
+pub use merge::merge_add;
+pub use runtime::{csr_bytes, DistConfig, DistStats, GridSpec, ProductStats, ShardRuntime};

@@ -1,0 +1,234 @@
+//! Parallel k-way merge reduction of partial products.
+//!
+//! A shard's stage products are `S` same-shape CSRs whose rows must be
+//! summed entry-wise into the shard's final block. With sorted
+//! partials this is a textbook k-way merge per row; `k` is the stage
+//! count (= the grid's row dimension), small enough that a linear
+//! cursor scan beats a heap. Unsorted partials fall back to a stable
+//! sort by column, which preserves stage order within a column so the
+//! additive combination happens in ascending-stage order either way —
+//! the same grouping every shard uses, making the reduction
+//! deterministic.
+//!
+//! Rows are merged in parallel under the shard's pool, partitioned by
+//! the per-row total partial nnz through the same `RowsToThreads`
+//! balancer the kernels use.
+
+use spgemm_par::{partition, unsync::SharedMutSlice, Pool};
+use spgemm_sparse::{ColIdx, Csr, Scalar, SparseError};
+
+/// One worker's contiguous output: rows `start..start + rpts.len()`.
+struct Chunk<T> {
+    start: usize,
+    /// Inclusive running nnz per merged row (local to the chunk).
+    row_ends: Vec<usize>,
+    cols: Vec<ColIdx>,
+    vals: Vec<T>,
+}
+
+/// Sum `partials` entry-wise: `C = Σ_s partials[s]`, rows merged in
+/// parallel on `pool`. All partials must share one shape. Duplicate
+/// columns are combined by [`Scalar::add`] in ascending partial order
+/// (stage 0 first), and output rows come out sorted by column.
+pub fn merge_add<T: Scalar>(partials: &[Csr<T>], pool: &Pool) -> Result<Csr<T>, SparseError> {
+    let Some(first) = partials.first() else {
+        return Err(SparseError::BadPartition {
+            detail: "merge_add: no partials".into(),
+        });
+    };
+    let (m, n) = first.shape();
+    for p in &partials[1..] {
+        if p.shape() != (m, n) {
+            return Err(SparseError::ShapeMismatch {
+                left: (m, n),
+                right: p.shape(),
+                op: "merge_add",
+            });
+        }
+    }
+    let all_sorted = partials.iter().all(|p| p.is_sorted());
+    let weights: Vec<u64> = (0..m)
+        .map(|i| partials.iter().map(|p| p.row_nnz(i) as u64).sum())
+        .collect();
+    let offsets = partition::balanced_offsets(&weights, pool.nthreads(), pool);
+    let mut chunks: Vec<Option<Chunk<T>>> = (0..pool.nthreads()).map(|_| None).collect();
+    {
+        let slots = SharedMutSlice::new(&mut chunks[..]);
+        pool.parallel_ranges(&offsets, |wid, range| {
+            let cap: usize = weights[range.clone()].iter().sum::<u64>() as usize;
+            let mut chunk = Chunk {
+                start: range.start,
+                row_ends: Vec::with_capacity(range.len()),
+                cols: Vec::with_capacity(cap),
+                vals: Vec::with_capacity(cap),
+            };
+            let mut cursors = vec![0usize; partials.len()];
+            let mut scratch: Vec<(ColIdx, usize, T)> = Vec::new();
+            for i in range {
+                if all_sorted {
+                    merge_row_sorted(partials, i, &mut cursors, &mut chunk.cols, &mut chunk.vals);
+                } else {
+                    merge_row_unsorted(partials, i, &mut scratch, &mut chunk.cols, &mut chunk.vals);
+                }
+                chunk.row_ends.push(chunk.cols.len());
+            }
+            // SAFETY: `wid` indexes this worker's own slot; slots are
+            // disjoint across workers and read only after the region.
+            unsafe { slots.write(wid, Some(chunk)) };
+        });
+    }
+    // Stitch the per-worker chunks (contiguous, ascending row ranges)
+    // into one CSR.
+    let mut rpts = Vec::with_capacity(m + 1);
+    rpts.push(0usize);
+    let total: usize = chunks
+        .iter()
+        .map(|c| c.as_ref().map_or(0, |c| c.cols.len()))
+        .sum();
+    let mut cols = Vec::with_capacity(total);
+    let mut vals = Vec::with_capacity(total);
+    for chunk in chunks.into_iter().flatten() {
+        debug_assert_eq!(chunk.start + 1, rpts.len());
+        let base = cols.len();
+        rpts.extend(chunk.row_ends.iter().map(|&e| base + e));
+        cols.extend_from_slice(&chunk.cols);
+        vals.extend_from_slice(&chunk.vals);
+    }
+    debug_assert_eq!(rpts.len(), m + 1);
+    Ok(Csr::from_parts_unchecked(m, n, rpts, cols, vals, true))
+}
+
+/// Merge row `i` of sorted partials by linear cursor scan: repeatedly
+/// take the minimum column over the k cursors, summing ties in
+/// ascending partial order.
+fn merge_row_sorted<T: Scalar>(
+    partials: &[Csr<T>],
+    i: usize,
+    cursors: &mut [usize],
+    cols: &mut Vec<ColIdx>,
+    vals: &mut Vec<T>,
+) {
+    cursors.fill(0);
+    loop {
+        let mut min: Option<ColIdx> = None;
+        for (cur, p) in cursors.iter().zip(partials) {
+            if let Some(&c) = p.row_cols(i).get(*cur) {
+                min = Some(min.map_or(c, |m| m.min(c)));
+            }
+        }
+        let Some(min) = min else { break };
+        let mut acc = T::ZERO;
+        for (cur, p) in cursors.iter_mut().zip(partials) {
+            if p.row_cols(i).get(*cur) == Some(&min) {
+                acc = acc.add(p.row_vals(i)[*cur]);
+                *cur += 1;
+            }
+        }
+        cols.push(min);
+        vals.push(acc);
+    }
+}
+
+/// Merge row `i` of possibly-unsorted partials: collect
+/// `(col, stage, val)`, sort by `(col, stage)` so the additive
+/// combination still runs in ascending stage order, then sum runs.
+fn merge_row_unsorted<T: Scalar>(
+    partials: &[Csr<T>],
+    i: usize,
+    scratch: &mut Vec<(ColIdx, usize, T)>,
+    cols: &mut Vec<ColIdx>,
+    vals: &mut Vec<T>,
+) {
+    scratch.clear();
+    for (s, p) in partials.iter().enumerate() {
+        for (c, &v) in p.row(i).iter() {
+            scratch.push((c, s, v));
+        }
+    }
+    scratch.sort_unstable_by_key(|&(c, s, _)| (c, s));
+    let mut i = 0;
+    while i < scratch.len() {
+        let (c, _, mut acc) = scratch[i];
+        i += 1;
+        while i < scratch.len() && scratch[i].0 == c {
+            acc = acc.add(scratch[i].2);
+            i += 1;
+        }
+        cols.push(c);
+        vals.push(acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Pool {
+        Pool::new(3)
+    }
+
+    #[test]
+    fn merges_disjoint_and_overlapping_columns() {
+        let a = Csr::from_triplets(2, 4, &[(0, 0, 1.0), (0, 2, 2.0), (1, 3, 3.0)]).unwrap();
+        let b = Csr::from_triplets(2, 4, &[(0, 2, 10.0), (1, 0, 4.0)]).unwrap();
+        let c = merge_add(&[a, b], &pool()).unwrap();
+        assert!(c.is_sorted());
+        assert_eq!(c.get(0, 0), Some(&1.0));
+        assert_eq!(c.get(0, 2), Some(&12.0));
+        assert_eq!(c.get(1, 0), Some(&4.0));
+        assert_eq!(c.get(1, 3), Some(&3.0));
+        assert_eq!(c.nnz(), 4);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn single_partial_is_identity_for_sorted_input() {
+        let a = Csr::from_triplets(3, 3, &[(0, 1, 1.0), (2, 0, 2.0)]).unwrap();
+        let c = merge_add(std::slice::from_ref(&a), &pool()).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn unsorted_partials_sum_in_stage_order() {
+        // Unsorted rows force the sort-based path; exact integer
+        // values make the sums order-insensitive to float error and
+        // the test checks content, not layout.
+        let a = Csr::from_parts(1, 4, vec![0, 2], vec![3, 0], vec![1.0, 2.0]).unwrap();
+        let b = Csr::from_parts(1, 4, vec![0, 2], vec![3, 1], vec![4.0, 8.0]).unwrap();
+        assert!(!a.is_sorted());
+        let c = merge_add(&[a, b], &pool()).unwrap();
+        assert!(c.is_sorted(), "merge always emits sorted rows");
+        assert_eq!(c.row_cols(0), &[0, 1, 3]);
+        assert_eq!(c.row_vals(0), &[2.0, 8.0, 5.0]);
+    }
+
+    #[test]
+    fn k_way_exceeding_thread_count() {
+        let parts: Vec<Csr<f64>> = (0..6)
+            .map(|s| Csr::from_triplets(4, 4, &[(s % 4, (s % 4) as u32, 1.0)]).unwrap())
+            .collect();
+        let c = merge_add(&parts, &pool()).unwrap();
+        assert_eq!(c.get(0, 0), Some(&2.0), "stages 0 and 4 both hit (0,0)");
+        assert_eq!(c.get(3, 3), Some(&1.0));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Csr::<f64>::zero(2, 2);
+        let b = Csr::<f64>::zero(2, 3);
+        assert!(matches!(
+            merge_add(&[a, b], &pool()),
+            Err(SparseError::ShapeMismatch { .. })
+        ));
+        assert!(merge_add::<f64>(&[], &pool()).is_err());
+    }
+
+    #[test]
+    fn empty_rows_and_empty_partials() {
+        let a = Csr::<f64>::zero(5, 5);
+        let b = Csr::from_triplets(5, 5, &[(4, 4, 7.0)]).unwrap();
+        let c = merge_add(&[a, b], &pool()).unwrap();
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(4, 4), Some(&7.0));
+    }
+}

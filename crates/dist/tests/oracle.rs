@@ -1,0 +1,115 @@
+//! Oracle tests: the sharded gather must equal the single-node
+//! `Reference` kernel for every partition grid × output order, across
+//! structurally **disjoint** sparsity patterns pushed through one
+//! runtime — the pattern drift that forces per-stage plan rebinds and
+//! would expose any stale-workspace reuse between products.
+
+use spgemm::{Algorithm, OutputOrder};
+use spgemm_dist::{DistConfig, DistError, GridSpec, ShardRuntime};
+use spgemm_sparse::{approx_eq_f64, Csr};
+
+/// Exactly-representable values in `{1, 2, 3, 4}` so additive
+/// reductions are order-insensitive and oracle comparisons exact.
+fn integerize(m: &Csr<f64>) -> Csr<f64> {
+    m.map(|v| (v * 1e4).abs().floor() % 4.0 + 1.0)
+}
+
+/// Matrices whose sparsity patterns are pairwise disjoint-ish in
+/// structure class: band, power-law, grid stencil, plus a shifted
+/// band (same nnz budget, different columns).
+fn disjoint_patterns() -> Vec<Csr<f64>> {
+    let mut r = spgemm_gen::rng(20260728);
+    let band = spgemm_gen::suite::band_matrix(96, 7, &mut r);
+    let pl = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 7, 6, &mut r);
+    let grid = spgemm_gen::poisson::poisson2d(10);
+    let shifted = {
+        let m = spgemm_gen::suite::band_matrix(96, 7, &mut r);
+        let nr = m.nrows() as u32;
+        // Move the band off the diagonal: permute columns cyclically.
+        let perm: Vec<u32> = (0..nr).map(|i| (i + nr / 3) % nr).collect();
+        spgemm_sparse::ops::permute_cols(&m, &perm).unwrap()
+    };
+    vec![
+        integerize(&band),
+        integerize(&pl),
+        integerize(&grid),
+        integerize(&shifted),
+    ]
+}
+
+fn oracle(a: &Csr<f64>) -> Csr<f64> {
+    spgemm::multiply_f64(a, a, Algorithm::Reference, OutputOrder::Sorted).unwrap()
+}
+
+#[test]
+fn every_grid_and_order_matches_reference_across_disjoint_patterns() {
+    let inputs = disjoint_patterns();
+    let oracles: Vec<Csr<f64>> = inputs.iter().map(oracle).collect();
+    for grid in [
+        GridSpec::new(1, 1),
+        GridSpec::new(2, 1),
+        GridSpec::new(4, 1),
+        GridSpec::new(2, 2),
+    ] {
+        for order in [OutputOrder::Sorted, OutputOrder::Unsorted] {
+            let rt = ShardRuntime::new(DistConfig {
+                grid,
+                order,
+                ..DistConfig::default()
+            });
+            for (round, (a, want)) in inputs.iter().zip(&oracles).enumerate() {
+                let c = rt.multiply(a, a).unwrap_or_else(|e: DistError| {
+                    panic!("grid {grid} order {order:?} round {round}: {e}")
+                });
+                if order == OutputOrder::Sorted {
+                    assert_eq!(&c, want, "grid {grid} sorted round {round}: byte-for-byte");
+                } else {
+                    assert!(
+                        approx_eq_f64(&c, want, 0.0),
+                        "grid {grid} unsorted round {round}: content equality"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pattern_drift_then_return_still_exact() {
+    // A → B → A through one runtime: returning to a previously seen
+    // structure after a rebind must still be exact (per-stage caches
+    // rebound away and back).
+    let inputs = disjoint_patterns();
+    let (a, b) = (&inputs[0], &inputs[1]);
+    let rt = ShardRuntime::new(DistConfig {
+        grid: GridSpec::new(2, 2),
+        ..DistConfig::default()
+    });
+    let first = rt.multiply(a, a).unwrap();
+    assert_eq!(first, oracle(a));
+    assert_eq!(rt.multiply(b, b).unwrap(), oracle(b));
+    let back = rt.multiply(a, a).unwrap();
+    assert_eq!(back, first, "return to a known structure is stable");
+}
+
+#[test]
+fn steady_state_performs_no_symbolic_recomputation() {
+    let a = integerize(&spgemm_gen::rmat::generate_kind(
+        spgemm_gen::RmatKind::Er,
+        7,
+        5,
+        &mut spgemm_gen::rng(9),
+    ));
+    let rt = ShardRuntime::new(DistConfig {
+        grid: GridSpec::new(2, 2),
+        ..DistConfig::default()
+    });
+    let (_, s1) = rt.multiply_with_stats(&a, &a).unwrap();
+    let per_round = (rt.grid().shards() * rt.grid().stages()) as u64;
+    assert_eq!(s1.plan_rebuilds, per_round, "cold round builds every plan");
+    for k in 2..=4u64 {
+        let (_, s) = rt.multiply_with_stats(&a, &a).unwrap();
+        assert_eq!(s.plan_rebuilds, per_round, "round {k}: rebuilds frozen");
+        assert_eq!(s.plan_hits, (k - 1) * per_round, "round {k}: all hits");
+    }
+}

@@ -335,6 +335,88 @@ pub fn band_matrix(n: usize, width: usize, rng: &mut Rng) -> Csr<f64> {
     coo.into_csr_sum()
 }
 
+/// Block-size distribution of [`block_diagonal`].
+///
+/// The two variants bracket the shard runtime's load-balance space:
+/// `Uniform` is shard-*friendly* (any contiguous row split lands near
+/// the block boundaries and every shard gets similar work), while
+/// `HeadHeavy` is shard-*hostile* (work piles into the leading rows
+/// and columns, so row-count splits — and uniform grids — misbalance
+/// badly and only flop-weighted cut selection recovers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockSkew {
+    /// Equal-sized diagonal blocks.
+    Uniform,
+    /// Geometrically shrinking blocks: the first holds about half the
+    /// rows, the second a quarter, and so on.
+    HeadHeavy,
+}
+
+/// Block boundaries for `nblocks` blocks over `n` rows under `skew`.
+pub fn block_cuts(n: usize, nblocks: usize, skew: BlockSkew) -> Vec<usize> {
+    let nblocks = nblocks.clamp(1, n.max(1));
+    let mut cuts = Vec::with_capacity(nblocks + 1);
+    cuts.push(0usize);
+    match skew {
+        BlockSkew::Uniform => {
+            for b in 1..nblocks {
+                cuts.push(b * n / nblocks);
+            }
+        }
+        BlockSkew::HeadHeavy => {
+            let mut start = 0usize;
+            for b in 1..nblocks {
+                // Halve the remainder each step, keeping ≥ 1 row per
+                // remaining block.
+                let remaining_blocks = nblocks - b + 1;
+                let take = ((n - start) / 2)
+                    .max(1)
+                    .min(n - start - (remaining_blocks - 1));
+                start += take;
+                cuts.push(start);
+            }
+        }
+    }
+    cuts.push(n);
+    cuts
+}
+
+/// A block-diagonal matrix: `nblocks` square diagonal blocks, each
+/// internally banded. Structure class of coupled-subsystem matrices
+/// (multiphysics couplings, DBCSR-style block workloads); with
+/// [`BlockSkew`] it doubles as the shard runtime's balance stressor.
+///
+/// `width` is the band width of an *average-sized* block; each
+/// block's actual width scales with its row count, so under
+/// [`BlockSkew::HeadHeavy`] the oversized head block is also
+/// proportionally denser — flops (∝ width²) pile into the leading
+/// rows quadratically, the genuinely shard-hostile profile. Values
+/// are uniform in `(0, 1]`; rows come out sorted.
+pub fn block_diagonal(
+    n: usize,
+    nblocks: usize,
+    width: usize,
+    skew: BlockSkew,
+    rng: &mut Rng,
+) -> Csr<f64> {
+    let cuts = block_cuts(n, nblocks, skew);
+    let width = width.max(1);
+    let nblocks = cuts.len() - 1;
+    let mut coo = Coo::with_capacity(n, n, 2 * n * width).expect("dimensions in range");
+    for w in cuts.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let bw = (width * (hi - lo) * nblocks / n.max(1)).max(1).min(hi - lo);
+        for i in lo..hi {
+            let start = i.saturating_sub(bw / 2).clamp(lo, hi - bw);
+            for c in start..start + bw {
+                coo.push(i, c as ColIdx, rng.random::<f64>().max(f64::MIN_POSITIVE))
+                    .unwrap();
+            }
+        }
+    }
+    coo.into_csr_sum()
+}
+
 /// A uniform Erdős–Rényi matrix with `m` sampled coordinates
 /// (duplicates merged, so realized nnz is slightly lower).
 pub fn uniform_matrix(n: usize, m: usize, rng: &mut Rng) -> Csr<f64> {
@@ -389,6 +471,65 @@ mod tests {
         assert_eq!(m.nnz(), 10);
         let m = band_matrix(10, 100, &mut crate::rng(1));
         assert_eq!(m.nnz(), 100, "width clamps to n");
+    }
+
+    #[test]
+    fn block_cuts_cover_and_skew() {
+        let u = block_cuts(100, 4, BlockSkew::Uniform);
+        assert_eq!(u, vec![0, 25, 50, 75, 100]);
+        let h = block_cuts(100, 4, BlockSkew::HeadHeavy);
+        assert_eq!(h.first(), Some(&0));
+        assert_eq!(h.last(), Some(&100));
+        assert!(h.windows(2).all(|w| w[0] < w[1]), "{h:?}");
+        assert_eq!(h[1], 50, "head block takes half");
+        // Degenerate: more blocks than rows, single block.
+        let tiny = block_cuts(3, 8, BlockSkew::HeadHeavy);
+        assert_eq!(*tiny.last().unwrap(), 3);
+        assert_eq!(block_cuts(10, 1, BlockSkew::Uniform), vec![0, 10]);
+    }
+
+    #[test]
+    fn block_diagonal_stays_inside_blocks() {
+        for skew in [BlockSkew::Uniform, BlockSkew::HeadHeavy] {
+            let n = 64;
+            let m = block_diagonal(n, 4, 5, skew, &mut crate::rng(11));
+            assert_eq!(m.shape(), (n, n));
+            assert!(m.validate().is_ok());
+            assert!(m.is_sorted());
+            let cuts = block_cuts(n, 4, skew);
+            for i in 0..n {
+                let b = cuts.partition_point(|&c| c <= i) - 1;
+                for &c in m.row_cols(i) {
+                    assert!(
+                        (cuts[b]..cuts[b + 1]).contains(&(c as usize)),
+                        "{skew:?}: entry ({i}, {c}) escapes block {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn head_heavy_concentrates_work_and_uniform_balances_it() {
+        let n = 256;
+        let hostile = block_diagonal(n, 4, 9, BlockSkew::HeadHeavy, &mut crate::rng(5));
+        let friendly = block_diagonal(n, 4, 9, BlockSkew::Uniform, &mut crate::rng(5));
+        // Work (flops of A²) landing in the first quarter of the rows.
+        let head_share = |m: &Csr<f64>| {
+            let w = spgemm_sparse::stats::row_flops(m, m);
+            let head: u64 = w[..n / 4].iter().sum();
+            head as f64 / w.iter().sum::<u64>().max(1) as f64
+        };
+        let hostile_share = head_share(&hostile);
+        let friendly_share = head_share(&friendly);
+        assert!(hostile_share > 0.4, "head-heavy head share {hostile_share}");
+        assert!(
+            (friendly_share - 0.25).abs() < 0.1,
+            "uniform head share {friendly_share}"
+        );
+        // Deterministic under a fixed seed.
+        let again = block_diagonal(n, 4, 9, BlockSkew::HeadHeavy, &mut crate::rng(5));
+        assert_eq!(hostile, again);
     }
 
     #[test]

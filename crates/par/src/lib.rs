@@ -42,6 +42,19 @@ pub use pool::Pool;
 pub use schedule::Schedule;
 pub use workspace::{WorkspacePool, WorkspaceStats};
 
+/// Render a `catch_unwind` payload as a human-readable string — the
+/// shared helper of every layer that contains worker panics (the
+/// serving engine's per-job net, the shard runtime's per-product net).
+pub fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Number of hardware threads available to this process.
 pub fn hardware_threads() -> usize {
     std::thread::available_parallelism()

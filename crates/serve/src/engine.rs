@@ -8,8 +8,9 @@ use crate::plan_cache::{PlanKey, SharedPlanCache, S};
 use crate::queue::{JobQueue, QueuedJob};
 use crate::store::MatrixStore;
 use spgemm::SpgemmPlan;
-use spgemm_par::Pool;
-use spgemm_sparse::{Csr, SparseError};
+use spgemm_dist::{DistConfig, DistError, GridSpec, ShardRuntime};
+use spgemm_par::{panic_text, Pool};
+use spgemm_sparse::{stats, Csr, SparseError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -48,6 +49,47 @@ pub struct ServeConfig {
     /// dropping the engine does not uninstall it. Leave this off when
     /// the process manages the hook itself.
     pub use_tuned_profile: bool,
+    /// Route oversized products to a shared sharded backend
+    /// (`spgemm_dist::ShardRuntime`) instead of the monolithic plan
+    /// path. `None` (the default) disables routing.
+    pub dist: Option<DistRouting>,
+}
+
+/// When and how the engine hands a job to the sharded backend.
+///
+/// One [`ShardRuntime`] is spawned at engine startup and **shared by
+/// all workers**; a routed job occupies the whole shard fleet, so
+/// oversized products serialize there (by design — they are the jobs
+/// a single workspace could not serve well). The routed job executes
+/// under the backend's own kernel policy; the request's `algo` is
+/// treated as advisory, like `Auto`, and the result honours either
+/// output-order contract (the sharded merge always emits sorted
+/// rows). Shard-fleet infrastructure failures are not surfaced to the
+/// job: the worker falls back to its monolithic path and the product
+/// still completes.
+#[derive(Clone, Copy, Debug)]
+pub struct DistRouting {
+    /// Shard grid for the shared runtime.
+    pub grid: GridSpec,
+    /// Pool width of each shard.
+    pub threads_per_shard: usize,
+    /// Route when `nnz(A) + nnz(B)` reaches this.
+    pub min_operand_nnz: usize,
+    /// Also route when the product's estimated flop reaches this
+    /// (`None` disables the flop test). Checked only when the nnz
+    /// test fails; costs one `O(nnz(A))` pass per routed decision.
+    pub min_flop: Option<u64>,
+}
+
+impl Default for DistRouting {
+    fn default() -> Self {
+        DistRouting {
+            grid: GridSpec::new(2, 1),
+            threads_per_shard: 1,
+            min_operand_nnz: 1 << 22,
+            min_flop: None,
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -59,6 +101,7 @@ impl Default for ServeConfig {
             max_batch: 16,
             plan_cache_plans: 64,
             use_tuned_profile: false,
+            dist: None,
         }
     }
 }
@@ -71,6 +114,8 @@ struct EngineShared {
     next_job: AtomicU64,
     max_batch: usize,
     started: Instant,
+    /// The sharded backend plus its routing thresholds, when enabled.
+    dist: Option<(ShardRuntime, DistRouting)>,
 }
 
 /// The in-process SpGEMM service: register matrices, submit products,
@@ -103,6 +148,14 @@ impl ServeEngine {
         } else {
             None
         };
+        let dist = cfg.dist.map(|routing| {
+            let runtime = ShardRuntime::new(DistConfig {
+                grid: routing.grid,
+                threads_per_shard: routing.threads_per_shard.max(1),
+                ..DistConfig::default()
+            });
+            (runtime, routing)
+        });
         let shared = Arc::new(EngineShared {
             store: MatrixStore::new(),
             queue: JobQueue::new(cfg.queue_capacity),
@@ -111,6 +164,7 @@ impl ServeEngine {
             next_job: AtomicU64::new(0),
             max_batch: cfg.max_batch.max(1),
             started: Instant::now(),
+            dist,
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -203,7 +257,7 @@ impl ServeEngine {
     /// Current counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot(
-            self.shared.queue.depth(),
+            self.shared.queue.lane_depths(),
             self.shared.cache.stats(),
             self.shared.started,
         )
@@ -267,6 +321,31 @@ fn execute_batch(shared: &EngineShared, pool: &Pool, batch: Vec<QueuedJob>) {
     shared.metrics.note_batch(runnable.len());
     let key = first.key;
     let n = runnable.len() as u64;
+    // Oversized products leave the plan path for the shared shard
+    // fleet; the whole batch shares one structure, so one decision
+    // covers it.
+    if let Some((runtime, routing)) = &shared.dist {
+        if routes_to_dist(first.a.csr(), first.b.csr(), routing) {
+            for job in &runnable {
+                // An infrastructure failure in the shard fleet
+                // (`ShardFailed`) is not the job's fault: fall back to
+                // this worker's monolithic path so the product still
+                // completes, just without sharding — and without
+                // counting as dist-served. Sparse errors (shapes,
+                // contracts) would fail either way and are reported
+                // as-is.
+                let result = match run_dist(runtime, job) {
+                    Err(ServeError::Internal { .. }) => run_cold(job, pool),
+                    other => {
+                        shared.metrics.dist_routed.fetch_add(1, Ordering::Relaxed);
+                        other
+                    }
+                };
+                job.core.complete(result);
+            }
+            return;
+        }
+    }
     if !shared.cache.enabled() {
         for job in &runnable {
             job.core.complete(run_cold(job, pool));
@@ -342,6 +421,33 @@ fn run_planned(plan: &SpgemmPlan<S>, job: &QueuedJob, pool: &Pool) -> crate::job
     }
 }
 
+/// Whether `(a, b)` crosses the dist thresholds: cheap combined-nnz
+/// test first, then the optional `O(nnz(A))` flop estimate.
+fn routes_to_dist(a: &Csr<f64>, b: &Csr<f64>, routing: &DistRouting) -> bool {
+    if a.nnz() + b.nnz() >= routing.min_operand_nnz {
+        return true;
+    }
+    match routing.min_flop {
+        Some(min) => stats::flop(a, b) >= min,
+        None => false,
+    }
+}
+
+fn run_dist(runtime: &ShardRuntime, job: &QueuedJob) -> crate::job::JobResult {
+    match catch_unwind(AssertUnwindSafe(|| {
+        runtime.multiply(job.a.csr(), job.b.csr())
+    })) {
+        Ok(Ok(c)) => Ok(Arc::new(c)),
+        Ok(Err(DistError::Sparse(e))) => Err(ServeError::Sparse(e)),
+        Ok(Err(e)) => Err(ServeError::Internal {
+            detail: e.to_string(),
+        }),
+        Err(payload) => Err(ServeError::Internal {
+            detail: panic_text(payload),
+        }),
+    }
+}
+
 fn run_cold(job: &QueuedJob, pool: &Pool) -> crate::job::JobResult {
     match catch_unwind(AssertUnwindSafe(|| {
         spgemm::multiply_in::<S>(job.a.csr(), job.b.csr(), job.key.algo, job.key.order, pool)
@@ -351,15 +457,5 @@ fn run_cold(job: &QueuedJob, pool: &Pool) -> crate::job::JobResult {
         Err(payload) => Err(ServeError::Internal {
             detail: panic_text(payload),
         }),
-    }
-}
-
-fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
     }
 }

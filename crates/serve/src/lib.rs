@@ -22,7 +22,12 @@
 //!   tenants and across workers — reuse symbolic phases and pooled
 //!   accumulators;
 //! * [`JobHandle`]s (wait / poll / cancel) and [`MetricsSnapshot`]
-//!   (p50/p99 latency, throughput, plan-cache hit rate, queue depth).
+//!   (p50/p99 latency, throughput, plan-cache hit rate, per-lane
+//!   queue depths);
+//! * optional **sharded routing** ([`ServeConfig::dist`]): products
+//!   crossing a configurable nnz/flop threshold execute on a shared
+//!   `spgemm_dist::ShardRuntime` instead of one worker's monolithic
+//!   plan path ([`MetricsSnapshot::dist_routed`] counts them).
 //!
 //! The `spgemm-serve` binary in `spgemm-bench` drives the engine with
 //! an open-loop synthetic traffic generator (MCL-style A² chains, AMG
@@ -77,7 +82,7 @@ mod plan_cache;
 mod queue;
 mod store;
 
-pub use engine::{ServeConfig, ServeEngine};
+pub use engine::{DistRouting, ServeConfig, ServeEngine};
 pub use error::ServeError;
 pub use job::{JobHandle, JobOutput, JobResult, Priority, ProductRequest};
 pub use metrics::{LatencySummary, MetricsSnapshot};

@@ -5,6 +5,7 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::job::Priority;
 use crate::plan_cache::PlanCacheStats;
 
 /// Hard cap on retained latency samples; beyond it new samples are
@@ -25,6 +26,8 @@ pub(crate) struct Metrics {
     pub(crate) duplicate_completions: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_jobs: AtomicU64,
+    /// Jobs executed on the sharded backend instead of the plan path.
+    pub(crate) dist_routed: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
     dropped_samples: AtomicU64,
 }
@@ -46,7 +49,7 @@ impl Metrics {
 
     pub(crate) fn snapshot(
         &self,
-        queue_depth: usize,
+        queue_depth_per_lane: [usize; Priority::COUNT],
         plan_cache: PlanCacheStats,
         since: Instant,
     ) -> MetricsSnapshot {
@@ -65,7 +68,9 @@ impl Metrics {
             duplicate_completions: self.duplicate_completions.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
-            queue_depth,
+            dist_routed: self.dist_routed.load(Ordering::Relaxed),
+            queue_depth: queue_depth_per_lane.iter().sum(),
+            queue_depth_per_lane,
             plan_cache,
             elapsed,
             throughput_jps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -139,8 +144,15 @@ pub struct MetricsSnapshot {
     /// Jobs executed through batches (`batched_jobs / batches` is the
     /// mean batch size).
     pub batched_jobs: u64,
-    /// Queued jobs at snapshot time.
+    /// Jobs executed on the sharded (`spgemm-dist`) backend because
+    /// they crossed the configured size threshold (see
+    /// `ServeConfig::dist`).
+    pub dist_routed: u64,
+    /// Queued jobs at snapshot time (sum of the per-lane depths).
     pub queue_depth: usize,
+    /// Queued jobs per priority lane at snapshot time: `[High,
+    /// Normal, Low]`, one consistent snapshot.
+    pub queue_depth_per_lane: [usize; Priority::COUNT],
     /// Shared plan cache counters.
     pub plan_cache: PlanCacheStats,
     /// Time since the engine started.
@@ -172,6 +184,15 @@ mod tests {
         assert!((s.p99_ms - 99.0).abs() <= 1.0, "{}", s.p99_ms);
         assert!((s.max_ms - 100.0).abs() < 1e-9);
         assert!((s.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_reports_per_lane_depths_and_their_sum() {
+        let m = Metrics::default();
+        let s = m.snapshot([2, 5, 1], PlanCacheStats::default(), Instant::now());
+        assert_eq!(s.queue_depth_per_lane, [2, 5, 1]);
+        assert_eq!(s.queue_depth, 8, "aggregate is the lane sum");
+        assert_eq!(s.dist_routed, 0);
     }
 
     #[test]

@@ -129,6 +129,15 @@ impl JobQueue {
     pub(crate) fn depth(&self) -> usize {
         self.inner.lock().len
     }
+
+    /// Queued jobs per priority lane, highest priority first (the
+    /// same order as [`Priority::lane`]). One lock acquisition, so
+    /// the lane counts are a consistent snapshot that sums to
+    /// [`JobQueue::depth`] at the same instant.
+    pub(crate) fn lane_depths(&self) -> [usize; Priority::COUNT] {
+        let inner = self.inner.lock();
+        std::array::from_fn(|l| inner.lanes[l].len())
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +223,23 @@ mod tests {
         }
         assert_eq!(q.pop_batch(3).len(), 3);
         assert_eq!(q.pop_batch(3).len(), 2);
+    }
+
+    #[test]
+    fn lane_depths_track_each_priority() {
+        let store = MatrixStore::new();
+        let q = JobQueue::new(16);
+        assert_eq!(q.lane_depths(), [0, 0, 0]);
+        q.try_push(Priority::Low, job(&store, 0, 2)).unwrap();
+        q.try_push(Priority::Normal, job(&store, 1, 3)).unwrap();
+        q.try_push(Priority::Normal, job(&store, 2, 4)).unwrap();
+        q.try_push(Priority::High, job(&store, 3, 5)).unwrap();
+        let lanes = q.lane_depths();
+        assert_eq!(lanes, [1, 2, 1], "high, normal, low");
+        assert_eq!(lanes.iter().sum::<usize>(), q.depth());
+        // Popping the high-priority head drains its lane first.
+        q.pop_batch(1);
+        assert_eq!(q.lane_depths(), [0, 2, 1]);
     }
 
     #[test]

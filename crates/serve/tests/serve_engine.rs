@@ -3,7 +3,8 @@
 //! behaviour, and the exactly-once delivery invariant.
 
 use spgemm::{Algorithm, OutputOrder};
-use spgemm_serve::{Priority, ProductRequest, ServeConfig, ServeEngine, ServeError};
+use spgemm_dist::GridSpec;
+use spgemm_serve::{DistRouting, Priority, ProductRequest, ServeConfig, ServeEngine, ServeError};
 use spgemm_sparse::{approx_eq_f64, Csr, PlusTimes};
 
 type P = PlusTimes<f64>;
@@ -232,6 +233,77 @@ fn disabled_cache_still_serves_correctly() {
     let m = engine.shutdown();
     assert_eq!(m.completed, 6);
     assert_eq!(m.plan_cache.hits, 0, "cache disabled");
+}
+
+#[test]
+fn oversized_jobs_route_to_the_shared_shard_backend() {
+    let engine = ServeEngine::new(ServeConfig {
+        workers: 2,
+        dist: Some(DistRouting {
+            grid: GridSpec::new(2, 2),
+            threads_per_shard: 1,
+            // Low threshold: the scale-7 matrix crosses it, the
+            // scale-4 one stays on the plan path.
+            min_operand_nnz: 500,
+            min_flop: None,
+        }),
+        ..ServeConfig::default()
+    });
+    let big = rmat(7, 6, 77);
+    let small = rmat(4, 3, 78);
+    assert!(big.nnz() + big.nnz() >= 500);
+    assert!(small.nnz() + small.nnz() < 500);
+    let expect_big = spgemm::algos::reference::multiply::<P>(&big, &big);
+    let expect_small = spgemm::algos::reference::multiply::<P>(&small, &small);
+    engine.store().insert("big", big);
+    engine.store().insert("small", small);
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let name = if i % 2 == 0 { "big" } else { "small" };
+            (
+                i,
+                engine.try_submit(ProductRequest::new(name, name)).unwrap(),
+            )
+        })
+        .collect();
+    for (i, h) in handles {
+        let c = h.wait().unwrap();
+        let expect = if i % 2 == 0 {
+            &expect_big
+        } else {
+            &expect_small
+        };
+        assert!(approx_eq_f64(expect, &c, 1e-12), "job {i}");
+    }
+    let m = engine.shutdown();
+    assert_eq!(m.completed, 6);
+    assert_eq!(m.dist_routed, 3, "only the big products route");
+    assert_eq!(m.duplicate_completions, 0);
+}
+
+#[test]
+fn flop_threshold_alone_can_route() {
+    let engine = ServeEngine::new(ServeConfig {
+        workers: 1,
+        dist: Some(DistRouting {
+            grid: GridSpec::new(2, 1),
+            threads_per_shard: 1,
+            min_operand_nnz: usize::MAX, // nnz test never fires
+            min_flop: Some(1),           // any non-empty product routes
+        }),
+        ..ServeConfig::default()
+    });
+    let a = rmat(5, 4, 9);
+    let expect = spgemm::algos::reference::multiply::<P>(&a, &a);
+    engine.store().insert("a", a);
+    let c = engine
+        .try_submit(ProductRequest::new("a", "a"))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(approx_eq_f64(&expect, &c, 1e-12));
+    let m = engine.shutdown();
+    assert_eq!(m.dist_routed, 1);
 }
 
 #[test]

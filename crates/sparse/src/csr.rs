@@ -623,6 +623,119 @@ impl<T> Csr<T> {
         (&mut self.rpts, &mut self.cols, &mut self.vals)
     }
 
+    /// Copy of the row range `rows` as its own matrix (column space
+    /// unchanged). Building block of the 1D row partition used by the
+    /// sharded runtime (`spgemm-dist`).
+    pub fn extract_rows(&self, rows: std::ops::Range<usize>) -> Csr<T>
+    where
+        T: Copy,
+    {
+        assert!(
+            rows.start <= rows.end && rows.end <= self.nrows,
+            "extract_rows: range {rows:?} out of bounds for {} rows",
+            self.nrows
+        );
+        let base = self.rpts[rows.start];
+        let end = self.rpts[rows.end];
+        let rpts = self.rpts[rows.clone()]
+            .iter()
+            .chain(std::iter::once(&end))
+            .map(|&r| r - base)
+            .collect();
+        Csr {
+            nrows: rows.len(),
+            ncols: self.ncols,
+            rpts,
+            cols: self.cols[base..end].to_vec(),
+            vals: self.vals[base..end].to_vec(),
+            sorted: self.sorted || rows.is_empty(),
+        }
+    }
+
+    /// Copy of the `rows × cols` sub-block with column indices rebased
+    /// to the block (entry `(i, j)` of the result is entry
+    /// `(rows.start + i, cols.start + j)` of `self`). Within each row,
+    /// surviving entries keep their relative order, so sorted inputs
+    /// yield sorted blocks. Fails with [`SparseError::BadPartition`]
+    /// when either range is decreasing or out of bounds.
+    pub fn extract_block(
+        &self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> Result<Csr<T>, SparseError>
+    where
+        T: Copy,
+    {
+        if rows.start > rows.end || rows.end > self.nrows {
+            return Err(SparseError::BadPartition {
+                detail: format!(
+                    "extract_block: row range {rows:?} out of bounds for {} rows",
+                    self.nrows
+                ),
+            });
+        }
+        if cols.start > cols.end || cols.end > self.ncols {
+            return Err(SparseError::BadPartition {
+                detail: format!(
+                    "extract_block: column range {cols:?} out of bounds for {} columns",
+                    self.ncols
+                ),
+            });
+        }
+        let parts = self
+            .extract_rows(rows)
+            .split_col_ranges(&[0, cols.start, cols.end, self.ncols])?;
+        Ok(parts.into_iter().nth(1).expect("three ranges produced"))
+    }
+
+    /// Split into column-range sub-matrices in one pass: part `p`
+    /// holds exactly the entries whose column lies in
+    /// `cuts[p]..cuts[p + 1]`, with columns rebased so each part is a
+    /// standalone `(nrows × (cuts[p+1] - cuts[p]))` matrix. Within each
+    /// row, entries keep their relative order (sorted rows stay
+    /// sorted). `cuts` must be non-decreasing and span `0..=ncols`.
+    ///
+    /// This is the operand-localization primitive of the sharded
+    /// runtime: `A`'s row block is split at `B`'s row cuts so each
+    /// stage's local product has matching inner dimensions.
+    pub fn split_col_ranges(&self, cuts: &[usize]) -> Result<Vec<Csr<T>>, SparseError>
+    where
+        T: Copy,
+    {
+        validate_cuts(cuts, self.ncols, "split_col_ranges")?;
+        let nparts = cuts.len() - 1;
+        let mut parts: Vec<(Vec<usize>, Vec<ColIdx>, Vec<T>)> = (0..nparts)
+            .map(|_| (Vec::with_capacity(self.nrows + 1), Vec::new(), Vec::new()))
+            .collect();
+        for p in parts.iter_mut() {
+            p.0.push(0);
+        }
+        for i in 0..self.nrows {
+            for (&c, &v) in self.row_cols(i).iter().zip(self.row_vals(i)) {
+                // The part whose half-open range contains `c`: the
+                // last cut `<= c` starts it.
+                let p = cuts.partition_point(|&cut| cut <= c as usize) - 1;
+                parts[p].1.push(c - cuts[p] as ColIdx);
+                parts[p].2.push(v);
+            }
+            for p in parts.iter_mut() {
+                p.0.push(p.1.len());
+            }
+        }
+        Ok(parts
+            .into_iter()
+            .enumerate()
+            .map(|(p, (rpts, cols, vals))| Csr {
+                nrows: self.nrows,
+                ncols: cuts[p + 1] - cuts[p],
+                rpts,
+                cols,
+                vals,
+                sorted: self.sorted,
+            })
+            .collect())
+    }
+
     /// Consume into raw parts `(nrows, ncols, rpts, cols, vals, sorted)`.
     pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<ColIdx>, Vec<T>, bool) {
         (
@@ -648,6 +761,23 @@ impl<T> Csr<T> {
         }
         d
     }
+}
+
+/// Check that `cuts` is a valid partition of `0..dim`: at least two
+/// entries, starting at 0, ending at `dim`, non-decreasing (empty
+/// parts are allowed — degenerate weight vectors produce them).
+pub(crate) fn validate_cuts(cuts: &[usize], dim: usize, op: &str) -> Result<(), SparseError> {
+    if cuts.len() < 2 || cuts[0] != 0 || *cuts.last().unwrap() != dim {
+        return Err(SparseError::BadPartition {
+            detail: format!("{op}: cuts {cuts:?} must span 0..={dim}"),
+        });
+    }
+    if cuts.windows(2).any(|w| w[1] < w[0]) {
+        return Err(SparseError::BadPartition {
+            detail: format!("{op}: cuts {cuts:?} decrease"),
+        });
+    }
+    Ok(())
 }
 
 /// Approximate comparison of two `f64` matrices up to entry order, with
@@ -849,6 +979,52 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.shape(), (2, 3));
         assert_eq!(c.get(1, 1), Some(&3.0));
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // the error path under test
+    fn extract_rows_and_block() {
+        let m = sample(); // 3x4: row0 {1:1, 3:2}, row1 {}, row2 {0:3, 2:4, 3:5}
+        let top = m.extract_rows(0..2);
+        assert_eq!(top.shape(), (2, 4));
+        assert_eq!(top.nnz(), 2);
+        assert_eq!(top.get(0, 3), Some(&2.0));
+        assert!(top.is_sorted());
+        let empty = m.extract_rows(1..1);
+        assert_eq!(empty.shape(), (0, 4));
+
+        let b = m.extract_block(1..3, 2..4).unwrap();
+        assert_eq!(b.shape(), (2, 2));
+        assert_eq!(b.get(1, 0), Some(&4.0), "columns rebased by 2");
+        assert_eq!(b.get(1, 1), Some(&5.0));
+        assert_eq!(b.nnz(), 2);
+        assert!(b.validate().is_ok());
+
+        // Full-range block is the matrix itself.
+        assert_eq!(m.extract_block(0..3, 0..4).unwrap(), m);
+        // Bad ranges are errors, not panics.
+        assert!(matches!(
+            m.extract_block(2..1, 0..4),
+            Err(SparseError::BadPartition { .. })
+        ));
+        assert!(matches!(
+            m.extract_block(0..3, 2..9),
+            Err(SparseError::BadPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn split_col_ranges_localizes_and_rejects_bad_cuts() {
+        let m = sample();
+        let parts = m.split_col_ranges(&[0, 2, 4]).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].shape(), (3, 2));
+        assert_eq!(parts[1].shape(), (3, 2));
+        assert_eq!(parts[0].nnz() + parts[1].nnz(), m.nnz());
+        assert_eq!(parts[1].get(0, 1), Some(&2.0), "entry (0,3) localized");
+        assert!(m.split_col_ranges(&[0, 5]).is_err());
+        assert!(m.split_col_ranges(&[1, 4]).is_err());
+        assert!(m.split_col_ranges(&[0, 3, 2, 4]).is_err());
     }
 
     #[test]

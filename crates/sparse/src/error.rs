@@ -53,6 +53,19 @@ pub enum SparseError {
         /// Human-readable description of the mismatch.
         detail: String,
     },
+    /// A block-partition description is malformed (cuts that do not
+    /// span the dimension, decrease, or disagree with block shapes).
+    BadPartition {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// The input uses a format feature this library deliberately does
+    /// not handle (e.g. `complex` Matrix Market files). Distinct from
+    /// [`SparseError::Parse`]: the file may be perfectly well-formed.
+    Unsupported {
+        /// What was encountered, and what is supported instead.
+        what: String,
+    },
     /// Matrix Market parse failure.
     Parse {
         /// 1-based line number, when known.
@@ -92,6 +105,12 @@ impl fmt::Display for SparseError {
             }
             SparseError::PlanMismatch { detail } => {
                 write!(f, "plan/operand mismatch: {detail}")
+            }
+            SparseError::BadPartition { detail } => {
+                write!(f, "malformed partition: {detail}")
+            }
+            SparseError::Unsupported { what } => {
+                write!(f, "unsupported input: {what}")
             }
             SparseError::Parse { line, detail } => {
                 write!(f, "parse error at line {line}: {detail}")

@@ -1,0 +1,389 @@
+//! Block-partitioned CSR storage: [`PartitionedCsr`].
+//!
+//! A [`crate::Csr`] is one allocation; the largest product a
+//! monolithic kernel can form is bounded by it. Blocked storage — the
+//! route DBCSR takes to distributed SpGEMM, and the partition-wise
+//! execution Deveci et al. use to keep accumulators in fast memory on
+//! a single node — splits a matrix into a grid of independent blocks,
+//! each a standalone `Csr` with localized (rebased) indices.
+//!
+//! Two partition shapes cover the sharded runtime's needs:
+//!
+//! * **1D block-row** ([`PartitionedCsr::block_rows`] /
+//!   [`PartitionedCsr::block_rows_balanced`]): `R` row blocks over the
+//!   full column space — how `A` and `C` are owned by shards;
+//! * **2D grid** ([`PartitionedCsr::grid`] /
+//!   [`PartitionedCsr::grid_balanced`]): `R × C` blocks — how `B` is
+//!   staged for broadcast.
+//!
+//! Cut selection reuses the paper's §4.1 machinery: any per-row weight
+//! vector (nnz, or the flop counts the SpGEMM work analysis already
+//! produces) goes through `spgemm_par::partition::balanced_offsets`,
+//! the same `RowsToThreads` binary search that balances the
+//! single-node kernels' thread ranges.
+//!
+//! [`PartitionedCsr::assemble`] is the inverse: gather the blocks back
+//! into one `Csr`. For a sorted source matrix the round trip is
+//! byte-for-byte (`partition → assemble == original`, including the
+//! sorted flag); unsorted sources round-trip up to within-row entry
+//! order (blocks regroup entries by column range).
+
+use crate::csr::validate_cuts;
+use crate::{ColIdx, Csr, SparseError};
+use spgemm_par::{partition, Pool};
+
+/// A matrix stored as an `R × C` grid of CSR blocks with localized
+/// column indices (block `(r, c)` spans rows
+/// `row_cuts[r]..row_cuts[r+1]` and columns
+/// `col_cuts[c]..col_cuts[c+1]` of the source).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionedCsr<T> {
+    nrows: usize,
+    ncols: usize,
+    row_cuts: Vec<usize>,
+    col_cuts: Vec<usize>,
+    /// Row-major: `blocks[r * grid_cols + c]`.
+    blocks: Vec<Csr<T>>,
+}
+
+impl<T: Copy + Send + Sync> PartitionedCsr<T> {
+    /// 1D block-row partition at explicit `row_cuts` (must span
+    /// `0..=nrows`, non-decreasing; empty blocks are allowed).
+    pub fn block_rows(m: &Csr<T>, row_cuts: Vec<usize>) -> Result<Self, SparseError> {
+        Self::grid(m, row_cuts, vec![0, m.ncols()])
+    }
+
+    /// 1D block-row partition into `nparts` contiguous blocks of
+    /// approximately equal total `weights` (one weight per row —
+    /// typically nnz, or the per-row flop counts of an upcoming
+    /// product), selected by the paper's `RowsToThreads` binary search
+    /// (`spgemm_par::partition::balanced_offsets`).
+    pub fn block_rows_balanced(
+        m: &Csr<T>,
+        weights: &[u64],
+        nparts: usize,
+        pool: &Pool,
+    ) -> Result<Self, SparseError> {
+        if weights.len() != m.nrows() {
+            return Err(SparseError::BadPartition {
+                detail: format!(
+                    "block_rows_balanced: {} weights for {} rows",
+                    weights.len(),
+                    m.nrows()
+                ),
+            });
+        }
+        Self::block_rows(m, partition::balanced_offsets(weights, nparts, pool))
+    }
+
+    /// 2D grid partition at explicit row and column cuts.
+    pub fn grid(
+        m: &Csr<T>,
+        row_cuts: Vec<usize>,
+        col_cuts: Vec<usize>,
+    ) -> Result<Self, SparseError> {
+        validate_cuts(&row_cuts, m.nrows(), "PartitionedCsr row cuts")?;
+        validate_cuts(&col_cuts, m.ncols(), "PartitionedCsr col cuts")?;
+        let mut blocks = Vec::with_capacity((row_cuts.len() - 1) * (col_cuts.len() - 1));
+        for r in row_cuts.windows(2) {
+            let strip = m.extract_rows(r[0]..r[1]);
+            blocks.extend(strip.split_col_ranges(&col_cuts)?);
+        }
+        Ok(PartitionedCsr {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            row_cuts,
+            col_cuts,
+            blocks,
+        })
+    }
+
+    /// 2D grid partition into `grid_rows × grid_cols` blocks: row cuts
+    /// balance the given per-row `weights`, column cuts balance the
+    /// per-column nnz (both via
+    /// `spgemm_par::partition::balanced_offsets`).
+    pub fn grid_balanced(
+        m: &Csr<T>,
+        weights: &[u64],
+        grid_rows: usize,
+        grid_cols: usize,
+        pool: &Pool,
+    ) -> Result<Self, SparseError> {
+        if weights.len() != m.nrows() {
+            return Err(SparseError::BadPartition {
+                detail: format!(
+                    "grid_balanced: {} weights for {} rows",
+                    weights.len(),
+                    m.nrows()
+                ),
+            });
+        }
+        let row_cuts = partition::balanced_offsets(weights, grid_rows, pool);
+        let col_weights = column_nnz(m);
+        let col_cuts = partition::balanced_offsets(&col_weights, grid_cols, pool);
+        Self::grid(m, row_cuts, col_cuts)
+    }
+
+    /// Rebuild a partition from blocks produced elsewhere (the sharded
+    /// runtime's gather path). Block shapes must agree with the cuts;
+    /// `blocks` is row-major over the `(row_cuts - 1) × (col_cuts - 1)`
+    /// grid.
+    pub fn from_blocks(
+        row_cuts: Vec<usize>,
+        col_cuts: Vec<usize>,
+        blocks: Vec<Csr<T>>,
+    ) -> Result<Self, SparseError> {
+        let (Some(&nrows), Some(&ncols)) = (row_cuts.last(), col_cuts.last()) else {
+            return Err(SparseError::BadPartition {
+                detail: "from_blocks: empty cut vector".into(),
+            });
+        };
+        validate_cuts(&row_cuts, nrows, "from_blocks row cuts")?;
+        validate_cuts(&col_cuts, ncols, "from_blocks col cuts")?;
+        let (gr, gc) = (row_cuts.len() - 1, col_cuts.len() - 1);
+        if blocks.len() != gr * gc {
+            return Err(SparseError::BadPartition {
+                detail: format!("from_blocks: {} blocks for a {gr}x{gc} grid", blocks.len()),
+            });
+        }
+        for r in 0..gr {
+            for c in 0..gc {
+                let b = &blocks[r * gc + c];
+                let want = (row_cuts[r + 1] - row_cuts[r], col_cuts[c + 1] - col_cuts[c]);
+                if b.shape() != want {
+                    return Err(SparseError::BadPartition {
+                        detail: format!(
+                            "from_blocks: block ({r}, {c}) is {:?}, cuts say {want:?}",
+                            b.shape()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(PartitionedCsr {
+            nrows,
+            ncols,
+            row_cuts,
+            col_cuts,
+            blocks,
+        })
+    }
+
+    /// `(nrows, ncols)` of the whole matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// `(row blocks, column blocks)`.
+    pub fn grid_shape(&self) -> (usize, usize) {
+        (self.row_cuts.len() - 1, self.col_cuts.len() - 1)
+    }
+
+    /// Row cut offsets (`grid_shape().0 + 1` entries).
+    pub fn row_cuts(&self) -> &[usize] {
+        &self.row_cuts
+    }
+
+    /// Column cut offsets (`grid_shape().1 + 1` entries).
+    pub fn col_cuts(&self) -> &[usize] {
+        &self.col_cuts
+    }
+
+    /// The block at grid position `(r, c)`.
+    pub fn block(&self, r: usize, c: usize) -> &Csr<T> {
+        &self.blocks[r * (self.col_cuts.len() - 1) + c]
+    }
+
+    /// All blocks, row-major.
+    pub fn blocks(&self) -> &[Csr<T>] {
+        &self.blocks
+    }
+
+    /// Total stored entries across all blocks.
+    pub fn nnz(&self) -> usize {
+        self.blocks.iter().map(|b| b.nnz()).sum()
+    }
+
+    /// Total weight (nnz) of the heaviest block — the balance metric
+    /// the dist bench reports.
+    pub fn max_block_nnz(&self) -> usize {
+        self.blocks.iter().map(|b| b.nnz()).max().unwrap_or(0)
+    }
+
+    /// Gather the blocks back into one [`Csr`]. Within each row,
+    /// entries appear in ascending column-block order (each block's
+    /// row kept in its stored order), so a partition of a sorted
+    /// matrix assembles back byte-for-byte.
+    pub fn assemble(&self) -> Csr<T> {
+        let gc = self.col_cuts.len() - 1;
+        let nnz = self.nnz();
+        let mut rpts = Vec::with_capacity(self.nrows + 1);
+        rpts.push(0usize);
+        let mut cols: Vec<ColIdx> = Vec::with_capacity(nnz);
+        let mut vals: Vec<T> = Vec::with_capacity(nnz);
+        let mut sorted = true;
+        for r in 0..self.row_cuts.len() - 1 {
+            let strip = &self.blocks[r * gc..(r + 1) * gc];
+            sorted &= strip.iter().all(|b| b.is_sorted());
+            for i in 0..self.row_cuts[r + 1] - self.row_cuts[r] {
+                for (c, b) in strip.iter().enumerate() {
+                    let off = self.col_cuts[c] as ColIdx;
+                    cols.extend(b.row_cols(i).iter().map(|&j| j + off));
+                    vals.extend_from_slice(b.row_vals(i));
+                }
+                rpts.push(cols.len());
+            }
+        }
+        // `sorted` is conservative: every block carries a verified
+        // flag, and ascending disjoint column ranges preserve strict
+        // increase across block boundaries.
+        Csr::from_parts_unchecked(self.nrows, self.ncols, rpts, cols, vals, sorted)
+    }
+}
+
+/// Per-column stored-entry counts — the column weight vector for
+/// [`PartitionedCsr::grid_balanced`] column cuts.
+pub fn column_nnz<T>(m: &Csr<T>) -> Vec<u64> {
+    let mut counts = vec![0u64; m.ncols()];
+    for &c in m.cols() {
+        counts[c as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    fn sample() -> Csr<f64> {
+        // 6x6, mixed row densities.
+        Csr::from_triplets(
+            6,
+            6,
+            &[
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (0, 5, 3.0),
+                (1, 1, 4.0),
+                (2, 0, 5.0),
+                (2, 2, 6.0),
+                (2, 4, 7.0),
+                (4, 3, 8.0),
+                (5, 0, 9.0),
+                (5, 5, 10.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn pool() -> Pool {
+        Pool::new(2)
+    }
+
+    #[test]
+    fn block_rows_round_trip_byte_for_byte() {
+        let m = sample();
+        let p = PartitionedCsr::block_rows(&m, vec![0, 2, 4, 6]).unwrap();
+        assert_eq!(p.grid_shape(), (3, 1));
+        assert_eq!(p.nnz(), m.nnz());
+        assert_eq!(p.assemble(), m);
+    }
+
+    #[test]
+    fn grid_round_trip_byte_for_byte() {
+        let m = sample();
+        let p = PartitionedCsr::grid(&m, vec![0, 3, 6], vec![0, 2, 4, 6]).unwrap();
+        assert_eq!(p.grid_shape(), (2, 3));
+        for r in 0..2 {
+            for c in 0..3 {
+                assert!(p.block(r, c).validate().is_ok(), "block ({r}, {c})");
+            }
+        }
+        assert_eq!(p.block(0, 1).get(0, 1), Some(&2.0), "A[0,3] localized");
+        assert_eq!(p.assemble(), m);
+    }
+
+    #[test]
+    fn balanced_rows_use_weights() {
+        let m = sample();
+        let weights: Vec<u64> = (0..6).map(|i| m.row_nnz(i) as u64).collect();
+        let p = PartitionedCsr::block_rows_balanced(&m, &weights, 2, &pool()).unwrap();
+        let (r0, r1) = (p.block(0, 0).nnz(), p.block(1, 0).nnz());
+        assert_eq!(r0 + r1, m.nnz());
+        assert!(r0.abs_diff(r1) <= 4, "roughly balanced: {r0} vs {r1}");
+        assert_eq!(p.assemble(), m);
+    }
+
+    #[test]
+    fn grid_balanced_round_trips_and_covers() {
+        let m = sample();
+        let w = stats::row_flops(&m, &m);
+        let p = PartitionedCsr::grid_balanced(&m, &w, 2, 2, &pool()).unwrap();
+        assert_eq!(p.grid_shape(), (2, 2));
+        assert_eq!(p.assemble(), m);
+    }
+
+    #[test]
+    fn unsorted_source_round_trips_up_to_order() {
+        let m = Csr::from_parts(
+            2,
+            4,
+            vec![0, 3, 4],
+            vec![3, 0, 2, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        assert!(!m.is_sorted());
+        let p = PartitionedCsr::grid(&m, vec![0, 1, 2], vec![0, 2, 4]).unwrap();
+        let back = p.assemble();
+        assert!(crate::approx_eq_f64(&m, &back, 0.0));
+    }
+
+    #[test]
+    fn empty_blocks_are_fine() {
+        let m = Csr::<f64>::zero(4, 4);
+        let p = PartitionedCsr::grid(&m, vec![0, 0, 4], vec![0, 2, 2, 4]).unwrap();
+        assert_eq!(p.nnz(), 0);
+        assert_eq!(p.assemble(), m);
+        assert_eq!(p.max_block_nnz(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_cuts() {
+        let m = sample();
+        for cuts in [vec![0, 7], vec![1, 6], vec![0, 4, 2, 6], vec![0], vec![]] {
+            assert!(
+                matches!(
+                    PartitionedCsr::block_rows(&m, cuts.clone()),
+                    Err(SparseError::BadPartition { .. })
+                ),
+                "cuts {cuts:?}"
+            );
+        }
+        assert!(PartitionedCsr::block_rows_balanced(&m, &[1, 2], 2, &pool()).is_err());
+    }
+
+    #[test]
+    fn from_blocks_validates_shapes() {
+        let m = sample();
+        let p = PartitionedCsr::grid(&m, vec![0, 3, 6], vec![0, 6]).unwrap();
+        let blocks = p.blocks().to_vec();
+        let rebuilt = PartitionedCsr::from_blocks(vec![0, 3, 6], vec![0, 6], blocks).unwrap();
+        assert_eq!(rebuilt.assemble(), m);
+        // Swapping the cuts so shapes disagree is rejected.
+        let blocks = p.blocks().to_vec();
+        assert!(matches!(
+            PartitionedCsr::from_blocks(vec![0, 2, 6], vec![0, 6], blocks),
+            Err(SparseError::BadPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn column_nnz_counts() {
+        let m = sample();
+        let counts = column_nnz(&m);
+        assert_eq!(counts, vec![3, 1, 1, 2, 1, 2]);
+        assert_eq!(counts.iter().sum::<u64>() as usize, m.nnz());
+    }
+}

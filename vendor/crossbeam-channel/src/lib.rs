@@ -1,0 +1,347 @@
+//! Offline stand-in for the `crossbeam-channel` crate, providing the
+//! API subset the workspace uses: multi-producer multi-consumer FIFO
+//! channels, [`bounded`] and [`unbounded`], with blocking
+//! [`Sender::send`] / [`Receiver::recv`] and the standard
+//! disconnection semantics (a `recv` on an empty channel whose senders
+//! are all gone returns [`RecvError`]; a `send` whose receivers are
+//! all gone returns the value back in [`SendError`]).
+//!
+//! Backed by `std::sync::{Mutex, Condvar}` — correct and fair enough
+//! for the shard-runtime message rates this workspace drives (a few
+//! messages per SpGEMM stage, not per element).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    /// Waiters for "queue became non-empty or all senders left".
+    recv_cv: Condvar,
+    /// Waiters for "queue has room or all receivers left" (bounded).
+    send_cv: Condvar,
+    /// `usize::MAX` encodes an unbounded channel.
+    capacity: usize,
+}
+
+/// Error returned by [`Sender::send`] when every receiver has been
+/// dropped; carries the unsent value back to the caller.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] once the channel is empty and
+/// every sender has been dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty (senders still connected).
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("channel empty"),
+            TryRecvError::Disconnected => f.write_str("channel empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// The sending half of a channel. Clone freely; the channel
+/// disconnects for receivers when the last clone drops.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of a channel. Clone freely; the channel
+/// disconnects for senders when the last clone drops.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// An unbounded MPMC FIFO channel: `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(usize::MAX)
+}
+
+/// A bounded MPMC FIFO channel: `send` blocks while `cap` messages are
+/// queued (a zero capacity is rounded up to one — this stand-in has no
+/// rendezvous mode).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(cap.max(1))
+}
+
+fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        recv_cv: Condvar::new(),
+        send_cv: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`, blocking while a bounded channel is full.
+    /// Fails — returning the value — once every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.state.lock().expect("channel mutex poisoned");
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.queue.len() < self.chan.capacity {
+                st.queue.push_back(value);
+                drop(st);
+                self.chan.recv_cv.notify_one();
+                return Ok(());
+            }
+            st = self.chan.send_cv.wait(st).expect("channel mutex poisoned");
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan
+            .state
+            .lock()
+            .expect("channel mutex poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the oldest message, blocking while the channel is empty
+    /// and any sender remains. Fails once it is empty *and* every
+    /// sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.state.lock().expect("channel mutex poisoned");
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.send_cv.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.chan.recv_cv.wait(st).expect("channel mutex poisoned");
+        }
+    }
+
+    /// Non-blocking variant of [`Receiver::recv`].
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.state.lock().expect("channel mutex poisoned");
+        if let Some(v) = st.queue.pop_front() {
+            drop(st);
+            self.chan.send_cv.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan
+            .state
+            .lock()
+            .expect("channel mutex poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan
+            .state
+            .lock()
+            .expect("channel mutex poisoned")
+            .senders += 1;
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan
+            .state
+            .lock()
+            .expect("channel mutex poisoned")
+            .receivers += 1;
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().expect("channel mutex poisoned");
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.chan.recv_cv.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().expect("channel mutex poisoned");
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.chan.send_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..5).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, [0, 1, 2, 3, 4]);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7), "queued messages drain first");
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_errors_after_all_receivers_drop() {
+        let (tx, rx) = unbounded::<String>();
+        drop(rx);
+        let back = tx.send("hello".into()).unwrap_err();
+        assert_eq!(back.0, "hello");
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let t = thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the main thread pops
+            tx.send(3).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        let (tx, rx) = unbounded::<usize>();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        drop(rx);
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+}
