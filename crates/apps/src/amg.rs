@@ -8,7 +8,8 @@
 //! `n × n_c` indicator matrix of the aggregation; the coarse operator
 //! is the triple product computed as two SpGEMMs (`Pᵀ · (A · P)`).
 
-use spgemm::{multiply_in, Algorithm, OutputOrder, SpgemmPlan};
+use spgemm::expr::{ExprGraph, ExprPlan};
+use spgemm::{multiply_in, Algorithm, OutputOrder};
 use spgemm_par::Pool;
 use spgemm_sparse::{ops, ColIdx, Coo, Csr, PlusTimes, SparseError};
 
@@ -61,19 +62,18 @@ pub fn galerkin_product(
 }
 
 /// A reusable Galerkin triple product `Pᵀ A P` for a **fixed
-/// aggregation**: both SpGEMMs are planned once, and every
-/// re-coarsening (time-dependent coefficients, Jacobian refreshes —
-/// `A`'s values change, its pattern does not) is a pair of
-/// numeric-only executions into reused storage. This is the AMG
-/// re-setup loop the paper's introduction cites as a primary SpGEMM
-/// consumer, with the Figure 4 allocation cost amortized away.
+/// aggregation**, compiled as one expression plan
+/// (`multiply(transpose(P), multiply(A, P))` — see [`spgemm::expr`]):
+/// both SpGEMMs are planned once, the transpose of `P` is a cached
+/// structure refilled by a value gather, and every re-coarsening
+/// (time-dependent coefficients, Jacobian refreshes — `A`'s values
+/// change, its pattern does not) is a numeric-only re-execution into
+/// reused storage. This is the AMG re-setup loop the paper's
+/// introduction cites as a primary SpGEMM consumer, with the Figure 4
+/// allocation cost amortized away.
 pub struct GalerkinPlan {
     p: Csr<f64>,
-    pt: Csr<f64>,
-    plan_ap: SpgemmPlan<PlusTimes<f64>>,
-    plan_ptap: SpgemmPlan<PlusTimes<f64>>,
-    /// Reused intermediate `A · P`.
-    ap: Csr<f64>,
+    plan: ExprPlan,
     /// Reused coarse operator.
     ac: Csr<f64>,
 }
@@ -87,41 +87,40 @@ impl GalerkinPlan {
         algo: Algorithm,
         pool: &Pool,
     ) -> Result<Self, SparseError> {
-        let plan_ap = SpgemmPlan::new_in(a, p, algo, OutputOrder::Sorted, pool)?;
-        let ap = plan_ap.execute_in(a, p, pool)?;
-        let pt = ops::transpose(p);
-        let plan_ptap = SpgemmPlan::new_in(&pt, &ap, algo, OutputOrder::Sorted, pool)?;
-        let ac = plan_ptap.execute_in(&pt, &ap, pool)?;
+        let mut g = ExprGraph::new();
+        let ia = g.input();
+        let ip = g.input();
+        let ap = g.multiply(ia, ip);
+        let pt = g.transpose(ip);
+        let root = g.multiply(pt, ap);
+        let plan = ExprPlan::new_in(&g, root, &[a, p], &[], algo, pool)?;
+        let mut ac = Csr::zero(0, 0);
+        plan.root_into(&mut ac)?;
         Ok(GalerkinPlan {
             p: p.clone(),
-            pt,
-            plan_ap,
-            plan_ptap,
-            ap,
+            plan,
             ac,
         })
     }
 
     /// Recompute the coarse operator for new values of `a` (same
-    /// sparsity pattern as planned): two numeric-only executions, no
-    /// steady-state allocation.
+    /// sparsity pattern as planned): a numeric-only pipeline
+    /// re-execution, no steady-state allocation.
     ///
     /// The pattern is verified (structure fingerprint, `O(nnz)` —
     /// negligible next to the SpGEMMs): a matrix whose entries moved
     /// is rejected with [`SparseError::PlanMismatch`] rather than
     /// silently coarsened against stale row pointers.
     pub fn recoarsen(&mut self, a: &Csr<f64>, pool: &Pool) -> Result<&Csr<f64>, SparseError> {
-        if !self.plan_ap.matches_structure(a, &self.p) {
+        if !self.plan.matches_inputs(&[a, &self.p]) {
             return Err(SparseError::PlanMismatch {
                 detail: "recoarsen: A's sparsity pattern differs from the planned one; \
                          build a new GalerkinPlan"
                     .into(),
             });
         }
-        self.plan_ap
-            .execute_into_in(a, &self.p, &mut self.ap, pool)?;
-        self.plan_ptap
-            .execute_into_in(&self.pt, &self.ap, &mut self.ac, pool)?;
+        self.plan
+            .execute_into_in(&[a, &self.p], &[], &mut self.ac, pool)?;
         Ok(&self.ac)
     }
 
@@ -133,6 +132,17 @@ impl GalerkinPlan {
     /// The prolongation this plan was built around.
     pub fn prolongation(&self) -> &Csr<f64> {
         &self.p
+    }
+
+    /// Aggregated workspace-reuse counters of the pipeline's SpGEMM
+    /// nodes.
+    pub fn workspace_stats(&self) -> spgemm_par::WorkspaceStats {
+        self.plan.workspace_stats()
+    }
+
+    /// The compiled expression plan behind the triple product.
+    pub fn expr_plan(&self) -> &ExprPlan {
+        &self.plan
     }
 }
 
@@ -279,7 +289,7 @@ mod tests {
                 "step {step}"
             );
         }
-        let st = plan.plan_ap.workspace_stats();
+        let st = plan.workspace_stats();
         assert!(
             st.reused >= 4,
             "recoarsening must reuse accumulators: {st:?}"

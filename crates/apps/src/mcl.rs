@@ -9,19 +9,22 @@
 //! Iterated to convergence, columns concentrate onto "attractor" rows
 //! that identify clusters.
 //!
-//! Expansion runs through a [`spgemm::PlanCache`]: MCL's pattern
-//! drifts while pruning is active, so early rounds rebind the plan
-//! (keeping the pooled per-thread accumulators — the Figure 4
-//! allocation cost is paid once, not per round), and once the pattern
-//! stabilizes near convergence every further expansion is a
-//! numeric-only plan hit.
+//! Expansion *and* inflation run as one fused expression plan
+//! ([`spgemm::expr`]): the pipeline
+//! `normalize_cols(|A·A|^r)` compiles to a single SpGEMM whose
+//! epilogue applies the inflation power and the column
+//! renormalization in place — neither the raw square nor the inflated
+//! copy is ever materialized separately. The plan lives in a
+//! [`MclPipeline`] across rounds: while pruning still changes the
+//! pattern, each round rebinds the plan (keeping the pooled
+//! per-thread accumulators — the Figure 4 allocation cost is paid
+//! once, not per round), and once the pattern stabilizes near
+//! convergence every further expansion is a numeric-only plan hit.
 
-use spgemm::{Algorithm, OutputOrder, PlanCache, PlanCacheStats};
+use spgemm::expr::{ElemMap, ExprCache, ExprCacheStats, ExprGraph, ExprPlan};
+use spgemm::Algorithm;
 use spgemm_par::Pool;
-use spgemm_sparse::{ops, Csr, PlusTimes, SparseError};
-
-/// The plan cache type MCL threads through its expansion steps.
-pub type MclPlanCache = PlanCache<PlusTimes<f64>>;
+use spgemm_sparse::{ops, Csr, SparseError};
 
 /// MCL hyper-parameters.
 #[derive(Clone, Copy, Debug)]
@@ -52,22 +55,11 @@ impl Default for MclParams {
 
 /// Normalize columns to sum 1 (column-stochastic). Matrices here are
 /// row-major, so this transposes the problem: normalize each column's
-/// entries across rows.
+/// entries across rows. (Thin wrapper over
+/// [`spgemm_sparse::ops::normalize_columns`], which the fused
+/// expression epilogue shares.)
 pub fn normalize_columns(a: &Csr<f64>) -> Csr<f64> {
-    let mut colsum = vec![0.0f64; a.ncols()];
-    for i in 0..a.nrows() {
-        for (&c, &v) in a.row_cols(i).iter().zip(a.row_vals(i)) {
-            colsum[c as usize] += v;
-        }
-    }
-    let (nr, nc, rpts, cols, mut vals, sorted) = a.clone().into_parts();
-    for (v, &c) in vals.iter_mut().zip(&cols) {
-        let s = colsum[c as usize];
-        if s != 0.0 {
-            *v /= s;
-        }
-    }
-    Csr::from_parts_unchecked(nr, nc, rpts, cols, vals, sorted)
+    ops::normalize_columns(a)
 }
 
 /// Inflation: elementwise power `r`, then column renormalization.
@@ -75,21 +67,100 @@ pub fn inflate(a: &Csr<f64>, r: f64) -> Csr<f64> {
     normalize_columns(&a.map(|v| v.abs().powf(r)))
 }
 
-/// One MCL round: expansion, inflation, pruning. Returns the new
-/// matrix and the max absolute entry change (on the shared structure).
+/// What the expression-plan cache did for one MCL round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MclRound {
+    /// The round's pattern matched the cached plan: expansion +
+    /// inflation ran numeric-only.
+    Reused,
+    /// The pattern drifted (pruning changed the structure): the plan
+    /// was rebound, keeping its pooled accumulators.
+    Rebuilt,
+}
+
+/// Per-run plan-reuse report of [`cluster_with_stats`].
+#[derive(Clone, Debug, Default)]
+pub struct MclStats {
+    /// Aggregate expression-plan cache counters (hits = numeric-only
+    /// rounds, rebuilds = first round + every pattern change).
+    pub expr: ExprCacheStats,
+    /// Per-iteration record, in round order.
+    pub rounds: Vec<MclRound>,
+}
+
+/// The fused expansion+inflation pipeline MCL threads through its
+/// rounds: a cached expression plan for `normalize_cols(|A·A|^r)`
+/// plus the reused output buffer it executes into.
+pub struct MclPipeline {
+    cache: ExprCache,
+    /// Reused fused expansion+inflation output.
+    expanded: Csr<f64>,
+    /// The inflation exponent and kernel baked into the compiled DAG.
+    inflation: f64,
+    algo: Algorithm,
+}
+
+impl MclPipeline {
+    /// Build the pipeline for the given parameters. The inflation
+    /// exponent and kernel are baked into the compiled DAG; running a
+    /// step with *different* values is an error, not a silent
+    /// fallback (nothing is planned until the first round binds a
+    /// concrete matrix).
+    pub fn new(params: &MclParams) -> Self {
+        let mut g = ExprGraph::new();
+        let a = g.input();
+        let sq = g.multiply(a, a);
+        let inf = g.map(sq, ElemMap::AbsPow(params.inflation));
+        let root = g.normalize_cols(inf);
+        MclPipeline {
+            cache: ExprCache::new(g, root, params.algo),
+            expanded: Csr::zero(0, 0),
+            inflation: params.inflation,
+            algo: params.algo,
+        }
+    }
+
+    /// Expression-plan cache counters so far.
+    pub fn stats(&self) -> ExprCacheStats {
+        self.cache.stats()
+    }
+
+    /// The compiled plan, once the first round has bound one.
+    pub fn plan(&self) -> Option<&ExprPlan> {
+        self.cache.plan()
+    }
+}
+
+/// One MCL round: fused expansion+inflation, then pruning and
+/// renormalization. Returns the new matrix and the max absolute entry
+/// change (on the shared structure).
 ///
-/// The expansion's plan lives in `cache` so repeated rounds amortize
-/// the symbolic phase and accumulator allocations; pass a cache built
-/// by [`expansion_cache`] and keep it across rounds.
+/// The expansion plan lives in `pipe` so repeated rounds amortize the
+/// symbolic phase and accumulator allocations; build it once with
+/// [`MclPipeline::new`] and keep it across rounds.
 pub fn mcl_step(
     a: &Csr<f64>,
     params: &MclParams,
-    cache: &mut MclPlanCache,
+    pipe: &mut MclPipeline,
     pool: &Pool,
 ) -> Result<(Csr<f64>, f64), SparseError> {
-    let expanded = cache.multiply_in(a, a, pool)?;
-    let inflated = inflate(&expanded, params.inflation);
-    let pruned = inflated.filter(|_, _, v| v >= params.prune_threshold);
+    // The pipeline compiled `params.inflation` and `params.algo` into
+    // its DAG; a drifting inflation schedule needs a new pipeline,
+    // not a silently stale epilogue.
+    if params.inflation.to_bits() != pipe.inflation.to_bits() || params.algo != pipe.algo {
+        return Err(SparseError::PlanMismatch {
+            detail: format!(
+                "mcl_step params (inflation {}, algo {}) differ from the \
+                 pipeline's compiled (inflation {}, algo {}); build a new \
+                 MclPipeline for the new parameters",
+                params.inflation, params.algo, pipe.inflation, pipe.algo
+            ),
+        });
+    }
+    // expansion + inflation in one fused plan execution
+    pipe.cache
+        .execute_into_in(&[a], &[], &mut pipe.expanded, pool)?;
+    let pruned = pipe.expanded.filter(|_, _, v| v >= params.prune_threshold);
     let renorm = normalize_columns(&pruned);
     // change metric: max |new - old| over the union of structures
     let mut delta = 0.0f64;
@@ -107,11 +178,6 @@ pub fn mcl_step(
     Ok((renorm, delta))
 }
 
-/// A fresh expansion plan cache for the given parameters.
-pub fn expansion_cache(params: &MclParams) -> MclPlanCache {
-    PlanCache::new(params.algo, OutputOrder::Sorted)
-}
-
 /// Run MCL to convergence; returns the cluster assignment per node.
 ///
 /// The input is made symmetric, given self-loops (standard MCL
@@ -126,13 +192,15 @@ pub fn cluster(
     cluster_with_stats(graph, params, pool).map(|(labels, _)| labels)
 }
 
-/// [`cluster`], additionally reporting how the expansion plan cache
-/// behaved (hits = numeric-only rounds, rebuilds = pattern changes).
+/// [`cluster`], additionally reporting how the fused expansion plan
+/// behaved: aggregate hit/rebuild counters plus the per-iteration
+/// record ([`MclStats::rounds`]) — once the pattern converges, the
+/// tail of the record is all [`MclRound::Reused`].
 pub fn cluster_with_stats(
     graph: &Csr<f64>,
     params: &MclParams,
     pool: &Pool,
-) -> Result<(Vec<usize>, PlanCacheStats), SparseError> {
+) -> Result<(Vec<usize>, MclStats), SparseError> {
     let sym = ops::symmetrize_simple(graph)?;
     // Self-loops at each column's max weight (the MCL regularization
     // HipMCL uses): keeps loop strength proportional to the vertex's
@@ -152,9 +220,16 @@ pub fn cluster_with_stats(
     let loops = Csr::from_triplets(n, n, &loop_trips)?;
     let with_loops = ops::add(&sym, &loops)?;
     let mut m = normalize_columns(&with_loops);
-    let mut cache = expansion_cache(params);
+    let mut pipe = MclPipeline::new(params);
+    let mut rounds = Vec::new();
     for _ in 0..params.max_iters {
-        let (next, delta) = mcl_step(&m, params, &mut cache, pool)?;
+        let before = pipe.stats().rebuilds;
+        let (next, delta) = mcl_step(&m, params, &mut pipe, pool)?;
+        rounds.push(if pipe.stats().rebuilds > before {
+            MclRound::Rebuilt
+        } else {
+            MclRound::Reused
+        });
         m = next;
         if delta < params.tolerance {
             break;
@@ -184,7 +259,13 @@ pub fn cluster_with_stats(
         let id = *label_of_attractor.entry(a).or_insert(next_id);
         labels[col] = id;
     }
-    Ok((labels, cache.stats()))
+    Ok((
+        labels,
+        MclStats {
+            expr: pipe.stats(),
+            rounds,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -256,15 +337,39 @@ mod tests {
     }
 
     #[test]
-    fn cluster_plan_cache_reuses_once_pattern_stabilizes() {
+    fn cluster_expr_plan_reuses_once_pattern_stabilizes() {
         let pool = Pool::new(2);
         let (labels, stats) =
             cluster_with_stats(&two_cliques(), &MclParams::default(), &pool).unwrap();
         assert_eq!(labels.len(), 6);
-        assert!(stats.rebuilds >= 1, "first round always plans: {stats:?}");
         assert!(
-            stats.hits >= 1,
+            stats.expr.rebuilds >= 1,
+            "first round always binds: {stats:?}"
+        );
+        assert!(
+            stats.expr.hits >= 1,
             "a converging MCL run must reach a stable pattern and hit the plan: {stats:?}"
+        );
+        assert_eq!(
+            stats.rounds.len() as u64,
+            stats.expr.hits + stats.expr.rebuilds,
+            "per-round record covers every iteration: {stats:?}"
+        );
+        assert_eq!(stats.rounds[0], MclRound::Rebuilt, "round 0 binds");
+        // once the pattern stabilizes, the plan serves a long
+        // numeric-only streak (pruning may still perturb the very
+        // last round as columns collapse onto their attractors)
+        let longest_streak = stats
+            .rounds
+            .iter()
+            .fold((0usize, 0usize), |(best, cur), r| match r {
+                MclRound::Reused => (best.max(cur + 1), cur + 1),
+                MclRound::Rebuilt => (best, 0),
+            })
+            .0;
+        assert!(
+            longest_streak >= 3,
+            "stable pattern must yield a numeric-only streak: {stats:?}"
         );
     }
 
@@ -272,9 +377,9 @@ mod tests {
     fn mcl_step_keeps_matrix_stochastic_and_sparse() {
         let pool = Pool::new(2);
         let params = MclParams::default();
-        let mut cache = expansion_cache(&params);
+        let mut pipe = MclPipeline::new(&params);
         let m = normalize_columns(&ops::add(&two_cliques(), &Csr::<f64>::identity(6)).unwrap());
-        let (next, delta) = mcl_step(&m, &params, &mut cache, &pool).unwrap();
+        let (next, delta) = mcl_step(&m, &params, &mut pipe, &pool).unwrap();
         assert!(delta > 0.0);
         assert!(next.nnz() > 0);
         let mut colsum = vec![0.0; 6];
@@ -287,5 +392,42 @@ mod tests {
         for s in colsum {
             assert!((s - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn mcl_step_rejects_params_the_pipeline_was_not_built_for() {
+        let pool = Pool::new(1);
+        let params = MclParams::default();
+        let mut pipe = MclPipeline::new(&params);
+        let m = normalize_columns(&two_cliques());
+        mcl_step(&m, &params, &mut pipe, &pool).unwrap();
+        // an inflation schedule must rebuild the pipeline, not
+        // silently run the old epilogue
+        let drifted = MclParams {
+            inflation: 3.0,
+            ..params
+        };
+        assert!(matches!(
+            mcl_step(&m, &drifted, &mut pipe, &pool),
+            Err(SparseError::PlanMismatch { .. })
+        ));
+        let mut pipe2 = MclPipeline::new(&drifted);
+        mcl_step(&m, &drifted, &mut pipe2, &pool).unwrap();
+    }
+
+    #[test]
+    fn pipeline_fuses_inflation_into_the_expansion() {
+        let pool = Pool::new(2);
+        let params = MclParams::default();
+        let mut pipe = MclPipeline::new(&params);
+        let m = normalize_columns(&two_cliques());
+        mcl_step(&m, &params, &mut pipe, &pool).unwrap();
+        let plan = pipe.plan().expect("bound by the first step");
+        assert_eq!(
+            plan.fused_nodes(),
+            2,
+            "inflation power and renormalization both fuse into A²"
+        );
+        assert!(plan.fused_bytes_eliminated() > 0);
     }
 }

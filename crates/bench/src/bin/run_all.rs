@@ -26,6 +26,7 @@ const BINARIES: &[&str] = &[
     "table02_matrix_stats",
     "table04_recipe",
     "spgemm-dist",
+    "spgemm-expr",
 ];
 
 fn main() {

@@ -43,6 +43,7 @@
 pub mod algos;
 pub mod cost;
 mod exec;
+pub mod expr;
 mod options;
 pub mod plan;
 pub mod recipe;

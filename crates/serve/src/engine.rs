@@ -2,15 +2,17 @@
 //! shared plan cache.
 
 use crate::error::ServeError;
-use crate::job::{JobCore, JobHandle, ProductRequest};
+use crate::expr_results::ExprResultCache;
+use crate::job::{ExprRequest, JobCore, JobHandle, ProductRequest};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::{PlanKey, SharedPlanCache, S};
-use crate::queue::{JobQueue, QueuedJob};
+use crate::queue::{BatchKey, ExprJob, JobPayload, JobQueue, QueuedJob};
 use crate::store::MatrixStore;
-use spgemm::SpgemmPlan;
+use spgemm::expr::{fnv64, ExprOp};
+use spgemm::{OutputOrder, SpgemmPlan};
 use spgemm_dist::{DistConfig, DistError, GridSpec, ShardRuntime};
 use spgemm_par::{panic_text, Pool};
-use spgemm_sparse::{stats, Csr, SparseError};
+use spgemm_sparse::{ops, stats, Csr, SparseError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -51,8 +53,18 @@ pub struct ServeConfig {
     pub use_tuned_profile: bool,
     /// Route oversized products to a shared sharded backend
     /// (`spgemm_dist::ShardRuntime`) instead of the monolithic plan
-    /// path. `None` (the default) disables routing.
+    /// path. `None` (the default) disables routing. Expression jobs
+    /// route their `Multiply` *nodes* through the same thresholds.
     pub dist: Option<DistRouting>,
+    /// Budget (in entries) of the cross-tenant **subexpression result
+    /// cache** for expression jobs: every evaluated DAG node is cached
+    /// under its value fingerprint (op lineage + input registration
+    /// versions), so pipelines sharing a subexpression over the same
+    /// stored matrices — across tenants and workers — reuse the
+    /// computed intermediate instead of recomputing it. LRU beyond the
+    /// budget; **0 disables** result sharing (plan-cache sharing still
+    /// applies per node).
+    pub expr_result_entries: usize,
 }
 
 /// When and how the engine hands a job to the sharded backend.
@@ -102,6 +114,7 @@ impl Default for ServeConfig {
             plan_cache_plans: 64,
             use_tuned_profile: false,
             dist: None,
+            expr_result_entries: 128,
         }
     }
 }
@@ -110,6 +123,7 @@ struct EngineShared {
     store: MatrixStore,
     queue: JobQueue,
     cache: SharedPlanCache,
+    expr_results: ExprResultCache,
     metrics: Arc<Metrics>,
     next_job: AtomicU64,
     max_batch: usize,
@@ -160,6 +174,7 @@ impl ServeEngine {
             store: MatrixStore::new(),
             queue: JobQueue::new(cfg.queue_capacity),
             cache: SharedPlanCache::new(cfg.plan_cache_plans),
+            expr_results: ExprResultCache::new(cfg.expr_result_entries),
             metrics: Arc::new(Metrics::default()),
             next_job: AtomicU64::new(0),
             max_batch: cfg.max_batch.max(1),
@@ -227,11 +242,81 @@ impl ServeEngine {
         }
         let id = self.shared.next_job.fetch_add(1, Ordering::Relaxed);
         let core = JobCore::new(id, req.tenant.clone(), Arc::clone(&self.shared.metrics));
+        let key = PlanKey::for_product(&a, &b, req.algo, req.order);
         let job = QueuedJob {
             core: Arc::clone(&core),
-            key: PlanKey::for_product(&a, &b, req.algo, req.order),
-            a,
-            b,
+            key: BatchKey::Product(key),
+            payload: JobPayload::Product { a, b, key },
+        };
+        self.shared.queue.try_push(req.priority, job)?;
+        Ok(JobHandle::new(core))
+    }
+
+    /// Submit a whole expression pipeline without blocking. Same
+    /// backpressure contract as [`ServeEngine::try_submit`]; the
+    /// result delivered to the handle is the root node's value.
+    ///
+    /// Rejected up front: unknown input names, an input count that
+    /// does not match the graph's slots, unsorted inputs, and graphs
+    /// using vector input slots (unsupported in the serving layer).
+    pub fn try_submit_expr(&self, req: ExprRequest) -> Result<JobHandle, ServeError> {
+        let result = self.submit_expr_inner(&req);
+        match &result {
+            Ok(_) => self.shared.metrics.accepted.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    fn submit_expr_inner(&self, req: &ExprRequest) -> Result<JobHandle, ServeError> {
+        let graph = &req.spec.graph;
+        if graph.num_vec_inputs() != 0 {
+            return Err(ServeError::Sparse(SparseError::Unsupported {
+                what: "expression graphs with vector input slots; \
+                       bake scaling factors into Map nodes or pre-scaled matrices"
+                    .into(),
+            }));
+        }
+        if req.inputs.len() != graph.num_inputs() {
+            return Err(ServeError::Sparse(SparseError::PlanMismatch {
+                detail: format!(
+                    "expression graph declares {} input slots; request names {}",
+                    graph.num_inputs(),
+                    req.inputs.len()
+                ),
+            }));
+        }
+        let mut inputs = Vec::with_capacity(req.inputs.len());
+        for name in &req.inputs {
+            let m = self
+                .shared
+                .store
+                .get(name)
+                .ok_or_else(|| ServeError::UnknownMatrix { name: name.clone() })?;
+            if !m.csr().is_sorted() {
+                return Err(ServeError::Sparse(SparseError::Unsorted {
+                    op: "expr submit",
+                }));
+            }
+            inputs.push(m);
+        }
+        // Value-identity fingerprints: leaves are registration
+        // versions (snapshots are immutable), so equal node
+        // fingerprints mean equal results across tenants.
+        let node_fps =
+            Arc::new(graph.node_fingerprints(|slot| inputs[slot].version(), req.algo as u64));
+        let batch_fp = fnv64(&[node_fps[req.spec.root.index()], req.algo as u64]);
+        let id = self.shared.next_job.fetch_add(1, Ordering::Relaxed);
+        let core = JobCore::new(id, req.tenant.clone(), Arc::clone(&self.shared.metrics));
+        let job = QueuedJob {
+            core: Arc::clone(&core),
+            key: BatchKey::Expr(batch_fp),
+            payload: JobPayload::Expr(ExprJob {
+                spec: req.spec.clone(),
+                inputs,
+                algo: req.algo,
+                node_fps,
+            }),
         };
         self.shared.queue.try_push(req.priority, job)?;
         Ok(JobHandle::new(core))
@@ -259,6 +344,7 @@ impl ServeEngine {
         self.shared.metrics.snapshot(
             self.shared.queue.lane_depths(),
             self.shared.cache.stats(),
+            self.shared.expr_results.stats(),
             self.shared.started,
         )
     }
@@ -310,23 +396,52 @@ fn worker_loop(shared: &EngineShared, pool: &Pool) {
 }
 
 /// Execute one same-key batch: skip jobs cancelled while queued, then
-/// run the rest numeric-only under the cached plan (building it once
-/// on miss), or as cold one-shot multiplies when the cache is
-/// disabled.
+/// dispatch on the payload kind — products run numeric-only under the
+/// cached plan (building it once on miss) or as cold one-shot
+/// multiplies when the cache is disabled; expression batches evaluate
+/// their (identical) DAG once and fan the shared result out.
 fn execute_batch(shared: &EngineShared, pool: &Pool, batch: Vec<QueuedJob>) {
     let runnable: Vec<QueuedJob> = batch.into_iter().filter(|j| j.core.start()).collect();
     let Some(first) = runnable.first() else {
         return; // whole batch was cancelled while queued
     };
     shared.metrics.note_batch(runnable.len());
-    let key = first.key;
+    match &first.payload {
+        JobPayload::Product { .. } => execute_product_batch(shared, pool, &runnable),
+        JobPayload::Expr(job) => {
+            // Same batch key = same DAG over the same snapshots with
+            // the same kernel: one evaluation serves the whole batch.
+            let result = run_expr(shared, job, pool);
+            shared
+                .metrics
+                .expr_jobs
+                .fetch_add(runnable.len() as u64, Ordering::Relaxed);
+            for j in &runnable {
+                j.core.complete(result.clone());
+            }
+        }
+    }
+}
+
+/// The operands and plan key of a product job (batch invariant: every
+/// job in a product batch is a product).
+fn product_parts(job: &QueuedJob) -> (&Csr<f64>, &Csr<f64>, PlanKey) {
+    match &job.payload {
+        JobPayload::Product { a, b, key } => (a.csr(), b.csr(), *key),
+        JobPayload::Expr(_) => unreachable!("product batch holds a non-product job"),
+    }
+}
+
+fn execute_product_batch(shared: &EngineShared, pool: &Pool, runnable: &[QueuedJob]) {
+    let (first_a, first_b, key) = product_parts(&runnable[0]);
     let n = runnable.len() as u64;
     // Oversized products leave the plan path for the shared shard
     // fleet; the whole batch shares one structure, so one decision
     // covers it.
     if let Some((runtime, routing)) = &shared.dist {
-        if routes_to_dist(first.a.csr(), first.b.csr(), routing) {
-            for job in &runnable {
+        if routes_to_dist(first_a, first_b, routing) {
+            for job in runnable {
+                let (a, b, _) = product_parts(job);
                 // An infrastructure failure in the shard fleet
                 // (`ShardFailed`) is not the job's fault: fall back to
                 // this worker's monolithic path so the product still
@@ -334,8 +449,8 @@ fn execute_batch(shared: &EngineShared, pool: &Pool, batch: Vec<QueuedJob>) {
                 // counting as dist-served. Sparse errors (shapes,
                 // contracts) would fail either way and are reported
                 // as-is.
-                let result = match run_dist(runtime, job) {
-                    Err(ServeError::Internal { .. }) => run_cold(job, pool),
+                let result = match run_dist(runtime, a, b) {
+                    Err(ServeError::Internal { .. }) => run_cold(a, b, key, pool),
                     other => {
                         shared.metrics.dist_routed.fetch_add(1, Ordering::Relaxed);
                         other
@@ -347,8 +462,9 @@ fn execute_batch(shared: &EngineShared, pool: &Pool, batch: Vec<QueuedJob>) {
         }
     }
     if !shared.cache.enabled() {
-        for job in &runnable {
-            job.core.complete(run_cold(job, pool));
+        for job in runnable {
+            let (a, b, _) = product_parts(job);
+            job.core.complete(run_cold(a, b, key, pool));
         }
         return;
     }
@@ -361,7 +477,7 @@ fn execute_batch(shared: &EngineShared, pool: &Pool, batch: Vec<QueuedJob>) {
             shared.cache.note_hits(n);
             plan
         }
-        None => match build_plan(first.a.csr(), first.b.csr(), key, pool) {
+        None => match build_plan(first_a, first_b, key, pool) {
             Ok(plan) => {
                 // The builder pays the symbolic phase; its batch-mates
                 // already reuse it numeric-only.
@@ -371,7 +487,7 @@ fn execute_batch(shared: &EngineShared, pool: &Pool, batch: Vec<QueuedJob>) {
             }
             Err(e) => {
                 shared.cache.note_misses(n);
-                for job in &runnable {
+                for job in runnable {
                     job.core.complete(Err(e.clone()));
                 }
                 return;
@@ -384,12 +500,172 @@ fn execute_batch(shared: &EngineShared, pool: &Pool, batch: Vec<QueuedJob>) {
     // already pooled.
     let results: Vec<_> = runnable
         .iter()
-        .map(|job| run_planned(&plan, job, pool))
+        .map(|job| {
+            let (a, b, _) = product_parts(job);
+            run_planned(&plan, a, b, pool)
+        })
         .collect();
     slot.checkin(plan);
     for (job, result) in runnable.iter().zip(results) {
         job.core.complete(result);
     }
+}
+
+/// Evaluate one expression job node-by-node, panic-contained like
+/// every other execution path.
+fn run_expr(shared: &EngineShared, job: &ExprJob, pool: &Pool) -> crate::job::JobResult {
+    match catch_unwind(AssertUnwindSafe(|| eval_expr(shared, job, pool))) {
+        Ok(result) => result,
+        Err(payload) => Err(ServeError::Internal {
+            detail: panic_text(payload),
+        }),
+    }
+}
+
+/// The DAG interpreter: walk the topological order, serving each node
+/// from the cross-tenant subexpression cache when possible and
+/// computing it otherwise — `Multiply` through the shared plan cache
+/// (or the shard fleet past the dist thresholds), element-wise ops
+/// through `spgemm_sparse::ops`.
+fn eval_expr(
+    shared: &EngineShared,
+    job: &ExprJob,
+    pool: &Pool,
+) -> Result<Arc<Csr<f64>>, ServeError> {
+    let graph = &job.spec.graph;
+    let root = job.spec.root.index();
+    let needed = graph.reachable(job.spec.root);
+    let mut values: Vec<Option<Arc<Csr<f64>>>> = vec![None; graph.len()];
+    // Structure fingerprints of computed intermediates, memoized for
+    // plan-cache keys (input leaves reuse the store's fingerprint).
+    let mut struct_fps: Vec<Option<u64>> = vec![None; graph.len()];
+    for i in 0..graph.len() {
+        if !needed[i] {
+            continue;
+        }
+        // Input leaves are snapshots the job already holds: serving
+        // them through the result cache would spend LRU slots (and
+        // the computed-nodes counter) on matrices the store pins
+        // anyway.
+        if let ExprOp::Input { slot } = graph.nodes()[i] {
+            values[i] = Some(job.inputs[slot].csr_arc());
+            continue;
+        }
+        if let Some(cached) = shared.expr_results.get(job.node_fps[i]) {
+            values[i] = Some(cached);
+            continue;
+        }
+        let value_at = |k: usize| -> &Arc<Csr<f64>> {
+            values[k].as_ref().expect("operands precede consumers")
+        };
+        let value: Arc<Csr<f64>> = match graph.nodes()[i] {
+            ExprOp::Input { .. } => unreachable!("inputs handled above"),
+            ExprOp::Multiply { a, b } => {
+                let (ai, bi) = (a.index(), b.index());
+                let fp_a = structure_fp(graph, job, &values, &mut struct_fps, ai);
+                let fp_b = structure_fp(graph, job, &values, &mut struct_fps, bi);
+                let key = PlanKey {
+                    fp_a,
+                    fp_b,
+                    algo: job.algo,
+                    order: OutputOrder::Sorted,
+                };
+                Arc::new(expr_multiply(
+                    shared,
+                    value_at(ai),
+                    value_at(bi),
+                    key,
+                    pool,
+                )?)
+            }
+            ExprOp::Transpose { a } => Arc::new(ops::transpose_in(value_at(a.index()), pool)),
+            ExprOp::Add { a, b } => Arc::new(ops::add(value_at(a.index()), value_at(b.index()))?),
+            ExprOp::Hadamard { a, b } => {
+                Arc::new(ops::hadamard(value_at(a.index()), value_at(b.index()))?)
+            }
+            ExprOp::ScaleRows { .. } | ExprOp::ScaleCols { .. } => {
+                unreachable!("vector-input graphs are rejected at submission")
+            }
+            ExprOp::Map { a, f } => Arc::new(value_at(a.index()).map(|v| f.apply(v))),
+            ExprOp::NormalizeCols { a } => Arc::new(ops::normalize_columns(value_at(a.index()))),
+        };
+        shared
+            .metrics
+            .expr_nodes_computed
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .expr_results
+            .insert(job.node_fps[i], Arc::clone(&value));
+        values[i] = Some(value);
+    }
+    Ok(values[root].take().expect("root is needed"))
+}
+
+/// Structure fingerprint of node `k`'s value: the store's
+/// registration-time fingerprint for input leaves, a memoized
+/// `O(nnz)` hash for computed intermediates.
+fn structure_fp(
+    graph: &spgemm::expr::ExprGraph,
+    job: &ExprJob,
+    values: &[Option<Arc<Csr<f64>>>],
+    memo: &mut [Option<u64>],
+    k: usize,
+) -> u64 {
+    if let ExprOp::Input { slot } = graph.nodes()[k] {
+        return job.inputs[slot].fingerprint();
+    }
+    *memo[k].get_or_insert_with(|| {
+        values[k]
+            .as_ref()
+            .expect("operands precede consumers")
+            .structure_fingerprint()
+    })
+}
+
+/// One `Multiply` node of an expression job: shard fleet past the
+/// dist thresholds (monolithic fallback on fleet failure), otherwise
+/// the shared plan cache (cold one-shot when caching is disabled).
+fn expr_multiply(
+    shared: &EngineShared,
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    key: PlanKey,
+    pool: &Pool,
+) -> Result<Csr<f64>, ServeError> {
+    if let Some((runtime, routing)) = &shared.dist {
+        if routes_to_dist(a, b, routing) {
+            // Same containment as the product path: a shard-fleet
+            // panic or infrastructure failure falls back to the
+            // monolithic path below instead of failing the whole
+            // expression job.
+            match catch_unwind(AssertUnwindSafe(|| runtime.multiply(a, b))) {
+                Ok(Ok(c)) => {
+                    shared.metrics.dist_routed.fetch_add(1, Ordering::Relaxed);
+                    return Ok(c);
+                }
+                Ok(Err(DistError::Sparse(e))) => return Err(ServeError::Sparse(e)),
+                Ok(Err(_)) | Err(_) => {} // fleet failure: monolithic fallback
+            }
+        }
+    }
+    if !shared.cache.enabled() {
+        return spgemm::multiply_in::<S>(a, b, key.algo, key.order, pool)
+            .map_err(ServeError::Sparse);
+    }
+    let slot = shared.cache.slot(key);
+    let plan = match slot.checkout(pool.nthreads()) {
+        Some(plan) => {
+            shared.cache.note_hits(1);
+            plan
+        }
+        None => {
+            shared.cache.note_misses(1);
+            SpgemmPlan::<S>::new_in(a, b, key.algo, key.order, pool).map_err(ServeError::Sparse)?
+        }
+    };
+    let result = plan.execute_in(a, b, pool).map_err(ServeError::Sparse);
+    slot.checkin(plan);
+    result
 }
 
 fn build_plan(
@@ -409,10 +685,13 @@ fn build_plan(
     }
 }
 
-fn run_planned(plan: &SpgemmPlan<S>, job: &QueuedJob, pool: &Pool) -> crate::job::JobResult {
-    match catch_unwind(AssertUnwindSafe(|| {
-        plan.execute_in(job.a.csr(), job.b.csr(), pool)
-    })) {
+fn run_planned(
+    plan: &SpgemmPlan<S>,
+    a: &Csr<f64>,
+    b: &Csr<f64>,
+    pool: &Pool,
+) -> crate::job::JobResult {
+    match catch_unwind(AssertUnwindSafe(|| plan.execute_in(a, b, pool))) {
         Ok(Ok(c)) => Ok(Arc::new(c)),
         Ok(Err(e)) => Err(ServeError::Sparse(e)),
         Err(payload) => Err(ServeError::Internal {
@@ -433,10 +712,8 @@ fn routes_to_dist(a: &Csr<f64>, b: &Csr<f64>, routing: &DistRouting) -> bool {
     }
 }
 
-fn run_dist(runtime: &ShardRuntime, job: &QueuedJob) -> crate::job::JobResult {
-    match catch_unwind(AssertUnwindSafe(|| {
-        runtime.multiply(job.a.csr(), job.b.csr())
-    })) {
+fn run_dist(runtime: &ShardRuntime, a: &Csr<f64>, b: &Csr<f64>) -> crate::job::JobResult {
+    match catch_unwind(AssertUnwindSafe(|| runtime.multiply(a, b))) {
         Ok(Ok(c)) => Ok(Arc::new(c)),
         Ok(Err(DistError::Sparse(e))) => Err(ServeError::Sparse(e)),
         Ok(Err(e)) => Err(ServeError::Internal {
@@ -448,9 +725,9 @@ fn run_dist(runtime: &ShardRuntime, job: &QueuedJob) -> crate::job::JobResult {
     }
 }
 
-fn run_cold(job: &QueuedJob, pool: &Pool) -> crate::job::JobResult {
+fn run_cold(a: &Csr<f64>, b: &Csr<f64>, key: PlanKey, pool: &Pool) -> crate::job::JobResult {
     match catch_unwind(AssertUnwindSafe(|| {
-        spgemm::multiply_in::<S>(job.a.csr(), job.b.csr(), job.key.algo, job.key.order, pool)
+        spgemm::multiply_in::<S>(a, b, key.algo, key.order, pool)
     })) {
         Ok(Ok(c)) => Ok(Arc::new(c)),
         Ok(Err(e)) => Err(ServeError::Sparse(e)),

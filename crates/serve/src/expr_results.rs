@@ -1,0 +1,189 @@
+//! The cross-tenant subexpression result cache.
+//!
+//! Expression jobs name their intermediates precisely: every node of
+//! an [`spgemm::expr::ExprGraph`] has a 64-bit *value* fingerprint —
+//! op kind, op parameters, operand fingerprints, and, at the leaves,
+//! the [`crate::MatrixStore`] registration version of the bound input.
+//! Stored matrices are immutable snapshots, so equal fingerprints mean
+//! equal *results* (up to fingerprint collision — the same cooperating
+//! -tenant trust model as the plan cache), and a node computed for one
+//! tenant's pipeline can be handed, as a shared `Arc`, to any other
+//! pipeline that contains the same subexpression over the same
+//! snapshots — MCL tenants sharing one graph's `A²`, an AMG tenant
+//! re-submitting `Pᵀ(AP)` after a no-op re-registration, or two
+//! dashboards masking the same product differently.
+//!
+//! Eviction is least-recently-used over a fixed entry budget; `0`
+//! disables the cache (every node recomputes).
+
+use parking_lot::Mutex;
+use spgemm_sparse::Csr;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters of the subexpression result cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExprResultCacheStats {
+    /// Node evaluations served by a cached result.
+    pub hits: u64,
+    /// Node lookups that missed (the node was then computed and
+    /// stored).
+    pub misses: u64,
+    /// Entries evicted to stay within the budget.
+    pub evictions: u64,
+    /// Live cached results.
+    pub entries: usize,
+}
+
+impl ExprResultCacheStats {
+    /// `hits / (hits + misses)`, 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    value: Arc<Csr<f64>>,
+    last_used: u64,
+}
+
+pub(crate) struct ExprResultCache {
+    map: Mutex<HashMap<u64, Entry>>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    capacity: usize,
+}
+
+impl ExprResultCache {
+    /// A cache holding at most `capacity` node results; 0 disables it.
+    pub(crate) fn new(capacity: usize) -> Self {
+        ExprResultCache {
+            map: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The cached result for a node fingerprint, if present (counts a
+    /// hit/miss either way; disabled caches count nothing).
+    pub(crate) fn get(&self, fp: u64) -> Option<Arc<Csr<f64>>> {
+        if !self.enabled() {
+            return None;
+        }
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut map = self.map.lock();
+        match map.get_mut(&fp) {
+            Some(entry) => {
+                entry.last_used = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a computed node result, LRU-evicting beyond the budget.
+    pub(crate) fn insert(&self, fp: u64, value: Arc<Csr<f64>>) {
+        if !self.enabled() {
+            return;
+        }
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut map = self.map.lock();
+        if !map.contains_key(&fp) && map.len() >= self.capacity {
+            let victim = map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(
+            fp,
+            Entry {
+                value,
+                last_used: stamp,
+            },
+        );
+    }
+
+    pub(crate) fn stats(&self) -> ExprResultCacheStats {
+        ExprResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.map.lock().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(n: usize) -> Arc<Csr<f64>> {
+        Arc::new(Csr::identity(n))
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_counters() {
+        let cache = ExprResultCache::new(4);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, arc(3));
+        let hit = cache.get(1).expect("stored");
+        assert_eq!(hit.nrows(), 3);
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.entries), (1, 1, 1));
+        assert!((st.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_entry() {
+        let cache = ExprResultCache::new(2);
+        cache.insert(1, arc(1));
+        cache.insert(2, arc(2));
+        let _ = cache.get(1); // 2 is now coldest
+        cache.insert(3, arc(3)); // evicts 2
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some() && cache.get(3).is_some());
+        let st = cache.stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ExprResultCache::new(0);
+        cache.insert(1, arc(1));
+        assert!(cache.get(1).is_none());
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_evict() {
+        let cache = ExprResultCache::new(2);
+        cache.insert(1, arc(1));
+        cache.insert(2, arc(2));
+        cache.insert(1, arc(5)); // overwrite, no eviction
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(1).unwrap().nrows(), 5);
+        assert!(cache.get(2).is_some());
+    }
+}

@@ -4,6 +4,7 @@
 use crate::error::ServeError;
 use crate::metrics::Metrics;
 use parking_lot::{Condvar, Mutex};
+use spgemm::expr::ExprSpec;
 use spgemm::{Algorithm, OutputOrder};
 use spgemm_sparse::Csr;
 use std::sync::atomic::Ordering;
@@ -81,6 +82,72 @@ impl ProductRequest {
     /// Set the output order.
     pub fn order(mut self, order: OutputOrder) -> Self {
         self.order = order;
+        self
+    }
+
+    /// Set the priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the tenant label.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+}
+
+/// A whole-pipeline request: evaluate an expression DAG
+/// ([`spgemm::expr::ExprGraph`]) over *stored* matrices bound to its
+/// input slots.
+///
+/// Expression jobs run node-by-node on a worker: every `Multiply`
+/// node goes through the shared plan cache (or the sharded backend
+/// when it crosses the [`crate::DistRouting`] thresholds), and every
+/// node's *result* is cached cross-tenant in the engine's
+/// subexpression cache, keyed by the node's value fingerprint (op
+/// lineage + the registration versions of the inputs it depends on).
+/// Two tenants submitting pipelines that share a subexpression over
+/// the same stored matrices share the computed intermediate.
+///
+/// Vector input slots ([`spgemm::expr::ExprGraph::vec_input`]) are
+/// not accepted by the serving layer.
+#[derive(Clone, Debug)]
+pub struct ExprRequest {
+    /// The DAG and its output node.
+    pub spec: ExprSpec,
+    /// Store names bound to the graph's input slots, in slot order.
+    pub inputs: Vec<String>,
+    /// Kernel for the DAG's `Multiply` nodes (`Auto` resolves per
+    /// node).
+    pub algo: Algorithm,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Free-form tenant label carried into metrics/debugging.
+    pub tenant: String,
+}
+
+impl ExprRequest {
+    /// A request binding `inputs` (store names, in slot order) to
+    /// `spec` with default options.
+    pub fn new<I, S>(spec: ExprSpec, inputs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ExprRequest {
+            spec,
+            inputs: inputs.into_iter().map(Into::into).collect(),
+            algo: Algorithm::Auto,
+            priority: Priority::Normal,
+            tenant: String::new(),
+        }
+    }
+
+    /// Set the kernel.
+    pub fn algo(mut self, algo: Algorithm) -> Self {
+        self.algo = algo;
         self
     }
 

@@ -27,7 +27,17 @@
 //! * optional **sharded routing** ([`ServeConfig::dist`]): products
 //!   crossing a configurable nnz/flop threshold execute on a shared
 //!   `spgemm_dist::ShardRuntime` instead of one worker's monolithic
-//!   plan path ([`MetricsSnapshot::dist_routed`] counts them).
+//!   plan path ([`MetricsSnapshot::dist_routed`] counts them);
+//! * **expression jobs** ([`ExprRequest`]): whole
+//!   [`spgemm::expr::ExprGraph`] pipelines (MCL rounds, Galerkin
+//!   triple products, masked wedge counts) evaluated node-by-node —
+//!   every `Multiply` node shares the plan cache (and routes through
+//!   the dist thresholds), and every node *result* is cached
+//!   cross-tenant under its value fingerprint
+//!   ([`ServeConfig::expr_result_entries`],
+//!   [`MetricsSnapshot::expr_results`]), so pipelines sharing a
+//!   subexpression over the same stored matrices share the computed
+//!   intermediate.
 //!
 //! The `spgemm-serve` binary in `spgemm-bench` drives the engine with
 //! an open-loop synthetic traffic generator (MCL-style A² chains, AMG
@@ -76,6 +86,7 @@
 
 mod engine;
 mod error;
+mod expr_results;
 mod job;
 mod metrics;
 mod plan_cache;
@@ -84,7 +95,8 @@ mod store;
 
 pub use engine::{DistRouting, ServeConfig, ServeEngine};
 pub use error::ServeError;
-pub use job::{JobHandle, JobOutput, JobResult, Priority, ProductRequest};
+pub use expr_results::ExprResultCacheStats;
+pub use job::{ExprRequest, JobHandle, JobOutput, JobResult, Priority, ProductRequest};
 pub use metrics::{LatencySummary, MetricsSnapshot};
 pub use plan_cache::{PlanCacheStats, PlanKey};
 pub use store::{MatrixStore, StoredMatrix};

@@ -5,6 +5,7 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::expr_results::ExprResultCacheStats;
 use crate::job::Priority;
 use crate::plan_cache::PlanCacheStats;
 
@@ -28,6 +29,11 @@ pub(crate) struct Metrics {
     pub(crate) batched_jobs: AtomicU64,
     /// Jobs executed on the sharded backend instead of the plan path.
     pub(crate) dist_routed: AtomicU64,
+    /// Jobs that evaluated a whole expression DAG.
+    pub(crate) expr_jobs: AtomicU64,
+    /// Expression nodes actually computed (subexpression-cache misses
+    /// and uncached evaluations; cache hits are counted by the cache).
+    pub(crate) expr_nodes_computed: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
     dropped_samples: AtomicU64,
 }
@@ -51,6 +57,7 @@ impl Metrics {
         &self,
         queue_depth_per_lane: [usize; Priority::COUNT],
         plan_cache: PlanCacheStats,
+        expr_results: ExprResultCacheStats,
         since: Instant,
     ) -> MetricsSnapshot {
         let latency = {
@@ -69,9 +76,12 @@ impl Metrics {
             batches: self.batches.load(Ordering::Relaxed),
             batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
             dist_routed: self.dist_routed.load(Ordering::Relaxed),
+            expr_jobs: self.expr_jobs.load(Ordering::Relaxed),
+            expr_nodes_computed: self.expr_nodes_computed.load(Ordering::Relaxed),
             queue_depth: queue_depth_per_lane.iter().sum(),
             queue_depth_per_lane,
             plan_cache,
+            expr_results,
             elapsed,
             throughput_jps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
             latency,
@@ -146,8 +156,15 @@ pub struct MetricsSnapshot {
     pub batched_jobs: u64,
     /// Jobs executed on the sharded (`spgemm-dist`) backend because
     /// they crossed the configured size threshold (see
-    /// `ServeConfig::dist`).
+    /// `ServeConfig::dist`) — whole products and routed expression
+    /// `Multiply` nodes alike.
     pub dist_routed: u64,
+    /// Jobs that evaluated a whole expression DAG
+    /// (`ServeEngine::try_submit_expr`).
+    pub expr_jobs: u64,
+    /// Expression nodes computed (as opposed to served from the
+    /// subexpression result cache).
+    pub expr_nodes_computed: u64,
     /// Queued jobs at snapshot time (sum of the per-lane depths).
     pub queue_depth: usize,
     /// Queued jobs per priority lane at snapshot time: `[High,
@@ -155,6 +172,8 @@ pub struct MetricsSnapshot {
     pub queue_depth_per_lane: [usize; Priority::COUNT],
     /// Shared plan cache counters.
     pub plan_cache: PlanCacheStats,
+    /// Cross-tenant subexpression result cache counters.
+    pub expr_results: ExprResultCacheStats,
     /// Time since the engine started.
     pub elapsed: Duration,
     /// `completed / elapsed`, jobs per second.
@@ -189,7 +208,12 @@ mod tests {
     #[test]
     fn snapshot_reports_per_lane_depths_and_their_sum() {
         let m = Metrics::default();
-        let s = m.snapshot([2, 5, 1], PlanCacheStats::default(), Instant::now());
+        let s = m.snapshot(
+            [2, 5, 1],
+            PlanCacheStats::default(),
+            ExprResultCacheStats::default(),
+            Instant::now(),
+        );
         assert_eq!(s.queue_depth_per_lane, [2, 5, 1]);
         assert_eq!(s.queue_depth, 8, "aggregate is the lane sum");
         assert_eq!(s.dist_routed, 0);

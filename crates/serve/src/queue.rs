@@ -21,15 +21,50 @@ use crate::job::{JobCore, Priority};
 use crate::plan_cache::PlanKey;
 use crate::store::StoredMatrix;
 use parking_lot::{Condvar, Mutex};
+use spgemm::expr::ExprSpec;
+use spgemm::Algorithm;
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// What a batch coalesces on: jobs with equal keys execute together
+/// under one plan (products) or share one evaluation (identical
+/// expression jobs over identical snapshots).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BatchKey {
+    /// Same operand structures + kernel options.
+    Product(PlanKey),
+    /// Same DAG + same input snapshots + same kernel (the root node's
+    /// value fingerprint): byte-identical results by construction.
+    Expr(u64),
+}
+
+/// A resolved expression job: the spec, the captured input snapshots,
+/// and the per-node value fingerprints (leaf = registration version)
+/// the subexpression cache keys on.
+pub(crate) struct ExprJob {
+    pub(crate) spec: ExprSpec,
+    pub(crate) inputs: Vec<Arc<StoredMatrix>>,
+    pub(crate) algo: Algorithm,
+    pub(crate) node_fps: Arc<Vec<u64>>,
+}
+
+/// What the worker executes for one job.
+pub(crate) enum JobPayload {
+    /// Plain `C = A · B` over resolved snapshots.
+    Product {
+        a: Arc<StoredMatrix>,
+        b: Arc<StoredMatrix>,
+        key: PlanKey,
+    },
+    /// A whole expression DAG.
+    Expr(ExprJob),
+}
 
 /// A job as it sits in the queue: resolved operands plus shared state.
 pub(crate) struct QueuedJob {
     pub(crate) core: Arc<JobCore>,
-    pub(crate) key: PlanKey,
-    pub(crate) a: Arc<StoredMatrix>,
-    pub(crate) b: Arc<StoredMatrix>,
+    pub(crate) key: BatchKey,
+    pub(crate) payload: JobPayload,
 }
 
 struct Inner {
@@ -155,16 +190,24 @@ mod tests {
         let m = store
             .get(&name)
             .unwrap_or_else(|| store.insert(name, Csr::<f64>::identity(n)));
+        let key =
+            crate::plan_cache::PlanKey::for_product(&m, &m, Algorithm::Hash, OutputOrder::Sorted);
         QueuedJob {
             core: JobCore::new(id, String::new(), Arc::new(Metrics::default())),
-            key: crate::plan_cache::PlanKey::for_product(
-                &m,
-                &m,
-                Algorithm::Hash,
-                OutputOrder::Sorted,
-            ),
-            a: Arc::clone(&m),
-            b: m,
+            key: BatchKey::Product(key),
+            payload: JobPayload::Product {
+                a: Arc::clone(&m),
+                b: m,
+                key,
+            },
+        }
+    }
+
+    /// The row count of a product job's left operand (test probe).
+    fn rows(j: &QueuedJob) -> usize {
+        match &j.payload {
+            JobPayload::Product { a, .. } => a.csr().nrows(),
+            JobPayload::Expr(_) => unreachable!("product jobs only in these tests"),
         }
     }
 
@@ -195,7 +238,7 @@ mod tests {
         q.try_push(Priority::High, job(&store, 2, 4)).unwrap();
         q.try_push(Priority::High, job(&store, 3, 5)).unwrap();
         q.try_push(Priority::Normal, job(&store, 4, 6)).unwrap();
-        let order: Vec<usize> = (0..5).map(|_| q.pop_batch(1)[0].a.csr().nrows()).collect();
+        let order: Vec<usize> = (0..5).map(|_| rows(&q.pop_batch(1)[0])).collect();
         assert_eq!(order, [4, 5, 3, 6, 2], "high first, FIFO within level");
     }
 
@@ -209,9 +252,9 @@ mod tests {
         q.try_push(Priority::Normal, job(&store, 3, 4)).unwrap();
         let batch = q.pop_batch(8);
         assert_eq!(batch.len(), 3, "all three n=4 jobs coalesce");
-        assert!(batch.iter().all(|j| j.a.csr().nrows() == 4));
+        assert!(batch.iter().all(|j| rows(j) == 4));
         assert_eq!(q.depth(), 1);
-        assert_eq!(q.pop_batch(8)[0].a.csr().nrows(), 9);
+        assert_eq!(rows(&q.pop_batch(8)[0]), 9);
     }
 
     #[test]

@@ -9,10 +9,36 @@
 //! reduction.
 
 use crate::{ColIdx, Csr, Scalar, SparseError};
+use spgemm_par::Pool;
+use std::sync::Mutex;
+
+/// Below this many nonzeros [`transpose`] stays on the serial
+/// counting sort: the parallel path's per-slab arrays and extra
+/// region barriers cost more than they save on small inputs.
+const PAR_TRANSPOSE_MIN_NNZ: usize = 1 << 14;
 
 /// Transpose via per-column counting sort: `O(nnz + ncols)`, output
-/// rows sorted when the scatter visits source rows in order (it does).
+/// rows sorted. Large inputs fan out over the process-global pool
+/// ([`transpose_in`]); small ones run the serial sort directly. Either
+/// way the result is byte-for-byte [`transpose_serial`]'s output.
 pub fn transpose<T: Copy + Send + Sync>(a: &Csr<T>) -> Csr<T> {
+    let pool = spgemm_par::global_pool();
+    if a.nnz() < PAR_TRANSPOSE_MIN_NNZ {
+        transpose_serial(a)
+    } else {
+        transpose_in(a, pool)
+    }
+}
+
+/// The structural half of a transpose: output row pointers, output
+/// column indices, and the permutation `val_order` such that
+/// `out.vals[k] = a.vals[val_order[k]]`. Splitting structure from the
+/// value gather lets callers that transpose the *same pattern*
+/// repeatedly (the expression-plan layer's cached `Transpose` nodes)
+/// pay the counting sort once and refill values numeric-only.
+pub fn transpose_structure<T: Copy + Send + Sync>(
+    a: &Csr<T>,
+) -> (Vec<usize>, Vec<ColIdx>, Vec<usize>) {
     let (nrows, ncols) = a.shape();
     let mut rpts = vec![0usize; ncols + 1];
     for &c in a.cols() {
@@ -34,12 +60,147 @@ pub fn transpose<T: Copy + Send + Sync>(a: &Csr<T>) -> Csr<T> {
             cursor[c as usize] += 1;
         }
     }
+    (rpts, cols, val_order)
+}
+
+/// Serial transpose: [`transpose_structure`] plus the value gather.
+pub fn transpose_serial<T: Copy + Send + Sync>(a: &Csr<T>) -> Csr<T> {
+    let (rpts, cols, val_order) = transpose_structure(a);
     let avals = a.vals();
     let vals: Vec<T> = val_order.iter().map(|&idx| avals[idx]).collect();
     // Source rows are visited in increasing order, so each output row's
     // column indices (= source row ids) are strictly increasing,
     // provided the input had at most one entry per (row, col) — which
     // is a `Csr` invariant.
+    Csr::from_parts_unchecked(a.ncols(), a.nrows(), rpts, cols, vals, true)
+}
+
+/// Parallel transpose on an explicit pool, without a line of `unsafe`
+/// (this crate forbids it): each worker counting-sorts a contiguous,
+/// nnz-balanced *row* slab into worker-local arrays, then workers take
+/// ownership of contiguous *column* blocks of the output — disjoint
+/// `split_at_mut` chunks — and concatenate the per-slab segments of
+/// their columns in slab order. Within one output row the source rows
+/// therefore appear in globally ascending order, exactly like the
+/// serial scatter, so the result — structure *and* value bytes — is
+/// [`transpose_serial`]'s output verbatim.
+pub fn transpose_in<T: Copy + Send + Sync>(a: &Csr<T>, pool: &Pool) -> Csr<T> {
+    let (nrows, ncols) = a.shape();
+    let nnz = a.nnz();
+    let nt = pool.nthreads();
+    if nt == 1 || nnz == 0 || ncols == 0 {
+        return transpose_serial(a);
+    }
+
+    // Contiguous row slabs with roughly equal nnz.
+    let rpts_in = a.rpts();
+    let mut row_offsets = Vec::with_capacity(nt + 1);
+    row_offsets.push(0usize);
+    for t in 1..nt {
+        let target = nnz * t / nt;
+        let r = rpts_in.partition_point(|&x| x < target).min(nrows);
+        row_offsets.push(r.max(row_offsets[t - 1]));
+    }
+    row_offsets.push(nrows);
+
+    // Phase 1: per-slab local counting transposes. Each worker fills
+    // its own slot (the Mutex only makes the slot vector `Sync`; slots
+    // are never contended).
+    #[derive(Default)]
+    struct Slab {
+        /// Per-output-row (source column) pointers, length `ncols + 1`.
+        rpts: Vec<usize>,
+        /// Source row of each local entry, grouped by output row.
+        rows: Vec<ColIdx>,
+        /// Index into `a.vals()` of each local entry.
+        src: Vec<usize>,
+    }
+    let slots: Vec<Mutex<Slab>> = (0..nt).map(|_| Mutex::new(Slab::default())).collect();
+    pool.parallel_ranges(&row_offsets, |t, range| {
+        let mut guard = slots[t].lock().expect("slab slot poisoned");
+        let slab = &mut *guard;
+        slab.rpts = vec![0usize; ncols + 1];
+        for i in range.clone() {
+            for &c in a.row_cols(i) {
+                slab.rpts[c as usize + 1] += 1;
+            }
+        }
+        for c in 0..ncols {
+            slab.rpts[c + 1] += slab.rpts[c];
+        }
+        let local_nnz = slab.rpts[ncols];
+        slab.rows = vec![0 as ColIdx; local_nnz];
+        slab.src = vec![0usize; local_nnz];
+        let mut cursor = slab.rpts.clone();
+        for i in range {
+            let r = a.row_range(i);
+            for (off, &c) in a.cols()[r.clone()].iter().enumerate() {
+                let p = cursor[c as usize];
+                slab.rows[p] = i as ColIdx;
+                slab.src[p] = r.start + off;
+                cursor[c as usize] += 1;
+            }
+        }
+    });
+    let slabs: Vec<Slab> = slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slab slot poisoned"))
+        .collect();
+
+    // Phase 2: global output row pointers.
+    let mut rpts = vec![0usize; ncols + 1];
+    for c in 0..ncols {
+        rpts[c + 1] = rpts[c]
+            + slabs
+                .iter()
+                .map(|s| s.rpts[c + 1] - s.rpts[c])
+                .sum::<usize>();
+    }
+
+    // Phase 3: contiguous output-row (column) blocks balanced by
+    // output nnz; each worker owns disjoint `split_at_mut` chunks of
+    // the output arrays and gathers its columns slab-by-slab.
+    let mut col_offsets = Vec::with_capacity(nt + 1);
+    col_offsets.push(0usize);
+    for w in 1..nt {
+        let target = nnz * w / nt;
+        let c = rpts.partition_point(|&x| x < target).min(ncols);
+        col_offsets.push(c.max(col_offsets[w - 1]));
+    }
+    col_offsets.push(ncols);
+
+    let avals = a.vals();
+    let mut cols = vec![0 as ColIdx; nnz];
+    let mut vals = vec![avals[0]; nnz];
+    {
+        let mut rest_c: &mut [ColIdx] = &mut cols;
+        let mut rest_v: &mut [T] = &mut vals;
+        let mut chunks: Vec<Mutex<(&mut [ColIdx], &mut [T])>> = Vec::with_capacity(nt);
+        for w in 0..nt {
+            let here = rpts[col_offsets[w + 1]] - rpts[col_offsets[w]];
+            let (cc, cr) = std::mem::take(&mut rest_c).split_at_mut(here);
+            let (vc, vr) = std::mem::take(&mut rest_v).split_at_mut(here);
+            rest_c = cr;
+            rest_v = vr;
+            chunks.push(Mutex::new((cc, vc)));
+        }
+        pool.parallel_ranges(&col_offsets, |w, crange| {
+            let mut guard = chunks[w].lock().expect("chunk slot poisoned");
+            let (out_c, out_v) = &mut *guard;
+            let mut k = 0usize;
+            for c in crange {
+                for slab in &slabs {
+                    let seg = slab.rpts[c]..slab.rpts[c + 1];
+                    for (&row, &src) in slab.rows[seg.clone()].iter().zip(&slab.src[seg]) {
+                        out_c[k] = row;
+                        out_v[k] = avals[src];
+                        k += 1;
+                    }
+                }
+            }
+            debug_assert_eq!(k, out_c.len());
+        });
+    }
     Csr::from_parts_unchecked(ncols, nrows, rpts, cols, vals, true)
 }
 
@@ -472,6 +633,45 @@ pub fn hadamard<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Result<Csr<T>, SparseError
         vals,
         true,
     ))
+}
+
+/// Normalize each column of `a` to sum 1 (column-stochastic), leaving
+/// all-zero columns untouched. This is MCL's renormalization step
+/// (matrices here are row-major, so it is the "transposed" problem:
+/// each column's entries are scattered across rows). Structure is
+/// unchanged; only values move.
+pub fn normalize_columns(a: &Csr<f64>) -> Csr<f64> {
+    let (nr, nc, rpts, cols, mut vals, sorted) = a.clone().into_parts();
+    let mut colsum = Vec::new();
+    normalize_columns_values(nc, &cols, &mut vals, &mut colsum);
+    Csr::from_parts_unchecked(nr, nc, rpts, cols, vals, sorted)
+}
+
+/// The in-place value pass of [`normalize_columns`], over raw CSR
+/// arrays: sum each column (in storage order) into `colsum` — which is
+/// cleared and resized, so a caller-retained scratch makes repeated
+/// calls allocation-free — then divide every entry by its column's
+/// sum, skipping zero-sum columns. Exposed separately so fused
+/// pipeline epilogues (`spgemm::expr`) can renormalize a produced
+/// buffer without materializing a copy, byte-for-byte like the
+/// matrix-level function.
+pub fn normalize_columns_values(
+    ncols: usize,
+    cols: &[ColIdx],
+    vals: &mut [f64],
+    colsum: &mut Vec<f64>,
+) {
+    colsum.clear();
+    colsum.resize(ncols, 0.0);
+    for (&c, &v) in cols.iter().zip(vals.iter()) {
+        colsum[c as usize] += v;
+    }
+    for (v, &c) in vals.iter_mut().zip(cols) {
+        let s = colsum[c as usize];
+        if s != 0.0 {
+            *v /= s;
+        }
+    }
 }
 
 fn is_permutation(perm: &[ColIdx]) -> bool {
