@@ -23,6 +23,7 @@
 
 use spgemm::expr::{ElemMap, ExprCache, ExprCacheStats, ExprGraph, ExprPlan};
 use spgemm::Algorithm;
+use spgemm_obs as obs;
 use spgemm_par::Pool;
 use spgemm_sparse::{ops, Csr, SparseError};
 
@@ -157,12 +158,17 @@ pub fn mcl_step(
             ),
         });
     }
-    // expansion + inflation in one fused plan execution
+    // expansion + inflation in one fused plan execution (the expr
+    // layer traces its own bind/multiply/unary phases)
     pipe.cache
         .execute_into_in(&[a], &[], &mut pipe.expanded, pool)?;
-    let pruned = pipe.expanded.filter(|_, _, v| v >= params.prune_threshold);
-    let renorm = normalize_columns(&pruned);
+    let renorm = {
+        let _g = obs::span!("mcl", "mcl.prune");
+        let pruned = pipe.expanded.filter(|_, _, v| v >= params.prune_threshold);
+        normalize_columns(&pruned)
+    };
     // change metric: max |new - old| over the union of structures
+    let _g = obs::span!("mcl", "mcl.delta");
     let mut delta = 0.0f64;
     for i in 0..renorm.nrows() {
         for (&c, &v) in renorm.row_cols(i).iter().zip(renorm.row_vals(i)) {

@@ -1,0 +1,402 @@
+//! `spgemm-obs` — the instrumentation harness: proves the disabled
+//! path costs nothing, then enables tracing over a mixed MCL + serve
+//! workload and checks that the collected trace actually decomposes
+//! the run.
+//!
+//! Three parts:
+//!
+//! 1. **Disabled overhead.** With collection off, a span enter/exit is
+//!    one relaxed atomic load; this part times a million of them and
+//!    reports ns/op (`--smoke` asserts it stays far under a
+//!    microsecond). A plan-reuse loop (the fig04b shape) is timed with
+//!    collection off and on to show the enabled cost in context.
+//! 2. **MCL trace.** Runs MCL rounds under tracing and computes the
+//!    driver-thread span coverage of the run window — the share of
+//!    wall time the trace explains through `mcl.*`, `expr.*` and
+//!    `plan.*` phases (`--smoke` asserts ≥ 95%).
+//! 3. **Serve decomposition.** Drives a multi-tenant serve engine and
+//!    checks the per-tenant latency split: queue delay + service time
+//!    must reassemble total latency, and every tenant gets its own
+//!    p50/p99.
+//!
+//! The Chrome-format trace is written to `--trace PATH` (default: a
+//! file under the system temp dir) and loads directly into
+//! `chrome://tracing` or Perfetto.
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin spgemm-obs -- \
+//!     [--scale N] [--ef N] [--reps N] [--seed N] [--quick]
+//!     [--trace PATH] [--json PATH]
+//!     [--smoke]   # CI assertion run
+//! ```
+
+use spgemm::{Algorithm, OutputOrder, SpgemmPlan};
+use spgemm_apps::mcl::{mcl_step, MclParams, MclPipeline};
+use spgemm_bench::envinfo;
+use spgemm_obs as obs;
+use spgemm_serve::{Priority, ProductRequest, ServeConfig, ServeEngine};
+use spgemm_sparse::{ops, Csr, PlusTimes};
+use std::time::Instant;
+
+type P = PlusTimes<f64>;
+
+struct Args {
+    scale: u32,
+    ef: usize,
+    reps: usize,
+    seed: u64,
+    smoke: bool,
+    trace: Option<std::path::PathBuf>,
+    json: Option<std::path::PathBuf>,
+}
+
+fn num(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad number {s:?}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        scale: 0,
+        ef: 8,
+        reps: 0,
+        seed: 20180804,
+        smoke: false,
+        trace: None,
+        json: None,
+    };
+    let mut quick = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |what: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => out.scale = num(&take("--scale")) as u32,
+            "--ef" => out.ef = num(&take("--ef")),
+            "--reps" => out.reps = num(&take("--reps")).max(1),
+            "--seed" => out.seed = num(&take("--seed")) as u64,
+            "--trace" => out.trace = Some(take("--trace").into()),
+            "--json" => out.json = Some(take("--json").into()),
+            "--smoke" => out.smoke = true,
+            "--quick" => quick = true,
+            // Accepted for run_all flag forwarding; not used here.
+            "--threads" | "--divisor" | "--suitesparse" => {
+                let _ = take(flag.as_str());
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --scale N --ef N --reps N --seed N \
+                     --trace PATH --json PATH --smoke --quick"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if out.scale == 0 {
+        out.scale = if quick || out.smoke { 8 } else { 11 };
+    }
+    if out.reps == 0 {
+        out.reps = if quick || out.smoke { 6 } else { 12 };
+    }
+    out
+}
+
+/// The MCL input: symmetrized R-MAT graph with self-loops,
+/// column-normalized (same preparation as the `spgemm-expr` bench).
+fn mcl_matrix(scale: u32, ef: usize, seed: u64) -> Csr<f64> {
+    let mut rng = spgemm_gen::rng(seed);
+    let g = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, scale, ef, &mut rng);
+    let sym = ops::symmetrize_simple(&g).expect("square");
+    let with_loops = ops::add(&sym, &Csr::<f64>::identity(sym.nrows())).expect("shapes");
+    ops::normalize_columns(&with_loops)
+}
+
+/// Part 1: the disabled fast path, measured two ways — the bare span
+/// enter/exit, and a whole plan-reuse loop (which carries span
+/// callsites in its symbolic/numeric phases) off vs on.
+fn disabled_overhead(a: &Csr<f64>, reps: usize, pool: &spgemm_par::Pool) -> (f64, f64, f64) {
+    assert!(!obs::enabled(), "part 1 must run with collection off");
+
+    // Bare callsite cost when disabled: one relaxed load.
+    const ITERS: u64 = 1_000_000;
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        let _g = obs::span!("bench", "bench.disabled_probe");
+    }
+    let span_ns = t.elapsed().as_nanos() as f64 / ITERS as f64;
+
+    // Plan-reuse loop (fig04b shape: symbolic once, numeric per rep),
+    // collection off...
+    let plan =
+        SpgemmPlan::<P>::new_in(a, a, Algorithm::Hash, OutputOrder::Sorted, pool).expect("plan");
+    let mut c = Csr::zero(0, 0);
+    plan.execute_into_in(a, a, &mut c, pool).expect("warm");
+    let t = Instant::now();
+    for _ in 0..reps {
+        plan.execute_into_in(a, a, &mut c, pool).expect("execute");
+    }
+    let off_ms = t.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+    // ...and on (trace ring capacity 0: aggregates only, the cost of
+    // the clock reads and atomics without ring traffic).
+    obs::enable_with_capacity(0);
+    let t = Instant::now();
+    for _ in 0..reps {
+        plan.execute_into_in(a, a, &mut c, pool).expect("execute");
+    }
+    let on_ms = t.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    obs::disable();
+    obs::reset();
+
+    (span_ns, off_ms, on_ms)
+}
+
+struct MclTrace {
+    rounds: usize,
+    wall_ms: f64,
+    coverage: f64,
+    events: usize,
+    overwritten: u64,
+}
+
+/// Part 2: MCL rounds under tracing; coverage of the run window on
+/// the driver thread.
+fn traced_mcl(a: &Csr<f64>, reps: usize, pool: &spgemm_par::Pool) -> MclTrace {
+    let params = MclParams::default();
+    let mut pipe = MclPipeline::new(&params);
+
+    obs::enable();
+    let tid = obs::current_tid();
+    let window_start = obs::now_ns();
+    let t = Instant::now();
+    let mut m = a.clone();
+    let mut rounds = 0usize;
+    for _ in 0..reps {
+        // Top-level round phase; the expr/plan/mcl layers nest their
+        // own spans inside it.
+        let _g = obs::span!("bench", "mcl.round");
+        let (next, delta) = mcl_step(&m, &params, &mut pipe, pool).expect("mcl step");
+        m = next;
+        rounds += 1;
+        if delta < params.tolerance {
+            break;
+        }
+    }
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let window_end = obs::now_ns();
+    obs::disable();
+
+    let events = obs::trace_events();
+    let coverage = obs::span_coverage(&events, tid, window_start, window_end);
+    MclTrace {
+        rounds,
+        wall_ms,
+        coverage,
+        events: events.len(),
+        overwritten: obs::trace_overwritten(),
+    }
+}
+
+/// Part 3: a mixed-tenant serve run; returns the engine's final
+/// snapshot. Tracing stays on so serve spans land in the same trace.
+fn serve_workload(seed: u64, smoke: bool) -> spgemm_serve::MetricsSnapshot {
+    obs::enable();
+    let engine = ServeEngine::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+
+    // Three tenants with different matrix sizes → visibly different
+    // latency profiles.
+    let mut rng = spgemm_gen::rng(seed ^ 0x5e12);
+    let scales: &[(&str, u32)] = &[("mcl", 8), ("amg", 7), ("adhoc", 6)];
+    for &(tenant, scale) in scales {
+        let g = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, scale, 8, &mut rng);
+        let sym = ops::symmetrize_simple(&g).expect("square");
+        engine.store().insert(format!("{tenant}/m"), sym);
+    }
+
+    let per_tenant = if smoke { 12 } else { 40 };
+    let mut handles = Vec::new();
+    for round in 0..per_tenant {
+        for &(tenant, _) in scales {
+            let name = format!("{tenant}/m");
+            let req =
+                ProductRequest::new(&name, &name)
+                    .tenant(tenant)
+                    .priority(if round % 4 == 0 {
+                        Priority::High
+                    } else {
+                        Priority::Normal
+                    });
+            match engine.try_submit(req) {
+                Ok(h) => handles.push(h),
+                Err(e) => panic!("submit failed for {tenant}: {e:?}"),
+            }
+        }
+    }
+    for h in &handles {
+        h.wait().expect("job result");
+    }
+    let snap = engine.shutdown();
+    obs::disable();
+    snap
+}
+
+fn fmt_summary(s: &spgemm_serve::LatencySummary) -> String {
+    format!(
+        "n={:<4} mean {:>8.3} ms  p50 {:>8.3}  p99 {:>8.3}  max {:>8.3}",
+        s.count, s.mean_ms, s.p50_ms, s.p99_ms, s.max_ms
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let pool = spgemm_par::global_pool();
+    println!(
+        "spgemm-obs: tracing + metrics harness (scale {}, ef {}, reps {}, {} threads)",
+        args.scale,
+        args.ef,
+        args.reps,
+        pool.nthreads()
+    );
+    print!("{}", envinfo::environment_banner(pool.nthreads()));
+
+    let a = mcl_matrix(args.scale, args.ef, args.seed);
+    println!(
+        "\nworkload: MCL on {}x{} column-stochastic graph, {} nnz",
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    );
+
+    // --- part 1: disabled path ---
+    let (span_ns, off_ms, on_ms) = disabled_overhead(&a, args.reps, pool);
+    println!("\n[1] disabled-path overhead");
+    println!("    span enter/exit, collection off: {span_ns:.2} ns/op");
+    println!("    plan-reuse loop, collection off: {off_ms:.3} ms/iter");
+    println!(
+        "    plan-reuse loop, aggregates on:  {on_ms:.3} ms/iter  ({:+.1}%)",
+        (on_ms / off_ms - 1.0) * 100.0
+    );
+
+    // --- part 2: traced MCL ---
+    let mcl = traced_mcl(&a, args.reps, pool);
+    println!("\n[2] traced MCL run");
+    println!(
+        "    {} rounds in {:.1} ms, {} trace events ({} overwritten)",
+        mcl.rounds, mcl.wall_ms, mcl.events, mcl.overwritten
+    );
+    println!(
+        "    driver-thread span coverage of the run window: {:.1}%",
+        mcl.coverage * 100.0
+    );
+
+    // --- part 3: serve decomposition (spans land in the same trace) ---
+    let snap = serve_workload(args.seed, args.smoke);
+    println!("\n[3] serve latency decomposition");
+    println!("    total    {}", fmt_summary(&snap.latency));
+    println!("    queued   {}", fmt_summary(&snap.queue_delay));
+    println!("    service  {}", fmt_summary(&snap.service));
+    for t in &snap.per_tenant {
+        println!("    tenant {:<8} {}", t.tenant, fmt_summary(&t.latency));
+    }
+
+    // --- exports ---
+    println!("\n{}", obs::text_report());
+    let trace = obs::chrome_trace();
+    let trace_path = args
+        .trace
+        .clone()
+        .unwrap_or_else(|| std::env::temp_dir().join("spgemm-obs-trace.json"));
+    match std::fs::write(&trace_path, &trace) {
+        Ok(()) => println!(
+            "chrome trace: {} ({} KiB) — load in chrome://tracing or Perfetto",
+            trace_path.display(),
+            trace.len() / 1024
+        ),
+        Err(e) => eprintln!("could not write trace to {}: {e}", trace_path.display()),
+    }
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\"env\":{},\"mcl\":{{\"rounds\":{},\"wall_ms\":{:.3},\
+             \"coverage\":{:.4},\"events\":{}}},\
+             \"serve\":{{\"completed\":{},\"tenants\":{}}}}}\n",
+            envinfo::envinfo_json(pool.nthreads()),
+            mcl.rounds,
+            mcl.wall_ms,
+            mcl.coverage,
+            mcl.events,
+            snap.completed,
+            snap.per_tenant.len()
+        );
+        match std::fs::write(path, json) {
+            Ok(()) => println!("json summary: {}", path.display()),
+            Err(e) => eprintln!("could not write json to {}: {e}", path.display()),
+        }
+    }
+
+    if args.smoke {
+        // Disabled path: far under a microsecond per callsite (the
+        // real bound is single-digit ns; 250 leaves room for noisy
+        // shared runners).
+        assert!(
+            span_ns < 250.0,
+            "disabled span enter/exit too expensive: {span_ns:.1} ns/op"
+        );
+        // Trace must decompose the MCL window.
+        assert!(
+            mcl.overwritten == 0,
+            "smoke trace must fit the ring ({} overwritten)",
+            mcl.overwritten
+        );
+        assert!(
+            mcl.coverage >= 0.95,
+            "trace coverage {:.1}% < 95% of the MCL window",
+            mcl.coverage * 100.0
+        );
+        // Serve: exactly-once delivery, full decomposition, per-tenant
+        // quantiles.
+        assert_eq!(snap.duplicate_completions, 0, "duplicate completions");
+        assert_eq!(snap.failed, 0, "failed jobs");
+        let sum = snap.queue_delay.mean_ms + snap.service.mean_ms;
+        assert!(
+            (snap.latency.mean_ms - sum).abs() <= 1e-6 + snap.latency.mean_ms * 1e-3,
+            "queue ({:.4}) + service ({:.4}) must reassemble total ({:.4})",
+            snap.queue_delay.mean_ms,
+            snap.service.mean_ms,
+            snap.latency.mean_ms
+        );
+        assert_eq!(snap.per_tenant.len(), 3, "one row per tenant");
+        for t in &snap.per_tenant {
+            assert!(t.latency.count > 0, "{}: empty tenant row", t.tenant);
+            assert!(t.latency.p50_ms > 0.0, "{}: zero p50", t.tenant);
+            assert!(
+                t.latency.p99_ms >= t.latency.p50_ms,
+                "{}: p99 < p50",
+                t.tenant
+            );
+        }
+        // The trace export must be well-formed Chrome JSON with the
+        // serve spans in it.
+        assert!(trace.starts_with("{\"traceEvents\":[") && trace.ends_with("]}"));
+        assert!(trace.contains("\"serve.batch\""), "serve spans missing");
+        assert!(trace.contains("\"mcl.round\""), "mcl spans missing");
+        println!(
+            "smoke OK: disabled path {span_ns:.1} ns/op, coverage {:.1}%, \
+             queue+service == total across {} tenants",
+            mcl.coverage * 100.0,
+            snap.per_tenant.len()
+        );
+    }
+}

@@ -27,6 +27,7 @@ const BINARIES: &[&str] = &[
     "table04_recipe",
     "spgemm-dist",
     "spgemm-expr",
+    "spgemm-obs",
 ];
 
 fn main() {

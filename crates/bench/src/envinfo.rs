@@ -16,7 +16,58 @@ pub fn environment_banner(pool_threads: usize) -> String {
     let _ = writeln!(s, "#   pool threads: {pool_threads}");
     let _ = writeln!(s, "#   simd probing: {}", detected_simd());
     let _ = writeln!(s, "#   memory: {}", memory_summary());
+    let _ = writeln!(s, "#   commit: {}", git_commit());
+    let _ = writeln!(
+        s,
+        "#   tracing: {}",
+        if spgemm_obs::enabled() {
+            "enabled"
+        } else {
+            "disabled"
+        }
+    );
     s
+}
+
+/// The short git commit this binary was run from, so saved bench
+/// output stays attributable. Honors `SPGEMM_GIT_COMMIT` (set it when
+/// running outside a checkout), then asks `git`; `"unknown"` when
+/// neither works.
+pub fn git_commit() -> String {
+    if let Ok(c) = std::env::var("SPGEMM_GIT_COMMIT") {
+        let c = c.trim().to_string();
+        if !c.is_empty() {
+            return c;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The environment stamp as a JSON object fragment, for embedding in
+/// machine-readable bench output (`--json` files). Keys: `arch`,
+/// `os`, `hardware_threads`, `pool_threads`, `simd`, `commit`,
+/// `tracing_enabled`.
+pub fn envinfo_json(pool_threads: usize) -> String {
+    format!(
+        "{{\"arch\":\"{}\",\"os\":\"{}\",\"hardware_threads\":{},\
+         \"pool_threads\":{},\"simd\":\"{}\",\"commit\":\"{}\",\
+         \"tracing_enabled\":{}}}",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        spgemm_par::hardware_threads(),
+        pool_threads,
+        detected_simd(),
+        git_commit().replace('"', ""),
+        spgemm_obs::enabled()
+    )
 }
 
 /// Best SIMD level the HashVector kernel will use here.
@@ -59,5 +110,21 @@ mod tests {
     #[test]
     fn simd_name_is_known() {
         assert!(["avx512", "avx2", "scalar"].contains(&super::detected_simd()));
+    }
+
+    #[test]
+    fn banner_stamps_commit_and_tracing() {
+        let b = super::environment_banner(1);
+        assert!(b.contains("commit: "));
+        assert!(b.contains("tracing: "));
+    }
+
+    #[test]
+    fn json_stamp_is_wellformed_fragment() {
+        let j = super::envinfo_json(3);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"pool_threads\":3"));
+        assert!(j.contains("\"commit\":\""));
+        assert!(j.contains("\"tracing_enabled\":"));
     }
 }

@@ -31,6 +31,7 @@
 
 use crate::expr::graph::{fnv64 as fnv, ElemMap, ExprGraph, ExprOp, NodeId};
 use crate::{Algorithm, OutputOrder, SpgemmPlan};
+use spgemm_obs as obs;
 use spgemm_par::{Pool, WorkspaceStats};
 use spgemm_sparse::{ops, ColIdx, Csr, PlusTimes, SparseError};
 
@@ -374,6 +375,7 @@ impl ExprPlan {
         vecs: &[&[f64]],
         pool: &Pool,
     ) -> Result<(), SparseError> {
+        let _g = obs::span!("expr", "expr.bind");
         let algo = self.algo;
         for i in 0..self.graph.len() {
             if !self.needed[i] {
@@ -457,6 +459,17 @@ impl ExprPlan {
                 }
             };
             self.states[i] = state;
+        }
+        // Fusion-savings census: how many elementwise nodes this bind
+        // folded into their producers, and the buffer bytes that
+        // never materialized because of it.
+        if obs::enabled() {
+            static FUSED_NODES: obs::CounterSite =
+                obs::CounterSite::new("expr", "expr.fused_nodes");
+            static FUSED_BYTES: obs::CounterSite =
+                obs::CounterSite::new("expr", "expr.fused_bytes_eliminated");
+            FUSED_NODES.add(self.fused_nodes() as u64);
+            FUSED_BYTES.add(self.fused_bytes_eliminated() as u64);
         }
         Ok(())
     }
@@ -620,16 +633,19 @@ impl ExprPlan {
             match &mut self.states[i] {
                 NodeState::Skipped | NodeState::Input => {}
                 NodeState::Multiply { a, b, plan } => {
+                    let _g = obs::span!("expr", "expr.multiply");
                     let (ar, br) = (resolve(*a, inputs, head), resolve(*b, inputs, head));
                     plan.execute_into_in(ar, br, &mut tail[0], pool)?;
                 }
                 NodeState::Transpose { a, val_order } => {
+                    let _g = obs::span!("expr", "expr.transpose");
                     let av = resolve(*a, inputs, head).vals();
                     for (dst, &s) in tail[0].raw_parts_mut().2.iter_mut().zip(&*val_order) {
                         *dst = av[s];
                     }
                 }
                 NodeState::Add { a, b, a_src, b_src } => {
+                    let _g = obs::span!("expr", "expr.add");
                     let (av, bv) = (
                         resolve(*a, inputs, head).vals(),
                         resolve(*b, inputs, head).vals(),
@@ -647,6 +663,7 @@ impl ExprPlan {
                     }
                 }
                 NodeState::Hadamard { a, b, a_idx, b_idx } => {
+                    let _g = obs::span!("expr", "expr.hadamard");
                     let (av, bv) = (
                         resolve(*a, inputs, head).vals(),
                         resolve(*b, inputs, head).vals(),
@@ -657,6 +674,7 @@ impl ExprPlan {
                     }
                 }
                 NodeState::Unary { a, kind, fused } => {
+                    let _g = obs::span!("expr", "expr.unary");
                     if *fused {
                         let ValueLoc::Buf(owner) = *a else {
                             unreachable!("fused unary over an input")

@@ -44,6 +44,7 @@ use crate::algos::spa::SpaAccumulator;
 use crate::exec::{self, AccumReq, MultiplyStats, ReusableAccumulator, StagedRowKernel};
 use crate::{recipe, Algorithm, OutputOrder};
 use parking_lot::Mutex;
+use spgemm_obs as obs;
 use spgemm_par::{scan, unsync::SharedMutSlice, Pool, WorkspacePool, WorkspaceStats};
 use spgemm_sparse::{ColIdx, Csr, Semiring, SparseError};
 use std::sync::Arc;
@@ -302,6 +303,7 @@ impl<S: Semiring> SpgemmPlan<S> {
         order: OutputOrder,
         pool: &Pool,
     ) -> Result<(Algorithm, MultiplyStats), SparseError> {
+        let _g = obs::span!("plan", "plan.analyze");
         if a.ncols() != b.nrows() {
             return Err(SparseError::ShapeMismatch {
                 left: a.shape(),
@@ -352,6 +354,7 @@ impl<S: Semiring> SpgemmPlan<S> {
         b: &Csr<S::Elem>,
         pool: &Pool,
     ) -> Result<(), SparseError> {
+        let _g = obs::span!("plan", "plan.rebind");
         let (resolved, stats) = Self::analyze(a, b, self.requested, self.order, pool)?;
         if resolved != self.algo || pool.nthreads() != self.nthreads {
             // The workspace pool holds the wrong accumulator type (or
@@ -610,6 +613,7 @@ impl<S: Semiring> SpgemmPlan<S> {
     /// The symbolic pass over the planned partition, with pooled
     /// accumulators.
     fn run_symbolic(&self, a: &Csr<S::Elem>, b: &Csr<S::Elem>, pool: &Pool) -> SymbolicPlan {
+        let _g = obs::span!("plan", "plan.symbolic");
         with_kernel!(self, a, b, |ws, make| symbolic_pass::<S, _, _>(
             ws,
             make,
@@ -631,6 +635,8 @@ impl<S: Semiring> SpgemmPlan<S> {
         cols: &mut [ColIdx],
         vals: &mut [S::Elem],
     ) {
+        let _g = obs::span!("plan", "plan.numeric");
+        count_execute(self.algo);
         let sorted = self.output_is_sorted();
         with_kernel!(self, a, b, |ws, make| numeric_pass::<S, _, _>(
             ws,
@@ -651,6 +657,8 @@ impl<S: Semiring> SpgemmPlan<S> {
     /// multiplies, but drawing its per-thread kernels from the plan's
     /// workspace pool so later numeric passes reuse them.
     fn run_staged(&self, a: &Csr<S::Elem>, b: &Csr<S::Elem>, pool: &Pool) -> Csr<S::Elem> {
+        let _g = obs::span!("plan", "plan.staged");
+        count_execute(self.algo);
         match &self.kernel {
             PlanKernel::Heap(ws) => {
                 staged_pass::<S, _, _>(ws, |_| HeapKernel::new(), a, b, &self.stats, pool, true)
@@ -666,6 +674,35 @@ impl<S: Semiring> SpgemmPlan<S> {
             ),
             _ => unreachable!("only one-phase kernels defer their first run"),
         }
+    }
+}
+
+/// Per-algorithm execution counters (`plan/plan.exec.*`): one bump
+/// per numeric or staged pass, keyed by the plan's *resolved* kernel
+/// — the runtime census behind per-kernel profiles (paper fig15).
+fn count_execute(algo: Algorithm) {
+    if !obs::enabled() {
+        return;
+    }
+    macro_rules! site {
+        ($name:literal) => {{
+            static SITE: obs::CounterSite = obs::CounterSite::new("plan", $name);
+            SITE.incr()
+        }};
+    }
+    match algo {
+        Algorithm::Hash => site!("plan.exec.hash"),
+        Algorithm::HashVec => site!("plan.exec.hashvec"),
+        Algorithm::Heap => site!("plan.exec.heap"),
+        Algorithm::Spa => site!("plan.exec.spa"),
+        Algorithm::Merge => site!("plan.exec.merge"),
+        Algorithm::Inspector => site!("plan.exec.inspector"),
+        Algorithm::KkHash => site!("plan.exec.kkhash"),
+        Algorithm::Ikj => site!("plan.exec.ikj"),
+        Algorithm::Reference => site!("plan.exec.reference"),
+        // plans always carry a resolved kernel; `Auto` cannot reach
+        // an execute, but count it rather than panic if it ever does
+        Algorithm::Auto => site!("plan.exec.auto"),
     }
 }
 

@@ -36,6 +36,7 @@ use crate::merge::merge_add;
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use spgemm::{Algorithm, OutputOrder, PlanCache};
+use spgemm_obs as obs;
 use spgemm_par::{partition, Pool};
 use spgemm_sparse::partitioned::column_nnz;
 use spgemm_sparse::{stats, Csr, PartitionedCsr, PlusTimes, SparseError};
@@ -155,6 +156,11 @@ pub struct ProductStats {
     /// row-major shard order. Input blocks are not counted: they are
     /// operand storage, not workspace.
     pub per_shard_peak_partial_bytes: Vec<u64>,
+    /// Nanoseconds each shard spent in its stage multiplies during
+    /// this product (flat row-major shard order) — the number behind
+    /// [`ProductStats::compute_imbalance`]. Always measured: two clock
+    /// reads per stage against a multiply.
+    pub per_shard_compute_ns: Vec<u64>,
     /// Plan-cache hits summed over all shards and stages, cumulative
     /// since the runtime started. A stable structure re-executed `k`
     /// times shows `shards × stages × (k - 1)` hits.
@@ -174,6 +180,23 @@ impl ProductStats {
             .copied()
             .max()
             .unwrap_or(0)
+    }
+
+    /// Compute-time imbalance across shards: slowest shard over the
+    /// mean (`1.0` = perfectly balanced; `2.0` = the critical shard
+    /// worked twice the average). `0.0` when nothing was measured.
+    pub fn compute_imbalance(&self) -> f64 {
+        let n = self.per_shard_compute_ns.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let max = *self.per_shard_compute_ns.iter().max().unwrap() as f64;
+        let mean = self.per_shard_compute_ns.iter().sum::<u64>() as f64 / n as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
     }
 }
 
@@ -220,6 +243,7 @@ enum ShardMsg {
 struct ShardOutput {
     block: Csr<f64>,
     peak_partial_bytes: u64,
+    compute_ns: u64,
     plan_hits: u64,
     plan_rebuilds: u64,
 }
@@ -357,37 +381,43 @@ impl ShardRuntime {
         // selection depends only on operand *structure*, so iterative
         // workloads (values drift, pattern stable) reuse the cached
         // cuts and skip the weight scans entirely.
-        let a_sig = a.structure_fingerprint();
-        let b_sig = if std::ptr::eq(a, b) {
-            a_sig
-        } else {
-            b.structure_fingerprint()
-        };
-        let reusable = guard
-            .cuts
-            .as_ref()
-            .is_some_and(|c| c.a_sig == a_sig && c.b_sig == b_sig);
-        if !reusable {
-            let pool = &guard.pool;
-            let cache = CutCache {
-                a_sig,
-                b_sig,
-                row_cuts: partition::balanced_offsets(&stats::row_flops(a, b), grid_rows, pool),
-                stage_cuts: Arc::new(partition::balanced_offsets(
-                    &row_nnz_weights(b),
-                    stages,
-                    pool,
-                )),
-                col_cuts: partition::balanced_offsets(&column_nnz(b), grid_cols, pool),
+        let (row_cuts, stage_cuts, col_cuts) = {
+            let _g = obs::span!("dist", "dist.partition");
+            let a_sig = a.structure_fingerprint();
+            let b_sig = if std::ptr::eq(a, b) {
+                a_sig
+            } else {
+                b.structure_fingerprint()
             };
-            guard.cuts = Some(cache);
-        }
-        let cuts = guard.cuts.as_ref().expect("cuts installed above");
-        let row_cuts = cuts.row_cuts.clone();
-        let stage_cuts = Arc::clone(&cuts.stage_cuts);
-        let col_cuts = cuts.col_cuts.clone();
+            let reusable = guard
+                .cuts
+                .as_ref()
+                .is_some_and(|c| c.a_sig == a_sig && c.b_sig == b_sig);
+            if !reusable {
+                let pool = &guard.pool;
+                let cache = CutCache {
+                    a_sig,
+                    b_sig,
+                    row_cuts: partition::balanced_offsets(&stats::row_flops(a, b), grid_rows, pool),
+                    stage_cuts: Arc::new(partition::balanced_offsets(
+                        &row_nnz_weights(b),
+                        stages,
+                        pool,
+                    )),
+                    col_cuts: partition::balanced_offsets(&column_nnz(b), grid_cols, pool),
+                };
+                guard.cuts = Some(cache);
+            }
+            let cuts = guard.cuts.as_ref().expect("cuts installed above");
+            (
+                cuts.row_cuts.clone(),
+                Arc::clone(&cuts.stage_cuts),
+                cuts.col_cuts.clone(),
+            )
+        };
 
         // --- scatter A, then pipeline B's stages ---------------------------
+        let scatter_span = obs::span!("dist", "dist.scatter");
         for r in 0..grid_rows {
             let a_block = Arc::new(a.extract_rows(row_cuts[r]..row_cuts[r + 1]));
             for c in 0..grid_cols {
@@ -423,30 +453,37 @@ impl ShardRuntime {
             }
         }
 
+        drop(scatter_span);
+
         // --- gather --------------------------------------------------------
         let shards = self.cfg.grid.shards();
         let mut blocks: Vec<Option<Csr<f64>>> = (0..shards).map(|_| None).collect();
         let mut peaks = vec![0u64; shards];
+        let mut compute_ns = vec![0u64; shards];
         let (mut hits, mut rebuilds) = (0u64, 0u64);
         let mut first_err: Option<DistError> = None;
         let mut collected = 0usize;
-        while collected < shards {
-            let done = self.result_rx.recv().map_err(|_| DistError::ShardFailed {
-                shard: usize::MAX,
-                detail: "result channel severed (every shard thread died)".into(),
-            })?;
-            if done.epoch != epoch {
-                continue; // straggler from an aborted earlier product
-            }
-            collected += 1;
-            match done.result {
-                Ok(out) => {
-                    peaks[done.shard] = out.peak_partial_bytes;
-                    hits += out.plan_hits;
-                    rebuilds += out.plan_rebuilds;
-                    blocks[done.shard] = Some(out.block);
+        {
+            let _g = obs::span!("dist", "dist.gather");
+            while collected < shards {
+                let done = self.result_rx.recv().map_err(|_| DistError::ShardFailed {
+                    shard: usize::MAX,
+                    detail: "result channel severed (every shard thread died)".into(),
+                })?;
+                if done.epoch != epoch {
+                    continue; // straggler from an aborted earlier product
                 }
-                Err(e) => first_err = first_err.or(Some(e)),
+                collected += 1;
+                match done.result {
+                    Ok(out) => {
+                        peaks[done.shard] = out.peak_partial_bytes;
+                        compute_ns[done.shard] = out.compute_ns;
+                        hits += out.plan_hits;
+                        rebuilds += out.plan_rebuilds;
+                        blocks[done.shard] = Some(out.block);
+                    }
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
             }
         }
         if let Some(e) = first_err {
@@ -456,9 +493,12 @@ impl ShardRuntime {
             .into_iter()
             .map(|b| b.expect("all gathered"))
             .collect();
-        let c = PartitionedCsr::from_blocks(row_cuts, col_cuts, blocks)
-            .map_err(DistError::from)?
-            .assemble();
+        let c = {
+            let _g = obs::span!("dist", "dist.assemble");
+            PartitionedCsr::from_blocks(row_cuts, col_cuts, blocks)
+                .map_err(DistError::from)?
+                .assemble()
+        };
         {
             let mut stats = self.stats.lock();
             stats.products += 1;
@@ -469,6 +509,7 @@ impl ShardRuntime {
             grid: self.cfg.grid,
             stages,
             per_shard_peak_partial_bytes: peaks,
+            per_shard_compute_ns: compute_ns,
             plan_hits: hits,
             plan_rebuilds: rebuilds,
         };
@@ -615,31 +656,46 @@ fn run_product(
     let mut partials: Vec<Csr<f64>> = Vec::with_capacity(stages);
     let mut live_bytes = 0u64;
     let mut peak = 0u64;
+    let mut compute_ns = 0u64;
+    // Per-stage shard compute times (enabled runs only): the raw
+    // samples behind the coordinator's imbalance figure.
+    static STAGE_COMPUTE: obs::HistogramSite =
+        obs::HistogramSite::new("dist", "dist.shard.stage_compute_ns");
     for s in 0..stages {
         // Wait for this epoch's stage `s`, discarding stragglers of
         // aborted epochs; a fresh `Begin` means the coordinator gave
         // this epoch up and moved on.
-        let block = loop {
-            match rx.recv() {
-                Ok(ShardMsg::Stage {
-                    epoch: e,
-                    stage,
-                    block,
-                }) if e == epoch => {
-                    debug_assert_eq!(stage, s, "stages arrive in order per shard");
-                    break block;
+        let block = {
+            let _g = obs::span!("dist", "dist.shard.wait");
+            loop {
+                match rx.recv() {
+                    Ok(ShardMsg::Stage {
+                        epoch: e,
+                        stage,
+                        block,
+                    }) if e == epoch => {
+                        debug_assert_eq!(stage, s, "stages arrive in order per shard");
+                        break block;
+                    }
+                    Ok(ShardMsg::Stage { .. }) => continue,
+                    Ok(ShardMsg::Begin { epoch, job }) => {
+                        return ProductOutcome::Preempted { epoch, job }
+                    }
+                    Ok(ShardMsg::Shutdown) | Err(_) => return ProductOutcome::Exit,
                 }
-                Ok(ShardMsg::Stage { .. }) => continue,
-                Ok(ShardMsg::Begin { epoch, job }) => {
-                    return ProductOutcome::Preempted { epoch, job }
-                }
-                Ok(ShardMsg::Shutdown) | Err(_) => return ProductOutcome::Exit,
             }
         };
-        let partial = match plan_caches[s].multiply_in(&a_stages[s], &block, pool) {
-            Ok(p) => p,
-            Err(e) => return ProductOutcome::Finished(Err(e.into())),
+        let stage_start = std::time::Instant::now();
+        let partial = {
+            let _g = obs::span!("dist", "dist.shard.compute");
+            match plan_caches[s].multiply_in(&a_stages[s], &block, pool) {
+                Ok(p) => p,
+                Err(e) => return ProductOutcome::Finished(Err(e.into())),
+            }
         };
+        let stage_ns = stage_start.elapsed().as_nanos() as u64;
+        compute_ns += stage_ns;
+        STAGE_COMPUTE.record(stage_ns);
         live_bytes += csr_bytes(&partial);
         peak = peak.max(live_bytes);
         partials.push(partial);
@@ -650,6 +706,7 @@ fn run_product(
     let block = if partials.len() == 1 {
         partials.pop().expect("one partial")
     } else {
+        let _g = obs::span!("dist", "dist.shard.merge");
         match merge_add(&partials, pool) {
             Ok(merged) => {
                 // During the merge the partials and the merged block
@@ -665,6 +722,7 @@ fn run_product(
     ProductOutcome::Finished(Ok(ShardOutput {
         block,
         peak_partial_bytes: peak,
+        compute_ns,
         plan_hits,
         plan_rebuilds,
     }))

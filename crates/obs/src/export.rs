@@ -1,0 +1,374 @@
+//! Exporters over the global registry: text report, JSON snapshot,
+//! Chrome `trace_event` JSON, and the span-coverage helper.
+
+use crate::ring::TraceEvent;
+use crate::site::{lock, REGISTRY};
+use crate::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// Aggregates of one span callsite.
+#[derive(Clone, Debug)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: &'static str,
+    /// Span category (layer).
+    pub cat: &'static str,
+    /// Completed occurrences.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single occurrence, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Value of one counter callsite.
+#[derive(Clone, Debug)]
+pub struct CounterStat {
+    /// Counter name.
+    pub name: &'static str,
+    /// Counter category (layer).
+    pub cat: &'static str,
+    /// Current value.
+    pub value: u64,
+}
+
+/// Snapshot of one histogram callsite.
+#[derive(Clone, Debug)]
+pub struct HistogramStat {
+    /// Histogram name.
+    pub name: &'static str,
+    /// Histogram category (layer).
+    pub cat: &'static str,
+    /// The histogram's current state.
+    pub snapshot: HistogramSnapshot,
+}
+
+/// Every registered span's aggregates, sorted by `(cat, name)`.
+pub fn span_stats() -> Vec<SpanStat> {
+    let mut out: Vec<SpanStat> = lock(&REGISTRY.spans)
+        .iter()
+        .map(|s| {
+            let (count, total_ns, max_ns) = s.totals();
+            SpanStat {
+                name: s.name(),
+                cat: s.cat(),
+                count,
+                total_ns,
+                max_ns,
+            }
+        })
+        .collect();
+    out.sort_by_key(|s| (s.cat, s.name));
+    out
+}
+
+/// Every registered counter's value, sorted by `(cat, name)`.
+pub fn counter_stats() -> Vec<CounterStat> {
+    let mut out: Vec<CounterStat> = lock(&REGISTRY.counters)
+        .iter()
+        .map(|c| CounterStat {
+            name: c.name(),
+            cat: c.cat(),
+            value: c.value(),
+        })
+        .collect();
+    out.sort_by_key(|c| (c.cat, c.name));
+    out
+}
+
+/// Every registered histogram site's snapshot, sorted by
+/// `(cat, name)`.
+pub fn histogram_stats() -> Vec<HistogramStat> {
+    let mut out: Vec<HistogramStat> = lock(&REGISTRY.hists)
+        .iter()
+        .map(|h| HistogramStat {
+            name: h.name(),
+            cat: h.cat(),
+            snapshot: h.snapshot(),
+        })
+        .collect();
+    out.sort_by_key(|h| (h.cat, h.name));
+    out
+}
+
+/// Human-readable report over every registered site: per-span count,
+/// total, mean and max; counters; histogram quantiles.
+pub fn text_report() -> String {
+    let mut out = String::new();
+    let spans = span_stats();
+    if !spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>10} {:>12} {:>11} {:>11}",
+            "span", "count", "total ms", "mean us", "max us"
+        );
+        for s in &spans {
+            let mean_us = if s.count == 0 {
+                0.0
+            } else {
+                s.total_ns as f64 / s.count as f64 / 1e3
+            };
+            let _ = writeln!(
+                out,
+                "{:<34} {:>10} {:>12.3} {:>11.2} {:>11.2}",
+                format!("{}/{}", s.cat, s.name),
+                s.count,
+                s.total_ns as f64 / 1e6,
+                mean_us,
+                s.max_ns as f64 / 1e3,
+            );
+        }
+    }
+    let counters = counter_stats();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "{:<34} {:>10}", "counter", "value");
+        for c in &counters {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>10}",
+                format!("{}/{}", c.cat, c.name),
+                c.value
+            );
+        }
+    }
+    let hists = histogram_stats();
+    if !hists.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>10} {:>11} {:>11} {:>11}",
+            "histogram", "count", "p50", "p99", "max"
+        );
+        for h in &hists {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>10} {:>11} {:>11} {:>11}",
+                format!("{}/{}", h.cat, h.name),
+                h.snapshot.count,
+                h.snapshot.quantile(0.50),
+                h.snapshot.quantile(0.99),
+                h.snapshot.max,
+            );
+        }
+    }
+    let dropped = crate::trace_overwritten();
+    if dropped > 0 {
+        let _ = writeln!(out, "trace events overwritten: {dropped}");
+    }
+    if out.is_empty() {
+        out.push_str("(no instrumentation recorded)\n");
+    }
+    out
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// JSON snapshot of every registered span, counter and histogram —
+/// hand-rolled (the crate is dependency-free), machine-parseable.
+pub fn json_snapshot() -> String {
+    let mut out = String::from("{\"spans\":[");
+    for (i, s) in span_stats().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"cat\":\"");
+        json_escape(s.cat, &mut out);
+        out.push_str("\",\"name\":\"");
+        json_escape(s.name, &mut out);
+        let _ = write!(
+            out,
+            "\",\"count\":{},\"total_ns\":{},\"max_ns\":{}}}",
+            s.count, s.total_ns, s.max_ns
+        );
+    }
+    out.push_str("],\"counters\":[");
+    for (i, c) in counter_stats().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"cat\":\"");
+        json_escape(c.cat, &mut out);
+        out.push_str("\",\"name\":\"");
+        json_escape(c.name, &mut out);
+        let _ = write!(out, "\",\"value\":{}}}", c.value);
+    }
+    out.push_str("],\"histograms\":[");
+    for (i, h) in histogram_stats().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"cat\":\"");
+        json_escape(h.cat, &mut out);
+        out.push_str("\",\"name\":\"");
+        json_escape(h.name, &mut out);
+        let _ = write!(
+            out,
+            "\",\"count\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{}}}",
+            h.snapshot.count,
+            h.snapshot.min,
+            h.snapshot.max,
+            h.snapshot.mean(),
+            h.snapshot.quantile(0.50),
+            h.snapshot.quantile(0.99),
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"trace_overwritten\":{}}}",
+        crate::trace_overwritten()
+    );
+    out
+}
+
+/// The retained trace as Chrome `trace_event` JSON — save to a file
+/// and load in `chrome://tracing` or <https://ui.perfetto.dev>.
+/// Events are complete (`"ph":"X"`) with microsecond timestamps.
+pub fn chrome_trace() -> String {
+    let events = crate::trace_events();
+    let mut out = String::with_capacity(events.len() * 96 + 32);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        json_escape(e.name, &mut out);
+        out.push_str("\",\"cat\":\"");
+        json_escape(e.cat, &mut out);
+        let _ = write!(
+            out,
+            "\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+            e.start_ns as f64 / 1e3,
+            e.dur_ns as f64 / 1e3,
+            e.tid
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Fraction of the window `[window_start_ns, window_end_ns)` covered
+/// by the union of `events` on thread `tid` (events clipped to the
+/// window; nested/overlapping spans count once). This is the number
+/// the `spgemm-obs` bench asserts ≥ 0.95: the share of wall time the
+/// trace decomposes into known phases.
+pub fn span_coverage(
+    events: &[TraceEvent],
+    tid: u64,
+    window_start_ns: u64,
+    window_end_ns: u64,
+) -> f64 {
+    if window_end_ns <= window_start_ns {
+        return 0.0;
+    }
+    let mut iv: Vec<(u64, u64)> = events
+        .iter()
+        .filter(|e| e.tid == tid)
+        .map(|e| {
+            (
+                e.start_ns.max(window_start_ns),
+                e.start_ns.saturating_add(e.dur_ns).min(window_end_ns),
+            )
+        })
+        .filter(|&(s, e)| e > s)
+        .collect();
+    iv.sort_unstable();
+    let mut covered = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in iv {
+        cur = Some(match cur {
+            None => (s, e),
+            Some((cs, ce)) if s <= ce => (cs, ce.max(e)),
+            Some((cs, ce)) => {
+                covered += ce - cs;
+                (s, e)
+            }
+        });
+    }
+    if let Some((cs, ce)) = cur {
+        covered += ce - cs;
+    }
+    covered as f64 / (window_end_ns - window_start_ns) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tid: u64, start_ns: u64, dur_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name: "e",
+            cat: "test",
+            tid,
+            start_ns,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn coverage_unions_and_clips() {
+        let events = [
+            ev(1, 0, 50),    // [0,50)
+            ev(1, 40, 20),   // overlaps → union [0,60)
+            ev(1, 80, 1000), // clipped to [80,100)
+            ev(2, 0, 100),   // other thread, ignored
+        ];
+        let c = span_coverage(&events, 1, 0, 100);
+        assert!((c - 0.8).abs() < 1e-12, "{c}");
+        assert_eq!(span_coverage(&events, 3, 0, 100), 0.0);
+        assert_eq!(span_coverage(&events, 1, 100, 100), 0.0);
+    }
+
+    #[test]
+    fn coverage_handles_nested_spans_once() {
+        let events = [ev(1, 10, 80), ev(1, 20, 30), ev(1, 30, 10)];
+        let c = span_coverage(&events, 1, 0, 100);
+        assert!((c - 0.8).abs() < 1e-12, "{c}");
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let _l = crate::test_lock();
+        crate::enable_with_capacity(64);
+        crate::reset();
+        {
+            let _g = crate::span!("export", "export.phase");
+        }
+        static C: crate::CounterSite = crate::CounterSite::new("export", "export.ctr");
+        C.add(2);
+        static H: crate::HistogramSite = crate::HistogramSite::new("export", "export.hist");
+        H.record(1234);
+        crate::disable();
+
+        let text = text_report();
+        assert!(text.contains("export/export.phase"), "{text}");
+        assert!(text.contains("export/export.ctr"), "{text}");
+
+        let json = json_snapshot();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"name\":\"export.hist\""), "{json}");
+
+        let trace = chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+        assert!(trace.contains("\"ph\":\"X\""), "{trace}");
+        assert!(trace.contains("\"export.phase\""), "{trace}");
+        crate::reset();
+    }
+
+    #[test]
+    fn json_escape_controls_and_quotes() {
+        let mut s = String::new();
+        json_escape("a\"b\\c\nd", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -1,0 +1,301 @@
+//! Static instrumentation callsites and the process-global registry.
+//!
+//! A callsite is a `static` ([`SpanSite`], [`CounterSite`],
+//! [`HistogramSite`]) declared where the instrumented code lives, so
+//! the hot path touches a known address instead of hashing a name.
+//! Each site lazily registers its `&'static self` in a global list on
+//! first use while enabled; the exporters iterate that list.
+
+use crate::hist::Histogram;
+use crate::ring::{self, TraceEvent};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+pub(crate) struct Registry {
+    pub(crate) spans: Mutex<Vec<&'static SpanSite>>,
+    pub(crate) counters: Mutex<Vec<&'static CounterSite>>,
+    pub(crate) hists: Mutex<Vec<&'static HistogramSite>>,
+}
+
+pub(crate) static REGISTRY: Registry = Registry {
+    spans: Mutex::new(Vec::new()),
+    counters: Mutex::new(Vec::new()),
+    hists: Mutex::new(Vec::new()),
+};
+
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Zero every registered site (registration is kept).
+pub(crate) fn reset_all() {
+    for s in lock(&REGISTRY.spans).iter() {
+        s.count.store(0, Ordering::Relaxed);
+        s.total_ns.store(0, Ordering::Relaxed);
+        s.max_ns.store(0, Ordering::Relaxed);
+    }
+    for c in lock(&REGISTRY.counters).iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for h in lock(&REGISTRY.hists).iter() {
+        h.hist.reset();
+    }
+}
+
+/// A named, categorized timing callsite. Declare as a `static` (or
+/// use the [`crate::span!`] macro); [`SpanSite::enter`] returns a
+/// guard that records duration and a trace event on drop.
+pub struct SpanSite {
+    name: &'static str,
+    cat: &'static str,
+    registered: AtomicBool,
+    pub(crate) count: AtomicU64,
+    pub(crate) total_ns: AtomicU64,
+    pub(crate) max_ns: AtomicU64,
+}
+
+impl SpanSite {
+    /// A new callsite under `cat` (layer) named `name`.
+    pub const fn new(cat: &'static str, name: &'static str) -> Self {
+        SpanSite {
+            name,
+            cat,
+            registered: AtomicBool::new(false),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Span name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Span category (layer).
+    pub fn cat(&self) -> &'static str {
+        self.cat
+    }
+
+    /// Enter the span. When instrumentation is disabled this is one
+    /// relaxed load and an all-`None` guard: no clock read, no
+    /// allocation, no registry traffic.
+    #[inline]
+    pub fn enter(&'static self) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { active: None };
+        }
+        self.enter_enabled()
+    }
+
+    #[cold]
+    fn enter_enabled(&'static self) -> SpanGuard {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock(&REGISTRY.spans).push(self);
+        }
+        SpanGuard {
+            active: Some((self, Instant::now())),
+        }
+    }
+
+    fn exit(&'static self, start: Instant) {
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(dur_ns, Ordering::Relaxed);
+        ring::push(TraceEvent {
+            name: self.name,
+            cat: self.cat,
+            tid: crate::current_tid(),
+            start_ns: crate::ns_since_epoch(start),
+            dur_ns,
+        });
+    }
+
+    /// `(count, total_ns, max_ns)` aggregates recorded so far.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.count.load(Ordering::Relaxed),
+            self.total_ns.load(Ordering::Relaxed),
+            self.max_ns.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// RAII guard returned by [`SpanSite::enter`]; records on drop. Spans
+/// that were open when instrumentation was disabled still record, so
+/// traces have no half-open intervals.
+#[must_use = "binding to `_` drops the guard immediately; use `let _g = ...`"]
+pub struct SpanGuard {
+    active: Option<(&'static SpanSite, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((site, start)) = self.active.take() {
+            site.exit(start);
+        }
+    }
+}
+
+/// A named monotonic counter callsite. Declare as a `static`.
+pub struct CounterSite {
+    name: &'static str,
+    cat: &'static str,
+    registered: AtomicBool,
+    pub(crate) value: AtomicU64,
+}
+
+impl CounterSite {
+    /// A new counter under `cat` named `name`.
+    pub const fn new(cat: &'static str, name: &'static str) -> Self {
+        CounterSite {
+            name,
+            cat,
+            registered: AtomicBool::new(false),
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Counter name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Counter category (layer).
+    pub fn cat(&self) -> &'static str {
+        self.cat
+    }
+
+    /// Add `n`. When disabled: one relaxed load, nothing else.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.add_enabled(n);
+    }
+
+    /// Add 1 (subject to the enable flag, like [`CounterSite::add`]).
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    #[cold]
+    fn add_enabled(&'static self, n: u64) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock(&REGISTRY.counters).push(self);
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named histogram callsite (a `static` [`Histogram`] that
+/// self-registers and obeys the global enable flag). For always-on
+/// histograms owned by a subsystem — like serve's per-tenant latency
+/// recorders — use [`Histogram`] directly instead.
+pub struct HistogramSite {
+    name: &'static str,
+    cat: &'static str,
+    registered: AtomicBool,
+    pub(crate) hist: Histogram,
+}
+
+impl HistogramSite {
+    /// A new histogram site under `cat` named `name`.
+    pub const fn new(cat: &'static str, name: &'static str) -> Self {
+        HistogramSite {
+            name,
+            cat,
+            registered: AtomicBool::new(false),
+            hist: Histogram::new(),
+        }
+    }
+
+    /// Histogram name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Histogram category (layer).
+    pub fn cat(&self) -> &'static str {
+        self.cat
+    }
+
+    /// Record one value. When disabled: one relaxed load only.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.record_enabled(v);
+    }
+
+    #[cold]
+    fn record_enabled(&'static self, v: u64) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock(&REGISTRY.hists).push(self);
+        }
+        self.hist.record(v);
+    }
+
+    /// Snapshot the underlying histogram.
+    pub fn snapshot(&self) -> crate::HistogramSnapshot {
+        self.hist.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static SPAN: SpanSite = SpanSite::new("test", "test.span");
+    static CTR: CounterSite = CounterSite::new("test", "test.ctr");
+    static HIST: HistogramSite = HistogramSite::new("test", "test.hist");
+
+    #[test]
+    fn sites_record_only_while_enabled() {
+        let _l = crate::test_lock();
+        crate::disable();
+        crate::reset();
+        drop(SPAN.enter());
+        CTR.incr();
+        HIST.record(9);
+        assert_eq!(SPAN.totals().0, 0);
+        assert_eq!(CTR.value(), 0);
+        assert_eq!(HIST.snapshot().count, 0);
+
+        crate::enable_with_capacity(16);
+        {
+            let _g = SPAN.enter();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        CTR.add(3);
+        HIST.record(9);
+        crate::disable();
+
+        let (count, total, max) = SPAN.totals();
+        assert_eq!(count, 1);
+        assert!(total >= 1_000_000, "slept ≥1ms: {total}ns");
+        assert_eq!(max, total);
+        assert_eq!(CTR.value(), 3);
+        assert_eq!(HIST.snapshot().count, 1);
+        let ev = crate::trace_events();
+        assert!(
+            ev.iter()
+                .any(|e| e.name == "test.span" && e.dur_ns >= 1_000_000),
+            "{ev:?}"
+        );
+        crate::reset();
+        assert_eq!(SPAN.totals(), (0, 0, 0));
+        assert_eq!(CTR.value(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Concurrent-writer stress: 4 threads hammer one histogram and one
+//! counter; totals must be exact (every `record`/`add` is a
+//! `fetch_add`) and quantiles must stay inside the documented bucket
+//! error bound. Runs in its own process (integration test), so
+//! enabling instrumentation here cannot race the zero-alloc proof.
+
+use spgemm_obs::{CounterSite, Histogram, SpanSite};
+use std::sync::Arc;
+
+const THREADS: u64 = 4;
+const PER_THREAD: u64 = 50_000;
+
+#[test]
+fn concurrent_histogram_totals_are_exact_and_quantiles_sane() {
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                // every thread writes the same known multiset 1..=N,
+                // interleaved with the others
+                for v in 1..=PER_THREAD {
+                    h.record(v + (t % 2)); // two slightly shifted streams
+                }
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, THREADS * PER_THREAD, "no sample lost or dropped");
+    // exact sum: 2 threads wrote 1..=N, 2 wrote 2..=N+1
+    let base: u64 = PER_THREAD * (PER_THREAD + 1) / 2;
+    assert_eq!(s.sum, 2 * base + 2 * (base + PER_THREAD));
+    assert_eq!(s.min, 1);
+    assert_eq!(s.max, PER_THREAD + 1);
+    // quantiles within the bucket error bound of the exact order stats
+    for &q in &[0.25, 0.5, 0.9, 0.99] {
+        let exact = (q * PER_THREAD as f64) as u64; // ±1 of true rank value
+        let approx = s.quantile(q);
+        let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+        assert!(
+            rel < 0.08, // 6.25% bucket width + rank slack
+            "q={q}: approx {approx} vs ~{exact} (rel {rel:.4})"
+        );
+    }
+}
+
+#[test]
+fn concurrent_counter_and_span_totals_are_exact() {
+    static CTR: CounterSite = CounterSite::new("stress", "stress.ctr");
+    static SPAN: SpanSite = SpanSite::new("stress", "stress.span");
+    spgemm_obs::enable_with_capacity(1024);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for _ in 0..PER_THREAD {
+                    CTR.add(3);
+                    let _g = SPAN.enter();
+                }
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+    spgemm_obs::disable();
+    assert_eq!(CTR.value(), 3 * THREADS * PER_THREAD);
+    let (count, total_ns, max_ns) = SPAN.totals();
+    assert_eq!(count, THREADS * PER_THREAD);
+    assert!(total_ns >= max_ns);
+    // the bounded ring kept the most recent window and counted the rest
+    let kept = spgemm_obs::trace_events().len() as u64;
+    assert!(kept <= 1024);
+    assert_eq!(kept + spgemm_obs::trace_overwritten(), THREADS * PER_THREAD);
+}

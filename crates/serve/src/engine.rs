@@ -11,6 +11,7 @@ use crate::store::MatrixStore;
 use spgemm::expr::{fnv64, ExprOp};
 use spgemm::{OutputOrder, SpgemmPlan};
 use spgemm_dist::{DistConfig, DistError, GridSpec, ShardRuntime};
+use spgemm_obs as obs;
 use spgemm_par::{panic_text, Pool};
 use spgemm_sparse::{ops, stats, Csr, SparseError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -401,6 +402,7 @@ fn worker_loop(shared: &EngineShared, pool: &Pool) {
 /// multiplies when the cache is disabled; expression batches evaluate
 /// their (identical) DAG once and fan the shared result out.
 fn execute_batch(shared: &EngineShared, pool: &Pool, batch: Vec<QueuedJob>) {
+    let _g = obs::span!("serve", "serve.batch");
     let runnable: Vec<QueuedJob> = batch.into_iter().filter(|j| j.core.start()).collect();
     let Some(first) = runnable.first() else {
         return; // whole batch was cancelled while queued
@@ -514,6 +516,7 @@ fn execute_product_batch(shared: &EngineShared, pool: &Pool, runnable: &[QueuedJ
 /// Evaluate one expression job node-by-node, panic-contained like
 /// every other execution path.
 fn run_expr(shared: &EngineShared, job: &ExprJob, pool: &Pool) -> crate::job::JobResult {
+    let _g = obs::span!("serve", "serve.expr_eval");
     match catch_unwind(AssertUnwindSafe(|| eval_expr(shared, job, pool))) {
         Ok(result) => result,
         Err(payload) => Err(ServeError::Internal {
@@ -674,6 +677,7 @@ fn build_plan(
     key: PlanKey,
     pool: &Pool,
 ) -> Result<SpgemmPlan<S>, ServeError> {
+    let _g = obs::span!("serve", "serve.plan_build");
     match catch_unwind(AssertUnwindSafe(|| {
         SpgemmPlan::<S>::new_in(a, b, key.algo, key.order, pool)
     })) {
@@ -713,6 +717,7 @@ fn routes_to_dist(a: &Csr<f64>, b: &Csr<f64>, routing: &DistRouting) -> bool {
 }
 
 fn run_dist(runtime: &ShardRuntime, a: &Csr<f64>, b: &Csr<f64>) -> crate::job::JobResult {
+    let _g = obs::span!("serve", "serve.dist_route");
     match catch_unwind(AssertUnwindSafe(|| runtime.multiply(a, b))) {
         Ok(Ok(c)) => Ok(Arc::new(c)),
         Ok(Err(DistError::Sparse(e))) => Err(ServeError::Sparse(e)),

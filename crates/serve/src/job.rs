@@ -172,7 +172,10 @@ pub type JobResult = Result<JobOutput, ServeError>;
 
 enum Phase {
     Pending,
-    Running,
+    /// Running since the worker picked the job up — the pickup
+    /// instant splits total latency into queue delay and service
+    /// time.
+    Running(Instant),
     Done(JobResult),
 }
 
@@ -186,10 +189,15 @@ pub(crate) struct JobCore {
     state: Mutex<Phase>,
     cv: Condvar,
     metrics: Arc<Metrics>,
+    /// This tenant's latency recorder, resolved once at submission so
+    /// completion records lock-free (`None` for the anonymous
+    /// tenant).
+    tenant_rec: Option<Arc<crate::metrics::LatencyRecorder>>,
 }
 
 impl JobCore {
     pub(crate) fn new(id: u64, tenant: String, metrics: Arc<Metrics>) -> Arc<Self> {
+        let tenant_rec = metrics.tenant_recorder(&tenant);
         Arc::new(JobCore {
             id,
             tenant,
@@ -197,21 +205,23 @@ impl JobCore {
             state: Mutex::new(Phase::Pending),
             cv: Condvar::new(),
             metrics,
+            tenant_rec,
         })
     }
 
-    /// Transition Pending → Running. `false` means the job already
-    /// reached a terminal state (cancelled while queued) and must not
-    /// be executed.
+    /// Transition Pending → Running, stamping the pickup instant that
+    /// splits queue delay from service time. `false` means the job
+    /// already reached a terminal state (cancelled while queued) and
+    /// must not be executed.
     pub(crate) fn start(&self) -> bool {
         let mut st = self.state.lock();
         match *st {
             Phase::Pending => {
-                *st = Phase::Running;
+                *st = Phase::Running(Instant::now());
                 true
             }
             Phase::Done(_) => false,
-            Phase::Running => unreachable!("job {} started twice", self.id),
+            Phase::Running(_) => unreachable!("job {} started twice", self.id),
         }
     }
 
@@ -229,7 +239,19 @@ impl JobCore {
         match &result {
             Ok(_) => {
                 self.metrics.completed.fetch_add(1, Ordering::Relaxed);
-                self.metrics.record_latency(self.submitted.elapsed());
+                let total = self.submitted.elapsed();
+                // Jobs resolved without a start (deduplicated
+                // followers completed by the batch leader) spent
+                // their whole life queued: service time is zero.
+                let (queue, service) = match *st {
+                    Phase::Running(started) => {
+                        let service = started.elapsed();
+                        (total.saturating_sub(service), service)
+                    }
+                    _ => (total, Duration::ZERO),
+                };
+                self.metrics
+                    .record_job(self.tenant_rec.as_deref(), total, queue, service);
             }
             Err(ServeError::Cancelled) => {
                 self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -347,7 +369,7 @@ impl std::fmt::Debug for JobHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let phase = match &*self.core.state.lock() {
             Phase::Pending => "pending",
-            Phase::Running => "running",
+            Phase::Running(_) => "running",
             Phase::Done(Ok(_)) => "done",
             Phase::Done(Err(_)) => "failed",
         };

@@ -97,6 +97,6 @@ pub use engine::{DistRouting, ServeConfig, ServeEngine};
 pub use error::ServeError;
 pub use expr_results::ExprResultCacheStats;
 pub use job::{ExprRequest, JobHandle, JobOutput, JobResult, Priority, ProductRequest};
-pub use metrics::{LatencySummary, MetricsSnapshot};
+pub use metrics::{LatencySummary, MetricsSnapshot, TenantLatency, OVERFLOW_TENANT};
 pub use plan_cache::{PlanCacheStats, PlanKey};
 pub use store::{MatrixStore, StoredMatrix};

@@ -1,18 +1,60 @@
-//! Serving metrics: per-job latency, aggregate counters, and the
-//! snapshot the `spgemm-serve` bench prints.
+//! Serving metrics: per-job latency decomposition, per-tenant
+//! histograms, aggregate counters, and the snapshot the
+//! `spgemm-serve` bench prints.
+//!
+//! Latencies are recorded into bounded log-bucketed histograms
+//! ([`spgemm_obs::Histogram`]): every sample counts (nothing is
+//! dropped), memory never grows with job count, and quantiles are
+//! exact to within the histogram's bucket error bound (≤ 6.25%
+//! relative). Each completed job is decomposed into queue delay
+//! (submit → worker pickup) and service time (pickup → done), the
+//! split the ROADMAP's async-ingress work needs to reason about
+//! overload.
 
 use parking_lot::Mutex;
+use spgemm_obs::Histogram;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::expr_results::ExprResultCacheStats;
 use crate::job::Priority;
 use crate::plan_cache::PlanCacheStats;
 
-/// Hard cap on retained latency samples; beyond it new samples are
-/// counted but not stored (`LatencySummary::dropped`). At the serving
-/// rates this workspace benches, the cap is never approached.
-const MAX_SAMPLES: usize = 1 << 20;
+/// Hard cap on distinct per-tenant recorders; tenants beyond it are
+/// aggregated under [`OVERFLOW_TENANT`] so a label-cardinality
+/// explosion cannot grow memory without bound.
+const MAX_TENANTS: usize = 64;
+
+/// Aggregation label for tenants beyond the per-tenant recorder cap
+/// (64 distinct tenants).
+pub const OVERFLOW_TENANT: &str = "(other)";
+
+/// Latency histograms for one scope (engine-wide or one tenant):
+/// total latency plus its queue/service decomposition, nanoseconds.
+#[derive(Default)]
+pub(crate) struct LatencyRecorder {
+    total: Histogram,
+    queue: Histogram,
+    service: Histogram,
+}
+
+impl LatencyRecorder {
+    fn record(&self, total: Duration, queue: Duration, service: Duration) {
+        self.total.record(total.as_nanos() as u64);
+        self.queue.record(queue.as_nanos() as u64);
+        self.service.record(service.as_nanos() as u64);
+    }
+
+    fn summaries(&self) -> (LatencySummary, LatencySummary, LatencySummary) {
+        (
+            LatencySummary::from_ns_histogram(&self.total),
+            LatencySummary::from_ns_histogram(&self.queue),
+            LatencySummary::from_ns_histogram(&self.service),
+        )
+    }
+}
 
 /// Shared counters, written by submitters, workers and job handles.
 #[derive(Default)]
@@ -34,17 +76,49 @@ pub(crate) struct Metrics {
     /// Expression nodes actually computed (subexpression-cache misses
     /// and uncached evaluations; cache hits are counted by the cache).
     pub(crate) expr_nodes_computed: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
-    dropped_samples: AtomicU64,
+    /// Engine-wide latency histograms (always on; fixed footprint).
+    overall: LatencyRecorder,
+    /// Per-tenant recorders, created on first submission, capped at
+    /// [`MAX_TENANTS`]. The anonymous tenant (empty label) records
+    /// only into `overall`.
+    tenants: Mutex<HashMap<String, Arc<LatencyRecorder>>>,
 }
 
 impl Metrics {
-    pub(crate) fn record_latency(&self, since_submit: Duration) {
-        let mut samples = self.latencies_us.lock();
-        if samples.len() < MAX_SAMPLES {
-            samples.push(since_submit.as_micros() as u64);
-        } else {
-            self.dropped_samples.fetch_add(1, Ordering::Relaxed);
+    /// The recorder for `tenant`, creating it under the cap. `None`
+    /// for the anonymous (empty) tenant label. Called once per job at
+    /// submission, so completion stays lock-free.
+    pub(crate) fn tenant_recorder(&self, tenant: &str) -> Option<Arc<LatencyRecorder>> {
+        if tenant.is_empty() {
+            return None;
+        }
+        let mut map = self.tenants.lock();
+        if let Some(rec) = map.get(tenant) {
+            return Some(Arc::clone(rec));
+        }
+        if map.len() < MAX_TENANTS {
+            let rec = Arc::new(LatencyRecorder::default());
+            map.insert(tenant.to_string(), Arc::clone(&rec));
+            return Some(rec);
+        }
+        let rec = map
+            .entry(OVERFLOW_TENANT.to_string())
+            .or_insert_with(|| Arc::new(LatencyRecorder::default()));
+        Some(Arc::clone(rec))
+    }
+
+    /// Record one completed job's decomposed latency into the
+    /// engine-wide histograms and (when resolved) the tenant's.
+    pub(crate) fn record_job(
+        &self,
+        tenant_rec: Option<&LatencyRecorder>,
+        total: Duration,
+        queue: Duration,
+        service: Duration,
+    ) {
+        self.overall.record(total, queue, service);
+        if let Some(rec) = tenant_rec {
+            rec.record(total, queue, service);
         }
     }
 
@@ -60,9 +134,23 @@ impl Metrics {
         expr_results: ExprResultCacheStats,
         since: Instant,
     ) -> MetricsSnapshot {
-        let latency = {
-            let samples = self.latencies_us.lock();
-            LatencySummary::from_us(&samples, self.dropped_samples.load(Ordering::Relaxed))
+        let (latency, queue_delay, service) = self.overall.summaries();
+        let per_tenant = {
+            let map = self.tenants.lock();
+            let mut rows: Vec<TenantLatency> = map
+                .iter()
+                .map(|(tenant, rec)| {
+                    let (latency, queue_delay, service) = rec.summaries();
+                    TenantLatency {
+                        tenant: tenant.clone(),
+                        latency,
+                        queue_delay,
+                        service,
+                    }
+                })
+                .collect();
+            rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+            rows
         };
         let completed = self.completed.load(Ordering::Relaxed);
         let elapsed = since.elapsed();
@@ -85,51 +173,56 @@ impl Metrics {
             elapsed,
             throughput_jps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
             latency,
+            queue_delay,
+            service,
+            per_tenant,
         }
     }
 }
 
-/// Order statistics over completed-job latencies (submit → done, i.e.
-/// queue wait + execution).
+/// Order statistics over completed-job latencies, derived from a
+/// bounded log-bucketed histogram: every completed job is counted
+/// (no sample cap), and quantiles carry the histogram's ≤ 6.25%
+/// relative bucket error (the mean and max are exact).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LatencySummary {
-    /// Retained samples.
-    pub count: usize,
-    /// Samples beyond the retention cap (counted, not stored).
-    pub dropped: u64,
-    /// Arithmetic mean, milliseconds.
+    /// Recorded samples (every one — histograms never drop).
+    pub count: u64,
+    /// Arithmetic mean, milliseconds (exact).
     pub mean_ms: f64,
-    /// Median, milliseconds.
+    /// Median, milliseconds (within bucket error).
     pub p50_ms: f64,
-    /// 99th percentile, milliseconds.
+    /// 99th percentile, milliseconds (within bucket error).
     pub p99_ms: f64,
-    /// Maximum, milliseconds.
+    /// Maximum, milliseconds (exact).
     pub max_ms: f64,
 }
 
 impl LatencySummary {
-    fn from_us(samples: &[u64], dropped: u64) -> Self {
-        if samples.is_empty() {
-            return LatencySummary {
-                dropped,
-                ..Default::default()
-            };
-        }
-        let mut sorted = samples.to_vec();
-        sorted.sort_unstable();
-        let pct = |q: f64| -> f64 {
-            let idx = (q * (sorted.len() - 1) as f64).round() as usize;
-            sorted[idx] as f64 / 1e3
-        };
+    fn from_ns_histogram(h: &Histogram) -> Self {
+        let s = h.snapshot();
         LatencySummary {
-            count: sorted.len(),
-            dropped,
-            mean_ms: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64 / 1e3,
-            p50_ms: pct(0.50),
-            p99_ms: pct(0.99),
-            max_ms: *sorted.last().unwrap() as f64 / 1e3,
+            count: s.count,
+            mean_ms: s.mean() / 1e6,
+            p50_ms: s.quantile(0.50) as f64 / 1e6,
+            p99_ms: s.quantile(0.99) as f64 / 1e6,
+            max_ms: s.max as f64 / 1e6,
         }
     }
+}
+
+/// One tenant's latency decomposition at snapshot time.
+#[derive(Clone, Debug)]
+pub struct TenantLatency {
+    /// The tenant label ([`OVERFLOW_TENANT`] aggregates the tail
+    /// beyond the per-tenant cap).
+    pub tenant: String,
+    /// Submit → done.
+    pub latency: LatencySummary,
+    /// Submit → worker pickup (time spent queued).
+    pub queue_delay: LatencySummary,
+    /// Worker pickup → done (time spent executing).
+    pub service: LatencySummary,
 }
 
 /// A point-in-time view of the engine's counters.
@@ -178,8 +271,19 @@ pub struct MetricsSnapshot {
     pub elapsed: Duration,
     /// `completed / elapsed`, jobs per second.
     pub throughput_jps: f64,
-    /// Latency order statistics over completed jobs.
+    /// Latency order statistics over completed jobs (submit → done).
     pub latency: LatencySummary,
+    /// Queue-delay component (submit → worker pickup) over completed
+    /// jobs; with [`MetricsSnapshot::service`] this decomposes
+    /// [`MetricsSnapshot::latency`].
+    pub queue_delay: LatencySummary,
+    /// Service-time component (worker pickup → done) over completed
+    /// jobs.
+    pub service: LatencySummary,
+    /// Per-tenant latency decomposition, sorted by tenant label.
+    /// Anonymous (empty-label) jobs appear only in the engine-wide
+    /// summaries.
+    pub per_tenant: Vec<TenantLatency>,
 }
 
 impl MetricsSnapshot {
@@ -195,14 +299,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn summary_percentiles() {
-        let us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
-        let s = LatencySummary::from_us(&us, 0);
+    fn summary_percentiles_within_bucket_error() {
+        // 1..=100 ms recorded as ns: exact order stats are known, the
+        // histogram summary must land within its 6.25% bucket bound
+        let rec = LatencyRecorder::default();
+        for i in 1..=100u64 {
+            let d = Duration::from_millis(i);
+            rec.record(d, d / 2, d / 2);
+        }
+        let (s, q, v) = rec.summaries();
         assert_eq!(s.count, 100);
-        assert!((s.p50_ms - 50.0).abs() <= 1.0, "{}", s.p50_ms);
-        assert!((s.p99_ms - 99.0).abs() <= 1.0, "{}", s.p99_ms);
-        assert!((s.max_ms - 100.0).abs() < 1e-9);
-        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        assert!((s.p50_ms - 50.0).abs() <= 50.0 * 0.07, "{}", s.p50_ms);
+        assert!((s.p99_ms - 99.0).abs() <= 99.0 * 0.07, "{}", s.p99_ms);
+        assert!((s.max_ms - 100.0).abs() < 1e-9, "max is exact");
+        assert!((s.mean_ms - 50.5).abs() < 1e-9, "mean is exact");
+        // decomposition components recorded alongside
+        assert_eq!(q.count, 100);
+        assert_eq!(v.count, 100);
+        assert!((q.max_ms - 50.0).abs() < 1e-9);
     }
 
     #[test]
@@ -217,13 +331,93 @@ mod tests {
         assert_eq!(s.queue_depth_per_lane, [2, 5, 1]);
         assert_eq!(s.queue_depth, 8, "aggregate is the lane sum");
         assert_eq!(s.dist_routed, 0);
+        assert!(s.per_tenant.is_empty());
     }
 
     #[test]
     fn empty_summary_is_zero() {
-        let s = LatencySummary::from_us(&[], 3);
-        assert_eq!(s.count, 0);
-        assert_eq!(s.dropped, 3);
-        assert_eq!(s.p99_ms, 0.0);
+        let m = Metrics::default();
+        let (s, q, v) = m.overall.summaries();
+        for sum in [s, q, v] {
+            assert_eq!(sum.count, 0);
+            assert_eq!(sum.p99_ms, 0.0);
+            assert_eq!(sum.max_ms, 0.0);
+        }
+    }
+
+    #[test]
+    fn per_tenant_decomposition_adds_up() {
+        let m = Metrics::default();
+        let rec = m.tenant_recorder("acme").unwrap();
+        for i in 1..=50u64 {
+            let queue = Duration::from_millis(i);
+            let service = Duration::from_millis(2 * i);
+            m.record_job(Some(&rec), queue + service, queue, service);
+        }
+        let snap = m.snapshot(
+            [0, 0, 0],
+            PlanCacheStats::default(),
+            ExprResultCacheStats::default(),
+            Instant::now(),
+        );
+        assert_eq!(snap.per_tenant.len(), 1);
+        let t = &snap.per_tenant[0];
+        assert_eq!(t.tenant, "acme");
+        assert_eq!(t.latency.count, 50);
+        // mean(total) = mean(queue) + mean(service), exactly
+        assert!(
+            (t.latency.mean_ms - t.queue_delay.mean_ms - t.service.mean_ms).abs() < 1e-9,
+            "decomposition must add up: {t:?}"
+        );
+        assert!(t.queue_delay.p99_ms > 0.0 && t.service.p99_ms > 0.0);
+        // engine-wide histograms saw the same jobs
+        assert_eq!(snap.latency.count, 50);
+    }
+
+    #[test]
+    fn anonymous_tenant_records_only_engine_wide() {
+        let m = Metrics::default();
+        assert!(m.tenant_recorder("").is_none());
+        m.record_job(
+            None,
+            Duration::from_millis(3),
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+        );
+        let snap = m.snapshot(
+            [0, 0, 0],
+            PlanCacheStats::default(),
+            ExprResultCacheStats::default(),
+            Instant::now(),
+        );
+        assert!(snap.per_tenant.is_empty());
+        assert_eq!(snap.latency.count, 1);
+    }
+
+    #[test]
+    fn tenant_cardinality_is_capped() {
+        let m = Metrics::default();
+        for i in 0..(MAX_TENANTS + 10) {
+            let rec = m.tenant_recorder(&format!("tenant-{i}")).unwrap();
+            m.record_job(
+                Some(&rec),
+                Duration::from_micros(10),
+                Duration::from_micros(4),
+                Duration::from_micros(6),
+            );
+        }
+        let snap = m.snapshot(
+            [0, 0, 0],
+            PlanCacheStats::default(),
+            ExprResultCacheStats::default(),
+            Instant::now(),
+        );
+        assert_eq!(snap.per_tenant.len(), MAX_TENANTS + 1, "cap + overflow");
+        let other = snap
+            .per_tenant
+            .iter()
+            .find(|t| t.tenant == OVERFLOW_TENANT)
+            .expect("overflow bucket present");
+        assert_eq!(other.latency.count, 10, "tail tenants aggregate");
     }
 }
