@@ -112,11 +112,18 @@ impl GalerkinPlan {
     /// is rejected with [`SparseError::PlanMismatch`] rather than
     /// silently coarsened against stale row pointers.
     pub fn recoarsen(&mut self, a: &Csr<f64>, pool: &Pool) -> Result<&Csr<f64>, SparseError> {
-        if !self.plan.matches_inputs(&[a, &self.p]) {
+        let drifted = self.plan.mismatched_inputs(&[a, &self.p]);
+        if !drifted.is_empty() {
+            let names: Vec<&str> = drifted
+                .iter()
+                .map(|&slot| if slot == 0 { "A" } else { "P" })
+                .collect();
             return Err(SparseError::PlanMismatch {
-                detail: "recoarsen: A's sparsity pattern differs from the planned one; \
-                         build a new GalerkinPlan"
-                    .into(),
+                detail: format!(
+                    "recoarsen: the sparsity pattern of {} differs from the planned one; \
+                     build a new GalerkinPlan",
+                    names.join(" and ")
+                ),
             });
         }
         self.plan
@@ -294,12 +301,22 @@ mod tests {
             st.reused >= 4,
             "recoarsening must reuse accumulators: {st:?}"
         );
-        // a pattern change must be rejected, not silently coarsened
+        // a pattern change must be rejected, not silently coarsened —
+        // and the error must say *which* operand drifted
         let moved = poisson2d(8).filter(|i, j, _| i != j as usize);
-        assert!(matches!(
-            plan.recoarsen(&moved, &pool),
-            Err(SparseError::PlanMismatch { .. })
-        ));
+        match plan.recoarsen(&moved, &pool) {
+            Err(SparseError::PlanMismatch { detail }) => {
+                assert!(
+                    detail.contains("pattern of A "),
+                    "mismatch must name the drifted operand: {detail:?}"
+                );
+                assert!(
+                    !detail.contains("and P"),
+                    "P did not drift and must not be blamed: {detail:?}"
+                );
+            }
+            other => panic!("expected PlanMismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ const BINARIES: &[&str] = &[
     "spgemm-dist",
     "spgemm-expr",
     "spgemm-obs",
+    "spgemm-delta",
 ];
 
 fn main() {

@@ -36,8 +36,10 @@
 //! [`Map`]: ExprGraph::map
 //! [`NormalizeCols`]: ExprGraph::normalize_cols
 
+mod delta;
 mod graph;
 mod plan;
 
+pub use delta::{touched_cols, DeltaPlan, DeltaReport, NodeDelta};
 pub use graph::{fnv64, ElemMap, ExprGraph, ExprOp, ExprSpec, NodeId, VecId};
 pub use plan::{ExprCache, ExprCacheStats, ExprPlan};

@@ -708,6 +708,27 @@ impl ExprPlan {
                 .all(|(m, sig)| m.structure_fingerprint() == *sig)
     }
 
+    /// The input slots whose structures drifted from what this plan
+    /// was bound to — empty exactly when
+    /// [`ExprPlan::matches_inputs`] is `true`. An unbound plan or a
+    /// wrong input *count* reports every slot. Callers use this to
+    /// name the offending operand in a `PlanMismatch` instead of
+    /// reporting a generic drift.
+    pub fn mismatched_inputs(&self, inputs: &[&Csr<f64>]) -> Vec<usize> {
+        if !self.bound || inputs.len() != self.input_shapes.len() {
+            return (0..self.input_shapes.len().max(inputs.len())).collect();
+        }
+        inputs
+            .iter()
+            .enumerate()
+            .filter(|(slot, m)| {
+                (m.nrows(), m.ncols(), m.nnz()) != self.input_shapes[*slot]
+                    || m.structure_fingerprint() != self.input_sigs[*slot]
+            })
+            .map(|(slot, _)| slot)
+            .collect()
+    }
+
     /// The kernel every `Multiply` node was requested with.
     pub fn algorithm(&self) -> Algorithm {
         self.algo

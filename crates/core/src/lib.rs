@@ -42,6 +42,7 @@
 
 pub mod algos;
 pub mod cost;
+pub mod delta;
 mod exec;
 pub mod expr;
 mod options;
@@ -49,6 +50,7 @@ pub mod plan;
 pub mod recipe;
 pub mod tuning;
 
+pub use delta::{ConsumerIndex, DirtyRows, RowPatch};
 pub use exec::{plan as exec_plan, MultiplyStats};
 pub use options::{Algorithm, OutputOrder};
 pub use plan::{PlanCache, PlanCacheStats, SpgemmPlan};

@@ -41,11 +41,14 @@ use crate::algos::kkhash::KkHashAccumulator;
 use crate::algos::merge::MergeAccumulator;
 use crate::algos::simd::{self, SimdLevel};
 use crate::algos::spa::SpaAccumulator;
-use crate::exec::{self, AccumReq, MultiplyStats, ReusableAccumulator, StagedRowKernel};
+use crate::delta::{ConsumerIndex, DirtyRows};
+use crate::exec::{
+    self, AccumReq, MultiplyStats, ReusableAccumulator, RowAccumulator, StagedRowKernel,
+};
 use crate::{recipe, Algorithm, OutputOrder};
 use parking_lot::Mutex;
 use spgemm_obs as obs;
-use spgemm_par::{scan, unsync::SharedMutSlice, Pool, WorkspacePool, WorkspaceStats};
+use spgemm_par::{partition, scan, unsync::SharedMutSlice, Pool, WorkspacePool, WorkspaceStats};
 use spgemm_sparse::{ColIdx, Csr, Semiring, SparseError};
 use std::sync::Arc;
 
@@ -224,6 +227,10 @@ pub struct SpgemmPlan<S: Semiring> {
     /// `None` while a one-phase plan's symbolic structure is still
     /// deferred to its first execution.
     symbolic: Mutex<Option<Arc<SymbolicPlan>>>,
+    /// Reverse column→consumer-row index of `A`, built lazily by the
+    /// first [`SpgemmPlan::rebind_rows`] and patched per call; `None`
+    /// until then and after any full rebind.
+    consumers: Option<ConsumerIndex>,
     kernel: PlanKernel<S>,
 }
 
@@ -285,6 +292,7 @@ impl<S: Semiring> SpgemmPlan<S> {
             stats,
             nthreads: pool.nthreads(),
             symbolic: Mutex::new(None),
+            consumers: None,
             kernel: PlanKernel::new(resolved, pool.nthreads()),
         };
         if !plan.symbolic_is_deferred() {
@@ -369,10 +377,323 @@ impl<S: Semiring> SpgemmPlan<S> {
         self.b_nnz = b.nnz();
         // Rebinding implies reuse intent: always fingerprint.
         self.sigs = Some(signatures(a, b));
+        self.consumers = None;
         *self.symbolic.get_mut() = None;
         if !self.symbolic_is_deferred() {
             let sym = self.run_symbolic(a, b, pool);
             *self.symbolic.get_mut() = Some(Arc::new(sym));
+        }
+        Ok(())
+    }
+
+    /// Incremental rebind after a row-granular edit of the operands:
+    /// re-run the symbolic phase for **only** the output rows whose
+    /// inputs changed, splice the new row pointers into the cached
+    /// structure, and return the invalidated output-row set — the
+    /// argument [`SpgemmPlan::execute_rows`] expects next.
+    ///
+    /// `dirty_a` / `dirty_b` name the rows of the *new* `a` / `b`
+    /// that differ (structurally or in values) from the operands the
+    /// plan is currently bound to — exactly what
+    /// [`Csr::apply_patch`](spgemm_sparse::Csr::apply_patch) returns.
+    /// Rows outside the dirty sets must match the bound version
+    /// byte-for-byte; that contract is what makes the splice exact.
+    /// Output rows are invalidated per the row-wise dependency
+    /// `out = dirty_a ∪ {i : A[i] ∩ dirty_b ≠ ∅}`, with the second
+    /// term answered by a cached [`ConsumerIndex`] that is itself
+    /// patched per call.
+    ///
+    /// Falls back to a full [`SpgemmPlan::rebind`] — returning
+    /// `DirtyRows::all` — whenever incremental repair is impossible:
+    /// shape changes, an `Auto` plan resolving to a different kernel
+    /// on the new structure, the sequential `Reference` oracle, a
+    /// pool-width change, or a one-phase plan whose first (staged)
+    /// execution hasn't happened yet. Either way the plan afterwards
+    /// is indistinguishable from one rebound from scratch.
+    ///
+    /// ```
+    /// use spgemm::{Algorithm, OutputOrder, SpgemmPlan};
+    /// use spgemm_sparse::{Csr, PlusTimes, RowPatch};
+    ///
+    /// let a = Csr::<f64>::identity(100);
+    /// let mut plan =
+    ///     SpgemmPlan::<PlusTimes<f64>>::new(&a, &a, Algorithm::Hash, OutputOrder::Sorted)?;
+    /// let mut c = plan.execute(&a, &a)?;
+    ///
+    /// let mut patch = RowPatch::new();
+    /// patch.insert(7, 3, 2.0);
+    /// let (a2, dirty) = a.apply_patch(&patch)?;
+    ///
+    /// let out = plan.rebind_rows(&a2, &a2, &dirty, &dirty)?;
+    /// assert_eq!(out.count(), 1, "only output row 7 consumes the edit");
+    /// plan.execute_rows(&a2, &a2, &out, &mut c)?;
+    /// assert_eq!(c.get(7, 3), Some(&4.0));
+    /// # Ok::<(), spgemm_sparse::SparseError>(())
+    /// ```
+    pub fn rebind_rows(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        dirty_a: &DirtyRows,
+        dirty_b: &DirtyRows,
+    ) -> Result<DirtyRows, SparseError> {
+        self.rebind_rows_in(a, b, dirty_a, dirty_b, spgemm_par::global_pool())
+    }
+
+    /// [`SpgemmPlan::rebind_rows`] on an explicit pool.
+    pub fn rebind_rows_in(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        dirty_a: &DirtyRows,
+        dirty_b: &DirtyRows,
+        pool: &Pool,
+    ) -> Result<DirtyRows, SparseError> {
+        let _g = obs::span!("delta", "delta.rebind_rows");
+        if dirty_a.nrows() != a.nrows() || dirty_b.nrows() != b.nrows() {
+            return Err(SparseError::PlanMismatch {
+                detail: format!(
+                    "rebind_rows: dirty universes ({}, {}) don't match operand rows ({}, {})",
+                    dirty_a.nrows(),
+                    dirty_b.nrows(),
+                    a.nrows(),
+                    b.nrows()
+                ),
+            });
+        }
+        let resolved = match self.requested {
+            Algorithm::Auto => recipe::auto_select(a, b, self.order),
+            other => other,
+        };
+        let incremental = self.sigs.is_some()
+            && self.dims == (a.nrows(), a.ncols(), b.ncols())
+            && resolved == self.algo
+            && self.algo != Algorithm::Reference
+            && pool.nthreads() == self.nthreads
+            && self.symbolic.get_mut().is_some();
+        if !incremental {
+            self.rebind_in(a, b, pool)?;
+            return Ok(DirtyRows::all(a.nrows()));
+        }
+        if self.algo.requires_sorted_inputs() && (!a.is_sorted() || !b.is_sorted()) {
+            return Err(SparseError::Unsorted {
+                op: match self.algo {
+                    Algorithm::Heap => "Heap SpGEMM",
+                    _ => "Merge SpGEMM",
+                },
+            });
+        }
+
+        // Which output rows the edit invalidates (reverse index on A).
+        if let Some(idx) = self.consumers.as_mut() {
+            idx.update_rows(a, dirty_a);
+        } else {
+            self.consumers = Some(ConsumerIndex::build(a));
+        }
+        let out_dirty = self
+            .consumers
+            .as_ref()
+            .expect("installed above")
+            .out_dirty(dirty_a, dirty_b);
+
+        // Per-row flops change exactly on the invalidated rows (a
+        // clean row's A pattern and consumed B row sizes are both
+        // unchanged); the partition is then re-derived the same way
+        // `exec::plan` does, so it matches a fresh plan's.
+        for i in out_dirty.iter() {
+            self.stats.row_flops[i] = a
+                .row_cols(i)
+                .iter()
+                .map(|&k| b.row_nnz(k as usize) as u64)
+                .sum();
+        }
+        let mut prefix = self.stats.row_flops.clone();
+        self.stats.offsets =
+            partition::balanced_offsets_in_place(&mut prefix, pool.nthreads(), pool);
+        self.stats.total_flop = prefix.last().copied().unwrap_or(0);
+
+        // Splice the symbolic structure: clean rows keep their cached
+        // counts, invalidated rows are re-counted by the kernel.
+        let old_sym = self
+            .symbolic
+            .get_mut()
+            .take()
+            .expect("incremental gate checked symbolic presence");
+        let m = a.nrows();
+        let mut counts: Vec<usize> = (0..m)
+            .map(|i| old_sym.rpts[i + 1] - old_sym.rpts[i])
+            .collect();
+        if !out_dirty.is_empty() {
+            let req = AccumReq {
+                max_row_flop: out_dirty
+                    .iter()
+                    .map(|i| self.stats.row_flops[i])
+                    .max()
+                    .unwrap_or(0) as usize,
+                inner_dim: a.ncols(),
+                ncols_b: b.ncols(),
+            };
+            let counts_ref = &mut counts;
+            with_kernel!(self, a, b, |ws, make| ws.with(
+                0,
+                || make(req.max_row_flop),
+                |acc, reused| {
+                    if reused {
+                        acc.ensure(&req);
+                        acc.scrub();
+                    }
+                    for i in out_dirty.iter() {
+                        counts_ref[i] = acc.symbolic_row(a, b, i);
+                    }
+                },
+            ));
+        }
+        let mut rpts = Vec::with_capacity(m + 1);
+        rpts.push(0usize);
+        let mut total = 0usize;
+        for &c in &counts {
+            total += c;
+            rpts.push(total);
+        }
+        *self.symbolic.get_mut() = Some(Arc::new(SymbolicPlan { rpts, nnz: total }));
+
+        self.a_nnz = a.nnz();
+        self.b_nnz = b.nnz();
+        self.sigs = Some(signatures(a, b));
+        if obs::enabled() {
+            static RESYM: obs::CounterSite =
+                obs::CounterSite::new("delta", "delta.rows_resymbolized");
+            RESYM.add(out_dirty.count() as u64);
+        }
+        Ok(out_dirty)
+    }
+
+    /// Recompute **only** the rows in `dirty` of the product, reusing
+    /// every clean row's bytes from `c` (the product of the previous
+    /// execution), and store the spliced result back into `c`.
+    ///
+    /// Companion to [`SpgemmPlan::rebind_rows`]: pass the dirty set it
+    /// returned, with `c` holding the pre-edit product. The result is
+    /// byte-for-byte what a full [`SpgemmPlan::execute`] would produce
+    /// — clean rows are copied (their inputs are untouched by
+    /// contract), dirty rows run the kernel's ordinary per-row numeric
+    /// path.
+    pub fn execute_rows(
+        &self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        dirty: &DirtyRows,
+        c: &mut Csr<S::Elem>,
+    ) -> Result<(), SparseError> {
+        self.execute_rows_in(a, b, dirty, c, spgemm_par::global_pool())
+    }
+
+    /// [`SpgemmPlan::execute_rows`] on an explicit pool.
+    pub fn execute_rows_in(
+        &self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        dirty: &DirtyRows,
+        c: &mut Csr<S::Elem>,
+        pool: &Pool,
+    ) -> Result<(), SparseError> {
+        let _g = obs::span!("delta", "delta.execute_rows");
+        self.check(a, b, pool)?;
+        if dirty.nrows() != self.dims.0 {
+            return Err(SparseError::PlanMismatch {
+                detail: format!(
+                    "execute_rows: dirty universe {} doesn't match output rows {}",
+                    dirty.nrows(),
+                    self.dims.0
+                ),
+            });
+        }
+        if matches!(self.kernel, PlanKernel::Reference) {
+            *c = crate::algos::reference::multiply::<S>(a, b);
+            return Ok(());
+        }
+        let Some(sym) = self.symbolic.lock().as_ref().map(Arc::clone) else {
+            // One-phase plan before its staged first run: nothing
+            // cached to splice against, so execute in full.
+            return self.execute_into_in(a, b, c, pool);
+        };
+        let (m, _, n) = self.dims;
+        let sorted = self.output_is_sorted();
+        let full = dirty.count() == m;
+        if !full && (c.nrows() != m || c.ncols() != n || c.is_sorted() != sorted) {
+            return Err(SparseError::PlanMismatch {
+                detail: format!(
+                    "execute_rows: cached product is {}x{} (sorted: {}) but the plan \
+                     produces {}x{} (sorted: {})",
+                    c.nrows(),
+                    c.ncols(),
+                    c.is_sorted(),
+                    m,
+                    n,
+                    sorted
+                ),
+            });
+        }
+        let mut cols = vec![0 as ColIdx; sym.nnz];
+        let mut vals = vec![S::zero(); sym.nnz];
+        if !full {
+            for i in 0..m {
+                if dirty.contains(i) {
+                    continue;
+                }
+                let span = sym.rpts[i]..sym.rpts[i + 1];
+                if c.row_nnz(i) != span.len() {
+                    return Err(SparseError::PlanMismatch {
+                        detail: format!(
+                            "execute_rows: clean row {i} has {} entries in the cached \
+                             product but {} in the plan; the cached product is stale",
+                            c.row_nnz(i),
+                            span.len()
+                        ),
+                    });
+                }
+                cols[span.clone()].copy_from_slice(c.row_cols(i));
+                vals[span].copy_from_slice(c.row_vals(i));
+            }
+        }
+        if !dirty.is_empty() {
+            let req = AccumReq {
+                max_row_flop: dirty
+                    .iter()
+                    .map(|i| self.stats.row_flops[i])
+                    .max()
+                    .unwrap_or(0) as usize,
+                inner_dim: a.ncols(),
+                ncols_b: b.ncols(),
+            };
+            let (cols_ref, vals_ref) = (&mut cols, &mut vals);
+            with_kernel!(self, a, b, |ws, make| ws.with(
+                0,
+                || make(req.max_row_flop),
+                |acc, reused| {
+                    if reused {
+                        acc.ensure(&req);
+                        acc.scrub();
+                    }
+                    for i in dirty.iter() {
+                        let span = sym.rpts[i]..sym.rpts[i + 1];
+                        acc.numeric_row(
+                            a,
+                            b,
+                            i,
+                            &mut cols_ref[span.clone()],
+                            &mut vals_ref[span],
+                            sorted,
+                        );
+                    }
+                },
+            ));
+        }
+        *c = Csr::from_parts_unchecked(m, n, sym.rpts.to_vec(), cols, vals, sorted);
+        if obs::enabled() {
+            static RECOMP: obs::CounterSite =
+                obs::CounterSite::new("delta", "delta.rows_recomputed");
+            RECOMP.add(dirty.count() as u64);
         }
         Ok(())
     }

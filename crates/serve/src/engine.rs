@@ -1,6 +1,7 @@
 //! The serving engine: worker threads draining the queue through the
 //! shared plan cache.
 
+use crate::delta::{DeltaTracker, RowUpdateReceipt};
 use crate::error::ServeError;
 use crate::expr_results::ExprResultCache;
 use crate::job::{ExprRequest, JobCore, JobHandle, ProductRequest};
@@ -8,8 +9,9 @@ use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::plan_cache::{PlanKey, SharedPlanCache, S};
 use crate::queue::{BatchKey, ExprJob, JobPayload, JobQueue, QueuedJob};
 use crate::store::MatrixStore;
+use spgemm::delta::{recompute_product_rows, DirtyRows, RowPatch};
 use spgemm::expr::{fnv64, ExprOp};
-use spgemm::{OutputOrder, SpgemmPlan};
+use spgemm::{Algorithm, OutputOrder, SpgemmPlan};
 use spgemm_dist::{DistConfig, DistError, GridSpec, ShardRuntime};
 use spgemm_obs as obs;
 use spgemm_par::{panic_text, Pool};
@@ -126,6 +128,9 @@ struct EngineShared {
     cache: SharedPlanCache,
     expr_results: ExprResultCache,
     metrics: Arc<Metrics>,
+    /// Per-name edit windows behind `try_submit_row_update`; also the
+    /// lock serializing its read-modify-write against the store.
+    deltas: DeltaTracker,
     next_job: AtomicU64,
     max_batch: usize,
     started: Instant,
@@ -177,6 +182,7 @@ impl ServeEngine {
             cache: SharedPlanCache::new(cfg.plan_cache_plans),
             expr_results: ExprResultCache::new(cfg.expr_result_entries),
             metrics: Arc::new(Metrics::default()),
+            deltas: DeltaTracker::default(),
             next_job: AtomicU64::new(0),
             max_batch: cfg.max_batch.max(1),
             started: Instant::now(),
@@ -205,6 +211,66 @@ impl ServeEngine {
     /// The matrix registry.
     pub fn store(&self) -> &MatrixStore {
         &self.shared.store
+    }
+
+    /// Apply a row-granular edit to the registered matrix `name`
+    /// without blocking on the job queue: the patched matrix is
+    /// registered as a new immutable version (in-flight jobs keep
+    /// their snapshots — the usual bounded-staleness contract), and
+    /// the engine records *which rows changed* so expression jobs
+    /// submitted against the new version can **patch** previous
+    /// versions' cached products in place instead of recomputing them
+    /// (see [`MetricsSnapshot::expr_results_patched`]).
+    ///
+    /// Errors mirror the patch contract of
+    /// [`spgemm_sparse::Csr::apply_patch`]: an unknown name is
+    /// [`ServeError::UnknownMatrix`], out-of-bounds coordinates and
+    /// updates of absent entries surface as [`ServeError::Sparse`] and
+    /// leave the registration untouched. Concurrent updates to one
+    /// engine serialize; each sees the previous one's result.
+    ///
+    /// ```
+    /// use spgemm::delta::RowPatch;
+    /// use spgemm_serve::{ServeConfig, ServeEngine};
+    /// use spgemm_sparse::Csr;
+    ///
+    /// let engine = ServeEngine::new(ServeConfig::default());
+    /// engine.store().insert("g", Csr::<f64>::identity(8));
+    /// let mut patch = RowPatch::new();
+    /// patch.insert(2, 5, 1.0).delete(3, 3);
+    /// let receipt = engine.try_submit_row_update("g", &patch).unwrap();
+    /// assert_eq!(receipt.rows_dirtied, 2);
+    /// assert!(receipt.new_version > receipt.old_version);
+    /// let m = engine.shutdown();
+    /// assert_eq!(m.row_updates, 1);
+    /// assert_eq!(m.rows_dirtied, 2);
+    /// ```
+    pub fn try_submit_row_update(
+        &self,
+        name: &str,
+        patch: &RowPatch<f64>,
+    ) -> Result<RowUpdateReceipt, ServeError> {
+        let shared = &self.shared;
+        let _g = shared.deltas.update_guard();
+        let cur = shared
+            .store
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownMatrix { name: name.into() })?;
+        let (patched, dirty) = cur.csr().apply_patch(patch).map_err(ServeError::Sparse)?;
+        let stored = shared.store.insert(name, patched);
+        shared
+            .deltas
+            .record(name, cur.version(), stored.version(), &dirty);
+        shared.metrics.row_updates.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .rows_dirtied
+            .fetch_add(dirty.count() as u64, Ordering::Relaxed);
+        Ok(RowUpdateReceipt {
+            old_version: cur.version(),
+            new_version: stored.version(),
+            rows_dirtied: dirty.count(),
+        })
     }
 
     /// Submit a product without blocking. A full queue is reported as
@@ -558,6 +624,20 @@ fn eval_expr(
             values[i] = Some(cached);
             continue;
         }
+        // Before recomputing a multiply of row-updated inputs, try to
+        // recover the previous version's cached product and patch only
+        // the invalidated rows.
+        if let Some(patched) = try_patch_multiply(shared, job, i) {
+            shared
+                .metrics
+                .expr_results_patched
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .expr_results
+                .insert(job.node_fps[i], Arc::clone(&patched));
+            values[i] = Some(patched);
+            continue;
+        }
         let value_at = |k: usize| -> &Arc<Csr<f64>> {
             values[k].as_ref().expect("operands precede consumers")
         };
@@ -602,6 +682,94 @@ fn eval_expr(
         values[i] = Some(value);
     }
     Ok(values[root].take().expect("root is needed"))
+}
+
+/// Patch-in-place for one expression node: when node `i` is a
+/// `Multiply` of two input leaves, at least one of which was
+/// row-updated since a previous evaluation, recover the *previous*
+/// version's cached product and recompute only the output rows the
+/// edits invalidated (`dirty(A) ∪ {i : A[i] ∩ dirty(B) ≠ ∅}`) via
+/// [`recompute_product_rows`]. Returns `None` whenever any
+/// precondition fails — the caller then evaluates the node normally,
+/// so this path can only save work, never change results.
+///
+/// Byte-for-byte safety: `recompute_product_rows` reproduces the
+/// sorted output of the ascending-`k` accumulator family (Hash,
+/// HashVec, SPA, KkHash, IKJ) exactly, so the patch is gated on those
+/// kernels and on the node *not* routing to the shard fleet (whose
+/// merge path accumulates in its own order).
+fn try_patch_multiply(shared: &EngineShared, job: &ExprJob, node: usize) -> Option<Arc<Csr<f64>>> {
+    if !matches!(
+        job.algo,
+        Algorithm::Hash | Algorithm::HashVec | Algorithm::Spa | Algorithm::KkHash | Algorithm::Ikj
+    ) {
+        return None;
+    }
+    let graph = &job.spec.graph;
+    let ExprOp::Multiply { a, b } = graph.nodes()[node] else {
+        return None;
+    };
+    let ExprOp::Input { slot: sa } = graph.nodes()[a.index()] else {
+        return None;
+    };
+    let ExprOp::Input { slot: sb } = graph.nodes()[b.index()] else {
+        return None;
+    };
+    let am = job.inputs[sa].csr();
+    let bm = job.inputs[sb].csr();
+    if let Some((_, routing)) = &shared.dist {
+        if routes_to_dist(am, bm, routing) {
+            return None;
+        }
+    }
+    // Resolve each operand's edit window once, so the old fingerprint
+    // and the dirty sets describe the same version transition even if
+    // further updates land concurrently.
+    let rec_a = shared
+        .deltas
+        .applicable(job.inputs[sa].name(), job.inputs[sa].version());
+    let rec_b = if sb == sa {
+        rec_a.clone()
+    } else {
+        shared
+            .deltas
+            .applicable(job.inputs[sb].name(), job.inputs[sb].version())
+    };
+    if rec_a.is_none() && rec_b.is_none() {
+        return None; // nothing upstream changed incrementally
+    }
+    let old_version = |slot: usize| -> u64 {
+        let rec = if slot == sa {
+            &rec_a
+        } else if slot == sb {
+            &rec_b
+        } else {
+            &None
+        };
+        rec.as_ref()
+            .map(|r| r.from_version)
+            .unwrap_or_else(|| job.inputs[slot].version())
+    };
+    let old_fp = graph.node_fingerprints(old_version, job.algo as u64)[node];
+    let old_c = shared.expr_results.peek(old_fp)?;
+    if (old_c.nrows(), old_c.ncols()) != (am.nrows(), bm.ncols()) || !old_c.is_sorted() {
+        return None; // fingerprint collision or foreign entry: recompute
+    }
+    let dirty_for = |rec: &Option<crate::delta::DeltaRecord>, nrows: usize| match rec {
+        Some(r) if r.dirty.nrows() == nrows => Some(r.dirty.clone()),
+        Some(_) => None, // universe drifted from the snapshot: recompute
+        None => Some(DirtyRows::new(nrows)),
+    };
+    let dirty_a = dirty_for(&rec_a, am.nrows())?;
+    let dirty_b = dirty_for(&rec_b, bm.nrows())?;
+    let mut out = dirty_a;
+    for i in 0..am.nrows() {
+        if !out.contains(i) && am.row_cols(i).iter().any(|&k| dirty_b.contains(k as usize)) {
+            out.insert(i);
+        }
+    }
+    let _g = obs::span!("delta", "delta.serve_patch");
+    Some(Arc::new(recompute_product_rows(am, bm, &out, &old_c)))
 }
 
 /// Structure fingerprint of node `k`'s value: the store's

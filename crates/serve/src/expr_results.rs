@@ -100,6 +100,19 @@ impl ExprResultCache {
         }
     }
 
+    /// Like [`ExprResultCache::get`] but **without** touching the
+    /// hit/miss counters or the LRU clock — a speculative probe. The
+    /// delta patch-in-place path uses it to look for a *previous*
+    /// version's product: finding one is not a serving hit (the
+    /// current fingerprint already counted its miss), and failing to
+    /// find one should not skew the hit rate.
+    pub(crate) fn peek(&self, fp: u64) -> Option<Arc<Csr<f64>>> {
+        if !self.enabled() {
+            return None;
+        }
+        self.map.lock().get(&fp).map(|e| Arc::clone(&e.value))
+    }
+
     /// Store a computed node result, LRU-evicting beyond the budget.
     pub(crate) fn insert(&self, fp: u64, value: Arc<Csr<f64>>) {
         if !self.enabled() {

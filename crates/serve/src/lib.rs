@@ -37,7 +37,16 @@
 //!   ([`ServeConfig::expr_result_entries`],
 //!   [`MetricsSnapshot::expr_results`]), so pipelines sharing a
 //!   subexpression over the same stored matrices share the computed
-//!   intermediate.
+//!   intermediate;
+//! * **streaming row updates**
+//!   ([`ServeEngine::try_submit_row_update`]): registered matrices
+//!   accept row-granular [`spgemm::delta::RowPatch`]es; the engine
+//!   tracks which rows each update dirtied, and expression jobs
+//!   submitted against the new version **patch** the previous
+//!   version's cached products in place — recomputing only the
+//!   invalidated output rows, byte-for-byte equal to a full
+//!   re-evaluation ([`MetricsSnapshot::expr_results_patched`] counts
+//!   the saves).
 //!
 //! The `spgemm-serve` binary in `spgemm-bench` drives the engine with
 //! an open-loop synthetic traffic generator (MCL-style A² chains, AMG
@@ -84,6 +93,7 @@
 
 #![warn(missing_docs)]
 
+mod delta;
 mod engine;
 mod error;
 mod expr_results;
@@ -93,6 +103,7 @@ mod plan_cache;
 mod queue;
 mod store;
 
+pub use delta::RowUpdateReceipt;
 pub use engine::{DistRouting, ServeConfig, ServeEngine};
 pub use error::ServeError;
 pub use expr_results::ExprResultCacheStats;

@@ -76,6 +76,15 @@ pub(crate) struct Metrics {
     /// Expression nodes actually computed (subexpression-cache misses
     /// and uncached evaluations; cache hits are counted by the cache).
     pub(crate) expr_nodes_computed: AtomicU64,
+    /// Streaming row updates applied through
+    /// `ServeEngine::try_submit_row_update`.
+    pub(crate) row_updates: AtomicU64,
+    /// Total rows dirtied by those updates (sum of per-update
+    /// `DirtyRows` counts).
+    pub(crate) rows_dirtied: AtomicU64,
+    /// Expression `Multiply` nodes served by patching a previous
+    /// version's cached product in place instead of recomputing it.
+    pub(crate) expr_results_patched: AtomicU64,
     /// Engine-wide latency histograms (always on; fixed footprint).
     overall: LatencyRecorder,
     /// Per-tenant recorders, created on first submission, capped at
@@ -166,6 +175,9 @@ impl Metrics {
             dist_routed: self.dist_routed.load(Ordering::Relaxed),
             expr_jobs: self.expr_jobs.load(Ordering::Relaxed),
             expr_nodes_computed: self.expr_nodes_computed.load(Ordering::Relaxed),
+            row_updates: self.row_updates.load(Ordering::Relaxed),
+            rows_dirtied: self.rows_dirtied.load(Ordering::Relaxed),
+            expr_results_patched: self.expr_results_patched.load(Ordering::Relaxed),
             queue_depth: queue_depth_per_lane.iter().sum(),
             queue_depth_per_lane,
             plan_cache,
@@ -258,6 +270,16 @@ pub struct MetricsSnapshot {
     /// Expression nodes computed (as opposed to served from the
     /// subexpression result cache).
     pub expr_nodes_computed: u64,
+    /// Streaming row updates applied
+    /// (`ServeEngine::try_submit_row_update`).
+    pub row_updates: u64,
+    /// Total matrix rows dirtied across those updates.
+    pub rows_dirtied: u64,
+    /// Expression `Multiply` nodes served by **patching** a previous
+    /// version's cached product (recomputing only the rows the
+    /// intervening row updates invalidated) instead of evaluating the
+    /// node from scratch.
+    pub expr_results_patched: u64,
     /// Queued jobs at snapshot time (sum of the per-lane depths).
     pub queue_depth: usize,
     /// Queued jobs per priority lane at snapshot time: `[High,

@@ -1,0 +1,454 @@
+//! Row-granular edits: [`RowPatch`] and [`DirtyRows`].
+//!
+//! Dynamic-graph workloads (edge streams, MCL pruning feedback,
+//! online serving) mutate a few rows of an otherwise stable matrix.
+//! The inspector–executor machinery upstream (`spgemm`'s plan layer)
+//! can re-run its symbolic phase for *only* the affected output rows —
+//! but it needs to know exactly which input rows changed. This module
+//! provides the vocabulary:
+//!
+//! * [`RowPatch`] — an ordered batch of `insert` / `update` / `delete`
+//!   edge edits against named `(row, col)` coordinates.
+//! * [`Csr::apply_patch`] — applies a patch, producing the **new
+//!   matrix version** plus the [`DirtyRows`] bitset of rows it
+//!   touched. The input matrix is not mutated: versions stay
+//!   immutable, which is what lets plan layers keep a snapshot of the
+//!   pre-edit structure for differential work.
+//! * [`DirtyRows`] — a dense bitset over row indices with the small
+//!   set-algebra (union, iteration, counting) delta propagation needs.
+
+use crate::{ColIdx, Csr, SparseError};
+
+/// A set of row indices, stored as a dense bitset over `0..nrows`.
+///
+/// This is the currency of incremental recomputation: every patch
+/// yields one, every plan-layer delta operation consumes and produces
+/// them. The universe size (`nrows`) travels with the set so that
+/// mismatched universes are caught instead of silently mis-indexed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirtyRows {
+    nrows: usize,
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl DirtyRows {
+    /// The empty set over `0..nrows`.
+    pub fn new(nrows: usize) -> Self {
+        DirtyRows {
+            nrows,
+            words: vec![0u64; nrows.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// The full set (every row dirty) over `0..nrows`.
+    pub fn all(nrows: usize) -> Self {
+        let mut s = Self::new(nrows);
+        for i in 0..nrows {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Build from an iterator of row indices (duplicates are fine).
+    pub fn from_rows(nrows: usize, rows: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::new(nrows);
+        for i in rows {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Size of the universe (`nrows` of the matrix the set indexes).
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of rows in the set.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// `count / nrows` (0 for an empty universe) — the "fraction of
+    /// rows touched" figure delta benchmarks report.
+    pub fn fraction(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.nrows as f64
+        }
+    }
+
+    /// Add row `i`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    /// If `i` is outside the universe.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.nrows, "row {i} outside universe 0..{}", self.nrows);
+        let (w, b) = (i / 64, i % 64);
+        let fresh = self.words[w] & (1u64 << b) == 0;
+        if fresh {
+            self.words[w] |= 1u64 << b;
+            self.count += 1;
+        }
+        fresh
+    }
+
+    /// Whether row `i` is in the set (`false` when out of universe).
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.nrows && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// In-place union with another set over the same universe.
+    ///
+    /// # Panics
+    /// If the universes differ.
+    pub fn union_with(&mut self, other: &DirtyRows) {
+        assert_eq!(
+            self.nrows, other.nrows,
+            "union of DirtyRows over different universes"
+        );
+        let mut count = 0usize;
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+            count += w.count_ones() as usize;
+        }
+        self.count = count;
+    }
+
+    /// Iterate the set's rows in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// One edit of a [`RowPatch`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Edit<T> {
+    /// Upsert: overwrite the entry if present, create it otherwise.
+    Insert(T),
+    /// Overwrite an entry that must already exist.
+    Update(T),
+    /// Remove the entry if present (absent entries are a no-op).
+    Delete,
+}
+
+/// An ordered batch of edge edits against a sparse matrix.
+///
+/// Edits are applied in insertion order within each row, so a later
+/// edit of the same coordinate wins. `insert` is an upsert; `update`
+/// requires the entry to exist (guarding against typo'd coordinates
+/// in workloads that only ever reweight existing edges); `delete` of
+/// an absent entry is a no-op (idempotent edge removal).
+///
+/// ```
+/// use spgemm_sparse::{Csr, RowPatch};
+///
+/// let a = Csr::<f64>::identity(4);
+/// let mut p = RowPatch::new();
+/// p.insert(0, 2, 5.0).update(1, 1, -1.0).delete(3, 3);
+/// let (b, dirty) = a.apply_patch(&p)?;
+/// assert_eq!(b.get(0, 2), Some(&5.0));
+/// assert_eq!(b.get(1, 1), Some(&-1.0));
+/// assert_eq!(b.get(3, 3), None);
+/// assert_eq!(dirty.count(), 3);
+/// assert_eq!(a.nnz(), 4, "the source version is untouched");
+/// # Ok::<(), spgemm_sparse::SparseError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RowPatch<T> {
+    edits: Vec<(usize, ColIdx, Edit<T>)>,
+}
+
+impl<T> RowPatch<T> {
+    /// An empty patch.
+    pub fn new() -> Self {
+        RowPatch { edits: Vec::new() }
+    }
+
+    /// Upsert entry `(row, col)` to `val`.
+    pub fn insert(&mut self, row: usize, col: ColIdx, val: T) -> &mut Self {
+        self.edits.push((row, col, Edit::Insert(val)));
+        self
+    }
+
+    /// Overwrite existing entry `(row, col)` with `val`; applying the
+    /// patch fails with [`SparseError::PlanMismatch`] if it is absent.
+    pub fn update(&mut self, row: usize, col: ColIdx, val: T) -> &mut Self {
+        self.edits.push((row, col, Edit::Update(val)));
+        self
+    }
+
+    /// Remove entry `(row, col)` if present.
+    pub fn delete(&mut self, row: usize, col: ColIdx) -> &mut Self {
+        self.edits.push((row, col, Edit::Delete));
+        self
+    }
+
+    /// Number of edits in the patch.
+    pub fn len(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// Whether the patch contains no edits.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// The distinct rows the patch touches, as a set over `0..nrows`.
+    pub fn dirty_rows(&self, nrows: usize) -> DirtyRows {
+        DirtyRows::from_rows(nrows, self.edits.iter().map(|&(r, _, _)| r))
+    }
+}
+
+impl<T: Copy + PartialEq> Csr<T> {
+    /// Apply a [`RowPatch`], returning the edited matrix (a new
+    /// version; `self` is unchanged) and the [`DirtyRows`] set of rows
+    /// the patch touched.
+    ///
+    /// Sortedness is preserved: edited rows of a sorted matrix come
+    /// out sorted; in an unsorted matrix, surviving entries keep their
+    /// relative order and inserts append at the row's end in edit
+    /// order. Coordinates are validated up front — a row or column out
+    /// of bounds fails with [`SparseError::BadPartition`] /
+    /// [`SparseError::ColumnOutOfBounds`], and an `update` of an
+    /// absent entry with [`SparseError::PlanMismatch`] — before any
+    /// work is done, so errors never yield a half-applied version.
+    pub fn apply_patch(&self, patch: &RowPatch<T>) -> Result<(Csr<T>, DirtyRows), SparseError> {
+        for &(row, col, _) in &patch.edits {
+            if row >= self.nrows() {
+                return Err(SparseError::BadPartition {
+                    detail: format!(
+                        "apply_patch: row {row} out of bounds for {} rows",
+                        self.nrows()
+                    ),
+                });
+            }
+            if (col as usize) >= self.ncols() {
+                return Err(SparseError::ColumnOutOfBounds {
+                    row,
+                    col,
+                    ncols: self.ncols(),
+                });
+            }
+        }
+        let dirty = patch.dirty_rows(self.nrows());
+
+        // Edit each dirty row as a (col, val) list, then reassemble.
+        let mut edited: Vec<(usize, Vec<(ColIdx, T)>)> = dirty
+            .iter()
+            .map(|i| {
+                let row: Vec<(ColIdx, T)> = self
+                    .row_cols(i)
+                    .iter()
+                    .copied()
+                    .zip(self.row_vals(i).iter().copied())
+                    .collect();
+                (i, row)
+            })
+            .collect();
+        for &(row, col, ref edit) in &patch.edits {
+            let slot = edited
+                .binary_search_by_key(&row, |&(i, _)| i)
+                .expect("every patched row collected above");
+            let entries = &mut edited[slot].1;
+            let pos = entries.iter().position(|&(c, _)| c == col);
+            match (edit, pos) {
+                (Edit::Insert(v) | Edit::Update(v), Some(p)) => entries[p].1 = *v,
+                (Edit::Insert(v), None) => entries.push((col, *v)),
+                (Edit::Update(_), None) => {
+                    return Err(SparseError::PlanMismatch {
+                        detail: format!(
+                            "apply_patch: update of absent entry ({row}, {col}); \
+                             use insert to create new entries"
+                        ),
+                    });
+                }
+                (Edit::Delete, Some(p)) => {
+                    entries.remove(p);
+                }
+                (Edit::Delete, None) => {}
+            }
+        }
+        if self.is_sorted() {
+            for (_, entries) in edited.iter_mut() {
+                entries.sort_unstable_by_key(|&(c, _)| c);
+            }
+        }
+
+        let delta_nnz: isize = edited
+            .iter()
+            .map(|&(i, ref e)| e.len() as isize - self.row_nnz(i) as isize)
+            .sum();
+        let new_nnz = (self.nnz() as isize + delta_nnz) as usize;
+        let mut rpts = Vec::with_capacity(self.nrows() + 1);
+        rpts.push(0usize);
+        let mut cols = Vec::with_capacity(new_nnz);
+        let mut vals = Vec::with_capacity(new_nnz);
+        let mut next_edited = 0usize;
+        for i in 0..self.nrows() {
+            if next_edited < edited.len() && edited[next_edited].0 == i {
+                for &(c, v) in &edited[next_edited].1 {
+                    cols.push(c);
+                    vals.push(v);
+                }
+                next_edited += 1;
+            } else {
+                cols.extend_from_slice(self.row_cols(i));
+                vals.extend_from_slice(self.row_vals(i));
+            }
+            rpts.push(cols.len());
+        }
+        Ok((
+            Csr::from_parts_unchecked(self.nrows(), self.ncols(), rpts, cols, vals, {
+                self.is_sorted()
+            }),
+            dirty,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<f64> {
+        Csr::from_triplets(
+            4,
+            5,
+            &[
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+                (2, 4, 6.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dirty_rows_set_algebra() {
+        let mut s = DirtyRows::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "reinsertion reports absent");
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(129) && !s.contains(128));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+
+        let t = DirtyRows::from_rows(130, [64, 65]);
+        let mut u = s.clone();
+        u.union_with(&t);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![0, 64, 65, 129]);
+        assert_eq!(u.count(), 4);
+        assert!((u.fraction() - 4.0 / 130.0).abs() < 1e-12);
+
+        assert_eq!(DirtyRows::all(70).count(), 70);
+    }
+
+    #[test]
+    fn patch_insert_update_delete() {
+        let a = sample();
+        let mut p = RowPatch::new();
+        p.insert(0, 1, 9.0) // new entry
+            .insert(0, 3, -2.0) // upsert over existing
+            .update(1, 1, 7.0) // overwrite
+            .delete(2, 2) // remove
+            .delete(3, 4); // absent: no-op
+        let (b, dirty) = a.apply_patch(&p).unwrap();
+        assert!(b.validate().is_ok());
+        assert!(b.is_sorted(), "sorted input stays sorted");
+        assert_eq!(b.get(0, 1), Some(&9.0));
+        assert_eq!(b.get(0, 3), Some(&-2.0));
+        assert_eq!(b.get(1, 1), Some(&7.0));
+        assert_eq!(b.get(2, 2), None);
+        assert_eq!(b.nnz(), a.nnz(), "one insert, one delete");
+        assert_eq!(dirty.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // the original version is untouched
+        assert_eq!(a.get(2, 2), Some(&5.0));
+    }
+
+    #[test]
+    fn patch_can_empty_and_refill_rows() {
+        let a = sample();
+        let mut p = RowPatch::new();
+        p.delete(2, 0).delete(2, 2).delete(2, 4);
+        let (b, _) = a.apply_patch(&p).unwrap();
+        assert_eq!(b.row_nnz(2), 0);
+
+        let mut refill = RowPatch::new();
+        for c in 0..5u32 {
+            refill.insert(3, c, c as f64);
+        }
+        let (c, dirty) = b.apply_patch(&refill).unwrap();
+        assert_eq!(c.row_nnz(3), 5);
+        assert_eq!(dirty.iter().collect::<Vec<_>>(), vec![3]);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn patch_preserves_unsorted_entry_order() {
+        let a = Csr::from_parts(1, 4, vec![0, 3], vec![2, 0, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(!a.is_sorted());
+        let mut p = RowPatch::new();
+        p.delete(0, 0).insert(0, 1, 9.0);
+        let (b, _) = a.apply_patch(&p).unwrap();
+        assert_eq!(b.row_cols(0), &[2, 3, 1], "order kept, insert appended");
+        assert!(!b.is_sorted());
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn patch_rejects_bad_coordinates_atomically() {
+        let a = sample();
+        let mut p = RowPatch::new();
+        p.insert(0, 0, 1.0).insert(9, 0, 1.0);
+        assert!(matches!(
+            a.apply_patch(&p),
+            Err(SparseError::BadPartition { .. })
+        ));
+        let mut q = RowPatch::new();
+        q.insert(0, 99, 1.0);
+        assert!(matches!(
+            a.apply_patch(&q),
+            Err(SparseError::ColumnOutOfBounds { col: 99, .. })
+        ));
+        let mut r = RowPatch::new();
+        r.update(3, 0, 1.0);
+        assert!(matches!(
+            a.apply_patch(&r),
+            Err(SparseError::PlanMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn later_edits_of_same_coordinate_win() {
+        let a = sample();
+        let mut p = RowPatch::new();
+        p.insert(3, 2, 1.0).delete(3, 2).insert(3, 2, 4.0);
+        let (b, _) = a.apply_patch(&p).unwrap();
+        assert_eq!(b.get(3, 2), Some(&4.0));
+        assert_eq!(b.row_nnz(3), 1);
+    }
+}

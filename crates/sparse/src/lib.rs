@@ -35,6 +35,7 @@
 mod coo;
 mod csc;
 mod csr;
+pub mod delta;
 mod error;
 pub mod io;
 pub mod ops;
@@ -46,6 +47,7 @@ pub mod stats;
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::{approx_eq_f64, Csr, RowView};
+pub use delta::{DirtyRows, RowPatch};
 pub use error::SparseError;
 pub use partitioned::PartitionedCsr;
 pub use scalar::Scalar;

@@ -1,0 +1,352 @@
+//! The differential oracle for incremental SpGEMM: random edit
+//! streams drive `Csr::apply_patch` → `SpgemmPlan::rebind_rows` →
+//! `SpgemmPlan::execute_rows`, and at **every** step the incrementally
+//! maintained product must be *byte-for-byte* identical (row pointers,
+//! column indices, and value bits) to a plan built and executed from
+//! scratch on the patched operands. No tolerance, no sorting slack —
+//! if any kernel's incremental path ever diverges from its full path
+//! by a single bit, these tests fail.
+
+use proptest::prelude::*;
+use spgemm::{Algorithm, DirtyRows, OutputOrder, RowPatch, SpgemmPlan};
+use spgemm_par::Pool;
+use spgemm_sparse::{Csr, PlusTimes};
+
+type P = PlusTimes<f64>;
+type Plan = SpgemmPlan<P>;
+
+/// Every kernel the workspace ships (Auto excluded: it resolves per
+/// structure and is covered through the kernels it resolves to).
+const ALL: &[Algorithm] = &[
+    Algorithm::Hash,
+    Algorithm::HashVec,
+    Algorithm::Heap,
+    Algorithm::Spa,
+    Algorithm::Merge,
+    Algorithm::Inspector,
+    Algorithm::KkHash,
+    Algorithm::Ikj,
+    Algorithm::Reference,
+];
+
+/// Kernels whose input contract admits unsorted operands.
+const UNSORTED_INPUT_OK: &[Algorithm] = &[
+    Algorithm::Hash,
+    Algorithm::HashVec,
+    Algorithm::Spa,
+    Algorithm::Inspector,
+    Algorithm::KkHash,
+    Algorithm::Ikj,
+    Algorithm::Reference,
+];
+
+/// Bitwise equality: the contract under test. `Csr: PartialEq` would
+/// already distinguish 0.0 from -0.0 via `f64::eq`, but going through
+/// `to_bits` makes the intent explicit and catches NaN payloads too.
+fn bits_eq(a: &Csr<f64>, b: &Csr<f64>) -> bool {
+    a.nrows() == b.nrows()
+        && a.ncols() == b.ncols()
+        && a.is_sorted() == b.is_sorted()
+        && a.rpts() == b.rpts()
+        && a.cols() == b.cols()
+        && a.vals().len() == b.vals().len()
+        && a.vals()
+            .iter()
+            .zip(b.vals())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn assert_bits_eq(got: &Csr<f64>, want: &Csr<f64>, ctx: &str) {
+    assert!(
+        bits_eq(got, want),
+        "{ctx}: incremental product diverged from the fresh-plan oracle \
+         (got {}x{} nnz={}, want {}x{} nnz={})",
+        got.nrows(),
+        got.ncols(),
+        got.nnz(),
+        want.nrows(),
+        want.ncols(),
+        want.nnz()
+    );
+}
+
+/// A base matrix with deliberately unsorted rows: rotate every
+/// multi-entry row by one so the stored order is wrong but the set of
+/// entries is unchanged.
+fn scramble(m: &Csr<f64>) -> Csr<f64> {
+    let mut rpts = Vec::with_capacity(m.nrows() + 1);
+    rpts.push(0usize);
+    let mut cols = Vec::with_capacity(m.nnz());
+    let mut vals = Vec::with_capacity(m.nnz());
+    for i in 0..m.nrows() {
+        let (rc, rv) = (m.row_cols(i), m.row_vals(i));
+        if rc.len() > 1 {
+            cols.extend_from_slice(&rc[1..]);
+            cols.push(rc[0]);
+            vals.extend_from_slice(&rv[1..]);
+            vals.push(rv[0]);
+        } else {
+            cols.extend_from_slice(rc);
+            vals.extend_from_slice(rv);
+        }
+        rpts.push(cols.len());
+    }
+    Csr::from_parts_unchecked(m.nrows(), m.ncols(), rpts, cols, vals, false)
+}
+
+fn rmat(scale: u32, ef: usize, seed: u64) -> Csr<f64> {
+    spgemm_gen::rmat::generate_kind(
+        spgemm_gen::RmatKind::G500,
+        scale,
+        ef,
+        &mut spgemm_gen::rng(seed),
+    )
+}
+
+/// One scripted edit: which operand, which row/col, and what to do.
+#[derive(Clone, Debug)]
+struct Edit {
+    on_a: bool,
+    row: usize,
+    col: usize,
+    kind: u8, // 0 = insert/upsert, 1 = delete, 2 = value-only upsert
+    val: f64,
+}
+
+fn edit_strategy(n: usize) -> impl Strategy<Value = Edit> {
+    (prop::bool::ANY, 0..n, 0..n, 0u8..3, -4.0f64..4.0).prop_map(|(on_a, row, col, kind, val)| {
+        Edit {
+            on_a,
+            row,
+            col,
+            kind,
+            val,
+        }
+    })
+}
+
+/// Drive one edit stream through one (algorithm, order, sorted-base)
+/// configuration, asserting oracle equality after every step.
+fn run_stream(algo: Algorithm, order: OutputOrder, sorted_base: bool, edits: &[Edit], seed: u64) {
+    let pool = Pool::new(2);
+    let base = rmat(5, 4, seed);
+    let base = if sorted_base { base } else { scramble(&base) };
+    let mut a = base.clone();
+    let mut b = {
+        // A distinct right operand so A- and B-side edits exercise
+        // different dependency paths (direct rows vs consumer rows).
+        let other = rmat(5, 4, seed.wrapping_add(101));
+        if sorted_base {
+            other
+        } else {
+            scramble(&other)
+        }
+    };
+    let mut plan = Plan::new_in(&a, &b, algo, order, &pool).expect("plan");
+    let mut c = plan.execute_in(&a, &b, &pool).expect("execute");
+    for (step, edit) in edits.iter().enumerate() {
+        let mut patch = RowPatch::new();
+        match edit.kind {
+            0 | 2 => patch.insert(edit.row, edit.col as u32, edit.val),
+            _ => patch.delete(edit.row, edit.col as u32),
+        };
+        let (dirty_a, dirty_b);
+        if edit.on_a {
+            let (next, dirty) = a.apply_patch(&patch).expect("patch a");
+            a = next;
+            dirty_a = dirty;
+            dirty_b = DirtyRows::new(b.nrows());
+        } else {
+            let (next, dirty) = b.apply_patch(&patch).expect("patch b");
+            b = next;
+            dirty_b = dirty;
+            dirty_a = DirtyRows::new(a.nrows());
+        }
+        let out = plan
+            .rebind_rows_in(&a, &b, &dirty_a, &dirty_b, &pool)
+            .expect("rebind_rows");
+        plan.execute_rows_in(&a, &b, &out, &mut c, &pool)
+            .expect("execute_rows");
+        let fresh = Plan::new_in(&a, &b, algo, order, &pool)
+            .expect("fresh plan")
+            .execute_in(&a, &b, &pool)
+            .expect("fresh execute");
+        assert_bits_eq(
+            &c,
+            &fresh,
+            &format!("step {step} ({algo:?}/{order:?}, sorted_base={sorted_base})"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline oracle: random interleaved A/B edit streams across
+    /// every kernel, sorted output, sorted base.
+    #[test]
+    fn edit_streams_match_fresh_plans_sorted(
+        seed in 0u64..500,
+        edits in prop::collection::vec(edit_strategy(32), 1..10),
+    ) {
+        for &algo in ALL {
+            run_stream(algo, OutputOrder::Sorted, true, &edits, seed);
+        }
+    }
+
+    /// Unsorted output contract over a sorted base.
+    #[test]
+    fn edit_streams_match_fresh_plans_unsorted_output(
+        seed in 0u64..500,
+        edits in prop::collection::vec(edit_strategy(32), 1..8),
+    ) {
+        for &algo in ALL {
+            run_stream(algo, OutputOrder::Unsorted, true, &edits, seed);
+        }
+    }
+
+    /// Unsorted *operands* (storage order scrambled) through every
+    /// kernel that accepts them, both output contracts.
+    #[test]
+    fn edit_streams_match_fresh_plans_unsorted_base(
+        seed in 0u64..500,
+        edits in prop::collection::vec(edit_strategy(32), 1..8),
+    ) {
+        for &algo in UNSORTED_INPUT_OK {
+            run_stream(algo, OutputOrder::Unsorted, false, &edits, seed);
+            run_stream(algo, OutputOrder::Sorted, false, &edits, seed);
+        }
+    }
+}
+
+/// Adversarial: a patch that empties rows entirely (and later refills
+/// one) must splice zero-length rows without disturbing neighbours.
+#[test]
+fn emptied_and_refilled_rows_stay_byte_exact() {
+    let pool = Pool::new(2);
+    for &algo in ALL {
+        let a = rmat(5, 4, 7);
+        let b = rmat(5, 4, 8);
+        let mut plan = Plan::new_in(&a, &b, algo, OutputOrder::Sorted, &pool).unwrap();
+        let mut c = plan.execute_in(&a, &b, &pool).unwrap();
+        // Empty row 3 of A completely.
+        let mut wipe = RowPatch::new();
+        for &col in a.row_cols(3) {
+            wipe.delete(3, col);
+        }
+        let (a2, dirty) = a.apply_patch(&wipe).unwrap();
+        assert_eq!(a2.row_nnz(3), 0);
+        let none = DirtyRows::new(b.nrows());
+        let out = plan.rebind_rows_in(&a2, &b, &dirty, &none, &pool).unwrap();
+        plan.execute_rows_in(&a2, &b, &out, &mut c, &pool).unwrap();
+        let fresh = Plan::new_in(&a2, &b, algo, OutputOrder::Sorted, &pool)
+            .unwrap()
+            .execute_in(&a2, &b, &pool)
+            .unwrap();
+        assert_bits_eq(&c, &fresh, &format!("emptied row ({algo:?})"));
+        // Refill it with a different pattern.
+        let mut refill = RowPatch::new();
+        refill
+            .insert(3, 0, 1.5)
+            .insert(3, 17, -2.0)
+            .insert(3, 30, 0.25);
+        let (a3, dirty) = a2.apply_patch(&refill).unwrap();
+        let out = plan.rebind_rows_in(&a3, &b, &dirty, &none, &pool).unwrap();
+        plan.execute_rows_in(&a3, &b, &out, &mut c, &pool).unwrap();
+        let fresh = Plan::new_in(&a3, &b, algo, OutputOrder::Sorted, &pool)
+            .unwrap()
+            .execute_in(&a3, &b, &pool)
+            .unwrap();
+        assert_bits_eq(&c, &fresh, &format!("refilled row ({algo:?})"));
+    }
+}
+
+/// Adversarial: one row grows from a couple of entries to a dense-ish
+/// stripe, pushing its flop count far past what the pooled accumulator
+/// was originally sized for — `ensure` must regrow, never truncate.
+#[test]
+fn row_growing_past_accumulator_class_stays_byte_exact() {
+    let pool = Pool::new(1);
+    for &algo in ALL {
+        let n = 64;
+        let a = Csr::<f64>::identity(n);
+        let b = rmat(6, 6, 21);
+        let mut plan = Plan::new_in(&a, &b, algo, OutputOrder::Sorted, &pool).unwrap();
+        let mut c = plan.execute_in(&a, &b, &pool).unwrap();
+        // Row 5 of A grows from 1 entry (identity) to most of the row.
+        let mut grow = RowPatch::new();
+        for j in (0..n).step_by(2) {
+            grow.insert(5, j as u32, 0.5 + j as f64);
+        }
+        let (a2, dirty) = a.apply_patch(&grow).unwrap();
+        let none = DirtyRows::new(b.nrows());
+        let out = plan.rebind_rows_in(&a2, &b, &dirty, &none, &pool).unwrap();
+        assert!(out.contains(5));
+        plan.execute_rows_in(&a2, &b, &out, &mut c, &pool).unwrap();
+        let fresh = Plan::new_in(&a2, &b, algo, OutputOrder::Sorted, &pool)
+            .unwrap()
+            .execute_in(&a2, &b, &pool)
+            .unwrap();
+        assert_bits_eq(&c, &fresh, &format!("grown row ({algo:?})"));
+    }
+}
+
+/// Adversarial: a patch touching every row (dirty = all) must still be
+/// byte-exact — the degenerate case where "incremental" recomputes
+/// everything.
+#[test]
+fn dirty_all_rows_stays_byte_exact() {
+    let pool = Pool::new(2);
+    for &algo in ALL {
+        let a = rmat(5, 4, 33);
+        let b = rmat(5, 4, 34);
+        let mut plan = Plan::new_in(&a, &b, algo, OutputOrder::Sorted, &pool).unwrap();
+        let mut c = plan.execute_in(&a, &b, &pool).unwrap();
+        let mut patch = RowPatch::new();
+        for i in 0..a.nrows() {
+            patch.insert(i, (i % a.ncols()) as u32, i as f64 + 0.5);
+        }
+        let (a2, dirty) = a.apply_patch(&patch).unwrap();
+        assert_eq!(dirty.count(), a.nrows(), "every row is dirty");
+        let none = DirtyRows::new(b.nrows());
+        let out = plan.rebind_rows_in(&a2, &b, &dirty, &none, &pool).unwrap();
+        plan.execute_rows_in(&a2, &b, &out, &mut c, &pool).unwrap();
+        let fresh = Plan::new_in(&a2, &b, algo, OutputOrder::Sorted, &pool)
+            .unwrap()
+            .execute_in(&a2, &b, &pool)
+            .unwrap();
+        assert_bits_eq(&c, &fresh, &format!("dirty=all ({algo:?})"));
+    }
+}
+
+/// B-side edits must invalidate exactly the consumer rows: a row of B
+/// nobody references leaves the dirty set empty (and the product
+/// unchanged).
+#[test]
+fn unconsumed_b_row_edit_recomputes_nothing() {
+    let pool = Pool::new(1);
+    let n = 16;
+    // A references only columns 0..8, so editing B rows 8.. is free.
+    let a = Csr::from_triplets(
+        n,
+        n,
+        &(0..n)
+            .map(|i| (i, (i % 8) as u32, 1.0 + i as f64))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let b = rmat(4, 4, 55);
+    let mut plan = Plan::new_in(&a, &b, Algorithm::Hash, OutputOrder::Sorted, &pool).unwrap();
+    let mut c = plan.execute_in(&a, &b, &pool).unwrap();
+    let before = c.clone();
+    let mut patch = RowPatch::new();
+    patch.insert(12, 3, 9.0);
+    let (b2, dirty_b) = b.apply_patch(&patch).unwrap();
+    let none = DirtyRows::new(a.nrows());
+    let out = plan
+        .rebind_rows_in(&a, &b2, &none, &dirty_b, &pool)
+        .unwrap();
+    assert!(out.is_empty(), "no output row consumes B row 12");
+    plan.execute_rows_in(&a, &b2, &out, &mut c, &pool).unwrap();
+    assert_bits_eq(&c, &before, "unconsumed edit");
+}
