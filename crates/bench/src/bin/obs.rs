@@ -3,7 +3,7 @@
 //! workload and checks that the collected trace actually decomposes
 //! the run.
 //!
-//! Three parts:
+//! Four parts:
 //!
 //! 1. **Disabled overhead.** With collection off, a span enter/exit is
 //!    one relaxed atomic load; this part times a million of them and
@@ -18,10 +18,17 @@
 //!    checks the per-tenant latency split: queue delay + service time
 //!    must reassemble total latency, and every tenant gets its own
 //!    p50/p99.
+//! 4. **Request tracing + SLO.** Submits a mixed workload where one
+//!    expression job routes through the shard fleet, then inspects the
+//!    retained tail exemplar: its span tree must connect submission,
+//!    worker and shard threads through flow links, cover ≥ 95% of the
+//!    measured service window, and the per-tenant SLO counters must
+//!    account for every completed job.
 //!
 //! The Chrome-format trace is written to `--trace PATH` (default: a
 //! file under the system temp dir) and loads directly into
-//! `chrome://tracing` or Perfetto.
+//! `chrome://tracing` or Perfetto; the slowest traced request's own
+//! span tree is written next to it as `*-exemplar.json`.
 //!
 //! ```text
 //! cargo run --release -p spgemm-bench --bin spgemm-obs -- \
@@ -30,13 +37,17 @@
 //!     [--smoke]   # CI assertion run
 //! ```
 
+use spgemm::expr::{ExprGraph, ExprSpec};
 use spgemm::{Algorithm, OutputOrder, SpgemmPlan};
 use spgemm_apps::mcl::{mcl_step, MclParams, MclPipeline};
 use spgemm_bench::envinfo;
+use spgemm_dist::GridSpec;
 use spgemm_obs as obs;
-use spgemm_serve::{Priority, ProductRequest, ServeConfig, ServeEngine};
+use spgemm_serve::{
+    DistRouting, ExprRequest, Priority, ProductRequest, ServeConfig, ServeEngine, SloPolicy,
+};
 use spgemm_sparse::{ops, Csr, PlusTimes};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type P = PlusTimes<f64>;
 
@@ -253,6 +264,145 @@ fn serve_workload(seed: u64, smoke: bool) -> spgemm_serve::MetricsSnapshot {
     snap
 }
 
+/// What part 4 measured: the dist-routed request's retained exemplar
+/// and how well its span tree explains the measured service window.
+struct DistTraceReport {
+    snap: spgemm_serve::MetricsSnapshot,
+    exemplar: obs::ExemplarTrace,
+    /// Span coverage of the service window on the executing worker's
+    /// thread (the `serve.batch` tid), envelope excluded.
+    coverage: f64,
+    /// Distinct thread ids among the exemplar's spans.
+    tids: usize,
+    /// Flow pairs whose start and end landed on different threads.
+    cross_thread_flows: usize,
+    /// Tid hosting the `serve.batch` span (coverage diagnostics).
+    batch_tid: u64,
+    /// Service window the coverage was computed over.
+    window: (u64, u64),
+}
+
+/// Part 4: one expression job whose `Multiply` node crosses the dist
+/// thresholds (tenant "mcl", SLO-tracked) next to plain monolithic
+/// products (tenant "adhoc"); returns the engine snapshot and the
+/// dist-routed request's exemplar trace.
+fn traced_dist_serve(seed: u64) -> DistTraceReport {
+    obs::enable();
+    // Fresh exemplar window: parts 2–3 must not occupy retention.
+    obs::roll_exemplar_window();
+
+    let mut rng = spgemm_gen::rng(seed ^ 0xd157);
+    let big = {
+        let g = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 9, 8, &mut rng);
+        ops::symmetrize_simple(&g).expect("square")
+    };
+    let small = {
+        let g = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 6, 8, &mut rng);
+        ops::symmetrize_simple(&g).expect("square")
+    };
+    // Threshold between the two: big·big routes (2·nnz ≥ nnz + 1),
+    // small·small stays monolithic.
+    let min_operand_nnz = big.nnz() + 1;
+    let engine = ServeEngine::new(ServeConfig {
+        workers: 2,
+        dist: Some(DistRouting {
+            grid: GridSpec::new(2, 1),
+            threads_per_shard: 1,
+            min_operand_nnz,
+            min_flop: None,
+        }),
+        slo: SloPolicy {
+            default_target: Some(Duration::from_millis(25)),
+            per_tenant: vec![("mcl".into(), Duration::from_millis(250))],
+            goal: 0.99,
+        },
+        ..ServeConfig::default()
+    });
+    engine.store().insert("mcl/big", big);
+    engine.store().insert("adhoc/small", small);
+
+    // The dist-routed pipeline: normalize_cols(A²) over the big graph.
+    let spec = {
+        let mut g = ExprGraph::new();
+        let a = g.input();
+        let sq = g.multiply(a, a);
+        let root = g.normalize_cols(sq);
+        ExprSpec::new(g, root)
+    };
+    let dist_job = engine
+        .try_submit_expr(
+            ExprRequest::new(spec, ["mcl/big"])
+                .algo(Algorithm::Hash)
+                .tenant("mcl")
+                .priority(Priority::High),
+        )
+        .expect("submit dist expr job");
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        handles.push(
+            engine
+                .try_submit(ProductRequest::new("adhoc/small", "adhoc/small").tenant("adhoc"))
+                .expect("submit adhoc product"),
+        );
+    }
+    dist_job.wait().expect("dist job result");
+    for h in &handles {
+        h.wait().expect("adhoc job result");
+    }
+    let snap = engine.shutdown();
+    obs::disable();
+
+    let exemplar = obs::exemplars()
+        .into_iter()
+        .find(|e| e.group == "mcl")
+        .expect("the dist-routed request is its tenant's slowest (only) exemplar");
+
+    // Coverage of the measured service window [completion − service,
+    // completion] on the worker thread that executed the batch. The
+    // synthesized "request" envelope spans the whole request by
+    // construction, so it is excluded — only real phase spans count.
+    let root = exemplar
+        .spans
+        .iter()
+        .find(|s| s.name == "request")
+        .expect("envelope span");
+    let w1 = root.start_ns + root.dur_ns;
+    let w0 = w1.saturating_sub(exemplar.service_ns.max(1));
+    let batch_tid = exemplar
+        .spans
+        .iter()
+        .find(|s| s.name == "serve.batch")
+        .map(|s| s.tid)
+        .expect("serve.batch span retained");
+    let body: Vec<obs::TraceEvent> = exemplar
+        .spans
+        .iter()
+        .filter(|s| s.name != "request")
+        .copied()
+        .collect();
+    let coverage = obs::span_coverage(&body, batch_tid, w0, w1);
+    let tids = exemplar.tids().len();
+    let cross_thread_flows = exemplar
+        .spans
+        .iter()
+        .filter(|s| s.kind == obs::EventKind::FlowStart)
+        .filter(|s| {
+            exemplar.spans.iter().any(|e| {
+                e.kind == obs::EventKind::FlowEnd && e.span_id == s.span_id && e.tid != s.tid
+            })
+        })
+        .count();
+    DistTraceReport {
+        snap,
+        exemplar,
+        coverage,
+        tids,
+        cross_thread_flows,
+        batch_tid,
+        window: (w0, w1),
+    }
+}
+
 fn fmt_summary(s: &spgemm_serve::LatencySummary) -> String {
     format!(
         "n={:<4} mean {:>8.3} ms  p50 {:>8.3}  p99 {:>8.3}  max {:>8.3}",
@@ -312,6 +462,34 @@ fn main() {
         println!("    tenant {:<8} {}", t.tenant, fmt_summary(&t.latency));
     }
 
+    // --- part 4: request tracing + SLO over a dist-routed workload ---
+    let dist = traced_dist_serve(args.seed);
+    println!("\n[4] request tracing + SLO (dist-routed expr job)");
+    println!(
+        "    exemplar trace {} ({}): {} spans over {} threads, {} cross-thread flow links",
+        dist.exemplar.trace_id,
+        dist.exemplar.group,
+        dist.exemplar.spans.len(),
+        dist.tids,
+        dist.cross_thread_flows
+    );
+    println!(
+        "    total {:.3} ms (service {:.3} ms), service-window coverage {:.1}%",
+        dist.exemplar.total_ns as f64 / 1e6,
+        dist.exemplar.service_ns as f64 / 1e6,
+        dist.coverage * 100.0
+    );
+    for slo in &dist.snap.slo {
+        println!(
+            "    slo {:<8} target {:>7.1} ms  good {:>3}  bad {:>3}  burn {:.2}",
+            slo.tenant,
+            slo.target_ms,
+            slo.good,
+            slo.bad,
+            slo.burn_rate()
+        );
+    }
+
     // --- exports ---
     println!("\n{}", obs::text_report());
     let trace = obs::chrome_trace();
@@ -327,18 +505,64 @@ fn main() {
         ),
         Err(e) => eprintln!("could not write trace to {}: {e}", trace_path.display()),
     }
+    // The slowest traced request's own span tree, Perfetto-loadable —
+    // the artifact behind the README's "trace one slow request" story.
+    let exemplar_trace =
+        obs::chrome_trace_for(dist.exemplar.trace_id).expect("retained exemplar is exportable");
+    let exemplar_path = trace_path.with_file_name(match trace_path.file_stem() {
+        Some(stem) => format!("{}-exemplar.json", stem.to_string_lossy()),
+        None => "spgemm-obs-exemplar.json".into(),
+    });
+    match std::fs::write(&exemplar_path, &exemplar_trace) {
+        Ok(()) => println!(
+            "exemplar trace (slowest {} request, trace {}): {}",
+            dist.exemplar.group,
+            dist.exemplar.trace_id,
+            exemplar_path.display()
+        ),
+        Err(e) => eprintln!(
+            "could not write exemplar trace to {}: {e}",
+            exemplar_path.display()
+        ),
+    }
     if let Some(path) = &args.json {
+        let slo_json: Vec<String> = dist
+            .snap
+            .slo
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"tenant\":\"{}\",\"target_ms\":{:.3},\"goal\":{},\
+                     \"good\":{},\"bad\":{},\"burn_rate\":{:.4}}}",
+                    s.tenant,
+                    s.target_ms,
+                    s.goal,
+                    s.good,
+                    s.bad,
+                    s.burn_rate()
+                )
+            })
+            .collect();
         let json = format!(
             "{{\"env\":{},\"mcl\":{{\"rounds\":{},\"wall_ms\":{:.3},\
              \"coverage\":{:.4},\"events\":{}}},\
-             \"serve\":{{\"completed\":{},\"tenants\":{}}}}}\n",
+             \"serve\":{{\"completed\":{},\"tenants\":{}}},\
+             \"trace\":{{\"trace_id\":{},\"spans\":{},\"tids\":{},\
+             \"cross_thread_flows\":{},\"coverage\":{:.4}}},\
+             \"slo\":[{}]}}\n",
             envinfo::envinfo_json(pool.nthreads()),
             mcl.rounds,
             mcl.wall_ms,
             mcl.coverage,
             mcl.events,
             snap.completed,
-            snap.per_tenant.len()
+            snap.per_tenant.len(),
+            dist.exemplar.trace_id,
+            dist.exemplar.spans.len(),
+            dist.tids,
+            dist.cross_thread_flows,
+            dist.coverage,
+            slo_json.join(",")
         );
         match std::fs::write(path, json) {
             Ok(()) => println!("json summary: {}", path.display()),
@@ -392,11 +616,69 @@ fn main() {
         assert!(trace.starts_with("{\"traceEvents\":[") && trace.ends_with("]}"));
         assert!(trace.contains("\"serve.batch\""), "serve spans missing");
         assert!(trace.contains("\"mcl.round\""), "mcl spans missing");
+        // Part 4: the dist-routed request must yield one connected
+        // cross-thread trace...
+        assert!(dist.snap.dist_routed >= 1, "expr job did not route");
+        dist.exemplar
+            .validate()
+            .expect("exemplar span tree well-formed");
+        assert!(
+            dist.tids >= 2,
+            "exemplar spans span {} thread(s); need submission/worker/shards",
+            dist.tids
+        );
+        assert!(
+            dist.cross_thread_flows >= 1,
+            "no flow link crosses threads"
+        );
+        assert_eq!(dist.exemplar.dropped, 0, "exemplar lost spans");
+        if dist.coverage < 0.95 {
+            // name which phase lost coverage before failing
+            let body: Vec<obs::TraceEvent> = dist
+                .exemplar
+                .spans
+                .iter()
+                .filter(|s| s.name != "request")
+                .copied()
+                .collect();
+            for sc in obs::coverage_by_site(&body, dist.batch_tid, dist.window.0, dist.window.1)
+            {
+                eprintln!(
+                    "    site {}/{}: {:.1}% ({} ns)",
+                    sc.cat,
+                    sc.name,
+                    sc.fraction * 100.0,
+                    sc.covered_ns
+                );
+            }
+            panic!(
+                "exemplar covers {:.1}% < 95% of the service window",
+                dist.coverage * 100.0
+            );
+        }
+        // ...its export must carry paired flow events...
+        assert!(exemplar_trace.contains("\"ph\":\"s\""), "flow starts");
+        assert!(exemplar_trace.contains("\"ph\":\"f\""), "flow ends");
+        // ...and the SLO ledger must account for every completed job.
+        assert!(!dist.snap.slo.is_empty(), "no SLO rows");
+        let tracked: u64 = dist.snap.slo.iter().map(|s| s.good + s.bad).sum();
+        assert_eq!(
+            tracked, dist.snap.completed,
+            "SLO good+bad must equal completed jobs"
+        );
+        for slo in &dist.snap.slo {
+            assert!(slo.burn_rate().is_finite(), "{}: burn rate", slo.tenant);
+        }
         println!(
             "smoke OK: disabled path {span_ns:.1} ns/op, coverage {:.1}%, \
-             queue+service == total across {} tenants",
+             queue+service == total across {} tenants, dist trace over \
+             {} threads at {:.1}% service coverage, SLO tracks {}/{} jobs",
             mcl.coverage * 100.0,
-            snap.per_tenant.len()
+            snap.per_tenant.len(),
+            dist.tids,
+            dist.coverage * 100.0,
+            tracked,
+            dist.snap.completed
         );
     }
 }

@@ -231,6 +231,12 @@ enum ShardMsg {
     Begin {
         epoch: u64,
         job: ProductJob,
+        /// The submitting request's trace context, captured from the
+        /// coordinator thread's scope so the shard's spans join the
+        /// same trace (inert when the product is untraced).
+        ctx: obs::TraceCtx,
+        /// The coordinator→shard causal flow opened at scatter.
+        flow: obs::FlowLink,
     },
     Stage {
         epoch: u64,
@@ -252,6 +258,9 @@ struct ShardDone {
     shard: usize,
     epoch: u64,
     result: Result<ShardOutput, DistError>,
+    /// The shard→coordinator flow, accepted in the gather span so the
+    /// trace shows one connected scatter→compute→gather graph.
+    flow: obs::FlowLink,
 }
 
 /// Coordinator-side state behind the product lock.
@@ -417,6 +426,11 @@ impl ShardRuntime {
         };
 
         // --- scatter A, then pipeline B's stages ---------------------------
+        // The caller's trace context (the serve worker runs the
+        // coordinator inside its batch scope) rides every Begin so the
+        // shard threads' spans join the request's trace; one flow link
+        // per shard marks the cross-thread handoff.
+        let ctx = obs::current_ctx();
         let scatter_span = obs::span!("dist", "dist.scatter");
         for r in 0..grid_rows {
             let a_block = Arc::new(a.extract_rows(row_cuts[r]..row_cuts[r + 1]));
@@ -429,6 +443,8 @@ impl ShardRuntime {
                             a_block: Arc::clone(&a_block),
                             stage_cuts: Arc::clone(&stage_cuts),
                         },
+                        ctx,
+                        flow: obs::flow_out("dist.begin"),
                     },
                 )?;
             }
@@ -473,6 +489,7 @@ impl ShardRuntime {
                 if done.epoch != epoch {
                     continue; // straggler from an aborted earlier product
                 }
+                done.flow.accept("dist.done");
                 collected += 1;
                 match done.result {
                     Ok(out) => {
@@ -548,7 +565,12 @@ enum ProductOutcome {
     Finished(Result<ShardOutput, DistError>),
     /// The coordinator abandoned this epoch and already started the
     /// next one; process its `Begin` without reporting.
-    Preempted { epoch: u64, job: ProductJob },
+    Preempted {
+        epoch: u64,
+        job: ProductJob,
+        ctx: obs::TraceCtx,
+        flow: obs::FlowLink,
+    },
     /// Shutdown requested or channel severed: exit the thread.
     Exit,
 }
@@ -571,12 +593,17 @@ fn shard_loop(idx: usize, cfg: DistConfig, rx: Receiver<ShardMsg>, done: Sender<
     // documented-cumulative `plan_hits`/`plan_rebuilds` never move
     // backwards across a failure.
     let (mut carry_hits, mut carry_rebuilds) = (0u64, 0u64);
-    let mut pending: Option<(u64, ProductJob)> = None;
+    let mut pending: Option<(u64, ProductJob, obs::TraceCtx, obs::FlowLink)> = None;
     loop {
-        let (epoch, job) = match pending.take() {
+        let (epoch, job, ctx, flow) = match pending.take() {
             Some(begin) => begin,
             None => match rx.recv() {
-                Ok(ShardMsg::Begin { epoch, job }) => (epoch, job),
+                Ok(ShardMsg::Begin {
+                    epoch,
+                    job,
+                    ctx,
+                    flow,
+                }) => (epoch, job, ctx, flow),
                 Ok(ShardMsg::Stage { .. }) => continue, // straggler of an aborted epoch
                 Ok(ShardMsg::Shutdown) | Err(_) => return,
             },
@@ -588,19 +615,30 @@ fn shard_loop(idx: usize, cfg: DistConfig, rx: Receiver<ShardMsg>, done: Sender<
                 .map(|_| PlanCache::new(cfg.algo, cfg.order))
                 .collect();
         }
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run_product(epoch, &job, &rx, &pool, &mut plan_caches)
-        }))
-        .unwrap_or_else(|payload| {
-            // The panic may have left a cache mid-rebind; retire the
-            // set (counters carried) and rebuild lazily next product.
-            absorb_counters(&plan_caches, &mut carry_hits, &mut carry_rebuilds);
-            plan_caches = Vec::new();
-            ProductOutcome::Finished(Err(DistError::ShardFailed {
-                shard: idx,
-                detail: format!("shard panicked: {}", spgemm_par::panic_text(payload)),
+        // Run under the product's trace context: the shard's spans
+        // join the submitting request's trace, rooted at the accepted
+        // coordinator→shard flow. The product span closes before the
+        // ShardDone send so the coordinator never finishes the trace
+        // with this shard's span still open.
+        let outcome = {
+            let _scope = obs::ctx_scope(ctx);
+            let _g = obs::span!("dist", "dist.shard.product");
+            flow.accept("dist.begin");
+            catch_unwind(AssertUnwindSafe(|| {
+                run_product(epoch, &job, &rx, &pool, &mut plan_caches)
             }))
-        });
+            .unwrap_or_else(|payload| {
+                // The panic may have left a cache mid-rebind; retire
+                // the set (counters carried) and rebuild lazily next
+                // product.
+                absorb_counters(&plan_caches, &mut carry_hits, &mut carry_rebuilds);
+                plan_caches = Vec::new();
+                ProductOutcome::Finished(Err(DistError::ShardFailed {
+                    shard: idx,
+                    detail: format!("shard panicked: {}", spgemm_par::panic_text(payload)),
+                }))
+            })
+        };
         match outcome {
             ProductOutcome::Finished(result) => {
                 let result = result
@@ -615,18 +653,30 @@ fn shard_loop(idx: usize, cfg: DistConfig, rx: Receiver<ShardMsg>, done: Sender<
                         }
                         other => other,
                     });
+                // the shard→coordinator return flow, paired by the
+                // gather loop on the coordinator thread
+                let flow = {
+                    let _scope = obs::ctx_scope(ctx);
+                    obs::flow_out("dist.done")
+                };
                 if done
                     .send(ShardDone {
                         shard: idx,
                         epoch,
                         result,
+                        flow,
                     })
                     .is_err()
                 {
                     return; // runtime dropped mid-product
                 }
             }
-            ProductOutcome::Preempted { epoch, job } => pending = Some((epoch, job)),
+            ProductOutcome::Preempted {
+                epoch,
+                job,
+                ctx,
+                flow,
+            } => pending = Some((epoch, job, ctx, flow)),
             ProductOutcome::Exit => return,
         }
     }
@@ -678,8 +728,18 @@ fn run_product(
                         break block;
                     }
                     Ok(ShardMsg::Stage { .. }) => continue,
-                    Ok(ShardMsg::Begin { epoch, job }) => {
-                        return ProductOutcome::Preempted { epoch, job }
+                    Ok(ShardMsg::Begin {
+                        epoch,
+                        job,
+                        ctx,
+                        flow,
+                    }) => {
+                        return ProductOutcome::Preempted {
+                            epoch,
+                            job,
+                            ctx,
+                            flow,
+                        }
                     }
                     Ok(ShardMsg::Shutdown) | Err(_) => return ProductOutcome::Exit,
                 }

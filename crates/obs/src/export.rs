@@ -1,7 +1,8 @@
 //! Exporters over the global registry: text report, JSON snapshot,
-//! Chrome `trace_event` JSON, and the span-coverage helper.
+//! Chrome `trace_event` JSON (including per-request exemplar export
+//! with flow events), and the span-coverage helpers.
 
-use crate::ring::TraceEvent;
+use crate::ring::{EventKind, TraceEvent};
 use crate::site::{lock, REGISTRY};
 use crate::HistogramSnapshot;
 use std::fmt::Write as _;
@@ -230,28 +231,76 @@ pub fn json_snapshot() -> String {
     out
 }
 
+/// Append one event in Chrome `trace_event` object form. Complete
+/// spans emit `"ph":"X"`; flow-link halves emit the flow pair
+/// `"ph":"s"` / `"ph":"f"` (with `"bp":"e"` so the arrow binds to
+/// the enclosing slice), sharing their flow `"id"`.
+fn write_chrome_event(out: &mut String, e: &TraceEvent) {
+    out.push_str("{\"name\":\"");
+    json_escape(e.name, out);
+    out.push_str("\",\"cat\":\"");
+    json_escape(e.cat, out);
+    match e.kind {
+        EventKind::Complete => {
+            let _ = write!(
+                out,
+                "\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}",
+                e.start_ns as f64 / 1e3,
+                e.dur_ns as f64 / 1e3,
+                e.tid
+            );
+        }
+        EventKind::FlowStart => {
+            let _ = write!(
+                out,
+                "\",\"ph\":\"s\",\"id\":{},\"ts\":{:.3},\"pid\":1,\"tid\":{}",
+                e.span_id,
+                e.start_ns as f64 / 1e3,
+                e.tid
+            );
+        }
+        EventKind::FlowEnd => {
+            let _ = write!(
+                out,
+                "\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"ts\":{:.3},\"pid\":1,\"tid\":{}",
+                e.span_id,
+                e.start_ns as f64 / 1e3,
+                e.tid
+            );
+        }
+    }
+    if e.trace_id != 0 {
+        let _ = write!(out, ",\"args\":{{\"trace_id\":{}}}", e.trace_id);
+    }
+    out.push('}');
+}
+
 /// The retained trace as Chrome `trace_event` JSON — save to a file
 /// and load in `chrome://tracing` or <https://ui.perfetto.dev>.
-/// Events are complete (`"ph":"X"`) with microsecond timestamps.
+/// Spans are complete events (`"ph":"X"`) with microsecond
+/// timestamps; request thread-hops appear as flow arrows
+/// (`"ph":"s"`/`"f"`).
 pub fn chrome_trace() -> String {
-    let events = crate::trace_events();
+    chrome_trace_of(&crate::trace_events())
+}
+
+/// The retained exemplar trace with this [`crate::TraceCtx::trace_id`]
+/// as Chrome `trace_event` JSON: the complete span tree of that one
+/// request, across every thread it touched, with flow arrows linking
+/// the hops. `None` when the id is not (or no longer) in the exemplar
+/// window.
+pub fn chrome_trace_for(trace_id: u64) -> Option<String> {
+    crate::exemplar_for(trace_id).map(|e| chrome_trace_of(&e.spans))
+}
+
+fn chrome_trace_of(events: &[TraceEvent]) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 32);
     out.push_str("{\"traceEvents\":[");
     for (i, e) in events.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str("{\"name\":\"");
-        json_escape(e.name, &mut out);
-        out.push_str("\",\"cat\":\"");
-        json_escape(e.cat, &mut out);
-        let _ = write!(
-            out,
-            "\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
-            e.start_ns as f64 / 1e3,
-            e.dur_ns as f64 / 1e3,
-            e.tid
-        );
+        write_chrome_event(&mut out, e);
     }
     out.push_str("]}");
     out
@@ -271,9 +320,25 @@ pub fn span_coverage(
     if window_end_ns <= window_start_ns {
         return 0.0;
     }
+    let covered = union_ns(
+        events
+            .iter()
+            .filter(|e| e.kind == EventKind::Complete && e.tid == tid),
+        window_start_ns,
+        window_end_ns,
+    );
+    covered as f64 / (window_end_ns - window_start_ns) as f64
+}
+
+/// Nanoseconds of `[window_start_ns, window_end_ns)` covered by the
+/// union of the events' clipped intervals (nested/overlapping spans
+/// count once).
+fn union_ns<'a>(
+    events: impl Iterator<Item = &'a TraceEvent>,
+    window_start_ns: u64,
+    window_end_ns: u64,
+) -> u64 {
     let mut iv: Vec<(u64, u64)> = events
-        .iter()
-        .filter(|e| e.tid == tid)
         .map(|e| {
             (
                 e.start_ns.max(window_start_ns),
@@ -298,7 +363,68 @@ pub fn span_coverage(
     if let Some((cs, ce)) = cur {
         covered += ce - cs;
     }
-    covered as f64 / (window_end_ns - window_start_ns) as f64
+    covered
+}
+
+/// One callsite's contribution to a coverage window (see
+/// [`coverage_by_site`]).
+#[derive(Clone, Debug)]
+pub struct SiteCoverage {
+    /// Span category (layer).
+    pub cat: &'static str,
+    /// Span name.
+    pub name: &'static str,
+    /// Nanoseconds of the window covered by this site's spans alone
+    /// (its own overlaps unioned).
+    pub covered_ns: u64,
+    /// `covered_ns` over the window length.
+    pub fraction: f64,
+}
+
+/// Per-callsite breakdown of [`span_coverage`]: for each `(cat,
+/// name)` with at least one event on `tid` in the window, the share
+/// of the window that site's spans cover, sorted by descending
+/// coverage. When a coverage assertion regresses, this names the
+/// phase that lost time. Sites may overlap (spans nest), so the
+/// fractions can sum past the unioned total.
+pub fn coverage_by_site(
+    events: &[TraceEvent],
+    tid: u64,
+    window_start_ns: u64,
+    window_end_ns: u64,
+) -> Vec<SiteCoverage> {
+    if window_end_ns <= window_start_ns {
+        return Vec::new();
+    }
+    let window = (window_end_ns - window_start_ns) as f64;
+    let mut sites: Vec<(&'static str, &'static str)> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Complete && e.tid == tid)
+        .map(|e| (e.cat, e.name))
+        .collect();
+    sites.sort_unstable();
+    sites.dedup();
+    let mut out: Vec<SiteCoverage> = sites
+        .into_iter()
+        .map(|(cat, name)| {
+            let covered_ns = union_ns(
+                events.iter().filter(|e| {
+                    e.kind == EventKind::Complete && e.tid == tid && e.cat == cat && e.name == name
+                }),
+                window_start_ns,
+                window_end_ns,
+            );
+            SiteCoverage {
+                cat,
+                name,
+                covered_ns,
+                fraction: covered_ns as f64 / window,
+            }
+        })
+        .filter(|s| s.covered_ns > 0)
+        .collect();
+    out.sort_by(|a, b| b.covered_ns.cmp(&a.covered_ns).then(a.name.cmp(b.name)));
+    out
 }
 
 #[cfg(test)]
@@ -306,13 +432,11 @@ mod tests {
     use super::*;
 
     fn ev(tid: u64, start_ns: u64, dur_ns: u64) -> TraceEvent {
-        TraceEvent {
-            name: "e",
-            cat: "test",
-            tid,
-            start_ns,
-            dur_ns,
-        }
+        TraceEvent::untraced("e", "test", tid, start_ns, dur_ns)
+    }
+
+    fn named(name: &'static str, tid: u64, start_ns: u64, dur_ns: u64) -> TraceEvent {
+        TraceEvent::untraced(name, "test", tid, start_ns, dur_ns)
     }
 
     #[test]
@@ -334,6 +458,50 @@ mod tests {
         let events = [ev(1, 10, 80), ev(1, 20, 30), ev(1, 30, 10)];
         let c = span_coverage(&events, 1, 0, 100);
         assert!((c - 0.8).abs() < 1e-12, "{c}");
+    }
+
+    #[test]
+    fn coverage_ignores_flow_events() {
+        let mut flow = ev(1, 0, 1000);
+        flow.kind = EventKind::FlowStart;
+        let events = [flow, ev(1, 10, 40)];
+        let c = span_coverage(&events, 1, 0, 100);
+        assert!((c - 0.4).abs() < 1e-12, "{c}");
+    }
+
+    #[test]
+    fn coverage_by_site_names_each_phase() {
+        let events = [
+            named("a", 1, 0, 50),
+            named("a", 1, 40, 20), // unions with above: a covers 60
+            named("b", 1, 70, 10), // b covers 10
+            named("b", 2, 0, 100), // other tid
+        ];
+        let by = coverage_by_site(&events, 1, 0, 100);
+        assert_eq!(by.len(), 2);
+        assert_eq!((by[0].cat, by[0].name), ("test", "a"));
+        assert_eq!(by[0].covered_ns, 60);
+        assert!((by[0].fraction - 0.6).abs() < 1e-12);
+        assert_eq!(by[1].name, "b");
+        assert_eq!(by[1].covered_ns, 10);
+        assert!(coverage_by_site(&events, 1, 100, 100).is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_emits_flow_pair() {
+        let mut s = ev(1, 10, 0);
+        s.kind = EventKind::FlowStart;
+        s.span_id = 77;
+        s.trace_id = 5;
+        let mut f = ev(2, 20, 0);
+        f.kind = EventKind::FlowEnd;
+        f.span_id = 77;
+        f.trace_id = 5;
+        let json = chrome_trace_of(&[s, f, ev(1, 0, 30)]);
+        assert!(json.contains("\"ph\":\"s\",\"id\":77"), "{json}");
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":77"), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"args\":{\"trace_id\":5}"), "{json}");
     }
 
     #[test]

@@ -120,6 +120,31 @@ impl Histogram {
         }
     }
 
+    /// Fold every sample of `other` into `self`, bucket-wise. Totals
+    /// (`count`, `sum`) are exact; `min`/`max` are the true combined
+    /// extrema. Both histograms stay usable and concurrent recording
+    /// on either side remains safe (a racing record lands wholly in
+    /// one side or the other of the merge).
+    pub fn merge(&self, other: &Histogram) {
+        if other.count.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        for (b, o) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = o.load(Ordering::Relaxed);
+            if v > 0 {
+                b.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Zero every bucket and aggregate.
     pub fn reset(&self) {
         for b in &self.buckets {
@@ -181,6 +206,45 @@ impl HistogramSnapshot {
             0.0
         } else {
             self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The interval histogram between `prev` (an earlier snapshot of
+    /// the same histogram) and `self`: bucket counts, `count` and
+    /// `sum` are exact saturating differences. `min`/`max` are
+    /// *approximate* for the window — a histogram does not retain
+    /// per-sample order, so they are reconstructed from the bounds of
+    /// the first/last bucket that gained samples, clamped into
+    /// `[self.min, self.max]`. `since` of an identical snapshot is
+    /// exactly empty.
+    pub fn since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c.saturating_sub(prev.counts.get(i).copied().unwrap_or(0)))
+            .collect();
+        let count = self.count.saturating_sub(prev.count);
+        let (min, max) = if count == 0 {
+            (0, 0)
+        } else {
+            let first = counts.iter().position(|&c| c > 0);
+            let last = counts.iter().rposition(|&c| c > 0);
+            match (first, last) {
+                (Some(f), Some(l)) => (
+                    bucket_low(f).clamp(self.min, self.max),
+                    bucket_high(l).clamp(self.min, self.max),
+                ),
+                // racing snapshot fields: fall back to cumulative
+                _ => (self.min, self.max),
+            }
+        };
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.wrapping_sub(prev.sum),
+            min,
+            max,
         }
     }
 
@@ -265,6 +329,70 @@ mod tests {
         }
         assert_eq!(s.quantile(1.0), n, "max is exact");
         assert!((s.mean() - (n + 1) as f64 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_totals_are_exact() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 1..=1000u64 {
+            a.record(v);
+        }
+        for v in 500..=2000u64 {
+            b.record(v * 3);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        a.merge(&b);
+        let m = a.snapshot();
+        assert_eq!(m.count, sa.count + sb.count);
+        assert_eq!(m.sum, sa.sum + sb.sum);
+        assert_eq!(m.min, sa.min.min(sb.min));
+        assert_eq!(m.max, sa.max.max(sb.max));
+        // bucket-wise: merged quantiles consistent with the pooled data
+        assert!(m.quantile(1.0) == m.max);
+        // merging an empty histogram changes nothing
+        let before = a.snapshot();
+        a.merge(&Histogram::new());
+        let after = a.snapshot();
+        assert_eq!(after.count, before.count);
+        assert_eq!(after.sum, before.sum);
+        assert_eq!(after.min, before.min);
+        assert_eq!(after.max, before.max);
+    }
+
+    #[test]
+    fn since_of_identical_snapshot_is_zero() {
+        let h = Histogram::new();
+        for v in [3u64, 17, 4096, 99_999] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let d = s.since(&s.clone());
+        assert_eq!(d.count, 0);
+        assert_eq!(d.sum, 0);
+        assert_eq!(d.min, 0);
+        assert_eq!(d.max, 0);
+        assert!(d.nonzero_buckets().is_empty());
+        assert_eq!(d.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn since_isolates_the_window() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(1_000_000);
+        let prev = h.snapshot();
+        for v in [200u64, 300, 400] {
+            h.record(v);
+        }
+        let d = h.snapshot().since(&prev);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.sum, 900);
+        // min/max reconstructed from the buckets that gained samples:
+        // within one bucket width of the true window extrema
+        assert!(d.min <= 200 && d.min >= 10, "window min {}", d.min);
+        assert!(d.max >= 400 && d.max <= 427, "window max {}", d.max);
+        assert!((d.mean() - 300.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Stack-wide instrumentation for the SpGEMM workspace: span-based
-//! phase timing, log-bucketed histograms, atomic counters, and a
-//! bounded ring-buffer event log, behind one process-global registry.
+//! phase timing, log-bucketed histograms, atomic counters, a bounded
+//! ring-buffer event log, and request-scoped causal tracing
+//! ([`TraceCtx`]) with a tail-sampling exemplar store, behind one
+//! process-global registry.
 //!
 //! # Design constraints
 //!
@@ -23,7 +25,9 @@
 //!   arrays of atomics (no samples retained, see [`Histogram`]); the
 //!   event log is a bounded ring that overwrites its oldest entry
 //!   (see [`trace_events`]); per-callsite aggregates are three
-//!   atomics. Nothing grows with job count.
+//!   atomics; the active-trace table and the per-tenant exemplar
+//!   store are preallocated fixed-size slabs ([`MAX_ACTIVE_TRACES`],
+//!   [`EXEMPLARS_PER_GROUP`]). Nothing grows with job count.
 //!
 //! # Usage
 //!
@@ -60,15 +64,22 @@ mod export;
 mod hist;
 mod ring;
 mod site;
+mod trace;
 
 pub use export::{
-    chrome_trace, counter_stats, histogram_stats, json_snapshot, span_coverage, span_stats,
-    text_report, CounterStat, HistogramStat, SpanStat,
+    chrome_trace, chrome_trace_for, counter_stats, coverage_by_site, histogram_stats,
+    json_snapshot, span_coverage, span_stats, text_report, CounterStat, HistogramStat, SiteCoverage,
+    SpanStat,
 };
 pub use hist::{bucket_high, bucket_index, bucket_low, Histogram, HistogramSnapshot};
 pub use hist::{NUM_BUCKETS, PRECISION};
-pub use ring::{trace_events, trace_overwritten, TraceEvent};
+pub use ring::{trace_events, trace_overwritten, EventKind, TraceEvent};
 pub use site::{CounterSite, HistogramSite, SpanGuard, SpanSite};
+pub use trace::{
+    ctx_scope, current_ctx, exemplar_for, exemplars, finish_request, flow_out,
+    roll_exemplar_window, trace_unsampled, CtxScope, ExemplarTrace, FlowLink, TraceCtx,
+    EXEMPLARS_PER_GROUP, MAX_ACTIVE_TRACES, MAX_EXEMPLAR_GROUPS, MAX_TRACE_SPANS,
+};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -107,6 +118,7 @@ pub fn enable() {
 pub fn enable_with_capacity(capacity: usize) {
     let _ = epoch();
     ring::provision(capacity);
+    trace::provision();
     ENABLED.store(true, Ordering::SeqCst);
 }
 
@@ -117,11 +129,13 @@ pub fn disable() {
     ENABLED.store(false, Ordering::SeqCst);
 }
 
-/// Zero every registered span/counter/histogram and clear the trace
-/// ring (its capacity is kept). Callsites stay registered.
+/// Zero every registered span/counter/histogram, clear the trace ring
+/// (its capacity is kept), release every active-trace slot, and drop
+/// all retained exemplars. Callsites stay registered.
 pub fn reset() {
     site::reset_all();
     ring::clear();
+    trace::reset_all();
 }
 
 /// Nanoseconds since the process-local trace epoch (first [`enable`]

@@ -7,7 +7,19 @@
 
 use std::sync::Mutex;
 
-/// One completed span occurrence, on the [`crate::now_ns`] clock.
+/// What one [`TraceEvent`] represents in the Chrome trace model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span (`ph:"X"`).
+    Complete,
+    /// The sending half of a cross-thread flow link (`ph:"s"`).
+    FlowStart,
+    /// The receiving half of a cross-thread flow link (`ph:"f"`).
+    FlowEnd,
+}
+
+/// One completed span occurrence (or flow-link half), on the
+/// [`crate::now_ns`] clock.
 #[derive(Clone, Copy, Debug)]
 pub struct TraceEvent {
     /// Span name (e.g. `plan.numeric`).
@@ -20,6 +32,42 @@ pub struct TraceEvent {
     pub start_ns: u64,
     /// Span duration in nanoseconds.
     pub dur_ns: u64,
+    /// Request trace this event belongs to
+    /// ([`crate::TraceCtx::trace_id`]); 0 for events recorded outside
+    /// any request scope.
+    pub trace_id: u64,
+    /// Process-unique id of this span (or flow link); 0 when
+    /// untraced.
+    pub span_id: u64,
+    /// Span id of the enclosing traced span at emit time; 0 for trace
+    /// roots and untraced events.
+    pub parent_id: u64,
+    /// Complete span vs flow-link half.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// A complete event with no request context (the shape every
+    /// span recorded outside a [`crate::ctx_scope`] takes).
+    pub const fn untraced(
+        name: &'static str,
+        cat: &'static str,
+        tid: u64,
+        start_ns: u64,
+        dur_ns: u64,
+    ) -> Self {
+        TraceEvent {
+            name,
+            cat,
+            tid,
+            start_ns,
+            dur_ns,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
+            kind: EventKind::Complete,
+        }
+    }
 }
 
 struct Ring {
@@ -99,13 +147,7 @@ mod tests {
     use super::*;
 
     fn ev(start_ns: u64) -> TraceEvent {
-        TraceEvent {
-            name: "t",
-            cat: "test",
-            tid: 1,
-            start_ns,
-            dur_ns: 1,
-        }
+        TraceEvent::untraced("t", "test", 1, start_ns, 1)
     }
 
     #[test]

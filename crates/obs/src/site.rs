@@ -8,6 +8,7 @@
 
 use crate::hist::Histogram;
 use crate::ring::{self, TraceEvent};
+use crate::trace::{self, OpenSpan};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -84,7 +85,10 @@ impl SpanSite {
     #[inline]
     pub fn enter(&'static self) -> SpanGuard {
         if !crate::enabled() {
-            return SpanGuard { active: None };
+            return SpanGuard {
+                active: None,
+                traced: None,
+            };
         }
         self.enter_enabled()
     }
@@ -95,22 +99,29 @@ impl SpanSite {
             lock(&REGISTRY.spans).push(self);
         }
         SpanGuard {
+            traced: trace::begin_span(),
             active: Some((self, Instant::now())),
         }
     }
 
-    fn exit(&'static self, start: Instant) {
+    fn exit(&'static self, start: Instant, traced: Option<OpenSpan>) {
         let dur_ns = start.elapsed().as_nanos() as u64;
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
         self.max_ns.fetch_max(dur_ns, Ordering::Relaxed);
-        ring::push(TraceEvent {
-            name: self.name,
-            cat: self.cat,
-            tid: crate::current_tid(),
-            start_ns: crate::ns_since_epoch(start),
+        let ev = TraceEvent::untraced(
+            self.name,
+            self.cat,
+            crate::current_tid(),
+            crate::ns_since_epoch(start),
             dur_ns,
-        });
+        );
+        match traced {
+            // joins the thread's active request trace: id-stamped and
+            // recorded into both the ring and the trace's slot
+            Some(open) => trace::end_span(open, ev),
+            None => ring::push(ev),
+        }
     }
 
     /// `(count, total_ns, max_ns)` aggregates recorded so far.
@@ -129,13 +140,14 @@ impl SpanSite {
 #[must_use = "binding to `_` drops the guard immediately; use `let _g = ...`"]
 pub struct SpanGuard {
     active: Option<(&'static SpanSite, Instant)>,
+    traced: Option<OpenSpan>,
 }
 
 impl Drop for SpanGuard {
     #[inline]
     fn drop(&mut self) {
         if let Some((site, start)) = self.active.take() {
-            site.exit(start);
+            site.exit(start, self.traced.take());
         }
     }
 }

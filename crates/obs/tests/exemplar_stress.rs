@@ -1,0 +1,162 @@
+//! Concurrent bounds proof for the tail-sampling exemplar store:
+//! four threads finish hundreds of traced requests each and we assert
+//! (1) the steady-state trace path performs **zero** heap allocations
+//! per thread (counting `#[global_allocator]`, per-thread tallies),
+//! (2) the overwrite-fastest retention policy holds exactly (each
+//! group keeps precisely its K slowest requests), and (3) every
+//! retained span tree is well-formed — each parent id resolves and
+//! there is exactly one root.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    static LOCAL_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    let _ = LOCAL_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    LOCAL_ALLOCATIONS.with(Cell::get)
+}
+
+const THREADS: usize = 4;
+const WARMUP: usize = 8;
+const REQUESTS: usize = 250;
+const GROUPS: [&str; THREADS] = ["tenant-a", "tenant-b", "tenant-c", "tenant-d"];
+
+/// Deterministic synthetic latency for request `i` of thread `t`:
+/// distinct within a thread so the expected top-K is unambiguous.
+fn synthetic_total_ns(t: usize, i: usize) -> u64 {
+    (((i * 37 + t * 11) % 997) as u64 + 1) * 1_000
+}
+
+/// One traced request: nested spans, a cross-"thread" flow pair, then
+/// finish with a synthetic latency (so retention ranking is exact and
+/// independent of scheduler noise).
+fn run_request(group: &str, total_ns: u64) -> bool {
+    let ctx = spgemm_obs::TraceCtx::root();
+    assert!(ctx.is_active(), "tracing enabled, slots available");
+    {
+        let _scope = spgemm_obs::ctx_scope(ctx);
+        let _outer = spgemm_obs::span!("stress", "stress.outer");
+        {
+            let _inner = spgemm_obs::span!("stress", "stress.inner");
+        }
+        let link = spgemm_obs::flow_out("stress.hop");
+        link.accept("stress.hop");
+    }
+    spgemm_obs::finish_request(ctx, group, total_ns, total_ns / 2)
+}
+
+#[test]
+fn concurrent_exemplar_store_is_bounded_and_well_formed() {
+    // capacity 256: small enough that the ring wraps under this load,
+    // proving retention doesn't depend on the ring keeping up
+    spgemm_obs::enable_with_capacity(256);
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let group = GROUPS[t];
+                // Warmup off the measured path: first requests create
+                // the group (one-time allocation of its K preallocated
+                // slots) and warm this thread's TLS.
+                for i in 0..WARMUP {
+                    run_request(group, synthetic_total_ns(t, i));
+                }
+                let before = allocations();
+                for i in WARMUP..REQUESTS {
+                    run_request(group, synthetic_total_ns(t, i));
+                }
+                let after = allocations();
+                assert_eq!(
+                    after - before,
+                    0,
+                    "steady-state trace record + retention path must not allocate ({group})"
+                );
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    spgemm_obs::disable();
+
+    let exemplars = spgemm_obs::exemplars();
+    assert_eq!(
+        exemplars.len(),
+        THREADS * spgemm_obs::EXEMPLARS_PER_GROUP,
+        "every group holds exactly K exemplars"
+    );
+    assert_eq!(spgemm_obs::trace_unsampled(), 0, "≤4 concurrent traces");
+
+    for (t, group) in GROUPS.iter().enumerate() {
+        // overwrite-fastest ⇒ exactly the K slowest synthetic totals
+        let mut expected: Vec<u64> = (0..REQUESTS).map(|i| synthetic_total_ns(t, i)).collect();
+        expected.sort_unstable_by(|a, b| b.cmp(a));
+        expected.truncate(spgemm_obs::EXEMPLARS_PER_GROUP);
+        let got: Vec<u64> = exemplars
+            .iter()
+            .filter(|e| &e.group == group)
+            .map(|e| e.total_ns)
+            .collect();
+        assert_eq!(got, expected, "top-K slowest retained for {group}");
+    }
+
+    for e in &exemplars {
+        e.validate()
+            .unwrap_or_else(|err| panic!("{}/{}: {err}", e.group, e.trace_id));
+        assert_eq!(e.dropped, 0, "small trees fit the span budget");
+        let names: Vec<&str> = e.spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"stress.outer"), "{names:?}");
+        assert!(names.contains(&"stress.inner"), "{names:?}");
+        assert_eq!(names.last(), Some(&"request"), "root envelope last");
+        // the flow pair shares one id
+        let starts: Vec<u64> = e
+            .spans
+            .iter()
+            .filter(|s| s.kind == spgemm_obs::EventKind::FlowStart)
+            .map(|s| s.span_id)
+            .collect();
+        let ends: Vec<u64> = e
+            .spans
+            .iter()
+            .filter(|s| s.kind == spgemm_obs::EventKind::FlowEnd)
+            .map(|s| s.span_id)
+            .collect();
+        assert_eq!(starts, ends, "paired flow halves");
+        // exported Chrome JSON for any retained exemplar is available
+        let json = spgemm_obs::chrome_trace_for(e.trace_id).expect("in window");
+        assert!(json.contains("\"ph\":\"s\""), "flow start exported");
+        assert!(json.contains("\"ph\":\"f\""), "flow end exported");
+    }
+
+    // rolling the window empties retention without deallocating groups
+    spgemm_obs::roll_exemplar_window();
+    assert!(spgemm_obs::exemplars().is_empty());
+    spgemm_obs::reset();
+}

@@ -82,6 +82,40 @@ fn disabled_instrumentation_allocates_nothing() {
 }
 
 #[test]
+fn disabled_trace_ctx_propagation_allocates_nothing() {
+    assert!(!spgemm_obs::enabled(), "tests must start disabled");
+    // warm the thread-id and ctx TLS slots before counting
+    let _ = spgemm_obs::current_tid();
+    drop(spgemm_obs::ctx_scope(spgemm_obs::TraceCtx::INERT));
+
+    let iters = 200_000u64;
+    let before = allocations();
+    for _ in 0..iters {
+        // the full per-request propagation surface: root, scope
+        // install, span under scope, flow out/accept, batch link,
+        // finish
+        let ctx = spgemm_obs::TraceCtx::root();
+        let _scope = spgemm_obs::ctx_scope(ctx);
+        let _g = SPAN.enter();
+        let link = spgemm_obs::flow_out("test.hop");
+        link.accept("test.hop");
+        ctx.link_to(&ctx, "test.member");
+        spgemm_obs::finish_request(ctx, "test", 1, 1);
+        assert!(!ctx.is_active());
+        assert!(!link.is_active());
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled TraceCtx propagation must not allocate"
+    );
+    assert_eq!(SPAN.totals(), (0, 0, 0));
+    assert!(spgemm_obs::exemplars().is_empty());
+    assert_eq!(spgemm_obs::trace_unsampled(), 0);
+}
+
+#[test]
 fn disabled_span_enter_exit_is_cheap() {
     assert!(!spgemm_obs::enabled(), "tests must start disabled");
     let iters = 1_000_000u64;

@@ -5,7 +5,7 @@ use crate::delta::{DeltaTracker, RowUpdateReceipt};
 use crate::error::ServeError;
 use crate::expr_results::ExprResultCache;
 use crate::job::{ExprRequest, JobCore, JobHandle, ProductRequest};
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{Metrics, MetricsSnapshot, SloPolicy};
 use crate::plan_cache::{PlanKey, SharedPlanCache, S};
 use crate::queue::{BatchKey, ExprJob, JobPayload, JobQueue, QueuedJob};
 use crate::store::MatrixStore;
@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine sizing and policy knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Worker threads draining the queue (each executes one batch at a
     /// time). Clamped to ≥ 1.
@@ -68,6 +68,11 @@ pub struct ServeConfig {
     /// budget; **0 disables** result sharing (plan-cache sharing still
     /// applies per node).
     pub expr_result_entries: usize,
+    /// Per-tenant latency objectives. Jobs of a tenant with a target
+    /// are classified good/bad on completion and surfaced as
+    /// [`crate::TenantSlo`] rows (error-budget burn rate included) in
+    /// [`MetricsSnapshot::slo`]. The default policy tracks nothing.
+    pub slo: SloPolicy,
 }
 
 /// When and how the engine hands a job to the sharded backend.
@@ -118,6 +123,7 @@ impl Default for ServeConfig {
             use_tuned_profile: false,
             dist: None,
             expr_result_entries: 128,
+            slo: SloPolicy::default(),
         }
     }
 }
@@ -181,7 +187,7 @@ impl ServeEngine {
             queue: JobQueue::new(cfg.queue_capacity),
             cache: SharedPlanCache::new(cfg.plan_cache_plans),
             expr_results: ExprResultCache::new(cfg.expr_result_entries),
-            metrics: Arc::new(Metrics::default()),
+            metrics: Arc::new(Metrics::with_slo(cfg.slo.clone())),
             deltas: DeltaTracker::default(),
             next_job: AtomicU64::new(0),
             max_batch: cfg.max_batch.max(1),
@@ -250,6 +256,25 @@ impl ServeEngine {
         name: &str,
         patch: &RowPatch<f64>,
     ) -> Result<RowUpdateReceipt, ServeError> {
+        // Row updates run synchronously on the caller's thread, so
+        // their trace opens and finishes right here (no job core).
+        let ctx = obs::TraceCtx::root();
+        let started = Instant::now();
+        let result = {
+            let _scope = obs::ctx_scope(ctx);
+            let _g = obs::span!("serve", "serve.row_update");
+            self.row_update_inner(name, patch)
+        };
+        let total_ns = started.elapsed().as_nanos() as u64;
+        obs::finish_request(ctx, "(row-update)", total_ns, total_ns);
+        result
+    }
+
+    fn row_update_inner(
+        &self,
+        name: &str,
+        patch: &RowPatch<f64>,
+    ) -> Result<RowUpdateReceipt, ServeError> {
         let shared = &self.shared;
         let _g = shared.deltas.update_guard();
         let cur = shared
@@ -308,14 +333,28 @@ impl ServeEngine {
             }));
         }
         let id = self.shared.next_job.fetch_add(1, Ordering::Relaxed);
-        let core = JobCore::new(id, req.tenant.clone(), Arc::clone(&self.shared.metrics));
-        let key = PlanKey::for_product(&a, &b, req.algo, req.order);
-        let job = QueuedJob {
-            core: Arc::clone(&core),
-            key: BatchKey::Product(key),
-            payload: JobPayload::Product { a, b, key },
+        // The request's trace opens here and travels with the core.
+        // The submit span must close *before* the push: once the job
+        // is visible to a worker the trace can finish at any moment,
+        // and spans recorded after that are dropped.
+        let ctx = obs::TraceCtx::root();
+        let (core, job) = {
+            let _scope = obs::ctx_scope(ctx);
+            let _g = obs::span!("serve", "serve.submit");
+            let core =
+                JobCore::new(id, req.tenant.clone(), Arc::clone(&self.shared.metrics), ctx);
+            let key = PlanKey::for_product(&a, &b, req.algo, req.order);
+            let job = QueuedJob {
+                core: Arc::clone(&core),
+                key: BatchKey::Product(key),
+                payload: JobPayload::Product { a, b, key },
+            };
+            (core, job)
         };
-        self.shared.queue.try_push(req.priority, job)?;
+        if let Err(e) = self.shared.queue.try_push(req.priority, job) {
+            core.finish_trace(); // rejected: the trace ends at the queue
+            return Err(e);
+        }
         Ok(JobHandle::new(core))
     }
 
@@ -374,18 +413,30 @@ impl ServeEngine {
             Arc::new(graph.node_fingerprints(|slot| inputs[slot].version(), req.algo as u64));
         let batch_fp = fnv64(&[node_fps[req.spec.root.index()], req.algo as u64]);
         let id = self.shared.next_job.fetch_add(1, Ordering::Relaxed);
-        let core = JobCore::new(id, req.tenant.clone(), Arc::clone(&self.shared.metrics));
-        let job = QueuedJob {
-            core: Arc::clone(&core),
-            key: BatchKey::Expr(batch_fp),
-            payload: JobPayload::Expr(ExprJob {
-                spec: req.spec.clone(),
-                inputs,
-                algo: req.algo,
-                node_fps,
-            }),
+        // Same ordering constraint as `submit_inner`: close the submit
+        // span before the job becomes visible to workers.
+        let ctx = obs::TraceCtx::root();
+        let (core, job) = {
+            let _scope = obs::ctx_scope(ctx);
+            let _g = obs::span!("serve", "serve.submit");
+            let core =
+                JobCore::new(id, req.tenant.clone(), Arc::clone(&self.shared.metrics), ctx);
+            let job = QueuedJob {
+                core: Arc::clone(&core),
+                key: BatchKey::Expr(batch_fp),
+                payload: JobPayload::Expr(ExprJob {
+                    spec: req.spec.clone(),
+                    inputs,
+                    algo: req.algo,
+                    node_fps,
+                }),
+            };
+            (core, job)
         };
-        self.shared.queue.try_push(req.priority, job)?;
+        if let Err(e) = self.shared.queue.try_push(req.priority, job) {
+            core.finish_trace(); // rejected: the trace ends at the queue
+            return Err(e);
+        }
         Ok(JobHandle::new(core))
     }
 
@@ -457,6 +508,9 @@ fn worker_loop(shared: &EngineShared, pool: &Pool) {
                 core.fail_if_unresolved(ServeError::Internal {
                     detail: detail.clone(),
                 });
+                // the unwind closed every span guard on this thread,
+                // so the traces are safe to finish here
+                core.finish_trace();
             }
         }
     }
@@ -468,26 +522,44 @@ fn worker_loop(shared: &EngineShared, pool: &Pool) {
 /// multiplies when the cache is disabled; expression batches evaluate
 /// their (identical) DAG once and fan the shared result out.
 fn execute_batch(shared: &EngineShared, pool: &Pool, batch: Vec<QueuedJob>) {
-    let _g = obs::span!("serve", "serve.batch");
     let runnable: Vec<QueuedJob> = batch.into_iter().filter(|j| j.core.start()).collect();
     let Some(first) = runnable.first() else {
         return; // whole batch was cancelled while queued
     };
     shared.metrics.note_batch(runnable.len());
-    match &first.payload {
-        JobPayload::Product { .. } => execute_product_batch(shared, pool, &runnable),
-        JobPayload::Expr(job) => {
-            // Same batch key = same DAG over the same snapshots with
-            // the same kernel: one evaluation serves the whole batch.
-            let result = run_expr(shared, job, pool);
-            shared
-                .metrics
-                .expr_jobs
-                .fetch_add(runnable.len() as u64, Ordering::Relaxed);
-            for j in &runnable {
-                j.core.complete(result.clone());
+    // The batch leader's trace hosts the worker-side spans; every
+    // batch-mate's trace gets a flow link into it at batch formation,
+    // so a deduplicated follower still explains where its time went.
+    let leader_ctx = first.core.trace_ctx();
+    {
+        let _scope = obs::ctx_scope(leader_ctx);
+        let _g = obs::span!("serve", "serve.batch");
+        for j in &runnable[1..] {
+            j.core
+                .trace_ctx()
+                .link_to(&leader_ctx, "serve.batch.member");
+        }
+        match &first.payload {
+            JobPayload::Product { .. } => execute_product_batch(shared, pool, &runnable),
+            JobPayload::Expr(job) => {
+                // Same batch key = same DAG over the same snapshots
+                // with the same kernel: one evaluation serves the
+                // whole batch.
+                let result = run_expr(shared, job, pool);
+                shared
+                    .metrics
+                    .expr_jobs
+                    .fetch_add(runnable.len() as u64, Ordering::Relaxed);
+                for j in &runnable {
+                    j.core.complete(result.clone());
+                }
             }
         }
+    }
+    // every span working on the batch is closed: the traces can
+    // finish (idempotent; the cores' Drop would backstop it anyway)
+    for j in &runnable {
+        j.core.finish_trace();
     }
 }
 

@@ -37,6 +37,18 @@ pub struct ExprResultCacheStats {
 }
 
 impl ExprResultCacheStats {
+    /// Per-window deltas against an earlier snapshot of the same
+    /// cache: counters are differenced, `entries` (a gauge) keeps its
+    /// end-of-window value.
+    pub fn since(&self, prev: &ExprResultCacheStats) -> ExprResultCacheStats {
+        ExprResultCacheStats {
+            hits: self.hits.saturating_sub(prev.hits),
+            misses: self.misses.saturating_sub(prev.misses),
+            evictions: self.evictions.saturating_sub(prev.evictions),
+            entries: self.entries,
+        }
+    }
+
     /// `hits / (hits + misses)`, 0 when idle.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

@@ -7,7 +7,7 @@ use parking_lot::{Condvar, Mutex};
 use spgemm::expr::ExprSpec;
 use spgemm::{Algorithm, OutputOrder};
 use spgemm_sparse::Csr;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -193,11 +193,30 @@ pub(crate) struct JobCore {
     /// completion records lock-free (`None` for the anonymous
     /// tenant).
     tenant_rec: Option<Arc<crate::metrics::LatencyRecorder>>,
+    /// This tenant's SLO cell, resolved at submission like the
+    /// recorder (`None` when the engine's policy gives the tenant no
+    /// target).
+    slo: Option<Arc<crate::metrics::SloCell>>,
+    /// The request's trace context, opened at submission and carried
+    /// across every thread that works on the job. Inert when tracing
+    /// is disabled.
+    ctx: spgemm_obs::TraceCtx,
+    /// Service time stashed by [`JobCore::complete`] for the trace
+    /// finish (ns; 0 until completed).
+    service_ns: AtomicU64,
+    /// Whether [`JobCore::finish_trace`] already ran.
+    trace_finished: AtomicBool,
 }
 
 impl JobCore {
-    pub(crate) fn new(id: u64, tenant: String, metrics: Arc<Metrics>) -> Arc<Self> {
+    pub(crate) fn new(
+        id: u64,
+        tenant: String,
+        metrics: Arc<Metrics>,
+        ctx: spgemm_obs::TraceCtx,
+    ) -> Arc<Self> {
         let tenant_rec = metrics.tenant_recorder(&tenant);
+        let slo = metrics.slo_cell(&tenant);
         Arc::new(JobCore {
             id,
             tenant,
@@ -206,7 +225,35 @@ impl JobCore {
             cv: Condvar::new(),
             metrics,
             tenant_rec,
+            slo,
+            ctx,
+            service_ns: AtomicU64::new(0),
+            trace_finished: AtomicBool::new(false),
         })
+    }
+
+    /// The request's trace context.
+    pub(crate) fn trace_ctx(&self) -> spgemm_obs::TraceCtx {
+        self.ctx
+    }
+
+    /// Close the request's trace: report its end-to-end latency to
+    /// the exemplar store (grouped by tenant) and release the active
+    /// slot. Idempotent; must run after every span working on the job
+    /// has closed. Called on every terminal path and backstopped by
+    /// `Drop`.
+    pub(crate) fn finish_trace(&self) {
+        if !self.ctx.is_active() || self.trace_finished.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let group = if self.tenant.is_empty() {
+            "(anonymous)"
+        } else {
+            self.tenant.as_str()
+        };
+        let total_ns = self.submitted.elapsed().as_nanos() as u64;
+        let service_ns = self.service_ns.load(Ordering::Relaxed);
+        spgemm_obs::finish_request(self.ctx, group, total_ns, service_ns);
     }
 
     /// Transition Pending → Running, stamping the pickup instant that
@@ -252,6 +299,11 @@ impl JobCore {
                 };
                 self.metrics
                     .record_job(self.tenant_rec.as_deref(), total, queue, service);
+                if let Some(slo) = &self.slo {
+                    slo.record(total.as_nanos() as u64);
+                }
+                self.service_ns
+                    .store(service.as_nanos() as u64, Ordering::Relaxed);
             }
             Err(ServeError::Cancelled) => {
                 self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -283,15 +335,30 @@ impl JobCore {
     /// Cancel if still queued (atomically with respect to
     /// [`JobCore::start`]).
     fn cancel_if_pending(&self) -> bool {
-        let mut st = self.state.lock();
-        if matches!(*st, Phase::Pending) {
-            self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
-            *st = Phase::Done(Err(ServeError::Cancelled));
-            self.cv.notify_all();
-            true
-        } else {
-            false
+        let won = {
+            let mut st = self.state.lock();
+            if matches!(*st, Phase::Pending) {
+                self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                *st = Phase::Done(Err(ServeError::Cancelled));
+                self.cv.notify_all();
+                true
+            } else {
+                false
+            }
+        };
+        if won {
+            // never executed ⇒ no spans are open; safe to close now
+            self.finish_trace();
         }
+        won
+    }
+}
+
+impl Drop for JobCore {
+    fn drop(&mut self) {
+        // backstop so an abandoned job can never leak its active-trace
+        // slot (normal paths finish explicitly, making this a no-op)
+        self.finish_trace();
     }
 }
 

@@ -46,7 +46,15 @@
 //!   version's cached products in place — recomputing only the
 //!   invalidated output rows, byte-for-byte equal to a full
 //!   re-evaluation ([`MetricsSnapshot::expr_results_patched`] counts
-//!   the saves).
+//!   the saves);
+//! * **request tracing and SLO tracking**: every accepted job opens a
+//!   `spgemm_obs` trace context at submission that follows it across
+//!   the queue, the executing worker, and (for routed products) the
+//!   shard fleet's threads, so the slowest requests per tenant retain
+//!   complete cross-thread span trees exportable as Chrome/Perfetto
+//!   traces ([`spgemm_obs::chrome_trace_for`]); per-tenant latency
+//!   objectives ([`ServeConfig::slo`]) classify completions good/bad
+//!   and surface error-budget burn rates ([`MetricsSnapshot::slo`]).
 //!
 //! The `spgemm-serve` binary in `spgemm-bench` drives the engine with
 //! an open-loop synthetic traffic generator (MCL-style A² chains, AMG
@@ -108,6 +116,6 @@ pub use engine::{DistRouting, ServeConfig, ServeEngine};
 pub use error::ServeError;
 pub use expr_results::ExprResultCacheStats;
 pub use job::{ExprRequest, JobHandle, JobOutput, JobResult, Priority, ProductRequest};
-pub use metrics::{LatencySummary, MetricsSnapshot, TenantLatency, OVERFLOW_TENANT};
+pub use metrics::{LatencySummary, MetricsSnapshot, SloPolicy, TenantLatency, TenantSlo, OVERFLOW_TENANT};
 pub use plan_cache::{PlanCacheStats, PlanKey};
 pub use store::{MatrixStore, StoredMatrix};

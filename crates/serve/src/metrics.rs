@@ -12,7 +12,7 @@
 //! overload.
 
 use parking_lot::Mutex;
-use spgemm_obs::Histogram;
+use spgemm_obs::{Histogram, HistogramSnapshot};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -47,12 +47,75 @@ impl LatencyRecorder {
         self.service.record(service.as_nanos() as u64);
     }
 
-    fn summaries(&self) -> (LatencySummary, LatencySummary, LatencySummary) {
+    /// Raw (total, queue, service) histogram snapshots — carried in
+    /// [`MetricsSnapshot`] so [`MetricsSnapshot::since`] can diff
+    /// windows bucket-wise.
+    fn raw_snapshots(&self) -> (HistogramSnapshot, HistogramSnapshot, HistogramSnapshot) {
         (
-            LatencySummary::from_ns_histogram(&self.total),
-            LatencySummary::from_ns_histogram(&self.queue),
-            LatencySummary::from_ns_histogram(&self.service),
+            self.total.snapshot(),
+            self.queue.snapshot(),
+            self.service.snapshot(),
         )
+    }
+}
+
+/// Latency-objective configuration for the engine: which tenants get
+/// an SLO, at what latency target, and the fraction of jobs that must
+/// meet it. Set on `ServeConfig::slo`.
+#[derive(Clone, Debug)]
+pub struct SloPolicy {
+    /// Latency target applied to every named tenant without an
+    /// override; `None` disables SLO tracking for un-overridden
+    /// tenants. Anonymous (empty-label) jobs are never SLO-tracked.
+    pub default_target: Option<Duration>,
+    /// Per-tenant target overrides `(tenant, target)`.
+    pub per_tenant: Vec<(String, Duration)>,
+    /// The objective: the fraction of a tenant's jobs that must
+    /// finish within the target (the error budget is `1 - goal`).
+    pub goal: f64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            default_target: None,
+            per_tenant: Vec::new(),
+            goal: 0.99,
+        }
+    }
+}
+
+impl SloPolicy {
+    /// The target for `tenant`, if SLO-tracked under this policy.
+    fn target_for(&self, tenant: &str) -> Option<Duration> {
+        if tenant.is_empty() {
+            return None;
+        }
+        self.per_tenant
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map(|(_, d)| *d)
+            .or(self.default_target)
+    }
+}
+
+/// Good/bad counters against one tenant's latency target. Resolved at
+/// submission (like the latency recorder), bumped lock-free at
+/// completion.
+pub(crate) struct SloCell {
+    target_ns: u64,
+    good: AtomicU64,
+    bad: AtomicU64,
+}
+
+impl SloCell {
+    /// Classify one completed job's total latency.
+    pub(crate) fn record(&self, total_ns: u64) {
+        if total_ns <= self.target_ns {
+            self.good.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.bad.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -91,9 +154,51 @@ pub(crate) struct Metrics {
     /// [`MAX_TENANTS`]. The anonymous tenant (empty label) records
     /// only into `overall`.
     tenants: Mutex<HashMap<String, Arc<LatencyRecorder>>>,
+    /// The engine's SLO policy (installed at construction).
+    slo_policy: SloPolicy,
+    /// Per-tenant SLO cells, resolved at submission, capped like the
+    /// latency recorders (tail tenants aggregate under
+    /// [`OVERFLOW_TENANT`] with the default target).
+    slo: Mutex<HashMap<String, Arc<SloCell>>>,
 }
 
 impl Metrics {
+    /// Metrics with an SLO policy installed.
+    pub(crate) fn with_slo(policy: SloPolicy) -> Metrics {
+        Metrics {
+            slo_policy: policy,
+            ..Metrics::default()
+        }
+    }
+
+    /// The SLO cell for `tenant`, creating it under the cap; `None`
+    /// when the policy gives the tenant no target. Resolved once per
+    /// job at submission, so completion stays lock-free.
+    pub(crate) fn slo_cell(&self, tenant: &str) -> Option<Arc<SloCell>> {
+        let target = self.slo_policy.target_for(tenant)?;
+        let mut map = self.slo.lock();
+        if let Some(cell) = map.get(tenant) {
+            return Some(Arc::clone(cell));
+        }
+        if map.len() < MAX_TENANTS {
+            let cell = Arc::new(SloCell {
+                target_ns: target.as_nanos() as u64,
+                good: AtomicU64::new(0),
+                bad: AtomicU64::new(0),
+            });
+            map.insert(tenant.to_string(), Arc::clone(&cell));
+            return Some(cell);
+        }
+        let default_ns = self.slo_policy.default_target?.as_nanos() as u64;
+        let cell = map.entry(OVERFLOW_TENANT.to_string()).or_insert_with(|| {
+            Arc::new(SloCell {
+                target_ns: default_ns,
+                good: AtomicU64::new(0),
+                bad: AtomicU64::new(0),
+            })
+        });
+        Some(Arc::clone(cell))
+    }
     /// The recorder for `tenant`, creating it under the cap. `None`
     /// for the anonymous (empty) tenant label. Called once per job at
     /// submission, so completion stays lock-free.
@@ -143,19 +248,40 @@ impl Metrics {
         expr_results: ExprResultCacheStats,
         since: Instant,
     ) -> MetricsSnapshot {
-        let (latency, queue_delay, service) = self.overall.summaries();
+        let (latency_hist, queue_delay_hist, service_hist) = self.overall.raw_snapshots();
+        let latency = LatencySummary::from_snapshot(&latency_hist);
+        let queue_delay = LatencySummary::from_snapshot(&queue_delay_hist);
+        let service = LatencySummary::from_snapshot(&service_hist);
         let per_tenant = {
             let map = self.tenants.lock();
             let mut rows: Vec<TenantLatency> = map
                 .iter()
                 .map(|(tenant, rec)| {
-                    let (latency, queue_delay, service) = rec.summaries();
+                    let (lat, q, sv) = rec.raw_snapshots();
                     TenantLatency {
                         tenant: tenant.clone(),
-                        latency,
-                        queue_delay,
-                        service,
+                        latency: LatencySummary::from_snapshot(&lat),
+                        queue_delay: LatencySummary::from_snapshot(&q),
+                        service: LatencySummary::from_snapshot(&sv),
+                        latency_hist: lat,
+                        queue_delay_hist: q,
+                        service_hist: sv,
                     }
+                })
+                .collect();
+            rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+            rows
+        };
+        let slo = {
+            let map = self.slo.lock();
+            let mut rows: Vec<TenantSlo> = map
+                .iter()
+                .map(|(tenant, cell)| TenantSlo {
+                    tenant: tenant.clone(),
+                    target_ms: cell.target_ns as f64 / 1e6,
+                    goal: self.slo_policy.goal,
+                    good: cell.good.load(Ordering::Relaxed),
+                    bad: cell.bad.load(Ordering::Relaxed),
                 })
                 .collect();
             rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
@@ -187,7 +313,11 @@ impl Metrics {
             latency,
             queue_delay,
             service,
+            latency_hist,
+            queue_delay_hist,
+            service_hist,
             per_tenant,
+            slo,
         }
     }
 }
@@ -211,8 +341,7 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn from_ns_histogram(h: &Histogram) -> Self {
-        let s = h.snapshot();
+    fn from_snapshot(s: &HistogramSnapshot) -> Self {
         LatencySummary {
             count: s.count,
             mean_ms: s.mean() / 1e6,
@@ -220,6 +349,45 @@ impl LatencySummary {
             p99_ms: s.quantile(0.99) as f64 / 1e6,
             max_ms: s.max as f64 / 1e6,
         }
+    }
+}
+
+/// One tenant's SLO standing at snapshot time.
+#[derive(Clone, Debug)]
+pub struct TenantSlo {
+    /// Tenant label ([`OVERFLOW_TENANT`] aggregates the tail beyond
+    /// the cap).
+    pub tenant: String,
+    /// Latency objective for this tenant, milliseconds.
+    pub target_ms: f64,
+    /// Fraction of jobs that must meet the target (policy-wide).
+    pub goal: f64,
+    /// Completed jobs within the target.
+    pub good: u64,
+    /// Completed jobs over the target.
+    pub bad: u64,
+}
+
+impl TenantSlo {
+    /// Observed bad fraction `bad / (good + bad)` (0 with no
+    /// traffic).
+    pub fn bad_fraction(&self) -> f64 {
+        let n = self.good + self.bad;
+        if n == 0 {
+            0.0
+        } else {
+            self.bad as f64 / n as f64
+        }
+    }
+
+    /// Error-budget burn rate: the observed bad fraction over the
+    /// budget `1 - goal`. 1.0 means the tenant is burning exactly its
+    /// budget; above 1.0 it is on track to exhaust it. Computed over
+    /// whatever window the snapshot covers — combine with
+    /// [`MetricsSnapshot::since`] for a *rolling* burn rate.
+    pub fn burn_rate(&self) -> f64 {
+        let budget = (1.0 - self.goal).max(1e-9);
+        self.bad_fraction() / budget
     }
 }
 
@@ -235,6 +403,14 @@ pub struct TenantLatency {
     pub queue_delay: LatencySummary,
     /// Worker pickup → done (time spent executing).
     pub service: LatencySummary,
+    /// Raw total-latency histogram (ns) behind
+    /// [`TenantLatency::latency`]; kept so
+    /// [`MetricsSnapshot::since`] can diff windows.
+    pub latency_hist: HistogramSnapshot,
+    /// Raw queue-delay histogram (ns).
+    pub queue_delay_hist: HistogramSnapshot,
+    /// Raw service-time histogram (ns).
+    pub service_hist: HistogramSnapshot,
 }
 
 /// A point-in-time view of the engine's counters.
@@ -302,10 +478,22 @@ pub struct MetricsSnapshot {
     /// Service-time component (worker pickup → done) over completed
     /// jobs.
     pub service: LatencySummary,
+    /// Raw engine-wide total-latency histogram (ns) behind
+    /// [`MetricsSnapshot::latency`]; kept so
+    /// [`MetricsSnapshot::since`] can diff windows.
+    pub latency_hist: HistogramSnapshot,
+    /// Raw engine-wide queue-delay histogram (ns).
+    pub queue_delay_hist: HistogramSnapshot,
+    /// Raw engine-wide service-time histogram (ns).
+    pub service_hist: HistogramSnapshot,
     /// Per-tenant latency decomposition, sorted by tenant label.
     /// Anonymous (empty-label) jobs appear only in the engine-wide
     /// summaries.
     pub per_tenant: Vec<TenantLatency>,
+    /// Per-tenant SLO standing (good/bad counts against each tenant's
+    /// latency target), sorted by tenant label. Empty unless
+    /// `ServeConfig::slo` gives tenants a target.
+    pub slo: Vec<TenantSlo>,
 }
 
 impl MetricsSnapshot {
@@ -314,11 +502,111 @@ impl MetricsSnapshot {
     pub fn delivered(&self) -> u64 {
         self.completed + self.failed + self.cancelled
     }
+
+    /// The interval view between `prev` (an earlier snapshot of the
+    /// same engine) and `self`: counters become per-window deltas,
+    /// latency summaries and SLO counts are recomputed over only the
+    /// window's samples (bucket-wise histogram differences, see
+    /// [`HistogramSnapshot::since`]), and `throughput_jps` becomes
+    /// the window rate. Gauges (`queue_depth`, cache `entries`) keep
+    /// their end-of-window value. `since` of an identical snapshot is
+    /// all-zero. Tenants absent from `prev` diff against empty.
+    pub fn since(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        let latency_hist = self.latency_hist.since(&prev.latency_hist);
+        let queue_delay_hist = self.queue_delay_hist.since(&prev.queue_delay_hist);
+        let service_hist = self.service_hist.since(&prev.service_hist);
+        let empty = Histogram::new().snapshot();
+        let per_tenant = self
+            .per_tenant
+            .iter()
+            .map(|t| {
+                let p = prev.per_tenant.iter().find(|p| p.tenant == t.tenant);
+                let lat = t
+                    .latency_hist
+                    .since(p.map_or(&empty, |p| &p.latency_hist));
+                let q = t
+                    .queue_delay_hist
+                    .since(p.map_or(&empty, |p| &p.queue_delay_hist));
+                let sv = t.service_hist.since(p.map_or(&empty, |p| &p.service_hist));
+                TenantLatency {
+                    tenant: t.tenant.clone(),
+                    latency: LatencySummary::from_snapshot(&lat),
+                    queue_delay: LatencySummary::from_snapshot(&q),
+                    service: LatencySummary::from_snapshot(&sv),
+                    latency_hist: lat,
+                    queue_delay_hist: q,
+                    service_hist: sv,
+                }
+            })
+            .collect();
+        let slo = self
+            .slo
+            .iter()
+            .map(|s| {
+                let p = prev.slo.iter().find(|p| p.tenant == s.tenant);
+                TenantSlo {
+                    tenant: s.tenant.clone(),
+                    target_ms: s.target_ms,
+                    goal: s.goal,
+                    good: s.good.saturating_sub(p.map_or(0, |p| p.good)),
+                    bad: s.bad.saturating_sub(p.map_or(0, |p| p.bad)),
+                }
+            })
+            .collect();
+        let completed = self.completed.saturating_sub(prev.completed);
+        let elapsed = self.elapsed.saturating_sub(prev.elapsed);
+        MetricsSnapshot {
+            accepted: self.accepted.saturating_sub(prev.accepted),
+            rejected: self.rejected.saturating_sub(prev.rejected),
+            completed,
+            failed: self.failed.saturating_sub(prev.failed),
+            cancelled: self.cancelled.saturating_sub(prev.cancelled),
+            duplicate_completions: self
+                .duplicate_completions
+                .saturating_sub(prev.duplicate_completions),
+            batches: self.batches.saturating_sub(prev.batches),
+            batched_jobs: self.batched_jobs.saturating_sub(prev.batched_jobs),
+            dist_routed: self.dist_routed.saturating_sub(prev.dist_routed),
+            expr_jobs: self.expr_jobs.saturating_sub(prev.expr_jobs),
+            expr_nodes_computed: self
+                .expr_nodes_computed
+                .saturating_sub(prev.expr_nodes_computed),
+            row_updates: self.row_updates.saturating_sub(prev.row_updates),
+            rows_dirtied: self.rows_dirtied.saturating_sub(prev.rows_dirtied),
+            expr_results_patched: self
+                .expr_results_patched
+                .saturating_sub(prev.expr_results_patched),
+            queue_depth: self.queue_depth,
+            queue_depth_per_lane: self.queue_depth_per_lane,
+            plan_cache: self.plan_cache.since(&prev.plan_cache),
+            expr_results: self.expr_results.since(&prev.expr_results),
+            elapsed,
+            throughput_jps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+            latency: LatencySummary::from_snapshot(&latency_hist),
+            queue_delay: LatencySummary::from_snapshot(&queue_delay_hist),
+            service: LatencySummary::from_snapshot(&service_hist),
+            latency_hist,
+            queue_delay_hist,
+            service_hist,
+            per_tenant,
+            slo,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// (total, queue, service) summaries of a recorder (test probe).
+    fn summaries(rec: &LatencyRecorder) -> (LatencySummary, LatencySummary, LatencySummary) {
+        let (t, q, s) = rec.raw_snapshots();
+        (
+            LatencySummary::from_snapshot(&t),
+            LatencySummary::from_snapshot(&q),
+            LatencySummary::from_snapshot(&s),
+        )
+    }
 
     #[test]
     fn summary_percentiles_within_bucket_error() {
@@ -329,7 +617,7 @@ mod tests {
             let d = Duration::from_millis(i);
             rec.record(d, d / 2, d / 2);
         }
-        let (s, q, v) = rec.summaries();
+        let (s, q, v) = summaries(&rec);
         assert_eq!(s.count, 100);
         assert!((s.p50_ms - 50.0).abs() <= 50.0 * 0.07, "{}", s.p50_ms);
         assert!((s.p99_ms - 99.0).abs() <= 99.0 * 0.07, "{}", s.p99_ms);
@@ -359,7 +647,7 @@ mod tests {
     #[test]
     fn empty_summary_is_zero() {
         let m = Metrics::default();
-        let (s, q, v) = m.overall.summaries();
+        let (s, q, v) = summaries(&m.overall);
         for sum in [s, q, v] {
             assert_eq!(sum.count, 0);
             assert_eq!(sum.p99_ms, 0.0);
@@ -414,6 +702,148 @@ mod tests {
         );
         assert!(snap.per_tenant.is_empty());
         assert_eq!(snap.latency.count, 1);
+    }
+
+    #[test]
+    fn slo_cells_classify_and_snapshot() {
+        let m = Metrics::with_slo(SloPolicy {
+            default_target: Some(Duration::from_millis(10)),
+            per_tenant: vec![("strict".to_string(), Duration::from_millis(1))],
+            goal: 0.9,
+        });
+        assert!(m.slo_cell("").is_none(), "anonymous jobs untracked");
+        let lax = m.slo_cell("lax").unwrap();
+        let strict = m.slo_cell("strict").unwrap();
+        // 5 ms: within the 10 ms default, over the 1 ms override
+        let five_ms = 5_000_000u64;
+        for _ in 0..8 {
+            lax.record(five_ms);
+        }
+        lax.record(50_000_000); // one breach
+        strict.record(five_ms);
+        strict.record(500_000);
+        let snap = m.snapshot(
+            [0, 0, 0],
+            PlanCacheStats::default(),
+            ExprResultCacheStats::default(),
+            Instant::now(),
+        );
+        assert_eq!(snap.slo.len(), 2);
+        let lax_row = snap.slo.iter().find(|s| s.tenant == "lax").unwrap();
+        assert_eq!((lax_row.good, lax_row.bad), (8, 1));
+        assert!((lax_row.target_ms - 10.0).abs() < 1e-9);
+        // bad fraction 1/9 over a 0.1 budget ⇒ burn ≈ 1.11
+        assert!((lax_row.burn_rate() - (1.0 / 9.0) / 0.1).abs() < 1e-9);
+        let strict_row = snap.slo.iter().find(|s| s.tenant == "strict").unwrap();
+        assert_eq!((strict_row.good, strict_row.bad), (1, 1));
+        assert!((strict_row.target_ms - 1.0).abs() < 1e-9);
+        assert!((strict_row.burn_rate() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_policy_means_no_slo_rows() {
+        let m = Metrics::default();
+        assert!(m.slo_cell("anyone").is_none());
+        let snap = m.snapshot(
+            [0, 0, 0],
+            PlanCacheStats::default(),
+            ExprResultCacheStats::default(),
+            Instant::now(),
+        );
+        assert!(snap.slo.is_empty());
+    }
+
+    #[test]
+    fn since_of_identical_snapshots_is_zero() {
+        let m = Metrics::with_slo(SloPolicy {
+            default_target: Some(Duration::from_millis(5)),
+            ..SloPolicy::default()
+        });
+        m.accepted.store(7, Ordering::Relaxed);
+        m.completed.store(7, Ordering::Relaxed);
+        let rec = m.tenant_recorder("acme").unwrap();
+        let slo = m.slo_cell("acme").unwrap();
+        for i in 1..=7u64 {
+            let d = Duration::from_millis(i);
+            m.record_job(Some(&rec), d, d / 2, d / 2);
+            slo.record(d.as_nanos() as u64);
+        }
+        let start = Instant::now();
+        let snap = m.snapshot(
+            [0, 0, 0],
+            PlanCacheStats {
+                hits: 3,
+                misses: 4,
+                evictions: 1,
+                entries: 2,
+            },
+            ExprResultCacheStats::default(),
+            start,
+        );
+        let d = snap.since(&snap.clone());
+        assert_eq!(d.accepted, 0);
+        assert_eq!(d.completed, 0);
+        assert_eq!(d.delivered(), 0);
+        assert_eq!(d.batches, 0);
+        assert_eq!(d.latency.count, 0);
+        assert_eq!(d.latency.max_ms, 0.0);
+        assert_eq!(d.queue_delay.count, 0);
+        assert_eq!(d.plan_cache.hits, 0);
+        assert_eq!(d.plan_cache.entries, 2, "gauge keeps its value");
+        assert_eq!(d.throughput_jps, 0.0);
+        assert_eq!(d.per_tenant.len(), 1);
+        assert_eq!(d.per_tenant[0].latency.count, 0);
+        assert_eq!(d.slo.len(), 1);
+        assert_eq!((d.slo[0].good, d.slo[0].bad), (0, 0));
+        assert_eq!(d.slo[0].burn_rate(), 0.0);
+    }
+
+    #[test]
+    fn since_isolates_the_window() {
+        let m = Metrics::with_slo(SloPolicy {
+            default_target: Some(Duration::from_millis(5)),
+            ..SloPolicy::default()
+        });
+        let rec = m.tenant_recorder("w").unwrap();
+        let slo = m.slo_cell("w").unwrap();
+        let job = |ms: u64| {
+            let d = Duration::from_millis(ms);
+            m.record_job(Some(&rec), d, d / 2, d / 2);
+            slo.record(d.as_nanos() as u64);
+            m.completed.fetch_add(1, Ordering::Relaxed);
+        };
+        let start = Instant::now();
+        job(1);
+        job(100); // slow outlier in the *first* window
+        let prev = m.snapshot(
+            [0, 0, 0],
+            PlanCacheStats::default(),
+            ExprResultCacheStats::default(),
+            start,
+        );
+        job(2);
+        job(3);
+        job(4);
+        let cur = m.snapshot(
+            [0, 0, 0],
+            PlanCacheStats::default(),
+            ExprResultCacheStats::default(),
+            start,
+        );
+        let w = cur.since(&prev);
+        assert_eq!(w.completed, 3);
+        assert_eq!(w.latency.count, 3);
+        // the first window's 100 ms outlier must not leak into the
+        // window's max (cumulative max would be ~100)
+        assert!(
+            w.latency.max_ms < 10.0,
+            "window max {} leaked the outlier",
+            w.latency.max_ms
+        );
+        let t = &w.per_tenant[0];
+        assert_eq!(t.latency.count, 3);
+        assert_eq!((w.slo[0].good, w.slo[0].bad), (3, 0));
+        assert!(w.elapsed <= cur.elapsed);
     }
 
     #[test]

@@ -193,7 +193,12 @@ mod tests {
         let key =
             crate::plan_cache::PlanKey::for_product(&m, &m, Algorithm::Hash, OutputOrder::Sorted);
         QueuedJob {
-            core: JobCore::new(id, String::new(), Arc::new(Metrics::default())),
+            core: JobCore::new(
+                id,
+                String::new(),
+                Arc::new(Metrics::default()),
+                spgemm_obs::TraceCtx::INERT,
+            ),
             key: BatchKey::Product(key),
             payload: JobPayload::Product {
                 a: Arc::clone(&m),

@@ -562,3 +562,94 @@ mod expr_jobs {
         assert_eq!(m.failed, 0);
     }
 }
+
+mod tracing_and_slo {
+    use super::*;
+    use spgemm_obs as obs;
+    use spgemm_serve::SloPolicy;
+    use std::time::Duration;
+
+    /// End-to-end: every accepted job opens a trace at submission that
+    /// the worker joins, the slowest requests per tenant are retained
+    /// as exportable exemplars, and the SLO tracker classifies every
+    /// completion against the policy's targets.
+    #[test]
+    fn traces_follow_jobs_and_slo_accounts_every_completion() {
+        obs::enable();
+        let engine = ServeEngine::new(ServeConfig {
+            workers: 2,
+            slo: SloPolicy {
+                // Unmissable default and unmeetable override make the
+                // good/bad split deterministic.
+                default_target: Some(Duration::from_secs(3600)),
+                per_tenant: vec![("slo-probe-bad".into(), Duration::from_nanos(1))],
+                goal: 0.9,
+            },
+            ..ServeConfig::default()
+        });
+        engine.store().insert("tr/a", rmat(5, 4, 77));
+
+        // Sequential submits: at most one active-trace slot is held at
+        // a time, so sampling survives slot pressure from tests running
+        // in parallel in this binary.
+        for i in 0..4 {
+            let tenant = if i % 2 == 0 { "slo-probe-good" } else { "slo-probe-bad" };
+            engine
+                .try_submit(ProductRequest::new("tr/a", "tr/a").tenant(tenant))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let snap = engine.shutdown();
+        obs::disable();
+
+        let good = snap
+            .slo
+            .iter()
+            .find(|s| s.tenant == "slo-probe-good")
+            .expect("slo row for default-target tenant");
+        assert_eq!((good.good, good.bad), (2, 0));
+        assert!((good.target_ms - 3_600_000.0).abs() < 1e-6);
+        assert_eq!(good.burn_rate(), 0.0);
+        let bad = snap
+            .slo
+            .iter()
+            .find(|s| s.tenant == "slo-probe-bad")
+            .expect("slo row for per-tenant override");
+        assert_eq!((bad.good, bad.bad), (0, 2));
+        assert!((bad.bad_fraction() - 1.0).abs() < 1e-12);
+        assert!(bad.burn_rate() > 1.0, "blown budget must burn faster than the goal allows");
+        let tracked: u64 = snap.slo.iter().map(|s| s.good + s.bad).sum();
+        assert_eq!(tracked, snap.completed, "every completion is classified");
+
+        // The slowest requests per tenant retained complete span trees.
+        // (Tolerate total sampling-slot exhaustion from parallel tests;
+        // trace_unsampled() accounts for it.)
+        let ex: Vec<_> = obs::exemplars()
+            .into_iter()
+            .filter(|e| e.group.starts_with("slo-probe"))
+            .collect();
+        if ex.is_empty() {
+            assert!(
+                obs::trace_unsampled() > 0,
+                "no exemplar retained and no slot exhaustion recorded: traces were lost"
+            );
+            return;
+        }
+        for e in &ex {
+            e.validate().expect("retained trace must be a well-formed span tree");
+            assert!(
+                e.spans.iter().any(|s| s.name == "serve.submit"),
+                "submission-side span in trace"
+            );
+            assert!(
+                e.spans.iter().any(|s| s.name == "serve.batch"),
+                "worker-side span in trace"
+            );
+            assert!(e.total_ns >= e.service_ns);
+            let json = obs::chrome_trace_for(e.trace_id)
+                .expect("exemplar exports as a Chrome/Perfetto trace");
+            assert!(json.contains("serve.batch"));
+        }
+    }
+}
