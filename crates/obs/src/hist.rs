@@ -242,7 +242,7 @@ impl HistogramSnapshot {
         HistogramSnapshot {
             counts,
             count,
-            sum: self.sum.wrapping_sub(prev.sum),
+            sum: self.sum.saturating_sub(prev.sum),
             min,
             max,
         }
@@ -393,6 +393,22 @@ mod tests {
         assert!(d.min <= 200 && d.min >= 10, "window min {}", d.min);
         assert!(d.max >= 400 && d.max <= 427, "window max {}", d.max);
         assert!((d.mean() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_misordered_degrades_to_empty() {
+        // prev newer than self: every field must saturate to an empty
+        // window consistently (no wrapped sum alongside a zero count)
+        let h = Histogram::new();
+        h.record(100);
+        let old = h.snapshot();
+        h.record(200);
+        let new = h.snapshot();
+        let d = old.since(&new);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.sum, 0);
+        assert_eq!((d.min, d.max), (0, 0));
+        assert!(d.nonzero_buckets().is_empty());
     }
 
     #[test]

@@ -21,9 +21,11 @@
 //!
 //! Traced events are recorded twice: into the global ring (like every
 //! span) and into a fixed slot of the **active-trace table**. The
-//! record path is lock-free — a slot index is claimed with one
-//! `fetch_add`, the event is written, and a release increment
-//! publishes it. When the request finishes, [`finish_request`]
+//! record path is lock-free — the writer registers its presence,
+//! validates slot ownership, claims a buffer index with one
+//! `fetch_add`, writes the event, and publishes it with a release
+//! increment; harvest and slot recycling wait out registered writers
+//! before touching the buffer. When the request finishes, [`finish_request`]
 //! harvests the slot into the per-group (per-tenant) **exemplar
 //! store** if the request ranks among the [`EXEMPLARS_PER_GROUP`]
 //! slowest of the current window (overwrite-fastest), then frees the
@@ -164,9 +166,15 @@ fn root_enabled() -> TraceCtx {
     if let Some(table) = TABLE.get() {
         for (i, s) in table.iter().enumerate() {
             if s.trace_id
-                .compare_exchange(0, FINISHING, Ordering::Acquire, Ordering::Relaxed)
+                .compare_exchange(0, FINISHING, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok()
             {
+                // Late writers of the previous generation may still be
+                // between their presence announcement and the
+                // ownership check (they will fail it and bail); drain
+                // them before resetting the write cursor so none can
+                // claim a pre-reset index.
+                quiesce(s);
                 s.widx.store(0, Ordering::Relaxed);
                 s.published.store(0, Ordering::Relaxed);
                 s.dropped.store(0, Ordering::Relaxed);
@@ -353,15 +361,25 @@ fn flow_out_enabled(ctx: TraceCtx, name: &'static str) -> FlowLink {
 struct SlotCell(UnsafeCell<TraceEvent>);
 
 // SAFETY: each cell is written only by the unique claimant of its
-// index (handed out by `widx.fetch_add`) within one slot generation,
-// and read only after the writer's release increment of `published`
-// (see `record_slot` / `finish_request`).
+// index (handed out by `widx.fetch_add`) within one slot generation.
+// Index uniqueness across generations holds because `widx` is only
+// reset (and the buffer only read back) while `writers` is zero:
+// every writer registers in `writers` *before* validating slot
+// ownership, and both `finish_request` and `root_enabled` first move
+// `trace_id` off the writers' expected value and then drain
+// `writers` (see `quiesce`) before touching `widx` or `buf`.
 unsafe impl Sync for SlotCell {}
 
 struct ActiveSlot {
     /// 0 = free, [`FINISHING`] = being initialized/harvested, else
     /// the owning trace id.
     trace_id: AtomicU64,
+    /// Writers currently between their presence announcement in
+    /// [`record_slot`] and the end of their write (or their bail-out).
+    /// Harvest and recycle drain this to zero before touching the
+    /// buffer, so no stale writer can hold a pre-reset index across a
+    /// generation change.
+    writers: AtomicU32,
     /// Next buffer index to claim (may exceed the buffer length).
     widx: AtomicU32,
     /// Cells fully written (release-incremented after each write).
@@ -385,6 +403,7 @@ pub(crate) fn provision() {
         (0..MAX_ACTIVE_TRACES)
             .map(|_| ActiveSlot {
                 trace_id: AtomicU64::new(0),
+                writers: AtomicU32::new(0),
                 widx: AtomicU32::new(0),
                 published: AtomicU32::new(0),
                 dropped: AtomicU32::new(0),
@@ -414,19 +433,50 @@ fn record_slot(ctx: TraceCtx, ev: TraceEvent) {
     let Some(slot) = table.get(ctx.slot as usize) else {
         return;
     };
-    if slot.trace_id.load(Ordering::Acquire) != ctx.trace_id {
-        return; // trace already finished (or slot re-generationed)
+    // Announce presence *before* validating ownership. Both sides are
+    // SeqCst to close the store-buffer window against the harvester's
+    // `trace_id` CAS + `writers` drain (`quiesce`): in the single
+    // total order either this load sees the CAS'd-away `trace_id`
+    // (and we bail), or the harvester's drain sees our increment (and
+    // waits for the write below to complete before touching `buf`).
+    slot.writers.fetch_add(1, Ordering::SeqCst);
+    if slot.trace_id.load(Ordering::SeqCst) != ctx.trace_id {
+        // trace already finished (or slot re-generationed)
+        slot.writers.fetch_sub(1, Ordering::Release);
+        return;
     }
     let i = slot.widx.fetch_add(1, Ordering::Relaxed) as usize;
     if i >= slot.buf.len() {
         slot.dropped.fetch_add(1, Ordering::Relaxed);
+        slot.writers.fetch_sub(1, Ordering::Release);
         return;
     }
     // SAFETY: `fetch_add` hands index `i` to this thread exclusively
-    // for this slot generation; the release increment below orders
-    // the write before any reader acquiring `published`.
+    // for this slot generation, and no generation change can happen
+    // while we are registered in `writers` (harvest/recycle drain it
+    // first), so `i` cannot be handed out again until this write is
+    // done. The release decrement below orders the write before any
+    // harvester that observes the drained counter.
     unsafe { *slot.buf[i].0.get() = ev };
     slot.published.fetch_add(1, Ordering::Release);
+    slot.writers.fetch_sub(1, Ordering::Release);
+}
+
+/// Wait until no writer is registered on `slot`. Callers must first
+/// move `trace_id` off the value in-flight writers expect (to
+/// [`FINISHING`]) with a SeqCst RMW so no *new* writer can pass the
+/// ownership check; after the drain, `widx`/`published`/`buf` are
+/// quiescent and safe to read or reset.
+fn quiesce(slot: &ActiveSlot) {
+    let mut spins = 0u32;
+    while slot.writers.load(Ordering::SeqCst) != 0 {
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -518,11 +568,15 @@ pub fn finish_request(ctx: TraceCtx, group: &str, total_ns: u64, service_ns: u64
     // the slot moved on to another trace).
     if slot
         .trace_id
-        .compare_exchange(ctx.trace_id, FINISHING, Ordering::Acquire, Ordering::Relaxed)
+        .compare_exchange(ctx.trace_id, FINISHING, Ordering::SeqCst, Ordering::Relaxed)
         .is_err()
     {
         return false;
     }
+    // The CAS stops new writers at the ownership check; wait out the
+    // ones already past it so every claimed in-range index is fully
+    // written (and `published` is exact) before the buffer is read.
+    quiesce(slot);
     let claimed = (slot.widx.load(Ordering::Relaxed) as usize).min(slot.buf.len());
     let published = slot.published.load(Ordering::Acquire) as usize;
     let n = claimed.min(published);
@@ -549,11 +603,12 @@ pub fn finish_request(ctx: TraceCtx, group: &str, total_ns: u64, service_ns: u64
                 ex.dropped = dropped;
                 ex.spans.clear();
                 for cell in &slot.buf[..n] {
-                    // SAFETY: indices below `published` were fully
-                    // written and release-published by their unique
-                    // writers; the trace-id filter discards anything
-                    // a stale writer of an earlier slot generation
-                    // may have left behind.
+                    // SAFETY: the quiesce above drained every writer
+                    // registered against this generation, so all
+                    // claimed in-range cells are fully written and no
+                    // write is concurrent with this read. The trace-id
+                    // filter below is defense in depth against an
+                    // event an earlier generation left behind.
                     let ev = unsafe { *cell.0.get() };
                     if ev.trace_id == ctx.trace_id {
                         ex.spans.push(ev);
@@ -641,7 +696,7 @@ pub fn exemplars() -> Vec<ExemplarTrace> {
     let mut out = Vec::new();
     for (group, slots) in &store.groups {
         let mut rows: Vec<&ExemplarSlot> = slots.iter().filter(|s| s.trace_id != 0).collect();
-        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns));
+        rows.sort_by_key(|s| std::cmp::Reverse(s.total_ns));
         for s in rows {
             out.push(ExemplarTrace {
                 group: group.clone(),
@@ -691,10 +746,14 @@ pub fn trace_unsampled() -> u64 {
 pub(crate) fn reset_all() {
     if let Some(table) = TABLE.get() {
         for s in table {
-            s.trace_id.store(0, Ordering::Release);
+            // Same protocol as recycling: park the slot, drain any
+            // in-flight writers, then reset and free.
+            s.trace_id.store(FINISHING, Ordering::SeqCst);
+            quiesce(s);
             s.widx.store(0, Ordering::Relaxed);
             s.published.store(0, Ordering::Relaxed);
             s.dropped.store(0, Ordering::Relaxed);
+            s.trace_id.store(0, Ordering::Release);
         }
     }
     lock_exemplars().groups.clear();
@@ -776,6 +835,81 @@ mod tests {
         assert!(exemplar_for(ex[0].trace_id).is_some());
         roll_exemplar_window();
         assert!(exemplars().is_empty());
+        crate::reset();
+        crate::disable();
+    }
+
+    #[test]
+    fn concurrent_stale_writers_cannot_pollute_recycled_slots() {
+        // Regression for the cross-generation race: writers holding a
+        // stale TraceCtx race finish_request's harvest and
+        // root_enabled's slot recycling. The writer-drain protocol
+        // must keep every harvested event in its own generation (and
+        // this test deadlocks if quiesce ever fails to drain).
+        let _l = crate::test_lock();
+        crate::enable();
+        crate::reset();
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let stop = Arc::new(AtomicBool::new(false));
+        // currently-open trace, packed as trace_id << 8 | slot
+        let current = Arc::new(AtomicU64::new(0));
+
+        let writers: Vec<_> = (0..3)
+            .map(|w| {
+                let stop = Arc::clone(&stop);
+                let current = Arc::clone(&current);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let packed = current.load(Ordering::Relaxed);
+                        if packed == 0 {
+                            std::hint::spin_loop();
+                            continue;
+                        }
+                        // may be stale by the time it is used — that
+                        // is the point
+                        let ctx = TraceCtx {
+                            trace_id: packed >> 8,
+                            span_id: 1,
+                            slot: (packed & 0xff) as u32,
+                        };
+                        sink(
+                            ctx,
+                            TraceEvent {
+                                name: "stale",
+                                cat: "race",
+                                tid: w as u64,
+                                start_ns: 0,
+                                dur_ns: 1,
+                                trace_id: ctx.trace_id,
+                                span_id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+                                parent_id: 0,
+                                kind: EventKind::Complete,
+                            },
+                        );
+                    }
+                })
+            })
+            .collect();
+
+        for i in 0..2000u64 {
+            let ctx = TraceCtx::root();
+            assert!(ctx.is_active(), "single root at a time always slots");
+            current.store((ctx.trace_id << 8) | ctx.slot as u64, Ordering::Relaxed);
+            finish_request(ctx, "race", 1000 + i, 1000);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        for e in exemplars() {
+            for s in &e.spans {
+                assert_eq!(
+                    s.trace_id, e.trace_id,
+                    "harvest must never retain another generation's event"
+                );
+            }
+        }
         crate::reset();
         crate::disable();
     }

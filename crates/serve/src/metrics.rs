@@ -22,9 +22,10 @@ use crate::expr_results::ExprResultCacheStats;
 use crate::job::Priority;
 use crate::plan_cache::PlanCacheStats;
 
-/// Hard cap on distinct per-tenant recorders; tenants beyond it are
-/// aggregated under [`OVERFLOW_TENANT`] so a label-cardinality
-/// explosion cannot grow memory without bound.
+/// Hard cap on distinct *named* per-tenant recorders; tenants beyond
+/// it are aggregated under [`OVERFLOW_TENANT`] (which rides on top of
+/// the cap, so a map holds at most `MAX_TENANTS + 1` entries) and a
+/// label-cardinality explosion cannot grow memory without bound.
 const MAX_TENANTS: usize = 64;
 
 /// Aggregation label for tenants beyond the per-tenant recorder cap
@@ -99,22 +100,42 @@ impl SloPolicy {
     }
 }
 
-/// Good/bad counters against one tenant's latency target. Resolved at
-/// submission (like the latency recorder), bumped lock-free at
-/// completion.
-pub(crate) struct SloCell {
-    target_ns: u64,
+/// Shared good/bad counters for one SLO aggregation bucket (a named
+/// tenant, or [`OVERFLOW_TENANT`] for the tail beyond the cap).
+struct SloCounts {
     good: AtomicU64,
     bad: AtomicU64,
 }
 
+/// A tenant's latency target paired with the counters its outcomes
+/// aggregate into. Resolved at submission (like the latency
+/// recorder), bumped lock-free at completion. Tenants beyond the cap
+/// share the [`OVERFLOW_TENANT`] counters but each keeps its *own*
+/// resolved target, so a strict per-tenant override is still
+/// classified against its override while aggregating under the
+/// overflow label.
+pub(crate) struct SloCell {
+    target_ns: u64,
+    counts: Arc<SloCounts>,
+}
+
 impl SloCell {
+    fn new(target_ns: u64) -> SloCell {
+        SloCell {
+            target_ns,
+            counts: Arc::new(SloCounts {
+                good: AtomicU64::new(0),
+                bad: AtomicU64::new(0),
+            }),
+        }
+    }
+
     /// Classify one completed job's total latency.
     pub(crate) fn record(&self, total_ns: u64) {
         if total_ns <= self.target_ns {
-            self.good.fetch_add(1, Ordering::Relaxed);
+            self.counts.good.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.bad.fetch_add(1, Ordering::Relaxed);
+            self.counts.bad.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -158,7 +179,8 @@ pub(crate) struct Metrics {
     slo_policy: SloPolicy,
     /// Per-tenant SLO cells, resolved at submission, capped like the
     /// latency recorders (tail tenants aggregate under
-    /// [`OVERFLOW_TENANT`] with the default target).
+    /// [`OVERFLOW_TENANT`], each still classified against its own
+    /// resolved target).
     slo: Mutex<HashMap<String, Arc<SloCell>>>,
 }
 
@@ -176,28 +198,34 @@ impl Metrics {
     /// job at submission, so completion stays lock-free.
     pub(crate) fn slo_cell(&self, tenant: &str) -> Option<Arc<SloCell>> {
         let target = self.slo_policy.target_for(tenant)?;
+        let target_ns = target.as_nanos() as u64;
         let mut map = self.slo.lock();
         if let Some(cell) = map.get(tenant) {
             return Some(Arc::clone(cell));
         }
         if map.len() < MAX_TENANTS {
-            let cell = Arc::new(SloCell {
-                target_ns: target.as_nanos() as u64,
-                good: AtomicU64::new(0),
-                bad: AtomicU64::new(0),
-            });
+            let cell = Arc::new(SloCell::new(target_ns));
             map.insert(tenant.to_string(), Arc::clone(&cell));
             return Some(cell);
         }
-        let default_ns = self.slo_policy.default_target?.as_nanos() as u64;
-        let cell = map.entry(OVERFLOW_TENANT.to_string()).or_insert_with(|| {
-            Arc::new(SloCell {
-                target_ns: default_ns,
-                good: AtomicU64::new(0),
-                bad: AtomicU64::new(0),
-            })
+        // At the cap: aggregate counts under the overflow bucket, but
+        // classify against *this tenant's* resolved target (a strict
+        // override stays strict; the overflow row's displayed target
+        // is the default, or the first overflowing tenant's).
+        let overflow = map.entry(OVERFLOW_TENANT.to_string()).or_insert_with(|| {
+            let shown_ns = self
+                .slo_policy
+                .default_target
+                .map_or(target_ns, |d| d.as_nanos() as u64);
+            Arc::new(SloCell::new(shown_ns))
         });
-        Some(Arc::clone(cell))
+        if overflow.target_ns == target_ns {
+            return Some(Arc::clone(overflow));
+        }
+        Some(Arc::new(SloCell {
+            target_ns,
+            counts: Arc::clone(&overflow.counts),
+        }))
     }
     /// The recorder for `tenant`, creating it under the cap. `None`
     /// for the anonymous (empty) tenant label. Called once per job at
@@ -280,8 +308,8 @@ impl Metrics {
                     tenant: tenant.clone(),
                     target_ms: cell.target_ns as f64 / 1e6,
                     goal: self.slo_policy.goal,
-                    good: cell.good.load(Ordering::Relaxed),
-                    bad: cell.bad.load(Ordering::Relaxed),
+                    good: cell.counts.good.load(Ordering::Relaxed),
+                    bad: cell.counts.bad.load(Ordering::Relaxed),
                 })
                 .collect();
             rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
@@ -738,6 +766,48 @@ mod tests {
         assert_eq!((strict_row.good, strict_row.bad), (1, 1));
         assert!((strict_row.target_ms - 1.0).abs() < 1e-9);
         assert!((strict_row.burn_rate() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_overflow_tenants_keep_their_own_targets() {
+        // No default target: only overridden tenants are tracked, and
+        // the ones beyond the cap must keep their override's
+        // classification while aggregating under the overflow label.
+        let mut per_tenant: Vec<(String, Duration)> = (0..MAX_TENANTS)
+            .map(|i| (format!("t-{i}"), Duration::from_millis(10)))
+            .collect();
+        per_tenant.push(("lax-tail".to_string(), Duration::from_millis(10)));
+        per_tenant.push(("strict-tail".to_string(), Duration::from_millis(1)));
+        let m = Metrics::with_slo(SloPolicy {
+            default_target: None,
+            per_tenant,
+            goal: 0.9,
+        });
+        for i in 0..MAX_TENANTS {
+            m.slo_cell(&format!("t-{i}")).unwrap();
+        }
+        let lax = m.slo_cell("lax-tail").expect("tracked beyond the cap");
+        let strict = m.slo_cell("strict-tail").expect("tracked beyond the cap");
+        let five_ms = 5_000_000u64;
+        lax.record(five_ms); // within its 10 ms target
+        strict.record(five_ms); // over its 1 ms target
+        let snap = m.snapshot(
+            [0, 0, 0],
+            PlanCacheStats::default(),
+            ExprResultCacheStats::default(),
+            Instant::now(),
+        );
+        assert_eq!(snap.slo.len(), MAX_TENANTS + 1, "cap + overflow");
+        let other = snap
+            .slo
+            .iter()
+            .find(|s| s.tenant == OVERFLOW_TENANT)
+            .expect("overflow bucket present");
+        assert_eq!(
+            (other.good, other.bad),
+            (1, 1),
+            "each tail tenant classified against its own target"
+        );
     }
 
     #[test]
