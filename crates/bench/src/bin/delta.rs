@@ -244,6 +244,15 @@ fn main() {
             t.inc_ms,
             t.full_ms
         );
+        let mut stamp = spgemm_bench::perfjson::PerfReport::new("delta", pool.nthreads());
+        stamp
+            .metric("incremental_batch_ms", t.inc_ms / reps)
+            .metric("full_rebuild_batch_ms", t.full_ms / reps)
+            .metric("rows_recomputed_frac", frac);
+        match stamp.write() {
+            Ok(path) => println!("perf stamp: {}", path.display()),
+            Err(e) => eprintln!("could not write perf stamp: {e}"),
+        }
         println!(
             "smoke OK: incremental == full rebuild on every batch, \
              {:.1}% rows recomputed, {:.2}x speedup",

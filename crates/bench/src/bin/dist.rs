@@ -295,6 +295,29 @@ fn smoke(args: &Args) {
             );
         }
     }
+    // Steady-state timing of the last (2×2) grid for the trajectory
+    // stamp: one warm re-execution, plan caches already primed.
+    let rt = ShardRuntime::new(DistConfig {
+        grid: GridSpec::new(2, 2),
+        ..DistConfig::default()
+    });
+    let _ = rt.multiply_with_stats(&a, &a).expect("warm product");
+    let t = Instant::now();
+    let (_, stats) = rt.multiply_with_stats(&a, &a).expect("timed product");
+    let dist_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut stamp = spgemm_bench::perfjson::PerfReport::new("dist", 1);
+    stamp
+        .metric("mono_steady_ms", mono.steady_s * 1e3)
+        .metric("dist_2x2_steady_ms", dist_ms)
+        .metric(
+            "peak_shard_partial_bytes",
+            stats.max_peak_partial_bytes() as f64,
+        )
+        .metric("mono_footprint_bytes", mono.footprint_bytes as f64);
+    match stamp.write() {
+        Ok(path) => println!("perf stamp: {}", path.display()),
+        Err(e) => eprintln!("could not write perf stamp: {e}"),
+    }
     println!(
         "smoke ok: sharded gather equals monolithic on 1x1, 2x1, 2x2; steady state numeric-only"
     );

@@ -303,6 +303,20 @@ fn main() {
             mcl.eliminated > 0,
             "MCL inflation+renormalization must fuse away its intermediates"
         );
+        let mut stamp = spgemm_bench::perfjson::PerfReport::new("expr", pool.nthreads());
+        for row in &rows {
+            // First token of the display name ("mcl", "amg") — the
+            // rest is typography, not a metric key.
+            let key = row.name.split_whitespace().next().unwrap_or("row");
+            stamp
+                .metric(&format!("{key}_fused_ms"), row.fused_ms)
+                .metric(&format!("{key}_unfused_ms"), row.unfused_ms)
+                .metric(&format!("{key}_eliminated_bytes"), row.eliminated as f64);
+        }
+        match stamp.write() {
+            Ok(path) => println!("perf stamp: {}", path.display()),
+            Err(e) => eprintln!("could not write perf stamp: {e}"),
+        }
         println!("smoke OK: fused == unfused on both DAGs, zero steady-state rebuilds");
     }
 }

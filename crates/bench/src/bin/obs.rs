@@ -403,6 +403,178 @@ fn traced_dist_serve(seed: u64) -> DistTraceReport {
     }
 }
 
+/// What part 5 measured: the scrape endpoint and time-series
+/// collector over a live serve workload, and the disabled-path span
+/// cost with the collector thread still running (idle).
+struct TelemetryReport {
+    /// Pages served to the 4 concurrent scrapers, all validated.
+    pages: usize,
+    /// Connections the endpoint answered 200.
+    served: u64,
+    /// Collector windows retained after the ring wrapped.
+    windows: usize,
+    /// Total collections (> ring capacity proves the wrap).
+    collections: u64,
+    /// Oldest retained window's sequence number.
+    first_seq: u64,
+    /// Engine snapshot at quiesce (gauges asserted against it).
+    snap: spgemm_serve::MetricsSnapshot,
+    /// The retained ring, oldest first (smoke asserts its deltas).
+    ring: Vec<obs::timeseries::Window>,
+    /// Disabled-path span cost with the collector thread idle, ns/op.
+    idle_span_ns: f64,
+}
+
+/// Registered level of gauge `name`, panicking if the site never
+/// registered.
+fn gauge_level(name: &str) -> i64 {
+    obs::gauge_stats()
+        .iter()
+        .find(|g| g.name == name)
+        .unwrap_or_else(|| panic!("gauge {name} not registered"))
+        .value
+}
+
+/// Part 5: telemetry export. Serves `/metrics` (registry families +
+/// the engine snapshot's serve families) to 4 concurrent scrapers
+/// while jobs flow, runs the background collector over a 4-window
+/// ring until it wraps, then checks the gauges against the engine's
+/// own `MetricsSnapshot` at quiesce.
+fn telemetry_export(seed: u64) -> TelemetryReport {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    obs::enable();
+    // Clean ledger: gauges must reconcile against *this* engine's
+    // snapshot, not levels left by parts 2–4's engines.
+    obs::reset();
+
+    let engine = Arc::new(ServeEngine::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    }));
+    let mut rng = spgemm_gen::rng(seed ^ 0x7e1e);
+    let g = spgemm_gen::rmat::generate_kind(spgemm_gen::RmatKind::G500, 7, 8, &mut rng);
+    let sym = ops::symmetrize_simple(&g).expect("square");
+    engine.store().insert("telemetry/m", sym);
+
+    // The scrape endpoint: registry families plus the serve layer's
+    // per-tenant families through the extra-exposition hook.
+    let exposition_engine = Arc::clone(&engine);
+    let mut server = obs::http::ScrapeServer::start_with(
+        obs::http::ScrapeConfig::default(),
+        Some(Box::new(move |out: &mut String| {
+            exposition_engine.metrics().openmetrics_into(out)
+        })),
+    )
+    .expect("bind scrape endpoint on 127.0.0.1:0");
+    let addr = server.addr();
+
+    // The collector: small ring so the run wraps it, plus a serve
+    // sampler contributing engine-level rows per window.
+    let sampler_engine = Arc::clone(&engine);
+    let mut collector = obs::timeseries::Collector::new(obs::timeseries::CollectorConfig {
+        period: Duration::from_millis(25),
+        windows: 4,
+    });
+    collector.set_sampler(Box::new(move |rows| {
+        let m = sampler_engine.metrics();
+        rows.push(format_args!("serve.completed"), m.completed as f64);
+        rows.push(format_args!("serve.p99_ms"), m.latency.p99_ms);
+    }));
+    collector.run_background();
+
+    // 4 concurrent scrapers validating every page while jobs flow.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrapers: Vec<std::thread::JoinHandle<usize>> = (0..4)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut pages = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let (status, body) =
+                        obs::http::http_get(addr, "/metrics").expect("scrape /metrics");
+                    assert_eq!(status, 200, "scrape status");
+                    obs::openmetrics::validate(&body)
+                        .expect("mid-load /metrics page must be valid OpenMetrics");
+                    pages += 1;
+                }
+                pages
+            })
+        })
+        .collect();
+
+    // The workload under scrape load: products plus one expression
+    // job so the expr-results gauge has something to reconcile.
+    let spec = {
+        let mut g = ExprGraph::new();
+        let a = g.input();
+        let root = g.multiply(a, a);
+        ExprSpec::new(g, root)
+    };
+    let expr_handle = engine
+        .try_submit_expr(ExprRequest::new(spec, ["telemetry/m"]).tenant("telemetry"))
+        .expect("submit expr job");
+    let mut handles = Vec::new();
+    for _ in 0..24 {
+        handles.push(
+            engine
+                .try_submit(ProductRequest::new("telemetry/m", "telemetry/m").tenant("telemetry"))
+                .expect("submit product"),
+        );
+    }
+    for h in &handles {
+        h.wait().expect("job result");
+    }
+    expr_handle.wait().expect("expr result");
+
+    stop.store(true, Ordering::Relaxed);
+    let pages: usize = scrapers
+        .into_iter()
+        .map(|s| s.join().expect("scraper thread"))
+        .sum();
+    server.shutdown();
+
+    // Wrap the 4-window ring deterministically.
+    while collector.collections() < 6 {
+        collector.collect_now();
+    }
+    let windows = collector.windows();
+    let collections = collector.collections();
+    let first_seq = windows.first().map_or(0, |w| w.seq);
+
+    // Quiesce: gauges must reconcile with the engine's snapshot. The
+    // worker-busy decrement races the last job handle's wake-up by a
+    // few instructions, so poll it to zero first.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while gauge_level("serve.workers_busy") != 0 && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    let snap = engine.metrics();
+
+    // Disabled-path cost with the collector thread still running
+    // (idle between 25 ms periods).
+    obs::disable();
+    const ITERS: u64 = 1_000_000;
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        let _g = obs::span!("bench", "bench.disabled_probe");
+    }
+    let idle_span_ns = t.elapsed().as_nanos() as f64 / ITERS as f64;
+    collector.stop();
+
+    TelemetryReport {
+        pages,
+        served: server.served(),
+        windows: windows.len(),
+        collections,
+        first_seq,
+        snap,
+        ring: windows,
+        idle_span_ns,
+    }
+}
+
 fn fmt_summary(s: &spgemm_serve::LatencySummary) -> String {
     format!(
         "n={:<4} mean {:>8.3} ms  p50 {:>8.3}  p99 {:>8.3}  max {:>8.3}",
@@ -525,6 +697,22 @@ fn main() {
             exemplar_path.display()
         ),
     }
+    // --- part 5: telemetry export (scrape endpoint + collector) ---
+    let tel = telemetry_export(args.seed);
+    println!("\n[5] telemetry export");
+    println!(
+        "    /metrics: {} pages validated by 4 concurrent scrapers ({} served total)",
+        tel.pages, tel.served
+    );
+    println!(
+        "    collector: {} collections into a 4-window ring, {} retained (oldest seq {})",
+        tel.collections, tel.windows, tel.first_seq
+    );
+    println!(
+        "    disabled span with idle collector thread: {:.2} ns/op",
+        tel.idle_span_ns
+    );
+
     if let Some(path) = &args.json {
         let slo_json: Vec<String> = dist
             .snap
@@ -627,10 +815,7 @@ fn main() {
             "exemplar spans span {} thread(s); need submission/worker/shards",
             dist.tids
         );
-        assert!(
-            dist.cross_thread_flows >= 1,
-            "no flow link crosses threads"
-        );
+        assert!(dist.cross_thread_flows >= 1, "no flow link crosses threads");
         assert_eq!(dist.exemplar.dropped, 0, "exemplar lost spans");
         if dist.coverage < 0.95 {
             // name which phase lost coverage before failing
@@ -641,8 +826,7 @@ fn main() {
                 .filter(|s| s.name != "request")
                 .copied()
                 .collect();
-            for sc in obs::coverage_by_site(&body, dist.batch_tid, dist.window.0, dist.window.1)
-            {
+            for sc in obs::coverage_by_site(&body, dist.batch_tid, dist.window.0, dist.window.1) {
                 eprintln!(
                     "    site {}/{}: {:.1}% ({} ns)",
                     sc.cat,
@@ -669,16 +853,142 @@ fn main() {
         for slo in &dist.snap.slo {
             assert!(slo.burn_rate().is_finite(), "{}: burn rate", slo.tenant);
         }
+        // Part 5: the scrape endpoint must have served valid pages to
+        // every concurrent scraper while the workload ran...
+        assert!(
+            tel.pages >= 4,
+            "only {} pages scraped; every scraper should land at least one",
+            tel.pages
+        );
+        assert!(tel.served >= tel.pages as u64, "served < validated pages");
+        // ...the collector ring must have wrapped with clean windows...
+        assert!(
+            tel.collections > 4 && tel.windows == 4,
+            "ring did not wrap: {} collections, {} windows retained",
+            tel.collections,
+            tel.windows
+        );
+        assert!(
+            tel.first_seq > 1,
+            "oldest retained seq {} should postdate evicted windows",
+            tel.first_seq
+        );
+        let mut prev_seq = 0u64;
+        for w in &tel.ring {
+            assert!(w.seq == prev_seq + 1 || prev_seq == 0, "seq gap in ring");
+            prev_seq = w.seq;
+            assert!(w.end_ns >= w.start_ns, "window runs backwards");
+            for row in &w.rows {
+                match row.kind {
+                    obs::timeseries::SeriesKind::Counter { rate_per_s, .. } => {
+                        assert!(rate_per_s >= 0.0, "{}/{}: negative rate", row.cat, row.name);
+                    }
+                    obs::timeseries::SeriesKind::Gauge { .. } => {}
+                    obs::timeseries::SeriesKind::Span {
+                        count_delta,
+                        ns_delta,
+                    } => {
+                        assert!(
+                            count_delta > 0 || ns_delta == 0,
+                            "{}/{}: time without completions",
+                            row.cat,
+                            row.name
+                        );
+                    }
+                    obs::timeseries::SeriesKind::Hist(stats) => {
+                        assert!(
+                            stats.count > 0 || stats.sum == 0,
+                            "{}/{}: sum without samples",
+                            row.cat,
+                            row.name
+                        );
+                    }
+                }
+            }
+        }
+        // ...gauges must reconcile with the engine's own snapshot at
+        // quiesce (both sides come from the same locked reads)...
+        let lanes = [
+            gauge_level("serve.queue_depth.high"),
+            gauge_level("serve.queue_depth.normal"),
+            gauge_level("serve.queue_depth.low"),
+        ];
+        let snap_lanes: [i64; 3] = [
+            tel.snap.queue_depth_per_lane[0] as i64,
+            tel.snap.queue_depth_per_lane[1] as i64,
+            tel.snap.queue_depth_per_lane[2] as i64,
+        ];
+        assert_eq!(lanes, snap_lanes, "lane gauges vs snapshot");
+        assert_eq!(
+            gauge_level("serve.plan_cache.entries"),
+            tel.snap.plan_cache.entries as i64,
+            "plan-cache entries gauge vs snapshot"
+        );
+        assert_eq!(
+            gauge_level("serve.expr_results.entries"),
+            tel.snap.expr_results.entries as i64,
+            "expr-results entries gauge vs snapshot"
+        );
+        assert_eq!(
+            gauge_level("serve.workers_busy"),
+            0,
+            "workers busy at quiesce"
+        );
+        assert!(
+            gauge_level("serve.store.registrations") >= 1,
+            "store registrations gauge"
+        );
+        // ...and the disabled path must stay cheap with the collector
+        // thread alive.
+        assert!(
+            tel.idle_span_ns < 250.0,
+            "disabled span with idle collector: {:.1} ns/op",
+            tel.idle_span_ns
+        );
         println!(
             "smoke OK: disabled path {span_ns:.1} ns/op, coverage {:.1}%, \
              queue+service == total across {} tenants, dist trace over \
-             {} threads at {:.1}% service coverage, SLO tracks {}/{} jobs",
+             {} threads at {:.1}% service coverage, SLO tracks {}/{} jobs, \
+             {} scraped pages valid, ring wrapped at seq {}",
             mcl.coverage * 100.0,
             snap.per_tenant.len(),
             dist.tids,
             dist.coverage * 100.0,
             tracked,
-            dist.snap.completed
+            dist.snap.completed,
+            tel.pages,
+            tel.first_seq
         );
+    }
+
+    // --- perf trajectory stamp (BENCH_obs.json) ---
+    if args.smoke || args.json.is_some() {
+        let mut stamp = spgemm_bench::perfjson::PerfReport::new("obs", pool.nthreads());
+        stamp
+            .metric("disabled_span_ns", span_ns)
+            .metric("idle_collector_span_ns", tel.idle_span_ns)
+            .metric("plan_loop_off_ms", off_ms)
+            .metric("plan_loop_on_ms", on_ms)
+            .metric("mcl_wall_ms", mcl.wall_ms)
+            .metric("mcl_coverage", mcl.coverage)
+            .metric("serve_completed", snap.completed as f64)
+            .metric("scrape_pages", tel.pages as f64)
+            .metric("collector_windows", tel.windows as f64);
+        match stamp.write() {
+            Ok(path) => println!("perf stamp: {}", path.display()),
+            Err(e) => eprintln!("could not write perf stamp: {e}"),
+        }
+        if args.smoke {
+            // The gate must at least pass against the stamp it just
+            // wrote (identity compare — exercises parse + compare).
+            let doc = spgemm_bench::perfjson::parse(&stamp.to_json()).expect("own stamp parses");
+            let report = spgemm_bench::regress::compare(
+                &doc,
+                &doc,
+                spgemm_bench::regress::RegressConfig::default(),
+            )
+            .expect("self-compare");
+            assert_eq!(report.failures(), 0, "regress must pass against itself");
+        }
     }
 }

@@ -425,6 +425,17 @@ fn main() {
             "stable tenant patterns must hit >50%: {:?}",
             m.plan_cache
         );
+        let mut stamp = spgemm_bench::perfjson::PerfReport::new("serve", args.threads_per_worker);
+        stamp
+            .metric("wall_ms", out.wall.as_secs_f64() * 1e3)
+            .metric("p50_ms", m.latency.p50_ms)
+            .metric("p99_ms", m.latency.p99_ms)
+            .metric("jobs_completed", m.completed as f64)
+            .metric("plan_cache_hit_rate", m.plan_cache.hit_rate());
+        match stamp.write() {
+            Ok(path) => println!("perf stamp: {}", path.display()),
+            Err(e) => eprintln!("could not write perf stamp: {e}"),
+        }
         println!("SMOKE OK");
         return;
     }

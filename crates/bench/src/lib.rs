@@ -21,7 +21,9 @@
 
 pub mod args;
 pub mod envinfo;
+pub mod perfjson;
 pub mod profiles;
+pub mod regress;
 pub mod runner;
 pub mod suites;
 pub mod tunesuite;

@@ -277,6 +277,28 @@ struct CoordState {
     cuts: Option<CutCache>,
 }
 
+/// Products currently occupying or queued for a fleet, summed across
+/// every live runtime (one runtime runs one product at a time, so a
+/// level above the runtime count means submitters are queueing).
+static PRODUCTS_IN_FLIGHT: obs::GaugeSite = obs::GaugeSite::new("dist", "dist.products_in_flight");
+
+/// RAII decrement for [`PRODUCTS_IN_FLIGHT`] — covers error returns
+/// and shard-failure paths alike.
+struct InFlight;
+
+impl InFlight {
+    fn enter() -> InFlight {
+        PRODUCTS_IN_FLIGHT.add(1);
+        InFlight
+    }
+}
+
+impl Drop for InFlight {
+    fn drop(&mut self) {
+        PRODUCTS_IN_FLIGHT.sub(1);
+    }
+}
+
 /// Cached cut selection, keyed by the operands' structure
 /// fingerprints.
 struct CutCache {
@@ -377,6 +399,7 @@ impl ShardRuntime {
             }
             .into());
         }
+        let _in_flight = InFlight::enter();
         let (grid_rows, grid_cols) = (self.cfg.grid.rows(), self.cfg.grid.cols());
         let stages = self.cfg.grid.stages();
         let mut guard = self.coordinator.lock();

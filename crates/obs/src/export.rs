@@ -33,6 +33,17 @@ pub struct CounterStat {
     pub value: u64,
 }
 
+/// Level of one gauge callsite.
+#[derive(Clone, Debug)]
+pub struct GaugeStat {
+    /// Gauge name.
+    pub name: &'static str,
+    /// Gauge category (layer).
+    pub cat: &'static str,
+    /// Current level.
+    pub value: i64,
+}
+
 /// Snapshot of one histogram callsite.
 #[derive(Clone, Debug)]
 pub struct HistogramStat {
@@ -74,6 +85,20 @@ pub fn counter_stats() -> Vec<CounterStat> {
         })
         .collect();
     out.sort_by_key(|c| (c.cat, c.name));
+    out
+}
+
+/// Every registered gauge's level, sorted by `(cat, name)`.
+pub fn gauge_stats() -> Vec<GaugeStat> {
+    let mut out: Vec<GaugeStat> = lock(&REGISTRY.gauges)
+        .iter()
+        .map(|g| GaugeStat {
+            name: g.name(),
+            cat: g.cat(),
+            value: g.value(),
+        })
+        .collect();
+    out.sort_by_key(|g| (g.cat, g.name));
     out
 }
 
@@ -129,6 +154,18 @@ pub fn text_report() -> String {
                 "{:<34} {:>10}",
                 format!("{}/{}", c.cat, c.name),
                 c.value
+            );
+        }
+    }
+    let gauges = gauge_stats();
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "{:<34} {:>10}", "gauge", "level");
+        for g in &gauges {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>10}",
+                format!("{}/{}", g.cat, g.name),
+                g.value
             );
         }
     }
@@ -202,6 +239,17 @@ pub fn json_snapshot() -> String {
         out.push_str("\",\"name\":\"");
         json_escape(c.name, &mut out);
         let _ = write!(out, "\",\"value\":{}}}", c.value);
+    }
+    out.push_str("],\"gauges\":[");
+    for (i, g) in gauge_stats().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"cat\":\"");
+        json_escape(g.cat, &mut out);
+        out.push_str("\",\"name\":\"");
+        json_escape(g.name, &mut out);
+        let _ = write!(out, "\",\"value\":{}}}", g.value);
     }
     out.push_str("],\"histograms\":[");
     for (i, h) in histogram_stats().iter().enumerate() {
@@ -499,7 +547,10 @@ mod tests {
         f.trace_id = 5;
         let json = chrome_trace_of(&[s, f, ev(1, 0, 30)]);
         assert!(json.contains("\"ph\":\"s\",\"id\":77"), "{json}");
-        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":77"), "{json}");
+        assert!(
+            json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":77"),
+            "{json}"
+        );
         assert!(json.contains("\"ph\":\"X\""), "{json}");
         assert!(json.contains("\"args\":{\"trace_id\":5}"), "{json}");
     }
@@ -538,5 +589,36 @@ mod tests {
         let mut s = String::new();
         json_escape("a\"b\\c\nd", &mut s);
         assert_eq!(s, "a\\\"b\\\\c\\u000ad");
+        s.clear();
+        json_escape("\u{0}\u{1f}\t\r", &mut s);
+        assert_eq!(s, "\\u0000\\u001f\\u0009\\u000d");
+    }
+
+    /// A hostile site name — embedded newline, quote and a C0 control
+    /// — must come out of every JSON exporter escaped, never raw.
+    #[test]
+    fn hostile_names_stay_escaped_in_every_exporter() {
+        let _l = crate::test_lock();
+        crate::enable_with_capacity(64);
+        crate::reset();
+        static EVIL_CTR: crate::CounterSite =
+            crate::CounterSite::new("export", "evil\n\"ctr\"\u{1}");
+        static EVIL_GAUGE: crate::GaugeSite = crate::GaugeSite::new("export", "evil\ngauge");
+        static EVIL_SPAN: crate::SpanSite = crate::SpanSite::new("export", "evil\nspan");
+        EVIL_CTR.add(1);
+        EVIL_GAUGE.set(-3);
+        drop(EVIL_SPAN.enter());
+        crate::disable();
+
+        // these exporters emit single-line documents, so any raw
+        // control character is a leak from an unescaped name
+        for json in [json_snapshot(), chrome_trace()] {
+            assert!(!json.contains('\n'), "raw newline leaked: {json}");
+            assert!(!json.contains('\u{1}'), "raw control leaked: {json}");
+        }
+        let json = json_snapshot();
+        assert!(json.contains("evil\\u000a\\\"ctr\\\"\\u0001"), "{json}");
+        assert!(json.contains("evil\\u000agauge\",\"value\":-3"), "{json}");
+        crate::reset();
     }
 }

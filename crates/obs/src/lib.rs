@@ -62,19 +62,22 @@
 
 mod export;
 mod hist;
+pub mod http;
+pub mod openmetrics;
 mod ring;
 mod site;
+pub mod timeseries;
 mod trace;
 
 pub use export::{
-    chrome_trace, chrome_trace_for, counter_stats, coverage_by_site, histogram_stats,
-    json_snapshot, span_coverage, span_stats, text_report, CounterStat, HistogramStat, SiteCoverage,
-    SpanStat,
+    chrome_trace, chrome_trace_for, counter_stats, coverage_by_site, gauge_stats, histogram_stats,
+    json_snapshot, span_coverage, span_stats, text_report, CounterStat, GaugeStat, HistogramStat,
+    SiteCoverage, SpanStat,
 };
-pub use hist::{bucket_high, bucket_index, bucket_low, Histogram, HistogramSnapshot};
+pub use hist::{bucket_high, bucket_index, bucket_low, Histogram, HistogramSnapshot, WindowStats};
 pub use hist::{NUM_BUCKETS, PRECISION};
 pub use ring::{trace_events, trace_overwritten, EventKind, TraceEvent};
-pub use site::{CounterSite, HistogramSite, SpanGuard, SpanSite};
+pub use site::{CounterSite, GaugeSite, HistogramSite, SpanGuard, SpanSite};
 pub use trace::{
     ctx_scope, current_ctx, exemplar_for, exemplars, finish_request, flow_out,
     roll_exemplar_window, trace_unsampled, CtxScope, ExemplarTrace, FlowLink, TraceCtx,

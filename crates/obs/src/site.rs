@@ -9,19 +9,21 @@
 use crate::hist::Histogram;
 use crate::ring::{self, TraceEvent};
 use crate::trace::{self, OpenSpan};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 pub(crate) struct Registry {
     pub(crate) spans: Mutex<Vec<&'static SpanSite>>,
     pub(crate) counters: Mutex<Vec<&'static CounterSite>>,
+    pub(crate) gauges: Mutex<Vec<&'static GaugeSite>>,
     pub(crate) hists: Mutex<Vec<&'static HistogramSite>>,
 }
 
 pub(crate) static REGISTRY: Registry = Registry {
     spans: Mutex::new(Vec::new()),
     counters: Mutex::new(Vec::new()),
+    gauges: Mutex::new(Vec::new()),
     hists: Mutex::new(Vec::new()),
 };
 
@@ -38,6 +40,9 @@ pub(crate) fn reset_all() {
     }
     for c in lock(&REGISTRY.counters).iter() {
         c.value.store(0, Ordering::Relaxed);
+    }
+    for g in lock(&REGISTRY.gauges).iter() {
+        g.value.store(0, Ordering::Relaxed);
     }
     for h in lock(&REGISTRY.hists).iter() {
         h.hist.reset();
@@ -210,6 +215,92 @@ impl CounterSite {
     }
 }
 
+/// A named instantaneous-value callsite: a signed level that can be
+/// `set` to an absolute reading or moved with `add`/`sub` deltas
+/// (queue depths, busy workers, cache entries, in-flight products).
+/// Declare as a `static`; self-registers like [`SpanSite`] on first
+/// use while enabled, and the disabled path is one relaxed load.
+///
+/// Gauges only observe changes made while instrumentation is enabled:
+/// a level that moved while disabled is re-synced the next time its
+/// owner calls `set`, and delta-maintained gauges (`add`/`sub`) read 0
+/// until their subsystem quiesces after enabling.
+pub struct GaugeSite {
+    name: &'static str,
+    cat: &'static str,
+    registered: AtomicBool,
+    pub(crate) value: AtomicI64,
+}
+
+impl GaugeSite {
+    /// A new gauge under `cat` named `name`.
+    pub const fn new(cat: &'static str, name: &'static str) -> Self {
+        GaugeSite {
+            name,
+            cat,
+            registered: AtomicBool::new(false),
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Gauge name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Gauge category (layer).
+    pub fn cat(&self) -> &'static str {
+        self.cat
+    }
+
+    /// Set the absolute level. When disabled: one relaxed load only.
+    #[inline]
+    pub fn set(&'static self, v: i64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.set_enabled(v);
+    }
+
+    /// Move the level by a signed delta (subject to the enable flag).
+    #[inline]
+    pub fn add(&'static self, d: i64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.add_enabled(d);
+    }
+
+    /// Shorthand for `add(-d)`.
+    #[inline]
+    pub fn sub(&'static self, d: i64) {
+        self.add(-d);
+    }
+
+    #[cold]
+    fn set_enabled(&'static self, v: i64) {
+        self.register();
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    #[cold]
+    fn add_enabled(&'static self, d: i64) {
+        self.register();
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    fn register(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock(&REGISTRY.gauges).push(self);
+        }
+    }
+
+    /// Current level.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
 /// A named histogram callsite (a `static` [`Histogram`] that
 /// self-registers and obeys the global enable flag). For always-on
 /// histograms owned by a subsystem — like serve's per-tenant latency
@@ -272,6 +363,32 @@ mod tests {
     static SPAN: SpanSite = SpanSite::new("test", "test.span");
     static CTR: CounterSite = CounterSite::new("test", "test.ctr");
     static HIST: HistogramSite = HistogramSite::new("test", "test.hist");
+    static GAUGE: GaugeSite = GaugeSite::new("test", "test.gauge");
+
+    #[test]
+    fn gauge_records_only_while_enabled() {
+        let _l = crate::test_lock();
+        crate::disable();
+        crate::reset();
+        GAUGE.set(7);
+        GAUGE.add(2);
+        assert_eq!(GAUGE.value(), 0, "disabled gauge must not move");
+
+        crate::enable_with_capacity(16);
+        GAUGE.set(7);
+        GAUGE.add(5);
+        GAUGE.sub(2);
+        assert_eq!(GAUGE.value(), 10);
+        assert!(
+            crate::gauge_stats()
+                .iter()
+                .any(|g| g.name == "test.gauge" && g.value == 10),
+            "gauge must self-register on first enabled use"
+        );
+        crate::disable();
+        crate::reset();
+        assert_eq!(GAUGE.value(), 0);
+    }
 
     #[test]
     fn sites_record_only_while_enabled() {

@@ -1,0 +1,504 @@
+//! Periodic time-series collection over the global registry.
+//!
+//! A [`Collector`] snapshots every registered counter, gauge, span
+//! and histogram site on a configurable period into a fixed-footprint
+//! ring of [`Window`]s. Each window holds *interval* readings — true
+//! deltas against the previous collection (counter deltas and rates,
+//! span count/time deltas, per-window histogram quantiles via
+//! [`HistogramSnapshot::window_stats`], the bucket-wise equivalent of
+//! [`HistogramSnapshot::since`]) — not lifetime aggregates, so a p99
+//! in a window is the p99 *of that window*.
+//!
+//! The ring overwrites its oldest window; nothing grows with uptime.
+//! After a warmup collection (which sizes the per-site scratch), the
+//! steady-state collection path performs **zero heap allocations**
+//! (proven by `tests/timeseries_alloc.rs`), so the collector thread
+//! never perturbs the workload it is measuring.
+//!
+//! Subsystems whose metrics live outside the registry (e.g. serve's
+//! `MetricsSnapshot` — per-tenant latency, SLO burn rates) plug in
+//! through a [`SamplerFn`] that appends keyed rows to each window;
+//! the row keys reuse per-slot `String` storage, so a sampler that
+//! formats into them also settles into an allocation-free steady
+//! state once key lengths stabilize.
+
+use crate::hist::{HistogramSnapshot, WindowStats};
+use crate::site::{lock, REGISTRY};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Collector settings.
+#[derive(Clone, Debug)]
+pub struct CollectorConfig {
+    /// Collection period of the background thread (manual
+    /// [`Collector::collect_now`] calls ignore it). Default 1 s.
+    pub period: Duration,
+    /// Ring capacity in windows (min 2). Default 64.
+    pub windows: usize,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            period: Duration::from_secs(1),
+            windows: 64,
+        }
+    }
+}
+
+/// One registry site's interval reading within a [`Window`].
+#[derive(Clone, Copy, Debug)]
+pub struct SeriesRow {
+    /// Site category (layer).
+    pub cat: &'static str,
+    /// Site name.
+    pub name: &'static str,
+    /// The interval reading.
+    pub kind: SeriesKind,
+}
+
+/// The per-kind payload of a [`SeriesRow`].
+#[derive(Clone, Copy, Debug)]
+pub enum SeriesKind {
+    /// Counter: increment over the window and its per-second rate.
+    Counter {
+        /// Value gained during the window.
+        delta: u64,
+        /// `delta` over the window length.
+        rate_per_s: f64,
+    },
+    /// Gauge: level at the end of the window.
+    Gauge {
+        /// Instantaneous level.
+        value: i64,
+    },
+    /// Span: occurrences and time spent during the window.
+    Span {
+        /// Completions during the window.
+        count_delta: u64,
+        /// Nanoseconds accumulated during the window.
+        ns_delta: u64,
+    },
+    /// Histogram: window-local aggregates (count, sum, p50/p99...).
+    Hist(WindowStats),
+}
+
+/// One sampler-provided row: a formatted key and a value.
+#[derive(Clone, Debug)]
+pub struct ExtraRow {
+    /// Sampler-chosen series key (e.g. `serve.p99_ms{tenant=acme}`).
+    pub key: String,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// Reusable append-only row buffer handed to a [`SamplerFn`] each
+/// window. Key strings are recycled across windows, so formatting
+/// into them allocates nothing once lengths stabilize.
+#[derive(Debug, Default)]
+pub struct ExtraRows {
+    rows: Vec<ExtraRow>,
+    len: usize,
+}
+
+impl ExtraRows {
+    /// Append one row; `key` is formatted into recycled storage
+    /// (call as `rows.push(format_args!("..."), v)`).
+    pub fn push(&mut self, key: fmt::Arguments<'_>, value: f64) {
+        if self.len == self.rows.len() {
+            self.rows.push(ExtraRow {
+                key: String::new(),
+                value: 0.0,
+            });
+        }
+        let row = &mut self.rows[self.len];
+        row.key.clear();
+        let _ = fmt::Write::write_fmt(&mut row.key, key);
+        row.value = value;
+        self.len += 1;
+    }
+
+    /// The rows appended for the current window.
+    pub fn rows(&self) -> &[ExtraRow] {
+        &self.rows[..self.len]
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl Clone for ExtraRows {
+    fn clone(&self) -> Self {
+        ExtraRows {
+            rows: self.rows[..self.len].to_vec(),
+            len: self.len,
+        }
+    }
+}
+
+/// One collection window: interval readings of every registered site
+/// plus any sampler rows, covering `[start_ns, end_ns)` on the
+/// [`crate::now_ns`] clock.
+#[derive(Clone, Debug)]
+pub struct Window {
+    /// Monotone collection number (1-based; never reused, so a reader
+    /// polling [`Collector::windows`] can detect what it missed).
+    pub seq: u64,
+    /// Window start (previous collection), ns since the trace epoch.
+    pub start_ns: u64,
+    /// Window end (this collection), ns since the trace epoch.
+    pub end_ns: u64,
+    /// Registry sites, in registration order per kind.
+    pub rows: Vec<SeriesRow>,
+    /// Sampler-provided rows.
+    pub extra: ExtraRows,
+}
+
+impl Window {
+    /// Window length in seconds.
+    pub fn len_s(&self) -> f64 {
+        (self.end_ns.saturating_sub(self.start_ns)) as f64 / 1e9
+    }
+
+    /// The reading for site `(cat, name)`, if it was registered.
+    pub fn row(&self, cat: &str, name: &str) -> Option<&SeriesRow> {
+        self.rows.iter().find(|r| r.cat == cat && r.name == name)
+    }
+}
+
+/// Sampler plugged into the collector; appends per-window rows.
+pub type SamplerFn = Box<dyn FnMut(&mut ExtraRows) + Send>;
+
+struct PrevState {
+    counters: Vec<u64>,
+    spans: Vec<(u64, u64)>,
+    hists: Vec<HistogramSnapshot>,
+    scratch: HistogramSnapshot,
+}
+
+struct State {
+    seq: u64,
+    head: usize,
+    windows: Vec<Window>,
+    prev: PrevState,
+    last_ns: u64,
+    sampler: Option<SamplerFn>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    stop: Mutex<bool>,
+    cv: Condvar,
+    collections: AtomicU64,
+}
+
+/// The time-series collector. Construct with [`Collector::new`]
+/// (manual collection) and optionally [`Collector::run_background`]
+/// to drive it from a thread; dropping the collector stops and joins
+/// that thread. Nothing in the process starts one implicitly —
+/// telemetry export is opt-in.
+pub struct Collector {
+    period: Duration,
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Collector {
+    /// A collector with an empty ring of `cfg.windows` windows. No
+    /// thread is started; call [`Collector::collect_now`] to sample.
+    pub fn new(cfg: CollectorConfig) -> Collector {
+        let capacity = cfg.windows.max(2);
+        let windows = (0..capacity)
+            .map(|_| Window {
+                seq: 0,
+                start_ns: 0,
+                end_ns: 0,
+                rows: Vec::new(),
+                extra: ExtraRows::default(),
+            })
+            .collect();
+        Collector {
+            period: cfg.period,
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    seq: 0,
+                    head: 0,
+                    windows,
+                    prev: PrevState {
+                        counters: Vec::new(),
+                        spans: Vec::new(),
+                        hists: Vec::new(),
+                        scratch: HistogramSnapshot::empty(),
+                    },
+                    last_ns: crate::now_ns(),
+                    sampler: None,
+                }),
+                stop: Mutex::new(false),
+                cv: Condvar::new(),
+                collections: AtomicU64::new(0),
+            }),
+            thread: None,
+        }
+    }
+
+    /// Install (or replace) the extra-row sampler.
+    pub fn set_sampler(&self, f: SamplerFn) {
+        lock(&self.shared.state).sampler = Some(f);
+    }
+
+    /// Spawn the background thread collecting every `period`.
+    /// Idempotent; the thread is stopped and joined on drop.
+    pub fn run_background(&mut self) {
+        if self.thread.is_some() {
+            return;
+        }
+        *lock(&self.shared.stop) = false;
+        let shared = Arc::clone(&self.shared);
+        let period = self.period;
+        self.thread = Some(
+            std::thread::Builder::new()
+                .name("obs-collector".into())
+                .spawn(move || loop {
+                    let mut stop = lock(&shared.stop);
+                    while !*stop {
+                        let (g, timed_out) = shared
+                            .cv
+                            .wait_timeout(stop, period)
+                            .unwrap_or_else(|e| panic!("collector cv: {e}"));
+                        stop = g;
+                        if timed_out.timed_out() {
+                            break;
+                        }
+                    }
+                    if *stop {
+                        return;
+                    }
+                    drop(stop);
+                    collect(&shared);
+                })
+                .expect("spawn obs-collector"),
+        );
+    }
+
+    /// Stop and join the background thread (no-op if none running).
+    pub fn stop(&mut self) {
+        if let Some(h) = self.thread.take() {
+            *lock(&self.shared.stop) = true;
+            self.shared.cv.notify_all();
+            let _ = h.join();
+        }
+    }
+
+    /// Collect one window synchronously (usable with or without the
+    /// background thread). Allocation-free at steady state.
+    pub fn collect_now(&self) {
+        collect(&self.shared);
+    }
+
+    /// Total collections performed.
+    pub fn collections(&self) -> u64 {
+        self.shared.collections.load(Ordering::Relaxed)
+    }
+
+    /// The retained windows, oldest first (clones; at most the ring
+    /// capacity, fewer until the ring fills).
+    pub fn windows(&self) -> Vec<Window> {
+        let st = lock(&self.shared.state);
+        let cap = st.windows.len();
+        let mut out = Vec::new();
+        for i in 0..cap {
+            let w = &st.windows[(st.head + i) % cap];
+            if w.seq != 0 {
+                out.push(w.clone());
+            }
+        }
+        out
+    }
+
+    /// The most recent window, if any collection has happened.
+    pub fn latest(&self) -> Option<Window> {
+        let st = lock(&self.shared.state);
+        let cap = st.windows.len();
+        let w = &st.windows[(st.head + cap - 1) % cap];
+        if w.seq != 0 {
+            Some(w.clone())
+        } else {
+            None
+        }
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn collect(shared: &Shared) {
+    let mut guard = lock(&shared.state);
+    let st = &mut *guard;
+    let now_ns = crate::now_ns();
+    let start_ns = st.last_ns;
+    let dt_s = ((now_ns.saturating_sub(start_ns)) as f64 / 1e9).max(1e-9);
+    st.seq += 1;
+    let head = st.head;
+    let prev = &mut st.prev;
+    let win = &mut st.windows[head];
+    win.seq = st.seq;
+    win.start_ns = start_ns;
+    win.end_ns = now_ns;
+    win.rows.clear();
+    win.extra.clear();
+
+    {
+        let regs = lock(&REGISTRY.counters);
+        if prev.counters.len() < regs.len() {
+            prev.counters.resize(regs.len(), 0);
+        }
+        for (i, c) in regs.iter().enumerate() {
+            let v = c.value();
+            let delta = v.saturating_sub(prev.counters[i]);
+            prev.counters[i] = v;
+            win.rows.push(SeriesRow {
+                cat: c.cat(),
+                name: c.name(),
+                kind: SeriesKind::Counter {
+                    delta,
+                    rate_per_s: delta as f64 / dt_s,
+                },
+            });
+        }
+    }
+    {
+        let regs = lock(&REGISTRY.gauges);
+        for g in regs.iter() {
+            win.rows.push(SeriesRow {
+                cat: g.cat(),
+                name: g.name(),
+                kind: SeriesKind::Gauge { value: g.value() },
+            });
+        }
+    }
+    {
+        let regs = lock(&REGISTRY.spans);
+        if prev.spans.len() < regs.len() {
+            prev.spans.resize(regs.len(), (0, 0));
+        }
+        for (i, s) in regs.iter().enumerate() {
+            let (count, total_ns, _max) = s.totals();
+            let (pc, pt) = prev.spans[i];
+            prev.spans[i] = (count, total_ns);
+            win.rows.push(SeriesRow {
+                cat: s.cat(),
+                name: s.name(),
+                kind: SeriesKind::Span {
+                    count_delta: count.saturating_sub(pc),
+                    ns_delta: total_ns.saturating_sub(pt),
+                },
+            });
+        }
+    }
+    {
+        let regs = lock(&REGISTRY.hists);
+        while prev.hists.len() < regs.len() {
+            prev.hists.push(HistogramSnapshot::empty());
+        }
+        for (i, h) in regs.iter().enumerate() {
+            h.hist.snapshot_into(&mut prev.scratch);
+            let stats = prev.scratch.window_stats(&prev.hists[i]);
+            // the fresh snapshot becomes this site's `prev`; its old
+            // buffer becomes the scratch for the next site
+            std::mem::swap(&mut prev.hists[i], &mut prev.scratch);
+            win.rows.push(SeriesRow {
+                cat: h.cat(),
+                name: h.name(),
+                kind: SeriesKind::Hist(stats),
+            });
+        }
+    }
+    if let Some(sampler) = st.sampler.as_mut() {
+        sampler(&mut st.windows[head].extra);
+    }
+    st.head = (head + 1) % st.windows.len();
+    st.last_ns = now_ns;
+    drop(guard);
+    shared.collections.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterSite, GaugeSite};
+
+    static TS_CTR: CounterSite = CounterSite::new("ts", "ts.ctr");
+    static TS_GAUGE: GaugeSite = GaugeSite::new("ts", "ts.gauge");
+
+    #[test]
+    fn windows_hold_interval_deltas() {
+        let _l = crate::test_lock();
+        crate::enable_with_capacity(0);
+        crate::reset();
+        let col = Collector::new(CollectorConfig {
+            windows: 4,
+            ..Default::default()
+        });
+        TS_CTR.add(5);
+        TS_GAUGE.set(3);
+        col.collect_now();
+        TS_CTR.add(2);
+        TS_GAUGE.set(-1);
+        col.collect_now();
+        crate::disable();
+
+        let ws = col.windows();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].seq + 1, ws[1].seq);
+        assert_eq!(ws[0].end_ns, ws[1].start_ns);
+        let first = ws[0].row("ts", "ts.ctr").unwrap();
+        let second = ws[1].row("ts", "ts.ctr").unwrap();
+        match (first.kind, second.kind) {
+            (
+                SeriesKind::Counter { delta: d1, .. },
+                SeriesKind::Counter {
+                    delta: d2,
+                    rate_per_s,
+                },
+            ) => {
+                assert_eq!(d1, 5);
+                assert_eq!(d2, 2);
+                assert!(rate_per_s > 0.0);
+            }
+            other => panic!("wrong kinds: {other:?}"),
+        }
+        match ws[1].row("ts", "ts.gauge").unwrap().kind {
+            SeriesKind::Gauge { value } => assert_eq!(value, -1),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        crate::reset();
+    }
+
+    #[test]
+    fn sampler_rows_are_recycled() {
+        let _l = crate::test_lock();
+        crate::enable_with_capacity(0);
+        crate::reset();
+        let col = Collector::new(CollectorConfig::default());
+        let mut tick = 0u64;
+        col.set_sampler(Box::new(move |rows| {
+            tick += 1;
+            rows.push(format_args!("extra.tick"), tick as f64);
+        }));
+        col.collect_now();
+        col.collect_now();
+        crate::disable();
+        let w = col.latest().unwrap();
+        assert_eq!(w.extra.rows().len(), 1);
+        assert_eq!(w.extra.rows()[0].key, "extra.tick");
+        assert_eq!(w.extra.rows()[0].value, 2.0);
+        crate::reset();
+    }
+}

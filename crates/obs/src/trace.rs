@@ -500,6 +500,10 @@ struct ExemplarStore {
 
 static EXEMPLARS: Mutex<ExemplarStore> = Mutex::new(ExemplarStore { groups: Vec::new() });
 
+/// Distinct exemplar groups currently retained (capped at
+/// [`MAX_EXEMPLAR_GROUPS`]); published under the store lock.
+static EXEMPLAR_GROUPS: crate::GaugeSite = crate::GaugeSite::new("obs", "obs.exemplar_groups");
+
 fn lock_exemplars() -> MutexGuard<'static, ExemplarStore> {
     EXEMPLARS.lock().unwrap_or_else(|e| e.into_inner())
 }
@@ -525,6 +529,7 @@ fn retention_slot<'a>(
                 })
                 .collect();
             store.groups.push((group.to_string(), slots));
+            EXEMPLAR_GROUPS.set(store.groups.len() as i64);
             store.groups.len() - 1
         }
         None => return None, // group cardinality capped
@@ -757,6 +762,7 @@ pub(crate) fn reset_all() {
         }
     }
     lock_exemplars().groups.clear();
+    EXEMPLAR_GROUPS.set(0);
     UNSAMPLED.store(0, Ordering::Relaxed);
 }
 

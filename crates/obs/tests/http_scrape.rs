@@ -1,0 +1,142 @@
+//! Scrape-endpoint robustness: the listener thread must survive —
+//! and keep serving valid OpenMetrics — across concurrent scrapers,
+//! clients that disconnect mid-response, and garbage request lines.
+//! Runs in its own process (integration test), so enabling
+//! instrumentation here cannot race the zero-alloc proof.
+
+use spgemm_obs::http::{http_get, ScrapeConfig, ScrapeServer};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+// Tests in one integration binary run concurrently but share the
+// global registry and enable flag; serialize them.
+static LOCK: Mutex<()> = Mutex::new(());
+
+static CTR: spgemm_obs::CounterSite = spgemm_obs::CounterSite::new("scrape", "scrape.ctr");
+static GAUGE: spgemm_obs::GaugeSite = spgemm_obs::GaugeSite::new("scrape", "scrape.gauge");
+static HIST: spgemm_obs::HistogramSite = spgemm_obs::HistogramSite::new("scrape", "scrape.hist");
+
+fn populate() {
+    spgemm_obs::enable_with_capacity(0);
+    CTR.add(7);
+    GAUGE.set(-4);
+    for v in [3u64, 900, 40_000] {
+        HIST.record(v);
+    }
+    spgemm_obs::disable();
+}
+
+#[test]
+fn concurrent_scrapers_get_valid_pages() {
+    let _l = LOCK.lock().unwrap();
+    populate();
+    let server = ScrapeServer::start(ScrapeConfig::default()).expect("bind");
+    let addr = server.addr();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..25 {
+                    let (status, body) = http_get(addr, "/metrics").expect("scrape");
+                    assert_eq!(status, 200);
+                    spgemm_obs::openmetrics::validate(&body)
+                        .unwrap_or_else(|e| panic!("{e}\n---\n{body}"));
+                    assert!(body.contains("spgemm_scrape_ctr_total"), "{body}");
+                    assert!(
+                        body.contains("spgemm_scrape_gauge{cat=\"scrape\"} -4"),
+                        "{body}"
+                    );
+                    assert!(body.contains("spgemm_scrape_hist_bucket"), "{body}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("scraper");
+    }
+    assert!(server.served() >= 100, "served {}", server.served());
+    spgemm_obs::reset();
+}
+
+#[test]
+fn extra_exposition_is_appended_before_eof() {
+    let _l = LOCK.lock().unwrap();
+    populate();
+    let server = ScrapeServer::start_with(
+        ScrapeConfig::default(),
+        Some(Box::new(|out: &mut String| {
+            spgemm_obs::openmetrics::append_type(out, "extra_fam", "counter");
+            spgemm_obs::openmetrics::append_counter(out, "extra_fam", &[("src", "test")], 11);
+        })),
+    )
+    .expect("bind");
+    let (status, body) = http_get(server.addr(), "/metrics").expect("scrape");
+    assert_eq!(status, 200);
+    spgemm_obs::openmetrics::validate(&body).unwrap_or_else(|e| panic!("{e}\n---\n{body}"));
+    assert!(body.contains("extra_fam_total{src=\"test\"} 11"), "{body}");
+    assert!(body.ends_with("# EOF\n"), "{body}");
+    spgemm_obs::reset();
+}
+
+#[test]
+fn mid_response_disconnects_do_not_wedge_the_endpoint() {
+    let _l = LOCK.lock().unwrap();
+    populate();
+    let server = ScrapeServer::start(ScrapeConfig::default()).expect("bind");
+    let addr = server.addr();
+    for _ in 0..8 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: obs\r\n\r\n")
+            .expect("request");
+        // Read a prefix of the response, then slam the connection shut.
+        let mut prefix = [0u8; 16];
+        let _ = s.read(&mut prefix);
+        drop(s);
+    }
+    // A connection that opens and says nothing costs one read error.
+    drop(TcpStream::connect(addr).expect("connect"));
+    // The endpoint must still answer cleanly afterwards.
+    let (status, body) = http_get(addr, "/metrics").expect("post-abuse scrape");
+    assert_eq!(status, 200);
+    spgemm_obs::openmetrics::validate(&body).unwrap_or_else(|e| panic!("{e}\n---\n{body}"));
+    spgemm_obs::reset();
+}
+
+#[test]
+fn garbage_and_unknown_requests_get_error_statuses() {
+    let _l = LOCK.lock().unwrap();
+    populate();
+    let server = ScrapeServer::start(ScrapeConfig::default()).expect("bind");
+    let addr = server.addr();
+
+    // Not HTTP at all: the handler must answer 400, not hang or die.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(b"\x00\x01garbage\r\n\r\n").expect("garbage");
+    let mut raw = String::new();
+    let _ = s.read_to_string(&mut raw);
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw:?}");
+    drop(s);
+
+    let (status, _) = http_get(addr, "/nope").expect("404 path");
+    assert_eq!(status, 404);
+    // http_get only speaks GET; POST by hand for the 405.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(b"POST /metrics HTTP/1.1\r\nHost: obs\r\n\r\n")
+        .expect("post");
+    let mut raw = String::new();
+    let _ = s.read_to_string(&mut raw);
+    assert!(raw.starts_with("HTTP/1.1 405"), "{raw:?}");
+
+    let (status, body) = http_get(addr, "/json").expect("json");
+    assert_eq!(status, 200);
+    assert!(body.trim_start().starts_with('{'), "{body}");
+    assert!(server.rejected() >= 3, "rejected {}", server.rejected());
+    // Valid service continues after every abuse case.
+    let (status, body) = http_get(addr, "/metrics").expect("final scrape");
+    assert_eq!(status, 200);
+    spgemm_obs::openmetrics::validate(&body).unwrap_or_else(|e| panic!("{e}\n---\n{body}"));
+    spgemm_obs::reset();
+}

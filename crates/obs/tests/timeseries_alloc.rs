@@ -1,0 +1,114 @@
+//! The fixed-footprint proof for the time-series collector: after a
+//! warmup pass that sizes the per-site scratch and the ring's row
+//! buffers, steady-state collection — registry snapshot, interval
+//! deltas, histogram window stats, sampler rows — performs **zero**
+//! heap allocations, so the collector thread never perturbs the
+//! workload it is measuring.
+//!
+//! Same counting-`#[global_allocator]` technique as `zero_alloc.rs`:
+//! per-thread tallies, so the strict zero assertion is immune to the
+//! harness running tests concurrently.
+
+use spgemm_obs::timeseries::{Collector, CollectorConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    // const-init + no Drop: the TLS slot itself never allocates, so
+    // the allocator hooks cannot recurse.
+    static LOCAL_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    let _ = LOCAL_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by the *calling* thread so far.
+fn allocations() -> u64 {
+    LOCAL_ALLOCATIONS.with(Cell::get)
+}
+
+static CTR: spgemm_obs::CounterSite = spgemm_obs::CounterSite::new("tsa", "tsa.ctr");
+static GAUGE: spgemm_obs::GaugeSite = spgemm_obs::GaugeSite::new("tsa", "tsa.gauge");
+static SPAN: spgemm_obs::SpanSite = spgemm_obs::SpanSite::new("tsa", "tsa.span");
+static HIST: spgemm_obs::HistogramSite = spgemm_obs::HistogramSite::new("tsa", "tsa.hist");
+
+#[test]
+fn steady_state_collection_allocates_nothing() {
+    spgemm_obs::enable_with_capacity(0);
+    // Register and exercise every site kind before warmup, so site
+    // registration and lazy histogram buckets are paid up front.
+    CTR.add(1);
+    GAUGE.set(1);
+    {
+        let _g = SPAN.enter();
+    }
+    HIST.record(1);
+    HIST.record(1 << 20);
+
+    let col = Collector::new(CollectorConfig {
+        windows: 4,
+        ..Default::default()
+    });
+    let mut tick = 0u64;
+    col.set_sampler(Box::new(move |rows| {
+        tick += 1;
+        // Fixed-width keys: the recycled String never regrows.
+        rows.push(format_args!("tsa.sampled"), tick as f64);
+        rows.push(format_args!("tsa.other"), 0.5);
+    }));
+    // Warmup: one full lap of the ring plus one, so every window's
+    // row buffer, the prev-state vectors and the histogram scratch
+    // are all sized.
+    for _ in 0..5 {
+        CTR.add(3);
+        HIST.record(7);
+        col.collect_now();
+    }
+
+    let iters = 200u64;
+    let before = allocations();
+    for i in 0..iters {
+        CTR.add(i);
+        GAUGE.set(i as i64);
+        {
+            let _g = SPAN.enter();
+        }
+        HIST.record(i + 1);
+        col.collect_now();
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state collect_now must not allocate"
+    );
+
+    // The ring still holds coherent data after the proof.
+    let ws = col.windows();
+    assert_eq!(ws.len(), 4);
+    assert!(ws.iter().all(|w| w.extra.rows().len() == 2));
+    spgemm_obs::disable();
+    spgemm_obs::reset();
+}

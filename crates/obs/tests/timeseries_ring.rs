@@ -1,0 +1,142 @@
+//! Collector ring semantics: the fixed-footprint window ring must
+//! overwrite oldest-first with monotone seq numbers, and every
+//! retained window must hold the *exact* interval delta of its
+//! collection — including windows recorded after the ring has
+//! wrapped. Runs in its own process (integration test).
+
+use spgemm_obs::timeseries::{Collector, CollectorConfig, SeriesKind};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+static RING_CTR: spgemm_obs::CounterSite = spgemm_obs::CounterSite::new("ring", "ring.ctr");
+static RING_GAUGE: spgemm_obs::GaugeSite = spgemm_obs::GaugeSite::new("ring", "ring.gauge");
+static RING_SPAN: spgemm_obs::SpanSite = spgemm_obs::SpanSite::new("ring", "ring.span");
+static RING_HIST: spgemm_obs::HistogramSite = spgemm_obs::HistogramSite::new("ring", "ring.hist");
+
+fn counter_delta(w: &spgemm_obs::timeseries::Window) -> u64 {
+    match w.row("ring", "ring.ctr").expect("ring.ctr row").kind {
+        SeriesKind::Counter { delta, .. } => delta,
+        other => panic!("wrong kind: {other:?}"),
+    }
+}
+
+#[test]
+fn ring_wraps_oldest_first_with_exact_deltas() {
+    let _l = LOCK.lock().unwrap();
+    spgemm_obs::enable_with_capacity(0);
+    spgemm_obs::reset();
+    let col = Collector::new(CollectorConfig {
+        windows: 3,
+        ..Default::default()
+    });
+    // Collection k adds k to the counter: deltas are self-describing,
+    // so a window that survived the wrap proves which collection it
+    // came from *and* that its delta was not smeared by the wrap.
+    for k in 1..=7u64 {
+        RING_CTR.add(k);
+        RING_GAUGE.set(k as i64);
+        col.collect_now();
+    }
+    spgemm_obs::disable();
+
+    assert_eq!(col.collections(), 7);
+    let ws = col.windows();
+    assert_eq!(ws.len(), 3, "ring must retain exactly its capacity");
+    for (i, w) in ws.iter().enumerate() {
+        assert_eq!(w.seq, 5 + i as u64, "oldest-first seq after wrap");
+        assert_eq!(counter_delta(w), w.seq, "window {}: exact delta", w.seq);
+        assert!(w.end_ns >= w.start_ns);
+        match w.row("ring", "ring.gauge").expect("gauge row").kind {
+            SeriesKind::Gauge { value } => assert_eq!(value, w.seq as i64),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+    // Windows tile time: each starts where the previous ended.
+    for pair in ws.windows(2) {
+        assert_eq!(pair[0].end_ns, pair[1].start_ns);
+    }
+    assert_eq!(
+        col.latest().expect("latest").seq,
+        7,
+        "latest() is the newest window"
+    );
+    spgemm_obs::reset();
+}
+
+#[test]
+fn span_and_histogram_deltas_survive_the_wrap() {
+    let _l = LOCK.lock().unwrap();
+    spgemm_obs::enable_with_capacity(0);
+    spgemm_obs::reset();
+    let col = Collector::new(CollectorConfig {
+        windows: 2,
+        ..Default::default()
+    });
+    // 5 collections over a 2-window ring; collection k records k span
+    // completions and k histogram samples of value 100·k.
+    for k in 1..=5u64 {
+        for _ in 0..k {
+            let _g = RING_SPAN.enter();
+            RING_HIST.record(100 * k);
+        }
+        col.collect_now();
+    }
+    spgemm_obs::disable();
+
+    let ws = col.windows();
+    assert_eq!(ws.len(), 2);
+    for w in &ws {
+        let k = w.seq; // 4 and 5
+        match w.row("ring", "ring.span").expect("span row").kind {
+            SeriesKind::Span {
+                count_delta,
+                ns_delta,
+            } => {
+                assert_eq!(count_delta, k, "window {k}: span completions");
+                assert!(ns_delta > 0, "window {k}: spans took time");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match w.row("ring", "ring.hist").expect("hist row").kind {
+            SeriesKind::Hist(stats) => {
+                assert_eq!(stats.count, k, "window {k}: interval sample count");
+                assert_eq!(stats.sum, 100 * k * k, "window {k}: interval sum");
+                // p99 of the window is the window's own value band, not
+                // a lifetime aggregate: bucket bounds overshoot by at
+                // most 6.25%.
+                assert!(
+                    stats.p99 >= 100 * k && (stats.p99 as f64) < 100.0 * k as f64 * 1.07,
+                    "window {k}: p99 {} outside its own band",
+                    stats.p99
+                );
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+    spgemm_obs::reset();
+}
+
+#[test]
+fn background_thread_collects_and_stops_cleanly() {
+    let _l = LOCK.lock().unwrap();
+    spgemm_obs::enable_with_capacity(0);
+    spgemm_obs::reset();
+    let mut col = Collector::new(CollectorConfig {
+        period: std::time::Duration::from_millis(5),
+        windows: 4,
+    });
+    col.run_background();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while col.collections() < 3 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    col.stop();
+    let after = col.collections();
+    assert!(after >= 3, "background thread collected {after} windows");
+    // Stopped means stopped: no further collections arrive.
+    std::thread::sleep(std::time::Duration::from_millis(25));
+    assert_eq!(col.collections(), after);
+    spgemm_obs::disable();
+    spgemm_obs::reset();
+}

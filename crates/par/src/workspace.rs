@@ -42,6 +42,14 @@ impl WorkspaceStats {
     }
 }
 
+/// Workspace constructions across every live pool (rising = slots
+/// still warming up or pools churning; flat = steady-state reuse).
+static SLOTS_CREATED: spgemm_obs::GaugeSite =
+    spgemm_obs::GaugeSite::new("par", "par.workspace.slots_created");
+/// Acquisitions served without construction, across every live pool.
+static SLOTS_REUSED: spgemm_obs::GaugeSite =
+    spgemm_obs::GaugeSite::new("par", "par.workspace.slots_reused");
+
 /// A pool of per-worker reusable workspaces, indexed by worker id.
 ///
 /// Each worker may only acquire its own slot during a parallel region
@@ -119,10 +127,12 @@ impl<T> WorkspacePool<T> {
         let ws = match guard.as_mut() {
             Some(ws) => {
                 self.reused.fetch_add(1, Ordering::Relaxed);
+                SLOTS_REUSED.add(1);
                 ws
             }
             None => {
                 self.created.fetch_add(1, Ordering::Relaxed);
+                SLOTS_CREATED.add(1);
                 guard.insert(make())
             }
         };

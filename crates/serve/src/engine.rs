@@ -341,8 +341,12 @@ impl ServeEngine {
         let (core, job) = {
             let _scope = obs::ctx_scope(ctx);
             let _g = obs::span!("serve", "serve.submit");
-            let core =
-                JobCore::new(id, req.tenant.clone(), Arc::clone(&self.shared.metrics), ctx);
+            let core = JobCore::new(
+                id,
+                req.tenant.clone(),
+                Arc::clone(&self.shared.metrics),
+                ctx,
+            );
             let key = PlanKey::for_product(&a, &b, req.algo, req.order);
             let job = QueuedJob {
                 core: Arc::clone(&core),
@@ -419,8 +423,12 @@ impl ServeEngine {
         let (core, job) = {
             let _scope = obs::ctx_scope(ctx);
             let _g = obs::span!("serve", "serve.submit");
-            let core =
-                JobCore::new(id, req.tenant.clone(), Arc::clone(&self.shared.metrics), ctx);
+            let core = JobCore::new(
+                id,
+                req.tenant.clone(),
+                Arc::clone(&self.shared.metrics),
+                ctx,
+            );
             let job = QueuedJob {
                 core: Arc::clone(&core),
                 key: BatchKey::Expr(batch_fp),
@@ -489,6 +497,11 @@ impl Drop for ServeEngine {
     }
 }
 
+/// Workers currently executing a batch (not blocked in `pop_batch`),
+/// summed across every live engine.
+static WORKERS_BUSY: spgemm_obs::GaugeSite =
+    spgemm_obs::GaugeSite::new("serve", "serve.workers_busy");
+
 fn worker_loop(shared: &EngineShared, pool: &Pool) {
     loop {
         let batch = shared.queue.pop_batch(shared.max_batch);
@@ -501,7 +514,9 @@ fn worker_loop(shared: &EngineShared, pool: &Pool) {
         // orphaned with its waiters blocked forever — the worker
         // fails whatever is still unresolved and keeps serving.
         let cores: Vec<_> = batch.iter().map(|j| Arc::clone(&j.core)).collect();
+        WORKERS_BUSY.add(1);
         let outcome = catch_unwind(AssertUnwindSafe(|| execute_batch(shared, pool, batch)));
+        WORKERS_BUSY.sub(1);
         if let Err(payload) = outcome {
             let detail = panic_text(payload);
             for core in &cores {

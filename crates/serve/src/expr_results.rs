@@ -60,6 +60,11 @@ impl ExprResultCacheStats {
     }
 }
 
+/// Live cached node results across every live cache (mirrors
+/// `stats().entries`; published under the map lock).
+static EXPR_RESULTS_ENTRIES: spgemm_obs::GaugeSite =
+    spgemm_obs::GaugeSite::new("serve", "serve.expr_results.entries");
+
 struct Entry {
     value: Arc<Csr<f64>>,
     last_used: u64,
@@ -146,6 +151,7 @@ impl ExprResultCache {
                 last_used: stamp,
             },
         );
+        EXPR_RESULTS_ENTRIES.set(map.len() as i64);
     }
 
     pub(crate) fn stats(&self) -> ExprResultCacheStats {

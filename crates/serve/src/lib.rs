@@ -116,6 +116,8 @@ pub use engine::{DistRouting, ServeConfig, ServeEngine};
 pub use error::ServeError;
 pub use expr_results::ExprResultCacheStats;
 pub use job::{ExprRequest, JobHandle, JobOutput, JobResult, Priority, ProductRequest};
-pub use metrics::{LatencySummary, MetricsSnapshot, SloPolicy, TenantLatency, TenantSlo, OVERFLOW_TENANT};
+pub use metrics::{
+    LatencySummary, MetricsSnapshot, SloPolicy, TenantLatency, TenantSlo, OVERFLOW_TENANT,
+};
 pub use plan_cache::{PlanCacheStats, PlanKey};
 pub use store::{MatrixStore, StoredMatrix};

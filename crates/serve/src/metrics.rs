@@ -531,6 +531,121 @@ impl MetricsSnapshot {
         self.completed + self.failed + self.cancelled
     }
 
+    /// Append this snapshot as OpenMetrics families (engine job
+    /// counters, cache hit/miss counters, the engine-wide and
+    /// per-tenant latency histograms, and per-tenant SLO series) —
+    /// the serving layer's contribution to a `/metrics` page, designed
+    /// to plug into `spgemm_obs::http::ScrapeServer::start_with` as
+    /// the extra-exposition hook. Families are prefixed
+    /// `spgemm_serve_` and deliberately disjoint from the registry's
+    /// gauge families (queue depth, cache entries/bytes live there —
+    /// one read path, not two).
+    pub fn openmetrics_into(&self, out: &mut String) {
+        use spgemm_obs::openmetrics::{
+            append_counter, append_gauge, append_histogram, append_type,
+        };
+        let counters: [(&str, u64); 14] = [
+            ("spgemm_serve_jobs_accepted", self.accepted),
+            ("spgemm_serve_jobs_rejected", self.rejected),
+            ("spgemm_serve_jobs_completed", self.completed),
+            ("spgemm_serve_jobs_failed", self.failed),
+            ("spgemm_serve_jobs_cancelled", self.cancelled),
+            (
+                "spgemm_serve_duplicate_completions",
+                self.duplicate_completions,
+            ),
+            ("spgemm_serve_batches", self.batches),
+            ("spgemm_serve_batched_jobs", self.batched_jobs),
+            ("spgemm_serve_dist_routed", self.dist_routed),
+            ("spgemm_serve_expr_jobs", self.expr_jobs),
+            ("spgemm_serve_expr_nodes_computed", self.expr_nodes_computed),
+            ("spgemm_serve_row_updates", self.row_updates),
+            ("spgemm_serve_rows_dirtied", self.rows_dirtied),
+            (
+                "spgemm_serve_expr_results_patched",
+                self.expr_results_patched,
+            ),
+        ];
+        for (fam, v) in counters {
+            append_type(out, fam, "counter");
+            append_counter(out, fam, &[], v);
+        }
+        let caches: [(&str, u64, u64, u64); 2] = [
+            (
+                "plan",
+                self.plan_cache.hits,
+                self.plan_cache.misses,
+                self.plan_cache.evictions,
+            ),
+            (
+                "expr_results",
+                self.expr_results.hits,
+                self.expr_results.misses,
+                self.expr_results.evictions,
+            ),
+        ];
+        for (kind, fam) in [
+            ("hits", "spgemm_serve_cache_hits"),
+            ("misses", "spgemm_serve_cache_misses"),
+            ("evictions", "spgemm_serve_cache_evictions"),
+        ] {
+            append_type(out, fam, "counter");
+            for (cache, hits, misses, evictions) in caches {
+                let v = match kind {
+                    "hits" => hits,
+                    "misses" => misses,
+                    _ => evictions,
+                };
+                append_counter(out, fam, &[("cache", cache)], v);
+            }
+        }
+        let phases: [(&str, &HistogramSnapshot); 3] = [
+            ("total", &self.latency_hist),
+            ("queue", &self.queue_delay_hist),
+            ("service", &self.service_hist),
+        ];
+        let fam = "spgemm_serve_latency_ns";
+        append_type(out, fam, "histogram");
+        for (phase, hist) in phases {
+            append_histogram(out, fam, &[("phase", phase)], hist);
+        }
+        if !self.per_tenant.is_empty() {
+            let fam = "spgemm_serve_tenant_latency_ns";
+            append_type(out, fam, "histogram");
+            for t in &self.per_tenant {
+                append_histogram(out, fam, &[("tenant", t.tenant.as_str())], &t.latency_hist);
+            }
+        }
+        if !self.slo.is_empty() {
+            let fam = "spgemm_serve_slo_jobs";
+            append_type(out, fam, "counter");
+            for s in &self.slo {
+                append_counter(
+                    out,
+                    fam,
+                    &[("tenant", s.tenant.as_str()), ("outcome", "good")],
+                    s.good,
+                );
+                append_counter(
+                    out,
+                    fam,
+                    &[("tenant", s.tenant.as_str()), ("outcome", "bad")],
+                    s.bad,
+                );
+            }
+            let fam = "spgemm_serve_slo_target_ms";
+            append_type(out, fam, "gauge");
+            for s in &self.slo {
+                append_gauge(out, fam, &[("tenant", s.tenant.as_str())], s.target_ms);
+            }
+            let fam = "spgemm_serve_slo_burn_rate";
+            append_type(out, fam, "gauge");
+            for s in &self.slo {
+                append_gauge(out, fam, &[("tenant", s.tenant.as_str())], s.burn_rate());
+            }
+        }
+    }
+
     /// The interval view between `prev` (an earlier snapshot of the
     /// same engine) and `self`: counters become per-window deltas,
     /// latency summaries and SLO counts are recomputed over only the
@@ -549,9 +664,7 @@ impl MetricsSnapshot {
             .iter()
             .map(|t| {
                 let p = prev.per_tenant.iter().find(|p| p.tenant == t.tenant);
-                let lat = t
-                    .latency_hist
-                    .since(p.map_or(&empty, |p| &p.latency_hist));
+                let lat = t.latency_hist.since(p.map_or(&empty, |p| &p.latency_hist));
                 let q = t
                     .queue_delay_hist
                     .since(p.map_or(&empty, |p| &p.queue_delay_hist));
@@ -914,6 +1027,45 @@ mod tests {
         assert_eq!(t.latency.count, 3);
         assert_eq!((w.slo[0].good, w.slo[0].bad), (3, 0));
         assert!(w.elapsed <= cur.elapsed);
+    }
+
+    #[test]
+    fn openmetrics_exposition_is_valid_and_covers_tenants() {
+        let m = Metrics::with_slo(SloPolicy {
+            default_target: Some(Duration::from_millis(5)),
+            ..SloPolicy::default()
+        });
+        let rec = m.tenant_recorder("acme \"prod\"\n").unwrap();
+        let slo = m.slo_cell("acme \"prod\"\n").unwrap();
+        for i in 1..=20u64 {
+            let d = Duration::from_millis(i);
+            m.record_job(Some(&rec), d, d / 2, d / 2);
+            slo.record(d.as_nanos() as u64);
+        }
+        m.accepted.store(20, Ordering::Relaxed);
+        m.completed.store(20, Ordering::Relaxed);
+        let snap = m.snapshot(
+            [1, 2, 3],
+            PlanCacheStats {
+                hits: 9,
+                misses: 3,
+                evictions: 1,
+                entries: 2,
+            },
+            ExprResultCacheStats::default(),
+            Instant::now(),
+        );
+        let mut page = String::new();
+        snap.openmetrics_into(&mut page);
+        page.push_str("# EOF\n");
+        spgemm_obs::openmetrics::validate(&page).expect("serve exposition must validate");
+        assert!(page.contains("spgemm_serve_jobs_completed_total 20"));
+        assert!(page.contains("spgemm_serve_cache_hits_total{cache=\"plan\"} 9"));
+        // hostile tenant label escaped, never raw
+        assert!(!page.contains("acme \"prod\"\n\""));
+        assert!(page.contains("tenant=\"acme \\\"prod\\\"\\n\""));
+        assert!(page.contains("spgemm_serve_slo_jobs_total"));
+        assert!(page.contains("spgemm_serve_latency_ns_bucket"));
     }
 
     #[test]

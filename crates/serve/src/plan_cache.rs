@@ -85,12 +85,33 @@ impl PlanKey {
     }
 }
 
+/// Live cache keys (mirrors `SharedPlanCache::stats().entries`).
+static PLAN_CACHE_ENTRIES: spgemm_obs::GaugeSite =
+    spgemm_obs::GaugeSite::new("serve", "serve.plan_cache.entries");
+/// Approximate bytes of *idle* (checked-in) plan instances pooled
+/// across every live slot; see [`plan_approx_bytes`].
+static PLAN_CACHE_BYTES: spgemm_obs::GaugeSite =
+    spgemm_obs::GaugeSite::new("serve", "serve.plan_cache.approx_bytes");
+
+/// Rough heap footprint of one pooled plan instance: the symbolic
+/// result's output row pointers and per-entry index/value storage,
+/// `O(symbolic_nnz)` with small fixed overhead. Deliberately a cheap
+/// estimate (the plan does not expose its exact allocation), good
+/// enough for the capacity trend the gauge exists to show.
+fn plan_approx_bytes(plan: &SpgemmPlan<S>) -> u64 {
+    256 + plan.symbolic_nnz().unwrap_or(0) as u64
+        * (std::mem::size_of::<spgemm_sparse::ColIdx>() + std::mem::size_of::<f64>()) as u64
+}
+
 /// One cache entry: a pool of interchangeable plan instances for the
 /// key (built lazily by executors as concurrency demands) and an LRU
 /// stamp.
 pub(crate) struct PlanSlot {
     instances: Mutex<Vec<SpgemmPlan<S>>>,
     last_used: AtomicU64,
+    /// Approximate bytes currently pooled in `instances` (this
+    /// slot's share of [`PLAN_CACHE_BYTES`]).
+    pooled_bytes: AtomicU64,
 }
 
 impl PlanSlot {
@@ -100,6 +121,9 @@ impl PlanSlot {
     pub(crate) fn checkout(&self, nthreads: usize) -> Option<SpgemmPlan<S>> {
         let mut pool = self.instances.lock();
         while let Some(plan) = pool.pop() {
+            let bytes = plan_approx_bytes(&plan);
+            self.pooled_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            PLAN_CACHE_BYTES.sub(bytes as i64);
             if plan.nthreads() == nthreads {
                 return Some(plan);
             }
@@ -109,7 +133,18 @@ impl PlanSlot {
 
     /// Return an instance for the next executor.
     pub(crate) fn checkin(&self, plan: SpgemmPlan<S>) {
-        self.instances.lock().push(plan);
+        let bytes = plan_approx_bytes(&plan);
+        let mut pool = self.instances.lock();
+        self.pooled_bytes.fetch_add(bytes, Ordering::Relaxed);
+        PLAN_CACHE_BYTES.add(bytes as i64);
+        pool.push(plan);
+    }
+}
+
+impl Drop for PlanSlot {
+    fn drop(&mut self) {
+        // an evicted slot's pooled instances leave the cache with it
+        PLAN_CACHE_BYTES.sub(self.pooled_bytes.load(Ordering::Relaxed) as i64);
     }
 }
 
@@ -201,8 +236,10 @@ impl SharedPlanCache {
         let slot = Arc::new(PlanSlot {
             instances: Mutex::new(Vec::new()),
             last_used: AtomicU64::new(stamp),
+            pooled_bytes: AtomicU64::new(0),
         });
         map.insert(key, Arc::clone(&slot));
+        PLAN_CACHE_ENTRIES.set(map.len() as i64);
         slot
     }
 

@@ -15,6 +15,15 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Registered names across every live store (gauge: replacing a name
+/// does not move it; insert/remove of distinct names do).
+static STORE_REGISTRATIONS: spgemm_obs::GaugeSite =
+    spgemm_obs::GaugeSite::new("serve", "serve.store.registrations");
+/// Approximate CSR bytes ([`spgemm_dist::csr_bytes`]) held by current
+/// registrations (snapshots captured by in-flight jobs not counted).
+static STORE_BYTES: spgemm_obs::GaugeSite =
+    spgemm_obs::GaugeSite::new("serve", "serve.store.approx_bytes");
+
 /// An immutable registered matrix: the payload plus the metadata the
 /// scheduler keys on.
 pub struct StoredMatrix {
@@ -106,7 +115,15 @@ impl MatrixStore {
             matrix: Arc::new(matrix),
             name: name.clone(),
         });
-        self.inner.lock().insert(name, Arc::clone(&stored));
+        let bytes = spgemm_dist::csr_bytes(stored.csr()) as i64;
+        let mut map = self.inner.lock();
+        let prev = map.insert(name, Arc::clone(&stored));
+        if prev.is_none() {
+            STORE_REGISTRATIONS.add(1);
+        }
+        let prev_bytes = prev.map_or(0, |p| spgemm_dist::csr_bytes(p.csr()) as i64);
+        STORE_BYTES.add(bytes - prev_bytes);
+        drop(map);
         stored
     }
 
@@ -118,7 +135,14 @@ impl MatrixStore {
     /// Remove `name`; returns whether it was present. In-flight jobs
     /// holding the matrix are unaffected.
     pub fn remove(&self, name: &str) -> bool {
-        self.inner.lock().remove(name).is_some()
+        match self.inner.lock().remove(name) {
+            Some(prev) => {
+                STORE_BYTES.sub(spgemm_dist::csr_bytes(prev.csr()) as i64);
+                STORE_REGISTRATIONS.sub(1);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of registered names.

@@ -593,7 +593,11 @@ mod tracing_and_slo {
         // a time, so sampling survives slot pressure from tests running
         // in parallel in this binary.
         for i in 0..4 {
-            let tenant = if i % 2 == 0 { "slo-probe-good" } else { "slo-probe-bad" };
+            let tenant = if i % 2 == 0 {
+                "slo-probe-good"
+            } else {
+                "slo-probe-bad"
+            };
             engine
                 .try_submit(ProductRequest::new("tr/a", "tr/a").tenant(tenant))
                 .unwrap()
@@ -618,7 +622,10 @@ mod tracing_and_slo {
             .expect("slo row for per-tenant override");
         assert_eq!((bad.good, bad.bad), (0, 2));
         assert!((bad.bad_fraction() - 1.0).abs() < 1e-12);
-        assert!(bad.burn_rate() > 1.0, "blown budget must burn faster than the goal allows");
+        assert!(
+            bad.burn_rate() > 1.0,
+            "blown budget must burn faster than the goal allows"
+        );
         let tracked: u64 = snap.slo.iter().map(|s| s.good + s.bad).sum();
         assert_eq!(tracked, snap.completed, "every completion is classified");
 
@@ -637,7 +644,8 @@ mod tracing_and_slo {
             return;
         }
         for e in &ex {
-            e.validate().expect("retained trace must be a well-formed span tree");
+            e.validate()
+                .expect("retained trace must be a well-formed span tree");
             assert!(
                 e.spans.iter().any(|s| s.name == "serve.submit"),
                 "submission-side span in trace"
