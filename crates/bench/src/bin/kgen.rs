@@ -1,0 +1,300 @@
+//! `spgemm-kgen` — row-class specialized kernels (`Algorithm::RowClass`)
+//! vs the monolithic kernels on the Figure 11 generator grid.
+//!
+//! For each generator cell (ER / G500 × edge factor) the harness holds
+//! a bound plan per algorithm and times the steady-state
+//! `execute_into` — the regime RowClass is built for, where the
+//! bucketed work queues and compressed column indices are amortized
+//! across executions. The rival roster is the paper's Figure 11
+//! comparison panel for the chosen output order
+//! ([`spgemm_bench::sorted_panel`] / [`spgemm_bench::unsorted_panel`]
+//! — the same rosters the fig11–13 binaries plot): sorted output is
+//! compared against MKL~Merge, Heap, Hash, and HashVector; unsorted
+//! against MKL~SPA, MKL-inspector, Kokkos~KkHash, Hash, and
+//! HashVector. Reported per cell: ms/iter for RowClass and every
+//! rival, the speedup of RowClass over the *best* rival, and the
+//! row-class bucket occupancy (tiny/short/medium/dense — see
+//! `spgemm::kgen`).
+//!
+//! Every cell's RowClass output is compared **byte-for-byte** against
+//! the hash kernel's under both output orders — the keystone parity
+//! invariant, re-asserted on bench-sized inputs.
+//!
+//! ```text
+//! cargo run --release -p spgemm-bench --bin spgemm-kgen -- \
+//!     [--scale N] [--ef N] [--reps N] [--seed N] [--quick]
+//!     [--smoke]   # CI assertion run: RowClass == Hash byte-for-byte
+//!                 # on every cell; writes the BENCH_kgen.json stamp
+//! ```
+
+use spgemm::{kgen, Algorithm, OutputOrder, SpgemmPlan};
+use spgemm_gen::RmatKind;
+use spgemm_sparse::{Csr, PlusTimes};
+use std::time::Instant;
+
+type P = PlusTimes<f64>;
+type Plan = SpgemmPlan<P>;
+
+struct Args {
+    scale: u32,
+    ef_override: Option<usize>,
+    reps: usize,
+    seed: u64,
+    smoke: bool,
+    order: OutputOrder,
+}
+
+fn num(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad number {s:?}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        scale: 0,
+        ef_override: None,
+        reps: 30,
+        seed: 20180804,
+        smoke: false,
+        order: OutputOrder::Sorted,
+    };
+    let mut quick = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |what: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => out.scale = num(&take("--scale")) as u32,
+            "--ef" => out.ef_override = Some(num(&take("--ef"))),
+            "--reps" => out.reps = num(&take("--reps")).max(1),
+            "--seed" => out.seed = num(&take("--seed")) as u64,
+            "--smoke" => out.smoke = true,
+            "--quick" => quick = true,
+            "--order" => {
+                out.order = match take("--order").as_str() {
+                    "sorted" => OutputOrder::Sorted,
+                    "unsorted" => OutputOrder::Unsorted,
+                    other => {
+                        eprintln!("bad --order {other:?} (sorted|unsorted)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            // Accepted for run_all flag forwarding; not used here.
+            "--threads" | "--divisor" | "--suitesparse" | "--grid" => {
+                let _ = take(flag.as_str());
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --scale N --ef N --reps N --seed N --order sorted|unsorted \
+                     --smoke --quick"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if out.scale == 0 {
+        out.scale = if quick || out.smoke { 10 } else { 13 };
+    }
+    if quick {
+        out.reps = out.reps.min(8);
+    }
+    out
+}
+
+fn bits_eq(a: &Csr<f64>, b: &Csr<f64>) -> bool {
+    a.shape() == b.shape()
+        && a.rpts() == b.rpts()
+        && a.cols() == b.cols()
+        && a.vals()
+            .iter()
+            .zip(b.vals())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Steady-state ms/iter for one bound plan, plus its output (for the
+/// parity check). Two warm-up executions size every pooled buffer so
+/// the timed loop runs the allocation-free regime.
+fn time_steady(
+    a: &Csr<f64>,
+    algo: Algorithm,
+    order: OutputOrder,
+    reps: usize,
+    pool: &spgemm_par::Pool,
+) -> (f64, Csr<f64>) {
+    let plan = Plan::new_in(a, a, algo, order, pool).expect("plan");
+    let mut c = Csr::<f64>::zero(0, 0);
+    for _ in 0..2 {
+        plan.execute_into_in(a, a, &mut c, pool).expect("warm-up");
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        plan.execute_into_in(a, a, &mut c, pool).expect("execute");
+    }
+    (start.elapsed().as_secs_f64() * 1e3 / reps as f64, c)
+}
+
+struct CellResult {
+    label: String,
+    rc_ms: f64,
+    /// ms/iter per rival, parallel to the panel roster.
+    rival_ms: Vec<f64>,
+    /// ms/iter of the Hash rival (the perf-stamp reference point).
+    hash_ms: f64,
+    speedup_vs_best_mono: f64,
+    occupancy: [u64; 4],
+    parity_ok: bool,
+}
+
+/// The paper's Figure 11 comparison panel for this output order — the
+/// monolithic roster RowClass is judged against.
+fn rivals(order: OutputOrder) -> Vec<Algorithm> {
+    if order.is_sorted() {
+        spgemm_bench::sorted_panel()
+    } else {
+        spgemm_bench::unsorted_panel()
+    }
+}
+
+fn run_cell(
+    kind: RmatKind,
+    scale: u32,
+    ef: usize,
+    args: &Args,
+    pool: &spgemm_par::Pool,
+) -> CellResult {
+    let a = spgemm_gen::rmat::generate_kind(kind, scale, ef, &mut spgemm_gen::rng(args.seed));
+    let label = format!(
+        "{}{}",
+        match kind {
+            RmatKind::Er => "er",
+            RmatKind::G500 => "g500",
+        },
+        ef
+    );
+    let occupancy = kgen::bucket_occupancy(&a, &a);
+
+    let (rc_ms, rc_out) = time_steady(&a, Algorithm::RowClass, args.order, args.reps, pool);
+    let mut rival_ms = Vec::new();
+    let mut hash_ms = f64::NAN;
+    let mut parity_ok = true;
+    let mut best_mono = f64::INFINITY;
+    for algo in rivals(args.order) {
+        let (m, out) = time_steady(&a, algo, args.order, args.reps, pool);
+        rival_ms.push(m);
+        best_mono = best_mono.min(m);
+        if algo == Algorithm::Hash {
+            hash_ms = m;
+            parity_ok &= bits_eq(&rc_out, &out);
+        }
+    }
+    // parity must hold under the other order too (first-encounter
+    // emission vs ascending), checked once per cell without timing
+    // pressure
+    let other = if args.order.is_sorted() {
+        OutputOrder::Unsorted
+    } else {
+        OutputOrder::Sorted
+    };
+    let (_, rc_u) = time_steady(&a, Algorithm::RowClass, other, 1, pool);
+    let (_, hash_u) = time_steady(&a, Algorithm::Hash, other, 1, pool);
+    parity_ok &= bits_eq(&rc_u, &hash_u);
+
+    CellResult {
+        label,
+        rc_ms,
+        rival_ms,
+        hash_ms,
+        speedup_vs_best_mono: best_mono / rc_ms.max(1e-9),
+        occupancy,
+        parity_ok,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let pool = spgemm_par::global_pool();
+    println!(
+        "spgemm-kgen: row-class specialized kernels vs monolithic kernels \
+         (A·A steady state, scale {} = {} rows, {} reps/cell, {} threads)",
+        args.scale,
+        1usize << args.scale,
+        args.reps,
+        pool.nthreads()
+    );
+
+    let efs: &[usize] = match args.ef_override {
+        Some(ef) => &[ef][..],
+        None if args.smoke => &[4, 16],
+        None => &[4, 8, 16],
+    };
+    let mut cells = Vec::new();
+    for kind in [RmatKind::Er, RmatKind::G500] {
+        for &ef in efs {
+            cells.push(run_cell(kind, args.scale, ef, &args, pool));
+        }
+    }
+
+    let sorted = args.order.is_sorted();
+    let mut header = format!("\n{:<8} {:>12}", "cell", "RowClass");
+    for algo in rivals(args.order) {
+        header.push_str(&format!(" {:>13}", spgemm_bench::panel_label(algo, sorted)));
+    }
+    header.push_str(&format!(" {:>9}   {}", "speedup", "rows by class t/s/m/d"));
+    println!("{header}");
+    for c in &cells {
+        let [t, s, m, d] = c.occupancy;
+        let mut line = format!("{:<8} {:>12.3}", c.label, c.rc_ms);
+        for ms in &c.rival_ms {
+            line.push_str(&format!(" {ms:>13.3}"));
+        }
+        line.push_str(&format!(
+            " {:>8.2}x   {t}/{s}/{m}/{d}",
+            c.speedup_vs_best_mono
+        ));
+        println!("{line}");
+    }
+    let best = cells
+        .iter()
+        .map(|c| c.speedup_vs_best_mono)
+        .fold(0.0f64, f64::max);
+    let all_parity = cells.iter().all(|c| c.parity_ok);
+    println!(
+        "\nbest RowClass speedup over the best monolithic panel kernel: {best:.2}x \
+         (ms/iter, {} output)",
+        if sorted { "sorted" } else { "unsorted" }
+    );
+    println!(
+        "(every cell's RowClass output was compared byte-for-byte against \
+         Hash under both orders: {})",
+        if all_parity { "all equal" } else { "DIVERGED" }
+    );
+
+    if args.smoke {
+        assert!(
+            all_parity,
+            "RowClass must match the hash kernel byte-for-byte on every cell"
+        );
+        let mut stamp = spgemm_bench::perfjson::PerfReport::new("kgen", pool.nthreads());
+        for c in &cells {
+            stamp.metric(&format!("rowclass_{}_ms", c.label), c.rc_ms);
+            stamp.metric(&format!("hash_{}_ms", c.label), c.hash_ms);
+        }
+        stamp.metric("best_speedup", best);
+        match stamp.write() {
+            Ok(path) => println!("perf stamp: {}", path.display()),
+            Err(e) => eprintln!("could not write perf stamp: {e}"),
+        }
+        println!("smoke OK: RowClass == Hash on every cell, best speedup {best:.2}x");
+    }
+}

@@ -29,6 +29,7 @@ const BINARIES: &[&str] = &[
     "spgemm-expr",
     "spgemm-obs",
     "spgemm-delta",
+    "spgemm-kgen",
 ];
 
 fn main() {

@@ -56,6 +56,7 @@ pub fn panel_label(algo: spgemm::Algorithm, sorted: bool) -> &'static str {
         (HashVec, _) => "HashVec",
         (Heap, _) => "Heap",
         (Ikj, _) => "IKJ",
+        (RowClass, _) => "RowClass",
         (Reference, _) => "Reference",
         (Auto, _) => "Auto",
     }

@@ -89,6 +89,93 @@ pub fn probe_chunk(level: SimdLevel, chunk: &[i32], key: i32) -> ChunkProbe {
     }
 }
 
+/// Probe a flat *insertion array* for `key`: `keys` is a whole number
+/// of chunks and its occupied lanes form one global prefix (the kgen
+/// short-row accumulator appends at the first empty lane, so chunk
+/// `c` only holds keys once chunks `0..c` are full). Returns the
+/// global lane index. This reuses the hash-probe vector comparison
+/// for a plain linear membership scan — for rows with at most a few
+/// dozen distinct columns the whole search is a handful of vector
+/// compares with no hashing, no modulo, and no table reset.
+///
+/// `ChunkProbe::Full` means every lane of `keys` is occupied and the
+/// key is absent — the caller sized the array too small.
+#[inline(always)]
+pub fn probe_prefix(level: SimdLevel, keys: &[i32], key: i32) -> ChunkProbe {
+    debug_assert_eq!(keys.len() % level.width(), 0);
+    debug_assert!(key >= 0);
+    // One level dispatch per *probe*, not per chunk: the whole chunk
+    // loop lives inside the target-feature function so the vector
+    // compare inlines into it — the hot path of the kgen short-row
+    // kernel is a handful of straight-line vector ops.
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { prefix16_avx512(keys, key) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { prefix8_avx2(keys, key) },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLevel::Avx512 | SimdLevel::Avx2 => prefix_scalar(keys, key),
+        SimdLevel::Scalar => prefix_scalar(keys, key),
+    }
+}
+
+/// Scalar [`probe_prefix`] (any chunk width — the scan is flat).
+#[inline]
+fn prefix_scalar(keys: &[i32], key: i32) -> ChunkProbe {
+    for (i, &k) in keys.iter().enumerate() {
+        if k == key {
+            return ChunkProbe::Found(i);
+        }
+        if k == EMPTY_LANE {
+            return ChunkProbe::Empty(i);
+        }
+    }
+    ChunkProbe::Full
+}
+
+const EMPTY_LANE: i32 = -1;
+
+/// AVX-512F [`probe_prefix`]: the chunk loop with [`probe16_avx512`]
+/// inlined (same target feature).
+///
+/// # Safety
+/// `keys.len()` must be a multiple of 16 and the CPU must support
+/// AVX-512F.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[inline]
+unsafe fn prefix16_avx512(keys: &[i32], key: i32) -> ChunkProbe {
+    for (c, chunk) in keys.chunks_exact(16).enumerate() {
+        // SAFETY: chunks_exact yields 16 readable lanes.
+        match unsafe { probe16_avx512(chunk.as_ptr(), key) } {
+            ChunkProbe::Found(lane) => return ChunkProbe::Found(c * 16 + lane),
+            ChunkProbe::Empty(lane) => return ChunkProbe::Empty(c * 16 + lane),
+            ChunkProbe::Full => {}
+        }
+    }
+    ChunkProbe::Full
+}
+
+/// AVX2 [`probe_prefix`]: the chunk loop with [`probe8_avx2`] inlined
+/// (same target feature).
+///
+/// # Safety
+/// `keys.len()` must be a multiple of 8 and the CPU must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn prefix8_avx2(keys: &[i32], key: i32) -> ChunkProbe {
+    for (c, chunk) in keys.chunks_exact(8).enumerate() {
+        // SAFETY: chunks_exact yields 8 readable lanes.
+        match unsafe { probe8_avx2(chunk.as_ptr(), key) } {
+            ChunkProbe::Found(lane) => return ChunkProbe::Found(c * 8 + lane),
+            ChunkProbe::Empty(lane) => return ChunkProbe::Empty(c * 8 + lane),
+            ChunkProbe::Full => {}
+        }
+    }
+    ChunkProbe::Full
+}
+
 /// Portable probe with identical semantics to the vector paths.
 #[inline]
 pub fn probe_scalar(chunk: &[i32], key: i32) -> ChunkProbe {
@@ -112,6 +199,7 @@ pub fn probe_scalar(chunk: &[i32], key: i32) -> ChunkProbe {
 /// AVX-512F (guaranteed by construction via [`detect`]).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
+#[inline]
 unsafe fn probe16_avx512(ptr: *const i32, key: i32) -> ChunkProbe {
     use std::arch::x86_64::*;
     // SAFETY: caller contract — 16 readable lanes at `ptr`.
@@ -136,6 +224,7 @@ unsafe fn probe16_avx512(ptr: *const i32, key: i32) -> ChunkProbe {
 /// AVX2.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+#[inline]
 unsafe fn probe8_avx2(ptr: *const i32, key: i32) -> ChunkProbe {
     use std::arch::x86_64::*;
     // SAFETY: caller contract — 8 readable lanes at `ptr`.
@@ -242,6 +331,30 @@ mod tests {
                 let got = probe_chunk(level, &chunk, key);
                 assert_eq!(got, expect, "{level:?} chunk {chunk:?} key {key}");
             }
+        }
+    }
+
+    #[test]
+    fn prefix_probe_spans_chunks() {
+        for level in levels_available() {
+            let w = level.width();
+            // two full chunks plus a partial third
+            let occ = 2 * w + 3;
+            let mut keys = vec![-1i32; 4 * w];
+            for (i, k) in keys.iter_mut().take(occ).enumerate() {
+                *k = (i as i32) * 7;
+            }
+            for i in 0..occ {
+                assert_eq!(
+                    probe_prefix(level, &keys, (i as i32) * 7),
+                    ChunkProbe::Found(i),
+                    "{level:?} idx {i}"
+                );
+            }
+            assert_eq!(probe_prefix(level, &keys, 5), ChunkProbe::Empty(occ));
+            // a completely full array reports Full
+            let full: Vec<i32> = (0..(2 * w) as i32).collect();
+            assert_eq!(probe_prefix(level, &full, 999), ChunkProbe::Full);
         }
     }
 

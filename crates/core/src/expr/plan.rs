@@ -70,7 +70,9 @@ enum NodeState {
     Multiply {
         a: ValueLoc,
         b: ValueLoc,
-        plan: SpgemmPlan<P>,
+        /// Boxed: a plan is an order of magnitude larger than any
+        /// other node's state, and most nodes are not multiplies.
+        plan: Box<SpgemmPlan<P>>,
     },
     Transpose {
         a: ValueLoc,
@@ -396,7 +398,7 @@ impl ExprPlan {
                             p.rebind_in(ar, br, pool)?;
                             p
                         }
-                        _ => SpgemmPlan::new_in(ar, br, algo, OutputOrder::Sorted, pool)?,
+                        _ => Box::new(SpgemmPlan::new_in(ar, br, algo, OutputOrder::Sorted, pool)?),
                     };
                     // One-phase kernels defer symbolic to this first
                     // execution; afterwards every node is two-phase-

@@ -1,0 +1,1093 @@
+//! Row-class specialized numeric kernels (`Algorithm::RowClass`).
+//!
+//! The paper's central finding is that no single accumulator wins:
+//! the right kernel depends on row density (§5, figs 11–13). The
+//! monolithic kernels in [`crate::algos`] pick one accumulator for
+//! *every* row of a product; this module picks one *per row class*,
+//! following Deveci et al.'s multi-level scheme (PAPERS.md):
+//!
+//! | class  | flop bound            | kernel                        |
+//! |--------|-----------------------|-------------------------------|
+//! | tiny   | ≤ 8                   | SIMD insertion array          |
+//! | short  | ≤ 32                  | SIMD insertion array          |
+//! | medium | < α·ncols(B)          | linear-probing hash table     |
+//! | dense  | ≥ α·ncols(B) (α = ¼)  | dense SPA                     |
+//!
+//! Rows are classified from the per-row flop counts the inspector
+//! already computes ([`crate::exec::plan`]) and grouped into per-class
+//! work queues at plan-bind time, so the numeric phase runs each
+//! bucket back-to-back with no per-row branching. The plan also keeps
+//! *compressed column indices* — a plan-private gathered `u16` copy of
+//! each operand's column array when its width fits (fig 14's
+//! compression applied to speed: the hot inner loops move half the
+//! index bytes) — without touching the shared [`Csr`].
+//!
+//! **Parity invariant**: every class kernel accumulates duplicate
+//! columns in `k`-encounter order and emits distinct columns in
+//! first-encounter order (unsorted) or ascending order (sorted), just
+//! like the hash accumulator. RowClass output is therefore
+//! byte-for-byte identical to [`crate::Algorithm::Hash`] — the
+//! property the `prop_plan` and `delta_oracle` suites pin down.
+
+use crate::algos::hash::HashAccumulator;
+use crate::algos::simd::{self, ChunkProbe, SimdLevel};
+use crate::algos::spa::SpaAccumulator;
+use crate::exec::{AccumReq, MultiplyStats, ReusableAccumulator, RowAccumulator};
+use spgemm_obs as obs;
+use spgemm_par::{scan, unsync::SharedMutSlice, Pool, WorkspacePool};
+use spgemm_sparse::{ColIdx, Csr, Semiring};
+
+/// Largest flop count classified [`RowClass::Tiny`].
+pub const TINY_MAX_FLOP: u64 = 8;
+/// Largest flop count classified [`RowClass::Short`]. Also the
+/// capacity of the SIMD insertion array (a row with `flop ≤ 32` has at
+/// most 32 distinct output columns), kept a multiple of every
+/// [`SimdLevel`] chunk width.
+pub const SHORT_MAX_FLOP: u64 = 32;
+
+/// Sentinel for an empty insertion-array lane (column indices are
+/// non-negative — the same convention as the hash table).
+const EMPTY: i32 = -1;
+
+/// Smallest flop count classified [`RowClass::Dense`] for an output of
+/// `ncols_b` columns: a quarter of the output width (never below the
+/// short-row bound). At that fill rate the `O(ncols(B))` dense SPA
+/// array is already mostly touched, so direct indexing beats hashing.
+pub fn dense_cutoff(ncols_b: usize) -> u64 {
+    (ncols_b.div_ceil(4) as u64).max(SHORT_MAX_FLOP + 1)
+}
+
+/// The four row classes of the bucketed numeric phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowClass {
+    /// `flop ≤ 8` — SIMD insertion array, insertion-sort emit.
+    Tiny = 0,
+    /// `flop ≤ 32` — SIMD insertion array.
+    Short = 1,
+    /// Everything between short and dense — hash accumulator.
+    Medium = 2,
+    /// `flop ≥ `[`dense_cutoff`] — dense SPA.
+    Dense = 3,
+}
+
+impl RowClass {
+    /// Classify a row by its flop count against output width
+    /// `ncols_b`. Monotone in `flop`, which is what lets one
+    /// accumulator sized for a worker's *largest* row serve every
+    /// class that worker can encounter.
+    #[inline]
+    pub fn classify(flop: u64, ncols_b: usize) -> RowClass {
+        if flop <= TINY_MAX_FLOP {
+            RowClass::Tiny
+        } else if flop <= SHORT_MAX_FLOP {
+            RowClass::Short
+        } else if flop >= dense_cutoff(ncols_b) {
+            RowClass::Dense
+        } else {
+            RowClass::Medium
+        }
+    }
+
+    /// Display name (bench output, metrics).
+    pub fn name(self) -> &'static str {
+        match self {
+            RowClass::Tiny => "tiny",
+            RowClass::Short => "short",
+            RowClass::Medium => "medium",
+            RowClass::Dense => "dense",
+        }
+    }
+}
+
+/// All classes in queue-processing order.
+pub const CLASSES: [RowClass; 4] = [
+    RowClass::Tiny,
+    RowClass::Short,
+    RowClass::Medium,
+    RowClass::Dense,
+];
+
+/// Per-class row counts for `A · B`, classified exactly as a RowClass
+/// plan would. Serial; used by the bench for bucket-occupancy stats.
+pub fn bucket_occupancy<T: Copy>(a: &Csr<T>, b: &Csr<T>) -> [u64; 4] {
+    let mut occ = [0u64; 4];
+    for i in 0..a.nrows() {
+        let flop = row_flop(a, b, i);
+        occ[RowClass::classify(flop, b.ncols()) as usize] += 1;
+    }
+    occ
+}
+
+/// `flop(c_i*)` of one output row (the quantity `exec::plan` computes
+/// for all rows at once).
+#[inline]
+pub(crate) fn row_flop<A, B>(a: &Csr<A>, b: &Csr<B>, i: usize) -> u64 {
+    a.row_cols(i)
+        .iter()
+        .map(|&k| b.row_nnz(k as usize) as u64)
+        .sum()
+}
+
+/// A column-index source for the hot inner loops: the operand's own
+/// `u32` indices, or the plan-private gathered `u16` copy when the
+/// indexed dimension fits ([`RowClassSpec`]'s compression rule).
+pub(crate) trait IdxElem: Copy + Send + Sync + 'static {
+    /// Widen to a row/column index.
+    fn as_usize(self) -> usize;
+    /// Widen to a [`ColIdx`].
+    fn as_col(self) -> ColIdx;
+}
+
+impl IdxElem for u16 {
+    #[inline(always)]
+    fn as_usize(self) -> usize {
+        self as usize
+    }
+    #[inline(always)]
+    fn as_col(self) -> ColIdx {
+        self as ColIdx
+    }
+}
+
+impl IdxElem for u32 {
+    #[inline(always)]
+    fn as_usize(self) -> usize {
+        self as usize
+    }
+    #[inline(always)]
+    fn as_col(self) -> ColIdx {
+        self
+    }
+}
+
+/// The plan-private side of a RowClass bind: per-worker per-class row
+/// queues, bucket occupancy, and the compressed column-index copies.
+/// Rebuilt on every (re)bind — all `O(nrows + nnz)`, a fraction of the
+/// symbolic pass it precedes.
+pub(crate) struct RowClassSpec {
+    /// `queues[w][class]` — the rows of worker `w`'s partition range in
+    /// that class, ascending.
+    queues: Vec<[Vec<u32>; 4]>,
+    /// `A`'s column indices gathered to `u16` when `ncols(A) < 2¹⁶`
+    /// (they index rows of `B`, i.e. the inner dimension).
+    a16: Option<Vec<u16>>,
+    /// `B`'s column indices gathered to `u16` when `ncols(B) < 2¹⁶`.
+    b16: Option<Vec<u16>>,
+}
+
+/// The compression decision rule: a dimension fits `u16` iff it is
+/// strictly below 2¹⁶ (every index is `< dim`).
+fn fits_u16(dim: usize) -> bool {
+    dim < (1 << 16)
+}
+
+impl RowClassSpec {
+    /// Classify every row from the plan's flop counts, build the
+    /// per-worker class queues, and gather the compressed index
+    /// copies. Also publishes the `plan.rowclass.*` obs counters.
+    pub(crate) fn build<A: Copy, B: Copy>(
+        a: &Csr<A>,
+        b: &Csr<B>,
+        stats: &MultiplyStats,
+    ) -> RowClassSpec {
+        let ncols_b = b.ncols();
+        let nworkers = stats.offsets.len().saturating_sub(1);
+        let mut queues: Vec<[Vec<u32>; 4]> = (0..nworkers).map(|_| Default::default()).collect();
+        let mut occupancy = [0u64; 4];
+        for (w, wq) in queues.iter_mut().enumerate() {
+            for i in stats.offsets[w]..stats.offsets[w + 1] {
+                let class = RowClass::classify(stats.row_flops[i], ncols_b);
+                wq[class as usize].push(i as u32);
+                occupancy[class as usize] += 1;
+            }
+        }
+        let gather = |cols: &[ColIdx]| cols.iter().map(|&c| c as u16).collect::<Vec<u16>>();
+        let a16 = fits_u16(a.ncols()).then(|| gather(a.cols()));
+        let b16 = fits_u16(ncols_b).then(|| gather(b.cols()));
+        if obs::enabled() {
+            static TINY: obs::CounterSite = obs::CounterSite::new("plan", "plan.rowclass.tiny");
+            static SHORT: obs::CounterSite = obs::CounterSite::new("plan", "plan.rowclass.short");
+            static MEDIUM: obs::CounterSite = obs::CounterSite::new("plan", "plan.rowclass.medium");
+            static DENSE: obs::CounterSite = obs::CounterSite::new("plan", "plan.rowclass.dense");
+            static COLS16: obs::CounterSite = obs::CounterSite::new("plan", "plan.rowclass.cols16");
+            static COLS32: obs::CounterSite = obs::CounterSite::new("plan", "plan.rowclass.cols32");
+            TINY.add(occupancy[RowClass::Tiny as usize]);
+            SHORT.add(occupancy[RowClass::Short as usize]);
+            MEDIUM.add(occupancy[RowClass::Medium as usize]);
+            DENSE.add(occupancy[RowClass::Dense as usize]);
+            for compressed in [a16.is_some(), b16.is_some()] {
+                if compressed {
+                    COLS16.incr();
+                } else {
+                    COLS32.incr();
+                }
+            }
+        }
+        RowClassSpec { queues, a16, b16 }
+    }
+
+    /// Rows per class across all workers.
+    #[cfg(test)]
+    pub(crate) fn occupancy(&self) -> [u64; 4] {
+        let mut occ = [0u64; 4];
+        for wq in &self.queues {
+            for (c, q) in wq.iter().enumerate() {
+                occ[c] += q.len() as u64;
+            }
+        }
+        occ
+    }
+}
+
+/// The composite per-thread accumulator behind `Algorithm::RowClass`:
+/// one specialized accumulator per row class, dispatched by the row's
+/// class. Implements the same `RowAccumulator` contract as the
+/// monolithic accumulators, so the delta paths (`rebind_rows` /
+/// `execute_rows`) drive it row-by-row unchanged — each recomputed row
+/// re-derives its class from its current flop count.
+pub struct RowClassAccumulator<S: Semiring> {
+    level: SimdLevel,
+    /// Insertion array for tiny/short rows: `SHORT_MAX_FLOP` lanes of
+    /// keys (`-1` empty, occupied lanes a global prefix in insertion
+    /// order) with a parallel value array. Probed by
+    /// [`simd::probe_prefix`] — a handful of vector compares, no
+    /// hashing, no table reset.
+    skeys: Vec<i32>,
+    svals: Vec<S::Elem>,
+    slen: usize,
+    /// Medium rows: the ordinary linear-probing hash table, sized by
+    /// the *medium* flop bound (strictly below [`dense_cutoff`]) — a
+    /// smaller, more cache-resident table than a monolithic Hash plan
+    /// would allocate when dense rows exist.
+    hash: HashAccumulator<S>,
+    /// Dense rows: the `O(ncols(B))` SPA, created only when the
+    /// accumulator's requirements actually include a dense row.
+    spa: Option<SpaAccumulator<S>>,
+}
+
+impl<S: Semiring> RowClassAccumulator<S> {
+    /// Accumulator for rows of at most `max_row_flop` intermediate
+    /// products into an output of `ncols_b` columns.
+    pub fn new(max_row_flop: usize, ncols_b: usize, level: SimdLevel) -> Self {
+        let medium_bound = max_row_flop.min((dense_cutoff(ncols_b) - 1) as usize);
+        let spa = matches!(
+            RowClass::classify(max_row_flop as u64, ncols_b),
+            RowClass::Dense
+        )
+        .then(|| SpaAccumulator::new(ncols_b));
+        RowClassAccumulator {
+            level,
+            skeys: vec![EMPTY; SHORT_MAX_FLOP as usize],
+            svals: vec![S::zero(); SHORT_MAX_FLOP as usize],
+            slen: 0,
+            hash: HashAccumulator::new(medium_bound, ncols_b),
+            spa,
+        }
+    }
+
+    /// The SPA for a dense row, created on first need (steady-state
+    /// executions of a plan with dense rows find it already built by
+    /// the warm-up pass, so this never allocates there).
+    fn spa_mut(&mut self, ncols_b: usize) -> &mut SpaAccumulator<S> {
+        let spa = self.spa.get_or_insert_with(|| SpaAccumulator::new(ncols_b));
+        spa.ensure(&AccumReq {
+            max_row_flop: 0,
+            inner_dim: 0,
+            ncols_b,
+        });
+        spa
+    }
+
+    #[inline(always)]
+    fn short_insert_symbolic(&mut self, col: ColIdx) {
+        match simd::probe_prefix(self.level, &self.skeys, col as i32) {
+            ChunkProbe::Found(_) => {}
+            ChunkProbe::Empty(idx) => {
+                debug_assert_eq!(idx, self.slen, "occupied lanes must stay a prefix");
+                self.skeys[idx] = col as i32;
+                self.slen += 1;
+            }
+            ChunkProbe::Full => unreachable!("short-row flop bound guarantees a free lane"),
+        }
+    }
+
+    #[inline(always)]
+    fn short_insert_numeric(&mut self, col: ColIdx, value: S::Elem) {
+        match simd::probe_prefix(self.level, &self.skeys, col as i32) {
+            ChunkProbe::Found(idx) => self.svals[idx] = S::add(self.svals[idx], value),
+            ChunkProbe::Empty(idx) => {
+                debug_assert_eq!(idx, self.slen, "occupied lanes must stay a prefix");
+                self.skeys[idx] = col as i32;
+                self.svals[idx] = value;
+                self.slen += 1;
+            }
+            ChunkProbe::Full => unreachable!("short-row flop bound guarantees a free lane"),
+        }
+    }
+
+    /// Clear the insertion array (occupied lanes only) and return the
+    /// row's distinct-column count.
+    #[inline]
+    fn short_reset(&mut self) -> usize {
+        let n = self.slen;
+        for k in &mut self.skeys[..n] {
+            *k = EMPTY;
+        }
+        self.slen = 0;
+        n
+    }
+
+    /// Emit the insertion array into `cols`/`vals` (first-encounter
+    /// order; insertion-sorted ascending when `sorted`) and reset it.
+    fn short_extract_into(&mut self, cols: &mut [ColIdx], vals: &mut [S::Elem], sorted: bool) {
+        debug_assert_eq!(cols.len(), self.slen);
+        for idx in 0..self.slen {
+            cols[idx] = self.skeys[idx] as ColIdx;
+            vals[idx] = self.svals[idx];
+        }
+        if sorted {
+            // Insertion sort — the right tool at ≤ 32 distinct
+            // entries (tiny rows are ≤ 8, usually already nearly
+            // ordered when B is sorted). Keys are distinct, so any
+            // comparison sort yields the same byte-for-byte output as
+            // the hash accumulator's sort_unstable.
+            insertion_sort_pairs(cols, vals);
+        }
+        self.short_reset();
+    }
+
+    /// Count row `i`'s distinct output columns with the class kernel.
+    ///
+    /// `inline(always)`: must fold into the `#[target_feature]` drain
+    /// clones below so the vector probes inline (checked by objdump —
+    /// plain `#[inline]` leaves a call per probed key).
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn symbolic_row_idx<KA: IdxElem, KB: IdxElem>(
+        &mut self,
+        class: RowClass,
+        a_rpts: &[usize],
+        a_cols: &[KA],
+        b_rpts: &[usize],
+        b_cols: &[KB],
+        i: usize,
+        ncols_b: usize,
+    ) -> usize {
+        let arow = &a_cols[a_rpts[i]..a_rpts[i + 1]];
+        match class {
+            RowClass::Tiny | RowClass::Short => {
+                for ka in arow {
+                    let k = ka.as_usize();
+                    for jb in &b_cols[b_rpts[k]..b_rpts[k + 1]] {
+                        self.short_insert_symbolic(jb.as_col());
+                    }
+                }
+                self.short_reset()
+            }
+            RowClass::Medium => {
+                for ka in arow {
+                    let k = ka.as_usize();
+                    for jb in &b_cols[b_rpts[k]..b_rpts[k + 1]] {
+                        self.hash.insert_symbolic(jb.as_col());
+                    }
+                }
+                let n = self.hash.len();
+                self.hash.reset();
+                n
+            }
+            RowClass::Dense => {
+                let spa = self.spa_mut(ncols_b);
+                spa.begin_row();
+                for ka in arow {
+                    let k = ka.as_usize();
+                    for jb in &b_cols[b_rpts[k]..b_rpts[k + 1]] {
+                        spa.insert_symbolic(jb.as_col());
+                    }
+                }
+                spa.len()
+            }
+        }
+    }
+
+    /// Compute row `i` into pre-sliced output with the class kernel.
+    /// (`inline(always)`: see [`Self::symbolic_row_idx`].)
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn numeric_row_idx<KA: IdxElem, KB: IdxElem>(
+        &mut self,
+        class: RowClass,
+        a_rpts: &[usize],
+        a_cols: &[KA],
+        a_vals: &[S::Elem],
+        b_rpts: &[usize],
+        b_cols: &[KB],
+        b_vals: &[S::Elem],
+        i: usize,
+        cols: &mut [ColIdx],
+        vals: &mut [S::Elem],
+        sorted: bool,
+        ncols_b: usize,
+    ) {
+        let aspan = a_rpts[i]..a_rpts[i + 1];
+        let arow = &a_cols[aspan.clone()];
+        let arow_vals = &a_vals[aspan];
+        match class {
+            RowClass::Tiny | RowClass::Short => {
+                for (ka, &av) in arow.iter().zip(arow_vals) {
+                    let k = ka.as_usize();
+                    let bspan = b_rpts[k]..b_rpts[k + 1];
+                    for (jb, &bv) in b_cols[bspan.clone()].iter().zip(&b_vals[bspan]) {
+                        self.short_insert_numeric(jb.as_col(), S::mul(av, bv));
+                    }
+                }
+                self.short_extract_into(cols, vals, sorted);
+            }
+            RowClass::Medium => {
+                for (ka, &av) in arow.iter().zip(arow_vals) {
+                    let k = ka.as_usize();
+                    let bspan = b_rpts[k]..b_rpts[k + 1];
+                    for (jb, &bv) in b_cols[bspan.clone()].iter().zip(&b_vals[bspan]) {
+                        self.hash.insert_numeric(jb.as_col(), S::mul(av, bv));
+                    }
+                }
+                self.hash.extract_into(cols, vals, sorted);
+            }
+            RowClass::Dense => {
+                let spa = self.spa_mut(ncols_b);
+                spa.begin_row();
+                for (ka, &av) in arow.iter().zip(arow_vals) {
+                    let k = ka.as_usize();
+                    let bspan = b_rpts[k]..b_rpts[k + 1];
+                    for (jb, &bv) in b_cols[bspan.clone()].iter().zip(&b_vals[bspan]) {
+                        spa.insert_numeric(jb.as_col(), S::mul(av, bv));
+                    }
+                }
+                spa.extract_into(cols, vals, sorted);
+            }
+        }
+    }
+}
+
+/// In-place insertion sort of parallel `(cols, vals)` arrays by
+/// column. Allocation-free; `cols` is duplicate-free here.
+fn insertion_sort_pairs<E: Copy>(cols: &mut [ColIdx], vals: &mut [E]) {
+    for i in 1..cols.len() {
+        let (c, v) = (cols[i], vals[i]);
+        let mut j = i;
+        while j > 0 && cols[j - 1] > c {
+            cols[j] = cols[j - 1];
+            vals[j] = vals[j - 1];
+            j -= 1;
+        }
+        cols[j] = c;
+        vals[j] = v;
+    }
+}
+
+impl<S: Semiring> RowAccumulator<S> for RowClassAccumulator<S> {
+    fn symbolic_row(&mut self, a: &Csr<S::Elem>, b: &Csr<S::Elem>, i: usize) -> usize {
+        // Per-row class dispatch from the row's *current* flop count —
+        // this is what lets `rebind_rows` re-count an edited row that
+        // crossed a class boundary without any plan-level bookkeeping.
+        let class = RowClass::classify(row_flop(a, b, i), b.ncols());
+        self.symbolic_row_idx(class, a.rpts(), a.cols(), b.rpts(), b.cols(), i, b.ncols())
+    }
+
+    fn numeric_row(
+        &mut self,
+        a: &Csr<S::Elem>,
+        b: &Csr<S::Elem>,
+        i: usize,
+        cols: &mut [ColIdx],
+        vals: &mut [S::Elem],
+        sorted: bool,
+    ) {
+        let class = RowClass::classify(row_flop(a, b, i), b.ncols());
+        self.numeric_row_idx(
+            class,
+            a.rpts(),
+            a.cols(),
+            a.vals(),
+            b.rpts(),
+            b.cols(),
+            b.vals(),
+            i,
+            cols,
+            vals,
+            sorted,
+            b.ncols(),
+        );
+    }
+}
+
+impl<S: Semiring> ReusableAccumulator<S> for RowClassAccumulator<S> {
+    fn ensure(&mut self, req: &AccumReq) {
+        let medium = AccumReq {
+            max_row_flop: req
+                .max_row_flop
+                .min((dense_cutoff(req.ncols_b) - 1) as usize),
+            ..*req
+        };
+        self.hash.ensure(&medium);
+        if matches!(
+            RowClass::classify(req.max_row_flop as u64, req.ncols_b),
+            RowClass::Dense
+        ) {
+            // Pre-build the SPA here (the acquire path) so dense rows
+            // never allocate inside the row loop of a steady state.
+            self.spa_mut(req.ncols_b);
+        }
+    }
+
+    fn scrub(&mut self) {
+        self.short_reset();
+        self.hash.scrub();
+        if let Some(spa) = &mut self.spa {
+            spa.scrub();
+        }
+    }
+}
+
+/// Bind the four index-width combinations once per pass, handing the
+/// generic body the concrete `(a_cols, b_cols)` slices.
+macro_rules! with_cols {
+    ($spec:expr, $a:expr, $b:expr, |$ac:ident, $bc:ident| $body:expr) => {
+        match (&$spec.a16, &$spec.b16) {
+            (Some(a16), Some(b16)) => {
+                let ($ac, $bc) = (&a16[..], &b16[..]);
+                $body
+            }
+            (Some(a16), None) => {
+                let ($ac, $bc) = (&a16[..], $a.cols());
+                $body
+            }
+            (None, Some(b16)) => {
+                let ($ac, $bc) = ($a.cols(), &b16[..]);
+                $body
+            }
+            (None, None) => {
+                let ($ac, $bc) = ($a.cols(), $b.cols());
+                $body
+            }
+        }
+    };
+}
+
+/// One worker's symbolic drain: every class queue back to back. The
+/// body is `#[inline(always)]` so the `#[target_feature]` clones below
+/// monomorphize the *whole* drain loop — the per-key vector probe
+/// ([`simd::probe_prefix`]'s leaf functions) then inlines into the
+/// drain instead of costing a function call per probed key across the
+/// feature boundary.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn drain_symbolic<S: Semiring, KA: IdxElem, KB: IdxElem>(
+    acc: &mut RowClassAccumulator<S>,
+    queues: &[Vec<u32>; 4],
+    a_rpts: &[usize],
+    a_cols: &[KA],
+    b_rpts: &[usize],
+    b_cols: &[KB],
+    width: usize,
+    rp: &SharedMutSlice<'_, u64>,
+) {
+    for class in CLASSES {
+        for &i in &queues[class as usize] {
+            let i = i as usize;
+            let cnt = acc.symbolic_row_idx(class, a_rpts, a_cols, b_rpts, b_cols, i, width) as u64;
+            // SAFETY: row `i` belongs to exactly one worker's queues.
+            unsafe { rp.write(i + 1, cnt) };
+        }
+    }
+}
+
+/// [`drain_symbolic`] compiled with AVX-512F enabled.
+///
+/// # Safety
+/// The CPU must support AVX-512F.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn drain_symbolic_avx512<S: Semiring, KA: IdxElem, KB: IdxElem>(
+    acc: &mut RowClassAccumulator<S>,
+    queues: &[Vec<u32>; 4],
+    a_rpts: &[usize],
+    a_cols: &[KA],
+    b_rpts: &[usize],
+    b_cols: &[KB],
+    width: usize,
+    rp: &SharedMutSlice<'_, u64>,
+) {
+    drain_symbolic(acc, queues, a_rpts, a_cols, b_rpts, b_cols, width, rp)
+}
+
+/// [`drain_symbolic`] compiled with AVX2 enabled.
+///
+/// # Safety
+/// The CPU must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn drain_symbolic_avx2<S: Semiring, KA: IdxElem, KB: IdxElem>(
+    acc: &mut RowClassAccumulator<S>,
+    queues: &[Vec<u32>; 4],
+    a_rpts: &[usize],
+    a_cols: &[KA],
+    b_rpts: &[usize],
+    b_cols: &[KB],
+    width: usize,
+    rp: &SharedMutSlice<'_, u64>,
+) {
+    drain_symbolic(acc, queues, a_rpts, a_cols, b_rpts, b_cols, width, rp)
+}
+
+/// Dispatch one worker's symbolic drain to the clone matching the
+/// accumulator's SIMD level (one dispatch per worker per pass).
+#[allow(clippy::too_many_arguments)]
+fn drain_symbolic_at<S: Semiring, KA: IdxElem, KB: IdxElem>(
+    level: SimdLevel,
+    acc: &mut RowClassAccumulator<S>,
+    queues: &[Vec<u32>; 4],
+    a_rpts: &[usize],
+    a_cols: &[KA],
+    b_rpts: &[usize],
+    b_cols: &[KB],
+    width: usize,
+    rp: &SharedMutSlice<'_, u64>,
+) {
+    match level {
+        // SAFETY: `level` comes from `simd::detect`, which only
+        // reports features the running CPU supports.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe {
+            drain_symbolic_avx512(acc, queues, a_rpts, a_cols, b_rpts, b_cols, width, rp)
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe {
+            drain_symbolic_avx2(acc, queues, a_rpts, a_cols, b_rpts, b_cols, width, rp)
+        },
+        _ => drain_symbolic(acc, queues, a_rpts, a_cols, b_rpts, b_cols, width, rp),
+    }
+}
+
+/// One worker's numeric drain — same monomorphization scheme as
+/// [`drain_symbolic`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn drain_numeric<S: Semiring, KA: IdxElem, KB: IdxElem>(
+    acc: &mut RowClassAccumulator<S>,
+    queues: &[Vec<u32>; 4],
+    a_rpts: &[usize],
+    a_cols: &[KA],
+    a_vals: &[S::Elem],
+    b_rpts: &[usize],
+    b_cols: &[KB],
+    b_vals: &[S::Elem],
+    rpts: &[usize],
+    sorted: bool,
+    width: usize,
+    cols_s: &SharedMutSlice<'_, ColIdx>,
+    vals_s: &SharedMutSlice<'_, S::Elem>,
+) {
+    for class in CLASSES {
+        for &i in &queues[class as usize] {
+            let i = i as usize;
+            let span = rpts[i]..rpts[i + 1];
+            // SAFETY: row spans are disjoint across workers
+            // (contiguous partition, monotone rpts).
+            let (c, v) = unsafe { (cols_s.slice_mut(span.clone()), vals_s.slice_mut(span)) };
+            acc.numeric_row_idx(
+                class, a_rpts, a_cols, a_vals, b_rpts, b_cols, b_vals, i, c, v, sorted, width,
+            );
+        }
+    }
+}
+
+/// [`drain_numeric`] compiled with AVX-512F enabled.
+///
+/// # Safety
+/// The CPU must support AVX-512F.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn drain_numeric_avx512<S: Semiring, KA: IdxElem, KB: IdxElem>(
+    acc: &mut RowClassAccumulator<S>,
+    queues: &[Vec<u32>; 4],
+    a_rpts: &[usize],
+    a_cols: &[KA],
+    a_vals: &[S::Elem],
+    b_rpts: &[usize],
+    b_cols: &[KB],
+    b_vals: &[S::Elem],
+    rpts: &[usize],
+    sorted: bool,
+    width: usize,
+    cols_s: &SharedMutSlice<'_, ColIdx>,
+    vals_s: &SharedMutSlice<'_, S::Elem>,
+) {
+    drain_numeric(
+        acc, queues, a_rpts, a_cols, a_vals, b_rpts, b_cols, b_vals, rpts, sorted, width, cols_s,
+        vals_s,
+    )
+}
+
+/// [`drain_numeric`] compiled with AVX2 enabled.
+///
+/// # Safety
+/// The CPU must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn drain_numeric_avx2<S: Semiring, KA: IdxElem, KB: IdxElem>(
+    acc: &mut RowClassAccumulator<S>,
+    queues: &[Vec<u32>; 4],
+    a_rpts: &[usize],
+    a_cols: &[KA],
+    a_vals: &[S::Elem],
+    b_rpts: &[usize],
+    b_cols: &[KB],
+    b_vals: &[S::Elem],
+    rpts: &[usize],
+    sorted: bool,
+    width: usize,
+    cols_s: &SharedMutSlice<'_, ColIdx>,
+    vals_s: &SharedMutSlice<'_, S::Elem>,
+) {
+    drain_numeric(
+        acc, queues, a_rpts, a_cols, a_vals, b_rpts, b_cols, b_vals, rpts, sorted, width, cols_s,
+        vals_s,
+    )
+}
+
+/// Dispatch one worker's numeric drain to the clone matching the
+/// accumulator's SIMD level.
+#[allow(clippy::too_many_arguments)]
+fn drain_numeric_at<S: Semiring, KA: IdxElem, KB: IdxElem>(
+    level: SimdLevel,
+    acc: &mut RowClassAccumulator<S>,
+    queues: &[Vec<u32>; 4],
+    a_rpts: &[usize],
+    a_cols: &[KA],
+    a_vals: &[S::Elem],
+    b_rpts: &[usize],
+    b_cols: &[KB],
+    b_vals: &[S::Elem],
+    rpts: &[usize],
+    sorted: bool,
+    width: usize,
+    cols_s: &SharedMutSlice<'_, ColIdx>,
+    vals_s: &SharedMutSlice<'_, S::Elem>,
+) {
+    match level {
+        // SAFETY: `level` comes from `simd::detect`, which only
+        // reports features the running CPU supports.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe {
+            drain_numeric_avx512(
+                acc, queues, a_rpts, a_cols, a_vals, b_rpts, b_cols, b_vals, rpts, sorted, width,
+                cols_s, vals_s,
+            )
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe {
+            drain_numeric_avx2(
+                acc, queues, a_rpts, a_cols, a_vals, b_rpts, b_cols, b_vals, rpts, sorted, width,
+                cols_s, vals_s,
+            )
+        },
+        _ => drain_numeric(
+            acc, queues, a_rpts, a_cols, a_vals, b_rpts, b_cols, b_vals, rpts, sorted, width,
+            cols_s, vals_s,
+        ),
+    }
+}
+
+/// The bucketed symbolic pass: each worker drains its class queues
+/// with pooled accumulators, writing per-row counts; a parallel scan
+/// turns them into row pointers. Returns `(rpts, nnz)`.
+pub(crate) fn rowclass_symbolic_pass<S: Semiring>(
+    ws: &WorkspacePool<RowClassAccumulator<S>>,
+    level: SimdLevel,
+    spec: &RowClassSpec,
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    stats: &MultiplyStats,
+    pool: &Pool,
+) -> (Vec<usize>, usize) {
+    let n = a.nrows();
+    let (inner, width) = (a.ncols(), b.ncols());
+    let mut rpts64 = vec![0u64; n + 1];
+    with_cols!(spec, a, b, |ac, bc| {
+        let rp = SharedMutSlice::new(&mut rpts64[..]);
+        pool.parallel_ranges(&stats.offsets, |wid, range| {
+            if range.is_empty() {
+                return;
+            }
+            let req = AccumReq {
+                max_row_flop: crate::exec::max_flop_in(&stats.row_flops, range),
+                inner_dim: inner,
+                ncols_b: width,
+            };
+            ws.with(
+                wid,
+                || RowClassAccumulator::new(req.max_row_flop, width, level),
+                |acc, reused| {
+                    if reused {
+                        acc.ensure(&req);
+                        acc.scrub();
+                    }
+                    drain_symbolic_at(
+                        level,
+                        acc,
+                        &spec.queues[wid],
+                        a.rpts(),
+                        ac,
+                        b.rpts(),
+                        bc,
+                        width,
+                        &rp,
+                    );
+                },
+            );
+        });
+    });
+    let total = scan::parallel_inclusive_scan(pool, &mut rpts64) as usize;
+    let rpts: Vec<usize> = rpts64.iter().map(|&x| x as usize).collect();
+    (rpts, total)
+}
+
+/// The bucketed numeric pass into pre-sliced output: each worker runs
+/// its queues class-by-class (no per-row kernel branching) over the
+/// compressed column indices.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rowclass_numeric_pass<S: Semiring>(
+    ws: &WorkspacePool<RowClassAccumulator<S>>,
+    level: SimdLevel,
+    spec: &RowClassSpec,
+    a: &Csr<S::Elem>,
+    b: &Csr<S::Elem>,
+    stats: &MultiplyStats,
+    rpts: &[usize],
+    sorted: bool,
+    pool: &Pool,
+    cols: &mut [ColIdx],
+    vals: &mut [S::Elem],
+) {
+    let (inner, width) = (a.ncols(), b.ncols());
+    with_cols!(spec, a, b, |ac, bc| {
+        let cols_s = SharedMutSlice::new(cols);
+        let vals_s = SharedMutSlice::new(vals);
+        pool.parallel_ranges(&stats.offsets, |wid, range| {
+            if range.is_empty() {
+                return;
+            }
+            let req = AccumReq {
+                max_row_flop: crate::exec::max_flop_in(&stats.row_flops, range),
+                inner_dim: inner,
+                ncols_b: width,
+            };
+            ws.with(
+                wid,
+                || RowClassAccumulator::new(req.max_row_flop, width, level),
+                |acc, reused| {
+                    if reused {
+                        acc.ensure(&req);
+                        acc.scrub();
+                    }
+                    drain_numeric_at(
+                        level,
+                        acc,
+                        &spec.queues[wid],
+                        a.rpts(),
+                        ac,
+                        a.vals(),
+                        b.rpts(),
+                        bc,
+                        b.vals(),
+                        rpts,
+                        sorted,
+                        width,
+                        &cols_s,
+                        &vals_s,
+                    );
+                },
+            );
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spgemm_sparse::PlusTimes;
+
+    type P = PlusTimes<f64>;
+
+    #[test]
+    fn classify_thresholds() {
+        let n = 1000; // dense_cutoff = 250
+        assert_eq!(dense_cutoff(n), 250);
+        assert_eq!(RowClass::classify(0, n), RowClass::Tiny);
+        assert_eq!(RowClass::classify(8, n), RowClass::Tiny);
+        assert_eq!(RowClass::classify(9, n), RowClass::Short);
+        assert_eq!(RowClass::classify(32, n), RowClass::Short);
+        assert_eq!(RowClass::classify(33, n), RowClass::Medium);
+        assert_eq!(RowClass::classify(249, n), RowClass::Medium);
+        assert_eq!(RowClass::classify(250, n), RowClass::Dense);
+        // narrow outputs: the dense cutoff never undercuts the short
+        // bound, so the classes stay ordered by flop
+        assert_eq!(dense_cutoff(40), 33);
+        assert_eq!(RowClass::classify(33, 40), RowClass::Dense);
+        for ncols in [1usize, 7, 40, 65, 100_000] {
+            let mut last = RowClass::Tiny as usize;
+            for flop in 0..400u64 {
+                let c = RowClass::classify(flop, ncols) as usize;
+                assert!(c >= last, "classify must be monotone in flop");
+                last = c;
+            }
+        }
+    }
+
+    #[test]
+    fn short_array_accumulates_in_k_encounter_order() {
+        let mut acc = RowClassAccumulator::<P>::new(16, 1000, simd::detect());
+        acc.short_insert_numeric(42, 1.0);
+        acc.short_insert_numeric(7, 2.0);
+        acc.short_insert_numeric(42, 3.0);
+        assert_eq!(acc.slen, 2);
+        let mut cols = vec![0; 2];
+        let mut vals = vec![0.0; 2];
+        acc.short_extract_into(&mut cols, &mut vals, false);
+        assert_eq!(cols, vec![42, 7], "first-encounter order");
+        assert_eq!(vals, vec![4.0, 2.0]);
+        assert_eq!(acc.slen, 0, "extract resets");
+        // sorted emit
+        acc.short_insert_numeric(42, 1.0);
+        acc.short_insert_numeric(7, 2.0);
+        acc.short_insert_numeric(42, 3.0);
+        let mut cols = vec![0; 2];
+        let mut vals = vec![0.0; 2];
+        acc.short_extract_into(&mut cols, &mut vals, true);
+        assert_eq!(cols, vec![7, 42]);
+        assert_eq!(vals, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn short_array_handles_full_capacity() {
+        let mut acc = RowClassAccumulator::<P>::new(32, 1 << 20, simd::detect());
+        for c in 0..SHORT_MAX_FLOP as u32 {
+            acc.short_insert_numeric(c * 3, 1.0);
+        }
+        assert_eq!(acc.slen, SHORT_MAX_FLOP as usize);
+        // duplicates at full load must still resolve (no livelock,
+        // unlike a full hash table)
+        for c in 0..SHORT_MAX_FLOP as u32 {
+            acc.short_insert_numeric(c * 3, 1.0);
+        }
+        let mut cols = vec![0; 32];
+        let mut vals = vec![0.0; 32];
+        acc.short_extract_into(&mut cols, &mut vals, true);
+        assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        assert!(vals.iter().all(|&v| v == 2.0));
+    }
+
+    /// The parity invariant at the accumulator level: every class
+    /// produces byte-for-byte the hash accumulator's output.
+    #[test]
+    fn every_class_matches_hash_accumulator_bitwise() {
+        let mut seed = 0xC0FFEEu64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        // one matrix pair per class: row 0 of A drives the product
+        let ncols = 200; // dense_cutoff = 50
+        for &target_flop in &[4usize, 20, 40, 120] {
+            let mut tri_a = Vec::new();
+            let mut tri_b = Vec::new();
+            // A row 0 with `target_flop / 4` entries; each consumed B
+            // row has 4 entries -> flop = target
+            let a_nnz = (target_flop / 4).max(1);
+            for t in 0..a_nnz {
+                tri_a.push((0usize, t as u32, 1.0 + t as f64));
+            }
+            for k in 0..a_nnz {
+                for u in 0..4usize {
+                    // overlapping columns across B rows force real
+                    // accumulation (duplicate k-encounters)
+                    tri_b.push((k, (next() % ncols) as u32, 0.5 + u as f64));
+                }
+            }
+            tri_b.sort_by_key(|&(r, c, _)| (r, c));
+            tri_b.dedup_by_key(|&mut (r, c, _)| (r, c));
+            let a = Csr::from_triplets(1, a_nnz, &tri_a).unwrap();
+            let b = Csr::from_triplets(a_nnz, ncols, &tri_b).unwrap();
+            let flop = row_flop(&a, &b, 0);
+            let class = RowClass::classify(flop, ncols);
+            let mut hash = HashAccumulator::<P>::new(flop as usize, ncols);
+            let mut rc = RowClassAccumulator::<P>::new(flop as usize, ncols, simd::detect());
+            let n = RowAccumulator::<P>::symbolic_row(&mut hash, &a, &b, 0);
+            let n2 = RowAccumulator::<P>::symbolic_row(&mut rc, &a, &b, 0);
+            assert_eq!(n, n2, "class {class:?} symbolic count");
+            for sorted in [false, true] {
+                let (mut c1, mut v1) = (vec![0; n], vec![0.0; n]);
+                let (mut c2, mut v2) = (vec![0; n], vec![0.0; n]);
+                RowAccumulator::<P>::numeric_row(&mut hash, &a, &b, 0, &mut c1, &mut v1, sorted);
+                RowAccumulator::<P>::numeric_row(&mut rc, &a, &b, 0, &mut c2, &mut v2, sorted);
+                assert_eq!(c1, c2, "class {class:?} sorted={sorted} cols");
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&v1), bits(&v2), "class {class:?} sorted={sorted} vals");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_build_classifies_and_compresses() {
+        // 40 columns: dense_cutoff = 33
+        let n = 40;
+        let mut tri = Vec::new();
+        // row 0: empty (tiny). row 1: 2 entries over rows with 2 nnz
+        // each (flop 4, tiny). row 2: flop 20 (short). row 3: all of a
+        // 34-entry row (dense).
+        for c in 0..34u32 {
+            tri.push((3usize, c, 1.0));
+        }
+        tri.push((1, 4, 1.0));
+        tri.push((1, 5, 1.0));
+        for c in 10..20u32 {
+            tri.push((2, c, 1.0));
+        }
+        let a = Csr::from_triplets(n, n, &tri).unwrap();
+        let pool = Pool::new(2);
+        let stats = crate::exec::plan(&a, &a, &pool);
+        let spec = RowClassSpec::build(&a, &a, &stats);
+        let occ = spec.occupancy();
+        assert_eq!(occ.iter().sum::<u64>(), n as u64);
+        assert!(occ[RowClass::Tiny as usize] >= 1);
+        assert!(spec.a16.is_some() && spec.b16.is_some(), "40 < 2^16");
+        assert_eq!(spec.a16.as_ref().unwrap().len(), a.nnz());
+        // queues cover every row exactly once
+        let mut seen = vec![false; n];
+        for wq in &spec.queues {
+            for q in wq {
+                for &i in q {
+                    assert!(!seen[i as usize]);
+                    seen[i as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn occupancy_helper_matches_spec() {
+        let a = Csr::from_triplets(6, 6, &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0), (5, 5, 4.0)])
+            .unwrap();
+        let pool = Pool::new(2);
+        let stats = crate::exec::plan(&a, &a, &pool);
+        let spec = RowClassSpec::build(&a, &a, &stats);
+        assert_eq!(bucket_occupancy(&a, &a), spec.occupancy());
+    }
+}

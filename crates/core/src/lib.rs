@@ -26,6 +26,7 @@
 //! | `Inspector`   | MKL-inspector stand-in | 1 | hash table, no symbolic phase | any / unsorted natively, sorted via post-sort |
 //! | `KkHash`      | KokkosKernels `kkmem` stand-in | 2 | chained (linked-list) hash map | any / selectable |
 //! | `Ikj`         | Sulatycke–Ghose IKJ (§2) | 2 | dense row scan + SPA | any / selectable |
+//! | `RowClass`    | per-row-class selection ([`kgen`]) | 2 | SIMD insertion array / hash / SPA by row class | any / selectable |
 //! | `Reference`   | correctness oracle | 1 | `BTreeMap`, sequential | any / sorted |
 //!
 //! All kernels share the architecture-specific machinery the paper
@@ -45,6 +46,7 @@ pub mod cost;
 pub mod delta;
 mod exec;
 pub mod expr;
+pub mod kgen;
 mod options;
 pub mod plan;
 pub mod recipe;

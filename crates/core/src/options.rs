@@ -25,6 +25,15 @@ pub enum Algorithm {
     /// The IKJ baseline of Sulatycke & Ghose — `O(n² + flop)`; for
     /// small matrices and the background comparison only.
     Ikj,
+    /// Row-class specialized kernels ([`crate::kgen`]): rows are
+    /// bucketed by flop count at plan-bind time (tiny/short/medium/
+    /// dense) and the numeric phase dispatches each bucket to a
+    /// specialized accumulator — a SIMD insertion array for tiny and
+    /// short rows, the hash table for medium rows, and a dense SPA for
+    /// heavy rows — over plan-private u16-compressed column indices
+    /// when the dimensions fit. Byte-for-byte identical output to
+    /// [`Algorithm::Hash`].
+    RowClass,
     /// Sequential `BTreeMap` oracle (tests, tiny inputs).
     Reference,
     /// Pick from the input structure: a tuned per-machine selector if
@@ -37,7 +46,7 @@ pub enum Algorithm {
 impl Algorithm {
     /// Every concrete algorithm (everything but `Auto`), in the order
     /// the evaluation harness reports them.
-    pub const ALL: [Algorithm; 9] = [
+    pub const ALL: [Algorithm; 10] = [
         Algorithm::Hash,
         Algorithm::HashVec,
         Algorithm::Heap,
@@ -46,6 +55,7 @@ impl Algorithm {
         Algorithm::Inspector,
         Algorithm::KkHash,
         Algorithm::Ikj,
+        Algorithm::RowClass,
         Algorithm::Reference,
     ];
 
@@ -60,6 +70,7 @@ impl Algorithm {
             Algorithm::Inspector => "Inspector",
             Algorithm::KkHash => "KkHash",
             Algorithm::Ikj => "IKJ",
+            Algorithm::RowClass => "RowClass",
             Algorithm::Reference => "Reference",
             Algorithm::Auto => "Auto",
         }
@@ -78,6 +89,10 @@ impl Algorithm {
     /// `multiply_in` via a post-sort, but selectors (static recipe,
     /// tuned profile) never pick it for sorted output — the extra
     /// sort forfeits exactly the work its one-phase design skips.
+    /// RowClass honours sorted output because *every* class kernel
+    /// does (insertion array, hash table, and SPA all emit ascending
+    /// rows on request) — if a future class kernel cannot, this must
+    /// become `false` for RowClass too.
     pub fn honours_sorted_output(self) -> bool {
         !matches!(self, Algorithm::Inspector)
     }
@@ -94,6 +109,7 @@ impl Algorithm {
                 | Algorithm::Spa
                 | Algorithm::KkHash
                 | Algorithm::Ikj
+                | Algorithm::RowClass
                 | Algorithm::Inspector
         )
     }
@@ -149,6 +165,9 @@ mod tests {
         assert!(Algorithm::Heap.honours_sorted_output());
         assert!(Algorithm::Hash.supports_sort_skip());
         assert!(!Algorithm::Heap.supports_sort_skip());
+        assert!(!Algorithm::RowClass.requires_sorted_inputs());
+        assert!(Algorithm::RowClass.honours_sorted_output());
+        assert!(Algorithm::RowClass.supports_sort_skip());
         assert!(OutputOrder::Sorted.is_sorted());
         assert!(!OutputOrder::Unsorted.is_sorted());
     }

@@ -45,6 +45,7 @@ use crate::delta::{ConsumerIndex, DirtyRows};
 use crate::exec::{
     self, AccumReq, MultiplyStats, ReusableAccumulator, RowAccumulator, StagedRowKernel,
 };
+use crate::kgen::{self, RowClassAccumulator, RowClassSpec};
 use crate::{recipe, Algorithm, OutputOrder};
 use parking_lot::Mutex;
 use spgemm_obs as obs;
@@ -97,6 +98,10 @@ enum PlanKernel<S: Semiring> {
     Inspector(WorkspacePool<InspectorKernel<S>>),
     KkHash(WorkspacePool<KkHashAccumulator<S>>),
     Ikj(WorkspacePool<IkjKernel<S>>),
+    RowClass {
+        ws: WorkspacePool<RowClassAccumulator<S>>,
+        level: SimdLevel,
+    },
     Reference,
 }
 
@@ -114,6 +119,10 @@ impl<S: Semiring> PlanKernel<S> {
             Algorithm::Inspector => PlanKernel::Inspector(WorkspacePool::with_threads(nthreads)),
             Algorithm::KkHash => PlanKernel::KkHash(WorkspacePool::with_threads(nthreads)),
             Algorithm::Ikj => PlanKernel::Ikj(WorkspacePool::with_threads(nthreads)),
+            Algorithm::RowClass => PlanKernel::RowClass {
+                ws: WorkspacePool::with_threads(nthreads),
+                level: simd::detect(),
+            },
             Algorithm::Reference => PlanKernel::Reference,
             Algorithm::Auto => unreachable!("Auto resolved before kernel construction"),
         }
@@ -164,6 +173,11 @@ macro_rules! with_kernel {
             }
             PlanKernel::Ikj($ws) => {
                 let $make = |_mf: usize| IkjKernel::new(a_ref.ncols(), b_ref.ncols());
+                $body
+            }
+            PlanKernel::RowClass { ws: $ws, level } => {
+                let level = *level;
+                let $make = move |mf: usize| RowClassAccumulator::new(mf, b_ref.ncols(), level);
                 $body
             }
             PlanKernel::Reference => unreachable!("Reference handled before kernel dispatch"),
@@ -231,6 +245,11 @@ pub struct SpgemmPlan<S: Semiring> {
     /// first [`SpgemmPlan::rebind_rows`] and patched per call; `None`
     /// until then and after any full rebind.
     consumers: Option<ConsumerIndex>,
+    /// RowClass plans only: per-class work queues and compressed
+    /// column indices, rebuilt on every (re)bind. Boxed — the spec is
+    /// touched once per pass, and keeping it out of line keeps
+    /// `SpgemmPlan` small for the enums that embed it (`expr`).
+    rowclass: Option<Box<RowClassSpec>>,
     kernel: PlanKernel<S>,
 }
 
@@ -293,8 +312,12 @@ impl<S: Semiring> SpgemmPlan<S> {
             nthreads: pool.nthreads(),
             symbolic: Mutex::new(None),
             consumers: None,
+            rowclass: None,
             kernel: PlanKernel::new(resolved, pool.nthreads()),
         };
+        if plan.algo == Algorithm::RowClass {
+            plan.rowclass = Some(Box::new(RowClassSpec::build(a, b, &plan.stats)));
+        }
         if !plan.symbolic_is_deferred() {
             let sym = plan.run_symbolic(a, b, pool);
             *plan.symbolic.get_mut() = Some(Arc::new(sym));
@@ -378,6 +401,8 @@ impl<S: Semiring> SpgemmPlan<S> {
         // Rebinding implies reuse intent: always fingerprint.
         self.sigs = Some(signatures(a, b));
         self.consumers = None;
+        self.rowclass = (self.algo == Algorithm::RowClass)
+            .then(|| Box::new(RowClassSpec::build(a, b, &self.stats)));
         *self.symbolic.get_mut() = None;
         if !self.symbolic_is_deferred() {
             let sym = self.run_symbolic(a, b, pool);
@@ -511,6 +536,14 @@ impl<S: Semiring> SpgemmPlan<S> {
         self.stats.offsets =
             partition::balanced_offsets_in_place(&mut prefix, pool.nthreads(), pool);
         self.stats.total_flop = prefix.last().copied().unwrap_or(0);
+        if self.algo == Algorithm::RowClass {
+            // Edited rows may have crossed a class boundary and the
+            // partition may have shifted; re-derive the class queues
+            // and re-gather the compressed indices (`O(nrows + nnz)`
+            // — cheaper than the `O(nnz)` re-analysis a full rebind
+            // pays, and the per-row re-counts below stay incremental).
+            self.rowclass = Some(Box::new(RowClassSpec::build(a, b, &self.stats)));
+        }
 
         // Splice the symbolic structure: clean rows keep their cached
         // counts, invalidated rows are re-counted by the kernel.
@@ -749,6 +782,7 @@ impl<S: Semiring> SpgemmPlan<S> {
             PlanKernel::Inspector(ws) => ws.stats(),
             PlanKernel::KkHash(ws) => ws.stats(),
             PlanKernel::Ikj(ws) => ws.stats(),
+            PlanKernel::RowClass { ws, .. } => ws.stats(),
             PlanKernel::Reference => WorkspaceStats::default(),
         }
     }
@@ -935,6 +969,11 @@ impl<S: Semiring> SpgemmPlan<S> {
     /// accumulators.
     fn run_symbolic(&self, a: &Csr<S::Elem>, b: &Csr<S::Elem>, pool: &Pool) -> SymbolicPlan {
         let _g = obs::span!("plan", "plan.symbolic");
+        if let (PlanKernel::RowClass { ws, level }, Some(spec)) = (&self.kernel, &self.rowclass) {
+            let (rpts, nnz) =
+                kgen::rowclass_symbolic_pass::<S>(ws, *level, spec, a, b, &self.stats, pool);
+            return SymbolicPlan { rpts, nnz };
+        }
         with_kernel!(self, a, b, |ws, make| symbolic_pass::<S, _, _>(
             ws,
             make,
@@ -959,6 +998,21 @@ impl<S: Semiring> SpgemmPlan<S> {
         let _g = obs::span!("plan", "plan.numeric");
         count_execute(self.algo);
         let sorted = self.output_is_sorted();
+        if let (PlanKernel::RowClass { ws, level }, Some(spec)) = (&self.kernel, &self.rowclass) {
+            return kgen::rowclass_numeric_pass::<S>(
+                ws,
+                *level,
+                spec,
+                a,
+                b,
+                &self.stats,
+                rpts,
+                sorted,
+                pool,
+                cols,
+                vals,
+            );
+        }
         with_kernel!(self, a, b, |ws, make| numeric_pass::<S, _, _>(
             ws,
             make,
@@ -1020,6 +1074,7 @@ fn count_execute(algo: Algorithm) {
         Algorithm::Inspector => site!("plan.exec.inspector"),
         Algorithm::KkHash => site!("plan.exec.kkhash"),
         Algorithm::Ikj => site!("plan.exec.ikj"),
+        Algorithm::RowClass => site!("plan.exec.rowclass"),
         Algorithm::Reference => site!("plan.exec.reference"),
         // plans always carry a resolved kernel; `Auto` cannot reach
         // an execute, but count it rather than panic if it ever does

@@ -323,6 +323,62 @@ mod tests {
         assert_eq!(classify_pattern(&g), Pattern::Skewed);
     }
 
+    /// Every algorithm's admissibility over the full
+    /// `sorted_inputs × order` context grid, matched exhaustively so
+    /// adding a variant forces this table to be revisited. A pick is
+    /// admissible iff the inputs satisfy its sortedness demand and it
+    /// can honour the requested output order.
+    #[test]
+    fn admissibility_exhaustive_over_all_algorithms() {
+        let ctx = |sorted_inputs: bool, order: OutputOrder| AutoContext {
+            op: OpKind::Square,
+            pattern: Pattern::Uniform,
+            nrows: 64,
+            ncols_a: 64,
+            ncols_b: 64,
+            nnz_a: 256,
+            edge_factor: 4.0,
+            row_cv: 0.1,
+            sorted_inputs,
+            order,
+        };
+        for algo in Algorithm::ALL {
+            // contracts per variant, stated exhaustively
+            let (needs_sorted_in, honours_sorted_out, sort_skip) = match algo {
+                Algorithm::Hash => (false, true, true),
+                Algorithm::HashVec => (false, true, true),
+                Algorithm::Heap => (true, true, false),
+                Algorithm::Spa => (false, true, true),
+                Algorithm::Merge => (true, true, false),
+                Algorithm::Inspector => (false, false, true),
+                Algorithm::KkHash => (false, true, true),
+                Algorithm::Ikj => (false, true, true),
+                Algorithm::RowClass => (false, true, true),
+                Algorithm::Reference => (false, true, false),
+                Algorithm::Auto => unreachable!("ALL excludes Auto"),
+            };
+            assert_eq!(algo.requires_sorted_inputs(), needs_sorted_in, "{algo}");
+            assert_eq!(algo.honours_sorted_output(), honours_sorted_out, "{algo}");
+            assert_eq!(algo.supports_sort_skip(), sort_skip, "{algo}");
+            for sorted_inputs in [false, true] {
+                for order in [OutputOrder::Sorted, OutputOrder::Unsorted] {
+                    let expect = (sorted_inputs || !needs_sorted_in)
+                        && (!order.is_sorted() || honours_sorted_out);
+                    assert_eq!(
+                        pick_admissible(&ctx(sorted_inputs, order), algo),
+                        expect,
+                        "{algo} sorted_inputs={sorted_inputs} {order:?}"
+                    );
+                }
+            }
+        }
+        // Auto itself is never an admissible concrete pick.
+        assert!(!pick_admissible(
+            &ctx(true, OutputOrder::Sorted),
+            Algorithm::Auto
+        ));
+    }
+
     /// Serializes tests that read or write the process-global hook.
     fn hook_lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());

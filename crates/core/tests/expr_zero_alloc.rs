@@ -117,6 +117,41 @@ fn expr_execute_into_steady_state_allocates_nothing() {
     assert!(out.validate().is_ok());
 }
 
+/// The same pipeline with the multiply nodes running RowClass: the
+/// bucketed passes (u16-compressed indices at 192 columns) must reach
+/// the allocation-free steady state inside an expression plan too.
+#[test]
+fn expr_rowclass_steady_state_allocates_nothing() {
+    let a = banded(192);
+    let pool = Pool::new(1);
+    let mut g = ExprGraph::new();
+    let ia = g.input();
+    let t = g.transpose(ia);
+    let s = g.add(ia, t);
+    let sq = g.multiply(s, s);
+    let root = g.hadamard(sq, ia);
+
+    let mut plan = ExprPlan::new_in(&g, root, &[&a], &[], Algorithm::RowClass, &pool).unwrap();
+    let mut out = Csr::<f64>::zero(0, 0);
+    for _ in 0..3 {
+        plan.execute_into_in(&[&a], &[], &mut out, &pool).unwrap();
+    }
+    let nnz = out.nnz();
+    assert!(nnz > 0);
+
+    let before = allocations();
+    for _ in 0..10 {
+        plan.execute_into_in(&[&a], &[], &mut out, &pool).unwrap();
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "steady-state RowClass expression execution must not allocate"
+    );
+    assert_eq!(out.nnz(), nnz, "result drifted");
+    assert!(out.validate().is_ok());
+}
+
 #[test]
 fn expr_bind_does_allocate_and_results_stay_valid() {
     // Sanity that the instrumentation sees the real code path: the

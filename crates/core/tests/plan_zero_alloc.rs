@@ -86,6 +86,10 @@ fn execute_into_steady_state_allocates_nothing() {
         (Algorithm::Heap, OutputOrder::Sorted),
         (Algorithm::Inspector, OutputOrder::Unsorted),
         (Algorithm::Inspector, OutputOrder::Sorted),
+        // 256 columns < 2^16: the bucketed passes run over the
+        // u16-compressed column-index copies.
+        (Algorithm::RowClass, OutputOrder::Sorted),
+        (Algorithm::RowClass, OutputOrder::Unsorted),
     ] {
         let plan = SpgemmPlan::<P>::new_in(&a, &a, algo, order, &pool).unwrap();
         let mut c = Csr::<f64>::zero(0, 0);
@@ -110,6 +114,88 @@ fn execute_into_steady_state_allocates_nothing() {
         );
         assert_eq!(c.nnz(), nnz, "{algo} {order:?}: result drifted");
     }
+}
+
+/// A matrix whose rows land in all four row classes of
+/// [`spgemm::kgen`]: every entry points at a 4-entry row, so a row
+/// with `e` entries costs exactly `4e` flops — 1 entry → tiny (4),
+/// 4 → short (16), 10 → medium (40), 80 → dense (320 ≥
+/// `dense_cutoff(512)` = 128).
+fn all_classes(n: usize) -> Csr<f64> {
+    assert_eq!(n, 512);
+    let mut trips = Vec::new();
+    for i in 0..n {
+        let entries = match i % 4 {
+            0 => 1,
+            1 => 4,
+            2 => 10,
+            _ => 80,
+        };
+        for t in 0..entries {
+            // columns drawn from the rows with 4 entries (i % 4 == 1)
+            let j = ((i / 4 + t) % (n / 4)) * 4 + 1;
+            trips.push((i, j as ColIdx, 1.0 + (i * 7 + t) as f64 * 0.01));
+        }
+    }
+    Csr::from_triplets(n, n, &trips).unwrap()
+}
+
+/// RowClass steady state with every class queue occupied: the
+/// insertion array, the clamped hash table, and the dense SPA all
+/// reach the allocation-free regime together.
+#[test]
+fn rowclass_all_classes_steady_state_allocates_nothing() {
+    let a = all_classes(512);
+    let occ = spgemm::kgen::bucket_occupancy(&a, &a);
+    assert!(
+        occ.iter().all(|&c| c > 0),
+        "fixture must occupy all four classes, got {occ:?}"
+    );
+    let pool = Pool::new(1);
+    for order in [OutputOrder::Sorted, OutputOrder::Unsorted] {
+        let plan = SpgemmPlan::<P>::new_in(&a, &a, Algorithm::RowClass, order, &pool).unwrap();
+        let mut c = Csr::<f64>::zero(0, 0);
+        for _ in 0..3 {
+            plan.execute_into_in(&a, &a, &mut c, &pool).unwrap();
+        }
+        let nnz = c.nnz();
+        let before = allocations();
+        for _ in 0..10 {
+            plan.execute_into_in(&a, &a, &mut c, &pool).unwrap();
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "RowClass {order:?}: steady-state execute_into must not allocate"
+        );
+        assert_eq!(c.nnz(), nnz, "RowClass {order:?}: result drifted");
+    }
+}
+
+/// RowClass steady state on a matrix too wide for u16 compression
+/// (70 000 ≥ 2^16): the bucketed passes fall back to the operands'
+/// native u32 indices and must still be allocation-free.
+#[test]
+fn rowclass_u32_index_path_steady_state_allocates_nothing() {
+    let a = banded(70_000);
+    let pool = Pool::new(1);
+    let plan =
+        SpgemmPlan::<P>::new_in(&a, &a, Algorithm::RowClass, OutputOrder::Sorted, &pool).unwrap();
+    let mut c = Csr::<f64>::zero(0, 0);
+    for _ in 0..2 {
+        plan.execute_into_in(&a, &a, &mut c, &pool).unwrap();
+    }
+    let nnz = c.nnz();
+    let before = allocations();
+    for _ in 0..3 {
+        plan.execute_into_in(&a, &a, &mut c, &pool).unwrap();
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "RowClass u32 path: steady-state execute_into must not allocate"
+    );
+    assert_eq!(c.nnz(), nnz);
 }
 
 #[test]

@@ -35,6 +35,11 @@ fn oneshot_direct(
         }
         Algorithm::KkHash => algos::kkhash::multiply::<P>(a, b, order, pool),
         Algorithm::Ikj => algos::ikj::multiply::<P>(a, b, order, pool),
+        // RowClass's contract *is* byte-parity with the hash kernel
+        // (every class accumulates duplicates in k-encounter order and
+        // emits first-encounter or ascending order exactly like the
+        // hash table) — so the hash driver is its one-shot oracle.
+        Algorithm::RowClass => algos::hash::multiply::<P>(a, b, order, pool),
         Algorithm::Reference => algos::reference::multiply::<P>(a, b),
         Algorithm::Auto => unreachable!("test enumerates concrete algorithms"),
     }
@@ -86,6 +91,34 @@ proptest! {
                 for round in 0..3 {
                     plan.execute_into_in(&a, &a, &mut c, &pool).unwrap();
                     prop_assert_eq!(&baseline, &c, "{} {:?} round {}", algo, order, round);
+                }
+            }
+        }
+    }
+
+    /// The RowClass keystone invariant, stated directly: across
+    /// structure drift (one plan rebound over a random sequence of
+    /// operands) its output is byte-for-byte the hash kernel's under
+    /// both output orders, and byte-for-byte Reference's when sorted.
+    /// This is what lets tune swap RowClass in for Hash sight unseen.
+    #[test]
+    fn rowclass_parity_across_drift_and_rebind(
+        a in arb_square(20, 120),
+        b in arb_square(20, 120),
+        c in arb_square(20, 120),
+    ) {
+        let pool = Pool::new(2);
+        for order in [OutputOrder::Sorted, OutputOrder::Unsorted] {
+            let mut plan =
+                SpgemmPlan::<P>::new_in(&a, &a, Algorithm::RowClass, order, &pool).unwrap();
+            for m in [&a, &b, &c, &a, &c] {
+                plan.rebind_in(m, m, &pool).unwrap();
+                let got = plan.execute_in(m, m, &pool).unwrap();
+                let hash = algos::hash::multiply::<P>(m, m, order, &pool);
+                prop_assert_eq!(&got, &hash, "vs hash, {:?}", order);
+                if order.is_sorted() {
+                    let oracle = algos::reference::multiply::<P>(m, m);
+                    prop_assert_eq!(&got, &oracle, "vs reference");
                 }
             }
         }

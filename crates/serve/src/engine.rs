@@ -782,13 +782,20 @@ fn eval_expr(
 ///
 /// Byte-for-byte safety: `recompute_product_rows` reproduces the
 /// sorted output of the ascending-`k` accumulator family (Hash,
-/// HashVec, SPA, KkHash, IKJ) exactly, so the patch is gated on those
-/// kernels and on the node *not* routing to the shard fleet (whose
-/// merge path accumulates in its own order).
+/// HashVec, SPA, KkHash, IKJ, and RowClass — whose per-class kernels
+/// all accumulate in `k`-encounter order and are byte-identical to
+/// Hash) exactly, so the patch is gated on those kernels and on the
+/// node *not* routing to the shard fleet (whose merge path
+/// accumulates in its own order).
 fn try_patch_multiply(shared: &EngineShared, job: &ExprJob, node: usize) -> Option<Arc<Csr<f64>>> {
     if !matches!(
         job.algo,
-        Algorithm::Hash | Algorithm::HashVec | Algorithm::Spa | Algorithm::KkHash | Algorithm::Ikj
+        Algorithm::Hash
+            | Algorithm::HashVec
+            | Algorithm::Spa
+            | Algorithm::KkHash
+            | Algorithm::Ikj
+            | Algorithm::RowClass
     ) {
         return None;
     }

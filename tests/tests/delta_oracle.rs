@@ -26,6 +26,7 @@ const ALL: &[Algorithm] = &[
     Algorithm::Inspector,
     Algorithm::KkHash,
     Algorithm::Ikj,
+    Algorithm::RowClass,
     Algorithm::Reference,
 ];
 
@@ -37,6 +38,7 @@ const UNSORTED_INPUT_OK: &[Algorithm] = &[
     Algorithm::Inspector,
     Algorithm::KkHash,
     Algorithm::Ikj,
+    Algorithm::RowClass,
     Algorithm::Reference,
 ];
 
@@ -288,6 +290,58 @@ fn row_growing_past_accumulator_class_stays_byte_exact() {
             .execute_in(&a2, &b, &pool)
             .unwrap();
         assert_bits_eq(&c, &fresh, &format!("grown row ({algo:?})"));
+    }
+}
+
+/// Adversarial, RowClass-specific: one row ping-pongs across the
+/// tiny → dense class boundary (flop count from ~1 to far past
+/// `kgen::dense_cutoff` and back) under `rebind_rows`. The per-row
+/// recompute path re-derives the row's class from its *current* flop
+/// count on every call, and the rebuilt bucket spec must agree — the
+/// incremental product stays byte-identical to a fresh plan at every
+/// step. Hash rides along as the control kernel.
+#[test]
+fn row_crossing_class_boundaries_stays_byte_exact() {
+    let pool = Pool::new(1);
+    for algo in [Algorithm::RowClass, Algorithm::Hash] {
+        let n = 64; // dense_cutoff(64) = 33 flops
+        let a = Csr::<f64>::identity(n);
+        let b = rmat(6, 6, 21);
+        let mut plan = Plan::new_in(&a, &b, algo, OutputOrder::Sorted, &pool).unwrap();
+        let mut c = plan.execute_in(&a, &b, &pool).unwrap();
+        let none = DirtyRows::new(b.nrows());
+
+        // tiny → dense: row 5 grows from 1 entry to half the row, so
+        // its flop count jumps from nnz(B row 5) to several hundred.
+        let mut grow = RowPatch::new();
+        for j in (0..n).step_by(2) {
+            grow.insert(5, j as u32, 0.5 + j as f64);
+        }
+        let (a2, dirty) = a.apply_patch(&grow).unwrap();
+        let out = plan.rebind_rows_in(&a2, &b, &dirty, &none, &pool).unwrap();
+        assert!(out.contains(5));
+        plan.execute_rows_in(&a2, &b, &out, &mut c, &pool).unwrap();
+        let fresh = Plan::new_in(&a2, &b, algo, OutputOrder::Sorted, &pool)
+            .unwrap()
+            .execute_in(&a2, &b, &pool)
+            .unwrap();
+        assert_bits_eq(&c, &fresh, &format!("tiny->dense ({algo:?})"));
+
+        // dense → tiny: delete everything but one entry again.
+        let mut shrink = RowPatch::new();
+        for &col in a2.row_cols(5) {
+            if col != 5 {
+                shrink.delete(5, col);
+            }
+        }
+        let (a3, dirty) = a2.apply_patch(&shrink).unwrap();
+        let out = plan.rebind_rows_in(&a3, &b, &dirty, &none, &pool).unwrap();
+        plan.execute_rows_in(&a3, &b, &out, &mut c, &pool).unwrap();
+        let fresh = Plan::new_in(&a3, &b, algo, OutputOrder::Sorted, &pool)
+            .unwrap()
+            .execute_in(&a3, &b, &pool)
+            .unwrap();
+        assert_bits_eq(&c, &fresh, &format!("dense->tiny ({algo:?})"));
     }
 }
 

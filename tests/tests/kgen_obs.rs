@@ -1,0 +1,50 @@
+//! The RowClass bind publishes its bucket occupancy and
+//! compressed-index selection through the obs registry, so both are
+//! visible on the `/metrics` scrape page. This file enables the
+//! process-global obs switch, which is why it lives alone in its own
+//! test binary.
+
+use spgemm::{Algorithm, OutputOrder, SpgemmPlan};
+use spgemm_par::Pool;
+use spgemm_sparse::{Csr, PlusTimes};
+
+type Plan = SpgemmPlan<PlusTimes<f64>>;
+
+/// A square matrix whose self-product populates every row class:
+/// row groups of 1/4/10/80 entries over 512 columns give flop counts
+/// of 4–320 against `dense_cutoff(512) = 128`.
+fn all_classes(n: usize) -> Csr<f64> {
+    let mut tri = Vec::new();
+    for i in 0..n {
+        let nnz = [1usize, 4, 10, 80][i % 4];
+        for t in 0..nnz {
+            let j = ((i / 4 + t) % (n / 4)) * 4 + 1;
+            tri.push((i, j as u32, 1.0 + (i + t) as f64));
+        }
+    }
+    Csr::from_triplets(n, n, &tri).expect("valid triplets")
+}
+
+#[test]
+fn rowclass_plan_counters_reach_the_scrape_page() {
+    spgemm_obs::enable();
+    let a = all_classes(512);
+    let pool = Pool::new(2);
+    let _plan = Plan::new_in(&a, &a, Algorithm::RowClass, OutputOrder::Sorted, &pool)
+        .expect("RowClass plan");
+
+    let page = spgemm_obs::openmetrics::render();
+    // `plan.rowclass.tiny` renders as `spgemm_plan_rowclass_tiny`
+    // (sanitize + NAME_PREFIX); 512 columns < 2^16, so the bind also
+    // picks the compressed u16 index copies for both operands.
+    for name in [
+        "spgemm_plan_rowclass_tiny",
+        "spgemm_plan_rowclass_short",
+        "spgemm_plan_rowclass_medium",
+        "spgemm_plan_rowclass_dense",
+        "spgemm_plan_rowclass_cols16",
+    ] {
+        assert!(page.contains(name), "{name} missing from scrape:\n{page}");
+    }
+    assert!(page.ends_with("# EOF\n"), "scrape page must be terminated");
+}
